@@ -1,0 +1,31 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench examples report clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow" -x
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/latency_budget_design.py
+	$(PYTHON) examples/matmul_anatomy.py
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/forest_tuning.py
+	$(PYTHON) examples/scoring_service.py
+
+report:
+	$(PYTHON) examples/experiment_report.py experiment_report.md
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

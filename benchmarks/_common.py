@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench module reproduces one table or figure of the paper: it
+assembles the same rows/series the paper reports, renders them with
+:func:`emit` (printed to stdout *and* written under
+``benchmarks/results/``), and times a representative kernel through
+pytest-benchmark.
+
+Scoring times in the emitted tables come from the calibrated cost models
+at the paper-named shapes; quality metrics come from models trained at
+the scaled sizes of ``BENCH_SCALE`` (see DESIGN.md for the substitution
+rationale).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.utils.tables import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, headers, rows, *, title: str, notes: str = "") -> str:
+    """Render a paper-style table, print it, and persist it.
+
+    Parameters
+    ----------
+    name:
+        File stem, e.g. ``"table01"`` -> ``benchmarks/results/table01.txt``.
+    notes:
+        Free-form comparison against the published values.
+    """
+    text = format_table(headers, rows, title=title)
+    if notes:
+        text = f"{text}\n\n{notes.strip()}\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}")
+    return text

@@ -1,0 +1,53 @@
+"""Ablation — the CPU/GPU engine choice (the paper's future work).
+
+Section 7 plans a GPU/FPGA extension; Section 2.2 cites Lettich et al.'s
+GPU QuickScorer ("up to 100x ... very large forests, 20,000 trees").
+This ablation maps the engine landscape with the GPU cost model: per-doc
+times across forest sizes and batch regimes, locating the CPU/GPU
+crossover relative to the paper's deployment forests.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import emit
+from repro.quickscorer import GpuQuickScorerCostModel
+
+FOREST_SIZES = (300, 878, 2000, 5000, 20_000)
+BATCHES = (128, 10_000, 100_000)
+
+
+def test_ablation_gpu(benchmark):
+    model = GpuQuickScorerCostModel()
+    cpu = model.cpu_model
+
+    rows = []
+    for n_trees in FOREST_SIZES:
+        cpu_us = cpu.scoring_time_us(n_trees, 64)
+        row = [n_trees, round(cpu_us, 2)]
+        for batch in BATCHES:
+            row.append(
+                round(model.scoring_time_us(n_trees, 64, batch_docs=batch), 2)
+            )
+        rows.append(tuple(row))
+
+    crossover = model.crossover_trees(batch_docs=128)
+    emit(
+        "ablation_gpu",
+        ["Trees", "CPU (us/doc)"] + [f"GPU @batch {b}" for b in BATCHES],
+        rows,
+        title="Ablation: CPU vs GPU QuickScorer cost models (64 leaves)",
+        notes=(
+            f"Latency-bound (batch 128) CPU/GPU crossover: ~{crossover} "
+            "trees — above every deployment forest in the paper, "
+            "supporting its CPU focus; at 20k trees / throughput batches "
+            "the model reproduces Lettich et al.'s ~100x."
+        ),
+    )
+
+    # Shape assertions.
+    assert crossover > 878
+    big_cpu = cpu.scoring_time_us(20_000, 64)
+    big_gpu = model.scoring_time_us(20_000, 64, batch_docs=100_000)
+    assert 70.0 <= big_cpu / big_gpu <= 130.0
+
+    benchmark(lambda: model.scoring_time_us(878, 64, batch_docs=10_000))

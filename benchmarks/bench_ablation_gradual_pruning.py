@@ -1,0 +1,77 @@
+"""Ablation — pruning criterion: fixed threshold vs gradual schedules.
+
+Section 2.3 contrasts one-shot/level pruning with Han et al.'s gradual
+sparsity ramps and the Distiller fixed-threshold rule the paper adopts.
+This ablation prunes the flagship student's first layer three ways —
+fixed threshold (the paper's), AGP polynomial ramp, linear ramp — to a
+comparable final sparsity and compares quality.
+
+Expected shape: all three land in the same quality band (the first
+layer is robust under fine-tuning); the threshold rule needs no target
+hyper-parameter, which is why the paper prefers it.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import emit
+from repro.metrics import mean_ndcg
+from repro.pruning import FirstLayerPruner, FirstLayerPruningConfig
+
+
+def test_ablation_gradual_pruning(msn_pipeline, benchmark):
+    student = msn_pipeline.student(msn_pipeline.zoo.flagship)
+    teacher = msn_pipeline.teacher()
+    test = msn_pipeline.test
+    dense_ndcg = mean_ndcg(test, student.predict(test.features), 10)
+    scale = msn_pipeline.scale
+
+    def make_config(method: str) -> FirstLayerPruningConfig:
+        return FirstLayerPruningConfig(
+            method=method,
+            target_sparsity=0.98,
+            sensitivity=scale.pruning_sensitivity,
+            epochs_prune=scale.prune_epochs,
+            epochs_finetune=scale.finetune_epochs,
+            lr_milestones=scale.prune_milestones,
+            steps_per_epoch=scale.steps_per_epoch,
+        )
+
+    rows = [("dense baseline", "-", round(dense_ndcg, 4))]
+    results = {}
+    for method in ("threshold", "agp", "linear"):
+        pruner = FirstLayerPruner(make_config(method), seed=scale.seed)
+        pruned = pruner.prune(student, teacher, msn_pipeline.train)
+        ndcg = mean_ndcg(test, pruned.predict(test.features), 10)
+        results[method] = ndcg
+        rows.append(
+            (
+                method,
+                f"{pruned.first_layer_sparsity():.1%}",
+                round(ndcg, 4),
+            )
+        )
+
+    emit(
+        "ablation_gradual_pruning",
+        ["Criterion", "Final 1st-layer sparsity", "NDCG@10"],
+        rows,
+        title="Ablation: pruning criterion on the flagship first layer",
+        notes=(
+            "Shape to hold: the three criteria land within a narrow "
+            "quality band at comparable sparsity — the first layer is "
+            "robust however it is sparsified, as Fig. 10 (dynamic) "
+            "implies."
+        ),
+    )
+
+    band = max(results.values()) - min(results.values())
+    assert band < 0.05
+    for ndcg in results.values():
+        assert ndcg >= dense_ndcg - 0.05
+
+    config = make_config("agp")
+    benchmark(
+        lambda: FirstLayerPruningConfig(
+            method="agp", target_sparsity=config.target_sparsity
+        )
+    )

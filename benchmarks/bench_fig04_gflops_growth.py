@@ -1,0 +1,43 @@
+"""Figure 4 — GFLOPS as m and k grow together, for several batch sizes.
+
+The executor is swept with m = k over a grid at n in {64, 256, 1000};
+the paper's figure shows throughput rising with the matrix size and with
+the batch.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import emit
+from repro.matmul import DenseGemmExecutor
+
+SIZES = (32, 64, 128, 256, 512, 1024)
+BATCHES = (64, 256, 1000)
+
+
+def test_fig04(benchmark):
+    executor = DenseGemmExecutor()
+    rows = []
+    series = {n: [] for n in BATCHES}
+    for size in SIZES:
+        row = [size]
+        for n in BATCHES:
+            gflops = executor.measure_gflops(size, n, size)
+            series[n].append(gflops)
+            row.append(round(gflops, 1))
+        rows.append(tuple(row))
+    emit(
+        "fig04",
+        ["m=k"] + [f"GFLOPS (n={n})" for n in BATCHES],
+        rows,
+        title="Figure 4: GFLOPS as m and k grow",
+        notes=(
+            "Shape to hold: monotone growth with m=k for every batch, and "
+            "larger batches sustain higher throughput."
+        ),
+    )
+    for n in BATCHES:
+        assert series[n] == sorted(series[n])
+    for i in range(len(SIZES)):
+        assert series[1000][i] >= series[64][i]
+
+    benchmark(lambda: executor.measure_gflops(512, 256, 512))

@@ -1,0 +1,41 @@
+"""Figure 5 — GFLOPS at constant m*k.
+
+Sweeping the aspect ratio of A with m*k fixed: the paper shows that
+small m with large k stays fast (left side) while small k with large m
+degrades badly (right side).
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import emit
+from repro.matmul import DenseGemmExecutor
+
+PRODUCT = 512 * 512
+RATIOS = [(64, 4096), (128, 2048), (256, 1024), (512, 512),
+          (1024, 256), (2048, 128), (4096, 64)]
+
+
+def test_fig05(benchmark):
+    executor = DenseGemmExecutor()
+    rows = []
+    values = []
+    for m, k in RATIOS:
+        assert m * k == PRODUCT
+        gflops = executor.measure_gflops(m, 1000, k)
+        values.append(gflops)
+        rows.append((f"{m}x{k}", round(gflops, 1)))
+    emit(
+        "fig05",
+        ["A shape (m x k)", "GFLOPS (n=1000)"],
+        rows,
+        title="Figure 5: GFLOPS with the product m*k constant",
+        notes=(
+            "Shape to hold: the left side (small m, large k) sustains high "
+            "throughput; the right side (large m, small k) degrades."
+        ),
+    )
+    # Tall-k side much faster than the small-k side; right tail decreasing.
+    assert max(values[:3]) > 1.2 * values[-1]
+    assert values[-3] >= values[-2] >= values[-1]
+
+    benchmark(lambda: executor.measure_gflops(4096, 1000, 64))

@@ -1,0 +1,43 @@
+"""Figure 6 — the GFLOPS heat map at n = 1000 and its three k-zones.
+
+Sweeps the (m, k) grid, emits the heat map rows, and summarizes the
+horizontal stripes the paper derives its lookup from:
+k >= 512 -> ~130 GFLOPS, 128 <= k < 512 -> ~110, k < 128 -> ~90.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import emit
+from repro.timing import GflopsSurface
+
+
+def test_fig06(benchmark):
+    surface = GflopsSurface.measure(batch_size=1000)
+    zones = surface.zone_summary()
+
+    # Emit a compact heat map (m rows x k columns).
+    k_cols = [int(k) for k in surface.k_grid]
+    rows = []
+    for i, m in enumerate(surface.m_grid):
+        rows.append(
+            (int(m), *[round(float(surface.gflops[i, j]), 0) for j in range(len(k_cols))])
+        )
+    emit(
+        "fig06",
+        ["m \\ k"] + [str(k) for k in k_cols],
+        rows,
+        title="Figure 6: GFLOPS heat map, batch n = 1000",
+        notes=(
+            f"Zone summary: k<128 -> {zones.low_k_gflops:.1f} GFLOPS "
+            f"(paper ~90), 128<=k<512 -> {zones.mid_k_gflops:.1f} "
+            f"(paper ~110), k>=512 -> {zones.high_k_gflops:.1f} (paper ~130)."
+        ),
+    )
+
+    assert zones.low_k_gflops == pytest.approx(90.0, rel=0.12)
+    assert zones.mid_k_gflops == pytest.approx(110.0, rel=0.12)
+    assert zones.high_k_gflops == pytest.approx(130.0, rel=0.12)
+
+    benchmark(lambda: surface.lookup(400, 136))

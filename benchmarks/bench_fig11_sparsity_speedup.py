@@ -1,0 +1,39 @@
+"""Figure 11 — matrix-multiplication speed-up vs sparsity.
+
+Speed-up of the sparse kernel over the dense one for first-layer shapes,
+under the paper's worst-case assumption (all rows/columns active).
+Paper: quadratic-looking growth over 0.90..0.99 reaching ~10x at 95%
+and ~25x at the 98.7% sparsity of the final model.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import emit
+
+SHAPES = [(400, 136), (300, 136), (200, 136), (100, 136)]
+SPARSITIES = (0.90, 0.925, 0.95, 0.975, 0.987, 0.99)
+
+
+def test_fig11(predictor, benchmark):
+    rows = []
+    for m, k in SHAPES:
+        speedups = [predictor.sparsity_speedup(m, k, s) for s in SPARSITIES]
+        rows.append((f"{m}x{k}", *[round(s, 1) for s in speedups]))
+        assert speedups == sorted(speedups)  # monotone in sparsity
+    emit(
+        "fig11",
+        ["First layer"] + [f"s={s}" for s in SPARSITIES],
+        rows,
+        title="Figure 11: sparse speed-up vs sparsity (worst-case structure)",
+        notes=(
+            "Shape to hold: super-linear growth; ~10x around 95% and "
+            ">=20x at 98.7% (the paper's final first-layer sparsity)."
+        ),
+    )
+
+    s95 = predictor.sparsity_speedup(400, 136, 0.95)
+    s987 = predictor.sparsity_speedup(400, 136, 0.987)
+    assert 5.0 <= s95 <= 25.0
+    assert s987 >= 20.0
+
+    benchmark(lambda: predictor.sparsity_speedup(400, 136, 0.95))

@@ -1,0 +1,86 @@
+"""Figure 12 — high-quality retrieval: Pareto frontiers, both datasets.
+
+Forest sweep (green in the paper) vs first-layer-pruned students (blue)
+on the NDCG@10 / µs-per-doc plane, restricted to models reaching 99% of
+the best tree model's quality.
+
+Paper's shape: on MSN30K the neural frontier lies below (faster than)
+the tree frontier — up to 4.4x at matched quality; on Istella-S the
+frontiers are closer and trees keep the top-quality corner.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import emit
+from repro.design import HighQualityScenario, build_frontier
+
+
+def _frontier_rows(pipeline, forest_specs, network_specs):
+    points = pipeline.frontier_points(forest_specs, network_specs)
+    plot = build_frontier(points)
+    rows = [
+        (
+            p.name,
+            p.family,
+            round(p.ndcg10, 4),
+            round(p.time_us, 2),
+            "yes" if p in plot.forest_frontier + plot.neural_frontier else "",
+        )
+        for p in sorted(points, key=lambda p: -p.ndcg10)
+    ]
+    return rows, plot, points
+
+
+def test_fig12_msn30k(msn_pipeline, benchmark):
+    zoo = msn_pipeline.zoo
+    forests = [zoo.large_forest, zoo.mid_forest, zoo.small_forest] + [
+        s for s in zoo.extra_forests if s.n_leaves == 64
+    ]
+    rows, plot, points = _frontier_rows(msn_pipeline, forests, zoo.high_quality)
+    reference = max(p.ndcg10 for p in points if p.family == "forest")
+    scenario = HighQualityScenario(reference_ndcg10=reference)
+    winner = scenario.winner(points)
+    emit(
+        "fig12_msn30k",
+        ["Model", "Family", "NDCG@10", "us/doc", "On frontier"],
+        rows,
+        title="Figure 12 (MSN30K-like): high-quality frontier points",
+        notes=(
+            f"Quality floor = {scenario.quality_floor:.4f} (99% of best "
+            f"forest).  Fastest qualifying model: {winner.name if winner else 'none'} "
+            f"({winner.family if winner else '-'}).  Neural-dominates "
+            f"fraction = {plot.neural_dominates_fraction():.2f}; best "
+            f"neural speed-up at matched quality = "
+            f"{plot.best_neural_speedup_at_quality():.1f}x (paper: 4.4x)."
+        ),
+    )
+    # Shape: pruned nets dominate part of the forest frontier and provide
+    # a multi-x speed-up at matched quality.  (The paper reaches 4.4x with
+    # students trained on 2.3M documents; at this harness's scaled
+    # training size the match point sits lower on the frontier, so the
+    # asserted bounds are the scale-appropriate form of the claim — see
+    # EXPERIMENTS.md.)
+    assert plot.neural_dominates_fraction() >= 0.3
+    assert plot.best_neural_speedup_at_quality() >= 1.5
+
+    benchmark(lambda: build_frontier(points))
+
+
+def test_fig12_istella(istella_pipeline, benchmark):
+    zoo = istella_pipeline.zoo
+    forests = [zoo.large_forest, zoo.mid_forest, zoo.small_forest]
+    rows, plot, points = _frontier_rows(istella_pipeline, forests, zoo.high_quality)
+    emit(
+        "fig12_istella",
+        ["Model", "Family", "NDCG@10", "us/doc", "On frontier"],
+        rows,
+        title="Figure 12 (Istella-S-like): high-quality frontier points",
+        notes=(
+            "Paper's shape: neural models cover most of the trade-off but "
+            "trees keep a slight edge in the top-quality region; the "
+            "frontiers may cross."
+        ),
+    )
+    assert plot.forest_frontier and plot.neural_frontier
+
+    benchmark(lambda: build_frontier(points))

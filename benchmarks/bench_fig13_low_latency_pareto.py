@@ -1,0 +1,73 @@
+"""Figure 13 — low-latency retrieval (<= 0.5 µs/doc), both datasets.
+
+Small forests vs small first-layer-pruned students in the sub-half-
+microsecond region.  Paper's shape: on MSN30K the neural frontier
+dominates (e.g. 200x50x50x25 is 3x faster than a 300-tree 32-leaf forest
+at better NDCG@10); on Istella-S the frontiers intersect but the most
+effective model within the budget is still a network.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import emit
+from repro.design import LowLatencyScenario, build_frontier
+
+BUDGET_US = 0.5
+
+
+def _rows(points):
+    return [
+        (p.name, p.family, round(p.ndcg10, 4), round(p.time_us, 2))
+        for p in sorted(points, key=lambda p: p.time_us)
+    ]
+
+
+def test_fig13_msn30k(msn_pipeline, benchmark):
+    zoo = msn_pipeline.zoo
+    small_forests = [
+        s for s in zoo.extra_forests if s.n_leaves in (16, 32)
+    ] + [zoo.small_forest]
+    points = msn_pipeline.frontier_points(small_forests, zoo.low_latency)
+    plot = build_frontier(points)
+    scenario = LowLatencyScenario(max_time_us=BUDGET_US)
+    qualifying = scenario.select(points)
+    winner = scenario.winner(points)
+    emit(
+        "fig13_msn30k",
+        ["Model", "Family", "NDCG@10", "us/doc"],
+        _rows(points),
+        title="Figure 13 (MSN30K-like): low-latency region",
+        notes=(
+            f"Budget {BUDGET_US} us/doc; qualifying: "
+            f"{[p.name for p in qualifying]}.  Most effective within "
+            f"budget: {winner.name if winner else 'none'} "
+            f"({winner.family if winner else '-'})."
+        ),
+    )
+    assert qualifying, "some model must fit the 0.5 us budget"
+    # Shape: the winner within the budget is a pruned network.
+    assert winner.family == "neural"
+
+    benchmark(lambda: scenario.select(points))
+
+
+def test_fig13_istella(istella_pipeline, benchmark):
+    zoo = istella_pipeline.zoo
+    small_forests = list(zoo.extra_forests)
+    points = istella_pipeline.frontier_points(small_forests, zoo.low_latency)
+    scenario = LowLatencyScenario(max_time_us=1.0)  # wider net on 220 features
+    winner = scenario.winner(points)
+    emit(
+        "fig13_istella",
+        ["Model", "Family", "NDCG@10", "us/doc"],
+        _rows(points),
+        title="Figure 13 (Istella-S-like): low-latency region",
+        notes=(
+            "Paper's shape: frontiers intersect, but the most effective "
+            "model respecting the time requirement is a neural network "
+            "(200x75x75x25 in the paper)."
+        ),
+    )
+    assert winner is not None
+
+    benchmark(lambda: scenario.select(points))

@@ -1,0 +1,44 @@
+"""Table 7 — relative execution time per layer.
+
+Per-layer share of the forward pass for three architectures (the paper
+reports the first layer always dominant or near-dominant: 35/60/45% for
+the three rows, including the bias+ReLU6 output-write effect).
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import emit
+
+ARCHITECTURES = [
+    ((400, 200, 200, 100), (35, 33, 20, 10, 2)),
+    ((100, 50, 50, 10), (60, 21, 14, 3, 2)),
+    ((200, 100, 100, 50), (45, 28, 17, 8, 2)),
+]
+
+
+def test_table07(predictor, benchmark):
+    rows = []
+    for arch, paper in ARCHITECTURES:
+        breakdown = predictor.dense.layer_breakdown(136, arch)
+        cells = ["x".join(map(str, arch))]
+        cells.extend(round(p, 1) for p in breakdown)
+        cells.append("/".join(str(p) for p in paper[: len(breakdown)]))
+        rows.append(tuple(cells))
+        # Shape: the first layer is dominant or near-dominant.
+        assert breakdown[0] >= max(breakdown) - 6.0
+        # Shape: the scoring-relevant early layers carry most of the cost.
+        assert breakdown[0] + breakdown[1] > 50.0
+
+    emit(
+        "table07",
+        ["Model", "1st %", "2nd %", "3rd %", "4th %", "Paper (hidden layers)"],
+        rows,
+        title="Table 7: relative execution time per layer",
+        notes=(
+            "Paper rows (with the scoring head as a 5th layer at ~2%): "
+            "35/33/20/10, 60/21/14/3, 45/28/17/8.  Shape to hold: early "
+            "layers dominate; the first layer is the pruning target."
+        ),
+    )
+
+    benchmark(lambda: predictor.dense.layer_breakdown(136, (400, 200, 200, 100)))

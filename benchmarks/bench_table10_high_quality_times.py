@@ -1,0 +1,57 @@
+"""Table 10 — predicted scoring times in the high-quality scenario.
+
+For each architecture: the dense forward time, the first layer's share,
+and the forecast after pruning the first layer (dense total minus the
+first layer, the sparse residual being negligible at >= 95% sparsity).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import emit
+
+ROWS = [
+    ("MSN30K", 136, (300, 200, 100), 2.4, 30, 1.7),
+    ("MSN30K", 136, (200, 100, 100, 50), 1.3, 39, 0.8),
+    ("MSN30K", 136, (200, 50, 50, 25), 0.9, 58, 0.4),
+    ("Istella-S", 220, (800, 400, 400, 200), 11.9, 23, 9.1),
+    ("Istella-S", 220, (800, 200, 200, 100), 6.5, 41, 3.8),
+    ("Istella-S", 220, (300, 200, 100), 2.8, 41, 1.6),
+]
+
+
+def test_table10(predictor, benchmark):
+    table = []
+    for dataset, f, arch, paper_time, paper_impact, paper_pruned in ROWS:
+        report = predictor.predict(f, arch)
+        table.append(
+            (
+                dataset,
+                "x".join(map(str, arch)),
+                round(report.dense_total_us_per_doc, 1),
+                round(report.first_layer_impact_pct),
+                round(report.pruned_forecast_us_per_doc, 1),
+                f"{paper_time}/{paper_impact}/{paper_pruned}",
+            )
+        )
+        assert report.dense_total_us_per_doc == pytest.approx(
+            paper_time, rel=0.40, abs=0.2
+        )
+        assert report.pruned_forecast_us_per_doc < report.dense_total_us_per_doc
+
+    emit(
+        "table10",
+        [
+            "Dataset", "Model", "Dense (us/doc)", "1st layer %",
+            "Pruned forecast (us/doc)", "Paper (time/impact/pruned)",
+        ],
+        table,
+        title="Table 10: predicted pruned scoring times, high-quality scenario",
+        notes=(
+            "Shape to hold: first-layer impact 20-60% and pruning forecast "
+            "cuts each model's time by that share."
+        ),
+    )
+
+    benchmark(lambda: predictor.predict(136, (300, 200, 100)))

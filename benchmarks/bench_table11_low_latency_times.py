@@ -1,0 +1,64 @@
+"""Table 11 — predicted scoring times in the low-latency scenario.
+
+Same methodology as Table 10, on the small architectures that target the
+<= 0.5 µs/doc region after first-layer pruning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import emit
+
+ROWS = [
+    ("MSN30K", 136, (100, 50, 50, 25), 0.6, 56, 0.3),
+    ("MSN30K", 136, (100, 25, 25, 10), 0.5, 71, 0.2),
+    ("MSN30K", 136, (50, 25, 25, 10), 0.3, 65, 0.1),
+    ("Istella-S", 220, (200, 75, 75, 25), 1.6, 61, 0.6),
+    ("Istella-S", 220, (100, 75, 75, 10), 0.9, 55, 0.4),
+    ("Istella-S", 220, (100, 50, 50, 10), 0.8, 67, 0.3),
+]
+
+
+def test_table11(predictor, benchmark):
+    table = []
+    for dataset, f, arch, paper_time, paper_impact, paper_pruned in ROWS:
+        report = predictor.predict(f, arch)
+        table.append(
+            (
+                dataset,
+                "x".join(map(str, arch)),
+                round(report.dense_total_us_per_doc, 2),
+                round(report.first_layer_impact_pct),
+                round(report.pruned_forecast_us_per_doc, 2),
+                f"{paper_time}/{paper_impact}/{paper_pruned}",
+            )
+        )
+        assert report.dense_total_us_per_doc == pytest.approx(
+            paper_time, rel=0.5, abs=0.25
+        )
+        # In these small nets the first layer carries most of the time.
+        assert report.first_layer_impact_pct > 40.0
+
+    # Shape: every MSN30K candidate fits the 0.5 us budget after pruning.
+    for dataset, f, arch, *_ in ROWS:
+        if dataset == "MSN30K":
+            report = predictor.predict(f, arch)
+            assert report.pruned_forecast_us_per_doc <= 0.55
+
+    emit(
+        "table11",
+        [
+            "Dataset", "Model", "Dense (us/doc)", "1st layer %",
+            "Pruned forecast (us/doc)", "Paper (time/impact/pruned)",
+        ],
+        table,
+        title="Table 11: predicted pruned scoring times, low-latency scenario",
+        notes=(
+            "Shape to hold: first layer dominant (>40%) in every small "
+            "net; the MSN30K candidates fit the 0.5 us/doc ceiling after "
+            "pruning."
+        ),
+    )
+
+    benchmark(lambda: predictor.predict(136, (100, 50, 50, 25)))

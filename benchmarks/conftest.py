@@ -1,0 +1,64 @@
+"""Session fixtures for the benchmark harness.
+
+One pipeline per dataset is trained once and shared by every bench
+module; the network time predictor (GFLOPS surface + sparse
+calibration) is likewise built once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EfficientRankingPipeline, ExperimentScale
+from repro.timing import NetworkTimePredictor
+
+#: Scaled experiment sizes for the harness (see DESIGN.md): large enough
+#: for the paper's orderings to emerge, small enough that the whole
+#: harness trains in minutes on numpy.
+BENCH_SCALE_MSN = ExperimentScale(
+    n_queries=260,
+    docs_per_query=24,
+    tree_scale=0.12,
+    distill_epochs=50,
+    distill_milestones=(30, 43),
+    distill_learning_rate=0.005,
+    steps_per_epoch=30,
+    prune_epochs=12,
+    finetune_epochs=6,
+    prune_milestones=(10, 15),
+    pruning_sensitivity=2.0,
+    seed=7,
+)
+
+BENCH_SCALE_ISTELLA = ExperimentScale(
+    n_queries=220,
+    docs_per_query=22,
+    tree_scale=0.035,
+    distill_epochs=50,
+    distill_milestones=(30, 43),
+    distill_learning_rate=0.005,
+    steps_per_epoch=30,
+    prune_epochs=12,
+    finetune_epochs=6,
+    prune_milestones=(10, 15),
+    pruning_sensitivity=2.0,
+    seed=9,
+)
+
+
+@pytest.fixture(scope="session")
+def msn_pipeline():
+    """The MSN30K-like pipeline (teacher and forests trained lazily)."""
+    return EfficientRankingPipeline.for_msn30k(BENCH_SCALE_MSN)
+
+
+@pytest.fixture(scope="session")
+def istella_pipeline():
+    """The Istella-S-like pipeline."""
+    return EfficientRankingPipeline.for_istella(BENCH_SCALE_ISTELLA)
+
+
+@pytest.fixture(scope="session")
+def predictor():
+    """Shared dense+sparse network time predictor."""
+    return EfficientRankingPipeline.network_predictor()

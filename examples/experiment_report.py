@@ -1,0 +1,43 @@
+"""Generate a full experiment report for one dataset.
+
+Drives :mod:`repro.reporting` end to end: builds the scaled MSN30K-like
+pipeline, evaluates the deployment forests and the pruned students, and
+writes a Markdown report with the quality/time table, the Pareto summary
+and the Fisher-randomization significance matrix.
+
+Run:  python examples/experiment_report.py [output.md]
+"""
+
+import sys
+
+from repro import EfficientRankingPipeline
+from repro.core.config import ExperimentScale
+from repro.reporting import write_report
+
+
+def main() -> None:
+    output = sys.argv[1] if len(sys.argv) > 1 else "experiment_report.md"
+    # A small scale so the example finishes in a few minutes; raise the
+    # numbers (or use the default ExperimentScale) for tighter results.
+    scale = ExperimentScale(
+        n_queries=180,
+        docs_per_query=20,
+        tree_scale=0.08,
+        distill_epochs=25,
+        distill_milestones=(16, 21),
+        distill_learning_rate=0.005,
+        steps_per_epoch=20,
+        prune_epochs=8,
+        finetune_epochs=4,
+        prune_milestones=(),
+        seed=3,
+    )
+    pipeline = EfficientRankingPipeline.for_msn30k(scale)
+    print("Training, distilling and pruning the model zoo ...")
+    text = write_report(pipeline, output)
+    print(f"\nreport written to {output}\n")
+    print(text)
+
+
+if __name__ == "__main__":
+    main()

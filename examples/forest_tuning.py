@@ -1,0 +1,75 @@
+"""Hyper-parameter tuning of the LambdaMART teacher.
+
+The paper tunes its forests with HyperOpt over learning rate, max depth,
+``min_sum_hessian_in_leaf`` and ``min_data_in_leaf`` (Section 6.1).
+This example runs the library's random-search substitute on a small
+synthetic collection, shows the full trial trace, retrains the winner,
+and inspects which features the tuned forest actually relies on.
+
+Run:  python examples/forest_tuning.py
+"""
+
+from repro import (
+    GradientBoostingConfig,
+    LambdaMartRanker,
+    make_msn30k_like,
+    mean_ndcg,
+    train_validation_test_split,
+)
+from repro.forest import RandomSearchTuner
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    data = make_msn30k_like(n_queries=150, docs_per_query=20, seed=4)
+    train, vali, test = train_validation_test_split(data, seed=4)
+    print(data.summary())
+
+    base = GradientBoostingConfig(n_trees=25, max_leaves=32, eval_every=5)
+    print("\nRandom search (6 trials) over the paper's tuned parameters ...")
+    tuner = RandomSearchTuner(base, n_trials=6, seed=0)
+    result = tuner.tune(train, vali)
+
+    rows = [
+        (
+            i + 1,
+            round(params["learning_rate"], 4),
+            params["max_depth"],
+            params["min_data_in_leaf"],
+            round(params["min_sum_hessian_in_leaf"], 4),
+            round(metric, 4),
+        )
+        for i, (params, metric) in enumerate(result.trials)
+    ]
+    print(
+        format_table(
+            ["Trial", "lr", "max_depth", "min_data", "min_hessian", "vali NDCG@10"],
+            rows,
+            title="Tuning trace",
+        )
+    )
+    print(f"\nBest validation NDCG@10: {result.best_metric:.4f}")
+
+    print("\nRetraining the winning configuration ...")
+    forest = LambdaMartRanker(result.best_config, seed=0).fit(train, vali)
+    test_ndcg = mean_ndcg(test, forest.predict(test.features), 10)
+    print(f"  test NDCG@10 = {test_ndcg:.4f} ({forest.describe()})")
+
+    importance = forest.feature_importance()
+    top = importance.argsort()[::-1][:8]
+    print("\nMost-used features (split counts):")
+    print(
+        format_table(
+            ["Feature", "Splits"],
+            [(int(f), int(importance[f])) for f in top],
+        )
+    )
+    print(
+        "\nThe informative block (features 0-39 in the synthetic schema) "
+        "should dominate this list — the same signal first-layer pruning "
+        "later selects from."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""A miniature two-stage ranking service.
+
+Shows how a downstream system would actually deploy the paper's models:
+a candidate generator returns a pool of documents per query, a
+first-stage (cheap) pruned network filters the pool, and a second-stage
+model — either the LambdaMART forest via QuickScorer or a larger student
+— re-ranks the survivors.  The latency budget of each stage is checked
+against the predictors before serving.
+
+Run:  python examples/scoring_service.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    DistillationConfig,
+    Distiller,
+    FirstLayerPruner,
+    FirstLayerPruningConfig,
+    GradientBoostingConfig,
+    LambdaMartRanker,
+    NetworkTimePredictor,
+    QuickScorer,
+    QuickScorerCostModel,
+    make_msn30k_like,
+    mean_ndcg,
+    train_validation_test_split,
+)
+from repro.matmul import CsrMatrix
+
+
+class TwoStageRanker:
+    """First-stage pruned net -> top-pool -> second-stage QuickScorer."""
+
+    def __init__(self, first_stage, second_stage, pool_size: int) -> None:
+        self.first_stage = first_stage
+        self.second_stage = second_stage
+        self.pool_size = pool_size
+
+    def rank(self, features: np.ndarray) -> np.ndarray:
+        """Return indices of ``features`` rows in final ranked order."""
+        cheap = self.first_stage.predict(features)
+        pool = np.argsort(-cheap)[: self.pool_size]
+        expensive = self.second_stage.score(features[pool])
+        return pool[np.argsort(-expensive)]
+
+
+def main() -> None:
+    data = make_msn30k_like(n_queries=220, docs_per_query=30, seed=3)
+    train, vali, test = train_validation_test_split(data, seed=3)
+
+    print("Training the second-stage forest ...")
+    forest = LambdaMartRanker(
+        GradientBoostingConfig(
+            n_trees=50, max_leaves=64, learning_rate=0.12, min_data_in_leaf=5
+        ),
+        seed=0,
+    ).fit(train, vali)
+
+    print("Distilling + pruning the first-stage network (100x50x50x25) ...")
+    student = Distiller(
+        DistillationConfig(epochs=20, learning_rate=0.003, lr_milestones=(15,)),
+        seed=0,
+    ).distill(forest, train, hidden=(100, 50, 50, 25))
+    pruned = FirstLayerPruner(
+        FirstLayerPruningConfig(
+            sensitivity=2.0, epochs_prune=8, epochs_finetune=4, lr_milestones=(),
+        ),
+        seed=0,
+    ).prune(student, forest, train)
+
+    print("\nChecking stage latency budgets with the predictors ...")
+    predictor = NetworkTimePredictor()
+    first = CsrMatrix.from_dense(pruned.network.first_layer.weight.data)
+    stage1_us = predictor.predict(
+        train.n_features, pruned.hidden, first_layer_matrix=first
+    ).hybrid_total_us_per_doc
+    stage2_us = QuickScorerCostModel().scoring_time_for(forest)
+    print(f"  stage 1 (pruned net): {stage1_us:.2f} us/doc over the full pool")
+    print(f"  stage 2 (QuickScorer): {stage2_us:.2f} us/doc over the top pool")
+
+    service = TwoStageRanker(
+        first_stage=pruned,
+        second_stage=QuickScorer(forest),
+        pool_size=10,
+    )
+
+    print("\nServing the test queries through the two-stage pipeline ...")
+    two_stage_scores = np.empty(test.n_docs)
+    for qi in range(test.n_queries):
+        sl = test.query_slice(qi)
+        order = service.rank(test.features[sl])
+        # Convert the final order to descending pseudo-scores; documents
+        # outside the pool keep their stage-1 score below the pool range.
+        q_scores = service.first_stage.predict(test.features[sl])
+        lo, hi = q_scores.min(), q_scores.max()
+        span = (hi - lo) or 1.0
+        q_scores = (q_scores - lo) / span  # in [0, 1]
+        for rank, doc in enumerate(order):
+            q_scores[doc] = 2.0 + (len(order) - rank)
+        two_stage_scores[sl] = q_scores
+
+    full_forest_scores = forest.predict(test.features)
+    stage1_only_scores = pruned.predict(test.features)
+    print(f"  NDCG@10 forest everywhere : {mean_ndcg(test, full_forest_scores, 10):.4f}")
+    print(f"  NDCG@10 pruned net only   : {mean_ndcg(test, stage1_only_scores, 10):.4f}")
+    print(f"  NDCG@10 two-stage service : {mean_ndcg(test, two_stage_scores, 10):.4f}")
+
+    avg_pool = min(10, int(test.query_sizes().mean()))
+    effective_us = stage1_us + stage2_us * avg_pool / test.query_sizes().mean()
+    print(
+        f"\nEffective cost ~{effective_us:.2f} us/doc vs {stage2_us:.2f} us/doc "
+        "for the forest alone — the pruned net absorbs most of the volume."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail with "invalid command 'bdist_wheel'"; this file enables the
+legacy ``pip install -e . --no-build-isolation`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,119 @@
+"""repro — Distilled Neural Networks for Efficient Learning to Rank.
+
+A from-scratch reproduction of Nardini, Rulli, Trani & Venturini (ICDE
+2024): knowledge-distilled, first-layer-pruned feed-forward rankers whose
+CPU scoring time is predicted analytically from dense and sparse matrix-
+multiplication models, compared against LambdaMART ensembles scored with
+QuickScorer.
+
+Quick start
+-----------
+>>> from repro import EfficientRankingPipeline
+>>> pipe = EfficientRankingPipeline.for_msn30k()
+>>> forest = pipe.evaluate_forest(pipe.zoo.small_forest)
+>>> net = pipe.evaluate_network(pipe.zoo.low_latency[0], pruned=True)
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from repro.core.pipeline import EfficientRankingPipeline, EvaluatedModel
+from repro.core.zoo import ForestSpec, ISTELLA_ZOO, MSN30K_ZOO, NetworkSpec
+from repro.datasets import (
+    LtrDataset,
+    ZNormalizer,
+    load_svmlight,
+    make_istella_s_like,
+    make_msn30k_like,
+    save_svmlight,
+    train_validation_test_split,
+)
+from repro.design import (
+    ArchitectureSearch,
+    HighQualityScenario,
+    LowLatencyScenario,
+    ModelPoint,
+    build_frontier,
+)
+from repro.distill import DistillationConfig, DistilledStudent, Distiller
+from repro.forest import (
+    GradientBoostingConfig,
+    LambdaMartRanker,
+    TreeEnsemble,
+)
+from repro.metrics import (
+    fisher_randomization_test,
+    mean_average_precision,
+    mean_ndcg,
+    ndcg,
+)
+from repro.nn import FeedForwardNetwork
+from repro.pruning import FirstLayerPruner, FirstLayerPruningConfig
+from repro.quickscorer import QuickScorer, QuickScorerCostModel
+from repro.timing import (
+    DenseTimePredictor,
+    GflopsSurface,
+    NetworkTimePredictor,
+    SparseTimePredictor,
+    calibrate_sparse_predictor,
+    load_predictor,
+    save_predictor,
+)
+from repro.analysis import feature_selection_agreement, score_agreement
+from repro.design import CascadeStage, EarlyExitCascade
+from repro.nn import quantize_student
+from repro.reporting import render_report, write_report
+from repro.serving import ScoringService
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EfficientRankingPipeline",
+    "EvaluatedModel",
+    "ForestSpec",
+    "NetworkSpec",
+    "MSN30K_ZOO",
+    "ISTELLA_ZOO",
+    "LtrDataset",
+    "ZNormalizer",
+    "load_svmlight",
+    "save_svmlight",
+    "make_msn30k_like",
+    "make_istella_s_like",
+    "train_validation_test_split",
+    "ArchitectureSearch",
+    "HighQualityScenario",
+    "LowLatencyScenario",
+    "ModelPoint",
+    "build_frontier",
+    "Distiller",
+    "DistillationConfig",
+    "DistilledStudent",
+    "LambdaMartRanker",
+    "GradientBoostingConfig",
+    "TreeEnsemble",
+    "ndcg",
+    "mean_ndcg",
+    "mean_average_precision",
+    "fisher_randomization_test",
+    "FeedForwardNetwork",
+    "FirstLayerPruner",
+    "FirstLayerPruningConfig",
+    "QuickScorer",
+    "QuickScorerCostModel",
+    "GflopsSurface",
+    "DenseTimePredictor",
+    "SparseTimePredictor",
+    "NetworkTimePredictor",
+    "calibrate_sparse_predictor",
+    "save_predictor",
+    "load_predictor",
+    "feature_selection_agreement",
+    "score_agreement",
+    "CascadeStage",
+    "EarlyExitCascade",
+    "quantize_student",
+    "render_report",
+    "write_report",
+    "ScoringService",
+]

@@ -1,0 +1,28 @@
+"""Model introspection and cross-family analysis.
+
+Tools for studying *what* the compressed models learned, centred on the
+paper's Section 5.2 observation that first-layer sparsification "selects
+just the essential combinations of input features":
+
+* :func:`first_layer_feature_usage` — how many surviving first-layer
+  weights touch each input feature;
+* :func:`feature_selection_agreement` — rank agreement between the
+  pruned student's feature usage and the teacher forest's split-based
+  feature importance;
+* :func:`score_agreement` — per-query Kendall-style agreement between
+  two rankers' orderings.
+"""
+
+from repro.analysis.features import (
+    feature_selection_agreement,
+    first_layer_feature_usage,
+    top_feature_overlap,
+)
+from repro.analysis.agreement import score_agreement
+
+__all__ = [
+    "first_layer_feature_usage",
+    "feature_selection_agreement",
+    "top_feature_overlap",
+    "score_agreement",
+]

@@ -1,0 +1,314 @@
+"""Command-line interface.
+
+Exposes the library's pipeline as subcommands over files, so the system
+can be driven without writing Python:
+
+* ``repro generate``      — write a synthetic LtR collection (SVMLight).
+* ``repro train-forest``  — train LambdaMART on an SVMLight file.
+* ``repro distill``       — distill a student MLP from a saved forest.
+* ``repro prune``         — first-layer prune + fine-tune a student.
+* ``repro score``         — score an SVMLight file with a saved model.
+* ``repro calibrate``     — measure + save the time predictors.
+* ``repro predict-time``  — price an architecture with saved predictors.
+
+Every command is a thin wrapper over the public API; see ``--help`` of
+each subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.datasets import (
+    load_svmlight,
+    make_istella_s_like,
+    make_msn30k_like,
+    save_svmlight,
+    train_validation_test_split,
+)
+from repro.distill import DistillationConfig, Distiller
+from repro.distill.student import DistilledStudent
+from repro.forest import GradientBoostingConfig, LambdaMartRanker, TreeEnsemble
+from repro.metrics import mean_average_precision, mean_ndcg
+from repro.pruning import FirstLayerPruner, FirstLayerPruningConfig
+from repro.quickscorer import QuickScorerCostModel
+from repro.timing import NetworkTimePredictor, load_predictor, save_predictor
+
+
+def _parse_hidden(text: str) -> tuple[int, ...]:
+    try:
+        hidden = tuple(int(part) for part in text.lower().split("x"))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"architecture must look like 400x200x100, got {text!r}"
+        ) from exc
+    if not hidden or any(h <= 0 for h in hidden):
+        raise argparse.ArgumentTypeError(
+            f"architecture widths must be positive, got {text!r}"
+        )
+    return hidden
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations (each returns a process exit code)
+# ----------------------------------------------------------------------
+def cmd_generate(args) -> int:
+    """Write a synthetic LtR collection in SVMLight format."""
+    maker = make_msn30k_like if args.flavour == "msn30k" else make_istella_s_like
+    dataset = maker(
+        n_queries=args.queries, docs_per_query=args.docs, seed=args.seed
+    )
+    save_svmlight(dataset, args.output)
+    print(f"wrote {dataset.summary()} -> {args.output}")
+    return 0
+
+
+def cmd_train_forest(args) -> int:
+    """Train a LambdaMART ensemble on an SVMLight file."""
+    dataset = load_svmlight(args.data)
+    train, vali, test = train_validation_test_split(dataset, seed=args.seed)
+    config = GradientBoostingConfig(
+        n_trees=args.trees,
+        max_leaves=args.leaves,
+        learning_rate=args.learning_rate,
+        min_data_in_leaf=args.min_data_in_leaf,
+    )
+    forest = LambdaMartRanker(config, seed=args.seed).fit(train, vali)
+    forest.save(args.output)
+    ndcg = mean_ndcg(test, forest.predict(test.features), 10)
+    print(
+        f"trained {forest.describe()}; test NDCG@10 = {ndcg:.4f}; "
+        f"saved -> {args.output}"
+    )
+    return 0
+
+
+def cmd_distill(args) -> int:
+    """Distill a student MLP from a saved forest."""
+    forest = TreeEnsemble.load(args.forest)
+    dataset = load_svmlight(args.data, n_features=forest.n_features)
+    train, _, test = train_validation_test_split(dataset, seed=args.seed)
+    config = DistillationConfig(
+        epochs=args.epochs,
+        learning_rate=args.learning_rate,
+        lr_milestones=tuple(
+            int(round(args.epochs * f)) for f in (0.6, 0.85)
+        ),
+    )
+    student = Distiller(config, seed=args.seed).distill(
+        forest, train, hidden=args.architecture
+    )
+    student.save(args.output)
+    ndcg = mean_ndcg(test, student.predict(test.features), 10)
+    print(
+        f"distilled {student.describe()} from {forest.describe()}; "
+        f"test NDCG@10 = {ndcg:.4f}; saved -> {args.output}"
+    )
+    return 0
+
+
+def cmd_prune(args) -> int:
+    """First-layer prune and fine-tune a saved student."""
+    forest = TreeEnsemble.load(args.forest)
+    dataset = load_svmlight(args.data, n_features=forest.n_features)
+    train, _, test = train_validation_test_split(dataset, seed=args.seed)
+    student = DistilledStudent.load(args.network)
+    config = FirstLayerPruningConfig(
+        sensitivity=args.sensitivity,
+        epochs_prune=args.epochs_prune,
+        epochs_finetune=args.epochs_finetune,
+        lr_milestones=(),
+    )
+    pruned = FirstLayerPruner(config, seed=args.seed).prune(
+        student, forest, train
+    )
+    pruned.save(args.output)
+    ndcg = mean_ndcg(test, pruned.predict(test.features), 10)
+    print(
+        f"pruned first layer to {pruned.first_layer_sparsity():.1%} sparsity; "
+        f"test NDCG@10 = {ndcg:.4f}; saved -> {args.output}"
+    )
+    return 0
+
+
+def cmd_score(args) -> int:
+    """Score an SVMLight file with a saved forest or network."""
+    if args.forest:
+        model = TreeEnsemble.load(args.forest)
+        n_features = model.n_features
+        predict = model.predict
+        description = model.describe()
+    else:
+        student = DistilledStudent.load(args.network)
+        n_features = student.input_dim
+        description = student.describe()
+        predict = student.predict
+    dataset = load_svmlight(args.data, n_features=n_features)
+    scores = predict(dataset.features)
+    np.savetxt(args.output, scores, fmt="%.6g")
+    ndcg = mean_ndcg(dataset, scores, 10)
+    map_score = mean_average_precision(dataset, scores)
+    print(
+        f"scored {dataset.n_docs} docs with {description}; "
+        f"NDCG@10 = {ndcg:.4f}, MAP = {map_score:.4f}; scores -> {args.output}"
+    )
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    """Measure the GFLOPS surface, calibrate Eq. 5, save both."""
+    predictor = NetworkTimePredictor()
+    save_predictor(predictor, args.output)
+    zones = predictor.dense.surface.zone_summary()
+    print(
+        f"calibrated predictors (zones {zones.low_k_gflops:.0f}/"
+        f"{zones.mid_k_gflops:.0f}/{zones.high_k_gflops:.0f} GFLOPS, "
+        f"L_c/L_b = {predictor.sparse.l_c_over_l_b:.2f}); "
+        f"saved -> {args.output}"
+    )
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """Re-measure the calibration anchors and report drift."""
+    from repro.timing import verify_calibration
+
+    report = verify_calibration(include_dense=not args.quick,
+                                include_sparse=not args.quick)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_predict_time(args) -> int:
+    """Price an architecture with the time predictors."""
+    predictor = (
+        load_predictor(args.predictor)
+        if args.predictor
+        else NetworkTimePredictor()
+    )
+    report = predictor.predict(
+        args.features,
+        args.architecture,
+        first_layer_sparsity=args.sparsity,
+    )
+    print(f"architecture   : {report.describe()} on {args.features} features")
+    print(f"dense          : {report.dense_total_us_per_doc:.2f} us/doc")
+    print(f"1st layer share: {report.first_layer_impact_pct:.0f}%")
+    print(f"pruned forecast: {report.pruned_forecast_us_per_doc:.2f} us/doc")
+    if report.hybrid_total_us_per_doc is not None:
+        print(
+            f"hybrid (sparse first layer @ {args.sparsity:.1%}): "
+            f"{report.hybrid_total_us_per_doc:.2f} us/doc"
+        )
+    if args.compare_forest:
+        n_trees, n_leaves = args.compare_forest
+        forest_us = QuickScorerCostModel().scoring_time_us(n_trees, n_leaves)
+        print(
+            f"QuickScorer {n_trees}x{n_leaves}: {forest_us:.2f} us/doc "
+            f"({forest_us / report.pruned_forecast_us_per_doc:.1f}x the "
+            "pruned forecast)"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distilled neural networks for efficient learning to rank",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a synthetic LtR collection")
+    p.add_argument("output")
+    p.add_argument("--flavour", choices=("msn30k", "istella"), default="msn30k")
+    p.add_argument("--queries", type=int, default=200)
+    p.add_argument("--docs", type=int, default=25)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("train-forest", help="train a LambdaMART ensemble")
+    p.add_argument("data")
+    p.add_argument("output")
+    p.add_argument("--trees", type=int, default=60)
+    p.add_argument("--leaves", type=int, default=64)
+    p.add_argument("--learning-rate", type=float, default=0.12)
+    p.add_argument("--min-data-in-leaf", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_train_forest)
+
+    p = sub.add_parser("distill", help="distill a student MLP from a forest")
+    p.add_argument("data")
+    p.add_argument("forest")
+    p.add_argument("output")
+    p.add_argument(
+        "--architecture", type=_parse_hidden, default=(200, 100, 100, 50)
+    )
+    p.add_argument("--epochs", type=int, default=25)
+    p.add_argument("--learning-rate", type=float, default=0.003)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_distill)
+
+    p = sub.add_parser("prune", help="first-layer prune + fine-tune a student")
+    p.add_argument("data")
+    p.add_argument("forest")
+    p.add_argument("network")
+    p.add_argument("output")
+    p.add_argument("--sensitivity", type=float, default=2.0)
+    p.add_argument("--epochs-prune", type=int, default=10)
+    p.add_argument("--epochs-finetune", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_prune)
+
+    p = sub.add_parser("score", help="score an SVMLight file with a model")
+    p.add_argument("data")
+    p.add_argument("output")
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--forest")
+    group.add_argument("--network")
+    p.set_defaults(func=cmd_score)
+
+    p = sub.add_parser("calibrate", help="measure + save the time predictors")
+    p.add_argument("output")
+    p.set_defaults(func=cmd_calibrate)
+
+    p = sub.add_parser("verify", help="check the cost-model calibration")
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="QuickScorer anchors only (skip the GFLOPS sweep)",
+    )
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("predict-time", help="price an architecture")
+    p.add_argument("architecture", type=_parse_hidden)
+    p.add_argument("--features", type=int, default=136)
+    p.add_argument("--sparsity", type=float, default=0.987)
+    p.add_argument("--predictor", help="saved predictor JSON (repro calibrate)")
+    p.add_argument(
+        "--compare-forest",
+        nargs=2,
+        type=int,
+        metavar=("TREES", "LEAVES"),
+        help="also print the QuickScorer time of this forest shape",
+    )
+    p.set_defaults(func=cmd_predict_time)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""End-to-end pipeline and the paper's named models.
+
+* :mod:`repro.core.config` — the training/pruning hyper-parameters of
+  Table 9 and the scaled experiment settings used in this environment.
+* :mod:`repro.core.zoo` — every named forest and network architecture
+  appearing in the paper's tables and figures.
+* :mod:`repro.core.pipeline` — :class:`EfficientRankingPipeline`: train
+  forests, distill students, prune first layers, evaluate quality, and
+  locate every model on the efficiency/effectiveness plane.
+"""
+
+from repro.core.config import (
+    ISTELLA_HYPERPARAMS,
+    MSN30K_HYPERPARAMS,
+    DatasetHyperParams,
+    ExperimentScale,
+)
+from repro.core.zoo import (
+    ForestSpec,
+    ISTELLA_ZOO,
+    MSN30K_ZOO,
+    NetworkSpec,
+    PaperZoo,
+)
+from repro.core.pipeline import EfficientRankingPipeline, EvaluatedModel
+
+__all__ = [
+    "DatasetHyperParams",
+    "ExperimentScale",
+    "MSN30K_HYPERPARAMS",
+    "ISTELLA_HYPERPARAMS",
+    "ForestSpec",
+    "NetworkSpec",
+    "PaperZoo",
+    "MSN30K_ZOO",
+    "ISTELLA_ZOO",
+    "EfficientRankingPipeline",
+    "EvaluatedModel",
+]

@@ -1,0 +1,151 @@
+"""The paper's named models.
+
+Every forest shape and network architecture appearing in the paper's
+tables and figures, grouped per dataset.  Forest sizes for the Table 1
+"Mid" and "Small" forests are not stated in the paper; they are inferred
+from the reported scoring times (1.5 and 0.8 µs/doc) through the
+calibrated QuickScorer cost model (~160 and ~86 trees at 64 leaves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ForestSpec:
+    """A named tree-ensemble shape."""
+
+    name: str
+    n_trees: int
+    n_leaves: int
+
+    def describe(self) -> str:
+        return f"{self.n_trees} trees, {self.n_leaves} leaves"
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A named feed-forward architecture (hidden widths)."""
+
+    name: str
+    hidden: tuple[int, ...]
+
+    def describe(self) -> str:
+        return "x".join(str(w) for w in self.hidden)
+
+
+@dataclass(frozen=True)
+class PaperZoo:
+    """All named models of one dataset's experiments."""
+
+    dataset: str
+    n_features: int
+    #: Table 1 deployment forests (64 leaves).
+    large_forest: ForestSpec
+    mid_forest: ForestSpec
+    small_forest: ForestSpec
+    #: The 256-leaf distillation teacher (Section 5.1 / 6.1).
+    teacher: ForestSpec
+    #: Additional forests used in Tables 6/8 and the frontier sweeps.
+    extra_forests: tuple[ForestSpec, ...]
+    #: Table 1 networks.
+    large_net: NetworkSpec
+    small_net: NetworkSpec
+    #: Table 6 budget-matched dense architectures.
+    dense_candidates: tuple[NetworkSpec, ...]
+    #: Table 8's pruned flagship.
+    flagship: NetworkSpec
+    #: Table 10 high-quality architectures.
+    high_quality: tuple[NetworkSpec, ...]
+    #: Table 11 low-latency architectures.
+    low_latency: tuple[NetworkSpec, ...]
+
+    def deployment_forests(self) -> tuple[ForestSpec, ...]:
+        return (self.large_forest, self.mid_forest, self.small_forest)
+
+    def all_forests(self) -> tuple[ForestSpec, ...]:
+        return self.deployment_forests() + (self.teacher,) + self.extra_forests
+
+    def all_networks(self) -> tuple[NetworkSpec, ...]:
+        seen: dict[tuple[int, ...], NetworkSpec] = {}
+        for spec in (
+            (self.large_net, self.small_net, self.flagship)
+            + self.dense_candidates
+            + self.high_quality
+            + self.low_latency
+        ):
+            seen.setdefault(spec.hidden, spec)
+        return tuple(seen.values())
+
+
+MSN30K_ZOO = PaperZoo(
+    dataset="MSN30K",
+    n_features=136,
+    large_forest=ForestSpec("Large Forest", 878, 64),
+    mid_forest=ForestSpec("Mid Forest", 160, 64),
+    small_forest=ForestSpec("Small Forest", 86, 64),
+    teacher=ForestSpec("Teacher", 600, 256),
+    extra_forests=(
+        ForestSpec("QuickScorer 500, 64", 500, 64),
+        ForestSpec("QuickScorer 300, 64", 300, 64),
+        ForestSpec("QuickScorer 300, 32", 300, 32),
+        ForestSpec("QuickScorer 150, 32", 150, 32),
+        ForestSpec("QuickScorer 80, 32", 80, 32),
+        ForestSpec("QuickScorer 50, 16", 50, 16),
+    ),
+    large_net=NetworkSpec("Large Net", (1000, 500, 500, 100)),
+    small_net=NetworkSpec("Small Net", (500, 100)),
+    dense_candidates=(
+        NetworkSpec("500x100", (500, 100)),
+        NetworkSpec("300x200x100", (300, 200, 100)),
+        NetworkSpec("300x150x150x30", (300, 150, 150, 30)),
+        NetworkSpec("1000x200", (1000, 200)),
+        NetworkSpec("600x300x100", (600, 300, 100)),
+        NetworkSpec("500x250x250x100", (500, 250, 250, 100)),
+    ),
+    flagship=NetworkSpec("400x200x200x100", (400, 200, 200, 100)),
+    high_quality=(
+        NetworkSpec("300x200x100", (300, 200, 100)),
+        NetworkSpec("200x100x100x50", (200, 100, 100, 50)),
+        NetworkSpec("200x50x50x25", (200, 50, 50, 25)),
+    ),
+    low_latency=(
+        NetworkSpec("100x50x50x25", (100, 50, 50, 25)),
+        NetworkSpec("100x25x25x10", (100, 25, 25, 10)),
+        NetworkSpec("50x25x25x10", (50, 25, 25, 10)),
+    ),
+)
+
+
+ISTELLA_ZOO = PaperZoo(
+    dataset="Istella-S",
+    n_features=220,
+    large_forest=ForestSpec("Large Forest", 1500, 64),
+    mid_forest=ForestSpec("Mid Forest", 500, 64),
+    small_forest=ForestSpec("Small Forest", 200, 64),
+    teacher=ForestSpec("Teacher", 2500, 256),
+    extra_forests=(
+        ForestSpec("QuickScorer 300, 32", 300, 32),
+        ForestSpec("QuickScorer 150, 32", 150, 32),
+        ForestSpec("QuickScorer 80, 32", 80, 32),
+        ForestSpec("QuickScorer 50, 16", 50, 16),
+    ),
+    large_net=NetworkSpec("Large Net", (800, 400, 400, 200)),
+    small_net=NetworkSpec("Small Net", (300, 200, 100)),
+    dense_candidates=(
+        NetworkSpec("300x200x100", (300, 200, 100)),
+        NetworkSpec("800x200x200x100", (800, 200, 200, 100)),
+    ),
+    flagship=NetworkSpec("400x200x200x100", (400, 200, 200, 100)),
+    high_quality=(
+        NetworkSpec("800x400x400x200", (800, 400, 400, 200)),
+        NetworkSpec("800x200x200x100", (800, 200, 200, 100)),
+        NetworkSpec("300x200x100", (300, 200, 100)),
+    ),
+    low_latency=(
+        NetworkSpec("200x75x75x25", (200, 75, 75, 25)),
+        NetworkSpec("100x75x75x10", (100, 75, 75, 10)),
+        NetworkSpec("100x50x50x10", (100, 50, 50, 10)),
+    ),
+)

@@ -1,0 +1,42 @@
+"""Learning-to-rank datasets.
+
+The paper evaluates on MSLR-WEB30K Fold 1 ("MSN30K", 136 features, ~30k
+queries) and Istella-S (220 features, ~33k queries), both with 5-graded
+relevance labels and 60/20/20 train/validation/test splits.  Those datasets
+cannot be downloaded in this environment, so :mod:`repro.datasets.synthetic`
+generates seeded surrogates with the same schema, and
+:mod:`repro.datasets.svmlight` reads/writes the standard LETOR interchange
+format so real data can be dropped in when available.
+"""
+
+from repro.datasets.base import LtrDataset
+from repro.datasets.svmlight import load_svmlight, save_svmlight
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    generate_synthetic,
+    make_istella_s_like,
+    make_msn30k_like,
+)
+from repro.datasets.splits import train_validation_test_split
+from repro.datasets.folds import Fold, cross_validated_metric, k_fold_splits
+from repro.datasets.normalization import ZNormalizer
+from repro.datasets.profile import DatasetProfile, profile_dataset
+from repro.datasets.sampling import subsample_negatives
+
+__all__ = [
+    "LtrDataset",
+    "load_svmlight",
+    "save_svmlight",
+    "SyntheticConfig",
+    "generate_synthetic",
+    "make_msn30k_like",
+    "make_istella_s_like",
+    "train_validation_test_split",
+    "Fold",
+    "k_fold_splits",
+    "cross_validated_metric",
+    "ZNormalizer",
+    "DatasetProfile",
+    "profile_dataset",
+    "subsample_negatives",
+]

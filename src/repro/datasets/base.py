@@ -1,0 +1,160 @@
+"""The :class:`LtrDataset` container.
+
+A learning-to-rank dataset is a matrix of per-(query, document) feature
+vectors, an integer relevance label per row, and a query identifier per row.
+Rows belonging to the same query must be contiguous; the container keeps a
+CSR-style ``query_ptr`` so that per-query slices are O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.utils.validation import check_array_1d, check_array_2d
+
+
+@dataclass
+class LtrDataset:
+    """Feature matrix, graded labels and query grouping for LtR.
+
+    Parameters
+    ----------
+    features:
+        ``(n_docs, n_features)`` float matrix.
+    labels:
+        ``(n_docs,)`` integer relevance grades (0 = irrelevant).
+    qids:
+        ``(n_docs,)`` query identifiers; rows of a query must be contiguous.
+    name:
+        Optional human-readable dataset name.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    qids: np.ndarray
+    name: str = "ltr-dataset"
+    query_ptr: np.ndarray = field(init=False, repr=False)
+    unique_qids: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.features = check_array_2d(self.features, "features")
+        self.labels = check_array_1d(self.labels, "labels", dtype=np.int64)
+        self.qids = np.asarray(self.qids)
+        if self.qids.ndim != 1:
+            raise DatasetError(f"qids must be 1-D, got shape {self.qids.shape}")
+        n = self.features.shape[0]
+        if len(self.labels) != n or len(self.qids) != n:
+            raise DatasetError(
+                "features, labels and qids must have the same number of rows: "
+                f"{n}, {len(self.labels)}, {len(self.qids)}"
+            )
+        if np.any(self.labels < 0):
+            raise DatasetError("relevance labels must be non-negative")
+        self._build_query_index()
+
+    def _build_query_index(self) -> None:
+        qids = self.qids
+        # Boundaries where the qid changes; rows of one query must be
+        # contiguous, which also means a qid may not reappear later.
+        change = np.flatnonzero(qids[1:] != qids[:-1]) + 1
+        starts = np.concatenate(([0], change, [len(qids)]))
+        uniq = qids[starts[:-1]]
+        if len(np.unique(uniq)) != len(uniq):
+            raise DatasetError(
+                "rows of each query must be contiguous (a qid reappears "
+                "after a different qid)"
+            )
+        self.query_ptr = starts.astype(np.intp)
+        self.unique_qids = uniq
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_docs(self) -> int:
+        """Total number of (query, document) rows."""
+        return self.features.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Number of features per row."""
+        return self.features.shape[1]
+
+    @property
+    def n_queries(self) -> int:
+        """Number of distinct queries."""
+        return len(self.unique_qids)
+
+    @property
+    def max_label(self) -> int:
+        """Largest relevance grade present."""
+        return int(self.labels.max()) if self.n_docs else 0
+
+    def query_sizes(self) -> np.ndarray:
+        """Number of documents per query, in dataset order."""
+        return np.diff(self.query_ptr)
+
+    def query_slice(self, query_index: int) -> slice:
+        """Row slice of the ``query_index``-th query."""
+        if not 0 <= query_index < self.n_queries:
+            raise IndexError(
+                f"query_index {query_index} out of range [0, {self.n_queries})"
+            )
+        return slice(
+            int(self.query_ptr[query_index]), int(self.query_ptr[query_index + 1])
+        )
+
+    def iter_queries(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(features, labels)`` per query, in dataset order."""
+        for i in range(self.n_queries):
+            sl = self.query_slice(i)
+            yield self.features[sl], self.labels[sl]
+
+    # ------------------------------------------------------------------
+    # Manipulation
+    # ------------------------------------------------------------------
+    def select_queries(self, query_indices) -> "LtrDataset":
+        """New dataset containing only the given query indices (reordered)."""
+        query_indices = np.asarray(query_indices, dtype=np.intp)
+        if query_indices.size == 0:
+            raise DatasetError("cannot select an empty set of queries")
+        rows = np.concatenate(
+            [np.arange(self.query_ptr[i], self.query_ptr[i + 1]) for i in query_indices]
+        )
+        return LtrDataset(
+            features=self.features[rows],
+            labels=self.labels[rows],
+            qids=self.qids[rows],
+            name=self.name,
+        )
+
+    def with_features(self, features: np.ndarray) -> "LtrDataset":
+        """Copy of the dataset with a transformed feature matrix."""
+        return LtrDataset(
+            features=features, labels=self.labels, qids=self.qids, name=self.name
+        )
+
+    def feature_ranges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-feature (min, max) over the whole dataset.
+
+        Used by the distillation data-augmentation step, which extends each
+        feature's split-point list with its training-set minimum and maximum
+        (Section 3 of the paper).
+        """
+        return self.features.min(axis=0), self.features.max(axis=0)
+
+    def __len__(self) -> int:
+        return self.n_docs
+
+    def summary(self) -> str:
+        """One-line description used in logs and benchmark headers."""
+        sizes = self.query_sizes()
+        return (
+            f"{self.name}: {self.n_queries} queries, {self.n_docs} docs "
+            f"({sizes.mean():.1f}/query), {self.n_features} features, "
+            f"labels 0..{self.max_label}"
+        )

@@ -1,0 +1,91 @@
+"""K-fold query partitioning.
+
+MSLR-WEB30K ships as five folds, each a rotation of the same query
+partition into train/validation/test; the paper evaluates on Fold 1.
+This module reproduces that arrangement for any :class:`LtrDataset`:
+queries are split into ``k`` groups, and fold ``i`` uses groups
+``i..i+k-3`` for training, ``i+k-2`` for validation and ``i+k-1`` for
+test (the LETOR rotation scheme).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import LtrDataset
+from repro.exceptions import DatasetError
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class Fold:
+    """One train/validation/test rotation."""
+
+    index: int
+    train: LtrDataset
+    validation: LtrDataset
+    test: LtrDataset
+
+
+def k_fold_splits(
+    dataset: LtrDataset,
+    k: int = 5,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    shuffle: bool = True,
+) -> list[Fold]:
+    """All ``k`` LETOR-style fold rotations of ``dataset``.
+
+    Each query appears in exactly one test partition across the folds,
+    and every fold trains on ``k - 2`` groups.
+    """
+    if k < 3:
+        raise DatasetError(f"k must be >= 3 (train/vali/test rotation), got {k}")
+    if dataset.n_queries < k:
+        raise DatasetError(
+            f"need at least {k} queries for {k} folds, got {dataset.n_queries}"
+        )
+    indices = np.arange(dataset.n_queries)
+    if shuffle:
+        ensure_rng(seed).shuffle(indices)
+    groups = np.array_split(indices, k)
+
+    folds = []
+    for i in range(k):
+        train_groups = [groups[(i + j) % k] for j in range(k - 2)]
+        vali_group = groups[(i + k - 2) % k]
+        test_group = groups[(i + k - 1) % k]
+        train = dataset.select_queries(np.concatenate(train_groups))
+        vali = dataset.select_queries(vali_group)
+        test = dataset.select_queries(test_group)
+        train.name = f"{dataset.name}/fold{i + 1}-train"
+        vali.name = f"{dataset.name}/fold{i + 1}-vali"
+        test.name = f"{dataset.name}/fold{i + 1}-test"
+        folds.append(Fold(index=i + 1, train=train, validation=vali, test=test))
+    return folds
+
+
+def cross_validated_metric(
+    folds: list[Fold],
+    fit_fn,
+    metric_fn,
+) -> tuple[float, list[float]]:
+    """Mean and per-fold values of a metric across fold rotations.
+
+    Parameters
+    ----------
+    fit_fn:
+        ``fit_fn(train, validation) -> model`` with a ``predict`` method.
+    metric_fn:
+        ``metric_fn(test_dataset, scores) -> float``.
+    """
+    if not folds:
+        raise DatasetError("no folds given")
+    values = []
+    for fold in folds:
+        model = fit_fn(fold.train, fold.validation)
+        scores = model.predict(fold.test.features)
+        values.append(float(metric_fn(fold.test, scores)))
+    return float(np.mean(values)), values

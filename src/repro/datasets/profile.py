@@ -1,0 +1,135 @@
+"""Dataset profiling.
+
+Summarizes an :class:`LtrDataset` the way an LtR practitioner inspects a
+new collection: query-size distribution, grade marginals, per-feature
+statistics (range, variance, cardinality, heavy-tailedness) and simple
+hygiene checks (constant features, extreme outliers).  The profile is
+what motivates the paper's preprocessing choices — Z-normalization for
+nets, quantile binning for trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import LtrDataset
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class FeatureProfile:
+    """Summary statistics of one feature column."""
+
+    index: int
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+    n_unique: int
+    skewness: float
+
+    @property
+    def is_constant(self) -> bool:
+        return self.n_unique <= 1
+
+    @property
+    def looks_heavy_tailed(self) -> bool:
+        """Rule of thumb: |skewness| > 2 suggests a long tail."""
+        return abs(self.skewness) > 2.0
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Full profile of a collection."""
+
+    name: str
+    n_queries: int
+    n_docs: int
+    query_sizes_min: int
+    query_sizes_mean: float
+    query_sizes_max: int
+    grade_fractions: tuple[float, ...]
+    features: tuple[FeatureProfile, ...]
+
+    @property
+    def constant_features(self) -> list[int]:
+        return [f.index for f in self.features if f.is_constant]
+
+    @property
+    def heavy_tailed_features(self) -> list[int]:
+        return [f.index for f in self.features if f.looks_heavy_tailed]
+
+    def render(self, *, max_features: int = 10) -> str:
+        """Human-readable multi-section summary."""
+        lines = [
+            f"Dataset profile: {self.name}",
+            f"  queries: {self.n_queries}  docs: {self.n_docs} "
+            f"(per query {self.query_sizes_min}/"
+            f"{self.query_sizes_mean:.1f}/{self.query_sizes_max})",
+            "  grades: "
+            + ", ".join(
+                f"{g}: {f:.1%}" for g, f in enumerate(self.grade_fractions)
+            ),
+            f"  constant features: {len(self.constant_features)}",
+            f"  heavy-tailed features: {len(self.heavy_tailed_features)}",
+            "",
+        ]
+        shown = self.features[:max_features]
+        table = format_table(
+            ["feature", "min", "max", "mean", "std", "unique", "skew"],
+            [
+                (
+                    f.index,
+                    round(f.minimum, 3),
+                    round(f.maximum, 3),
+                    round(f.mean, 3),
+                    round(f.std, 3),
+                    f.n_unique,
+                    round(f.skewness, 2),
+                )
+                for f in shown
+            ],
+            title=f"First {len(shown)} features",
+        )
+        return "\n".join(lines) + table
+
+
+def profile_dataset(dataset: LtrDataset) -> DatasetProfile:
+    """Compute the full profile of ``dataset``."""
+    x = dataset.features
+    sizes = dataset.query_sizes()
+    max_grade = dataset.max_label
+    counts = np.bincount(dataset.labels, minlength=max_grade + 1)
+    fractions = tuple(float(c) / dataset.n_docs for c in counts)
+
+    features = []
+    for j in range(dataset.n_features):
+        col = x[:, j]
+        std = float(col.std())
+        if std > 0:
+            skew = float(np.mean(((col - col.mean()) / std) ** 3))
+        else:
+            skew = 0.0
+        features.append(
+            FeatureProfile(
+                index=j,
+                minimum=float(col.min()),
+                maximum=float(col.max()),
+                mean=float(col.mean()),
+                std=std,
+                n_unique=int(len(np.unique(col))),
+                skewness=skew,
+            )
+        )
+    return DatasetProfile(
+        name=dataset.name,
+        n_queries=dataset.n_queries,
+        n_docs=dataset.n_docs,
+        query_sizes_min=int(sizes.min()),
+        query_sizes_mean=float(sizes.mean()),
+        query_sizes_max=int(sizes.max()),
+        grade_fractions=fractions,
+        features=tuple(features),
+    )

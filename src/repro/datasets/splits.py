@@ -1,0 +1,60 @@
+"""Query-wise dataset splitting.
+
+Both evaluation datasets in the paper are split 60/20/20 into train,
+validation and test *by query*: all documents of a query land in the same
+partition, since ranking metrics are computed per query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import LtrDataset
+from repro.exceptions import DatasetError
+from repro.utils.rng import ensure_rng
+
+
+def train_validation_test_split(
+    dataset: LtrDataset,
+    *,
+    train: float = 0.6,
+    validation: float = 0.2,
+    seed: int | np.random.Generator | None = 0,
+    shuffle: bool = True,
+) -> tuple[LtrDataset, LtrDataset, LtrDataset]:
+    """Split ``dataset`` by query into (train, validation, test).
+
+    Parameters
+    ----------
+    train, validation:
+        Fractions of *queries* for the first two partitions; the remainder
+        becomes the test set.  Defaults follow the paper's 60/20/20.
+    seed:
+        Controls the query permutation when ``shuffle`` is true.
+    """
+    if not 0 < train < 1 or not 0 < validation < 1:
+        raise DatasetError("train and validation fractions must be in (0, 1)")
+    if train + validation >= 1.0:
+        raise DatasetError(
+            f"train + validation must be < 1, got {train + validation}"
+        )
+    n = dataset.n_queries
+    if n < 3:
+        raise DatasetError(f"need at least 3 queries to split, got {n}")
+
+    indices = np.arange(n)
+    if shuffle:
+        ensure_rng(seed).shuffle(indices)
+
+    n_train = max(1, int(round(train * n)))
+    n_vali = max(1, int(round(validation * n)))
+    if n_train + n_vali >= n:
+        n_train = max(1, n - 2)
+        n_vali = 1
+
+    train_set = dataset.select_queries(indices[:n_train])
+    vali_set = dataset.select_queries(indices[n_train : n_train + n_vali])
+    test_set = dataset.select_queries(indices[n_train + n_vali :])
+    for part, suffix in ((train_set, "train"), (vali_set, "vali"), (test_set, "test")):
+        part.name = f"{dataset.name}/{suffix}"
+    return train_set, vali_set, test_set

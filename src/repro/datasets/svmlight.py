@@ -1,0 +1,151 @@
+"""SVMLight / LETOR interchange format.
+
+MSLR-WEB30K and Istella-S ship as plain-text files with one
+(query, document) pair per line::
+
+    <label> qid:<qid> <fid>:<value> <fid>:<value> ... # optional comment
+
+Feature ids are 1-based and may be sparse (missing ids read as 0).  The
+writer always emits every feature so that round-trips are lossless.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import numpy as np
+
+from repro.datasets.base import LtrDataset
+from repro.exceptions import DatasetFormatError
+
+
+def _parse_line(line: str, line_no: int) -> tuple[int, int, list[tuple[int, float]]]:
+    comment = line.find("#")
+    if comment != -1:
+        line = line[:comment]
+    tokens = line.split()
+    if not tokens:
+        raise DatasetFormatError(f"line {line_no}: empty data line")
+    try:
+        label = int(float(tokens[0]))
+    except ValueError as exc:
+        raise DatasetFormatError(
+            f"line {line_no}: invalid label {tokens[0]!r}"
+        ) from exc
+    if len(tokens) < 2 or not tokens[1].startswith("qid:"):
+        raise DatasetFormatError(f"line {line_no}: missing 'qid:' token")
+    try:
+        qid = int(tokens[1][4:])
+    except ValueError as exc:
+        raise DatasetFormatError(
+            f"line {line_no}: invalid qid {tokens[1]!r}"
+        ) from exc
+    pairs: list[tuple[int, float]] = []
+    for tok in tokens[2:]:
+        fid_str, _, val_str = tok.partition(":")
+        if not val_str:
+            raise DatasetFormatError(
+                f"line {line_no}: malformed feature token {tok!r}"
+            )
+        try:
+            fid = int(fid_str)
+            val = float(val_str)
+        except ValueError as exc:
+            raise DatasetFormatError(
+                f"line {line_no}: malformed feature token {tok!r}"
+            ) from exc
+        if fid < 1:
+            raise DatasetFormatError(
+                f"line {line_no}: feature ids are 1-based, got {fid}"
+            )
+        pairs.append((fid, val))
+    return label, qid, pairs
+
+
+def load_svmlight(
+    path_or_file, *, n_features: int | None = None, name: str | None = None
+) -> LtrDataset:
+    """Load a LETOR/SVMLight ranking file into an :class:`LtrDataset`.
+
+    Parameters
+    ----------
+    path_or_file:
+        Filesystem path or an open text file object.
+    n_features:
+        Total feature count; inferred from the largest feature id when
+        omitted.
+    name:
+        Dataset name; defaults to the file basename.
+    """
+    close = False
+    if isinstance(path_or_file, (str, os.PathLike)):
+        handle = open(path_or_file, "r", encoding="utf-8")
+        close = True
+        default_name = os.path.basename(os.fspath(path_or_file))
+    else:
+        handle = path_or_file
+        default_name = getattr(path_or_file, "name", "svmlight")
+
+    labels: list[int] = []
+    qids: list[int] = []
+    rows: list[list[tuple[int, float]]] = []
+    max_fid = 0
+    try:
+        for line_no, raw in enumerate(handle, start=1):
+            stripped = raw.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            label, qid, pairs = _parse_line(stripped, line_no)
+            labels.append(label)
+            qids.append(qid)
+            rows.append(pairs)
+            if pairs:
+                max_fid = max(max_fid, max(fid for fid, _ in pairs))
+    finally:
+        if close:
+            handle.close()
+
+    if not rows:
+        raise DatasetFormatError("file contains no data lines")
+    if n_features is None:
+        n_features = max_fid
+    elif max_fid > n_features:
+        raise DatasetFormatError(
+            f"file contains feature id {max_fid} > n_features={n_features}"
+        )
+
+    x = np.zeros((len(rows), n_features), dtype=np.float64)
+    for i, pairs in enumerate(rows):
+        for fid, val in pairs:
+            x[i, fid - 1] = val
+    return LtrDataset(
+        features=x,
+        labels=np.asarray(labels, dtype=np.int64),
+        qids=np.asarray(qids),
+        name=name or str(default_name),
+    )
+
+
+def save_svmlight(dataset: LtrDataset, path_or_file) -> None:
+    """Write ``dataset`` in LETOR/SVMLight format (all features emitted)."""
+    close = False
+    if isinstance(path_or_file, (str, os.PathLike)):
+        handle = open(path_or_file, "w", encoding="utf-8")
+        close = True
+    else:
+        handle = path_or_file
+    try:
+        _write_rows(dataset, handle)
+    finally:
+        if close:
+            handle.close()
+
+
+def _write_rows(dataset: LtrDataset, handle: io.TextIOBase) -> None:
+    for i in range(dataset.n_docs):
+        feats = " ".join(
+            f"{j + 1}:{dataset.features[i, j]:.6g}"
+            for j in range(dataset.n_features)
+        )
+        handle.write(f"{int(dataset.labels[i])} qid:{dataset.qids[i]} {feats}\n")

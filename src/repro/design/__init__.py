@@ -1,0 +1,39 @@
+"""Latency-aware neural-architecture design (Section 5).
+
+The predictors make architecture search analytic: instead of training and
+timing candidates, the designer enumerates feed-forward shapes, predicts
+each one's scoring time, and keeps only those matching the latency budget
+— "training exclusively the models respecting the latency requirements".
+
+* :mod:`repro.design.search` — candidate enumeration + budget filtering.
+* :mod:`repro.design.scenarios` — the paper's two evaluation scenarios:
+  high-quality retrieval (NDCG floor at 99% of the best tree model) and
+  low-latency retrieval (<= 0.5 µs/doc).
+* :mod:`repro.design.frontier` — efficiency/effectiveness model points
+  and per-family Pareto frontiers (Figs. 12-13).
+"""
+
+from repro.design.search import ArchitectureCandidate, ArchitectureSearch
+from repro.design.scenarios import HighQualityScenario, LowLatencyScenario
+from repro.design.frontier import FrontierPlot, ModelPoint, build_frontier
+from repro.design.cascade import CascadeStage, EarlyExitCascade
+from repro.design.budget import (
+    ForestBudgetResult,
+    forest_budget_sweep,
+    max_trees_within_budget,
+)
+
+__all__ = [
+    "ForestBudgetResult",
+    "max_trees_within_budget",
+    "forest_budget_sweep",
+    "ArchitectureCandidate",
+    "ArchitectureSearch",
+    "HighQualityScenario",
+    "LowLatencyScenario",
+    "ModelPoint",
+    "FrontierPlot",
+    "build_frontier",
+    "CascadeStage",
+    "EarlyExitCascade",
+]

@@ -1,0 +1,75 @@
+"""Forest-side latency budgeting.
+
+The neural side of a budget comparison is handled by
+:class:`~repro.design.search.ArchitectureSearch`; this module answers the
+mirror question for tree ensembles: *what is the largest forest that
+still fits a scoring budget?*  QuickScorer's cost is monotone in the
+tree count, so the answer is a binary search over the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.quickscorer.cost import QuickScorerCostModel
+
+
+@dataclass(frozen=True)
+class ForestBudgetResult:
+    """Largest admissible forest at one leaf count."""
+
+    n_trees: int
+    n_leaves: int
+    time_us: float
+
+    def describe(self) -> str:
+        return f"{self.n_trees} trees, {self.n_leaves} leaves"
+
+
+def max_trees_within_budget(
+    budget_us: float,
+    n_leaves: int,
+    *,
+    cost_model: QuickScorerCostModel | None = None,
+    max_trees: int = 100_000,
+) -> ForestBudgetResult | None:
+    """Largest tree count whose predicted µs/doc fits ``budget_us``.
+
+    Returns ``None`` when even a single tree exceeds the budget.
+    """
+    if budget_us <= 0:
+        raise ValueError(f"budget_us must be positive, got {budget_us}")
+    model = cost_model or QuickScorerCostModel()
+    if model.scoring_time_us(1, n_leaves) > budget_us:
+        return None
+    lo, hi = 1, max_trees
+    if model.scoring_time_us(hi, n_leaves) <= budget_us:
+        lo = hi
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if model.scoring_time_us(mid, n_leaves) <= budget_us:
+            lo = mid
+        else:
+            hi = mid - 1
+    return ForestBudgetResult(
+        n_trees=lo,
+        n_leaves=n_leaves,
+        time_us=model.scoring_time_us(lo, n_leaves),
+    )
+
+
+def forest_budget_sweep(
+    budget_us: float,
+    leaves_options=(16, 32, 64, 128, 256),
+    *,
+    cost_model: QuickScorerCostModel | None = None,
+) -> list[ForestBudgetResult]:
+    """Largest admissible forest per leaf count (skipping impossible ones)."""
+    out = []
+    for leaves in leaves_options:
+        result = max_trees_within_budget(
+            budget_us, leaves, cost_model=cost_model
+        )
+        if result is not None:
+            out.append(result)
+    return out

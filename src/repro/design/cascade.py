@@ -1,0 +1,118 @@
+"""Early-exit scoring cascades (the paper's second future-work item).
+
+Section 7 lists *early exiting* as a planned extension: cheap models
+score every candidate and only promising documents reach the expensive
+scorer.  This module implements the standard top-k cascade over any mix
+of the library's scorers (pruned students, dense students, QuickScorer
+forests) together with its predicted cost:
+
+    cost/doc = c_1 + keep_1 * c_2 + keep_1 * keep_2 * c_3 + ...
+
+where ``keep_i`` is the fraction of a query's documents surviving stage
+``i``.  Within a query, documents cut at stage ``i`` are ranked below
+all survivors, ordered by their stage-``i`` scores — so the final
+ranking is a refinement, never a shuffle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import LtrDataset
+
+#: A scoring function over a feature matrix.
+ScoreFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class CascadeStage:
+    """One stage: a scorer, its per-document cost, and the survivor cut.
+
+    ``keep_fraction`` is the share of each query's documents promoted to
+    the next stage (ignored on the last stage).
+    """
+
+    name: str
+    score_fn: ScoreFn
+    cost_us_per_doc: float
+    keep_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cost_us_per_doc < 0:
+            raise ValueError("cost_us_per_doc must be non-negative")
+        if not 0.0 < self.keep_fraction <= 1.0:
+            raise ValueError(
+                f"keep_fraction must be in (0, 1], got {self.keep_fraction}"
+            )
+
+
+class EarlyExitCascade:
+    """A multi-stage ranking cascade with predictable cost."""
+
+    def __init__(self, stages: Sequence[CascadeStage]) -> None:
+        if not stages:
+            raise ValueError("a cascade needs at least one stage")
+        self.stages = list(stages)
+
+    # ------------------------------------------------------------------
+    def expected_cost_us_per_doc(self) -> float:
+        """Predicted amortized per-document cost of the full cascade."""
+        cost = 0.0
+        alive = 1.0
+        for i, stage in enumerate(self.stages):
+            cost += alive * stage.cost_us_per_doc
+            if i < len(self.stages) - 1:
+                alive *= stage.keep_fraction
+        return cost
+
+    def score_query(self, features: np.ndarray) -> np.ndarray:
+        """Cascade scores for one query's documents.
+
+        Returns values whose descending order is the cascade's ranking:
+        stage-``i`` dropouts are ranked below every later-stage survivor
+        (by offsetting each stage's scores into its own band).
+        """
+        n = len(features)
+        alive = np.arange(n)
+        out = np.zeros(n, dtype=np.float64)
+        for level, stage in enumerate(self.stages):
+            scores = np.asarray(stage.score_fn(features[alive]), dtype=np.float64)
+            if scores.shape != (len(alive),):
+                raise ValueError(
+                    f"stage {stage.name!r} returned shape {scores.shape}, "
+                    f"expected ({len(alive)},)"
+                )
+            # Normalize the stage's scores into (0, 1) and add the band
+            # offset: survivors of later stages always outrank dropouts.
+            lo, hi = scores.min(), scores.max()
+            span = (hi - lo) or 1.0
+            out[alive] = level + (scores - lo) / span * 0.999
+            is_last = level == len(self.stages) - 1
+            if is_last:
+                break
+            n_keep = max(1, int(round(stage.keep_fraction * len(alive))))
+            order = np.argsort(-scores, kind="stable")
+            alive = alive[order[:n_keep]]
+        return out
+
+    def score_dataset(self, dataset: LtrDataset) -> np.ndarray:
+        """Cascade scores for every query of a dataset."""
+        out = np.empty(dataset.n_docs, dtype=np.float64)
+        for qi in range(dataset.n_queries):
+            sl = dataset.query_slice(qi)
+            out[sl] = self.score_query(dataset.features[sl])
+        return out
+
+    def describe(self) -> str:
+        parts = []
+        for i, stage in enumerate(self.stages):
+            keep = (
+                f" -> keep {stage.keep_fraction:.0%}"
+                if i < len(self.stages) - 1
+                else ""
+            )
+            parts.append(f"{stage.name} ({stage.cost_us_per_doc:.2f} us){keep}")
+        return " | ".join(parts)

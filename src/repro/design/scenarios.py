@@ -1,0 +1,71 @@
+"""The paper's two evaluation scenarios (Section 6.1).
+
+* **High-quality retrieval** — only models whose NDCG@10 reaches 99% of
+  the best tree-based competitor qualify; among them, faster is better.
+* **Low-latency retrieval** — only models scoring a document in at most
+  0.5 µs qualify; among them, more accurate is better.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.design.frontier import ModelPoint
+
+
+@dataclass(frozen=True)
+class HighQualityScenario:
+    """Quality-floor filter: NDCG@10 >= fraction * reference."""
+
+    reference_ndcg10: float
+    fraction: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not 0 < self.fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+        if self.reference_ndcg10 <= 0:
+            raise ValueError("reference_ndcg10 must be positive")
+
+    @property
+    def quality_floor(self) -> float:
+        return self.fraction * self.reference_ndcg10
+
+    def admits(self, point: ModelPoint) -> bool:
+        return point.ndcg10 >= self.quality_floor
+
+    def select(self, points: Iterable[ModelPoint]) -> list[ModelPoint]:
+        """Qualifying models, fastest first."""
+        return sorted(
+            (p for p in points if self.admits(p)), key=lambda p: p.time_us
+        )
+
+    def winner(self, points: Sequence[ModelPoint]) -> ModelPoint | None:
+        """The fastest model respecting the quality constraint."""
+        picked = self.select(points)
+        return picked[0] if picked else None
+
+
+@dataclass(frozen=True)
+class LowLatencyScenario:
+    """Latency-ceiling filter: time <= max µs/doc (paper: 0.5)."""
+
+    max_time_us: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_time_us <= 0:
+            raise ValueError(f"max_time_us must be positive, got {self.max_time_us}")
+
+    def admits(self, point: ModelPoint) -> bool:
+        return point.time_us <= self.max_time_us
+
+    def select(self, points: Iterable[ModelPoint]) -> list[ModelPoint]:
+        """Qualifying models, most accurate first."""
+        return sorted(
+            (p for p in points if self.admits(p)), key=lambda p: -p.ndcg10
+        )
+
+    def winner(self, points: Sequence[ModelPoint]) -> ModelPoint | None:
+        """The most effective model respecting the time requirement."""
+        picked = self.select(points)
+        return picked[0] if picked else None

@@ -1,0 +1,108 @@
+"""Architecture enumeration under a latency budget.
+
+Candidates are pyramidal feed-forward shapes (each hidden layer no wider
+than its predecessor — the pattern of every architecture in the paper)
+over a width grid, with 2 to 4 hidden layers: the paper verifies that
+5-layer models matching the same time budgets add nothing (Section 5.2).
+Each candidate is priced by the :class:`NetworkTimePredictor`, both dense
+and with the pruned-first-layer forecast, so callers can design for
+either deployment mode without training anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.timing.network_predictor import NetworkTimePredictor
+
+DEFAULT_WIDTHS = (25, 50, 75, 100, 150, 200, 300, 400, 500, 600, 800, 1000)
+
+
+@dataclass(frozen=True)
+class ArchitectureCandidate:
+    """A hidden-width tuple with its predicted costs."""
+
+    hidden: tuple[int, ...]
+    dense_time_us: float
+    pruned_time_us: float
+    n_parameters: int
+
+    def describe(self) -> str:
+        return "x".join(str(w) for w in self.hidden)
+
+
+class ArchitectureSearch:
+    """Enumerates architectures and filters them by predicted time."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        predictor: NetworkTimePredictor | None = None,
+        *,
+        widths=DEFAULT_WIDTHS,
+        min_layers: int = 2,
+        max_layers: int = 4,
+    ) -> None:
+        if input_dim <= 0:
+            raise ValueError(f"input_dim must be positive, got {input_dim}")
+        if not 1 <= min_layers <= max_layers:
+            raise ValueError(
+                f"need 1 <= min_layers <= max_layers, got {min_layers}, {max_layers}"
+            )
+        self.input_dim = input_dim
+        self.predictor = predictor or NetworkTimePredictor()
+        self.widths = tuple(sorted(set(int(w) for w in widths)))
+        self.min_layers = min_layers
+        self.max_layers = max_layers
+
+    # ------------------------------------------------------------------
+    def enumerate(self) -> list[ArchitectureCandidate]:
+        """All pyramidal candidates with their predicted times."""
+        out: list[ArchitectureCandidate] = []
+        for depth in range(self.min_layers, self.max_layers + 1):
+            for shape in product(self.widths, repeat=depth):
+                if any(shape[i] < shape[i + 1] for i in range(depth - 1)):
+                    continue  # widths must be non-increasing
+                out.append(self.price(shape))
+        return out
+
+    def price(self, hidden) -> ArchitectureCandidate:
+        """Predicted dense and pruned-forecast times of one shape."""
+        report = self.predictor.predict(self.input_dim, hidden)
+        dims = (self.input_dim,) + tuple(hidden) + (1,)
+        n_params = sum(
+            dims[i] * dims[i + 1] + dims[i + 1] for i in range(len(dims) - 1)
+        )
+        return ArchitectureCandidate(
+            hidden=tuple(int(w) for w in hidden),
+            dense_time_us=report.dense_total_us_per_doc,
+            pruned_time_us=report.pruned_forecast_us_per_doc,
+            n_parameters=n_params,
+        )
+
+    def within_budget(
+        self,
+        budget_us: float,
+        *,
+        pruned: bool = True,
+        max_candidates: int | None = None,
+    ) -> list[ArchitectureCandidate]:
+        """Candidates matching ``budget_us``, largest capacity first.
+
+        ``pruned`` prices candidates assuming the first layer will be
+        sparsified (the paper's deployment mode); the largest models that
+        still fit the budget are the most promising students, so results
+        are sorted by parameter count descending.
+        """
+        if budget_us <= 0:
+            raise ValueError(f"budget_us must be positive, got {budget_us}")
+        picked = [
+            c
+            for c in self.enumerate()
+            if (c.pruned_time_us if pruned else c.dense_time_us) <= budget_us
+        ]
+        picked.sort(key=lambda c: -c.n_parameters)
+        if max_candidates is not None:
+            picked = picked[:max_candidates]
+        return picked

@@ -1,0 +1,22 @@
+"""Knowledge distillation from tree ensembles to neural networks.
+
+Implements the training-by-scores-approximation methodology of Cohen et
+al. that the paper adopts (Section 3): the tree ensemble is a black-box
+teacher producing scores, the student MLP regresses them with MSE, every
+training batch is half real documents and half synthetic samples drawn
+from the per-feature split-point midpoint lists, and all inputs are
+Z-normalized with training-set statistics.
+"""
+
+from repro.distill.teacher import TreeEnsembleTeacher
+from repro.distill.augmentation import SplitPointAugmenter
+from repro.distill.student import DistilledStudent
+from repro.distill.distiller import DistillationConfig, Distiller
+
+__all__ = [
+    "TreeEnsembleTeacher",
+    "SplitPointAugmenter",
+    "DistilledStudent",
+    "DistillationConfig",
+    "Distiller",
+]

@@ -1,0 +1,122 @@
+"""The distilled student: network + input normalization.
+
+Bundles the trained MLP with the Z-normalizer fitted on the training
+features, so callers score raw (un-normalized) feature matrices exactly
+as they would score them with the teacher forest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.normalization import ZNormalizer
+from repro.nn.network import FeedForwardNetwork
+
+
+class DistilledStudent:
+    """A scoring model: ``network(z_normalize(x))``."""
+
+    def __init__(
+        self,
+        network: FeedForwardNetwork,
+        normalizer: ZNormalizer,
+        *,
+        teacher_description: str = "",
+    ) -> None:
+        if not normalizer.is_fitted:
+            raise ValueError("normalizer must be fitted")
+        self.network = network
+        self.normalizer = normalizer
+        self.teacher_description = teacher_description
+
+    @property
+    def input_dim(self) -> int:
+        return self.network.input_dim
+
+    @property
+    def hidden(self) -> tuple[int, ...]:
+        return self.network.hidden
+
+    def describe(self) -> str:
+        """Architecture in the paper's ``a x b x c`` notation."""
+        return self.network.describe()
+
+    def predict(self, raw_features) -> np.ndarray:
+        """Score raw feature rows (normalization applied internally)."""
+        return self.network.predict(self.normalizer.transform(raw_features))
+
+    def first_layer_sparsity(self) -> float:
+        """Sparsity of the (possibly pruned) first layer."""
+        return self.network.first_layer.sparsity()
+
+    def layer_sparsities(self) -> list[float]:
+        return self.network.layer_sparsities()
+
+    def clone(self) -> "DistilledStudent":
+        """Deep copy sharing no mutable state."""
+        return DistilledStudent(
+            self.network.clone(),
+            self.normalizer,
+            teacher_description=self.teacher_description,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence (network weights + the training-set normalization
+    # statistics, so a deployed student scores raw features correctly).
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the student (architecture, weights, masks, normalizer)."""
+        import json
+
+        payload = {
+            "teacher_description": self.teacher_description,
+            "normalizer": {
+                "mean": self.normalizer.mean_.tolist(),
+                "std": self.normalizer.std_.tolist(),
+                "clip_sigma": self.normalizer.clip_sigma,
+            },
+            "network": {
+                "input_dim": self.network.input_dim,
+                "hidden": list(self.network.hidden),
+                "dropout": self.network.dropout_rate,
+                "layers": [
+                    {
+                        "weight": l.weight.data.tolist(),
+                        "bias": l.bias.data.tolist(),
+                        "mask": None if l.mask is None else l.mask.tolist(),
+                    }
+                    for l in self.network.linears
+                ],
+            },
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path) -> "DistilledStudent":
+        """Load a student written by :meth:`save`."""
+        import json
+
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        net_data = payload["network"]
+        network = FeedForwardNetwork(
+            net_data["input_dim"],
+            net_data["hidden"],
+            dropout=net_data.get("dropout", 0.0),
+            seed=0,
+        )
+        for linear, entry in zip(network.linears, net_data["layers"]):
+            linear.weight.data = np.asarray(entry["weight"], dtype=np.float64)
+            linear.bias.data = np.asarray(entry["bias"], dtype=np.float64)
+            if entry.get("mask") is not None:
+                linear.set_mask(np.asarray(entry["mask"]))
+        norm_data = payload["normalizer"]
+        normalizer = ZNormalizer(clip_sigma=norm_data.get("clip_sigma"))
+        normalizer.mean_ = np.asarray(norm_data["mean"], dtype=np.float64)
+        normalizer.std_ = np.asarray(norm_data["std"], dtype=np.float64)
+        return cls(
+            network,
+            normalizer,
+            teacher_description=payload.get("teacher_description", ""),
+        )

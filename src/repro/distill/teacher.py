@@ -1,0 +1,35 @@
+"""The black-box teacher.
+
+Distillation treats the ensemble of regression trees purely as a function
+``F: R^f -> R`` producing accurate scores; the only structural
+information used is the set of per-feature split points that seeds the
+data-augmentation lists (Section 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forest.ensemble import TreeEnsemble
+
+
+class TreeEnsembleTeacher:
+    """Scoring facade over a trained :class:`TreeEnsemble`."""
+
+    def __init__(self, ensemble: TreeEnsemble) -> None:
+        self.ensemble = ensemble
+
+    @property
+    def n_features(self) -> int:
+        return self.ensemble.n_features
+
+    def score(self, features) -> np.ndarray:
+        """Teacher scores — the student's regression targets."""
+        return self.ensemble.predict(features)
+
+    def split_points(self) -> list[np.ndarray]:
+        """Per-feature sorted unique split thresholds of the forest."""
+        return self.ensemble.split_points()
+
+    def describe(self) -> str:
+        return self.ensemble.describe()

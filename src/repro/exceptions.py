@@ -1,0 +1,49 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors
+(``TypeError``/``ValueError`` raised by misuse still propagate where they
+indicate caller bugs rather than domain failures).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class DatasetError(ReproError):
+    """A dataset is malformed, inconsistent or cannot be parsed."""
+
+
+class DatasetFormatError(DatasetError):
+    """An SVMLight/LETOR file violates the expected line format."""
+
+
+class TrainingError(ReproError):
+    """Model training could not proceed (bad configuration, divergence)."""
+
+
+class NotFittedError(ReproError):
+    """A model or transformer was used before being fitted."""
+
+
+class ArchitectureError(ReproError):
+    """A feed-forward architecture specification is invalid."""
+
+
+class PruningError(ReproError):
+    """A pruning schedule or mask operation is invalid."""
+
+
+class PredictorError(ReproError):
+    """A timing predictor received shapes or sparsities it cannot model."""
+
+
+class QuickScorerError(ReproError):
+    """A tree ensemble cannot be encoded or traversed by QuickScorer."""
+
+
+class CalibrationError(ReproError):
+    """Calibration of a cost model failed or produced unusable values."""

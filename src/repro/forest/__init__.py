@@ -1,0 +1,43 @@
+"""Gradient-boosted ensembles of regression trees.
+
+This package replaces the LightGBM dependency of the paper with a
+from-scratch, histogram-based gradient boosting implementation:
+
+* :mod:`repro.forest.binning` — quantile feature binning (LightGBM-style
+  histogram preprocessing).
+* :mod:`repro.forest.tree` — array-encoded regression trees.
+* :mod:`repro.forest.builder` — leaf-wise histogram tree growing with
+  gain-based splits and histogram subtraction.
+* :mod:`repro.forest.objectives` — second-order objectives: L2 regression
+  and LambdaRank (lambda-gradients weighted by |delta NDCG|).
+* :mod:`repro.forest.gbdt` — the boosting loop with early stopping.
+* :mod:`repro.forest.lambdamart` — the LambdaMART ranker facade.
+* :mod:`repro.forest.ensemble` — the trained-forest container consumed by
+  QuickScorer, by the distillation teacher and by the augmentation step.
+* :mod:`repro.forest.tuning` — random-search hyper-parameter tuning
+  (HyperOpt substitute).
+"""
+
+from repro.forest.binning import FeatureBinner
+from repro.forest.tree import RegressionTree
+from repro.forest.ensemble import TreeEnsemble
+from repro.forest.gbdt import GradientBoostingConfig, GradientBoostingRegressor
+from repro.forest.lambdamart import LambdaMartRanker
+from repro.forest.objectives import L2Objective, LambdaRankObjective
+from repro.forest.oblivious import ObliviousGrowthConfig, ObliviousTreeBuilder
+from repro.forest.tuning import RandomSearchTuner, TuningResult
+
+__all__ = [
+    "FeatureBinner",
+    "RegressionTree",
+    "TreeEnsemble",
+    "GradientBoostingConfig",
+    "GradientBoostingRegressor",
+    "LambdaMartRanker",
+    "L2Objective",
+    "LambdaRankObjective",
+    "ObliviousGrowthConfig",
+    "ObliviousTreeBuilder",
+    "RandomSearchTuner",
+    "TuningResult",
+]

@@ -1,0 +1,273 @@
+"""Leaf-wise histogram tree growing.
+
+Given pre-binned features and per-row gradient/hessian pairs, the builder
+grows one regression tree best-first (the leaf with the highest split gain
+is expanded next, as LightGBM does) until ``max_leaves`` is reached or no
+leaf has a positive-gain admissible split.
+
+Split quality uses the standard second-order gain
+
+    gain = 1/2 * [ GL^2/(HL+lambda) + GR^2/(HR+lambda) - G^2/(H+lambda) ]
+
+and children must respect ``min_data_in_leaf`` and
+``min_sum_hessian_in_leaf`` — the two LightGBM regularizers the paper's
+hyper-parameter search tunes.  Gradient histograms of a split's larger
+child are obtained by subtracting the smaller child's histogram from the
+parent's, halving histogram work, as in LightGBM.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.forest.binning import FeatureBinner
+from repro.forest.tree import NO_CHILD, RegressionTree
+
+
+@dataclass(frozen=True)
+class TreeGrowthConfig:
+    """Structural and regularization parameters of a single tree."""
+
+    max_leaves: int = 31
+    min_data_in_leaf: int = 20
+    min_sum_hessian_in_leaf: float = 1e-3
+    lambda_l2: float = 1.0
+    max_depth: int | None = None
+    min_split_gain: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.max_leaves < 2:
+            raise ValueError(f"max_leaves must be >= 2, got {self.max_leaves}")
+        if self.min_data_in_leaf < 1:
+            raise ValueError(
+                f"min_data_in_leaf must be >= 1, got {self.min_data_in_leaf}"
+            )
+        if self.lambda_l2 < 0:
+            raise ValueError(f"lambda_l2 must be >= 0, got {self.lambda_l2}")
+        if self.max_depth is not None and self.max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {self.max_depth}")
+
+
+class _Leaf:
+    """Bookkeeping for a not-yet-finalized leaf during growth."""
+
+    __slots__ = (
+        "node_id",
+        "rows",
+        "hist_g",
+        "hist_h",
+        "hist_n",
+        "depth",
+        "best_gain",
+        "best_feature",
+        "best_bin",
+    )
+
+    def __init__(self, node_id, rows, hist_g, hist_h, hist_n, depth) -> None:
+        self.node_id = node_id
+        self.rows = rows
+        self.hist_g = hist_g
+        self.hist_h = hist_h
+        self.hist_n = hist_n
+        self.depth = depth
+        self.best_gain = -np.inf
+        self.best_feature = -1
+        self.best_bin = -1
+
+
+class HistogramTreeBuilder:
+    """Builds regression trees over a fixed binned training matrix.
+
+    The builder is constructed once per training set (binning and the
+    flattened bin-index matrix are reused across all boosting iterations)
+    and :meth:`build` is called with fresh gradients each iteration.
+    """
+
+    def __init__(
+        self,
+        binned: np.ndarray,
+        binner: FeatureBinner,
+        config: TreeGrowthConfig | None = None,
+    ) -> None:
+        if binned.ndim != 2:
+            raise ValueError(f"binned must be 2-D, got shape {binned.shape}")
+        self.binner = binner
+        self.config = config or TreeGrowthConfig()
+        self.n_rows, self.n_features = binned.shape
+        self.n_bins = binner.max_actual_bins
+        self._binned = binned
+        # Flattened indices so one bincount builds all feature histograms.
+        offsets = (np.arange(self.n_features, dtype=np.int64) * self.n_bins)
+        self._flat = binned.astype(np.int64) + offsets[None, :]
+        self._hist_size = self.n_features * self.n_bins
+        # Bins that actually exist per feature (edges + 1); splits beyond
+        # this are meaningless.
+        self._usable_bins = np.asarray(
+            [binner.n_bins(f) for f in range(self.n_features)], dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------
+    def _histograms(self, rows, g, h):
+        flat = self._flat[rows].ravel()
+        wg = np.repeat(g[rows], self.n_features)
+        wh = np.repeat(h[rows], self.n_features)
+        hist_g = np.bincount(flat, weights=wg, minlength=self._hist_size)
+        hist_h = np.bincount(flat, weights=wh, minlength=self._hist_size)
+        hist_n = np.bincount(flat, minlength=self._hist_size).astype(np.float64)
+        shape = (self.n_features, self.n_bins)
+        return hist_g.reshape(shape), hist_h.reshape(shape), hist_n.reshape(shape)
+
+    def _find_best_split(self, leaf: _Leaf) -> None:
+        cfg = self.config
+        gl = np.cumsum(leaf.hist_g, axis=1)
+        hl = np.cumsum(leaf.hist_h, axis=1)
+        nl = np.cumsum(leaf.hist_n, axis=1)
+        g_total = gl[:, -1:]
+        h_total = hl[:, -1:]
+        n_total = nl[:, -1:]
+        gr = g_total - gl
+        hr = h_total - hl
+        nr = n_total - nl
+
+        lam = cfg.lambda_l2
+        # Empty bin ranges give 0/0 when lambda_l2 == 0; those candidates
+        # are discarded by the hessian/min-data validity mask below.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            parent = (g_total**2) / (h_total + lam)
+            gain = 0.5 * (gl**2 / (hl + lam) + gr**2 / (hr + lam) - parent)
+        gain = np.nan_to_num(gain, nan=-np.inf, posinf=-np.inf, neginf=-np.inf)
+
+        valid = (
+            (nl >= cfg.min_data_in_leaf)
+            & (nr >= cfg.min_data_in_leaf)
+            & (hl >= cfg.min_sum_hessian_in_leaf)
+            & (hr >= cfg.min_sum_hessian_in_leaf)
+        )
+        # A split "at bin b" sends bins <= b left; splitting at the last
+        # usable bin (or beyond) leaves the right child empty.
+        bin_idx = np.arange(self.n_bins)[None, :]
+        valid &= bin_idx < (self._usable_bins[:, None] - 1)
+        gain = np.where(valid, gain, -np.inf)
+
+        best_flat = int(np.argmax(gain))
+        feature, bin_index = divmod(best_flat, self.n_bins)
+        best_gain = float(gain[feature, bin_index])
+        if best_gain > cfg.min_split_gain:
+            leaf.best_gain = best_gain
+            leaf.best_feature = int(feature)
+            leaf.best_bin = int(bin_index)
+        else:
+            leaf.best_gain = -np.inf
+
+    def _leaf_value(self, leaf: _Leaf) -> float:
+        # Totals are identical across features; use feature 0's histogram.
+        g = leaf.hist_g[0].sum()
+        h = leaf.hist_h[0].sum()
+        return float(-g / (h + self.config.lambda_l2))
+
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        gradients: np.ndarray,
+        hessians: np.ndarray,
+        rows: np.ndarray | None = None,
+    ) -> RegressionTree:
+        """Grow one tree on the given gradients/hessians.
+
+        Parameters
+        ----------
+        gradients, hessians:
+            Per-row first and second derivatives of the loss at the current
+            model, over the *full* training matrix.
+        rows:
+            Optional row subset (for bagging); defaults to all rows.
+        """
+        g = np.asarray(gradients, dtype=np.float64)
+        h = np.asarray(hessians, dtype=np.float64)
+        if g.shape != (self.n_rows,) or h.shape != (self.n_rows,):
+            raise ValueError(
+                "gradients and hessians must be 1-D over the training rows"
+            )
+        if rows is None:
+            rows = np.arange(self.n_rows, dtype=np.intp)
+        else:
+            rows = np.asarray(rows, dtype=np.intp)
+
+        cfg = self.config
+        feature: list[int] = [-1]
+        threshold: list[float] = [np.nan]
+        left: list[int] = [NO_CHILD]
+        right: list[int] = [NO_CHILD]
+        value: list[float] = [0.0]
+
+        root = _Leaf(0, rows, *self._histograms(rows, g, h), depth=0)
+        self._find_best_split(root)
+        value[0] = self._leaf_value(root)
+
+        counter = itertools.count()
+        heap: list[tuple[float, int, _Leaf]] = []
+        if np.isfinite(root.best_gain):
+            heapq.heappush(heap, (-root.best_gain, next(counter), root))
+
+        n_leaves = 1
+        while heap and n_leaves < cfg.max_leaves:
+            _, _, leaf = heapq.heappop(heap)
+            if cfg.max_depth is not None and leaf.depth >= cfg.max_depth:
+                continue
+
+            f, b = leaf.best_feature, leaf.best_bin
+            go_left = self._binned[leaf.rows, f] <= b
+            left_rows = leaf.rows[go_left]
+            right_rows = leaf.rows[~go_left]
+            if len(left_rows) == 0 or len(right_rows) == 0:
+                continue  # defensive: histogram said valid, data disagrees
+
+            # Histogram subtraction: compute the smaller child directly,
+            # derive the larger one from the parent.
+            if len(left_rows) <= len(right_rows):
+                small_rows, large_rows, small_is_left = left_rows, right_rows, True
+            else:
+                small_rows, large_rows, small_is_left = right_rows, left_rows, False
+            sg, sh, sn = self._histograms(small_rows, g, h)
+            lg, lh, ln = leaf.hist_g - sg, leaf.hist_h - sh, leaf.hist_n - sn
+
+            left_id = len(feature)
+            right_id = left_id + 1
+            for _ in range(2):
+                feature.append(-1)
+                threshold.append(np.nan)
+                left.append(NO_CHILD)
+                right.append(NO_CHILD)
+                value.append(0.0)
+
+            feature[leaf.node_id] = f
+            threshold[leaf.node_id] = self.binner.threshold_for(f, b)
+            left[leaf.node_id] = left_id
+            right[leaf.node_id] = right_id
+            value[leaf.node_id] = 0.0
+
+            if small_is_left:
+                child_l = _Leaf(left_id, small_rows, sg, sh, sn, leaf.depth + 1)
+                child_r = _Leaf(right_id, large_rows, lg, lh, ln, leaf.depth + 1)
+            else:
+                child_l = _Leaf(left_id, large_rows, lg, lh, ln, leaf.depth + 1)
+                child_r = _Leaf(right_id, small_rows, sg, sh, sn, leaf.depth + 1)
+
+            for child in (child_l, child_r):
+                value[child.node_id] = self._leaf_value(child)
+                self._find_best_split(child)
+                if np.isfinite(child.best_gain):
+                    heapq.heappush(heap, (-child.best_gain, next(counter), child))
+            n_leaves += 1
+
+        return RegressionTree(
+            feature=np.asarray(feature),
+            threshold=np.asarray(threshold),
+            left=np.asarray(left),
+            right=np.asarray(right),
+            value=np.asarray(value),
+        )

@@ -1,0 +1,232 @@
+"""Trained-forest container.
+
+A :class:`TreeEnsemble` is the additive model produced by boosting:
+``base_score + sum_t weight_t * tree_t(x)``.  It is what QuickScorer
+encodes, what the distillation step uses as a black-box teacher, and what
+the augmentation step mines for split points.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.forest.tree import RegressionTree
+from repro.utils.validation import check_array_2d
+
+
+@dataclass
+class TreeEnsemble:
+    """An additive ensemble of regression trees."""
+
+    trees: list[RegressionTree]
+    weights: np.ndarray
+    base_score: float
+    n_features: int
+    name: str = "tree-ensemble"
+    _split_cache: dict | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        if len(self.weights) != len(self.trees):
+            raise ValueError(
+                f"{len(self.trees)} trees but {len(self.weights)} weights"
+            )
+        if self.n_features <= 0:
+            raise ValueError(f"n_features must be positive, got {self.n_features}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_trees(self) -> int:
+        return len(self.trees)
+
+    @property
+    def max_leaves(self) -> int:
+        """Largest leaf count of any member tree (QuickScorer word sizing)."""
+        return max((t.n_leaves for t in self.trees), default=0)
+
+    def total_nodes(self) -> int:
+        return sum(t.n_nodes for t in self.trees)
+
+    def describe(self) -> str:
+        """Short description in the paper's "x trees, y leaves" notation."""
+        return f"{self.n_trees} trees, {self.max_leaves} leaves"
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(self, features) -> np.ndarray:
+        """Score a batch of feature rows."""
+        x = check_array_2d(features, "features")
+        if x.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} features, got {x.shape[1]}"
+            )
+        out = np.full(len(x), self.base_score, dtype=np.float64)
+        for tree, w in zip(self.trees, self.weights):
+            out += w * tree.predict(x)
+        return out
+
+    def staged_predict(self, features, stages) -> dict[int, np.ndarray]:
+        """Predictions of the first-``n`` prefixes for every n in ``stages``.
+
+        Boosted models are anytime models: the first ``n`` trees are a
+        valid smaller ensemble, which is how the Large/Mid/Small forests of
+        Table 1 relate to each other.
+        """
+        x = check_array_2d(features, "features")
+        wanted = sorted(set(int(s) for s in stages))
+        if any(s < 0 or s > self.n_trees for s in wanted):
+            raise ValueError(f"stages must be in [0, {self.n_trees}]")
+        out: dict[int, np.ndarray] = {}
+        acc = np.full(len(x), self.base_score, dtype=np.float64)
+        next_i = 0
+        for stage in wanted:
+            while next_i < stage:
+                acc += self.weights[next_i] * self.trees[next_i].predict(x)
+                next_i += 1
+            out[stage] = acc.copy()
+        return out
+
+    def truncate(self, n_trees: int, name: str | None = None) -> "TreeEnsemble":
+        """The prefix ensemble with the first ``n_trees`` trees."""
+        if not 0 < n_trees <= self.n_trees:
+            raise ValueError(
+                f"n_trees must be in (0, {self.n_trees}], got {n_trees}"
+            )
+        return TreeEnsemble(
+            trees=self.trees[:n_trees],
+            weights=self.weights[:n_trees].copy(),
+            base_score=self.base_score,
+            n_features=self.n_features,
+            name=name or f"{self.name}[:{n_trees}]",
+        )
+
+    # ------------------------------------------------------------------
+    # Split points (distillation augmentation, QuickScorer encoding)
+    # ------------------------------------------------------------------
+    def split_points(self) -> list[np.ndarray]:
+        """Per-feature sorted unique thresholds across the whole forest."""
+        if self._split_cache is not None and self._split_cache.get(
+            "n"
+        ) == self.n_trees:
+            return self._split_cache["points"]
+        per_feature: list[list[np.ndarray]] = [[] for _ in range(self.n_features)]
+        for tree in self.trees:
+            for f, pts in enumerate(tree.split_points(self.n_features)):
+                if pts.size:
+                    per_feature[f].append(pts)
+        points = [
+            np.unique(np.concatenate(p)) if p else np.empty(0)
+            for p in per_feature
+        ]
+        self._split_cache = {"n": self.n_trees, "points": points}
+        return points
+
+    def learning_curve(self, dataset, metric, stages=None) -> list[tuple[int, float]]:
+        """Metric value of every prefix ensemble (the boosting curve).
+
+        Parameters
+        ----------
+        dataset:
+            An :class:`~repro.datasets.base.LtrDataset` to evaluate on.
+        metric:
+            ``metric(dataset, scores) -> float``.
+        stages:
+            Prefix sizes to evaluate; defaults to ~10 geometric steps.
+
+        Returns ``(n_trees, metric)`` pairs — the efficiency/effectiveness
+        curve a deployment sweeps when choosing a forest size (the green
+        frontiers of Figs. 12-13).
+        """
+        if stages is None:
+            stages = sorted(
+                {
+                    max(1, int(round(self.n_trees * f)))
+                    for f in np.linspace(0.1, 1.0, 10)
+                }
+            )
+        staged = self.staged_predict(dataset.features, stages)
+        return [(n, float(metric(dataset, staged[n]))) for n in sorted(staged)]
+
+    def feature_importance(self, kind: str = "split") -> np.ndarray:
+        """Per-feature importance over the whole forest.
+
+        ``kind="split"`` counts how many internal nodes test each feature
+        (LightGBM's default importance); the distribution over the
+        handcrafted features is what the paper's first-layer pruning
+        implicitly selects from ("the sparsification selects just the
+        essential combinations of input features", Section 5.2).
+        """
+        if kind != "split":
+            raise ValueError(f"unsupported importance kind {kind!r}")
+        counts = np.zeros(self.n_features, dtype=np.float64)
+        for tree in self.trees:
+            nodes = tree.internal_nodes()
+            if len(nodes):
+                counts += np.bincount(
+                    tree.feature[nodes], minlength=self.n_features
+                )
+        return counts
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "name": self.name,
+            "base_score": self.base_score,
+            "n_features": self.n_features,
+            "weights": self.weights.tolist(),
+            "trees": [
+                {
+                    "feature": t.feature.tolist(),
+                    "threshold": [
+                        None if np.isnan(v) else float(v) for v in t.threshold
+                    ],
+                    "left": t.left.tolist(),
+                    "right": t.right.tolist(),
+                    "value": t.value.tolist(),
+                }
+                for t in self.trees
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TreeEnsemble":
+        """Inverse of :meth:`to_dict`."""
+        trees = [
+            RegressionTree(
+                feature=np.asarray(td["feature"]),
+                threshold=np.asarray(
+                    [np.nan if v is None else v for v in td["threshold"]]
+                ),
+                left=np.asarray(td["left"]),
+                right=np.asarray(td["right"]),
+                value=np.asarray(td["value"]),
+            )
+            for td in data["trees"]
+        ]
+        return cls(
+            trees=trees,
+            weights=np.asarray(data["weights"]),
+            base_score=float(data["base_score"]),
+            n_features=int(data["n_features"]),
+            name=data.get("name", "tree-ensemble"),
+        )
+
+    def save(self, path) -> None:
+        """Persist as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle)
+
+    @classmethod
+    def load(cls, path) -> "TreeEnsemble":
+        """Load an ensemble previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

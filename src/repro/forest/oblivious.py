@@ -1,0 +1,211 @@
+"""Oblivious regression trees.
+
+QuickScorer's original evaluation (Dato et al., TOIS 2016 — the paper's
+reference [13]) covers "additive ensembles of oblivious and non-oblivious
+regression trees".  An *oblivious* tree applies the same (feature,
+threshold) test to every node of a level, so a depth-``d`` tree is a
+table of ``2^d`` leaves indexed by the ``d`` test outcomes — the shape
+CatBoost popularized, extremely fast to evaluate and naturally
+QuickScorer-encodable.
+
+The builder grows one level at a time: for every candidate (feature,
+bin) it accumulates the second-order gain *summed across all current
+leaf partitions* and keeps the best, exactly the greedy criterion of the
+non-oblivious builder restricted to level-uniform splits.  The result is
+emitted as a standard :class:`RegressionTree` (complete binary tree), so
+ensembles of oblivious trees flow through boosting, QuickScorer and
+serialization unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.forest.binning import FeatureBinner
+from repro.forest.tree import NO_CHILD, RegressionTree
+
+
+@dataclass(frozen=True)
+class ObliviousGrowthConfig:
+    """Structural parameters of one oblivious tree."""
+
+    depth: int = 6
+    min_data_in_leaf: int = 1
+    lambda_l2: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.depth <= 16:
+            raise ValueError(f"depth must be in [1, 16], got {self.depth}")
+        if self.min_data_in_leaf < 1:
+            raise ValueError(
+                f"min_data_in_leaf must be >= 1, got {self.min_data_in_leaf}"
+            )
+        if self.lambda_l2 < 0:
+            raise ValueError(f"lambda_l2 must be >= 0, got {self.lambda_l2}")
+
+
+class ObliviousTreeBuilder:
+    """Builds oblivious trees over a fixed binned training matrix."""
+
+    def __init__(
+        self,
+        binned: np.ndarray,
+        binner: FeatureBinner,
+        config: ObliviousGrowthConfig | None = None,
+    ) -> None:
+        if binned.ndim != 2:
+            raise ValueError(f"binned must be 2-D, got shape {binned.shape}")
+        self.binner = binner
+        self.config = config or ObliviousGrowthConfig()
+        self.n_rows, self.n_features = binned.shape
+        self.n_bins = binner.max_actual_bins
+        self._binned = binned
+        self._usable_bins = np.asarray(
+            [binner.n_bins(f) for f in range(self.n_features)], dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------
+    def _level_split(
+        self, partition: np.ndarray, g: np.ndarray, h: np.ndarray
+    ) -> tuple[int, int] | None:
+        """Best level-uniform (feature, bin) over all current partitions.
+
+        ``partition`` assigns each row to its current leaf; the gain of a
+        candidate split is the sum of per-partition second-order gains.
+        """
+        lam = self.config.lambda_l2
+        n_parts = int(partition.max()) + 1
+        best: tuple[float, int, int] | None = None
+        for f in range(self.n_features):
+            usable = int(self._usable_bins[f]) - 1
+            if usable < 1:
+                continue
+            bins = self._binned[:, f].astype(np.int64)
+            # Per (partition, bin) histograms via a combined index.
+            combined = partition * self.n_bins + bins
+            size = n_parts * self.n_bins
+            hist_g = np.bincount(combined, weights=g, minlength=size)
+            hist_h = np.bincount(combined, weights=h, minlength=size)
+            hist_n = np.bincount(combined, minlength=size).astype(np.float64)
+            shape = (n_parts, self.n_bins)
+            gl = np.cumsum(hist_g.reshape(shape), axis=1)
+            hl = np.cumsum(hist_h.reshape(shape), axis=1)
+            nl = np.cumsum(hist_n.reshape(shape), axis=1)
+            g_tot, h_tot, n_tot = gl[:, -1:], hl[:, -1:], nl[:, -1:]
+            gr, hr, nr = g_tot - gl, h_tot - hl, n_tot - nl
+            with np.errstate(divide="ignore", invalid="ignore"):
+                gain = (
+                    gl**2 / (hl + lam)
+                    + gr**2 / (hr + lam)
+                    - g_tot**2 / (h_tot + lam)
+                )
+            gain = np.nan_to_num(gain, nan=0.0, posinf=0.0, neginf=0.0)
+            total_gain = gain.sum(axis=0)  # summed across partitions
+            # A split is admissible when every non-empty partition keeps
+            # min_data on both sides OR is empty on that side entirely
+            # (oblivious splits cannot adapt per partition).
+            md = self.config.min_data_in_leaf
+            ok_left = (nl >= md) | (nl == 0)
+            ok_right = (nr >= md) | (nr == 0)
+            admissible = (ok_left & ok_right).all(axis=0)
+            admissible[usable:] = False
+            total_gain = np.where(admissible, total_gain, -np.inf)
+            b = int(np.argmax(total_gain))
+            if total_gain[b] > 0 and (
+                best is None or total_gain[b] > best[0]
+            ):
+                best = (float(total_gain[b]), f, b)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    # ------------------------------------------------------------------
+    def build(
+        self, gradients: np.ndarray, hessians: np.ndarray, rows=None
+    ) -> RegressionTree:
+        """Grow one oblivious tree on the given gradients/hessians."""
+        g_full = np.asarray(gradients, dtype=np.float64)
+        h_full = np.asarray(hessians, dtype=np.float64)
+        if g_full.shape != (self.n_rows,) or h_full.shape != (self.n_rows,):
+            raise ValueError(
+                "gradients and hessians must be 1-D over the training rows"
+            )
+        if rows is None:
+            rows = np.arange(self.n_rows, dtype=np.intp)
+        else:
+            rows = np.asarray(rows, dtype=np.intp)
+        g, h = g_full[rows], h_full[rows]
+        binned = self._binned[rows]
+
+        partition = np.zeros(len(rows), dtype=np.int64)
+        level_tests: list[tuple[int, float]] = []
+        for _ in range(self.config.depth):
+            # Recompute against the current partition.
+            choice = self._level_split_with(binned, partition, g, h)
+            if choice is None:
+                break
+            f, b = choice
+            level_tests.append((f, self.binner.threshold_for(f, b)))
+            goes_right = binned[:, f] > b
+            partition = partition * 2 + goes_right.astype(np.int64)
+
+        if not level_tests:
+            lam = self.config.lambda_l2
+            return RegressionTree.single_leaf(
+                float(-g.sum() / (h.sum() + lam))
+            )
+        return self._assemble(level_tests, partition, g, h)
+
+    def _level_split_with(self, binned, partition, g, h):
+        saved = self._binned
+        self._binned = binned
+        try:
+            return self._level_split(partition, g, h)
+        finally:
+            self._binned = saved
+
+    def _assemble(
+        self,
+        level_tests: list[tuple[int, float]],
+        partition: np.ndarray,
+        g: np.ndarray,
+        h: np.ndarray,
+    ) -> RegressionTree:
+        depth = len(level_tests)
+        n_leaves = 2**depth
+        n_internal = n_leaves - 1
+        n_nodes = n_internal + n_leaves
+        feature = np.full(n_nodes, -1, dtype=np.int64)
+        threshold = np.full(n_nodes, np.nan)
+        left = np.full(n_nodes, NO_CHILD, dtype=np.int64)
+        right = np.full(n_nodes, NO_CHILD, dtype=np.int64)
+        value = np.zeros(n_nodes)
+
+        # Heap layout: internal node i has children 2i+1 / 2i+2; level of
+        # node i is floor(log2(i+1)); leaves occupy the last 2^depth slots.
+        for i in range(n_internal):
+            level = int(np.floor(np.log2(i + 1)))
+            feature[i] = level_tests[level][0]
+            threshold[i] = level_tests[level][1]
+            left[i] = 2 * i + 1
+            right[i] = 2 * i + 2
+
+        lam = self.config.lambda_l2
+        g_leaf = np.bincount(partition, weights=g, minlength=n_leaves)
+        h_leaf = np.bincount(partition, weights=h, minlength=n_leaves)
+        denom = h_leaf + lam
+        denom[denom == 0.0] = 1.0  # empty leaves (lambda_l2 = 0) stay 0
+        leaf_values = -g_leaf / denom
+        # Leaf with path bits b_1..b_d (0 = left) sits at heap index
+        # n_internal + its bit pattern, which is also its left-to-right
+        # position.
+        value[n_internal:] = leaf_values
+        return RegressionTree(
+            feature=feature,
+            threshold=threshold,
+            left=left,
+            right=right,
+            value=value,
+        )

@@ -1,0 +1,173 @@
+"""Array-encoded regression trees.
+
+A tree is stored structure-of-arrays style: internal node ``i`` tests
+``x[feature[i]] <= threshold[i]`` (true goes left), leaves carry the
+response value.  This layout supports vectorized batch prediction, cheap
+serialization, and direct consumption by the QuickScorer encoder, which
+needs the set of (feature, threshold) pairs and the leaf order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_array_2d
+
+#: Sentinel stored in child arrays for leaf nodes.
+NO_CHILD = -1
+
+
+@dataclass
+class RegressionTree:
+    """A binary regression tree in structure-of-arrays form.
+
+    Attributes
+    ----------
+    feature, threshold:
+        Split definition per node; undefined (by convention -1 / nan) on
+        leaves.
+    left, right:
+        Child node indices; :data:`NO_CHILD` on leaves.
+    value:
+        Leaf response; undefined on internal nodes.
+    """
+
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    value: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.feature)
+        for arr_name in ("threshold", "left", "right", "value"):
+            if len(getattr(self, arr_name)) != n:
+                raise ValueError(
+                    f"node arrays must share length, {arr_name} differs"
+                )
+        self.feature = np.asarray(self.feature, dtype=np.int32)
+        self.threshold = np.asarray(self.threshold, dtype=np.float64)
+        self.left = np.asarray(self.left, dtype=np.int32)
+        self.right = np.asarray(self.right, dtype=np.int32)
+        self.value = np.asarray(self.value, dtype=np.float64)
+        if n == 0:
+            raise ValueError("a tree must have at least one node")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_leaf(cls, value: float) -> "RegressionTree":
+        """A stump-less tree that predicts a constant."""
+        return cls(
+            feature=np.asarray([-1]),
+            threshold=np.asarray([np.nan]),
+            left=np.asarray([NO_CHILD]),
+            right=np.asarray([NO_CHILD]),
+            value=np.asarray([value]),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.feature)
+
+    def is_leaf(self, node: int) -> bool:
+        """Whether ``node`` is a leaf."""
+        return self.left[node] == NO_CHILD
+
+    @property
+    def leaf_mask(self) -> np.ndarray:
+        """Boolean mask of leaf nodes."""
+        return self.left == NO_CHILD
+
+    @property
+    def n_leaves(self) -> int:
+        return int(self.leaf_mask.sum())
+
+    def leaf_indices(self) -> np.ndarray:
+        """Node indices of leaves in left-to-right (in-order) order.
+
+        QuickScorer's bitvectors index leaves by this order.
+        """
+        order: list[int] = []
+
+        def visit(node: int) -> None:
+            if self.is_leaf(node):
+                order.append(node)
+            else:
+                visit(int(self.left[node]))
+                visit(int(self.right[node]))
+
+        visit(0)
+        return np.asarray(order, dtype=np.int32)
+
+    def internal_nodes(self) -> np.ndarray:
+        """Node indices of internal (split) nodes."""
+        return np.flatnonzero(~self.leaf_mask).astype(np.int32)
+
+    def depth(self) -> int:
+        """Maximum root-to-leaf edge count."""
+        depths = np.zeros(self.n_nodes, dtype=np.int32)
+        max_depth = 0
+        for node in range(self.n_nodes):
+            if not self.is_leaf(node):
+                for child in (int(self.left[node]), int(self.right[node])):
+                    depths[child] = depths[node] + 1
+                    max_depth = max(max_depth, int(depths[child]))
+        return max_depth
+
+    def split_points(self, n_features: int) -> list[np.ndarray]:
+        """Per-feature sorted unique thresholds used by this tree."""
+        points: list[list[float]] = [[] for _ in range(n_features)]
+        for node in self.internal_nodes():
+            points[int(self.feature[node])].append(float(self.threshold[node]))
+        return [np.unique(np.asarray(p)) for p in points]
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(self, features) -> np.ndarray:
+        """Vectorized batch prediction."""
+        x = check_array_2d(features, "features")
+        node = np.zeros(len(x), dtype=np.int32)
+        active = ~self.leaf_mask[node]
+        while active.any():
+            idx = np.flatnonzero(active)
+            cur = node[idx]
+            go_left = (
+                x[idx, self.feature[cur]] <= self.threshold[cur]
+            )
+            node[idx] = np.where(go_left, self.left[cur], self.right[cur])
+            active[idx] = ~self.leaf_mask[node[idx]]
+        return self.value[node]
+
+    def predict_leaf(self, features) -> np.ndarray:
+        """Index (into :meth:`leaf_indices` order) of each row's exit leaf."""
+        x = check_array_2d(features, "features")
+        node = np.zeros(len(x), dtype=np.int32)
+        active = ~self.leaf_mask[node]
+        while active.any():
+            idx = np.flatnonzero(active)
+            cur = node[idx]
+            go_left = x[idx, self.feature[cur]] <= self.threshold[cur]
+            node[idx] = np.where(go_left, self.left[cur], self.right[cur])
+            active[idx] = ~self.leaf_mask[node[idx]]
+        leaf_order = self.leaf_indices()
+        position = np.full(self.n_nodes, -1, dtype=np.int32)
+        position[leaf_order] = np.arange(len(leaf_order), dtype=np.int32)
+        return position[node]
+
+    def predict_single(self, x: np.ndarray) -> float:
+        """Reference scalar traversal (used to cross-check QuickScorer)."""
+        node = 0
+        while not self.is_leaf(node):
+            if x[self.feature[node]] <= self.threshold[node]:
+                node = int(self.left[node])
+            else:
+                node = int(self.right[node])
+        return float(self.value[node])

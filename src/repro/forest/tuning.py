@@ -1,0 +1,97 @@
+"""Random-search hyper-parameter tuning.
+
+The paper tunes LambdaMART with HyperOpt over learning rate, max depth,
+``min_sum_hessian_in_leaf`` and ``min_data_in_leaf`` (Section 6.1).
+HyperOpt is unavailable offline, so this module provides a seeded random
+search over the same space — the standard strong baseline for
+low-dimensional hyper-parameter optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.datasets.base import LtrDataset
+from repro.forest.gbdt import GradientBoostingConfig
+from repro.forest.lambdamart import LambdaMartRanker, ndcg_at_10
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Log-uniform / discrete ranges for the tuned hyper-parameters."""
+
+    learning_rate: tuple[float, float] = (0.02, 0.3)
+    max_depth: tuple[int, ...] = (4, 6, 8, 10, 12)
+    min_data_in_leaf: tuple[int, ...] = (5, 10, 20, 50, 100)
+    min_sum_hessian_in_leaf: tuple[float, float] = (1e-4, 10.0)
+
+    def sample(self, rng: np.random.Generator) -> dict:
+        lr_lo, lr_hi = self.learning_rate
+        h_lo, h_hi = self.min_sum_hessian_in_leaf
+        return {
+            "learning_rate": float(
+                np.exp(rng.uniform(np.log(lr_lo), np.log(lr_hi)))
+            ),
+            "max_depth": int(rng.choice(self.max_depth)),
+            "min_data_in_leaf": int(rng.choice(self.min_data_in_leaf)),
+            "min_sum_hessian_in_leaf": float(
+                np.exp(rng.uniform(np.log(h_lo), np.log(h_hi)))
+            ),
+        }
+
+
+@dataclass
+class TuningResult:
+    """Best configuration found and the full evaluation trace."""
+
+    best_config: GradientBoostingConfig
+    best_metric: float
+    trials: list[tuple[dict, float]]
+
+
+class RandomSearchTuner:
+    """Random search over :class:`SearchSpace` maximizing NDCG@10.
+
+    Parameters
+    ----------
+    base_config:
+        Fixed parameters (tree count, leaves) the search does not touch.
+    n_trials:
+        Number of random configurations to train and evaluate.
+    """
+
+    def __init__(
+        self,
+        base_config: GradientBoostingConfig,
+        *,
+        n_trials: int = 10,
+        space: SearchSpace | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if n_trials <= 0:
+            raise ValueError(f"n_trials must be positive, got {n_trials}")
+        self.base_config = base_config
+        self.n_trials = n_trials
+        self.space = space or SearchSpace()
+        self._rng = ensure_rng(seed)
+
+    def tune(self, train: LtrDataset, valid: LtrDataset) -> TuningResult:
+        """Run the search, returning the best configuration."""
+        trials: list[tuple[dict, float]] = []
+        best_metric = float("-inf")
+        best_config = self.base_config
+        for _ in range(self.n_trials):
+            params = self.space.sample(self._rng)
+            config = replace(self.base_config, **params)
+            forest = LambdaMartRanker(config, seed=self._rng).fit(train, valid)
+            metric = ndcg_at_10(valid, forest.predict(valid.features))
+            trials.append((params, metric))
+            if metric > best_metric:
+                best_metric = metric
+                best_config = config
+        return TuningResult(
+            best_config=best_config, best_metric=best_metric, trials=trials
+        )

@@ -1,0 +1,20 @@
+"""Simulated CPU hardware model.
+
+The paper measures everything on an Intel i9-9900K (AVX2, 3.6 GHz base /
+5.0 GHz turbo, 32 KiB L1d, 256 KiB L2, 16 MiB shared L3).  That machine is
+not available here, so this package models it: a :class:`CpuSpec` captures
+the micro-architectural parameters that the Goto-algorithm and LIBXSMM
+executors charge their simulated time against, and :class:`CacheHierarchy`
+tracks which memory level a given access hits.
+"""
+
+from repro.hardware.cpu import CacheLevel, CpuSpec, I9_9900K
+from repro.hardware.cache import CacheHierarchy, CacheSimulator
+
+__all__ = [
+    "CacheLevel",
+    "CpuSpec",
+    "I9_9900K",
+    "CacheHierarchy",
+    "CacheSimulator",
+]

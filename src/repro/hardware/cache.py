@@ -1,0 +1,124 @@
+"""Cache-hierarchy simulation.
+
+Two abstractions live here:
+
+* :class:`CacheHierarchy` — a *capacity* model: answers "does a working set
+  of this many bytes fit in L1/L2/L3?" and returns the access latency of the
+  first level that holds it.  The blocked-GEMM executor uses it to decide
+  where each packed panel resides, exactly as the Goto algorithm reasons
+  about its block sizes (Section 4.1 of the paper).
+
+* :class:`CacheSimulator` — a *behavioural* model: an LRU set of cache lines
+  that the sparse executor queries per access, so that the reuse pattern of
+  the B operand (rows touched once stay cached, Section 4.4) emerges from
+  the actual non-zero structure rather than being assumed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.hardware.cpu import CpuSpec, I9_9900K
+
+
+class CacheHierarchy:
+    """Capacity-based cost model over the three cache levels of a CPU."""
+
+    def __init__(self, cpu: CpuSpec = I9_9900K) -> None:
+        self.cpu = cpu
+        self._levels = [cpu.l1, cpu.l2, cpu.l3]
+
+    def residency(self, working_set_bytes: int) -> str:
+        """Name of the smallest level that can hold ``working_set_bytes``.
+
+        Returns ``"RAM"`` when the set exceeds L3.
+        """
+        if working_set_bytes < 0:
+            raise ValueError("working_set_bytes must be non-negative")
+        for level in self._levels:
+            if working_set_bytes <= level.size_bytes:
+                return level.name
+        return "RAM"
+
+    def access_latency_ns(self, working_set_bytes: int) -> float:
+        """Latency of one access to a working set of the given footprint."""
+        for level in self._levels:
+            if working_set_bytes <= level.size_bytes:
+                return level.latency_ns
+        return self.cpu.ram_latency_ns
+
+    def fits(self, working_set_bytes: int, level_name: str) -> bool:
+        """Whether a working set fits entirely within the named level."""
+        for level in self._levels:
+            if level.name == level_name:
+                return working_set_bytes <= level.size_bytes
+        raise ValueError(f"unknown cache level {level_name!r}")
+
+
+class CacheSimulator:
+    """A single-level LRU cache of line-granular addresses.
+
+    The sparse-GEMM executor registers each B-row access through
+    :meth:`access`; the simulator reports whether it hit (the row was
+    already resident) or missed (it had to be brought in from the next
+    level).  Only line tags are tracked, not data.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        line_bytes: int = 64,
+        *,
+        hit_latency_ns: float = 1.0,
+        miss_latency_ns: float = 10.0,
+    ) -> None:
+        if capacity_bytes <= 0 or line_bytes <= 0:
+            raise ValueError("capacity and line size must be positive")
+        if capacity_bytes < line_bytes:
+            raise ValueError("capacity must hold at least one line")
+        self.capacity_lines = capacity_bytes // line_bytes
+        self.line_bytes = line_bytes
+        self.hit_latency_ns = hit_latency_ns
+        self.miss_latency_ns = miss_latency_ns
+        self._lines: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int, size_bytes: int = 4) -> float:
+        """Touch ``size_bytes`` starting at ``address``; return latency in ns.
+
+        All lines spanned by the access are brought in; the returned latency
+        is the worst (miss) latency if any spanned line missed.
+        """
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        first = address // self.line_bytes
+        last = (address + size_bytes - 1) // self.line_bytes
+        missed = False
+        for line in range(first, last + 1):
+            if line in self._lines:
+                self._lines.move_to_end(line)
+                self.hits += 1
+            else:
+                missed = True
+                self.misses += 1
+                self._lines[line] = None
+                while len(self._lines) > self.capacity_lines:
+                    self._lines.popitem(last=False)
+        return self.miss_latency_ns if missed else self.hit_latency_ns
+
+    def contains(self, address: int) -> bool:
+        """Whether the line holding ``address`` is currently resident."""
+        return (address // self.line_bytes) in self._lines
+
+    def reset(self) -> None:
+        """Empty the cache and zero the hit/miss counters."""
+        self._lines.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit; 0.0 when nothing was accessed."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

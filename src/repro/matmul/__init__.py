@@ -1,0 +1,41 @@
+"""High-performance matrix multiplication, simulated.
+
+Reproduces Section 4 of the paper on a modeled i9-9900K:
+
+* :mod:`repro.matmul.csr` — the Compressed Sparse Row format (Fig. 7) with
+  the structural queries the sparse predictor needs (active rows/columns)
+  and the M-axis splitting LIBXSMM uses to bound generated code size.
+* :mod:`repro.matmul.onednn` — oneDNN's small-shape adaptation of the
+  Goto blocking parameters (the ``rnd_up`` rules of Section 4.2).
+* :mod:`repro.matmul.dense` — a blocked Goto-algorithm executor that
+  really computes C while charging simulated nanoseconds for packing,
+  micro-kernel work and C traffic; its GFLOPS surface reproduces the
+  three k-zones of Fig. 6.
+* :mod:`repro.matmul.sparse` — a LIBXSMM-style sparse-dense executor
+  (Alg. 1 + the broadcast/FMA micro-kernel of Fig. 9) with an LRU cache
+  simulation of B-row reuse.
+* :mod:`repro.matmul.mkl` — the MKL baseline cost model of Table 3.
+"""
+
+from repro.matmul.csr import CsrMatrix
+from repro.matmul.formats import CooMatrix, CscMatrix, csr_to_coo, csr_to_csc
+from repro.matmul.onednn import OneDnnParams, effective_params, rnd_up
+from repro.matmul.dense import DenseGemmExecutor, DmmReport
+from repro.matmul.sparse import SparseGemmExecutor, SdmmReport
+from repro.matmul.mkl import MklSdmmCostModel
+
+__all__ = [
+    "CsrMatrix",
+    "CooMatrix",
+    "CscMatrix",
+    "csr_to_coo",
+    "csr_to_csc",
+    "OneDnnParams",
+    "effective_params",
+    "rnd_up",
+    "DenseGemmExecutor",
+    "DmmReport",
+    "SparseGemmExecutor",
+    "SdmmReport",
+    "MklSdmmCostModel",
+]

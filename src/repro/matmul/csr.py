@@ -1,0 +1,154 @@
+"""Compressed Sparse Row matrices.
+
+The CSR format (Fig. 7 of the paper) stores a sparse ``m x k`` matrix as
+three arrays: ``values`` (the non-zeros), ``col_index`` (their column),
+and ``row_ptr`` of length ``m + 1`` with ``row_ptr[i+1] - row_ptr[i]``
+non-zeros in row ``i``.  Besides conversion and multiplication, this class
+exposes the structural quantities the sparse time predictor consumes:
+``nnz``, the active rows ``|a_r|`` and the active columns ``|a_c|``
+(Section 4.4, Eq. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_array_2d
+
+
+@dataclass
+class CsrMatrix:
+    """A CSR sparse matrix of shape ``(m, k)``."""
+
+    values: np.ndarray
+    col_index: np.ndarray
+    row_ptr: np.ndarray
+    shape: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        self.col_index = np.asarray(self.col_index, dtype=np.int64)
+        self.row_ptr = np.asarray(self.row_ptr, dtype=np.int64)
+        m, k = self.shape
+        if m <= 0 or k <= 0:
+            raise ValueError(f"shape must be positive, got {self.shape}")
+        if len(self.row_ptr) != m + 1:
+            raise ValueError(
+                f"row_ptr must have m+1={m + 1} entries, got {len(self.row_ptr)}"
+            )
+        if self.row_ptr[0] != 0 or self.row_ptr[-1] != len(self.values):
+            raise ValueError("row_ptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.row_ptr) < 0):
+            raise ValueError("row_ptr must be non-decreasing")
+        if len(self.col_index) != len(self.values):
+            raise ValueError("values and col_index must have equal length")
+        if len(self.col_index) and (
+            self.col_index.min() < 0 or self.col_index.max() >= k
+        ):
+            raise ValueError("col_index entries out of range")
+
+    # ------------------------------------------------------------------
+    # Construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense) -> "CsrMatrix":
+        """Build a CSR matrix from a dense array (zeros dropped)."""
+        a = check_array_2d(dense, "dense")
+        mask = a != 0.0
+        counts = mask.sum(axis=1)
+        row_ptr = np.concatenate(([0], np.cumsum(counts)))
+        rows, cols = np.nonzero(mask)
+        return cls(
+            values=a[rows, cols],
+            col_index=cols.astype(np.int64),
+            row_ptr=row_ptr.astype(np.int64),
+            shape=a.shape,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the dense equivalent."""
+        m, k = self.shape
+        out = np.zeros((m, k), dtype=np.float64)
+        for i in range(m):
+            lo, hi = self.row_ptr[i], self.row_ptr[i + 1]
+            out[i, self.col_index[lo:hi]] = self.values[lo:hi]
+        return out
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return len(self.values)
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of zero entries."""
+        m, k = self.shape
+        return 1.0 - self.nnz / (m * k)
+
+    def active_rows(self) -> np.ndarray:
+        """Indices of rows holding at least one non-zero (``a_r``)."""
+        return np.flatnonzero(np.diff(self.row_ptr) > 0)
+
+    def active_cols(self) -> np.ndarray:
+        """Indices of columns holding at least one non-zero (``a_c``)."""
+        return np.unique(self.col_index)
+
+    @property
+    def n_active_rows(self) -> int:
+        return len(self.active_rows())
+
+    @property
+    def n_active_cols(self) -> int:
+        return len(self.active_cols())
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """(columns, values) of row ``i``."""
+        lo, hi = self.row_ptr[i], self.row_ptr[i + 1]
+        return self.col_index[lo:hi], self.values[lo:hi]
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def matmul(self, dense_b) -> np.ndarray:
+        """Reference SDMM ``C = A @ B`` (Algorithm 1, vectorized per row)."""
+        b = check_array_2d(dense_b, "dense_b")
+        m, k = self.shape
+        if b.shape[0] != k:
+            raise ValueError(
+                f"B has {b.shape[0]} rows, expected k={k}"
+            )
+        out = np.zeros((m, b.shape[1]), dtype=np.float64)
+        for i in self.active_rows():
+            cols, vals = self.row(int(i))
+            out[i] = vals @ b[cols]
+        return out
+
+    def split_rows(self, n_parts: int) -> list["CsrMatrix"]:
+        """Split along the M axis into ``n_parts`` row bands.
+
+        LIBXSMM's JIT aborts when a kernel would contain too many
+        instructions; the paper splits A vertically and stacks the partial
+        results (Section 4.3).  Stacking the parts' products reproduces
+        ``self.matmul`` exactly.
+        """
+        m, k = self.shape
+        if not 1 <= n_parts <= m:
+            raise ValueError(f"n_parts must be in [1, {m}], got {n_parts}")
+        bounds = np.linspace(0, m, n_parts + 1).astype(np.int64)
+        parts = []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            v_lo, v_hi = self.row_ptr[lo], self.row_ptr[hi]
+            parts.append(
+                CsrMatrix(
+                    values=self.values[v_lo:v_hi].copy(),
+                    col_index=self.col_index[v_lo:v_hi].copy(),
+                    row_ptr=(self.row_ptr[lo : hi + 1] - self.row_ptr[lo]).copy(),
+                    shape=(int(hi - lo), k),
+                )
+            )
+        return parts

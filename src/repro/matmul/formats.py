@@ -1,0 +1,157 @@
+"""Additional sparse-matrix formats: COO and CSC.
+
+Section 4.3 surveys the common sparse formats — Compressed Sparse Row
+(CSR, the one LIBXSMM consumes, implemented in
+:mod:`repro.matmul.csr`), Compressed Sparse Column (CSC) and the
+Coordinate list (COO).  This module completes the set with lossless
+conversions between all three, so the library can ingest matrices in
+whatever layout a caller has.
+
+CSR remains the computation format: both alternatives convert to it for
+multiplication, mirroring the paper's observation that CSR "naturally
+fits" the sparse-dense kernel's row-wise access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.matmul.csr import CsrMatrix
+from repro.utils.validation import check_array_1d
+
+
+@dataclass
+class CooMatrix:
+    """Coordinate-list format: parallel (row, col, value) arrays."""
+
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+    shape: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        self.rows = check_array_1d(self.rows, "rows", dtype=np.int64)
+        self.cols = check_array_1d(self.cols, "cols", dtype=np.int64)
+        self.values = check_array_1d(self.values, "values")
+        if not len(self.rows) == len(self.cols) == len(self.values):
+            raise ValueError("rows, cols and values must share length")
+        m, k = self.shape
+        if m <= 0 or k <= 0:
+            raise ValueError(f"shape must be positive, got {self.shape}")
+        if len(self.rows) and (
+            self.rows.min() < 0
+            or self.rows.max() >= m
+            or self.cols.min() < 0
+            or self.cols.max() >= k
+        ):
+            raise ValueError("coordinate out of range")
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    @classmethod
+    def from_dense(cls, dense) -> "CooMatrix":
+        dense = np.asarray(dense, dtype=np.float64)
+        rows, cols = np.nonzero(dense)
+        return cls(
+            rows=rows, cols=cols, values=dense[rows, cols], shape=dense.shape
+        )
+
+    def to_csr(self) -> CsrMatrix:
+        """Convert to CSR (entries sorted by row, then column)."""
+        m, k = self.shape
+        order = np.lexsort((self.cols, self.rows))
+        rows = self.rows[order]
+        counts = np.bincount(rows, minlength=m)
+        row_ptr = np.concatenate(([0], np.cumsum(counts)))
+        return CsrMatrix(
+            values=self.values[order],
+            col_index=self.cols[order],
+            row_ptr=row_ptr,
+            shape=self.shape,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(out, (self.rows, self.cols), self.values)
+        return out
+
+
+@dataclass
+class CscMatrix:
+    """Compressed Sparse Column: CSR of the transpose."""
+
+    values: np.ndarray
+    row_index: np.ndarray
+    col_ptr: np.ndarray
+    shape: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        self.values = check_array_1d(self.values, "values")
+        self.row_index = check_array_1d(self.row_index, "row_index", dtype=np.int64)
+        self.col_ptr = check_array_1d(self.col_ptr, "col_ptr", dtype=np.int64)
+        m, k = self.shape
+        if m <= 0 or k <= 0:
+            raise ValueError(f"shape must be positive, got {self.shape}")
+        if len(self.col_ptr) != k + 1:
+            raise ValueError(f"col_ptr must have k+1={k + 1} entries")
+        if self.col_ptr[0] != 0 or self.col_ptr[-1] != len(self.values):
+            raise ValueError("col_ptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.col_ptr) < 0):
+            raise ValueError("col_ptr must be non-decreasing")
+        if len(self.row_index) and (
+            self.row_index.min() < 0 or self.row_index.max() >= m
+        ):
+            raise ValueError("row_index out of range")
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    @classmethod
+    def from_dense(cls, dense) -> "CscMatrix":
+        dense = np.asarray(dense, dtype=np.float64)
+        transposed = CsrMatrix.from_dense(dense.T)
+        return cls(
+            values=transposed.values,
+            row_index=transposed.col_index,
+            col_ptr=transposed.row_ptr,
+            shape=dense.shape,
+        )
+
+    def to_csr(self) -> CsrMatrix:
+        return CsrMatrix.from_dense(self.to_dense())
+
+    def to_dense(self) -> np.ndarray:
+        m, k = self.shape
+        out = np.zeros((m, k), dtype=np.float64)
+        for j in range(k):
+            lo, hi = self.col_ptr[j], self.col_ptr[j + 1]
+            out[self.row_index[lo:hi], j] = self.values[lo:hi]
+        return out
+
+    def column(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """(row indices, values) of column ``j``."""
+        lo, hi = self.col_ptr[j], self.col_ptr[j + 1]
+        return self.row_index[lo:hi], self.values[lo:hi]
+
+
+def csr_to_coo(csr: CsrMatrix) -> CooMatrix:
+    """Expand a CSR matrix to coordinate form."""
+    m, _ = csr.shape
+    row_counts = np.diff(csr.row_ptr)
+    rows = np.repeat(np.arange(m, dtype=np.int64), row_counts)
+    return CooMatrix(
+        rows=rows,
+        cols=csr.col_index.copy(),
+        values=csr.values.copy(),
+        shape=csr.shape,
+    )
+
+
+def csr_to_csc(csr: CsrMatrix) -> CscMatrix:
+    """Transpose-compress a CSR matrix into CSC."""
+    return CscMatrix.from_dense(csr.to_dense())

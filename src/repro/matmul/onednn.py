@@ -1,0 +1,77 @@
+"""oneDNN blocking parameters and small-shape adaptation.
+
+oneDNN (the BLAS-like backend of PyTorch/TensorFlow the paper studies)
+uses the Goto blocking parameters below for AVX2 CPUs and, for sequential
+execution on small shapes, *adapts* them with the ``rnd_up`` rule of
+Section 4.2:
+
+    m_c_eff = rnd_up(min(max(m, m_r), m_c), m_r)
+
+so the effective block is never smaller than a micro-tile, never larger
+than the default block, and always a multiple of the micro-tile (avoiding
+undersized panels in the micro-kernel).  The same rule applies on the n
+and k axes with their respective micro parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OneDnnParams:
+    """Goto blocking parameters (defaults: oneDNN on AVX2, Section 4.2)."""
+
+    m_c: int = 10000
+    n_c: int = 384
+    k_c: int = 192
+    m_r: int = 24
+    n_r: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("m_c", "n_c", "k_c", "m_r", "n_r"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.m_r > self.m_c or self.n_r > self.n_c:
+            raise ValueError("micro-tile cannot exceed the macro block")
+
+
+def rnd_up(a: int, b: int) -> int:
+    """Round ``a`` up to the next multiple of ``b`` (Section 4.2)."""
+    if b <= 0:
+        raise ValueError(f"b must be positive, got {b}")
+    if a <= 0:
+        return b
+    return -(-a // b) * b
+
+
+def effective_params(
+    m: int, n: int, k: int, params: OneDnnParams | None = None
+) -> OneDnnParams:
+    """Blocking parameters oneDNN actually uses for an ``m x k @ k x n``.
+
+    Applies the small-shape refinements: each macro block is clamped to
+    the problem size (rounded up to the micro-tile on m and n; k has no
+    micro granularity beyond 1, so it is simply clamped).
+    """
+    p = params or OneDnnParams()
+    if m <= 0 or n <= 0 or k <= 0:
+        raise ValueError(f"matrix dimensions must be positive, got {(m, k, n)}")
+    m_c_eff = rnd_up(min(max(m, p.m_r), p.m_c), p.m_r)
+    n_c_eff = rnd_up(min(max(n, p.n_r), p.n_c), p.n_r)
+    k_c_eff = min(max(k, 1), p.k_c)
+    return OneDnnParams(
+        m_c=m_c_eff, n_c=n_c_eff, k_c=k_c_eff, m_r=p.m_r, n_r=p.n_r
+    )
+
+
+def packing_would_dominate(m: int, n: int, k: int) -> bool:
+    """oneDNN's heuristic: skip cache-aware packing on tiny products.
+
+    When the O(mk + kn) packing traffic is comparable to the O(mnk)
+    compute, oneDNN switches to a copy-free kernel (Section 4.2).  The
+    crossover is modeled as packing bytes exceeding FLOPs.
+    """
+    pack_bytes = 4 * (m * k + k * n)
+    flops = 2 * m * n * k
+    return pack_bytes >= flops

@@ -1,0 +1,38 @@
+"""Ranking-quality metrics and statistical significance testing.
+
+Implements the three quality metrics the paper reports — NDCG@10, NDCG
+(no cutoff) and MAP — plus the paired Fisher randomization test used for
+the significance symbols in Tables 1, 5 and 8.
+"""
+
+from repro.metrics.ranking import (
+    average_precision,
+    dcg,
+    mean_average_precision,
+    mean_ndcg,
+    ndcg,
+    per_query_metric,
+)
+from repro.metrics.extra import (
+    err,
+    mean_err,
+    mean_precision_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.metrics.significance import fisher_randomization_test
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "err",
+    "mean_err",
+    "mean_precision_at_k",
+    "dcg",
+    "ndcg",
+    "mean_ndcg",
+    "average_precision",
+    "mean_average_precision",
+    "per_query_metric",
+    "fisher_randomization_test",
+]

@@ -1,0 +1,104 @@
+"""Additional ranking metrics: Precision@k, Recall@k and ERR.
+
+The paper reports NDCG and MAP; these companions are standard in LtR
+evaluations (ERR in particular shares NDCG's graded-gain model) and are
+provided for downstream users comparing against other systems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import LtrDataset
+from repro.metrics.ranking import per_query_metric
+from repro.utils.validation import check_array_1d, check_same_length
+
+
+def _ranked(scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    order = np.argsort(-scores, kind="stable")
+    return labels[order]
+
+
+def precision_at_k(
+    scores, labels, k: int, *, relevance_threshold: int = 1
+) -> float:
+    """Fraction of the top-k documents that are relevant."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    scores = check_array_1d(scores, "scores")
+    labels = check_array_1d(labels, "labels", dtype=np.float64)
+    check_same_length(scores, labels, "scores", "labels")
+    top = _ranked(scores, labels)[:k]
+    return float(np.mean(top >= relevance_threshold))
+
+
+def recall_at_k(
+    scores, labels, k: int, *, relevance_threshold: int = 1
+) -> float:
+    """Fraction of the relevant documents retrieved in the top k.
+
+    ``nan`` when the query has no relevant documents.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    scores = check_array_1d(scores, "scores")
+    labels = check_array_1d(labels, "labels", dtype=np.float64)
+    check_same_length(scores, labels, "scores", "labels")
+    relevant_total = float(np.sum(labels >= relevance_threshold))
+    if relevant_total == 0:
+        return float("nan")
+    top = _ranked(scores, labels)[:k]
+    return float(np.sum(top >= relevance_threshold) / relevant_total)
+
+
+def err(scores, labels, *, max_grade: int = 4, k: int | None = None) -> float:
+    """Expected Reciprocal Rank (Chapelle et al.).
+
+    Models a cascading user: the probability of being satisfied by a
+    document of grade ``g`` is ``(2^g - 1) / 2^max_grade``; ERR is the
+    expected reciprocal rank of the satisfying document.
+    """
+    scores = check_array_1d(scores, "scores")
+    labels = check_array_1d(labels, "labels", dtype=np.float64)
+    check_same_length(scores, labels, "scores", "labels")
+    if max_grade <= 0:
+        raise ValueError(f"max_grade must be positive, got {max_grade}")
+    ranked = _ranked(scores, labels)
+    if k is not None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        ranked = ranked[:k]
+    satisfied = (np.exp2(ranked) - 1.0) / (2.0**max_grade)
+    value = 0.0
+    not_satisfied_yet = 1.0
+    for rank, p in enumerate(satisfied, start=1):
+        value += not_satisfied_yet * p / rank
+        not_satisfied_yet *= 1.0 - p
+    return float(value)
+
+
+def mean_err(
+    dataset: LtrDataset, scores, *, max_grade: int | None = None,
+    k: int | None = None,
+) -> float:
+    """Mean ERR over the dataset's queries."""
+    grade = dataset.max_label if max_grade is None else max_grade
+    grade = max(grade, 1)
+    values = per_query_metric(
+        dataset, scores, lambda s, l: err(s, l, max_grade=grade, k=k)
+    )
+    return float(np.nanmean(values))
+
+
+def mean_precision_at_k(
+    dataset: LtrDataset, scores, k: int, *, relevance_threshold: int = 1
+) -> float:
+    """Mean Precision@k over queries."""
+    values = per_query_metric(
+        dataset,
+        scores,
+        lambda s, l: precision_at_k(
+            s, l, k, relevance_threshold=relevance_threshold
+        ),
+    )
+    return float(np.nanmean(values))

@@ -1,0 +1,116 @@
+"""Per-query and aggregate ranking metrics.
+
+Conventions follow the LETOR evaluation scripts used by the paper's
+datasets:
+
+* DCG uses exponential gain ``2^rel - 1`` and discount ``1 / log2(r + 1)``
+  for the document at 1-based rank ``r`` (Jarvelin & Kekalainen).
+* NDCG@k divides by the ideal DCG@k of the query.  Queries whose ideal DCG
+  is zero (no relevant documents) carry no ranking signal and are excluded
+  from aggregate means.
+* MAP binarizes graded labels as ``rel >= 1``.
+
+Ties in scores are broken by original document order, matching the
+deterministic behaviour of sort-based rankers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.datasets.base import LtrDataset
+from repro.utils.validation import check_array_1d, check_same_length
+
+
+def _ranked_labels(scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Labels reordered by decreasing score (stable for ties)."""
+    order = np.argsort(-scores, kind="stable")
+    return labels[order]
+
+
+def dcg(labels_in_rank_order, k: int | None = None) -> float:
+    """Discounted cumulative gain of an already-ranked label list."""
+    rels = check_array_1d(labels_in_rank_order, "labels", dtype=np.float64)
+    if k is not None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        rels = rels[:k]
+    if rels.size == 0:
+        return 0.0
+    gains = np.exp2(rels) - 1.0
+    discounts = 1.0 / np.log2(np.arange(2, rels.size + 2))
+    return float(gains @ discounts)
+
+
+def ndcg(scores, labels, k: int | None = None) -> float:
+    """NDCG@k of one query; ``nan`` when the query has no relevant docs."""
+    scores = check_array_1d(scores, "scores")
+    labels = check_array_1d(labels, "labels", dtype=np.float64)
+    check_same_length(scores, labels, "scores", "labels")
+    ideal = dcg(np.sort(labels)[::-1], k)
+    if ideal == 0.0:
+        return float("nan")
+    return dcg(_ranked_labels(scores, labels), k) / ideal
+
+
+def average_precision(scores, labels, *, relevance_threshold: int = 1) -> float:
+    """Average precision of one query with binarized labels.
+
+    Returns ``nan`` when the query has no relevant document.
+    """
+    scores = check_array_1d(scores, "scores")
+    labels = check_array_1d(labels, "labels", dtype=np.float64)
+    check_same_length(scores, labels, "scores", "labels")
+    relevant = (_ranked_labels(scores, labels) >= relevance_threshold).astype(
+        np.float64
+    )
+    n_rel = relevant.sum()
+    if n_rel == 0:
+        return float("nan")
+    cum_rel = np.cumsum(relevant)
+    precision_at_hits = cum_rel / np.arange(1, len(relevant) + 1)
+    return float((precision_at_hits * relevant).sum() / n_rel)
+
+
+def per_query_metric(
+    dataset: LtrDataset,
+    scores,
+    metric: Callable[[np.ndarray, np.ndarray], float],
+) -> np.ndarray:
+    """Evaluate ``metric(scores_q, labels_q)`` for every query.
+
+    Returns one value per query (possibly ``nan`` for queries the metric
+    cannot score); the paired values feed the Fisher randomization test.
+    """
+    scores = check_array_1d(scores, "scores")
+    if len(scores) != dataset.n_docs:
+        raise ValueError(
+            f"scores has {len(scores)} rows but dataset has {dataset.n_docs}"
+        )
+    values = np.empty(dataset.n_queries, dtype=np.float64)
+    for i in range(dataset.n_queries):
+        sl = dataset.query_slice(i)
+        values[i] = metric(scores[sl], dataset.labels[sl])
+    return values
+
+
+def mean_ndcg(dataset: LtrDataset, scores, k: int | None = None) -> float:
+    """Mean NDCG@k over queries with at least one relevant document."""
+    values = per_query_metric(dataset, scores, lambda s, l: ndcg(s, l, k))
+    return float(np.nanmean(values))
+
+
+def mean_average_precision(
+    dataset: LtrDataset, scores, *, relevance_threshold: int = 1
+) -> float:
+    """MAP over queries with at least one relevant document."""
+    values = per_query_metric(
+        dataset,
+        scores,
+        lambda s, l: average_precision(
+            s, l, relevance_threshold=relevance_threshold
+        ),
+    )
+    return float(np.nanmean(values))

@@ -1,0 +1,44 @@
+"""Feed-forward neural networks in pure numpy.
+
+Replaces the PyTorch dependency of the paper with an explicit
+forward/backward stack sufficient for its models: fully-connected layers,
+ReLU / ReLU6 activations (the paper uses ReLU6 after every linear layer
+except the last), dropout after the first layer, MSE loss, the Adam
+optimizer with multi-step learning-rate decay, and a mini-batch trainer
+whose batch composition is pluggable (the distillation step mixes real
+and augmented samples every batch).
+"""
+
+from repro.nn.layers import Dropout, Linear, Parameter, ReLU, ReLU6
+from repro.nn.network import FeedForwardNetwork
+from repro.nn.losses import MseLoss
+from repro.nn.optim import Adam, Sgd
+from repro.nn.schedulers import MultiStepLr
+from repro.nn.training import Trainer, TrainingConfig
+from repro.nn.quantization import (
+    QuantizedTensor,
+    quantization_error,
+    quantize_network,
+    quantize_student,
+    quantize_tensor,
+)
+
+__all__ = [
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "ReLU6",
+    "Dropout",
+    "FeedForwardNetwork",
+    "MseLoss",
+    "Adam",
+    "Sgd",
+    "MultiStepLr",
+    "Trainer",
+    "TrainingConfig",
+    "QuantizedTensor",
+    "quantize_tensor",
+    "quantize_network",
+    "quantize_student",
+    "quantization_error",
+]

@@ -1,0 +1,186 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+Every layer implements ``forward(x, training)`` and ``backward(grad)``;
+parameterized layers expose :class:`Parameter` objects whose ``grad`` is
+accumulated by ``backward`` and consumed by an optimizer.
+
+:class:`Linear` additionally supports a binary ``mask`` on its weight —
+the hook used by magnitude pruning: masked entries are zeroed after every
+forward re-application, and their gradient contribution is discarded, so
+fine-tuning trains only the surviving weights (Han et al.).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+class Parameter:
+    """A trainable tensor and its accumulated gradient."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+
+class Layer:
+    """Base layer protocol."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        return []
+
+
+class Linear(Layer):
+    """Fully-connected layer ``y = x @ W.T + b``.
+
+    Weight shape is ``(out_features, in_features)`` — the ``m x k`` weight
+    matrix of the paper's timing analysis.  Initialization is Kaiming
+    uniform, appropriate for the ReLU-family activations used.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"features must be positive, got {in_features}, {out_features}"
+            )
+        rng = ensure_rng(seed)
+        bound = float(np.sqrt(6.0 / in_features))
+        self.weight = Parameter(
+            rng.uniform(-bound, bound, size=(out_features, in_features))
+        )
+        self.bias = Parameter(np.zeros(out_features))
+        self.mask: np.ndarray | None = None
+        self._input: np.ndarray | None = None
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[0]
+
+    # ------------------------------------------------------------------
+    def set_mask(self, mask: np.ndarray | None) -> None:
+        """Install (or clear) a binary pruning mask and apply it."""
+        if mask is None:
+            self.mask = None
+            return
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.shape != self.weight.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} != weight shape {self.weight.shape}"
+            )
+        self.mask = mask
+        self.apply_mask()
+
+    def apply_mask(self) -> None:
+        """Re-zero masked weights (after an optimizer step)."""
+        if self.mask is not None:
+            self.weight.data *= self.mask
+
+    def sparsity(self) -> float:
+        """Fraction of exactly-zero weights."""
+        return float(np.mean(self.weight.data == 0.0))
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._input = x if training else None
+        return x @ self.weight.data.T + self.bias.data
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called without a training forward")
+        gw = grad.T @ self._input
+        if self.mask is not None:
+            gw *= self.mask
+        self.weight.grad += gw
+        self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.data
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._active: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.maximum(x, 0.0)
+        self._active = (x > 0.0) if training else None
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._active is None:
+            raise RuntimeError("backward called without a training forward")
+        return grad * self._active
+
+
+class ReLU6(Layer):
+    """Clipped rectifier ``min(max(x, 0), 6)`` (the paper's activation)."""
+
+    def __init__(self) -> None:
+        self._active: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.minimum(np.maximum(x, 0.0), 6.0)
+        self._active = ((x > 0.0) & (x < 6.0)) if training else None
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._active is None:
+            raise RuntimeError("backward called without a training forward")
+        return grad * self._active
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time.
+
+    The paper applies dropout (rate 0.1 on Istella-S) only after the
+    first layer.
+    """
+
+    def __init__(
+        self, rate: float, seed: int | np.random.Generator | None = None
+    ) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = ensure_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask

@@ -1,0 +1,29 @@
+"""Loss functions.
+
+Distillation by scores approximation uses the mean squared error between
+the student's predictions and the teacher's scores (Section 3); only MSE
+is needed by the paper's pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MseLoss:
+    """Mean squared error ``mean((pred - target)^2)``."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: {predictions.shape} vs {targets.shape}"
+            )
+        diff = predictions - targets
+        self._diff = diff
+        return float(np.mean(diff * diff))
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the loss w.r.t. the predictions."""
+        if not hasattr(self, "_diff"):
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size

@@ -1,0 +1,223 @@
+"""The feed-forward ranking network.
+
+Architecture follows the paper exactly: for hidden widths
+``l_1 x l_2 x ... x l_d`` (the paper's ``400x200x200x100`` notation), the
+network is
+
+    input(f) -> Linear(f, l_1) -> [Dropout] -> ReLU6
+             -> Linear(l_1, l_2) -> ReLU6 -> ...
+             -> Linear(l_{d-1}, l_d) -> ReLU6
+             -> Linear(l_d, 1)                      (scoring head)
+
+with ReLU6 after every linear layer except the last, and dropout (if
+enabled) only after the first layer (Section 6.1).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.exceptions import ArchitectureError
+from repro.nn.layers import Dropout, Layer, Linear, Parameter, ReLU6
+from repro.utils.rng import ensure_rng, spawn
+from repro.utils.validation import check_array_2d
+
+
+class FeedForwardNetwork:
+    """An MLP document scorer in the paper's configuration.
+
+    Parameters
+    ----------
+    input_dim:
+        Number of input features ``f``.
+    hidden:
+        Hidden-layer widths, e.g. ``(400, 200, 200, 100)``.
+    dropout:
+        Dropout rate after the first layer; 0 disables it.
+    seed:
+        Initialization seed.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden,
+        *,
+        dropout: float = 0.0,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        hidden = tuple(int(h) for h in hidden)
+        if input_dim <= 0:
+            raise ArchitectureError(f"input_dim must be positive, got {input_dim}")
+        if not hidden or any(h <= 0 for h in hidden):
+            raise ArchitectureError(
+                f"hidden widths must be positive and non-empty, got {hidden}"
+            )
+        self.input_dim = input_dim
+        self.hidden = hidden
+        self.dropout_rate = dropout
+
+        rng = ensure_rng(seed)
+        seeds = spawn(rng, len(hidden) + 2)
+        self.layers: list[Layer] = []
+        self.linears: list[Linear] = []
+        dims = (input_dim,) + hidden + (1,)
+        for i in range(len(dims) - 1):
+            linear = Linear(dims[i], dims[i + 1], seed=seeds[i])
+            self.layers.append(linear)
+            self.linears.append(linear)
+            is_last = i == len(dims) - 2
+            if not is_last:
+                if i == 0 and dropout > 0.0:
+                    self.layers.append(Dropout(dropout, seed=seeds[-1]))
+                self.layers.append(ReLU6())
+
+    # ------------------------------------------------------------------
+    @property
+    def first_layer(self) -> Linear:
+        """The ``l_1 x f`` layer targeted by efficiency-oriented pruning."""
+        return self.linears[0]
+
+    @property
+    def n_layers(self) -> int:
+        """Number of linear layers, including the scoring head."""
+        return len(self.linears)
+
+    def describe(self) -> str:
+        """Architecture in the paper's ``a x b x c`` notation."""
+        return "x".join(str(h) for h in self.hidden)
+
+    def n_parameters(self) -> int:
+        """Total trainable parameter count (weights + biases)."""
+        return sum(p.data.size for p in self.parameters())
+
+    def flops_per_doc(self, *, count_sparse_as_zero: bool = False) -> int:
+        """Multiply-add FLOPs of one forward pass (Eq. 3's operation count).
+
+        With ``count_sparse_as_zero`` the pruned (masked-out) weights are
+        excluded — the reduced count ``2 * nnz`` the sparse kernel
+        actually performs.
+        """
+        total = 0
+        for linear in self.linears:
+            if count_sparse_as_zero:
+                total += 2 * int(np.count_nonzero(linear.weight.data))
+            else:
+                total += 2 * linear.weight.data.size
+        return total
+
+    def parameters(self) -> list[Parameter]:
+        out: list[Parameter] = []
+        for layer in self.layers:
+            out.extend(layer.parameters())
+        return out
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def apply_masks(self) -> None:
+        """Re-apply all pruning masks (after an optimizer step)."""
+        for linear in self.linears:
+            linear.apply_mask()
+
+    def layer_sparsities(self) -> list[float]:
+        """Fraction of zero weights per linear layer."""
+        return [linear.sparsity() for linear in self.linears]
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Forward pass; returns raw scores of shape ``(n,)``."""
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out[:, 0]
+
+    def backward(self, grad_scores: np.ndarray) -> None:
+        """Backpropagate ``dLoss/dscore`` through the network."""
+        grad = grad_scores[:, None]
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def predict(self, features, batch_size: int = 4096) -> np.ndarray:
+        """Inference over a (possibly large) feature matrix."""
+        x = check_array_2d(features, "features")
+        if x.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected {self.input_dim} features, got {x.shape[1]}"
+            )
+        out = np.empty(len(x), dtype=np.float64)
+        for start in range(0, len(x), batch_size):
+            chunk = x[start : start + batch_size]
+            out[start : start + len(chunk)] = self.forward(chunk, training=False)
+        return out
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def get_weights(self) -> list[dict[str, np.ndarray]]:
+        """Copies of all linear weights/biases (for snapshots)."""
+        return [
+            {"weight": l.weight.data.copy(), "bias": l.bias.data.copy()}
+            for l in self.linears
+        ]
+
+    def set_weights(self, state: list[dict[str, np.ndarray]]) -> None:
+        """Restore weights captured by :meth:`get_weights`."""
+        if len(state) != len(self.linears):
+            raise ValueError(
+                f"state has {len(state)} layers, network has {len(self.linears)}"
+            )
+        for linear, entry in zip(self.linears, state):
+            if entry["weight"].shape != linear.weight.shape:
+                raise ValueError("weight shape mismatch in set_weights")
+            linear.weight.data = entry["weight"].copy()
+            linear.bias.data = entry["bias"].copy()
+
+    def clone(self) -> "FeedForwardNetwork":
+        """Deep copy with the same architecture, weights and masks."""
+        twin = FeedForwardNetwork(
+            self.input_dim, self.hidden, dropout=self.dropout_rate, seed=0
+        )
+        twin.set_weights(self.get_weights())
+        for src, dst in zip(self.linears, twin.linears):
+            dst.set_mask(None if src.mask is None else src.mask.copy())
+        return twin
+
+    def save(self, path) -> None:
+        """Persist architecture + weights as JSON."""
+        payload = {
+            "input_dim": self.input_dim,
+            "hidden": list(self.hidden),
+            "dropout": self.dropout_rate,
+            "layers": [
+                {
+                    "weight": l.weight.data.tolist(),
+                    "bias": l.bias.data.tolist(),
+                    "mask": None if l.mask is None else l.mask.tolist(),
+                }
+                for l in self.linears
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path) -> "FeedForwardNetwork":
+        """Load a network written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        net = cls(
+            payload["input_dim"],
+            payload["hidden"],
+            dropout=payload.get("dropout", 0.0),
+            seed=0,
+        )
+        for linear, entry in zip(net.linears, payload["layers"]):
+            linear.weight.data = np.asarray(entry["weight"], dtype=np.float64)
+            linear.bias.data = np.asarray(entry["bias"], dtype=np.float64)
+            if entry.get("mask") is not None:
+                linear.set_mask(np.asarray(entry["mask"]))
+        return net

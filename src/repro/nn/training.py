@@ -1,0 +1,180 @@
+"""Mini-batch training loop.
+
+A :class:`Trainer` runs epochs of MSE regression over a feature/target
+pair, with a pluggable ``batch_provider`` so the distillation step can
+compose every batch half from real documents and half from augmented
+split-point samples (Section 3).  After every optimizer step the
+network's pruning masks are re-applied, so pruned weights stay at zero
+during fine-tuning (Han et al.).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.losses import MseLoss
+from repro.nn.network import FeedForwardNetwork
+from repro.nn.optim import Adam, Optimizer
+from repro.nn.schedulers import MultiStepLr
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_array_1d, check_array_2d
+
+#: Returns one (features, targets) batch.
+BatchProvider = Callable[[np.random.Generator, int], tuple[np.ndarray, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Epochs, batch size and LR schedule of one training phase."""
+
+    epochs: int = 100
+    batch_size: int = 256
+    learning_rate: float = 0.001
+    lr_gamma: float = 0.1
+    lr_milestones: tuple[int, ...] = ()
+    #: Global gradient-norm clip; stabilizes wide first layers against
+    #: the occasional extreme augmented sample.  None disables.
+    grad_clip_norm: float | None = 10.0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.learning_rate <= 0:
+            raise ValueError(
+                f"learning_rate must be positive, got {self.learning_rate}"
+            )
+        if self.grad_clip_norm is not None and self.grad_clip_norm <= 0:
+            raise ValueError(
+                f"grad_clip_norm must be positive or None, got "
+                f"{self.grad_clip_norm}"
+            )
+
+
+@dataclass
+class FitHistory:
+    """Per-epoch loss trace (and optional validation metric)."""
+
+    train_loss: list[float] = field(default_factory=list)
+    valid_metric: list[float] = field(default_factory=list)
+
+
+class Trainer:
+    """Mini-batch MSE trainer with mask re-application.
+
+    Parameters
+    ----------
+    network:
+        The model to train.
+    config:
+        Epochs / batch size / LR schedule.
+    optimizer:
+        Defaults to Adam with the configured learning rate, matching the
+        paper (Adam, lr 0.001, no weight decay).
+    """
+
+    def __init__(
+        self,
+        network: FeedForwardNetwork,
+        config: TrainingConfig,
+        optimizer: Optimizer | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.network = network
+        self.config = config
+        self.optimizer = optimizer or Adam(
+            network.parameters(), lr=config.learning_rate
+        )
+        self.scheduler = (
+            MultiStepLr(self.optimizer, config.lr_milestones, config.lr_gamma)
+            if config.lr_milestones
+            else None
+        )
+        self.loss = MseLoss()
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        features: np.ndarray | None = None,
+        targets: np.ndarray | None = None,
+        *,
+        batch_provider: BatchProvider | None = None,
+        steps_per_epoch: int | None = None,
+        on_epoch_end: Callable[[int, float], None] | None = None,
+        valid_fn: Callable[[], float] | None = None,
+    ) -> FitHistory:
+        """Train the network.
+
+        Either ``(features, targets)`` or a ``batch_provider`` must be
+        given.  ``valid_fn`` (if provided) is evaluated after each epoch
+        and recorded in the history.
+        """
+        if batch_provider is None:
+            if features is None or targets is None:
+                raise ValueError(
+                    "either (features, targets) or batch_provider is required"
+                )
+            x = check_array_2d(features, "features")
+            y = check_array_1d(targets, "targets")
+            if len(x) != len(y):
+                raise ValueError("features and targets must have equal length")
+            batch_provider = self._array_provider(x, y)
+            default_steps = max(1, len(x) // self.config.batch_size)
+        else:
+            default_steps = 100
+        steps = steps_per_epoch or default_steps
+
+        history = FitHistory()
+        for epoch in range(self.config.epochs):
+            epoch_loss = 0.0
+            for _ in range(steps):
+                xb, yb = batch_provider(self._rng, self.config.batch_size)
+                epoch_loss += self._train_step(xb, yb)
+            epoch_loss /= steps
+            history.train_loss.append(epoch_loss)
+            if self.scheduler is not None:
+                self.scheduler.step()
+            if valid_fn is not None:
+                history.valid_metric.append(float(valid_fn()))
+            if on_epoch_end is not None:
+                on_epoch_end(epoch, epoch_loss)
+        return history
+
+    def _train_step(self, xb: np.ndarray, yb: np.ndarray) -> float:
+        net = self.network
+        net.zero_grad()
+        pred = net.forward(xb, training=True)
+        loss = self.loss.forward(pred, yb)
+        net.backward(self.loss.backward())
+        self._clip_gradients()
+        self.optimizer.step()
+        net.apply_masks()
+        return loss
+
+    def _clip_gradients(self) -> None:
+        max_norm = self.config.grad_clip_norm
+        if max_norm is None:
+            return
+        params = self.network.parameters()
+        total = float(
+            np.sqrt(sum(float(np.sum(p.grad * p.grad)) for p in params))
+        )
+        if total > max_norm:
+            scale = max_norm / total
+            for p in params:
+                p.grad *= scale
+
+    @staticmethod
+    def _array_provider(x: np.ndarray, y: np.ndarray) -> BatchProvider:
+        def provider(
+            rng: np.random.Generator, batch_size: int
+        ) -> tuple[np.ndarray, np.ndarray]:
+            idx = rng.integers(0, len(x), size=min(batch_size, len(x)))
+            return x[idx], y[idx]
+
+        return provider

@@ -1,0 +1,49 @@
+"""Magnitude pruning of neural rankers.
+
+Implements the element-wise pruning machinery of Sections 2.3 and 5.2:
+
+* :mod:`repro.pruning.masks` — binary-mask construction (level- and
+  threshold-based magnitude criteria).
+* :mod:`repro.pruning.magnitude` — the two pruner families: *level*
+  pruning (explicit sparsity target) and Distiller-style *threshold*
+  pruning (``t = s * sigma`` with the threshold held fixed while
+  fine-tuning pulls surviving weights toward the centre of the
+  distribution).
+* :mod:`repro.pruning.sensitivity` — static and dynamic per-layer
+  sensitivity analysis (Fig. 10).
+* :mod:`repro.pruning.pipeline` — the paper's early-layers
+  efficiency-oriented pruning: aggressively sparsify the *first* layer
+  (the dominant cost, and the layer where pruning regularizes) while
+  fine-tuning everything against the teacher.
+"""
+
+from repro.pruning.masks import (
+    level_mask,
+    mask_sparsity,
+    threshold_from_sigma,
+    threshold_mask,
+)
+from repro.pruning.magnitude import LevelPruner, ThresholdPruner
+from repro.pruning.schedule import LinearSchedule, PolynomialSchedule
+from repro.pruning.sensitivity import (
+    SensitivityResult,
+    dynamic_sensitivity,
+    static_sensitivity,
+)
+from repro.pruning.pipeline import FirstLayerPruningConfig, FirstLayerPruner
+
+__all__ = [
+    "level_mask",
+    "threshold_mask",
+    "threshold_from_sigma",
+    "mask_sparsity",
+    "LevelPruner",
+    "ThresholdPruner",
+    "LinearSchedule",
+    "PolynomialSchedule",
+    "SensitivityResult",
+    "static_sensitivity",
+    "dynamic_sensitivity",
+    "FirstLayerPruningConfig",
+    "FirstLayerPruner",
+]

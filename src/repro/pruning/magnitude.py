@@ -1,0 +1,96 @@
+"""Magnitude pruners operating on :class:`Linear` layers.
+
+Both pruners update the layer's binary mask in place; masks are
+*cumulative* — an entry pruned once never returns (Han et al.'s
+train-prune-retrain procedure trains only the surviving connections).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import PruningError
+from repro.nn.layers import Linear
+from repro.pruning.masks import level_mask, threshold_from_sigma, threshold_mask
+
+
+class LevelPruner:
+    """Explicit-sparsity magnitude pruning.
+
+    ``apply(layer)`` prunes ``layer`` to the target sparsity; with
+    ``schedule`` steps the target can be reached gradually (Han et al.
+    report that ramping sparsity with interleaved retraining beats
+    one-shot pruning).
+    """
+
+    def __init__(self, target_sparsity: float) -> None:
+        if not 0.0 <= target_sparsity < 1.0:
+            raise PruningError(
+                f"target_sparsity must be in [0, 1), got {target_sparsity}"
+            )
+        self.target_sparsity = target_sparsity
+
+    def apply(self, layer: Linear, fraction_of_target: float = 1.0) -> float:
+        """Prune to ``fraction_of_target * target``; returns the sparsity."""
+        if not 0.0 < fraction_of_target <= 1.0:
+            raise PruningError(
+                f"fraction_of_target must be in (0, 1], got {fraction_of_target}"
+            )
+        sparsity = self.target_sparsity * fraction_of_target
+        mask = level_mask(layer.weight.data, sparsity)
+        if layer.mask is not None:
+            mask = mask * layer.mask  # cumulative
+        layer.set_mask(mask)
+        return layer.sparsity()
+
+
+class ThresholdPruner:
+    """Distiller-style fixed-threshold magnitude pruning.
+
+    The threshold ``t = s * sigma`` is computed once from the initial
+    weight distribution and then *held fixed*: as fine-tuning pulls the
+    surviving weights toward the centre of the distribution, more of them
+    cross the threshold on subsequent :meth:`apply` calls, gradually
+    raising sparsity (exactly the Distiller behaviour the paper adopts,
+    Section 2.3).
+    """
+
+    def __init__(self, sensitivity: float, max_sparsity: float = 0.995) -> None:
+        if sensitivity <= 0:
+            raise PruningError(f"sensitivity must be > 0, got {sensitivity}")
+        if not 0.0 < max_sparsity <= 1.0:
+            raise PruningError(
+                f"max_sparsity must be in (0, 1], got {max_sparsity}"
+            )
+        self.sensitivity = sensitivity
+        self.max_sparsity = max_sparsity
+        self.threshold_: float | None = None
+
+    def apply(self, layer: Linear) -> float:
+        """Prune ``layer`` below the (fixed) threshold; returns sparsity.
+
+        Sparsity is capped at ``max_sparsity``: when fine-tuning pulls so
+        many weights under the threshold that the layer would die, the
+        largest-magnitude survivors are kept instead (the paper's final
+        model keeps ~1.3% of first-layer weights alive).
+        """
+        if self.threshold_ is None:
+            self.threshold_ = threshold_from_sigma(
+                layer.weight.data, self.sensitivity
+            )
+        mask = threshold_mask(layer.weight.data, self.threshold_)
+        if layer.mask is not None:
+            mask = mask * layer.mask
+        if float(np.mean(mask == 0.0)) > self.max_sparsity:
+            floor_mask = level_mask(layer.weight.data, self.max_sparsity)
+            mask = np.maximum(mask, floor_mask)
+            if layer.mask is not None:
+                mask = mask * layer.mask
+        layer.set_mask(mask)
+        return layer.sparsity()
+
+    def expected_one_step_sparsity(self, layer: Linear) -> float:
+        """Gaussian estimate: P(|w| < s*sigma), ~68% at s = 1."""
+        from scipy.stats import norm
+
+        return float(2.0 * norm.cdf(self.sensitivity) - 1.0)

@@ -1,0 +1,64 @@
+"""Binary pruning-mask construction.
+
+Masks have the weight's shape with 1.0 for surviving entries and 0.0 for
+pruned ones.  Two magnitude criteria are provided (Section 2.3):
+
+* *level*: zero the smallest-|w| entries until a target sparsity holds;
+* *threshold*: zero every ``|w| < t`` with ``t = s * sigma(w)`` — the
+  statistically-derived threshold of Han et al. / the Distiller
+  framework.  For normally-distributed weights, ``s = 1`` prunes ~68%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import PruningError
+
+
+def mask_sparsity(mask: np.ndarray) -> float:
+    """Fraction of zeros in a mask."""
+    m = np.asarray(mask)
+    if m.size == 0:
+        raise PruningError("mask is empty")
+    return float(np.mean(m == 0.0))
+
+
+def level_mask(weights: np.ndarray, sparsity: float) -> np.ndarray:
+    """Mask keeping the largest-|w| ``(1 - sparsity)`` fraction of entries.
+
+    Ties at the cut magnitude are broken by flat index, so the resulting
+    sparsity is exact.
+    """
+    if not 0.0 <= sparsity <= 1.0:
+        raise PruningError(f"sparsity must be in [0, 1], got {sparsity}")
+    w = np.asarray(weights, dtype=np.float64)
+    n_prune = int(round(sparsity * w.size))
+    mask = np.ones(w.size, dtype=np.float64)
+    if n_prune > 0:
+        order = np.argsort(np.abs(w).ravel(), kind="stable")
+        mask[order[:n_prune]] = 0.0
+    return mask.reshape(w.shape)
+
+
+def threshold_from_sigma(weights: np.ndarray, sensitivity: float) -> float:
+    """Han et al.'s layer threshold ``t = s * std(weights)``.
+
+    The standard deviation is computed over the *currently surviving*
+    (non-zero) entries so iterated pruning keeps tightening.
+    """
+    if sensitivity < 0:
+        raise PruningError(f"sensitivity must be >= 0, got {sensitivity}")
+    w = np.asarray(weights, dtype=np.float64)
+    alive = w[w != 0.0]
+    if alive.size == 0:
+        return 0.0
+    return float(sensitivity * alive.std())
+
+
+def threshold_mask(weights: np.ndarray, threshold: float) -> np.ndarray:
+    """Mask keeping entries with ``|w| >= threshold``."""
+    if threshold < 0:
+        raise PruningError(f"threshold must be >= 0, got {threshold}")
+    w = np.asarray(weights, dtype=np.float64)
+    return (np.abs(w) >= threshold).astype(np.float64)

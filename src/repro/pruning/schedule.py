@@ -1,0 +1,79 @@
+"""Gradual sparsity schedules.
+
+Section 2.3: "Han et al. show that the gradual increase of the target
+sparsity, interleaved with a number of steps of re-training, can improve
+the accuracy of the final model."  This module implements the two
+standard schedules for driving a :class:`LevelPruner` across epochs:
+
+* :class:`LinearSchedule` — sparsity ramps linearly from
+  ``initial_sparsity`` to ``final_sparsity`` over the pruning epochs;
+* :class:`PolynomialSchedule` — Zhu & Gupta's automated gradual pruning
+  (AGP) cubic ramp, which prunes aggressively early (while the network
+  is plastic) and gently near the target:
+
+      s_t = s_f + (s_i - s_f) * (1 - t/T)^power
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import PruningError
+
+
+@dataclass(frozen=True)
+class LinearSchedule:
+    """Linear sparsity ramp over ``n_epochs``."""
+
+    final_sparsity: float
+    n_epochs: int
+    initial_sparsity: float = 0.0
+
+    def __post_init__(self) -> None:
+        _validate(self.initial_sparsity, self.final_sparsity, self.n_epochs)
+
+    def sparsity_at(self, epoch: int) -> float:
+        """Target sparsity after ``epoch`` (0-based) pruning steps."""
+        if epoch < 0:
+            raise PruningError(f"epoch must be >= 0, got {epoch}")
+        if epoch >= self.n_epochs - 1:
+            return self.final_sparsity
+        t = (epoch + 1) / self.n_epochs
+        return self.initial_sparsity + t * (
+            self.final_sparsity - self.initial_sparsity
+        )
+
+
+@dataclass(frozen=True)
+class PolynomialSchedule:
+    """Zhu & Gupta's AGP ramp: fast early, gentle near the target."""
+
+    final_sparsity: float
+    n_epochs: int
+    initial_sparsity: float = 0.0
+    power: float = 3.0
+
+    def __post_init__(self) -> None:
+        _validate(self.initial_sparsity, self.final_sparsity, self.n_epochs)
+        if self.power <= 0:
+            raise PruningError(f"power must be positive, got {self.power}")
+
+    def sparsity_at(self, epoch: int) -> float:
+        """Target sparsity after ``epoch`` (0-based) pruning steps."""
+        if epoch < 0:
+            raise PruningError(f"epoch must be >= 0, got {epoch}")
+        if epoch >= self.n_epochs - 1:
+            return self.final_sparsity
+        t = (epoch + 1) / self.n_epochs
+        return self.final_sparsity + (
+            self.initial_sparsity - self.final_sparsity
+        ) * (1.0 - t) ** self.power
+
+
+def _validate(initial: float, final: float, n_epochs: int) -> None:
+    if not 0.0 <= initial <= final < 1.0:
+        raise PruningError(
+            f"need 0 <= initial <= final < 1, got {initial}, {final}"
+        )
+    if n_epochs <= 0:
+        raise PruningError(f"n_epochs must be positive, got {n_epochs}")

@@ -1,0 +1,97 @@
+"""Per-layer pruning sensitivity analysis (Section 5.2, Fig. 10).
+
+Both procedures prune a growing fraction of weights in *one layer at a
+time* and evaluate the partially-pruned model on the validation set:
+
+* **static** — no retraining after pruning: measures how much the raw
+  model relies on each layer's small weights (the paper finds early
+  layers most sensitive);
+* **dynamic** — fine-tune the surviving weights (all layers) after each
+  pruning step: the trend inverts, and high first-layer sparsity can even
+  *beat* the dense model (pruning as a regularizer) — the observation the
+  efficiency-oriented pipeline exploits.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.distill.student import DistilledStudent
+from repro.pruning.magnitude import LevelPruner
+
+#: Evaluates a (cloned, possibly pruned) student; higher is better.
+EvalFn = Callable[[DistilledStudent], float]
+#: Fine-tunes a student in place (dynamic analysis only).
+FinetuneFn = Callable[[DistilledStudent], None]
+
+DEFAULT_SPARSITIES = (0.0, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.98)
+
+
+@dataclass
+class SensitivityResult:
+    """Metric per (layer, sparsity) grid point."""
+
+    sparsities: tuple[float, ...]
+    #: layer index (0-based over linear layers) -> metric per sparsity.
+    curves: dict[int, list[float]] = field(default_factory=dict)
+    baseline: float = float("nan")
+
+    def layer_curve(self, layer: int) -> list[tuple[float, float]]:
+        """(sparsity, metric) pairs for one layer."""
+        return list(zip(self.sparsities, self.curves[layer]))
+
+    def most_sensitive_layer(self) -> int:
+        """Layer whose metric drops most at the highest sparsity."""
+        return min(self.curves, key=lambda l: self.curves[l][-1])
+
+    def most_robust_layer(self) -> int:
+        """Layer whose metric stays highest at the highest sparsity."""
+        return max(self.curves, key=lambda l: self.curves[l][-1])
+
+
+def _run(
+    student: DistilledStudent,
+    eval_fn: EvalFn,
+    sparsities: Sequence[float],
+    layers: Sequence[int] | None,
+    finetune_fn: FinetuneFn | None,
+) -> SensitivityResult:
+    n_prunable = len(student.network.linears) - 1  # never prune the head
+    layer_ids = list(range(n_prunable)) if layers is None else list(layers)
+    result = SensitivityResult(sparsities=tuple(float(s) for s in sparsities))
+    result.baseline = float(eval_fn(student))
+    for layer in layer_ids:
+        curve: list[float] = []
+        for sparsity in sparsities:
+            probe = student.clone()
+            if sparsity > 0.0:
+                LevelPruner(float(sparsity)).apply(probe.network.linears[layer])
+                if finetune_fn is not None:
+                    finetune_fn(probe)
+            curve.append(float(eval_fn(probe)))
+        result.curves[layer] = curve
+    return result
+
+
+def static_sensitivity(
+    student: DistilledStudent,
+    eval_fn: EvalFn,
+    *,
+    sparsities: Sequence[float] = DEFAULT_SPARSITIES,
+    layers: Sequence[int] | None = None,
+) -> SensitivityResult:
+    """Prune one layer at a time, no retraining (Fig. 10 left)."""
+    return _run(student, eval_fn, sparsities, layers, None)
+
+
+def dynamic_sensitivity(
+    student: DistilledStudent,
+    eval_fn: EvalFn,
+    finetune_fn: FinetuneFn,
+    *,
+    sparsities: Sequence[float] = DEFAULT_SPARSITIES,
+    layers: Sequence[int] | None = None,
+) -> SensitivityResult:
+    """Prune one layer at a time with retraining (Fig. 10 right)."""
+    return _run(student, eval_fn, sparsities, layers, finetune_fn)

@@ -1,0 +1,89 @@
+"""Block-Wise QuickScorer (BWQS) partitioning.
+
+Large forests exceed the L3 cache; BWQS splits the ensemble into blocks
+of trees whose traversal structures fit L3 and scores each block over the
+whole document batch before moving on, trading one pass for a low
+cache-miss ratio (Section 2.2).  This module computes the partition and
+the per-block footprints; the cost model charges a miss penalty to
+un-blocked scoring of oversized forests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.forest.ensemble import TreeEnsemble
+from repro.hardware.cpu import CpuSpec, I9_9900K
+
+
+def tree_structure_bytes(n_internal_nodes: int, n_leaves: int) -> int:
+    """Approximate QuickScorer footprint of one tree.
+
+    Per internal node: fp32 threshold, int32 tree id, and one mask word
+    per 64 leaves; per leaf: an fp64 value; plus one leafidx word row.
+    """
+    n_words = max(1, -(-n_leaves // 64))
+    return n_internal_nodes * (4 + 4 + 8 * n_words) + n_leaves * 8 + 8 * n_words
+
+
+def forest_bytes(ensemble: TreeEnsemble) -> int:
+    """Total QuickScorer structure footprint of ``ensemble``."""
+    return sum(
+        tree_structure_bytes(len(t.internal_nodes()), t.n_leaves)
+        for t in ensemble.trees
+    )
+
+
+@dataclass(frozen=True)
+class BlockPlan:
+    """A BWQS partition: contiguous tree ranges and their footprints."""
+
+    block_ranges: tuple[tuple[int, int], ...]
+    block_bytes: tuple[int, ...]
+    capacity_bytes: int
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.block_ranges)
+
+    @property
+    def fits_cache(self) -> bool:
+        """Whether every block fits the target cache level."""
+        return all(b <= self.capacity_bytes for b in self.block_bytes)
+
+
+def partition_into_blocks(
+    ensemble: TreeEnsemble,
+    cpu: CpuSpec = I9_9900K,
+    *,
+    cache_fraction: float = 0.5,
+) -> BlockPlan:
+    """Greedily pack consecutive trees into L3-sized blocks.
+
+    ``cache_fraction`` reserves headroom for the document batch and other
+    traffic; the original BWQS similarly does not use the whole L3.
+    """
+    if not 0 < cache_fraction <= 1:
+        raise ValueError(f"cache_fraction must be in (0, 1], got {cache_fraction}")
+    capacity = int(cpu.l3.size_bytes * cache_fraction)
+    sizes = [
+        tree_structure_bytes(len(t.internal_nodes()), t.n_leaves)
+        for t in ensemble.trees
+    ]
+    ranges: list[tuple[int, int]] = []
+    block_bytes: list[int] = []
+    start = 0
+    acc = 0
+    for i, size in enumerate(sizes):
+        if acc and acc + size > capacity:
+            ranges.append((start, i))
+            block_bytes.append(acc)
+            start, acc = i, 0
+        acc += size
+    ranges.append((start, len(sizes)))
+    block_bytes.append(acc)
+    return BlockPlan(
+        block_ranges=tuple(ranges),
+        block_bytes=tuple(block_bytes),
+        capacity_bytes=capacity,
+    )

@@ -1,0 +1,167 @@
+"""Bitvector encoding of a tree ensemble for QuickScorer.
+
+For every tree, leaves are numbered left-to-right; every internal node
+tests ``x[feature] <= threshold`` and, when that test is *false*, its
+whole left subtree becomes unreachable.  The node's *mask* is therefore a
+bitvector with ones everywhere except the positions of its left-subtree
+leaves.  ANDing the masks of all false nodes of a tree yields ``leafidx``
+whose lowest set bit is the exit leaf (Section 2.2 of the paper).
+
+Nodes are then re-organized *feature by feature* with thresholds in
+ascending order: scoring a document scans each feature's list while
+``x[f] > threshold`` and stops at the first test that holds, because every
+later threshold would hold as well.
+
+Bitvectors are stored LSB-first in little-endian ``uint64`` words; trees
+with more than 64 leaves simply use multiple words per bitvector, which
+the cost model charges for (the paper notes the > 64-leaf penalty that
+RapidScorer later addresses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import QuickScorerError
+from repro.forest.ensemble import TreeEnsemble
+from repro.forest.tree import RegressionTree
+
+
+@dataclass(frozen=True)
+class FeatureNodeList:
+    """All (threshold ascending) false-node masks testing one feature."""
+
+    feature: int
+    thresholds: np.ndarray  # (n,) float64, ascending
+    tree_ids: np.ndarray  # (n,) int32
+    masks: np.ndarray  # (n, n_words) uint64
+
+
+@dataclass(frozen=True)
+class EncodedForest:
+    """QuickScorer-ready representation of a :class:`TreeEnsemble`."""
+
+    n_trees: int
+    n_features: int
+    n_words: int
+    max_leaves: int
+    init_leafidx: np.ndarray  # (n_trees, n_words) uint64, valid-leaf bits
+    leaf_values: np.ndarray  # (n_trees, n_words * 64) float64, weighted
+    base_score: float
+    feature_lists: tuple[FeatureNodeList, ...]
+    total_internal_nodes: int
+
+    def structure_bytes(self) -> int:
+        """Approximate memory footprint of the traversal structures.
+
+        Per internal node: fp32 threshold, int32 tree id and the mask
+        words; per tree: the leaf-value row and the running leafidx.
+        Used by BWQS to size cache-resident blocks.
+        """
+        node_bytes = self.total_internal_nodes * (4 + 4 + 8 * self.n_words)
+        leaf_bytes = self.leaf_values.size * 8
+        leafidx_bytes = self.n_trees * self.n_words * 8
+        return node_bytes + leaf_bytes + leafidx_bytes
+
+
+def _leaf_spans(tree: RegressionTree) -> tuple[np.ndarray, np.ndarray]:
+    """Per-node [lo, hi) range of left-to-right leaf positions it covers."""
+    lo = np.zeros(tree.n_nodes, dtype=np.int64)
+    hi = np.zeros(tree.n_nodes, dtype=np.int64)
+
+    counter = 0
+
+    def visit(node: int) -> None:
+        nonlocal counter
+        lo[node] = counter
+        if tree.is_leaf(node):
+            counter += 1
+        else:
+            visit(int(tree.left[node]))
+            visit(int(tree.right[node]))
+        hi[node] = counter
+
+    visit(0)
+    return lo, hi
+
+
+def _range_mask(lo: int, hi: int, n_words: int) -> np.ndarray:
+    """uint64 words with bits [lo, hi) cleared and all others set."""
+    words = np.full(n_words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+    for bit in range(lo, hi):
+        w, b = divmod(bit, 64)
+        words[w] &= np.uint64(~(1 << b) & 0xFFFFFFFFFFFFFFFF)
+    return words
+
+
+def _ones_mask(n_bits: int, n_words: int) -> np.ndarray:
+    """uint64 words with the lowest ``n_bits`` bits set."""
+    words = np.zeros(n_words, dtype=np.uint64)
+    full, rem = divmod(n_bits, 64)
+    words[:full] = np.uint64(0xFFFFFFFFFFFFFFFF)
+    if rem:
+        words[full] = np.uint64((1 << rem) - 1)
+    return words
+
+
+def encode_forest(ensemble: TreeEnsemble) -> EncodedForest:
+    """Build the QuickScorer structures for ``ensemble``.
+
+    The per-tree shrinkage weight is folded into the stored leaf values,
+    so scoring is ``base_score + sum_t leaf_values[t, exit_leaf_t]``.
+    """
+    if ensemble.n_trees == 0:
+        raise QuickScorerError("cannot encode an empty ensemble")
+    max_leaves = ensemble.max_leaves
+    n_words = max(1, -(-max_leaves // 64))  # ceil division
+
+    init = np.zeros((ensemble.n_trees, n_words), dtype=np.uint64)
+    leaf_values = np.zeros((ensemble.n_trees, n_words * 64), dtype=np.float64)
+
+    per_feature: dict[int, list[tuple[float, int, np.ndarray]]] = {}
+    total_internal = 0
+
+    for t, (tree, weight) in enumerate(zip(ensemble.trees, ensemble.weights)):
+        lo, hi = _leaf_spans(tree)
+        init[t] = _ones_mask(tree.n_leaves, n_words)
+        leaf_order = tree.leaf_indices()
+        leaf_values[t, : len(leaf_order)] = weight * tree.value[leaf_order]
+
+        for node in tree.internal_nodes():
+            total_internal += 1
+            left_child = int(tree.left[node])
+            mask = _range_mask(int(lo[left_child]), int(hi[left_child]), n_words)
+            feature = int(tree.feature[node])
+            per_feature.setdefault(feature, []).append(
+                (float(tree.threshold[node]), t, mask)
+            )
+
+    lists = []
+    for feature in sorted(per_feature):
+        entries = per_feature[feature]
+        entries.sort(key=lambda e: e[0])
+        thresholds = np.asarray([e[0] for e in entries], dtype=np.float64)
+        tree_ids = np.asarray([e[1] for e in entries], dtype=np.int32)
+        masks = np.stack([e[2] for e in entries])
+        lists.append(
+            FeatureNodeList(
+                feature=feature,
+                thresholds=thresholds,
+                tree_ids=tree_ids,
+                masks=masks,
+            )
+        )
+
+    return EncodedForest(
+        n_trees=ensemble.n_trees,
+        n_features=ensemble.n_features,
+        n_words=n_words,
+        max_leaves=max_leaves,
+        init_leafidx=init,
+        leaf_values=leaf_values,
+        base_score=ensemble.base_score,
+        feature_lists=tuple(lists),
+        total_internal_nodes=total_internal,
+    )

@@ -1,0 +1,96 @@
+"""RapidScorer cost model (Ye et al., KDD 2018 — Section 2.2).
+
+QuickScorer's bitvectors span ``ceil(leaves / 64)`` machine words, so
+above 64 leaves every mask AND costs multiple instructions.  RapidScorer
+removes this sensitivity with two ideas the paper summarizes:
+
+* the **epitome** encoding — a mask is represented only by the byte span
+  it actually modifies, making the update cost (almost) independent of
+  the leaf count;
+* **node merging** — nodes of different trees testing the same feature
+  with the same threshold are evaluated once; machine-learnt forests
+  contain many such duplicates.
+
+This cost model mirrors :class:`QuickScorerCostModel` with those two
+changes, reproducing the related-work claim that RapidScorer overtakes
+QuickScorer on forests with more than 64 leaves while staying comparable
+below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.quickscorer.cost import QuickScorerCostModel
+
+
+@dataclass(frozen=True)
+class RapidScorerCostModel:
+    """Analytic µs/doc model for RapidScorer.
+
+    Attributes
+    ----------
+    base:
+        The QuickScorer model supplying the shared event costs
+        (comparisons, per-tree work, per-document overhead).
+    epitome_update_ns:
+        Cost of one epitome mask update — independent of the leaf count
+        (vs ``words * and_word_ns`` in QuickScorer).
+    merge_fraction:
+        Fraction of false-node evaluations saved by node merging;
+        Ye et al. report substantial duplicate-threshold populations in
+        boosted forests.
+    """
+
+    base: QuickScorerCostModel = QuickScorerCostModel()
+    epitome_update_ns: float = 0.14
+    merge_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.epitome_update_ns <= 0:
+            raise ValueError("epitome_update_ns must be positive")
+        if not 0.0 <= self.merge_fraction < 1.0:
+            raise ValueError(
+                f"merge_fraction must be in [0, 1), got {self.merge_fraction}"
+            )
+
+    def per_tree_ns(
+        self, n_leaves: int, false_fraction: float | None = None
+    ) -> float:
+        """Average traversal cost of one tree, leaf-count insensitive."""
+        if n_leaves < 2:
+            return self.base.tree_ns
+        frac = (
+            self.base.false_fraction
+            if false_fraction is None
+            else false_fraction
+        )
+        effective_nodes = (1.0 - self.merge_fraction) * frac * (n_leaves - 1)
+        per_false = self.base.compare_ns + self.epitome_update_ns
+        return self.base.tree_ns + effective_nodes * per_false
+
+    def scoring_time_us(
+        self,
+        n_trees: int,
+        n_leaves: int,
+        *,
+        false_fraction: float | None = None,
+    ) -> float:
+        """Predicted µs/doc for an ensemble of the given shape."""
+        if n_trees <= 0:
+            raise ValueError(f"n_trees must be positive, got {n_trees}")
+        if n_leaves < 1:
+            raise ValueError(f"n_leaves must be >= 1, got {n_leaves}")
+        total_ns = self.base.overhead_ns + n_trees * self.per_tree_ns(
+            n_leaves, false_fraction
+        )
+        return total_ns / 1000.0
+
+    def crossover_leaves(self, n_trees: int = 500) -> int:
+        """Smallest leaf count at which RapidScorer beats QuickScorer."""
+        for leaves in (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024):
+            if self.scoring_time_us(n_trees, leaves) < self.base.scoring_time_us(
+                n_trees, leaves
+            ):
+                return leaves
+        return 2048

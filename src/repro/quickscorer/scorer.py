@@ -1,0 +1,172 @@
+"""The QuickScorer traversal.
+
+Scores documents exactly as the C++ QuickScorer does, vectorized across
+the document batch: for every feature, the ascending threshold list is
+scanned and the masks of all *false* nodes (``x[f] > threshold``) are
+ANDed into each tree's ``leafidx``; the exit leaf of a tree is the lowest
+set bit of its final ``leafidx``.
+
+Besides scores, the traversal reports :class:`TraversalStats` — in
+particular the measured fraction of false nodes, the quantity the
+QuickScorer papers show drops from ~80% of nodes (classical root-to-leaf
+traversal) to ~30%, and which drives the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.forest.ensemble import TreeEnsemble
+from repro.quickscorer.encoder import EncodedForest, encode_forest
+from repro.utils.validation import check_array_2d
+
+_ONE = np.uint64(1)
+
+
+def _lowest_set_bit_position(words: np.ndarray) -> np.ndarray:
+    """Position of the lowest set bit across the word axis.
+
+    ``words`` has shape (..., n_words); every row must have at least one
+    set bit (QuickScorer guarantees the exit leaf survives all masks).
+    """
+    out = np.full(words.shape[:-1], -1, dtype=np.int64)
+    for w in range(words.shape[-1]):
+        v = words[..., w]
+        pending = (out == -1) & (v != 0)
+        if not pending.any():
+            continue
+        vp = v[pending]
+        isolated = vp & (np.uint64(0) - vp)  # v & -v in modular arithmetic
+        positions = np.bitwise_count(isolated - _ONE).astype(np.int64)
+        out[pending] = w * 64 + positions
+    if (out == -1).any():
+        raise RuntimeError("a leafidx bitvector had no set bit")
+    return out
+
+
+@dataclass(frozen=True)
+class TraversalStats:
+    """Operation counts measured during one scoring call."""
+
+    n_docs: int
+    n_trees: int
+    total_internal_nodes: int
+    false_nodes_total: int
+    thresholds_examined_total: int
+
+    @property
+    def false_nodes_per_doc(self) -> float:
+        """Average number of masks ANDed per document."""
+        return self.false_nodes_total / max(self.n_docs, 1)
+
+    @property
+    def false_node_fraction(self) -> float:
+        """Fraction of all internal nodes evaluated false per document."""
+        if self.total_internal_nodes == 0:
+            return 0.0
+        return self.false_nodes_per_doc / self.total_internal_nodes
+
+    @property
+    def nodes_touched_fraction(self) -> float:
+        """Fraction of nodes whose threshold was examined at all.
+
+        Includes, per feature, the one extra comparison that stops the
+        scan; QuickScorer's headline claim is that this stays far below
+        the ~80% of classical traversal.
+        """
+        if self.total_internal_nodes == 0:
+            return 0.0
+        return self.thresholds_examined_total / (
+            max(self.n_docs, 1) * self.total_internal_nodes
+        )
+
+
+class QuickScorer:
+    """Feature-wise scorer over an encoded forest.
+
+    Parameters
+    ----------
+    forest:
+        A :class:`TreeEnsemble` (encoded on construction) or an already
+        :class:`EncodedForest`.
+    batch_size:
+        Documents scored per internal batch; bounds the
+        ``docs x trees x words`` working array.
+    """
+
+    def __init__(
+        self, forest: TreeEnsemble | EncodedForest, batch_size: int = 2048
+    ) -> None:
+        if isinstance(forest, TreeEnsemble):
+            forest = encode_forest(forest)
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.encoded = forest
+        self.batch_size = batch_size
+        self.last_stats: TraversalStats | None = None
+
+    def score(self, features) -> np.ndarray:
+        """Score a batch of documents; records :attr:`last_stats`."""
+        x = check_array_2d(features, "features")
+        if x.shape[1] != self.encoded.n_features:
+            raise ValueError(
+                f"expected {self.encoded.n_features} features, got {x.shape[1]}"
+            )
+        scores = np.empty(len(x), dtype=np.float64)
+        false_total = 0
+        examined_total = 0
+        for start in range(0, len(x), self.batch_size):
+            chunk = x[start : start + self.batch_size]
+            chunk_scores, n_false, n_exam = self._score_chunk(chunk)
+            scores[start : start + len(chunk)] = chunk_scores
+            false_total += n_false
+            examined_total += n_exam
+        self.last_stats = TraversalStats(
+            n_docs=len(x),
+            n_trees=self.encoded.n_trees,
+            total_internal_nodes=self.encoded.total_internal_nodes,
+            false_nodes_total=false_total,
+            thresholds_examined_total=examined_total,
+        )
+        return scores
+
+    def _score_chunk(self, x: np.ndarray) -> tuple[np.ndarray, int, int]:
+        enc = self.encoded
+        n_docs = len(x)
+        leafidx = np.broadcast_to(
+            enc.init_leafidx, (n_docs, enc.n_trees, enc.n_words)
+        ).copy()
+
+        false_total = 0
+        examined_total = 0
+        for flist in enc.feature_lists:
+            xf = x[:, flist.feature]
+            # Number of false nodes per doc: thresholds strictly below x.
+            counts = np.searchsorted(flist.thresholds, xf, side="left")
+            false_total += int(counts.sum())
+            # Each doc examines its false nodes plus the stopping one.
+            examined_total += int(
+                np.minimum(counts + 1, len(flist.thresholds)).sum()
+            )
+            max_count = int(counts.max()) if n_docs else 0
+            # Ascending scan: node i is applied by docs with counts > i.
+            # Docs are sorted implicitly by processing masks in order and
+            # shrinking the active set.
+            if max_count == 0:
+                continue
+            order = np.argsort(-counts, kind="stable")
+            sorted_counts = counts[order]
+            for i in range(max_count):
+                # Active prefix: docs whose count exceeds i.
+                n_active = int(np.searchsorted(-sorted_counts, -i, side="left"))
+                if n_active == 0:
+                    break
+                docs = order[:n_active]
+                trees = flist.tree_ids[i]
+                leafidx[docs, trees, :] &= flist.masks[i]
+        positions = _lowest_set_bit_position(leafidx)
+        tree_idx = np.arange(enc.n_trees)[None, :]
+        values = enc.leaf_values[tree_idx, positions]
+        return enc.base_score + values.sum(axis=1), false_total, examined_total

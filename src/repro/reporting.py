@@ -1,0 +1,136 @@
+"""Experiment report generation.
+
+Renders a Markdown report of one :class:`EfficientRankingPipeline` run —
+the named forests and students, their quality/time numbers, the
+significance matrix and the Pareto summary — so a full experiment can be
+archived or diffed between runs.  The benchmark harness produces the
+per-table artefacts; this module produces the narrative document.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Sequence
+
+from repro.core.pipeline import EfficientRankingPipeline, EvaluatedModel
+from repro.core.zoo import ForestSpec, NetworkSpec
+from repro.design.frontier import build_frontier
+from repro.metrics import fisher_randomization_test
+from repro.utils.tables import format_table
+
+
+def evaluate_zoo(
+    pipeline: EfficientRankingPipeline,
+    *,
+    forests: Sequence[ForestSpec] | None = None,
+    networks: Sequence[NetworkSpec] | None = None,
+    pruned: bool = True,
+) -> list[EvaluatedModel]:
+    """Evaluate a selection of the zoo (defaults: deployment models)."""
+    zoo = pipeline.zoo
+    forests = (
+        list(forests) if forests is not None else list(zoo.deployment_forests())
+    )
+    networks = (
+        list(networks)
+        if networks is not None
+        else list(zoo.high_quality) + list(zoo.low_latency)
+    )
+    evaluated = [pipeline.evaluate_forest(spec) for spec in forests]
+    seen: set[tuple[int, ...]] = set()
+    for spec in networks:
+        if spec.hidden in seen:
+            continue
+        seen.add(spec.hidden)
+        evaluated.append(pipeline.evaluate_network(spec, pruned=pruned))
+    return evaluated
+
+
+def significance_matrix(
+    models: Sequence[EvaluatedModel],
+    *,
+    alpha: float = 0.05,
+    seed: int = 0,
+) -> list[tuple]:
+    """Pairwise Fisher-randomization outcomes on per-query NDCG@10.
+
+    Each row: (model A, model B, mean difference, p, significant?).
+    """
+    rows = []
+    for i, a in enumerate(models):
+        for b in models[i + 1 :]:
+            result = fisher_randomization_test(
+                a.per_query_ndcg10, b.per_query_ndcg10, seed=seed
+            )
+            rows.append(
+                (
+                    a.name,
+                    b.name,
+                    round(result.observed_difference, 4),
+                    round(result.p_value, 4),
+                    "yes" if result.significant(alpha) else "no",
+                )
+            )
+    return rows
+
+
+def render_report(
+    pipeline: EfficientRankingPipeline,
+    *,
+    title: str | None = None,
+    include_significance: bool = True,
+) -> str:
+    """Produce the Markdown report for ``pipeline``'s dataset."""
+    models = evaluate_zoo(pipeline)
+    out = io.StringIO()
+    name = title or f"Experiment report — {pipeline.zoo.dataset}"
+    out.write(f"# {name}\n\n")
+    out.write(f"- train: {pipeline.train.summary()}\n")
+    out.write(f"- validation: {pipeline.vali.summary()}\n")
+    out.write(f"- test: {pipeline.test.summary()}\n")
+    out.write(f"- teacher: {pipeline.teacher().describe()} (validation-selected)\n\n")
+
+    out.write("## Models\n\n```\n")
+    out.write(
+        format_table(
+            ["Model", "NDCG@10", "NDCG", "MAP", "us/doc"],
+            [m.as_row() for m in sorted(models, key=lambda m: -m.ndcg10)],
+        )
+    )
+    out.write("\n```\n\n")
+
+    plot = build_frontier(m.as_point() for m in models)
+    out.write("## Pareto summary\n\n")
+    out.write(
+        f"- forest frontier: {[p.name for p in plot.forest_frontier]}\n"
+    )
+    out.write(
+        f"- neural frontier: {[p.name for p in plot.neural_frontier]}\n"
+    )
+    out.write(
+        f"- neural-dominates fraction: "
+        f"{plot.neural_dominates_fraction():.2f}\n"
+    )
+    out.write(
+        f"- best neural speed-up at matched quality: "
+        f"{plot.best_neural_speedup_at_quality():.1f}x\n\n"
+    )
+
+    if include_significance:
+        out.write("## Significance (Fisher randomization, NDCG@10)\n\n```\n")
+        out.write(
+            format_table(
+                ["A", "B", "mean diff", "p", "significant"],
+                significance_matrix(models),
+            )
+        )
+        out.write("\n```\n")
+    return out.getvalue()
+
+
+def write_report(pipeline: EfficientRankingPipeline, path, **kwargs) -> str:
+    """Render and write the report; returns the Markdown text."""
+    text = render_report(pipeline, **kwargs)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text

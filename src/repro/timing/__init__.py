@@ -1,0 +1,44 @@
+"""Scoring-time predictors (the paper's central contribution).
+
+Analytic — not learned — models that, given only a feed-forward
+architecture (layer widths) and the sparsity structure of each layer,
+estimate its CPU forward-pass time.  They let the pipeline train *only*
+architectures that match a latency budget (Section 4):
+
+* :mod:`repro.timing.gflops` — the empirical GFLOPS surface measured on
+  the dense executor (Fig. 6's heat map with its three k-zones) and its
+  lookup form.
+* :mod:`repro.timing.dense_predictor` — Eq. 3: layer-by-layer matrix
+  multiplication time from the GFLOPS lookup (Table 2).
+* :mod:`repro.timing.calibration` — Section 4.4's derivation of
+  ``L_a, L_b, L_c`` from runs on purpose-built matrices (single-column,
+  diagonal, two-column) measured on the sparse executor.
+* :mod:`repro.timing.sparse_predictor` — Eq. 5:
+  ``T = |a_r| L_c + nnz L_a + |a_c| L_b`` (Table 4).
+* :mod:`repro.timing.network_predictor` — the combined hybrid model for
+  first-layer-sparse networks (Tables 7, 10, 11 and Fig. 11).
+"""
+
+from repro.timing.gflops import GflopsSurface, ZoneSummary
+from repro.timing.dense_predictor import DenseTimePredictor, LayerTime
+from repro.timing.sparse_predictor import SparseTimePredictor
+from repro.timing.calibration import CalibrationMatrices, calibrate_sparse_predictor
+from repro.timing.network_predictor import NetworkTimePredictor, NetworkTimeReport
+from repro.timing.serialization import load_predictor, save_predictor
+from repro.timing.verification import CalibrationReport, verify_calibration
+
+__all__ = [
+    "save_predictor",
+    "load_predictor",
+    "verify_calibration",
+    "CalibrationReport",
+    "GflopsSurface",
+    "ZoneSummary",
+    "DenseTimePredictor",
+    "LayerTime",
+    "SparseTimePredictor",
+    "CalibrationMatrices",
+    "calibrate_sparse_predictor",
+    "NetworkTimePredictor",
+    "NetworkTimeReport",
+]

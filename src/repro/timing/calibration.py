@@ -1,0 +1,156 @@
+"""Calibration-by-difference of the sparse predictor (Section 4.4).
+
+The elementary costs ``L_a, L_b, L_c`` of Eq. 5 cannot be timed directly;
+the paper derives them by measuring purpose-built matrices whose cost
+expressions differ in exactly one term:
+
+* ``A_c``  — all non-zeros in a single column (one per row):
+  ``T(A_c)  = m L_c + nnz L_a + 1 L_b``
+* ``A_rd`` — one non-zero per row *and* per column (a permutation):
+  ``T(A_rd) = m L_c + nnz L_a + k L_b``
+* ``A_2c`` — two columns, two non-zeros per row:
+  ``T(A_2c) = m L_c + 2 nnz L_a + 2 L_b``
+
+so ``L_b = (T(A_rd) - T(A_c)) / (k - 1)``, then
+``L_a = (T(A_2c) - T(A_c) - L_b) / nnz``, then ``L_c`` from ``T(A_c)``.
+Here the "measurements" run on the simulated LIBXSMM executor; as in the
+paper, shapes m = k in {200, 300, 400, 500} and batches N in {16, 32, 64}
+are averaged, per-vector costs are obtained by normalizing by
+``N_b``, and the N-dependence of ``L_a`` (a scalar broadcast plus one FMA
+per vector) is recovered by linear regression over ``N_b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import CalibrationError
+from repro.hardware.cpu import CpuSpec, I9_9900K
+from repro.matmul.csr import CsrMatrix
+from repro.matmul.sparse import SparseGemmExecutor
+from repro.timing.sparse_predictor import SparseTimePredictor
+from repro.utils.rng import ensure_rng
+
+DEFAULT_SHAPES = (200, 300, 400, 500)
+DEFAULT_BATCHES = (16, 32, 64)
+
+
+@dataclass(frozen=True)
+class CalibrationMatrices:
+    """The three probe matrices for one m = k shape."""
+
+    single_column: CsrMatrix  # A_c
+    row_diagonal: CsrMatrix  # A_rd
+    two_columns: CsrMatrix  # A_2c
+
+    @classmethod
+    def build(
+        cls, size: int, seed: int | np.random.Generator | None = 0
+    ) -> "CalibrationMatrices":
+        """Construct A_c, A_rd and A_2c of shape ``size x size``."""
+        if size < 4:
+            raise CalibrationError(f"size must be >= 4, got {size}")
+        rng = ensure_rng(seed)
+        m = k = size
+
+        a_c = np.zeros((m, k))
+        j_star = k // 2
+        a_c[:, j_star] = rng.uniform(0.5, 1.5, size=m)
+
+        a_rd = np.zeros((m, k))
+        perm = rng.permutation(k)
+        a_rd[np.arange(m), perm] = rng.uniform(0.5, 1.5, size=m)
+
+        a_2c = np.zeros((m, k))
+        j1, j2 = k // 3, 2 * k // 3
+        a_2c[:, j1] = rng.uniform(0.5, 1.5, size=m)
+        a_2c[:, j2] = rng.uniform(0.5, 1.5, size=m)
+
+        return cls(
+            single_column=CsrMatrix.from_dense(a_c),
+            row_diagonal=CsrMatrix.from_dense(a_rd),
+            two_columns=CsrMatrix.from_dense(a_2c),
+        )
+
+
+def _measure_ns(
+    executor: SparseGemmExecutor,
+    a: CsrMatrix,
+    batch: int,
+    rng: np.random.Generator,
+) -> float:
+    b = rng.normal(size=(a.shape[1], batch))
+    _, report = executor.multiply(a, b, compute=False)
+    return report.time_ns
+
+
+def calibrate_sparse_predictor(
+    executor: SparseGemmExecutor | None = None,
+    *,
+    shapes=DEFAULT_SHAPES,
+    batches=DEFAULT_BATCHES,
+    cpu: CpuSpec = I9_9900K,
+    seed: int | np.random.Generator | None = 0,
+) -> SparseTimePredictor:
+    """Derive ``L_a, L_b, L_c`` on the sparse executor and build Eq. 5.
+
+    Raises
+    ------
+    CalibrationError
+        If the derived coefficients are non-positive (which would mean the
+        probe measurements are inconsistent).
+    """
+    executor = executor or SparseGemmExecutor(cpu)
+    rng = ensure_rng(seed)
+    lanes = cpu.simd_lanes_f32
+
+    l_b_vec_samples: list[float] = []
+    l_c_vec_samples: list[float] = []
+    l_a_by_nb: dict[int, list[float]] = {}
+
+    for size in shapes:
+        probes = CalibrationMatrices.build(size, rng)
+        m = k = size
+        nnz = m
+        for batch in batches:
+            nb = -(-batch // lanes)
+            t_c = _measure_ns(executor, probes.single_column, batch, rng)
+            t_rd = _measure_ns(executor, probes.row_diagonal, batch, rng)
+            t_2c = _measure_ns(executor, probes.two_columns, batch, rng)
+
+            l_b = (t_rd - t_c) / (k - 1)
+            l_a = (t_2c - t_c - l_b) / nnz
+            l_c = (t_c - nnz * l_a - l_b) / m
+
+            l_b_vec_samples.append(l_b / nb)
+            l_c_vec_samples.append(l_c / nb)
+            l_a_by_nb.setdefault(nb, []).append(l_a)
+
+    l_b_vec = float(np.mean(l_b_vec_samples))
+    l_c_vec = float(np.mean(l_c_vec_samples))
+
+    # L_a(N) = scalar broadcast + N_b * per-vector FMA: linear fit over N_b.
+    nbs = np.asarray(sorted(l_a_by_nb), dtype=np.float64)
+    la_means = np.asarray([np.mean(l_a_by_nb[int(nb)]) for nb in nbs])
+    if len(nbs) >= 2:
+        slope, intercept = np.polyfit(nbs, la_means, 1)
+    else:
+        slope, intercept = la_means[0] / nbs[0], 0.0
+    l_a_scalar = float(max(intercept, 0.0))
+    l_a_vec = float(slope)
+
+    if l_b_vec <= 0 or l_c_vec <= 0 or l_a_vec <= 0:
+        raise CalibrationError(
+            "calibration produced non-positive coefficients: "
+            f"l_b={l_b_vec:.4f}, l_c={l_c_vec:.4f}, l_a_vec={l_a_vec:.4f}"
+        )
+
+    return SparseTimePredictor(
+        l_c_vec_ns=l_c_vec,
+        l_a_scalar_ns=l_a_scalar,
+        l_a_vec_ns=l_a_vec,
+        l_b_vec_ns=l_b_vec,
+        cpu=cpu,
+    )

@@ -1,0 +1,119 @@
+"""Dense forward-pass time predictor (Section 4.2, Eq. 3).
+
+The forward pass of a feed-forward network with layer widths
+``l_1 .. l_d`` on ``f`` input features costs, per document,
+
+    T ~= t_m * ( f*l_1 + sum_i l_i * l_{i-1} )            (Eq. 3)
+
+where the multiplication time ``t_m = 1 / GFLOPS`` is *shape dependent*:
+the predictor looks each layer's (m = l_i, k = l_{i-1}) up in the
+measured GFLOPS surface rather than using one hardware constant — the
+paper's key observation (Figs. 4-6).  Bias additions and ReLU
+activations contribute ``(t_a + t_r) * sum_i l_i``, which Eq. 3 drops as
+negligible; the predictor carries them optionally for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ArchitectureError
+from repro.timing.gflops import GflopsSurface
+
+
+def validate_architecture(input_dim: int, layers) -> tuple[int, ...]:
+    """Validate and normalize a layer-width specification."""
+    dims = tuple(int(v) for v in layers)
+    if input_dim <= 0:
+        raise ArchitectureError(f"input_dim must be positive, got {input_dim}")
+    if not dims:
+        raise ArchitectureError("a network needs at least one layer")
+    if any(d <= 0 for d in dims):
+        raise ArchitectureError(f"layer widths must be positive, got {dims}")
+    return dims
+
+
+@dataclass(frozen=True)
+class LayerTime:
+    """Predicted cost of one fully-connected layer."""
+
+    index: int  # 1-based, as in the paper's Table 7
+    in_width: int  # k of the weight matrix
+    out_width: int  # m of the weight matrix
+    gflops: float
+    time_us: float  # for the whole batch
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.in_width * self.out_width
+
+
+class DenseTimePredictor:
+    """Per-architecture forward-time estimates from a GFLOPS surface.
+
+    Parameters
+    ----------
+    surface:
+        Measured :class:`GflopsSurface`; built once per (CPU, batch size).
+    bias_relu_ns_per_neuron:
+        Optional ``t_a + t_r`` term of Eq. 3 (per output neuron per
+        document); the paper argues it is negligible and drops it.
+    """
+
+    def __init__(
+        self,
+        surface: GflopsSurface | None = None,
+        *,
+        batch_size: int = 1000,
+        bias_relu_ns_per_neuron: float = 0.0,
+        first_layer_output_ns_per_value: float = 0.6,
+    ) -> None:
+        if surface is None:
+            surface = GflopsSurface.measure(batch_size=batch_size)
+        self.surface = surface
+        self.batch_size = surface.batch_size
+        self.bias_relu_ns_per_neuron = bias_relu_ns_per_neuron
+        # Table 7's observation: applying bias and ReLU6 to the *first*
+        # layer's output writes it through the cache (where it then stays
+        # for the second layer), so the first layer carries an extra
+        # per-output-value cost that later layers do not pay.
+        self.first_layer_output_ns_per_value = first_layer_output_ns_per_value
+
+    # ------------------------------------------------------------------
+    def layer_times(self, input_dim: int, layers) -> list[LayerTime]:
+        """Per-layer batch times for architecture ``input_dim -> layers``."""
+        dims = (input_dim,) + validate_architecture(input_dim, layers)
+        n = self.batch_size
+        out: list[LayerTime] = []
+        for i in range(1, len(dims)):
+            k, m = dims[i - 1], dims[i]
+            gflops = self.surface.lookup(m, k)
+            matmul_us = 2.0 * m * k * n / gflops / 1000.0
+            extra_us = self.bias_relu_ns_per_neuron * m * n / 1000.0
+            if i == 1:
+                extra_us += self.first_layer_output_ns_per_value * m * n / 1000.0
+            out.append(
+                LayerTime(
+                    index=i,
+                    in_width=k,
+                    out_width=m,
+                    gflops=gflops,
+                    time_us=matmul_us + extra_us,
+                )
+            )
+        return out
+
+    def forward_time_us_per_doc(self, input_dim: int, layers) -> float:
+        """Predicted scoring time per document (the paper's µs/doc)."""
+        total = sum(lt.time_us for lt in self.layer_times(input_dim, layers))
+        return total / self.batch_size
+
+    def layer_breakdown(self, input_dim: int, layers) -> list[float]:
+        """Relative execution time per layer, in percent (Table 7)."""
+        times = [lt.time_us for lt in self.layer_times(input_dim, layers)]
+        total = sum(times)
+        return [100.0 * t / total for t in times]
+
+    def first_layer_impact(self, input_dim: int, layers) -> float:
+        """Fraction (%) of the total time spent in the first layer."""
+        return self.layer_breakdown(input_dim, layers)[0]

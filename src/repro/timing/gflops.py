@@ -1,0 +1,126 @@
+"""Empirical GFLOPS surface over matrix shapes.
+
+Section 4.2 of the paper sweeps oneDNN over (m, k) grids at fixed batch
+size n, observes that throughput varies strongly with shape (Figs. 4-5),
+and synthesizes the measurements into a lookup — the Fig. 6 heat map
+whose k-axis partitions into three performance zones (~90 / ~110 / ~130
+GFLOPS).  This module performs the same sweep on the simulated dense
+executor and exposes both the raw surface (bilinear lookup in log-shape
+space) and the zone summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.matmul.dense import DenseGemmExecutor
+
+DEFAULT_M_GRID = (16, 25, 50, 75, 100, 150, 200, 300, 400, 500, 750, 1000, 1500)
+DEFAULT_K_GRID = (16, 32, 64, 96, 128, 136, 192, 220, 256, 384, 512, 768, 1024)
+
+
+@dataclass(frozen=True)
+class ZoneSummary:
+    """The three k-zones of Fig. 6 with their mean throughput."""
+
+    low_k_gflops: float  # k < 128
+    mid_k_gflops: float  # 128 <= k < 512
+    high_k_gflops: float  # k >= 512
+
+    def zone_gflops(self, k: int) -> float:
+        if k >= 512:
+            return self.high_k_gflops
+        if k >= 128:
+            return self.mid_k_gflops
+        return self.low_k_gflops
+
+
+class GflopsSurface:
+    """Measured GFLOPS as a function of (m, k) at a fixed batch size n."""
+
+    def __init__(
+        self,
+        m_grid: np.ndarray,
+        k_grid: np.ndarray,
+        gflops: np.ndarray,
+        batch_size: int,
+    ) -> None:
+        self.m_grid = np.asarray(m_grid, dtype=np.float64)
+        self.k_grid = np.asarray(k_grid, dtype=np.float64)
+        self.gflops = np.asarray(gflops, dtype=np.float64)
+        self.batch_size = batch_size
+        if self.gflops.shape != (len(self.m_grid), len(self.k_grid)):
+            raise ValueError(
+                "gflops grid must have shape (len(m_grid), len(k_grid))"
+            )
+        if np.any(np.diff(self.m_grid) <= 0) or np.any(np.diff(self.k_grid) <= 0):
+            raise ValueError("grids must be strictly increasing")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def measure(
+        cls,
+        executor: DenseGemmExecutor | None = None,
+        *,
+        batch_size: int = 1000,
+        m_grid=DEFAULT_M_GRID,
+        k_grid=DEFAULT_K_GRID,
+    ) -> "GflopsSurface":
+        """Sweep the executor over the grid (the paper's Fig. 6 run)."""
+        executor = executor or DenseGemmExecutor()
+        m_grid = np.asarray(sorted(m_grid))
+        k_grid = np.asarray(sorted(k_grid))
+        grid = np.empty((len(m_grid), len(k_grid)))
+        for i, m in enumerate(m_grid):
+            for j, k in enumerate(k_grid):
+                grid[i, j] = executor.measure_gflops(int(m), batch_size, int(k))
+        return cls(m_grid, k_grid, grid, batch_size)
+
+    # ------------------------------------------------------------------
+    def lookup(self, m: int, k: int) -> float:
+        """Bilinear interpolation in log-shape space, clamped at the edges."""
+        if m <= 0 or k <= 0:
+            raise ValueError(f"m and k must be positive, got {(m, k)}")
+
+        def interp_axis(grid: np.ndarray, value: float) -> tuple[int, int, float]:
+            v = float(np.clip(value, grid[0], grid[-1]))
+            j = int(np.searchsorted(grid, v, side="right") - 1)
+            j = min(max(j, 0), len(grid) - 2)
+            lo, hi = np.log(grid[j]), np.log(grid[j + 1])
+            w = 0.0 if hi == lo else (np.log(v) - lo) / (hi - lo)
+            return j, j + 1, w
+
+        i0, i1, wm = interp_axis(self.m_grid, m)
+        j0, j1, wk = interp_axis(self.k_grid, k)
+        g = self.gflops
+        top = g[i0, j0] * (1 - wk) + g[i0, j1] * wk
+        bot = g[i1, j0] * (1 - wk) + g[i1, j1] * wk
+        return float(top * (1 - wm) + bot * wm)
+
+    def zone_summary(self, *, min_m: int = 200) -> ZoneSummary:
+        """Average throughput of the three k-zones (rows with m >= min_m)."""
+        rows = self.m_grid >= min_m
+        if not rows.any():
+            rows = np.ones(len(self.m_grid), dtype=bool)
+        sub = self.gflops[rows]
+
+        def zone_mean(mask: np.ndarray) -> float:
+            if not mask.any():
+                return float("nan")
+            return float(sub[:, mask].mean())
+
+        return ZoneSummary(
+            low_k_gflops=zone_mean(self.k_grid < 128),
+            mid_k_gflops=zone_mean((self.k_grid >= 128) & (self.k_grid < 512)),
+            high_k_gflops=zone_mean(self.k_grid >= 512),
+        )
+
+    def heatmap_rows(self) -> list[tuple[int, int, float]]:
+        """Flat (m, k, gflops) triples for rendering Fig. 6."""
+        out = []
+        for i, m in enumerate(self.m_grid):
+            for j, k in enumerate(self.k_grid):
+                out.append((int(m), int(k), float(self.gflops[i, j])))
+        return out

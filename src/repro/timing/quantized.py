@@ -1,0 +1,93 @@
+"""Timing model for quantized (int8) inference.
+
+Completes the quantization future-work thread: given the fp32 timing
+predictors, estimate the forward time of the same architecture executed
+with int8 weights/activations.  Two effects are modeled:
+
+* **SIMD widening** — an AVX2 register holds 4x more int8 lanes than
+  fp32 lanes, so compute-bound layers approach a 4x ceiling; real
+  engines reach a fraction of it (dequantization, requantization and
+  saturating-add overheads), captured by ``efficiency``.
+* **Memory-traffic shrinking** — weights occupy a quarter of the bytes,
+  which is what the *sparse* kernel mostly pays for (B-row loads shrink
+  too); its speed-up is therefore closer to the ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.matmul.csr import CsrMatrix
+from repro.timing.network_predictor import NetworkTimePredictor
+
+
+@dataclass(frozen=True)
+class QuantizedTimingModel:
+    """Scales the fp32 predictors to int8 execution.
+
+    Attributes
+    ----------
+    lane_ratio:
+        SIMD lane multiplier (4 for fp32 -> int8).
+    efficiency:
+        Fraction of the lane-ratio ceiling a real int8 GEMM kernel
+        sustains (oneDNN's int8 paths typically reach 50-70% of the
+        ideal on dense layers).
+    sparse_efficiency:
+        Same for the sparse kernel, whose bandwidth-bound loads benefit
+        more directly from the narrower operands.
+    """
+
+    predictor: NetworkTimePredictor
+    lane_ratio: float = 4.0
+    efficiency: float = 0.6
+    sparse_efficiency: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.lane_ratio <= 1:
+            raise ValueError("lane_ratio must exceed 1")
+        for name in ("efficiency", "sparse_efficiency"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+
+    @property
+    def dense_speedup(self) -> float:
+        """Effective dense-layer speed-up of int8 over fp32."""
+        return 1.0 + (self.lane_ratio - 1.0) * self.efficiency
+
+    @property
+    def sparse_speedup(self) -> float:
+        """Effective sparse-kernel speed-up of int8 over fp32."""
+        return 1.0 + (self.lane_ratio - 1.0) * self.sparse_efficiency
+
+    def dense_time_us(self, input_dim: int, hidden) -> float:
+        """Predicted int8 µs/doc for a dense architecture."""
+        fp32 = self.predictor.predict(input_dim, hidden)
+        return fp32.dense_total_us_per_doc / self.dense_speedup
+
+    def hybrid_time_us(
+        self,
+        input_dim: int,
+        hidden,
+        *,
+        first_layer_matrix: CsrMatrix | None = None,
+        first_layer_sparsity: float | None = None,
+    ) -> float:
+        """Predicted int8 µs/doc for a first-layer-sparse architecture."""
+        fp32 = self.predictor.predict(
+            input_dim,
+            hidden,
+            first_layer_matrix=first_layer_matrix,
+            first_layer_sparsity=first_layer_sparsity,
+        )
+        if fp32.hybrid_total_us_per_doc is None:
+            raise ValueError(
+                "a first-layer matrix or sparsity is required for the "
+                "hybrid estimate"
+            )
+        dense_part = fp32.pruned_forecast_us_per_doc / self.dense_speedup
+        sparse_part = (
+            fp32.sparse_first_layer_us_per_doc / self.sparse_speedup
+        )
+        return dense_part + sparse_part

@@ -1,0 +1,98 @@
+"""Persisting calibrated time predictors.
+
+Measuring the GFLOPS surface and calibrating the sparse coefficients
+takes a moment; a deployment wants to do it once per machine and reuse
+the result.  This module serializes both predictors (and the batch
+context they were measured at) to a single JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.hardware.cpu import CpuSpec
+from repro.timing.dense_predictor import DenseTimePredictor
+from repro.timing.gflops import GflopsSurface
+from repro.timing.network_predictor import NetworkTimePredictor
+from repro.timing.sparse_predictor import SparseTimePredictor
+
+FORMAT_VERSION = 1
+
+
+def predictor_to_dict(predictor: NetworkTimePredictor) -> dict:
+    """JSON-serializable snapshot of a calibrated predictor pair."""
+    surface = predictor.dense.surface
+    sparse = predictor.sparse
+    return {
+        "version": FORMAT_VERSION,
+        "dense": {
+            "m_grid": surface.m_grid.tolist(),
+            "k_grid": surface.k_grid.tolist(),
+            "gflops": surface.gflops.tolist(),
+            "batch_size": surface.batch_size,
+            "bias_relu_ns_per_neuron": predictor.dense.bias_relu_ns_per_neuron,
+            "first_layer_output_ns_per_value": (
+                predictor.dense.first_layer_output_ns_per_value
+            ),
+        },
+        "sparse": {
+            "l_c_vec_ns": sparse.l_c_vec_ns,
+            "l_a_scalar_ns": sparse.l_a_scalar_ns,
+            "l_a_vec_ns": sparse.l_a_vec_ns,
+            "l_b_vec_ns": sparse.l_b_vec_ns,
+            "max_batch": sparse.max_batch,
+            "simd_lanes": sparse.cpu.simd_lanes_f32,
+        },
+        "sparse_batch": predictor.sparse_batch,
+    }
+
+
+def predictor_from_dict(data: dict) -> NetworkTimePredictor:
+    """Inverse of :func:`predictor_to_dict`."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported predictor format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    d = data["dense"]
+    surface = GflopsSurface(
+        np.asarray(d["m_grid"]),
+        np.asarray(d["k_grid"]),
+        np.asarray(d["gflops"]),
+        batch_size=int(d["batch_size"]),
+    )
+    dense = DenseTimePredictor(
+        surface,
+        bias_relu_ns_per_neuron=float(d["bias_relu_ns_per_neuron"]),
+        first_layer_output_ns_per_value=float(
+            d["first_layer_output_ns_per_value"]
+        ),
+    )
+    s = data["sparse"]
+    cpu = CpuSpec(simd_bits=32 * int(s["simd_lanes"]))
+    sparse = SparseTimePredictor(
+        l_c_vec_ns=float(s["l_c_vec_ns"]),
+        l_a_scalar_ns=float(s["l_a_scalar_ns"]),
+        l_a_vec_ns=float(s["l_a_vec_ns"]),
+        l_b_vec_ns=float(s["l_b_vec_ns"]),
+        cpu=cpu,
+        max_batch=int(s["max_batch"]),
+    )
+    return NetworkTimePredictor(
+        dense, sparse, sparse_batch=int(data["sparse_batch"])
+    )
+
+
+def save_predictor(predictor: NetworkTimePredictor, path) -> None:
+    """Write a calibrated predictor pair to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(predictor_to_dict(predictor), handle)
+
+
+def load_predictor(path) -> NetworkTimePredictor:
+    """Load a predictor pair written by :func:`save_predictor`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return predictor_from_dict(json.load(handle))

@@ -1,0 +1,118 @@
+"""Sparse-dense multiplication time predictor (Section 4.4, Eq. 5).
+
+The LIBXSMM kernel's cost decomposes over the *structure* of the sparse
+operand A — known a priori, since A is the pruned weight matrix:
+
+    T = |a_r| * L_c  +  nnz * L_a  +  |a_c| * L_b          (Eq. 5)
+
+with ``|a_r|`` / ``|a_c|`` the active rows/columns, ``L_c`` the C-row
+load+store, ``L_a`` the per-non-zero broadcast+FMA work, ``L_b`` the
+first-touch load of a B row.  ``L_b`` and ``L_c`` are per-SIMD-vector
+costs, so they scale with ``N_b = ceil(N / simd_lanes)``; the paper
+verifies ``L_c ~= 2 L_b`` and that the model holds for N < 128, where B
+stays cache-resident.  Coefficients come from
+:func:`repro.timing.calibration.calibrate_sparse_predictor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import PredictorError
+from repro.hardware.cpu import CpuSpec, I9_9900K
+from repro.matmul.csr import CsrMatrix
+
+
+@dataclass(frozen=True)
+class SparseTimePredictor:
+    """Eq. 5 with calibrated per-vector coefficients (nanoseconds).
+
+    Attributes
+    ----------
+    l_c_vec_ns:
+        C-row load+store per SIMD vector (charged once per active row).
+    l_a_scalar_ns, l_a_vec_ns:
+        Per-non-zero cost: the scalar broadcast plus one FMA per vector.
+    l_b_vec_ns:
+        First-touch B-row load per SIMD vector (once per active column).
+    max_batch:
+        Largest N the cache-residency assumption supports; the paper's
+        measurements diverge from Eq. 5 at N >= 128.
+    """
+
+    l_c_vec_ns: float
+    l_a_scalar_ns: float
+    l_a_vec_ns: float
+    l_b_vec_ns: float
+    cpu: CpuSpec = I9_9900K
+    max_batch: int = 127
+
+    def n_vectors(self, batch: int) -> int:
+        """``N_b``: SIMD vectors per row of B/C."""
+        if batch <= 0:
+            raise PredictorError(f"batch must be positive, got {batch}")
+        return -(-batch // self.cpu.simd_lanes_f32)
+
+    # ------------------------------------------------------------------
+    def time_us(
+        self,
+        *,
+        nnz: int,
+        active_rows: int,
+        active_cols: int,
+        batch: int,
+        strict: bool = True,
+    ) -> float:
+        """Predicted µs from the structural quantities of Eq. 5."""
+        if nnz < 0 or active_rows < 0 or active_cols < 0:
+            raise PredictorError("structural counts must be non-negative")
+        if strict and batch > self.max_batch:
+            raise PredictorError(
+                f"batch {batch} breaks the cache-residency assumption "
+                f"(valid for N <= {self.max_batch}); pass strict=False to "
+                "extrapolate anyway"
+            )
+        nb = self.n_vectors(batch)
+        total_ns = (
+            active_rows * nb * self.l_c_vec_ns
+            + nnz * (self.l_a_scalar_ns + nb * self.l_a_vec_ns)
+            + active_cols * nb * self.l_b_vec_ns
+        )
+        return total_ns / 1000.0
+
+    def time_for(self, a: CsrMatrix, batch: int, *, strict: bool = True) -> float:
+        """Predicted µs for a concrete pruned weight matrix."""
+        return self.time_us(
+            nnz=a.nnz,
+            active_rows=a.n_active_rows,
+            active_cols=a.n_active_cols,
+            batch=batch,
+            strict=strict,
+        )
+
+    def worst_case_time_us(
+        self, m: int, k: int, sparsity: float, batch: int
+    ) -> float:
+        """Eq. 5 with every row and column assumed active.
+
+        The paper's Fig. 11 speed-up curves use this worst case: the
+        number of active rows/columns equals the full dimension, and only
+        nnz shrinks with sparsity.
+        """
+        if not 0.0 <= sparsity <= 1.0:
+            raise PredictorError(f"sparsity must be in [0, 1], got {sparsity}")
+        nnz = int(round((1.0 - sparsity) * m * k))
+        return self.time_us(
+            nnz=nnz,
+            active_rows=min(m, nnz) if nnz else 0,
+            active_cols=min(k, nnz) if nnz else 0,
+            batch=batch,
+            strict=False,
+        )
+
+    @property
+    def l_c_over_l_b(self) -> float:
+        """Empirical check of the paper's ``L_c = 2 L_b`` observation."""
+        if self.l_b_vec_ns == 0:
+            return float("inf")
+        return self.l_c_vec_ns / self.l_b_vec_ns

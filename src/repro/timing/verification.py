@@ -1,0 +1,109 @@
+"""Calibration self-verification.
+
+Deployments that persist predictors (``repro calibrate``) should confirm
+they still describe the running code before trusting their
+microseconds; this module re-measures the anchor quantities every cost
+model was calibrated against and reports the drift.  The benchmark
+harness asserts the same anchors; this is the runtime-queryable form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.quickscorer.cost import QuickScorerCostModel
+from repro.timing.calibration import calibrate_sparse_predictor
+from repro.timing.gflops import GflopsSurface
+
+#: (name, expected, tolerance as a fraction) per anchor.
+QUICKSCORER_ANCHORS = (
+    ("qs_878x64_us", 8.2, 0.05),
+    ("qs_500x64_us", 4.9, 0.05),
+    ("qs_300x64_us", 3.0, 0.05),
+)
+DENSE_ANCHORS = (
+    ("gflops_low_k", 90.0, 0.12),
+    ("gflops_mid_k", 110.0, 0.12),
+    ("gflops_high_k", 130.0, 0.12),
+)
+SPARSE_ANCHORS = (("lc_over_lb", 2.0, 0.25),)
+
+
+@dataclass(frozen=True)
+class AnchorCheck:
+    """One anchor's re-measured value against its calibration target."""
+
+    name: str
+    expected: float
+    measured: float
+    tolerance: float
+
+    @property
+    def drift(self) -> float:
+        """Relative deviation from the expected value."""
+        return abs(self.measured - self.expected) / self.expected
+
+    @property
+    def ok(self) -> bool:
+        return self.drift <= self.tolerance
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """All anchor checks of one verification pass."""
+
+    checks: tuple[AnchorCheck, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def failures(self) -> list[AnchorCheck]:
+        return [c for c in self.checks if not c.ok]
+
+    def render(self) -> str:
+        lines = ["Calibration verification:"]
+        for c in self.checks:
+            status = "ok" if c.ok else "DRIFTED"
+            lines.append(
+                f"  {c.name}: measured {c.measured:.3f} vs expected "
+                f"{c.expected:.3f} ({c.drift:.1%} drift, tol "
+                f"{c.tolerance:.0%}) -> {status}"
+            )
+        return "\n".join(lines)
+
+
+def verify_calibration(
+    *, include_dense: bool = True, include_sparse: bool = True
+) -> CalibrationReport:
+    """Re-measure every calibration anchor; see :class:`CalibrationReport`.
+
+    The dense sweep takes a moment (it measures the GFLOPS surface);
+    disable parts via the flags for a quick QuickScorer-only check.
+    """
+    checks: list[AnchorCheck] = []
+
+    qs = QuickScorerCostModel()
+    for (name, expected, tol), (trees, leaves) in zip(
+        QUICKSCORER_ANCHORS, ((878, 64), (500, 64), (300, 64))
+    ):
+        checks.append(
+            AnchorCheck(name, expected, qs.scoring_time_us(trees, leaves), tol)
+        )
+
+    if include_dense:
+        zones = GflopsSurface.measure(batch_size=1000).zone_summary()
+        measured = (
+            zones.low_k_gflops, zones.mid_k_gflops, zones.high_k_gflops,
+        )
+        for (name, expected, tol), value in zip(DENSE_ANCHORS, measured):
+            checks.append(AnchorCheck(name, expected, float(value), tol))
+
+    if include_sparse:
+        predictor = calibrate_sparse_predictor()
+        (name, expected, tol), = SPARSE_ANCHORS
+        checks.append(
+            AnchorCheck(name, expected, predictor.l_c_over_l_b, tol)
+        )
+
+    return CalibrationReport(checks=tuple(checks))

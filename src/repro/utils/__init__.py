@@ -1,0 +1,21 @@
+"""Shared utilities: RNG handling, validation, tables and Pareto helpers."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import (
+    check_array_1d,
+    check_array_2d,
+    check_fraction,
+    check_positive,
+)
+from repro.utils.tables import format_table
+from repro.utils.pareto import pareto_frontier
+
+__all__ = [
+    "ensure_rng",
+    "check_array_1d",
+    "check_array_2d",
+    "check_fraction",
+    "check_positive",
+    "format_table",
+    "pareto_frontier",
+]

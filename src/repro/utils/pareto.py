@@ -1,0 +1,56 @@
+"""Pareto-frontier utilities for efficiency/effectiveness trade-off plots.
+
+The paper compares model families on a plane with effectiveness (NDCG@10,
+higher is better) on the x-axis and scoring time (µs/doc, lower is better)
+on the y-axis, and draws each family's Pareto frontier (Figs. 12-13).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def pareto_frontier(
+    quality: Sequence[float],
+    cost: Sequence[float],
+) -> np.ndarray:
+    """Return the indices of Pareto-optimal points, sorted by quality.
+
+    A point is Pareto-optimal when no other point has both strictly higher
+    ``quality`` and strictly lower-or-equal ``cost`` (maximize quality,
+    minimize cost).  Ties in quality keep only the cheapest point.
+    """
+    q = np.asarray(quality, dtype=np.float64)
+    c = np.asarray(cost, dtype=np.float64)
+    if q.shape != c.shape or q.ndim != 1:
+        raise ValueError("quality and cost must be 1-D arrays of equal length")
+    if q.size == 0:
+        return np.empty(0, dtype=np.intp)
+
+    # Sort by quality descending, cost ascending; sweep keeping points whose
+    # cost improves on the best cost seen so far.
+    order = np.lexsort((c, -q))
+    best_cost = np.inf
+    keep: list[int] = []
+    last_quality = None
+    for idx in order:
+        if c[idx] < best_cost:
+            if last_quality is not None and q[idx] == last_quality:
+                # Same quality as an already-kept, cheaper point.
+                pass
+            best_cost = c[idx]
+            keep.append(int(idx))
+            last_quality = q[idx]
+    keep_arr = np.asarray(keep, dtype=np.intp)
+    return keep_arr[np.argsort(q[keep_arr])]
+
+
+def dominates(
+    quality_a: float, cost_a: float, quality_b: float, cost_b: float
+) -> bool:
+    """True when point *a* dominates *b* (>= quality, <= cost, one strict)."""
+    ge = quality_a >= quality_b and cost_a <= cost_b
+    strict = quality_a > quality_b or cost_a < cost_b
+    return ge and strict

@@ -1,0 +1,47 @@
+"""Seeded random-number-generator helpers.
+
+All stochastic components of the library accept either an integer seed, a
+ready :class:`numpy.random.Generator`, or ``None`` (fresh entropy), and
+normalize it through :func:`ensure_rng`.  Keeping a single entry point makes
+every experiment in the benchmark harness reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a deterministic generator,
+        or an existing generator (returned unchanged so that callers can
+        thread one generator through a pipeline).
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Children are seeded from the parent stream, so a single top-level seed
+    still controls the full experiment while sub-components do not perturb
+    each other's streams.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print the same rows the paper's tables report; this module
+renders them in aligned, pipe-separated form so the output can be compared
+side by side with the publication.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _fmt_cell(value, spec: str | None) -> str:
+    if value is None:
+        return "-"
+    if spec is not None and isinstance(value, (int, float)):
+        return format(value, spec)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    floatfmt: str = ".4f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Numeric cells are formatted with ``floatfmt`` (integers keep their own
+    representation); ``None`` renders as ``-``.
+    """
+    rendered: list[list[str]] = []
+    for row in rows:
+        out_row = []
+        for cell in row:
+            if isinstance(cell, bool):
+                out_row.append(str(cell))
+            elif isinstance(cell, int):
+                out_row.append(str(cell))
+            elif isinstance(cell, float):
+                out_row.append(_fmt_cell(cell, floatfmt))
+            else:
+                out_row.append(_fmt_cell(cell, None))
+        rendered.append(out_row)
+
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    sep = "-+-".join("-" * w for w in widths)
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(sep)
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)

@@ -1,0 +1,84 @@
+"""Shared fixtures.
+
+Expensive artefacts (synthetic datasets, trained forests, distilled
+students) are session-scoped so the whole suite trains each of them only
+once; tests must not mutate them (clone first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_msn30k_like, train_validation_test_split
+from repro.distill import DistillationConfig, Distiller
+from repro.forest import GradientBoostingConfig, LambdaMartRanker
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """~120 queries / ~20 docs each, 136 features."""
+    return make_msn30k_like(n_queries=120, docs_per_query=20, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_splits(tiny_dataset):
+    return train_validation_test_split(tiny_dataset, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_forest(tiny_splits):
+    """A 20-tree, 16-leaf LambdaMART ensemble (fast to train)."""
+    train, vali, _ = tiny_splits
+    config = GradientBoostingConfig(
+        n_trees=20, max_leaves=16, learning_rate=0.15, min_data_in_leaf=5
+    )
+    return LambdaMartRanker(config, seed=3).fit(train, vali, name="test-forest")
+
+
+@pytest.fixture(scope="session")
+def small_student(tiny_splits, small_forest):
+    """A small student distilled from ``small_forest``."""
+    train, _, _ = tiny_splits
+    config = DistillationConfig(
+        epochs=20,
+        batch_size=128,
+        learning_rate=0.005,
+        lr_milestones=(15,),
+        steps_per_epoch=20,
+    )
+    return Distiller(config, seed=5).distill(
+        small_forest, train, hidden=(64, 32)
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def predictor_cache():
+    """One calibrated NetworkTimePredictor for the whole session."""
+    from repro.timing import NetworkTimePredictor
+
+    return NetworkTimePredictor()
+
+
+@pytest.fixture(scope="session")
+def mini_pipeline():
+    """A miniature MSN30K pipeline (tiny scale, fully end-to-end)."""
+    from repro.core import EfficientRankingPipeline, ExperimentScale
+
+    scale = ExperimentScale(
+        n_queries=120,
+        docs_per_query=20,
+        tree_scale=0.05,
+        distill_epochs=8,
+        distill_milestones=(6,),
+        prune_epochs=4,
+        finetune_epochs=2,
+        prune_milestones=(),
+        seed=13,
+    )
+    return EfficientRankingPipeline.for_msn30k(scale)

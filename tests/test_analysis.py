@@ -1,0 +1,97 @@
+"""Tests for repro.analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    feature_selection_agreement,
+    first_layer_feature_usage,
+    score_agreement,
+    top_feature_overlap,
+)
+from repro.nn import FeedForwardNetwork
+from repro.pruning import LevelPruner
+
+
+class TestFirstLayerUsage:
+    def test_unpruned_uses_everything(self):
+        net = FeedForwardNetwork(10, (8,), seed=0)
+        usage = first_layer_feature_usage(net)
+        np.testing.assert_array_equal(usage, 8.0)
+
+    def test_pruned_counts_survivors(self):
+        net = FeedForwardNetwork(4, (3,), seed=0)
+        mask = np.zeros((3, 4))
+        mask[:, 0] = 1.0  # only feature 0 survives
+        mask[1, 2] = 1.0  # plus one weight on feature 2
+        net.first_layer.set_mask(mask)
+        usage = first_layer_feature_usage(net)
+        np.testing.assert_array_equal(usage, [3.0, 0.0, 1.0, 0.0])
+
+    def test_accepts_student(self, small_student):
+        usage = first_layer_feature_usage(small_student)
+        assert usage.shape == (136,)
+
+
+class TestSelectionAgreement:
+    def test_pruned_student_matches_forest(
+        self, small_student, small_forest
+    ):
+        # Prune the first layer by magnitude: the surviving columns
+        # should correlate with the forest's split importance, because
+        # the student learned from the forest's scores.
+        probe = small_student.clone()
+        LevelPruner(0.95).apply(probe.network.first_layer)
+        rho = feature_selection_agreement(probe, small_forest)
+        assert rho > 0.1
+
+    def test_unpruned_layer_is_nan(self, small_student, small_forest):
+        rho = feature_selection_agreement(small_student, small_forest)
+        assert np.isnan(rho)
+
+    def test_feature_count_mismatch(self, small_forest):
+        net = FeedForwardNetwork(7, (4,), seed=0)
+        with pytest.raises(ValueError, match="input features"):
+            feature_selection_agreement(net, small_forest)
+
+    def test_top_overlap_bounds(self, small_student, small_forest):
+        probe = small_student.clone()
+        LevelPruner(0.9).apply(probe.network.first_layer)
+        overlap = top_feature_overlap(probe, small_forest, k=10)
+        assert 0.0 <= overlap <= 1.0
+
+    def test_top_overlap_invalid_k(self, small_student, small_forest):
+        with pytest.raises(ValueError):
+            top_feature_overlap(small_student, small_forest, k=0)
+
+
+class TestScoreAgreement:
+    def test_identical_scores_tau_one(self, tiny_dataset, rng):
+        scores = rng.normal(size=tiny_dataset.n_docs)
+        assert score_agreement(tiny_dataset, scores, scores) == pytest.approx(1.0)
+
+    def test_reversed_scores_tau_minus_one(self, tiny_dataset, rng):
+        scores = rng.normal(size=tiny_dataset.n_docs)
+        assert score_agreement(tiny_dataset, scores, -scores) == pytest.approx(
+            -1.0
+        )
+
+    def test_independent_scores_near_zero(self, tiny_dataset, rng):
+        a = rng.normal(size=tiny_dataset.n_docs)
+        b = rng.normal(size=tiny_dataset.n_docs)
+        assert abs(score_agreement(tiny_dataset, a, b)) < 0.2
+
+    def test_student_agrees_with_teacher(
+        self, tiny_splits, small_student, small_forest
+    ):
+        _, _, test = tiny_splits
+        tau = score_agreement(
+            test,
+            small_student.predict(test.features),
+            small_forest.predict(test.features),
+        )
+        assert tau > 0.3
+
+    def test_length_validated(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            score_agreement(tiny_dataset, np.zeros(3), np.zeros(3))

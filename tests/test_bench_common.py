@@ -1,0 +1,42 @@
+"""Tests for benchmarks._common (the harness's emit helper)."""
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+from benchmarks import _common  # noqa: E402
+
+
+class TestEmit:
+    @pytest.fixture(autouse=True)
+    def redirect_results(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(_common, "RESULTS_DIR", tmp_path)
+        self.results_dir = tmp_path
+
+    def test_writes_file_and_returns_text(self, capsys):
+        text = _common.emit(
+            "demo",
+            ["a", "b"],
+            [(1, 2.5)],
+            title="Demo table",
+            notes="a note",
+        )
+        assert "Demo table" in text
+        assert "a note" in text
+        saved = (self.results_dir / "demo.txt").read_text()
+        assert saved.strip() == text.strip()
+        assert "Demo table" in capsys.readouterr().out
+
+    def test_no_notes(self):
+        text = _common.emit("plain", ["x"], [(1,)], title="T")
+        assert text.endswith("1")
+
+    def test_creates_results_dir(self, monkeypatch, tmp_path):
+        nested = tmp_path / "does" / "not"
+        nested.parent.mkdir()
+        monkeypatch.setattr(_common, "RESULTS_DIR", nested)
+        _common.emit("x", ["h"], [(1,)], title="T")
+        assert (nested / "x.txt").exists()

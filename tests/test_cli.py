@@ -1,0 +1,172 @@
+"""Tests for the command-line interface (end-to-end over files)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import _parse_hidden, main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """A tiny dataset + trained forest shared across CLI tests."""
+    root = tmp_path_factory.mktemp("cli")
+    data = root / "data.txt"
+    forest = root / "forest.json"
+    assert (
+        main(
+            [
+                "generate", str(data),
+                "--queries", "60", "--docs", "12", "--seed", "1",
+            ]
+        )
+        == 0
+    )
+    assert (
+        main(
+            [
+                "train-forest", str(data), str(forest),
+                "--trees", "10", "--leaves", "8", "--seed", "1",
+            ]
+        )
+        == 0
+    )
+    return {"root": root, "data": data, "forest": forest}
+
+
+class TestParseHidden:
+    def test_valid(self):
+        assert _parse_hidden("400x200x100") == (400, 200, 100)
+
+    def test_case_insensitive(self):
+        assert _parse_hidden("50X25") == (50, 25)
+
+    def test_invalid_text(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_hidden("400-200")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_hidden("400x0")
+
+
+class TestGenerate(object):
+    def test_writes_svmlight(self, workspace):
+        text = workspace["data"].read_text()
+        assert "qid:" in text
+        assert len(text.splitlines()) > 400
+
+    def test_istella_flavour(self, tmp_path):
+        out = tmp_path / "ist.txt"
+        assert (
+            main(
+                [
+                    "generate", str(out), "--flavour", "istella",
+                    "--queries", "20", "--docs", "10",
+                ]
+            )
+            == 0
+        )
+        first = out.read_text().splitlines()[0]
+        assert "220:" in first  # istella schema has 220 features
+
+
+class TestTrainForest:
+    def test_forest_loadable(self, workspace):
+        from repro.forest import TreeEnsemble
+
+        forest = TreeEnsemble.load(workspace["forest"])
+        assert forest.n_trees == 10
+
+
+class TestDistillAndPrune:
+    def test_full_pipeline(self, workspace, capsys):
+        root = workspace["root"]
+        student_path = root / "student.json"
+        code = main(
+            [
+                "distill", str(workspace["data"]), str(workspace["forest"]),
+                str(student_path),
+                "--architecture", "32x16", "--epochs", "4", "--seed", "1",
+            ]
+        )
+        assert code == 0
+        assert "distilled 32x16" in capsys.readouterr().out
+
+        pruned_path = root / "pruned.json"
+        code = main(
+            [
+                "prune", str(workspace["data"]), str(workspace["forest"]),
+                str(student_path), str(pruned_path),
+                "--epochs-prune", "2", "--epochs-finetune", "1", "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sparsity" in out
+
+        from repro.distill import DistilledStudent
+
+        pruned = DistilledStudent.load(pruned_path)
+        assert pruned.first_layer_sparsity() > 0.5
+
+    def test_score_with_network(self, workspace, tmp_path, capsys):
+        student_path = workspace["root"] / "student.json"
+        if not student_path.exists():
+            pytest.skip("distill test did not run first")
+        scores_path = tmp_path / "scores.txt"
+        code = main(
+            [
+                "score", str(workspace["data"]), str(scores_path),
+                "--network", str(student_path),
+            ]
+        )
+        assert code == 0
+        scores = np.loadtxt(scores_path)
+        assert len(scores) > 400
+
+
+class TestScore:
+    def test_score_with_forest(self, workspace, tmp_path, capsys):
+        scores_path = tmp_path / "scores.txt"
+        code = main(
+            [
+                "score", str(workspace["data"]), str(scores_path),
+                "--forest", str(workspace["forest"]),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NDCG@10" in out
+        assert scores_path.exists()
+
+
+class TestVerify:
+    def test_quick_verify_passes(self, capsys):
+        assert main(["verify", "--quick"]) == 0
+        assert "Calibration verification" in capsys.readouterr().out
+
+
+class TestPredictTime:
+    def test_inline_calibration(self, capsys):
+        code = main(
+            [
+                "predict-time", "400x200x200x100",
+                "--compare-forest", "878", "64",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dense" in out and "pruned forecast" in out
+        assert "QuickScorer 878x64" in out
+
+    def test_with_saved_predictor(self, tmp_path, capsys):
+        pred_path = tmp_path / "pred.json"
+        assert main(["calibrate", str(pred_path)]) == 0
+        code = main(
+            [
+                "predict-time", "100x50x50x25",
+                "--predictor", str(pred_path),
+            ]
+        )
+        assert code == 0
+        assert "us/doc" in capsys.readouterr().out

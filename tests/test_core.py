@@ -1,0 +1,186 @@
+"""Tests for repro.core (config, zoo, pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EfficientRankingPipeline,
+    ExperimentScale,
+    ISTELLA_HYPERPARAMS,
+    ISTELLA_ZOO,
+    MSN30K_HYPERPARAMS,
+    MSN30K_ZOO,
+)
+from repro.core.config import FULL_SCALE
+
+
+@pytest.fixture(scope="module")
+def pipeline(mini_pipeline):
+    """The shared miniature MSN30K pipeline (see conftest)."""
+    return mini_pipeline
+
+
+class TestHyperParams:
+    def test_table9_msn30k(self):
+        h = MSN30K_HYPERPARAMS
+        assert (h.training_epochs, h.pruning_epochs, h.finetune_epochs) == (
+            100, 80, 20,
+        )
+        assert h.gamma == 0.1
+        assert h.gamma_steps == (50, 80)
+        assert h.dropout == 0.0
+
+    def test_table9_istella(self):
+        h = ISTELLA_HYPERPARAMS
+        assert (h.training_epochs, h.pruning_epochs, h.finetune_epochs) == (
+            250, 60, 190,
+        )
+        assert h.gamma == 0.5
+        assert h.gamma_steps == (90, 130, 180)
+        assert h.dropout == 0.1
+
+    def test_as_row_format(self):
+        row = MSN30K_HYPERPARAMS.as_row()
+        assert row[0] == "MSN30K"
+        assert row[-1] == "-"  # no dropout
+
+
+class TestScale:
+    def test_scaled_trees_floor(self):
+        scale = ExperimentScale(tree_scale=0.001)
+        assert scale.scaled_trees(878) == 10
+
+    def test_full_scale_identity(self):
+        assert FULL_SCALE.scaled_trees(878) == 878
+
+    def test_configs_constructed(self):
+        scale = ExperimentScale()
+        assert scale.forest_config(64, 100).max_leaves == 64
+        assert scale.distill_config(MSN30K_HYPERPARAMS).dropout == 0.0
+        assert scale.distill_config(ISTELLA_HYPERPARAMS).dropout == 0.1
+        assert scale.prune_config(MSN30K_HYPERPARAMS).lr_gamma == 0.1
+
+
+class TestZoo:
+    def test_msn30k_named_models(self):
+        assert MSN30K_ZOO.large_forest.n_trees == 878
+        assert MSN30K_ZOO.teacher.n_leaves == 256
+        assert MSN30K_ZOO.large_net.hidden == (1000, 500, 500, 100)
+        assert MSN30K_ZOO.flagship.hidden == (400, 200, 200, 100)
+
+    def test_istella_teacher(self):
+        assert ISTELLA_ZOO.teacher.n_trees == 2500
+        assert ISTELLA_ZOO.n_features == 220
+
+    def test_high_quality_architectures_match_table10(self):
+        hidden = [s.hidden for s in MSN30K_ZOO.high_quality]
+        assert (300, 200, 100) in hidden
+        assert (200, 50, 50, 25) in hidden
+
+    def test_low_latency_architectures_match_table11(self):
+        hidden = [s.hidden for s in ISTELLA_ZOO.low_latency]
+        assert (200, 75, 75, 25) in hidden
+
+    def test_all_networks_deduplicated(self):
+        nets = MSN30K_ZOO.all_networks()
+        assert len({n.hidden for n in nets}) == len(nets)
+
+    def test_deployment_forests_order(self):
+        large, mid, small = MSN30K_ZOO.deployment_forests()
+        assert large.n_trees > mid.n_trees > small.n_trees
+
+
+class TestPipeline:
+    def test_forest_truncation_shares_base(self, pipeline):
+        large = pipeline.forest(pipeline.zoo.large_forest)
+        small = pipeline.forest(pipeline.zoo.small_forest)
+        assert small.n_trees <= large.n_trees
+        assert small.trees[0] is large.trees[0]
+
+    def test_forest_cached(self, pipeline):
+        a = pipeline.forest(pipeline.zoo.small_forest)
+        b = pipeline.forest(pipeline.zoo.small_forest)
+        assert a is b
+
+    def test_teacher_uses_256_leaves_config(self, pipeline):
+        teacher = pipeline.teacher()
+        assert teacher.max_leaves > 16  # grown beyond the 16-leaf toys
+
+    def test_teacher_is_validation_best(self, pipeline):
+        # Section 6.1: distill from the most effective ensemble; the
+        # pipeline picks by validation NDCG@10 among the candidates.
+        from repro.metrics import mean_ndcg
+
+        teacher = pipeline.teacher()
+        vali = pipeline.vali
+        teacher_ndcg = mean_ndcg(vali, teacher.predict(vali.features), 10)
+        for spec in (pipeline.zoo.teacher, pipeline.zoo.large_forest):
+            candidate = pipeline.forest(spec)
+            candidate_ndcg = mean_ndcg(
+                vali, candidate.predict(vali.features), 10
+            )
+            assert teacher_ndcg >= candidate_ndcg - 1e-12
+
+    def test_teacher_cached(self, pipeline):
+        assert pipeline.teacher() is pipeline.teacher()
+
+    def test_width_scaled_lr_for_wide_nets(self, pipeline):
+        from repro.distill import DistillationConfig
+
+        base = DistillationConfig(learning_rate=0.004)
+        narrow = pipeline._width_scaled(base, 300)
+        wide = pipeline._width_scaled(base, 1000)
+        assert narrow.learning_rate == pytest.approx(0.004)
+        assert wide.learning_rate == pytest.approx(0.004 * 500 / 1000)
+
+    def test_evaluate_forest_fields(self, pipeline):
+        result = pipeline.evaluate_forest(pipeline.zoo.small_forest)
+        assert result.family == "forest"
+        assert 0.0 <= result.ndcg10 <= 1.0
+        assert result.time_us > 0
+        assert len(result.per_query_ndcg10) == pipeline.test.n_queries
+
+    def test_forest_time_uses_paper_shape(self, pipeline):
+        result = pipeline.evaluate_forest(pipeline.zoo.large_forest)
+        expected = pipeline.qs_cost.scoring_time_us(878, 64)
+        assert result.time_us == pytest.approx(expected)
+
+    def test_student_cached_and_evaluated(self, pipeline):
+        spec = pipeline.zoo.low_latency[2]  # smallest architecture
+        a = pipeline.student(spec)
+        b = pipeline.student(spec)
+        assert a is b
+        result = pipeline.evaluate_network(spec)
+        assert result.family == "neural"
+        assert result.time_us > 0
+
+    def test_pruned_student_sparsity(self, pipeline):
+        spec = pipeline.zoo.low_latency[2]
+        pruned = pipeline.pruned_student(spec)
+        assert pruned.first_layer_sparsity() > 0.8
+
+    def test_pruned_time_below_dense(self, pipeline):
+        spec = pipeline.zoo.low_latency[2]
+        dense = pipeline.evaluate_network(spec, pruned=False)
+        sparse = pipeline.evaluate_network(spec, pruned=True)
+        assert sparse.time_us < dense.time_us
+
+    def test_frontier_points_families(self, pipeline):
+        points = pipeline.frontier_points(
+            [pipeline.zoo.small_forest],
+            [pipeline.zoo.low_latency[2]],
+        )
+        families = {p.family for p in points}
+        assert families == {"forest", "neural"}
+
+    def test_quality_metrics_consistent(self, pipeline):
+        scores = np.zeros(pipeline.test.n_docs)
+        q = pipeline.quality(scores)
+        assert 0 <= q["ndcg10"] <= 1
+        assert 0 <= q["map"] <= 1
+
+    def test_as_row_shape(self, pipeline):
+        result = pipeline.evaluate_forest(pipeline.zoo.small_forest)
+        row = result.as_row()
+        assert len(row) == 5
+        assert row[0] == "Small Forest"

@@ -1,0 +1,106 @@
+"""Tests for repro.datasets.base (LtrDataset)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import LtrDataset
+from repro.exceptions import DatasetError
+
+
+def make_dataset():
+    x = np.arange(24, dtype=float).reshape(8, 3)
+    y = np.asarray([0, 1, 2, 0, 3, 1, 0, 4])
+    qids = np.asarray([1, 1, 1, 2, 2, 3, 3, 3])
+    return LtrDataset(features=x, labels=y, qids=qids)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        ds = make_dataset()
+        assert ds.n_docs == 8
+        assert ds.n_features == 3
+        assert ds.n_queries == 3
+        assert ds.max_label == 4
+
+    def test_query_ptr(self):
+        ds = make_dataset()
+        assert ds.query_ptr.tolist() == [0, 3, 5, 8]
+
+    def test_query_sizes(self):
+        assert make_dataset().query_sizes().tolist() == [3, 2, 3]
+
+    def test_mismatched_rows_raise(self):
+        with pytest.raises(DatasetError, match="same number of rows"):
+            LtrDataset(
+                features=np.zeros((3, 2)),
+                labels=np.zeros(2, dtype=int),
+                qids=np.zeros(3),
+            )
+
+    def test_noncontiguous_qids_raise(self):
+        with pytest.raises(DatasetError, match="contiguous"):
+            LtrDataset(
+                features=np.zeros((4, 2)),
+                labels=np.zeros(4, dtype=int),
+                qids=np.asarray([1, 2, 1, 2]),
+            )
+
+    def test_negative_labels_raise(self):
+        with pytest.raises(DatasetError, match="non-negative"):
+            LtrDataset(
+                features=np.zeros((2, 2)),
+                labels=np.asarray([-1, 0]),
+                qids=np.asarray([1, 1]),
+            )
+
+
+class TestQueryAccess:
+    def test_query_slice(self):
+        ds = make_dataset()
+        assert ds.query_slice(1) == slice(3, 5)
+
+    def test_query_slice_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_dataset().query_slice(3)
+
+    def test_iter_queries(self):
+        ds = make_dataset()
+        sizes = [len(labels) for _, labels in ds.iter_queries()]
+        assert sizes == [3, 2, 3]
+
+    def test_iter_queries_features_match(self):
+        ds = make_dataset()
+        x0, _ = next(iter(ds.iter_queries()))
+        np.testing.assert_array_equal(x0, ds.features[:3])
+
+
+class TestManipulation:
+    def test_select_queries(self):
+        ds = make_dataset()
+        sub = ds.select_queries([2, 0])
+        assert sub.n_queries == 2
+        assert sub.query_sizes().tolist() == [3, 3]
+        np.testing.assert_array_equal(sub.labels[:3], ds.labels[5:8])
+
+    def test_select_empty_raises(self):
+        with pytest.raises(DatasetError):
+            make_dataset().select_queries([])
+
+    def test_with_features(self):
+        ds = make_dataset()
+        new = ds.with_features(ds.features * 2)
+        np.testing.assert_array_equal(new.features, ds.features * 2)
+        np.testing.assert_array_equal(new.labels, ds.labels)
+
+    def test_feature_ranges(self):
+        ds = make_dataset()
+        lo, hi = ds.feature_ranges()
+        np.testing.assert_array_equal(lo, ds.features.min(axis=0))
+        np.testing.assert_array_equal(hi, ds.features.max(axis=0))
+
+    def test_len(self):
+        assert len(make_dataset()) == 8
+
+    def test_summary_mentions_counts(self):
+        s = make_dataset().summary()
+        assert "3 queries" in s and "8 docs" in s

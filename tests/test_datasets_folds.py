@@ -1,0 +1,80 @@
+"""Tests for repro.datasets.folds (LETOR-style k-fold rotations)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import k_fold_splits, make_msn30k_like
+from repro.datasets.folds import cross_validated_metric
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_msn30k_like(n_queries=50, docs_per_query=10, seed=2)
+
+
+class TestKFoldSplits:
+    def test_fold_count(self, dataset):
+        assert len(k_fold_splits(dataset, k=5, seed=0)) == 5
+
+    def test_partition_sizes(self, dataset):
+        folds = k_fold_splits(dataset, k=5, seed=0)
+        for fold in folds:
+            assert fold.train.n_queries == 30  # (k-2)/k of 50
+            assert fold.validation.n_queries == 10
+            assert fold.test.n_queries == 10
+
+    def test_within_fold_disjoint(self, dataset):
+        for fold in k_fold_splits(dataset, k=5, seed=0):
+            all_qids = np.concatenate(
+                [
+                    fold.train.unique_qids,
+                    fold.validation.unique_qids,
+                    fold.test.unique_qids,
+                ]
+            )
+            assert len(np.unique(all_qids)) == dataset.n_queries
+
+    def test_each_query_tested_exactly_once(self, dataset):
+        folds = k_fold_splits(dataset, k=5, seed=0)
+        tested = np.concatenate([f.test.unique_qids for f in folds])
+        assert sorted(tested.tolist()) == sorted(dataset.unique_qids.tolist())
+
+    def test_deterministic_by_seed(self, dataset):
+        a = k_fold_splits(dataset, k=5, seed=3)[0]
+        b = k_fold_splits(dataset, k=5, seed=3)[0]
+        np.testing.assert_array_equal(a.test.unique_qids, b.test.unique_qids)
+
+    def test_fold_names(self, dataset):
+        fold = k_fold_splits(dataset, k=5, seed=0)[2]
+        assert fold.index == 3
+        assert fold.train.name.endswith("fold3-train")
+
+    def test_invalid_k(self, dataset):
+        with pytest.raises(DatasetError):
+            k_fold_splits(dataset, k=2)
+
+    def test_too_few_queries(self, dataset):
+        small = dataset.select_queries([0, 1, 2])
+        with pytest.raises(DatasetError):
+            k_fold_splits(small, k=5)
+
+
+class TestCrossValidatedMetric:
+    class _ConstantModel:
+        def predict(self, features):
+            return np.zeros(len(features))
+
+    def test_mean_and_values(self, dataset):
+        folds = k_fold_splits(dataset, k=4, seed=0)
+        mean, values = cross_validated_metric(
+            folds,
+            fit_fn=lambda train, vali: self._ConstantModel(),
+            metric_fn=lambda test, scores: float(test.n_queries),
+        )
+        assert len(values) == 4
+        assert mean == pytest.approx(np.mean(values))
+
+    def test_empty_folds_rejected(self):
+        with pytest.raises(DatasetError):
+            cross_validated_metric([], None, None)

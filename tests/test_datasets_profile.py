@@ -1,0 +1,59 @@
+"""Tests for repro.datasets.profile."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import LtrDataset, make_msn30k_like
+from repro.datasets.profile import profile_dataset
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return profile_dataset(make_msn30k_like(n_queries=80, docs_per_query=15, seed=6))
+
+
+class TestProfile:
+    def test_counts(self, profile):
+        assert profile.n_queries == 80
+        assert profile.n_docs >= 80 * 8
+        assert len(profile.features) == 136
+
+    def test_grade_fractions_sum_to_one(self, profile):
+        assert sum(profile.grade_fractions) == pytest.approx(1.0)
+
+    def test_grade_skew_matches_generator(self, profile):
+        assert profile.grade_fractions[0] == pytest.approx(0.52, abs=0.05)
+
+    def test_query_size_ordering(self, profile):
+        assert (
+            profile.query_sizes_min
+            <= profile.query_sizes_mean
+            <= profile.query_sizes_max
+        )
+
+    def test_heavy_tails_detected(self, profile):
+        # The generator plants lognormal features after the informative
+        # block; some must register as heavy-tailed.
+        assert len(profile.heavy_tailed_features) > 0
+        assert all(f >= 40 for f in profile.heavy_tailed_features[:1])
+
+    def test_constant_feature_detected(self):
+        ds = LtrDataset(
+            features=np.column_stack([np.arange(6.0), np.full(6, 3.0)]),
+            labels=np.asarray([0, 1, 0, 1, 0, 1]),
+            qids=np.asarray([1, 1, 1, 2, 2, 2]),
+        )
+        profile = profile_dataset(ds)
+        assert profile.constant_features == [1]
+        assert profile.features[1].std == 0.0
+
+    def test_render_contains_sections(self, profile):
+        text = profile.render(max_features=5)
+        assert "Dataset profile" in text
+        assert "grades:" in text
+        assert "First 5 features" in text
+
+    def test_feature_stats_consistent(self, profile):
+        f0 = profile.features[0]
+        assert f0.minimum <= f0.mean <= f0.maximum
+        assert f0.n_unique > 1

@@ -1,0 +1,69 @@
+"""Tests for repro.datasets.sampling (negative subsampling)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_istella_s_like, subsample_negatives
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_istella_s_like(n_queries=60, docs_per_query=20, seed=8)
+
+
+class TestSubsampleNegatives:
+    def test_negatives_capped(self, dataset):
+        out = subsample_negatives(dataset, max_negatives_per_query=5, seed=0)
+        for qi in range(out.n_queries):
+            sl = out.query_slice(qi)
+            negatives = int(np.sum(out.labels[sl] == 0))
+            assert negatives <= 5
+
+    def test_all_positives_kept(self, dataset):
+        out = subsample_negatives(dataset, max_negatives_per_query=3, seed=0)
+        assert int(np.sum(out.labels >= 1)) == int(np.sum(dataset.labels >= 1))
+
+    def test_query_count_preserved(self, dataset):
+        out = subsample_negatives(dataset, max_negatives_per_query=3, seed=0)
+        assert out.n_queries == dataset.n_queries
+
+    def test_no_empty_queries(self, dataset):
+        out = subsample_negatives(dataset, max_negatives_per_query=1, seed=0)
+        assert out.query_sizes().min() >= 1
+
+    def test_shrinks_skewed_dataset(self, dataset):
+        out = subsample_negatives(dataset, max_negatives_per_query=3, seed=0)
+        assert out.n_docs < dataset.n_docs
+
+    def test_deterministic(self, dataset):
+        a = subsample_negatives(dataset, 4, seed=5)
+        b = subsample_negatives(dataset, 4, seed=5)
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_rows_keep_feature_alignment(self, dataset):
+        # Every surviving row must exist verbatim in the original data.
+        out = subsample_negatives(dataset, 4, seed=1)
+        original = {
+            (int(q),) + tuple(np.round(row, 6))
+            for q, row in zip(dataset.qids, dataset.features)
+        }
+        for q, row in zip(out.qids[:50], out.features[:50]):
+            assert (int(q),) + tuple(np.round(row, 6)) in original
+
+    def test_custom_threshold(self, dataset):
+        out = subsample_negatives(
+            dataset, 2, relevance_threshold=2, seed=0
+        )
+        # Grade-1 docs now count as negatives and are capped too.
+        for qi in range(out.n_queries):
+            sl = out.query_slice(qi)
+            assert int(np.sum(out.labels[sl] < 2)) <= 2
+
+    def test_invalid_cap(self, dataset):
+        with pytest.raises(DatasetError):
+            subsample_negatives(dataset, 0)
+
+    def test_name_suffixed(self, dataset):
+        out = subsample_negatives(dataset, 3, seed=0)
+        assert out.name.endswith("/neg3")

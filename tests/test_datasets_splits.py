@@ -1,0 +1,63 @@
+"""Tests for repro.datasets.splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_msn30k_like, train_validation_test_split
+from repro.exceptions import DatasetError
+
+
+class TestSplit:
+    def test_fractions_roughly_60_20_20(self):
+        ds = make_msn30k_like(n_queries=100, docs_per_query=10)
+        train, vali, test = train_validation_test_split(ds, seed=0)
+        assert train.n_queries == 60
+        assert vali.n_queries == 20
+        assert test.n_queries == 20
+
+    def test_partitions_disjoint_and_complete(self):
+        ds = make_msn30k_like(n_queries=50, docs_per_query=10)
+        train, vali, test = train_validation_test_split(ds, seed=0)
+        all_qids = np.concatenate(
+            [train.unique_qids, vali.unique_qids, test.unique_qids]
+        )
+        assert len(np.unique(all_qids)) == 50
+        assert train.n_docs + vali.n_docs + test.n_docs == ds.n_docs
+
+    def test_deterministic_by_seed(self):
+        ds = make_msn30k_like(n_queries=50, docs_per_query=10)
+        a = train_validation_test_split(ds, seed=3)[0]
+        b = train_validation_test_split(ds, seed=3)[0]
+        np.testing.assert_array_equal(a.unique_qids, b.unique_qids)
+
+    def test_no_shuffle_keeps_order(self):
+        ds = make_msn30k_like(n_queries=50, docs_per_query=10)
+        train, _, _ = train_validation_test_split(ds, shuffle=False)
+        np.testing.assert_array_equal(train.unique_qids, ds.unique_qids[:30])
+
+    def test_custom_fractions(self):
+        ds = make_msn30k_like(n_queries=100, docs_per_query=10)
+        train, vali, test = train_validation_test_split(
+            ds, train=0.8, validation=0.1, seed=0
+        )
+        assert train.n_queries == 80
+        assert vali.n_queries == 10
+
+    def test_names_suffixed(self):
+        ds = make_msn30k_like(n_queries=20, docs_per_query=10)
+        train, vali, test = train_validation_test_split(ds, seed=0)
+        assert train.name.endswith("/train")
+        assert vali.name.endswith("/vali")
+        assert test.name.endswith("/test")
+
+    def test_invalid_fractions_raise(self):
+        ds = make_msn30k_like(n_queries=20, docs_per_query=10)
+        with pytest.raises(DatasetError):
+            train_validation_test_split(ds, train=0.9, validation=0.2)
+        with pytest.raises(DatasetError):
+            train_validation_test_split(ds, train=0.0)
+
+    def test_too_few_queries_raise(self):
+        ds = make_msn30k_like(n_queries=40, docs_per_query=10).select_queries([0, 1])
+        with pytest.raises(DatasetError, match="at least 3"):
+            train_validation_test_split(ds)

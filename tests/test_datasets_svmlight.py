@@ -1,0 +1,102 @@
+"""Tests for repro.datasets.svmlight."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.datasets import LtrDataset, load_svmlight, save_svmlight
+from repro.exceptions import DatasetFormatError
+
+SAMPLE = """\
+2 qid:1 1:0.5 3:1.25
+0 qid:1 2:3
+1 qid:2 1:1 2:2 3:3 # a comment
+"""
+
+
+class TestLoad:
+    def test_shapes(self):
+        ds = load_svmlight(io.StringIO(SAMPLE))
+        assert ds.n_docs == 3
+        assert ds.n_features == 3
+        assert ds.n_queries == 2
+
+    def test_sparse_features_default_zero(self):
+        ds = load_svmlight(io.StringIO(SAMPLE))
+        assert ds.features[0, 1] == 0.0
+        assert ds.features[0, 2] == pytest.approx(1.25)
+
+    def test_labels_and_qids(self):
+        ds = load_svmlight(io.StringIO(SAMPLE))
+        assert ds.labels.tolist() == [2, 0, 1]
+        assert ds.qids.tolist() == [1, 1, 2]
+
+    def test_comment_stripped(self):
+        ds = load_svmlight(io.StringIO(SAMPLE))
+        assert ds.features[2, 2] == 3.0
+
+    def test_explicit_n_features_pads(self):
+        ds = load_svmlight(io.StringIO(SAMPLE), n_features=5)
+        assert ds.n_features == 5
+
+    def test_n_features_too_small_raises(self):
+        with pytest.raises(DatasetFormatError, match="n_features"):
+            load_svmlight(io.StringIO(SAMPLE), n_features=2)
+
+    def test_blank_lines_skipped(self):
+        ds = load_svmlight(io.StringIO("\n" + SAMPLE + "\n"))
+        assert ds.n_docs == 3
+
+    def test_missing_qid_raises(self):
+        with pytest.raises(DatasetFormatError, match="qid"):
+            load_svmlight(io.StringIO("1 1:0.5\n"))
+
+    def test_bad_label_raises(self):
+        with pytest.raises(DatasetFormatError, match="label"):
+            load_svmlight(io.StringIO("x qid:1 1:0.5\n"))
+
+    def test_bad_feature_token_raises(self):
+        with pytest.raises(DatasetFormatError, match="malformed"):
+            load_svmlight(io.StringIO("1 qid:1 1:a\n"))
+
+    def test_zero_based_feature_id_raises(self):
+        with pytest.raises(DatasetFormatError, match="1-based"):
+            load_svmlight(io.StringIO("1 qid:1 0:0.5\n"))
+
+    def test_empty_file_raises(self):
+        with pytest.raises(DatasetFormatError, match="no data"):
+            load_svmlight(io.StringIO(""))
+
+    def test_load_from_path(self, tmp_path):
+        p = tmp_path / "data.txt"
+        p.write_text(SAMPLE)
+        ds = load_svmlight(p)
+        assert ds.n_docs == 3
+        assert ds.name == "data.txt"
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        x = np.round(np.random.default_rng(0).uniform(0, 5, size=(6, 4)), 3)
+        ds = LtrDataset(
+            features=x,
+            labels=np.asarray([0, 1, 2, 3, 4, 0]),
+            qids=np.asarray([1, 1, 1, 2, 2, 2]),
+        )
+        path = tmp_path / "rt.txt"
+        save_svmlight(ds, path)
+        back = load_svmlight(path, n_features=4)
+        np.testing.assert_allclose(back.features, ds.features, rtol=1e-5)
+        np.testing.assert_array_equal(back.labels, ds.labels)
+        np.testing.assert_array_equal(back.qids.astype(int), ds.qids)
+
+    def test_save_to_stream(self):
+        ds = LtrDataset(
+            features=np.ones((2, 2)),
+            labels=np.asarray([1, 0]),
+            qids=np.asarray([5, 5]),
+        )
+        buf = io.StringIO()
+        save_svmlight(ds, buf)
+        assert "qid:5" in buf.getvalue()

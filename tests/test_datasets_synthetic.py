@@ -1,0 +1,94 @@
+"""Tests for repro.datasets.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SyntheticConfig,
+    generate_synthetic,
+    make_istella_s_like,
+    make_msn30k_like,
+)
+
+
+class TestSyntheticConfig:
+    def test_defaults_valid(self):
+        SyntheticConfig()
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            SyntheticConfig(label_fractions=(0.5, 0.4))
+
+    def test_informative_bounded_by_features(self):
+        with pytest.raises(ValueError, match="n_informative"):
+            SyntheticConfig(n_features=10, n_informative=20)
+
+    def test_positive_sizes(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_queries=0)
+
+
+class TestGeneration:
+    def test_deterministic_by_seed(self):
+        cfg = SyntheticConfig(n_queries=30, docs_per_query=10)
+        a = generate_synthetic(cfg, seed=5)
+        b = generate_synthetic(cfg, seed=5)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        cfg = SyntheticConfig(n_queries=30, docs_per_query=10)
+        a = generate_synthetic(cfg, seed=1)
+        b = generate_synthetic(cfg, seed=2)
+        assert not np.array_equal(a.features, b.features)
+
+    def test_query_count(self):
+        ds = generate_synthetic(SyntheticConfig(n_queries=25, docs_per_query=12))
+        assert ds.n_queries == 25
+
+    def test_min_docs_per_query(self):
+        ds = generate_synthetic(SyntheticConfig(n_queries=50, docs_per_query=8))
+        assert ds.query_sizes().min() >= 8
+
+    def test_label_marginals_match_target(self):
+        cfg = SyntheticConfig(n_queries=300, docs_per_query=30)
+        ds = generate_synthetic(cfg, seed=0)
+        fractions = np.bincount(ds.labels, minlength=5) / ds.n_docs
+        np.testing.assert_allclose(fractions, cfg.label_fractions, atol=0.02)
+
+    def test_five_grades_present(self):
+        ds = generate_synthetic(
+            SyntheticConfig(n_queries=300, docs_per_query=30), seed=0
+        )
+        assert set(np.unique(ds.labels)) == {0, 1, 2, 3, 4}
+
+    def test_labels_learnable_from_features(self):
+        # Grade means of an informative feature's stump signal must vary:
+        # the latent function is feature-driven, not noise.
+        ds = generate_synthetic(
+            SyntheticConfig(n_queries=200, docs_per_query=30), seed=0
+        )
+        top = ds.features[ds.labels >= 3]
+        bottom = ds.features[ds.labels == 0]
+        # At least one informative feature separates the extremes.
+        gaps = np.abs(top[:, :40].mean(axis=0) - bottom[:, :40].mean(axis=0))
+        assert gaps.max() > 0.05
+
+
+class TestNamedSurrogates:
+    def test_msn30k_schema(self):
+        ds = make_msn30k_like(n_queries=40, docs_per_query=10)
+        assert ds.n_features == 136
+        assert ds.name == "msn30k-like"
+
+    def test_istella_schema(self):
+        ds = make_istella_s_like(n_queries=40, docs_per_query=10)
+        assert ds.n_features == 220
+        assert ds.name == "istella-s-like"
+
+    def test_istella_more_skewed_than_msn(self):
+        msn = make_msn30k_like(n_queries=150, docs_per_query=20, seed=0)
+        ist = make_istella_s_like(n_queries=150, docs_per_query=20, seed=0)
+        zero_msn = np.mean(msn.labels == 0)
+        zero_ist = np.mean(ist.labels == 0)
+        assert zero_ist > zero_msn

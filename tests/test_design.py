@@ -1,0 +1,144 @@
+"""Tests for repro.design (search, scenarios, frontiers)."""
+
+import pytest
+
+from repro.design import (
+    ArchitectureSearch,
+    HighQualityScenario,
+    LowLatencyScenario,
+    ModelPoint,
+    build_frontier,
+)
+from repro.design.frontier import family_frontier
+from repro.timing import NetworkTimePredictor
+
+
+@pytest.fixture(scope="module")
+def search():
+    predictor = NetworkTimePredictor()
+    return ArchitectureSearch(
+        136,
+        predictor,
+        widths=(25, 50, 100, 200, 400),
+        min_layers=2,
+        max_layers=3,
+    )
+
+
+class TestArchitectureSearch:
+    def test_enumerate_pyramidal_only(self, search):
+        for cand in search.enumerate():
+            widths = cand.hidden
+            assert all(widths[i] >= widths[i + 1] for i in range(len(widths) - 1))
+
+    def test_enumerate_counts(self, search):
+        # Non-increasing tuples over 5 widths: C(6,2)=15 for depth 2,
+        # C(7,3)=35 for depth 3.
+        assert len(search.enumerate()) == 15 + 35
+
+    def test_price_fields(self, search):
+        cand = search.price((200, 100))
+        assert cand.describe() == "200x100"
+        assert cand.pruned_time_us < cand.dense_time_us
+        assert cand.n_parameters == 136 * 200 + 200 + 200 * 100 + 100 + 100 + 1
+
+    def test_budget_filter(self, search):
+        budget = 1.0
+        picked = search.within_budget(budget, pruned=True)
+        assert picked
+        assert all(c.pruned_time_us <= budget for c in picked)
+
+    def test_budget_sorted_by_capacity(self, search):
+        picked = search.within_budget(2.0)
+        params = [c.n_parameters for c in picked]
+        assert params == sorted(params, reverse=True)
+
+    def test_dense_budget_stricter(self, search):
+        dense_set = {c.hidden for c in search.within_budget(1.0, pruned=False)}
+        pruned_set = {c.hidden for c in search.within_budget(1.0, pruned=True)}
+        assert dense_set <= pruned_set
+
+    def test_max_candidates(self, search):
+        assert len(search.within_budget(10.0, max_candidates=3)) == 3
+
+    def test_invalid_budget(self, search):
+        with pytest.raises(ValueError):
+            search.within_budget(0.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ArchitectureSearch(0)
+        with pytest.raises(ValueError):
+            ArchitectureSearch(10, min_layers=3, max_layers=2)
+
+
+def points():
+    return [
+        ModelPoint("f-large", "forest", 0.52, 8.2),
+        ModelPoint("f-mid", "forest", 0.51, 3.0),
+        ModelPoint("f-small", "forest", 0.50, 0.8),
+        ModelPoint("n-good", "neural", 0.525, 2.6),
+        ModelPoint("n-fast", "neural", 0.505, 0.4),
+        ModelPoint("n-bad", "neural", 0.49, 5.0),
+    ]
+
+
+class TestFrontier:
+    def test_family_frontier_drops_dominated(self):
+        frontier = family_frontier([p for p in points() if p.family == "neural"])
+        names = {p.name for p in frontier}
+        assert names == {"n-good", "n-fast"}
+
+    def test_build_frontier_split(self):
+        plot = build_frontier(points())
+        assert len(plot.forest_frontier) == 3
+        assert len(plot.neural_frontier) == 2
+
+    def test_neural_dominates_fraction(self):
+        plot = build_frontier(points())
+        # n-good (0.525, 2.6) dominates f-large and f-mid; n-fast
+        # (0.505, 0.4) dominates f-small.
+        assert plot.neural_dominates_fraction() == pytest.approx(1.0)
+
+    def test_speedup_at_quality(self):
+        plot = build_frontier(points())
+        # n-good beats f-large's quality at 8.2/2.6 ~ 3.15x.
+        assert plot.best_neural_speedup_at_quality() == pytest.approx(
+            8.2 / 2.6, rel=1e-6
+        )
+
+    def test_empty_forest_family(self):
+        plot = build_frontier([ModelPoint("n", "neural", 0.5, 1.0)])
+        assert plot.neural_dominates_fraction() == 0.0
+
+
+class TestScenarios:
+    def test_high_quality_floor(self):
+        scenario = HighQualityScenario(reference_ndcg10=0.52)
+        assert scenario.quality_floor == pytest.approx(0.5148)
+        picked = scenario.select(points())
+        assert all(p.ndcg10 >= scenario.quality_floor for p in picked)
+
+    def test_high_quality_winner_is_fastest(self):
+        scenario = HighQualityScenario(reference_ndcg10=0.52)
+        winner = scenario.winner(points())
+        assert winner.name == "n-good"
+
+    def test_high_quality_no_qualifier(self):
+        scenario = HighQualityScenario(reference_ndcg10=0.9)
+        assert scenario.winner(points()) is None
+
+    def test_low_latency_ceiling(self):
+        scenario = LowLatencyScenario(max_time_us=0.5)
+        picked = scenario.select(points())
+        assert [p.name for p in picked] == ["n-fast"]
+
+    def test_low_latency_winner_most_accurate(self):
+        scenario = LowLatencyScenario(max_time_us=3.0)
+        assert scenario.winner(points()).name == "n-good"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HighQualityScenario(reference_ndcg10=0.5, fraction=0.0)
+        with pytest.raises(ValueError):
+            LowLatencyScenario(max_time_us=0.0)

@@ -1,0 +1,57 @@
+"""Tests for repro.design.budget (forest-side latency budgeting)."""
+
+import pytest
+
+from repro.design import forest_budget_sweep, max_trees_within_budget
+from repro.quickscorer import QuickScorerCostModel
+
+
+class TestMaxTreesWithinBudget:
+    def test_result_fits_budget(self):
+        result = max_trees_within_budget(3.0, 64)
+        assert result.time_us <= 3.0
+
+    def test_one_more_tree_exceeds(self):
+        model = QuickScorerCostModel()
+        result = max_trees_within_budget(3.0, 64, cost_model=model)
+        assert model.scoring_time_us(result.n_trees + 1, 64) > 3.0
+
+    def test_paper_anchor(self):
+        # 3.0 us at 64 leaves admits ~300 trees (the paper's QS 300, 64).
+        result = max_trees_within_budget(3.0, 64)
+        assert result.n_trees == pytest.approx(300, rel=0.05)
+
+    def test_fewer_leaves_admit_more_trees(self):
+        wide = max_trees_within_budget(2.0, 16)
+        deep = max_trees_within_budget(2.0, 64)
+        assert wide.n_trees > deep.n_trees
+
+    def test_impossible_budget(self):
+        # Tighter than the fixed per-document overhead.
+        assert max_trees_within_budget(0.0001, 64) is None
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            max_trees_within_budget(0.0, 64)
+
+    def test_huge_budget_hits_cap(self):
+        result = max_trees_within_budget(1e9, 64, max_trees=5000)
+        assert result.n_trees == 5000
+
+    def test_describe(self):
+        result = max_trees_within_budget(1.0, 32)
+        assert "trees" in result.describe()
+
+
+class TestSweep:
+    def test_sweep_covers_leaf_options(self):
+        results = forest_budget_sweep(2.0, leaves_options=(16, 32, 64))
+        assert [r.n_leaves for r in results] == [16, 32, 64]
+
+    def test_sweep_skips_impossible(self):
+        results = forest_budget_sweep(0.0001, leaves_options=(16, 64))
+        assert results == []
+
+    def test_all_fit_budget(self):
+        for result in forest_budget_sweep(1.5):
+            assert result.time_us <= 1.5

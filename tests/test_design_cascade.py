@@ -1,0 +1,182 @@
+"""Tests for repro.design.cascade (early-exit extension)."""
+
+import numpy as np
+import pytest
+
+from repro.design import CascadeStage, EarlyExitCascade
+from repro.metrics import mean_ndcg
+
+
+def linear_scorer(weights):
+    weights = np.asarray(weights, dtype=np.float64)
+
+    def score(features):
+        return features @ weights
+
+    return score
+
+
+class TestCascadeStage:
+    def test_invalid_keep(self):
+        with pytest.raises(ValueError):
+            CascadeStage("s", lambda x: x[:, 0], 1.0, keep_fraction=0.0)
+
+    def test_invalid_cost(self):
+        with pytest.raises(ValueError):
+            CascadeStage("s", lambda x: x[:, 0], -1.0)
+
+
+class TestExpectedCost:
+    def test_single_stage(self):
+        cascade = EarlyExitCascade(
+            [CascadeStage("a", lambda x: x[:, 0], 2.0)]
+        )
+        assert cascade.expected_cost_us_per_doc() == pytest.approx(2.0)
+
+    def test_two_stage_amortization(self):
+        cascade = EarlyExitCascade(
+            [
+                CascadeStage("cheap", lambda x: x[:, 0], 0.2, keep_fraction=0.25),
+                CascadeStage("expensive", lambda x: x[:, 0], 4.0),
+            ]
+        )
+        assert cascade.expected_cost_us_per_doc() == pytest.approx(0.2 + 0.25 * 4.0)
+
+    def test_three_stage_geometric(self):
+        cascade = EarlyExitCascade(
+            [
+                CascadeStage("a", lambda x: x[:, 0], 1.0, keep_fraction=0.5),
+                CascadeStage("b", lambda x: x[:, 0], 2.0, keep_fraction=0.5),
+                CascadeStage("c", lambda x: x[:, 0], 4.0),
+            ]
+        )
+        assert cascade.expected_cost_us_per_doc() == pytest.approx(
+            1.0 + 0.5 * 2.0 + 0.25 * 4.0
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EarlyExitCascade([])
+
+
+class TestScoring:
+    def test_single_stage_order_matches_scorer(self, rng):
+        x = rng.normal(size=(12, 3))
+        w = np.asarray([1.0, -0.5, 0.2])
+        cascade = EarlyExitCascade([CascadeStage("a", linear_scorer(w), 1.0)])
+        scores = cascade.score_query(x)
+        np.testing.assert_array_equal(np.argsort(-scores), np.argsort(-(x @ w)))
+
+    def test_survivors_outrank_dropouts(self, rng):
+        x = rng.normal(size=(20, 3))
+        stage1 = linear_scorer([1.0, 0.0, 0.0])
+        stage2 = linear_scorer([0.0, 1.0, 0.0])
+        cascade = EarlyExitCascade(
+            [
+                CascadeStage("a", stage1, 0.1, keep_fraction=0.3),
+                CascadeStage("b", stage2, 1.0),
+            ]
+        )
+        scores = cascade.score_query(x)
+        survivors = np.argsort(-stage1(x))[:6]
+        dropout_max = np.delete(scores, survivors).max()
+        assert scores[survivors].min() > dropout_max
+
+    def test_perfect_final_stage_preserves_top(self, rng):
+        # With a perfect second stage and generous keep fraction, the
+        # cascade's NDCG@k matches the oracle's on the survivors.
+        from repro.datasets import make_msn30k_like
+
+        data = make_msn30k_like(n_queries=30, docs_per_query=15, seed=5)
+        oracle = lambda feats: feats[:, :40].sum(axis=1)  # noqa: E731
+        cascade = EarlyExitCascade(
+            [
+                CascadeStage("oracle-cheap", oracle, 0.1, keep_fraction=0.8),
+                CascadeStage("oracle", oracle, 1.0),
+            ]
+        )
+        cascade_ndcg = mean_ndcg(data, cascade.score_dataset(data), 5)
+        direct = np.concatenate(
+            [oracle(f) for f, _ in data.iter_queries()]
+        )
+        direct_ndcg = mean_ndcg(data, direct, 5)
+        assert cascade_ndcg == pytest.approx(direct_ndcg, abs=0.02)
+
+    def test_stage_output_validated(self, rng):
+        bad = CascadeStage("bad", lambda x: np.zeros((2, 2)), 1.0)
+        cascade = EarlyExitCascade([bad])
+        with pytest.raises(ValueError, match="returned shape"):
+            cascade.score_query(rng.normal(size=(5, 3)))
+
+    def test_describe(self):
+        cascade = EarlyExitCascade(
+            [
+                CascadeStage("net", lambda x: x[:, 0], 0.3, keep_fraction=0.2),
+                CascadeStage("forest", lambda x: x[:, 0], 3.0),
+            ]
+        )
+        text = cascade.describe()
+        assert "net" in text and "keep 20%" in text
+
+
+class TestCascadeCostProperties:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        costs=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=5),
+        keeps=st.lists(st.floats(0.05, 1.0), min_size=5, max_size=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_expected_cost_bounds(self, costs, keeps):
+        stages = [
+            CascadeStage(f"s{i}", lambda x: x[:, 0], c, keep_fraction=k)
+            for i, (c, k) in enumerate(zip(costs, keeps))
+        ]
+        cascade = EarlyExitCascade(stages)
+        cost = cascade.expected_cost_us_per_doc()
+        # Bounded by running every stage on every document, and at least
+        # the first stage's full cost.
+        assert costs[0] <= cost <= sum(costs) + 1e-9
+
+    @given(
+        cost2=st.floats(0.5, 10.0),
+        keep_small=st.floats(0.05, 0.4),
+        keep_large=st.floats(0.6, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_tighter_cut_is_cheaper(self, cost2, keep_small, keep_large):
+        def cascade_with(keep):
+            return EarlyExitCascade(
+                [
+                    CascadeStage("a", lambda x: x[:, 0], 0.1, keep_fraction=keep),
+                    CascadeStage("b", lambda x: x[:, 0], cost2),
+                ]
+            ).expected_cost_us_per_doc()
+
+        assert cascade_with(keep_small) < cascade_with(keep_large)
+
+
+class TestCascadeOnPipeline:
+    def test_cascade_cheaper_than_forest_alone(self, mini_pipeline):
+        forest_eval = mini_pipeline.evaluate_forest(mini_pipeline.zoo.mid_forest)
+        net_eval = mini_pipeline.evaluate_network(
+            mini_pipeline.zoo.low_latency[2], pruned=True
+        )
+        student = mini_pipeline.pruned_student(mini_pipeline.zoo.low_latency[2])
+        forest = mini_pipeline.forest(mini_pipeline.zoo.mid_forest)
+        cascade = EarlyExitCascade(
+            [
+                CascadeStage(
+                    "pruned-net",
+                    student.predict,
+                    net_eval.time_us,
+                    keep_fraction=0.3,
+                ),
+                CascadeStage("forest", forest.predict, forest_eval.time_us),
+            ]
+        )
+        assert cascade.expected_cost_us_per_doc() < forest_eval.time_us
+        scores = cascade.score_dataset(mini_pipeline.test)
+        ndcg = mean_ndcg(mini_pipeline.test, scores, 10)
+        assert ndcg > 0.3  # sane ranking quality end to end

@@ -1,0 +1,211 @@
+"""Tests for repro.distill (teacher, augmentation, distiller, student)."""
+
+import numpy as np
+import pytest
+
+from repro.distill import (
+    DistillationConfig,
+    DistilledStudent,
+    Distiller,
+    SplitPointAugmenter,
+    TreeEnsembleTeacher,
+)
+from repro.distill.distiller import make_distillation_provider
+from repro.datasets.normalization import ZNormalizer
+from repro.exceptions import DatasetError
+from repro.metrics import mean_ndcg
+from repro.nn import FeedForwardNetwork
+
+
+class TestTeacher:
+    def test_scores_match_ensemble(self, small_forest, tiny_dataset):
+        teacher = TreeEnsembleTeacher(small_forest)
+        x = tiny_dataset.features[:30]
+        np.testing.assert_allclose(teacher.score(x), small_forest.predict(x))
+
+    def test_split_points_delegated(self, small_forest):
+        teacher = TreeEnsembleTeacher(small_forest)
+        points = teacher.split_points()
+        assert len(points) == small_forest.n_features
+
+    def test_describe(self, small_forest):
+        assert "trees" in TreeEnsembleTeacher(small_forest).describe()
+
+
+class TestAugmenter:
+    def test_midpoints_strictly_inside_cells(self):
+        splits = [np.asarray([0.5])]
+        aug = SplitPointAugmenter(splits, [0.0], [1.0])
+        # Lists: {0, 0.5, 1} -> midpoints {0.25, 0.75}.
+        np.testing.assert_allclose(aug.midpoints[0], [0.25, 0.75])
+
+    def test_feature_without_splits(self):
+        aug = SplitPointAugmenter([np.empty(0)], [2.0], [4.0])
+        np.testing.assert_allclose(aug.midpoints[0], [3.0])
+
+    def test_constant_feature(self):
+        aug = SplitPointAugmenter([np.empty(0)], [5.0], [5.0])
+        np.testing.assert_allclose(aug.midpoints[0], [5.0])
+
+    def test_samples_only_midpoints(self):
+        aug = SplitPointAugmenter([np.asarray([0.5])], [0.0], [1.0])
+        samples = aug.sample(200, seed=0)
+        assert set(np.unique(samples[:, 0])) <= {0.25, 0.75}
+
+    def test_sample_shape(self, small_forest, tiny_splits):
+        train = tiny_splits[0]
+        teacher = TreeEnsembleTeacher(small_forest)
+        aug = SplitPointAugmenter.from_teacher(teacher, train)
+        samples = aug.sample(50, seed=1)
+        assert samples.shape == (50, train.n_features)
+
+    def test_samples_within_feature_ranges(self, small_forest, tiny_splits):
+        train = tiny_splits[0]
+        aug = SplitPointAugmenter.from_teacher(
+            TreeEnsembleTeacher(small_forest), train
+        )
+        samples = aug.sample(100, seed=2)
+        lo, hi = train.feature_ranges()
+        assert (samples >= lo - 1e-9).all()
+        assert (samples <= hi + 1e-9).all()
+
+    def test_sample_deterministic(self, small_forest, tiny_splits):
+        aug = SplitPointAugmenter.from_teacher(
+            TreeEnsembleTeacher(small_forest), tiny_splits[0]
+        )
+        np.testing.assert_array_equal(aug.sample(10, seed=3), aug.sample(10, seed=3))
+
+    def test_invalid_n(self):
+        aug = SplitPointAugmenter([np.empty(0)], [0.0], [1.0])
+        with pytest.raises(ValueError):
+            aug.sample(0)
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(DatasetError):
+            SplitPointAugmenter([np.empty(0)], [0.0, 1.0], [1.0])
+
+
+class TestProvider:
+    def test_batch_composition(self, small_forest, tiny_splits):
+        train = tiny_splits[0]
+        normalizer = ZNormalizer().fit(train.features)
+        provider = make_distillation_provider(
+            TreeEnsembleTeacher(small_forest), train, normalizer,
+            augmented_fraction=0.5,
+        )
+        rng = np.random.default_rng(0)
+        xb, yb = provider(rng, 64)
+        assert xb.shape == (64, train.n_features)
+        assert yb.shape == (64,)
+
+    def test_pure_real_fraction(self, small_forest, tiny_splits):
+        train = tiny_splits[0]
+        normalizer = ZNormalizer().fit(train.features)
+        provider = make_distillation_provider(
+            TreeEnsembleTeacher(small_forest), train, normalizer,
+            augmented_fraction=0.0,
+        )
+        xb, yb = provider(np.random.default_rng(0), 32)
+        assert len(xb) == 32
+
+    def test_targets_are_teacher_scores(self, small_forest, tiny_splits):
+        # With augmented_fraction=1, every target must equal the teacher's
+        # score of the (denormalized) batch row.
+        train = tiny_splits[0]
+        normalizer = ZNormalizer().fit(train.features)
+        provider = make_distillation_provider(
+            TreeEnsembleTeacher(small_forest), train, normalizer,
+            augmented_fraction=1.0,
+        )
+        xb, yb = provider(np.random.default_rng(0), 16)
+        raw = normalizer.inverse_transform(xb)
+        np.testing.assert_allclose(yb, small_forest.predict(raw), atol=1e-8)
+
+
+class TestDistiller:
+    def test_student_approximates_teacher(self, small_student, small_forest, tiny_splits):
+        _, _, test = tiny_splits
+        student_scores = small_student.predict(test.features)
+        teacher_scores = small_forest.predict(test.features)
+        corr = np.corrcoef(student_scores, teacher_scores)[0, 1]
+        # At this miniature training scale the approximation is partial;
+        # a strong positive correlation is the reproducible property.
+        assert corr > 0.5
+
+    def test_student_ranks_above_random(self, small_student, tiny_splits):
+        _, _, test = tiny_splits
+        ndcg_student = mean_ndcg(test, small_student.predict(test.features), 10)
+        random_scores = np.random.default_rng(0).normal(size=test.n_docs)
+        assert ndcg_student > mean_ndcg(test, random_scores, 10)
+
+    def test_architecture_honoured(self, small_student):
+        assert small_student.hidden == (64, 32)
+        assert small_student.describe() == "64x32"
+
+    def test_teacher_description_recorded(self, small_student):
+        assert "trees" in small_student.teacher_description
+
+    def test_distill_with_prebuilt_network(self, small_forest, tiny_splits):
+        train = tiny_splits[0]
+        net = FeedForwardNetwork(train.n_features, (16,), seed=0)
+        config = DistillationConfig(epochs=2, steps_per_epoch=3)
+        student = Distiller(config, seed=0).distill(
+            small_forest, train, hidden=None, network=net
+        )
+        assert student.network is net
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            DistillationConfig(augmented_fraction=1.5)
+
+
+class TestStudent:
+    def test_prediction_normalizes_internally(self, small_student, tiny_splits):
+        _, _, test = tiny_splits
+        raw = test.features[:10]
+        expected = small_student.network.predict(
+            small_student.normalizer.transform(raw)
+        )
+        np.testing.assert_allclose(small_student.predict(raw), expected)
+
+    def test_clone_independent(self, small_student, tiny_splits):
+        clone = small_student.clone()
+        x = tiny_splits[2].features[:5]
+        np.testing.assert_allclose(clone.predict(x), small_student.predict(x))
+        clone.network.first_layer.weight.data += 1.0
+        assert not np.allclose(clone.predict(x), small_student.predict(x))
+
+    def test_sparsity_reporting(self, small_student):
+        assert small_student.first_layer_sparsity() == pytest.approx(0.0, abs=0.01)
+        assert len(small_student.layer_sparsities()) == 3
+
+    def test_unfitted_normalizer_rejected(self):
+        net = FeedForwardNetwork(4, (2,), seed=0)
+        with pytest.raises(ValueError):
+            DistilledStudent(net, ZNormalizer())
+
+    def test_save_load_roundtrip(self, small_student, tiny_splits, tmp_path):
+        _, _, test = tiny_splits
+        path = tmp_path / "student.json"
+        small_student.save(path)
+        loaded = DistilledStudent.load(path)
+        # Raw-feature scoring must match exactly: the normalizer's
+        # training statistics travel with the network.
+        np.testing.assert_allclose(
+            loaded.predict(test.features[:30]),
+            small_student.predict(test.features[:30]),
+            atol=1e-12,
+        )
+        assert loaded.teacher_description == small_student.teacher_description
+
+    def test_save_load_preserves_masks(self, small_student, tmp_path):
+        from repro.pruning import LevelPruner
+
+        pruned = small_student.clone()
+        LevelPruner(0.9).apply(pruned.network.first_layer)
+        path = tmp_path / "pruned.json"
+        pruned.save(path)
+        loaded = DistilledStudent.load(path)
+        assert loaded.first_layer_sparsity() == pytest.approx(
+            pruned.first_layer_sparsity()
+        )

@@ -1,0 +1,63 @@
+"""Smoke tests for the example scripts.
+
+Only the analytic examples run in the test suite (the training ones take
+minutes and are exercised by the benchmark harness's equivalent paths);
+each must execute cleanly and print its headline sections.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestAnalyticExamples:
+    @pytest.mark.slow
+    def test_latency_budget_design(self):
+        out = run_example("latency_budget_design.py")
+        assert "Top candidates within" in out
+        assert "Tree ensembles fitting the same budget" in out
+
+    @pytest.mark.slow
+    def test_matmul_anatomy(self):
+        out = run_example("matmul_anatomy.py")
+        assert "Goto algorithm" in out
+        assert "Calibrating Eq. 5" in out
+        assert "MKL baseline" in out
+
+
+class TestExampleSources:
+    """All examples exist, are importable-quality Python and documented."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "latency_budget_design.py",
+            "matmul_anatomy.py",
+            "scoring_service.py",
+            "forest_tuning.py",
+            "experiment_report.py",
+        ],
+    )
+    def test_compiles_and_documented(self, name):
+        import ast
+
+        source = (EXAMPLES / name).read_text()
+        tree = ast.parse(source)
+        assert ast.get_docstring(tree), f"{name} lacks a module docstring"
+        assert "def main()" in source

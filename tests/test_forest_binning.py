@@ -1,0 +1,86 @@
+"""Tests for repro.forest.binning."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.forest import FeatureBinner
+
+
+class TestFeatureBinner:
+    def test_bin_count_bounded(self, rng):
+        x = rng.normal(size=(500, 4))
+        binner = FeatureBinner(max_bins=32).fit(x)
+        for f in range(4):
+            assert binner.n_bins(f) <= 32
+
+    def test_low_cardinality_feature_gets_few_bins(self, rng):
+        x = np.column_stack([rng.normal(size=200), rng.integers(0, 3, 200)])
+        binner = FeatureBinner(max_bins=64).fit(x)
+        assert binner.n_bins(1) <= 3
+
+    def test_transform_dtype_and_range(self, rng):
+        x = rng.normal(size=(300, 3))
+        binner = FeatureBinner(max_bins=16)
+        binned = binner.fit_transform(x)
+        assert binned.dtype == np.uint8
+        for f in range(3):
+            assert binned[:, f].max() < binner.n_bins(f)
+
+    def test_binning_is_monotone(self, rng):
+        x = rng.normal(size=(300, 1))
+        binner = FeatureBinner(max_bins=16).fit(x)
+        binned = binner.transform(x)[:, 0]
+        order = np.argsort(x[:, 0])
+        assert (np.diff(binned[order].astype(int)) >= 0).all()
+
+    def test_threshold_consistent_with_transform(self, rng):
+        # Values <= threshold_for(f, b) must land in bins <= b.
+        x = rng.normal(size=(400, 1))
+        binner = FeatureBinner(max_bins=16).fit(x)
+        binned = binner.transform(x)[:, 0]
+        for b in range(binner.n_bins(0) - 1):
+            t = binner.threshold_for(0, b)
+            left = x[:, 0] <= t
+            assert (binned[left] <= b).all()
+            assert (binned[~left] > b).all()
+
+    def test_max_never_in_empty_last_bin(self, rng):
+        x = rng.normal(size=(100, 1))
+        binner = FeatureBinner(max_bins=8).fit(x)
+        binned = binner.transform(x)[:, 0]
+        # Every bin index up to the max observed is meaningful.
+        assert binned.max() == binner.n_bins(0) - 1
+
+    def test_constant_feature_single_bin(self):
+        x = np.full((50, 1), 3.0)
+        binner = FeatureBinner().fit(x)
+        assert binner.n_bins(0) == 1
+        assert (binner.transform(x) == 0).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            FeatureBinner().transform(np.ones((2, 2)))
+        with pytest.raises(NotFittedError):
+            FeatureBinner().threshold_for(0, 0)
+
+    def test_feature_count_mismatch(self, rng):
+        binner = FeatureBinner().fit(rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError, match="expected 2"):
+            binner.transform(rng.normal(size=(10, 3)))
+
+    def test_invalid_max_bins(self):
+        with pytest.raises(ValueError):
+            FeatureBinner(max_bins=1)
+        with pytest.raises(ValueError):
+            FeatureBinner(max_bins=256)
+
+    def test_bin_index_out_of_range(self, rng):
+        binner = FeatureBinner(max_bins=8).fit(rng.normal(size=(50, 1)))
+        with pytest.raises(IndexError):
+            binner.threshold_for(0, 100)
+
+    def test_max_actual_bins(self, rng):
+        x = np.column_stack([rng.normal(size=200), np.zeros(200)])
+        binner = FeatureBinner(max_bins=16).fit(x)
+        assert binner.max_actual_bins == binner.n_bins(0)

@@ -1,0 +1,118 @@
+"""Tests for repro.forest.builder (histogram tree growing)."""
+
+import numpy as np
+import pytest
+
+from repro.forest import FeatureBinner
+from repro.forest.builder import HistogramTreeBuilder, TreeGrowthConfig
+
+
+def build_tree(x, targets, **kwargs):
+    """Fit one regression tree to (x, targets) with L2 gradients."""
+    binner = FeatureBinner(max_bins=64)
+    binned = binner.fit_transform(x)
+    config = TreeGrowthConfig(**kwargs) if kwargs else TreeGrowthConfig()
+    builder = HistogramTreeBuilder(binned, binner, config)
+    # L2 loss from a zero model: g = -targets, h = 1.
+    g = -np.asarray(targets, dtype=np.float64)
+    h = np.ones(len(targets))
+    return builder.build(g, h)
+
+
+class TestGrowth:
+    def test_learns_a_single_split(self, rng):
+        x = rng.uniform(size=(400, 3))
+        y = np.where(x[:, 1] > 0.5, 2.0, -2.0)
+        tree = build_tree(x, y, max_leaves=2, lambda_l2=0.0, min_data_in_leaf=5)
+        assert tree.n_leaves == 2
+        assert tree.feature[0] == 1
+        assert tree.threshold[0] == pytest.approx(0.5, abs=0.05)
+        pred = tree.predict(x)
+        assert np.corrcoef(pred, y)[0, 1] > 0.99
+
+    def test_respects_max_leaves(self, rng):
+        x = rng.uniform(size=(500, 4))
+        y = rng.normal(size=500)
+        tree = build_tree(x, y, max_leaves=8, min_data_in_leaf=5)
+        assert tree.n_leaves <= 8
+
+    def test_respects_min_data_in_leaf(self, rng):
+        x = rng.uniform(size=(300, 2))
+        y = rng.normal(size=300)
+        tree = build_tree(x, y, max_leaves=32, min_data_in_leaf=40)
+        leaf_counts = np.bincount(tree.predict_leaf(x))
+        assert leaf_counts.min() >= 40
+
+    def test_respects_max_depth(self, rng):
+        x = rng.uniform(size=(500, 3))
+        y = rng.normal(size=500)
+        tree = build_tree(x, y, max_leaves=64, max_depth=2, min_data_in_leaf=5)
+        assert tree.depth() <= 2
+
+    def test_leaf_values_are_regularized_means(self, rng):
+        x = rng.uniform(size=(200, 2))
+        y = np.where(x[:, 0] > 0.5, 1.0, 0.0)
+        lam = 3.0
+        tree = build_tree(x, y, max_leaves=2, lambda_l2=lam, min_data_in_leaf=5)
+        leaf_pos = tree.predict_leaf(x)
+        for leaf in range(tree.n_leaves):
+            members = y[leaf_pos == leaf]
+            expected = members.sum() / (len(members) + lam)
+            actual = tree.value[tree.leaf_indices()[leaf]]
+            assert actual == pytest.approx(expected, rel=1e-9)
+
+    def test_pure_noise_few_splits_vs_signal(self, rng):
+        x = rng.uniform(size=(300, 2))
+        noise_tree = build_tree(x, rng.normal(0, 1e-9, 300), max_leaves=16)
+        signal_tree = build_tree(
+            x, np.where(x[:, 0] > 0.5, 5.0, -5.0), max_leaves=16
+        )
+        assert signal_tree.n_leaves >= noise_tree.n_leaves
+
+    def test_bagging_rows_subset(self, rng):
+        x = rng.uniform(size=(400, 2))
+        y = np.where(x[:, 0] > 0.5, 1.0, -1.0)
+        binner = FeatureBinner(max_bins=32)
+        binned = binner.fit_transform(x)
+        builder = HistogramTreeBuilder(binned, binner, TreeGrowthConfig())
+        rows = rng.choice(400, size=200, replace=False)
+        tree = builder.build(-y, np.ones(400), rows)
+        assert tree.n_leaves >= 2
+
+    def test_gradient_shape_validated(self, rng):
+        x = rng.uniform(size=(50, 2))
+        binner = FeatureBinner(max_bins=8)
+        builder = HistogramTreeBuilder(binner.fit_transform(x), binner)
+        with pytest.raises(ValueError, match="1-D"):
+            builder.build(np.zeros(10), np.ones(10))
+
+    def test_deeper_trees_fit_better(self, rng):
+        x = rng.uniform(size=(600, 3))
+        y = (
+            np.where(x[:, 0] > 0.5, 2.0, 0.0)
+            + np.where(x[:, 1] > 0.3, 1.0, 0.0)
+            + np.where(x[:, 2] > 0.7, 0.5, 0.0)
+        )
+        small = build_tree(x, y, max_leaves=2, min_data_in_leaf=5)
+        large = build_tree(x, y, max_leaves=16, min_data_in_leaf=5)
+        mse_small = np.mean((small.predict(x) - y) ** 2)
+        mse_large = np.mean((large.predict(x) - y) ** 2)
+        assert mse_large < mse_small
+
+
+class TestTreeGrowthConfig:
+    def test_invalid_max_leaves(self):
+        with pytest.raises(ValueError):
+            TreeGrowthConfig(max_leaves=1)
+
+    def test_invalid_min_data(self):
+        with pytest.raises(ValueError):
+            TreeGrowthConfig(min_data_in_leaf=0)
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            TreeGrowthConfig(lambda_l2=-1.0)
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            TreeGrowthConfig(max_depth=0)

@@ -1,0 +1,146 @@
+"""Tests for repro.forest.ensemble (TreeEnsemble)."""
+
+import numpy as np
+import pytest
+
+from repro.forest import TreeEnsemble
+
+
+class TestPrediction:
+    def test_additive_model(self, small_forest, tiny_dataset):
+        x = tiny_dataset.features[:20]
+        manual = np.full(20, small_forest.base_score)
+        for tree, w in zip(small_forest.trees, small_forest.weights):
+            manual += w * tree.predict(x)
+        np.testing.assert_allclose(small_forest.predict(x), manual)
+
+    def test_feature_count_checked(self, small_forest):
+        with pytest.raises(ValueError, match="expected"):
+            small_forest.predict(np.zeros((3, 5)))
+
+    def test_staged_predict_matches_truncate(self, small_forest, tiny_dataset):
+        x = tiny_dataset.features[:15]
+        staged = small_forest.staged_predict(x, stages=[5, 10, 20])
+        for n in (5, 10, 20):
+            np.testing.assert_allclose(
+                staged[n], small_forest.truncate(n).predict(x)
+            )
+
+    def test_staged_predict_stage_zero(self, small_forest, tiny_dataset):
+        x = tiny_dataset.features[:5]
+        staged = small_forest.staged_predict(x, stages=[0])
+        np.testing.assert_allclose(staged[0], small_forest.base_score)
+
+    def test_staged_predict_invalid_stage(self, small_forest):
+        with pytest.raises(ValueError):
+            small_forest.staged_predict(np.zeros((2, 136)), stages=[999])
+
+
+class TestTruncate:
+    def test_prefix_semantics(self, small_forest):
+        sub = small_forest.truncate(7)
+        assert sub.n_trees == 7
+        assert sub.trees[0] is small_forest.trees[0]
+        assert sub.base_score == small_forest.base_score
+
+    def test_invalid_sizes(self, small_forest):
+        with pytest.raises(ValueError):
+            small_forest.truncate(0)
+        with pytest.raises(ValueError):
+            small_forest.truncate(small_forest.n_trees + 1)
+
+    def test_custom_name(self, small_forest):
+        assert small_forest.truncate(3, name="tiny").name == "tiny"
+
+
+class TestStructure:
+    def test_describe_format(self, small_forest):
+        text = small_forest.describe()
+        assert "trees" in text and "leaves" in text
+
+    def test_max_leaves_respects_config(self, small_forest):
+        assert small_forest.max_leaves <= 16
+
+    def test_split_points_sorted_unique(self, small_forest):
+        points = small_forest.split_points()
+        assert len(points) == small_forest.n_features
+        for pts in points:
+            if len(pts) > 1:
+                assert (np.diff(pts) > 0).all()
+
+    def test_split_points_cached(self, small_forest):
+        a = small_forest.split_points()
+        b = small_forest.split_points()
+        assert a is b
+
+    def test_total_nodes_positive(self, small_forest):
+        assert small_forest.total_nodes() >= small_forest.n_trees
+
+    def test_learning_curve_monotone_stages(self, small_forest, tiny_splits):
+        from repro.metrics import mean_ndcg
+
+        _, _, test = tiny_splits
+        curve = small_forest.learning_curve(
+            test, lambda ds, s: mean_ndcg(ds, s, 10), stages=[2, 10, 20]
+        )
+        assert [n for n, _ in curve] == [2, 10, 20]
+        assert all(0.0 <= v <= 1.0 for _, v in curve)
+        # The full forest ranks at least as well as the 2-tree prefix on
+        # the training signal it was boosted for.
+        assert curve[-1][1] >= curve[0][1] - 0.05
+
+    def test_learning_curve_default_stages(self, small_forest, tiny_splits):
+        from repro.metrics import mean_ndcg
+
+        _, _, test = tiny_splits
+        curve = small_forest.learning_curve(
+            test, lambda ds, s: mean_ndcg(ds, s, 10)
+        )
+        stages = [n for n, _ in curve]
+        assert stages == sorted(stages)
+        assert stages[-1] == small_forest.n_trees
+
+    def test_feature_importance_counts_nodes(self, small_forest):
+        importance = small_forest.feature_importance()
+        assert len(importance) == small_forest.n_features
+        total_internal = sum(
+            len(t.internal_nodes()) for t in small_forest.trees
+        )
+        assert importance.sum() == total_internal
+
+    def test_feature_importance_favours_informative(self, small_forest):
+        # The synthetic generator puts signal in the first 40 features.
+        importance = small_forest.feature_importance()
+        assert importance[:40].sum() > importance[40:].sum()
+
+    def test_feature_importance_invalid_kind(self, small_forest):
+        with pytest.raises(ValueError):
+            small_forest.feature_importance(kind="gain")
+
+    def test_weight_length_validated(self, small_forest):
+        with pytest.raises(ValueError, match="weights"):
+            TreeEnsemble(
+                trees=small_forest.trees,
+                weights=np.ones(2),
+                base_score=0.0,
+                n_features=136,
+            )
+
+
+class TestSerialization:
+    def test_roundtrip_predictions(self, small_forest, tiny_dataset, tmp_path):
+        path = tmp_path / "forest.json"
+        small_forest.save(path)
+        loaded = TreeEnsemble.load(path)
+        x = tiny_dataset.features[:25]
+        np.testing.assert_allclose(
+            loaded.predict(x), small_forest.predict(x), rtol=1e-12
+        )
+
+    def test_roundtrip_metadata(self, small_forest, tmp_path):
+        path = tmp_path / "forest.json"
+        small_forest.save(path)
+        loaded = TreeEnsemble.load(path)
+        assert loaded.n_trees == small_forest.n_trees
+        assert loaded.name == small_forest.name
+        assert loaded.max_leaves == small_forest.max_leaves

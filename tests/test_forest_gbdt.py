@@ -1,0 +1,180 @@
+"""Tests for repro.forest.gbdt and repro.forest.lambdamart."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_msn30k_like, train_validation_test_split
+from repro.exceptions import TrainingError
+from repro.forest import (
+    GradientBoostingConfig,
+    GradientBoostingRegressor,
+    L2Objective,
+    LambdaMartRanker,
+)
+from repro.forest.lambdamart import ndcg_at_10
+from repro.metrics import mean_ndcg
+
+
+@pytest.fixture(scope="module")
+def small_data():
+    data = make_msn30k_like(n_queries=80, docs_per_query=15, seed=21)
+    return train_validation_test_split(data, seed=21)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        GradientBoostingConfig()
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            GradientBoostingConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingConfig(learning_rate=1.5)
+
+    def test_invalid_subsample(self):
+        with pytest.raises(ValueError):
+            GradientBoostingConfig(subsample=0.0)
+
+    def test_invalid_trees(self):
+        with pytest.raises(ValueError):
+            GradientBoostingConfig(n_trees=0)
+
+    def test_growth_config_mirrors_fields(self):
+        cfg = GradientBoostingConfig(max_leaves=33, lambda_l2=2.5)
+        growth = cfg.growth_config()
+        assert growth.max_leaves == 33
+        assert growth.lambda_l2 == 2.5
+
+
+class TestRegression:
+    def test_l2_boosting_reduces_mse(self, small_data):
+        train, _, _ = small_data
+        config = GradientBoostingConfig(
+            n_trees=15, max_leaves=8, learning_rate=0.3, min_data_in_leaf=5
+        )
+        booster = GradientBoostingRegressor(config, L2Objective(), seed=0)
+        model = booster.fit(train)
+        pred = model.predict(train.features)
+        base_mse = np.mean((train.labels - train.labels.mean()) ** 2)
+        mse = np.mean((pred - train.labels) ** 2)
+        assert mse < 0.7 * base_mse
+
+    def test_base_score_is_target_mean(self, small_data):
+        train, _, _ = small_data
+        config = GradientBoostingConfig(n_trees=2, max_leaves=4)
+        model = GradientBoostingRegressor(config, L2Objective(), seed=0).fit(train)
+        assert model.base_score == pytest.approx(train.labels.mean())
+
+    def test_bagging_still_learns(self, small_data):
+        train, _, _ = small_data
+        config = GradientBoostingConfig(
+            n_trees=15, max_leaves=8, learning_rate=0.3, subsample=0.5,
+            min_data_in_leaf=5,
+        )
+        model = GradientBoostingRegressor(config, L2Objective(), seed=0).fit(train)
+        pred = model.predict(train.features)
+        assert np.corrcoef(pred, train.labels)[0, 1] > 0.5
+
+
+class TestLambdaMart:
+    def test_beats_random_on_test(self, small_data):
+        train, vali, test = small_data
+        config = GradientBoostingConfig(
+            n_trees=15, max_leaves=16, learning_rate=0.15, min_data_in_leaf=5
+        )
+        forest = LambdaMartRanker(config, seed=0).fit(train, vali)
+        scores = forest.predict(test.features)
+        random_scores = np.random.default_rng(0).normal(size=test.n_docs)
+        assert mean_ndcg(test, scores, 10) > mean_ndcg(test, random_scores, 10) + 0.1
+
+    def test_more_trees_help_on_train(self, small_data):
+        train, _, _ = small_data
+        config = GradientBoostingConfig(
+            n_trees=20, max_leaves=16, learning_rate=0.15, min_data_in_leaf=5
+        )
+        forest = LambdaMartRanker(config, seed=0).fit(train)
+        few = forest.truncate(5)
+        ndcg_few = mean_ndcg(train, few.predict(train.features), 10)
+        ndcg_all = mean_ndcg(train, forest.predict(train.features), 10)
+        assert ndcg_all >= ndcg_few
+
+    def test_history_recorded(self, small_data):
+        train, vali, _ = small_data
+        config = GradientBoostingConfig(
+            n_trees=12, max_leaves=8, eval_every=4, min_data_in_leaf=5
+        )
+        ranker = LambdaMartRanker(config, seed=0)
+        ranker.fit(train, vali)
+        history = ranker.history_
+        assert history.iterations == [4, 8, 12]
+        assert len(history.valid_metric) == 3
+        assert history.best_iteration in history.iterations
+
+    def test_early_stopping_truncates(self, small_data):
+        train, vali, _ = small_data
+        config = GradientBoostingConfig(
+            n_trees=40,
+            max_leaves=4,
+            learning_rate=0.8,  # aggressive: overfits quickly
+            eval_every=2,
+            early_stopping_rounds=2,
+            min_data_in_leaf=5,
+        )
+        ranker = LambdaMartRanker(config, seed=0)
+        forest = ranker.fit(train, vali)
+        if ranker.history_.stopped_early:
+            assert forest.n_trees == ranker.history_.best_iteration
+            assert forest.n_trees < 40
+
+    def test_early_stopping_requires_validation(self, small_data):
+        train, _, _ = small_data
+        config = GradientBoostingConfig(n_trees=5, early_stopping_rounds=1)
+        with pytest.raises(TrainingError, match="validation"):
+            LambdaMartRanker(config, seed=0).fit(train)
+
+    def test_warm_start_contains_prefix(self, small_data):
+        train, vali, _ = small_data
+        config = GradientBoostingConfig(
+            n_trees=6, max_leaves=8, learning_rate=0.2, min_data_in_leaf=5
+        )
+        first = LambdaMartRanker(config, seed=0).fit(train)
+        extended = LambdaMartRanker(config, seed=1).fit(
+            train, init_ensemble=first, name="extended"
+        )
+        assert extended.n_trees == 12
+        assert extended.trees[:6] == first.trees
+        # Truncating back to the prefix reproduces the original scores.
+        x = train.features[:30]
+        np.testing.assert_allclose(
+            extended.truncate(6).predict(x), first.predict(x)
+        )
+
+    def test_warm_start_improves_training_fit(self, small_data):
+        train, _, _ = small_data
+        from repro.forest.lambdamart import ndcg_at_10
+
+        config = GradientBoostingConfig(
+            n_trees=8, max_leaves=8, learning_rate=0.2, min_data_in_leaf=5
+        )
+        first = LambdaMartRanker(config, seed=0).fit(train)
+        extended = LambdaMartRanker(config, seed=1).fit(
+            train, init_ensemble=first
+        )
+        base = ndcg_at_10(train, first.predict(train.features))
+        more = ndcg_at_10(train, extended.predict(train.features))
+        assert more >= base - 1e-9
+
+    def test_warm_start_feature_mismatch(self, small_data):
+        train, _, _ = small_data
+        from repro.datasets import make_istella_s_like
+
+        other = make_istella_s_like(n_queries=20, docs_per_query=10)
+        config = GradientBoostingConfig(n_trees=3, max_leaves=4)
+        foreign = LambdaMartRanker(config, seed=0).fit(other)
+        with pytest.raises(TrainingError, match="feature count"):
+            LambdaMartRanker(config, seed=0).fit(train, init_ensemble=foreign)
+
+    def test_ndcg_at_10_metric(self, small_data):
+        train, _, _ = small_data
+        value = ndcg_at_10(train, np.zeros(train.n_docs))
+        assert 0.0 <= value <= 1.0

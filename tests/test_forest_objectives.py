@@ -1,0 +1,120 @@
+"""Tests for repro.forest.objectives."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import LtrDataset
+from repro.forest import L2Objective, LambdaRankObjective
+from repro.metrics import ndcg
+
+
+def two_query_dataset():
+    x = np.zeros((6, 2))
+    labels = np.asarray([2, 1, 0, 3, 0, 0])
+    qids = np.asarray([1, 1, 1, 2, 2, 2])
+    return LtrDataset(features=x, labels=labels, qids=qids)
+
+
+class TestL2Objective:
+    def test_gradients_are_residuals(self):
+        ds = two_query_dataset()
+        obj = L2Objective()
+        scores = np.full(6, 1.0)
+        g, h = obj.gradients(scores, ds)
+        np.testing.assert_allclose(g, scores - ds.labels)
+        np.testing.assert_allclose(h, 1.0)
+
+    def test_init_score_is_mean(self):
+        ds = two_query_dataset()
+        assert L2Objective().init_score(ds) == pytest.approx(ds.labels.mean())
+
+    def test_custom_targets(self):
+        ds = two_query_dataset()
+        targets = np.linspace(0, 1, 6)
+        obj = L2Objective(targets)
+        g, _ = obj.gradients(np.zeros(6), ds)
+        np.testing.assert_allclose(g, -targets)
+
+    def test_target_length_mismatch(self):
+        ds = two_query_dataset()
+        with pytest.raises(ValueError):
+            L2Objective(np.zeros(4)).gradients(np.zeros(6), ds)
+
+
+class TestLambdaRankObjective:
+    def test_init_score_zero(self):
+        assert LambdaRankObjective().init_score(two_query_dataset()) == 0.0
+
+    def test_gradients_sum_to_zero_per_query(self):
+        # Lambdas are antisymmetric over pairs, so they cancel per query.
+        ds = two_query_dataset()
+        rng = np.random.default_rng(0)
+        g, _ = LambdaRankObjective().gradients(rng.normal(size=6), ds)
+        assert g[:3].sum() == pytest.approx(0.0, abs=1e-12)
+        assert g[3:].sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_better_docs_pushed_up(self):
+        ds = two_query_dataset()
+        scores = np.zeros(6)  # all tied: gradients reflect labels only
+        g, _ = LambdaRankObjective().gradients(scores, ds)
+        # dLoss/ds is negative for documents that should rise.
+        assert g[0] < g[2]  # grade 2 vs grade 0 in query 1
+        assert g[3] < g[4]  # grade 3 vs grade 0 in query 2
+
+    def test_hessians_positive(self):
+        ds = two_query_dataset()
+        _, h = LambdaRankObjective().gradients(np.zeros(6), ds)
+        assert (h > 0).all()
+
+    def test_uniform_labels_give_zero_gradients(self):
+        x = np.zeros((3, 1))
+        ds = LtrDataset(
+            features=x,
+            labels=np.asarray([1, 1, 1]),
+            qids=np.asarray([1, 1, 1]),
+        )
+        g, _ = LambdaRankObjective().gradients(np.zeros(3), ds)
+        np.testing.assert_allclose(g, 0.0)
+
+    def test_gradient_step_improves_ndcg(self):
+        # Moving against the gradients must improve the ranking.
+        ds = two_query_dataset()
+        rng = np.random.default_rng(3)
+        scores = rng.normal(size=6)
+        obj = LambdaRankObjective()
+        before = ndcg(scores[:3], ds.labels[:3])
+        for _ in range(50):
+            g, h = obj.gradients(scores, ds)
+            scores -= 0.5 * g / h
+        after = ndcg(scores[:3], ds.labels[:3])
+        assert after >= before
+
+    def test_sigma_scales_gradients(self):
+        ds = two_query_dataset()
+        scores = np.zeros(6)
+        g1, _ = LambdaRankObjective(sigma=1.0).gradients(scores, ds)
+        g2, _ = LambdaRankObjective(sigma=2.0).gradients(scores, ds)
+        # At tied scores rho = 0.5 for both, so lambdas scale with sigma.
+        np.testing.assert_allclose(g2, 2.0 * g1)
+
+    def test_ndcg_truncation_zeroes_deep_pairs(self):
+        x = np.zeros((4, 1))
+        ds = LtrDataset(
+            features=x,
+            labels=np.asarray([0, 0, 1, 2]),
+            qids=np.asarray([1, 1, 1, 1]),
+        )
+        # Ranking puts the relevant docs deep; with ndcg_at=1, only pairs
+        # involving rank 1 carry a non-zero |delta NDCG|, so document 1
+        # (rank 2, all its informative pairs below the cutoff) gets zero
+        # gradient while documents crossing rank 1 do not.
+        scores = np.asarray([4.0, 3.0, 2.0, 1.0])
+        g_full, _ = LambdaRankObjective().gradients(scores, ds)
+        g_cut, _ = LambdaRankObjective(ndcg_at=1).gradients(scores, ds)
+        assert g_cut[1] == pytest.approx(0.0, abs=1e-12)
+        assert g_full[1] != pytest.approx(0.0, abs=1e-6)
+        assert g_cut[0] > 0 and g_cut[3] < 0
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            LambdaRankObjective(sigma=0.0)

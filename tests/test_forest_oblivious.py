@@ -1,0 +1,129 @@
+"""Tests for repro.forest.oblivious (oblivious trees)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_msn30k_like, train_validation_test_split
+from repro.forest import (
+    FeatureBinner,
+    GradientBoostingConfig,
+    GradientBoostingRegressor,
+    L2Objective,
+    LambdaMartRanker,
+)
+from repro.forest.oblivious import ObliviousGrowthConfig, ObliviousTreeBuilder
+from repro.metrics import mean_ndcg
+from repro.quickscorer import QuickScorer
+
+
+def build_oblivious(x, targets, **kwargs):
+    binner = FeatureBinner(max_bins=32)
+    binned = binner.fit_transform(x)
+    builder = ObliviousTreeBuilder(
+        binned, binner, ObliviousGrowthConfig(**kwargs)
+    )
+    g = -np.asarray(targets, dtype=np.float64)
+    return builder.build(g, np.ones(len(targets)))
+
+
+class TestObliviousStructure:
+    def test_level_uniform_tests(self, rng):
+        x = rng.uniform(size=(400, 4))
+        y = np.where(x[:, 0] > 0.5, 2.0, 0.0) + np.where(x[:, 1] > 0.3, 1.0, 0.0)
+        tree = build_oblivious(x, y, depth=3, lambda_l2=0.1)
+        # Every internal node of a level shares (feature, threshold).
+        levels: dict[int, set] = {}
+        depth_of = {0: 0}
+        for node in tree.internal_nodes():
+            d = depth_of[int(node)]
+            for child in (int(tree.left[node]), int(tree.right[node])):
+                depth_of[child] = d + 1
+            levels.setdefault(d, set()).add(
+                (int(tree.feature[node]), float(tree.threshold[node]))
+            )
+        for tests in levels.values():
+            assert len(tests) == 1
+
+    def test_complete_binary_shape(self, rng):
+        x = rng.uniform(size=(300, 3))
+        y = x[:, 0] + np.where(x[:, 1] > 0.5, 1.0, 0.0)
+        tree = build_oblivious(x, y, depth=3, lambda_l2=0.1)
+        assert tree.n_leaves == 8
+        assert tree.n_nodes == 15
+        assert tree.depth() == 3
+
+    def test_learns_two_level_signal(self, rng):
+        x = rng.uniform(size=(600, 3))
+        y = 2.0 * (x[:, 0] > 0.5) + 1.0 * (x[:, 1] > 0.4)
+        tree = build_oblivious(x, y, depth=2, lambda_l2=0.01)
+        features_used = {int(tree.feature[n]) for n in tree.internal_nodes()}
+        assert features_used == {0, 1}
+        assert np.corrcoef(tree.predict(x), y)[0, 1] > 0.98
+
+    def test_no_signal_gives_stump(self, rng):
+        x = rng.uniform(size=(100, 2))
+        tree = build_oblivious(x, np.zeros(100), depth=4)
+        assert tree.n_leaves == 1
+
+    def test_empty_leaves_are_zero(self, rng):
+        # Depth exceeding the data's resolution leaves some leaf cells
+        # unpopulated; they must carry value 0 (no contribution).
+        x = rng.uniform(size=(40, 2))
+        y = np.where(x[:, 0] > 0.5, 1.0, -1.0)
+        tree = build_oblivious(x, y, depth=5, lambda_l2=0.0, min_data_in_leaf=1)
+        assert np.isfinite(tree.value).all()
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ObliviousGrowthConfig(depth=0)
+        with pytest.raises(ValueError):
+            ObliviousGrowthConfig(lambda_l2=-1)
+
+
+class TestObliviousBoosting:
+    @pytest.fixture(scope="class")
+    def splits(self):
+        data = make_msn30k_like(n_queries=70, docs_per_query=15, seed=23)
+        return train_validation_test_split(data, seed=23)
+
+    def test_l2_boosting_learns(self, splits):
+        train, _, _ = splits
+        config = GradientBoostingConfig(
+            n_trees=10,
+            tree_type="oblivious",
+            oblivious_depth=4,
+            learning_rate=0.3,
+        )
+        model = GradientBoostingRegressor(config, L2Objective(), seed=0).fit(train)
+        pred = model.predict(train.features)
+        base = np.mean((train.labels - train.labels.mean()) ** 2)
+        assert np.mean((pred - train.labels) ** 2) < 0.8 * base
+
+    def test_lambdamart_oblivious_beats_random(self, splits):
+        train, vali, test = splits
+        config = GradientBoostingConfig(
+            n_trees=12,
+            tree_type="oblivious",
+            oblivious_depth=4,
+            learning_rate=0.2,
+            min_data_in_leaf=2,
+        )
+        forest = LambdaMartRanker(config, seed=0).fit(train, vali)
+        scores = forest.predict(test.features)
+        rand = np.random.default_rng(0).normal(size=test.n_docs)
+        assert mean_ndcg(test, scores, 10) > mean_ndcg(test, rand, 10) + 0.05
+
+    def test_quickscorer_exact_on_oblivious_forest(self, splits):
+        train, _, test = splits
+        config = GradientBoostingConfig(
+            n_trees=6, tree_type="oblivious", oblivious_depth=4,
+            learning_rate=0.3, min_data_in_leaf=2,
+        )
+        forest = LambdaMartRanker(config, seed=0).fit(train)
+        qs = QuickScorer(forest)
+        x = test.features[:100]
+        np.testing.assert_allclose(qs.score(x), forest.predict(x), atol=1e-10)
+
+    def test_invalid_tree_type(self):
+        with pytest.raises(ValueError, match="tree_type"):
+            GradientBoostingConfig(tree_type="magic")

@@ -1,0 +1,100 @@
+"""Tests for repro.forest.tree (RegressionTree)."""
+
+import numpy as np
+import pytest
+
+from repro.forest import RegressionTree
+from repro.forest.tree import NO_CHILD
+
+
+def make_tree():
+    """x0 <= 0.5 ? (x1 <= 0.3 ? 1.0 : 2.0) : 3.0"""
+    return RegressionTree(
+        feature=np.asarray([0, 1, -1, -1, -1]),
+        threshold=np.asarray([0.5, 0.3, np.nan, np.nan, np.nan]),
+        left=np.asarray([1, 3, NO_CHILD, NO_CHILD, NO_CHILD]),
+        right=np.asarray([2, 4, NO_CHILD, NO_CHILD, NO_CHILD]),
+        value=np.asarray([0.0, 0.0, 3.0, 1.0, 2.0]),
+    )
+
+
+class TestStructure:
+    def test_counts(self):
+        tree = make_tree()
+        assert tree.n_nodes == 5
+        assert tree.n_leaves == 3
+
+    def test_leaf_order_left_to_right(self):
+        # In-order leaves: node3 (x0<=.5,x1<=.3), node4, node2.
+        assert make_tree().leaf_indices().tolist() == [3, 4, 2]
+
+    def test_internal_nodes(self):
+        assert make_tree().internal_nodes().tolist() == [0, 1]
+
+    def test_depth(self):
+        assert make_tree().depth() == 2
+        assert RegressionTree.single_leaf(1.0).depth() == 0
+
+    def test_single_leaf(self):
+        stump = RegressionTree.single_leaf(5.0)
+        assert stump.n_leaves == 1
+        assert stump.predict(np.zeros((3, 2))).tolist() == [5.0] * 3
+
+    def test_split_points(self):
+        pts = make_tree().split_points(n_features=3)
+        assert pts[0].tolist() == [0.5]
+        assert pts[1].tolist() == [0.3]
+        assert pts[2].tolist() == []
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree(
+                feature=np.asarray([]),
+                threshold=np.asarray([]),
+                left=np.asarray([]),
+                right=np.asarray([]),
+                value=np.asarray([]),
+            )
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError, match="share length"):
+            RegressionTree(
+                feature=np.asarray([0]),
+                threshold=np.asarray([0.5, 0.1]),
+                left=np.asarray([NO_CHILD]),
+                right=np.asarray([NO_CHILD]),
+                value=np.asarray([0.0]),
+            )
+
+
+class TestPrediction:
+    def test_all_paths(self):
+        tree = make_tree()
+        x = np.asarray(
+            [
+                [0.4, 0.2],  # left, left -> 1.0
+                [0.4, 0.9],  # left, right -> 2.0
+                [0.9, 0.0],  # right -> 3.0
+                [0.5, 0.3],  # boundary: <= goes left-left -> 1.0
+            ]
+        )
+        np.testing.assert_array_equal(tree.predict(x), [1.0, 2.0, 3.0, 1.0])
+
+    def test_vectorized_matches_scalar(self, rng):
+        tree = make_tree()
+        x = rng.uniform(size=(50, 2))
+        batch = tree.predict(x)
+        scalar = [tree.predict_single(row) for row in x]
+        np.testing.assert_allclose(batch, scalar)
+
+    def test_predict_leaf_positions(self):
+        tree = make_tree()
+        x = np.asarray([[0.4, 0.2], [0.4, 0.9], [0.9, 0.0]])
+        assert tree.predict_leaf(x).tolist() == [0, 1, 2]
+
+    def test_predict_leaf_consistent_with_value(self, rng):
+        tree = make_tree()
+        x = rng.uniform(size=(30, 2))
+        leaf_pos = tree.predict_leaf(x)
+        leaf_values = tree.value[tree.leaf_indices()]
+        np.testing.assert_allclose(leaf_values[leaf_pos], tree.predict(x))

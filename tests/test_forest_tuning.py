@@ -1,0 +1,79 @@
+"""Tests for repro.forest.tuning (random-search HyperOpt substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.forest import GradientBoostingConfig, RandomSearchTuner
+from repro.forest.tuning import SearchSpace
+from repro.utils.rng import ensure_rng
+
+
+class TestSearchSpace:
+    def test_samples_within_ranges(self):
+        space = SearchSpace()
+        rng = ensure_rng(0)
+        for _ in range(50):
+            params = space.sample(rng)
+            assert 0.02 <= params["learning_rate"] <= 0.3
+            assert params["max_depth"] in space.max_depth
+            assert params["min_data_in_leaf"] in space.min_data_in_leaf
+            assert 1e-4 <= params["min_sum_hessian_in_leaf"] <= 10.0
+
+    def test_log_uniform_spread(self):
+        # Log-uniform sampling visits the low decades, not only the top.
+        space = SearchSpace()
+        rng = ensure_rng(1)
+        rates = [space.sample(rng)["learning_rate"] for _ in range(200)]
+        assert min(rates) < 0.05
+        assert max(rates) > 0.2
+
+
+class TestRandomSearchTuner:
+    @pytest.fixture(scope="class")
+    def splits(self):
+        from repro.datasets import make_msn30k_like, train_validation_test_split
+
+        data = make_msn30k_like(n_queries=60, docs_per_query=15, seed=17)
+        return train_validation_test_split(data, seed=17)
+
+    def test_tune_returns_best_of_trials(self, splits):
+        train, vali, _ = splits
+        base = GradientBoostingConfig(n_trees=5, max_leaves=8, eval_every=5)
+        tuner = RandomSearchTuner(base, n_trials=3, seed=0)
+        result = tuner.tune(train, vali)
+        assert len(result.trials) == 3
+        assert result.best_metric == pytest.approx(
+            max(metric for _, metric in result.trials)
+        )
+
+    def test_best_config_carries_base_fields(self, splits):
+        train, vali, _ = splits
+        base = GradientBoostingConfig(n_trees=4, max_leaves=8, eval_every=4)
+        result = RandomSearchTuner(base, n_trials=2, seed=0).tune(train, vali)
+        assert result.best_config.n_trees == 4
+        assert result.best_config.max_leaves == 8
+
+    def test_deterministic_by_seed(self, splits):
+        train, vali, _ = splits
+        base = GradientBoostingConfig(n_trees=3, max_leaves=8, eval_every=3)
+        a = RandomSearchTuner(base, n_trials=2, seed=5).tune(train, vali)
+        b = RandomSearchTuner(base, n_trials=2, seed=5).tune(train, vali)
+        assert [p for p, _ in a.trials] == [p for p, _ in b.trials]
+        assert a.best_metric == pytest.approx(b.best_metric)
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            RandomSearchTuner(GradientBoostingConfig(), n_trials=0)
+
+    def test_trials_record_sampled_params(self, splits):
+        train, vali, _ = splits
+        base = GradientBoostingConfig(n_trees=3, max_leaves=8, eval_every=3)
+        result = RandomSearchTuner(base, n_trials=2, seed=0).tune(train, vali)
+        for params, metric in result.trials:
+            assert set(params) == {
+                "learning_rate",
+                "max_depth",
+                "min_data_in_leaf",
+                "min_sum_hessian_in_leaf",
+            }
+            assert 0.0 <= metric <= 1.0

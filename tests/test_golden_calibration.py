@@ -1,0 +1,66 @@
+"""Golden-value regression tests for the calibrated cost models.
+
+The library's scientific claims depend on the calibration constants; an
+accidental change to any executor or spec default would silently shift
+every reported microsecond.  These tests pin the key derived values to
+narrow golden ranges so such drift fails loudly (update them *together*
+with a deliberate recalibration, documenting the change in DESIGN.md).
+"""
+
+import pytest
+
+from repro.matmul import DenseGemmExecutor, SparseGemmExecutor
+from repro.quickscorer import QuickScorerCostModel
+from repro.timing import GflopsSurface, calibrate_sparse_predictor
+
+
+class TestQuickScorerGolden:
+    def test_per_tree_cost_64_leaves(self):
+        model = QuickScorerCostModel()
+        assert model.per_tree_ns(64) == pytest.approx(9.03, abs=0.3)
+
+    def test_anchor_878(self):
+        model = QuickScorerCostModel()
+        assert model.scoring_time_us(878, 64) == pytest.approx(8.24, abs=0.15)
+
+
+class TestDenseGolden:
+    def test_zone_values(self):
+        zones = GflopsSurface.measure(batch_size=1000).zone_summary()
+        assert zones.low_k_gflops == pytest.approx(87.0, abs=4.0)
+        assert zones.mid_k_gflops == pytest.approx(112.0, abs=5.0)
+        assert zones.high_k_gflops == pytest.approx(129.0, abs=5.0)
+
+    def test_flagship_layer_time(self):
+        executor = DenseGemmExecutor()
+        report = executor.report(400, 1000, 136)
+        assert report.gflops == pytest.approx(100.0, abs=8.0)
+
+
+class TestSparseGolden:
+    def test_calibrated_coefficients(self):
+        predictor = calibrate_sparse_predictor()
+        assert predictor.l_c_vec_ns == pytest.approx(0.295, abs=0.05)
+        assert predictor.l_b_vec_ns == pytest.approx(0.15, abs=0.04)
+        assert predictor.l_a_vec_ns == pytest.approx(0.17, abs=0.05)
+        assert predictor.l_c_over_l_b == pytest.approx(2.0, abs=0.35)
+
+    def test_executor_event_costs_sum(self):
+        # A minimal one-nonzero multiplication exercises every term once.
+        import numpy as np
+
+        from repro.matmul import CsrMatrix
+
+        executor = SparseGemmExecutor()
+        a = CsrMatrix.from_dense(np.asarray([[0.0, 2.0]]))
+        _, report = executor.multiply(a, np.ones((2, 8)), compute=False)
+        timing = executor.timing
+        expected = (
+            timing.load_c_vec_ns
+            + timing.store_c_vec_ns
+            + timing.broadcast_ns
+            + timing.fma_vec_ns
+            + timing.load_b_vec_miss_ns
+            + timing.jit_call_overhead_ns
+        )
+        assert report.time_ns == pytest.approx(expected)

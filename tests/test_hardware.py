@@ -1,0 +1,139 @@
+"""Tests for repro.hardware (CPU spec and cache models)."""
+
+import pytest
+
+from repro.hardware import CacheHierarchy, CacheLevel, CacheSimulator, CpuSpec, I9_9900K
+
+
+class TestCacheLevel:
+    def test_lines(self):
+        level = CacheLevel("L1", 32 * 1024, 64, 1.0)
+        assert level.lines == 512
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            CacheLevel("L1", 0, 64, 1.0)
+
+    def test_negative_latency(self):
+        with pytest.raises(ValueError):
+            CacheLevel("L1", 1024, 64, -1.0)
+
+
+class TestCpuSpec:
+    def test_default_matches_testbed(self):
+        assert I9_9900K.simd_lanes_f32 == 8  # AVX2 fp32
+        assert I9_9900K.l1.size_bytes == 32 * 1024
+        assert I9_9900K.l3.size_bytes == 16 * 1024 * 1024
+
+    def test_theoretical_peak_formula(self):
+        cpu = CpuSpec(frequency_ghz=4.0, simd_bits=256, fma_ports=2)
+        assert cpu.theoretical_peak_gflops == pytest.approx(8 * 2 * 2 * 4.0)
+
+    def test_calibrated_peak_below_theoretical(self):
+        assert I9_9900K.peak_gflops_calibrated < I9_9900K.theoretical_peak_gflops
+
+    def test_cycle_ns(self):
+        cpu = CpuSpec(frequency_ghz=2.0)
+        assert cpu.cycle_ns == pytest.approx(0.5)
+
+    def test_invalid_simd(self):
+        with pytest.raises(ValueError):
+            CpuSpec(simd_bits=100)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            CpuSpec(frequency_ghz=0)
+
+
+class TestCacheHierarchy:
+    def test_residency_levels(self):
+        h = CacheHierarchy()
+        assert h.residency(1024) == "L1d"
+        assert h.residency(100 * 1024) == "L2"
+        assert h.residency(1024 * 1024) == "L3"
+        assert h.residency(100 * 1024 * 1024) == "RAM"
+
+    def test_latency_grows_with_footprint(self):
+        h = CacheHierarchy()
+        lat = [
+            h.access_latency_ns(1024),
+            h.access_latency_ns(100 * 1024),
+            h.access_latency_ns(1024 * 1024),
+            h.access_latency_ns(100 * 1024 * 1024),
+        ]
+        assert lat == sorted(lat)
+
+    def test_fits_named_level(self):
+        h = CacheHierarchy()
+        assert h.fits(16 * 1024, "L1d")
+        assert not h.fits(64 * 1024, "L1d")
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy().fits(1, "L9")
+
+    def test_negative_footprint_raises(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy().residency(-1)
+
+
+class TestCacheSimulator:
+    def test_first_access_misses(self):
+        sim = CacheSimulator(1024)
+        assert sim.access(0) == sim.miss_latency_ns
+        assert sim.misses == 1
+
+    def test_second_access_hits(self):
+        sim = CacheSimulator(1024)
+        sim.access(0)
+        assert sim.access(0) == sim.hit_latency_ns
+        assert sim.hits == 1
+
+    def test_same_line_shares(self):
+        sim = CacheSimulator(1024, line_bytes=64)
+        sim.access(0)
+        assert sim.access(32) == sim.hit_latency_ns
+
+    def test_lru_eviction(self):
+        sim = CacheSimulator(128, line_bytes=64)  # 2 lines
+        sim.access(0)
+        sim.access(64)
+        sim.access(128)  # evicts line 0
+        assert not sim.contains(0)
+        assert sim.contains(64)
+
+    def test_access_refreshes_lru(self):
+        sim = CacheSimulator(128, line_bytes=64)
+        sim.access(0)
+        sim.access(64)
+        sim.access(0)  # refresh line 0
+        sim.access(128)  # should evict 64, not 0
+        assert sim.contains(0)
+        assert not sim.contains(64)
+
+    def test_multi_line_access(self):
+        sim = CacheSimulator(1024, line_bytes=64)
+        sim.access(0, size_bytes=256)  # four lines
+        assert sim.misses == 4
+
+    def test_hit_rate(self):
+        sim = CacheSimulator(1024)
+        sim.access(0)
+        sim.access(0)
+        assert sim.hit_rate == pytest.approx(0.5)
+
+    def test_reset(self):
+        sim = CacheSimulator(1024)
+        sim.access(0)
+        sim.reset()
+        assert sim.hits == 0 and sim.misses == 0
+        assert not sim.contains(0)
+
+    def test_capacity_must_hold_a_line(self):
+        with pytest.raises(ValueError):
+            CacheSimulator(32, line_bytes=64)
+
+    def test_invalid_access_size(self):
+        sim = CacheSimulator(1024)
+        with pytest.raises(ValueError):
+            sim.access(0, size_bytes=0)

@@ -1,0 +1,191 @@
+"""End-to-end integration tests: the paper's qualitative relationships.
+
+These tests run the full miniature pipeline (train forests, distill,
+prune, predict times) and assert the *shape* results the paper reports —
+orderings and dominance relations, not absolute values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.design import HighQualityScenario, LowLatencyScenario, build_frontier
+from repro.matmul import CsrMatrix
+from repro.metrics import fisher_randomization_test, mean_ndcg
+from repro.quickscorer import QuickScorer
+
+
+class TestForestRelationships:
+    def test_larger_forest_at_least_as_good(self, mini_pipeline):
+        # Table 1 shape: Large >= Mid >= Small in quality (tolerate tiny
+        # noise at this miniature scale).
+        large = mini_pipeline.evaluate_forest(mini_pipeline.zoo.large_forest)
+        small = mini_pipeline.evaluate_forest(mini_pipeline.zoo.small_forest)
+        assert large.ndcg10 >= small.ndcg10 - 0.01
+        assert large.time_us > small.time_us
+
+    def test_quickscorer_exact_on_trained_forest(self, mini_pipeline):
+        forest = mini_pipeline.forest(mini_pipeline.zoo.small_forest)
+        x = mini_pipeline.test.features[:150]
+        qs = QuickScorer(forest)
+        np.testing.assert_allclose(qs.score(x), forest.predict(x), atol=1e-9)
+
+    def test_teacher_competitive_with_deployment_forest(self, mini_pipeline):
+        # Table 5 shape: the 256-leaf teacher outranks the 64-leaf model.
+        # At this miniature training scale (1.4k documents) deep trees
+        # overfit, so the mini pipeline only asserts competitiveness; the
+        # benchmark harness checks the strict ordering at larger scale.
+        teacher = mini_pipeline.teacher()
+        large = mini_pipeline.forest(mini_pipeline.zoo.large_forest)
+        test = mini_pipeline.test
+        ndcg_teacher = mean_ndcg(test, teacher.predict(test.features), 10)
+        ndcg_large = mean_ndcg(test, large.predict(test.features), 10)
+        assert ndcg_teacher >= ndcg_large - 0.05
+
+
+class TestStudentRelationships:
+    def test_student_below_teacher(self, mini_pipeline):
+        # Students cannot exceed the function they approximate (Section 1).
+        spec = mini_pipeline.zoo.low_latency[2]
+        student = mini_pipeline.student(spec)
+        test = mini_pipeline.test
+        ndcg_student = mean_ndcg(test, student.predict(test.features), 10)
+        teacher = mini_pipeline.teacher()
+        ndcg_teacher = mean_ndcg(test, teacher.predict(test.features), 10)
+        assert ndcg_student <= ndcg_teacher + 0.03
+
+    def test_pruned_student_quality_holds(self, mini_pipeline):
+        # Section 5.2: first-layer pruning does not hurt (regularizer).
+        spec = mini_pipeline.zoo.low_latency[2]
+        dense = mini_pipeline.evaluate_network(spec, pruned=False)
+        sparse = mini_pipeline.evaluate_network(spec, pruned=True)
+        assert sparse.ndcg10 >= dense.ndcg10 - 0.05
+
+    def test_pruned_student_faster(self, mini_pipeline):
+        spec = mini_pipeline.zoo.low_latency[2]
+        dense = mini_pipeline.evaluate_network(spec, pruned=False)
+        sparse = mini_pipeline.evaluate_network(spec, pruned=True)
+        assert sparse.time_us < 0.8 * dense.time_us
+
+    def test_hybrid_time_uses_real_structure(self, mini_pipeline):
+        spec = mini_pipeline.zoo.low_latency[2]
+        pruned = mini_pipeline.pruned_student(spec)
+        first = CsrMatrix.from_dense(pruned.network.first_layer.weight.data)
+        predictor = mini_pipeline.network_predictor()
+        report = predictor.predict(136, spec.hidden, first_layer_matrix=first)
+        evaluated = mini_pipeline.evaluate_network(spec, pruned=True)
+        assert evaluated.time_us == pytest.approx(
+            report.hybrid_total_us_per_doc
+        )
+
+
+class TestScenariosEndToEnd:
+    def test_frontier_and_scenarios(self, mini_pipeline):
+        zoo = mini_pipeline.zoo
+        points = mini_pipeline.frontier_points(
+            [zoo.small_forest, zoo.mid_forest],
+            [zoo.low_latency[2]],
+        )
+        plot = build_frontier(points)
+        assert plot.forest_frontier and plot.neural_frontier
+
+        reference = max(p.ndcg10 for p in points if p.family == "forest")
+        hq = HighQualityScenario(reference_ndcg10=reference)
+        ll = LowLatencyScenario(max_time_us=5.0)
+        assert hq.select(points) or ll.select(points)
+
+    def test_fisher_test_on_pipeline_outputs(self, mini_pipeline):
+        large = mini_pipeline.evaluate_forest(mini_pipeline.zoo.large_forest)
+        small = mini_pipeline.evaluate_forest(mini_pipeline.zoo.small_forest)
+        result = fisher_randomization_test(
+            large.per_query_ndcg10, small.per_query_ndcg10, seed=0
+        )
+        assert 0.0 < result.p_value <= 1.0
+
+
+class TestDeploymentEndToEnd:
+    """The full deployment story: pipeline -> service -> cascade."""
+
+    def test_budgeted_services_and_cascade(self, mini_pipeline):
+        from repro.design import CascadeStage, EarlyExitCascade
+        from repro.serving import ScoringService
+
+        forest = mini_pipeline.forest(mini_pipeline.zoo.mid_forest)
+        student = mini_pipeline.pruned_student(mini_pipeline.zoo.low_latency[2])
+        predictor = mini_pipeline.network_predictor()
+
+        net_service = ScoringService(
+            student, budget_us_per_doc=1.0, predictor=predictor
+        )
+        forest_service = ScoringService(forest, budget_us_per_doc=10.0)
+
+        cascade = EarlyExitCascade(
+            [
+                CascadeStage(
+                    "net",
+                    net_service.score,
+                    net_service.stats.predicted_us_per_doc,
+                    keep_fraction=0.4,
+                ),
+                CascadeStage(
+                    "forest",
+                    forest_service.score,
+                    forest_service.stats.predicted_us_per_doc,
+                ),
+            ]
+        )
+        scores = cascade.score_dataset(mini_pipeline.test)
+        from repro.metrics import mean_ndcg
+
+        assert mean_ndcg(mini_pipeline.test, scores, 10) > 0.3
+        assert (
+            cascade.expected_cost_us_per_doc()
+            < forest_service.stats.predicted_us_per_doc
+        )
+        # Both services actually served traffic.
+        assert net_service.stats.documents == mini_pipeline.test.n_docs
+        assert 0 < forest_service.stats.documents < mini_pipeline.test.n_docs
+
+    def test_quantized_student_serves(self, mini_pipeline):
+        from repro.nn import quantize_student
+        from repro.metrics import mean_ndcg
+
+        student = mini_pipeline.pruned_student(mini_pipeline.zoo.low_latency[2])
+        q = quantize_student(student, bits=8)
+        base = mean_ndcg(
+            mini_pipeline.test, student.predict(mini_pipeline.test.features), 10
+        )
+        quant = mean_ndcg(
+            mini_pipeline.test, q.predict(mini_pipeline.test.features), 10
+        )
+        assert quant == pytest.approx(base, abs=0.01)
+
+
+class TestPersistenceEndToEnd:
+    def test_pruned_student_roundtrip(self, mini_pipeline, tmp_path):
+        spec = mini_pipeline.zoo.low_latency[2]
+        pruned = mini_pipeline.pruned_student(spec)
+        path = tmp_path / "student.json"
+        pruned.network.save(path)
+
+        from repro.nn import FeedForwardNetwork
+
+        loaded = FeedForwardNetwork.load(path)
+        x = mini_pipeline.normalized_test_features()[:20] if hasattr(
+            mini_pipeline, "normalized_test_features"
+        ) else pruned.normalizer.transform(mini_pipeline.test.features[:20])
+        np.testing.assert_allclose(
+            loaded.predict(x), pruned.network.predict(x), atol=1e-12
+        )
+        assert loaded.first_layer.sparsity() == pytest.approx(
+            pruned.first_layer_sparsity()
+        )
+
+    def test_forest_roundtrip_scores(self, mini_pipeline, tmp_path):
+        forest = mini_pipeline.forest(mini_pipeline.zoo.small_forest)
+        path = tmp_path / "forest.json"
+        forest.save(path)
+        from repro.forest import TreeEnsemble
+
+        loaded = TreeEnsemble.load(path)
+        x = mini_pipeline.test.features[:30]
+        np.testing.assert_allclose(loaded.predict(x), forest.predict(x))

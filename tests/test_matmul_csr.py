@@ -1,0 +1,138 @@
+"""Tests for repro.matmul.csr, including hypothesis round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.matmul import CsrMatrix
+
+
+def random_sparse(m, k, density, seed=0):
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=(m, k)) * (rng.random((m, k)) < density)
+    return dense
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self):
+        dense = random_sparse(10, 8, 0.2)
+        csr = CsrMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csr.to_dense(), dense)
+
+    def test_nnz_and_sparsity(self):
+        dense = np.zeros((4, 5))
+        dense[0, 1] = 1.0
+        dense[2, 3] = 2.0
+        csr = CsrMatrix.from_dense(dense)
+        assert csr.nnz == 2
+        assert csr.sparsity == pytest.approx(1 - 2 / 20)
+
+    def test_all_zero_matrix(self):
+        csr = CsrMatrix.from_dense(np.zeros((3, 3)))
+        assert csr.nnz == 0
+        assert csr.n_active_rows == 0
+        assert csr.n_active_cols == 0
+
+    def test_invalid_row_ptr_length(self):
+        with pytest.raises(ValueError, match="m\\+1"):
+            CsrMatrix(
+                values=np.asarray([1.0]),
+                col_index=np.asarray([0]),
+                row_ptr=np.asarray([0, 1]),
+                shape=(2, 2),
+            )
+
+    def test_invalid_row_ptr_monotonic(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CsrMatrix(
+                values=np.asarray([1.0, 2.0]),
+                col_index=np.asarray([0, 1]),
+                row_ptr=np.asarray([0, 2, 1, 2]),
+                shape=(3, 2),
+            )
+
+    def test_col_index_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CsrMatrix(
+                values=np.asarray([1.0]),
+                col_index=np.asarray([5]),
+                row_ptr=np.asarray([0, 1]),
+                shape=(1, 2),
+            )
+
+
+class TestStructure:
+    def test_active_rows_cols(self):
+        dense = np.zeros((4, 4))
+        dense[1, 2] = 1.0
+        dense[3, 2] = 2.0
+        csr = CsrMatrix.from_dense(dense)
+        assert csr.active_rows().tolist() == [1, 3]
+        assert csr.active_cols().tolist() == [2]
+
+    def test_row_access(self):
+        dense = np.zeros((2, 3))
+        dense[1] = [0.0, 5.0, 7.0]
+        csr = CsrMatrix.from_dense(dense)
+        cols, vals = csr.row(1)
+        assert cols.tolist() == [1, 2]
+        assert vals.tolist() == [5.0, 7.0]
+
+
+class TestMatmul:
+    def test_matches_dense_product(self, rng):
+        dense = random_sparse(20, 15, 0.1, seed=1)
+        b = rng.normal(size=(15, 6))
+        csr = CsrMatrix.from_dense(dense)
+        np.testing.assert_allclose(csr.matmul(b), dense @ b, atol=1e-12)
+
+    def test_shape_mismatch(self, rng):
+        csr = CsrMatrix.from_dense(random_sparse(4, 5, 0.5))
+        with pytest.raises(ValueError, match="expected k"):
+            csr.matmul(rng.normal(size=(4, 2)))
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 12), st.integers(1, 12)),
+            elements=st.floats(-10, 10, allow_nan=False).map(
+                lambda v: 0.0 if abs(v) < 5 else v  # ~ sparse
+            ),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, dense):
+        csr = CsrMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csr.to_dense(), dense)
+        assert csr.nnz == np.count_nonzero(dense)
+
+
+class TestSplitRows:
+    def test_parts_stack_to_original(self):
+        dense = random_sparse(10, 6, 0.3, seed=2)
+        csr = CsrMatrix.from_dense(dense)
+        parts = csr.split_rows(3)
+        stacked = np.vstack([p.to_dense() for p in parts])
+        np.testing.assert_array_equal(stacked, dense)
+
+    def test_part_products_stack(self, rng):
+        dense = random_sparse(9, 5, 0.4, seed=3)
+        b = rng.normal(size=(5, 4))
+        csr = CsrMatrix.from_dense(dense)
+        parts = csr.split_rows(2)
+        stacked = np.vstack([p.matmul(b) for p in parts])
+        np.testing.assert_allclose(stacked, dense @ b, atol=1e-12)
+
+    def test_single_part_is_copy(self):
+        csr = CsrMatrix.from_dense(random_sparse(5, 5, 0.5))
+        part = csr.split_rows(1)[0]
+        np.testing.assert_array_equal(part.to_dense(), csr.to_dense())
+
+    def test_invalid_parts(self):
+        csr = CsrMatrix.from_dense(random_sparse(5, 5, 0.5))
+        with pytest.raises(ValueError):
+            csr.split_rows(0)
+        with pytest.raises(ValueError):
+            csr.split_rows(6)

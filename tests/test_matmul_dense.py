@@ -1,0 +1,126 @@
+"""Tests for repro.matmul.dense (Goto executor + simulated timing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matmul import DenseGemmExecutor
+from repro.matmul.dense import DenseTimingModel
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return DenseGemmExecutor()
+
+
+class TestNumericalCorrectness:
+    @pytest.mark.parametrize(
+        "m,k,n",
+        [(3, 4, 5), (24, 192, 384), (100, 200, 50), (385, 193, 400), (1, 1, 1)],
+    )
+    def test_matches_numpy(self, executor, m, k, n, rng):
+        a = rng.normal(size=(m, k))
+        b = rng.normal(size=(k, n))
+        c, _ = executor.multiply(a, b)
+        np.testing.assert_allclose(c, a @ b, atol=1e-10 * k)
+
+    def test_blocking_crosses_all_partitions(self, executor, rng):
+        # Dimensions straddling n_c / k_c / micro tiles.
+        a = rng.normal(size=(50, 400))
+        b = rng.normal(size=(400, 800))
+        c, _ = executor.multiply(a, b)
+        np.testing.assert_allclose(c, a @ b, atol=1e-8)
+
+    def test_inner_dim_mismatch(self, executor, rng):
+        with pytest.raises(ValueError, match="inner dimensions"):
+            executor.multiply(rng.normal(size=(3, 4)), rng.normal(size=(5, 2)))
+
+    def test_compute_false_skips_numerics(self, executor, rng):
+        c, report = executor.multiply(
+            rng.normal(size=(10, 10)), rng.normal(size=(10, 10)), compute=False
+        )
+        assert c is None
+        assert report.time_ns > 0
+
+    @given(
+        st.integers(1, 40), st.integers(1, 40), st.integers(1, 40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_small_shapes(self, m, k, n):
+        rng = np.random.default_rng(m * 10000 + k * 100 + n)
+        a = rng.normal(size=(m, k))
+        b = rng.normal(size=(k, n))
+        c, _ = DenseGemmExecutor().multiply(a, b)
+        np.testing.assert_allclose(c, a @ b, atol=1e-9)
+
+
+class TestSimulatedPerformance:
+    """The simulated GFLOPS surface must reproduce the paper's zones."""
+
+    def test_three_k_zones_at_n_1000(self, executor):
+        # Fig. 6: ~90 below k=128, ~110 in 128..512, ~130 above 512.
+        low = executor.measure_gflops(1000, 1000, 64)
+        mid = executor.measure_gflops(1000, 1000, 256)
+        high = executor.measure_gflops(1000, 1000, 1024)
+        assert low == pytest.approx(90.0, rel=0.10)
+        assert mid == pytest.approx(110.0, rel=0.10)
+        assert high == pytest.approx(130.0, rel=0.10)
+
+    def test_gflops_grow_with_m_and_k(self, executor):
+        # Fig. 4: throughput grows as m = k grows.
+        values = [executor.measure_gflops(s, 1000, s) for s in (32, 128, 512, 1024)]
+        assert values == sorted(values)
+
+    def test_constant_mk_small_k_worse(self, executor):
+        # Fig. 5: with m*k constant, small k + large m degrades while
+        # small m + large k stays fast.
+        small_m_large_k = executor.measure_gflops(100, 1000, 3000)
+        large_m_small_k = executor.measure_gflops(3000, 1000, 100)
+        assert small_m_large_k > large_m_small_k
+
+    def test_gflops_grow_with_batch(self, executor):
+        values = [executor.measure_gflops(500, n, 500) for n in (16, 64, 256, 1000)]
+        assert values == sorted(values)
+
+    def test_time_scales_linearly_in_batch_at_scale(self, executor):
+        t1 = executor.report(500, 1000, 500).time_ns
+        t2 = executor.report(500, 2000, 500).time_ns
+        assert t2 == pytest.approx(2 * t1, rel=0.1)
+
+    def test_tiny_m_pays_rounding_waste(self, executor):
+        # m = 4 rounds up to the 24-row micro-tile: ~6x wasted FLOPs.
+        eff = executor.report(4, 1000, 512)
+        assert eff.effective_flops >= 5 * eff.flops
+
+    def test_nopack_path_on_tiny_shapes(self, executor):
+        report = executor.report(4, 1, 4)
+        assert not report.packed
+        assert report.pack_a_bytes == 0
+
+    def test_pack_path_on_large_shapes(self, executor):
+        report = executor.report(500, 500, 500)
+        assert report.packed
+        assert report.pack_a_bytes > 0
+        assert report.pack_b_bytes > 0
+
+    def test_report_validates_dimensions(self, executor):
+        with pytest.raises(ValueError):
+            executor.report(0, 1, 1)
+
+    def test_gflops_definition(self, executor):
+        rep = executor.report(100, 100, 100)
+        assert rep.gflops == pytest.approx(rep.flops / rep.time_ns)
+        assert rep.time_us == pytest.approx(rep.time_ns / 1000)
+
+
+class TestTimingModel:
+    def test_micro_efficiency_monotone_in_k(self):
+        t = DenseTimingModel()
+        effs = [t.micro_efficiency(k) for k in (16, 64, 256, 1024)]
+        assert effs == sorted(effs)
+        assert all(0 < e <= 1 for e in effs)
+
+    def test_micro_efficiency_invalid_k(self):
+        with pytest.raises(ValueError):
+            DenseTimingModel().micro_efficiency(0)

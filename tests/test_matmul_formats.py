@@ -1,0 +1,123 @@
+"""Tests for repro.matmul.formats (COO and CSC)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.matmul import CooMatrix, CscMatrix, CsrMatrix, csr_to_coo, csr_to_csc
+
+
+def sparse_dense(m=8, k=6, seed=0, density=0.3):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(m, k)) * (rng.random((m, k)) < density)
+
+
+class TestCoo:
+    def test_from_dense_roundtrip(self):
+        dense = sparse_dense()
+        coo = CooMatrix.from_dense(dense)
+        np.testing.assert_array_equal(coo.to_dense(), dense)
+
+    def test_to_csr_matches(self):
+        dense = sparse_dense(seed=1)
+        csr = CooMatrix.from_dense(dense).to_csr()
+        np.testing.assert_array_equal(csr.to_dense(), dense)
+
+    def test_unsorted_coordinates_accepted(self):
+        coo = CooMatrix(
+            rows=np.asarray([2, 0, 1]),
+            cols=np.asarray([1, 2, 0]),
+            values=np.asarray([3.0, 1.0, 2.0]),
+            shape=(3, 3),
+        )
+        dense = coo.to_dense()
+        assert dense[2, 1] == 3.0 and dense[0, 2] == 1.0
+        np.testing.assert_array_equal(coo.to_csr().to_dense(), dense)
+
+    def test_nnz(self):
+        assert CooMatrix.from_dense(np.eye(4)).nnz == 4
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CooMatrix(
+                rows=np.asarray([5]),
+                cols=np.asarray([0]),
+                values=np.asarray([1.0]),
+                shape=(3, 3),
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="share length"):
+            CooMatrix(
+                rows=np.asarray([0, 1]),
+                cols=np.asarray([0]),
+                values=np.asarray([1.0]),
+                shape=(3, 3),
+            )
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 8), st.integers(1, 8)),
+            elements=st.floats(-5, 5, allow_nan=False).map(
+                lambda v: 0.0 if abs(v) < 2.5 else v
+            ),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_coo_csr_roundtrip_property(self, dense):
+        coo = CooMatrix.from_dense(dense)
+        np.testing.assert_array_equal(coo.to_csr().to_dense(), dense)
+
+
+class TestCsc:
+    def test_from_dense_roundtrip(self):
+        dense = sparse_dense(seed=2)
+        csc = CscMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csc.to_dense(), dense)
+
+    def test_column_access(self):
+        dense = np.zeros((4, 3))
+        dense[1, 2] = 5.0
+        dense[3, 2] = 7.0
+        csc = CscMatrix.from_dense(dense)
+        rows, values = csc.column(2)
+        assert rows.tolist() == [1, 3]
+        assert values.tolist() == [5.0, 7.0]
+
+    def test_to_csr(self):
+        dense = sparse_dense(seed=3)
+        np.testing.assert_array_equal(
+            CscMatrix.from_dense(dense).to_csr().to_dense(), dense
+        )
+
+    def test_invalid_col_ptr(self):
+        with pytest.raises(ValueError, match="col_ptr"):
+            CscMatrix(
+                values=np.asarray([1.0]),
+                row_index=np.asarray([0]),
+                col_ptr=np.asarray([0, 1]),
+                shape=(2, 2),
+            )
+
+
+class TestConversions:
+    def test_csr_to_coo(self):
+        dense = sparse_dense(seed=4)
+        csr = CsrMatrix.from_dense(dense)
+        coo = csr_to_coo(csr)
+        np.testing.assert_array_equal(coo.to_dense(), dense)
+
+    def test_csr_to_csc(self):
+        dense = sparse_dense(seed=5)
+        csc = csr_to_csc(CsrMatrix.from_dense(dense))
+        np.testing.assert_array_equal(csc.to_dense(), dense)
+
+    def test_full_cycle(self):
+        dense = sparse_dense(seed=6)
+        back = csr_to_coo(
+            csr_to_csc(CsrMatrix.from_dense(dense)).to_csr()
+        ).to_dense()
+        np.testing.assert_array_equal(back, dense)

@@ -1,0 +1,85 @@
+"""Tests for repro.matmul.onednn (blocking parameter adaptation)."""
+
+import pytest
+
+from repro.matmul import OneDnnParams, effective_params, rnd_up
+from repro.matmul.onednn import packing_would_dominate
+
+
+class TestRndUp:
+    def test_exact_multiple_unchanged(self):
+        assert rnd_up(48, 24) == 48
+
+    def test_rounds_to_next_multiple(self):
+        assert rnd_up(25, 24) == 48
+        assert rnd_up(1, 24) == 24
+
+    def test_nonpositive_a(self):
+        assert rnd_up(0, 8) == 8
+
+    def test_invalid_b(self):
+        with pytest.raises(ValueError):
+            rnd_up(10, 0)
+
+
+class TestEffectiveParams:
+    def test_large_shape_keeps_defaults(self):
+        p = effective_params(20000, 2000, 2000)
+        assert p.n_c == 384
+        assert p.k_c == 192
+
+    def test_small_m_clamped_and_rounded(self):
+        # The paper: m_c_eff = rnd_up(min(max(m, m_r), m_c), m_r).
+        p = effective_params(m=30, n=1000, k=1000)
+        assert p.m_c == 48  # rnd_up(30, 24)
+
+    def test_m_below_micro_tile(self):
+        p = effective_params(m=5, n=1000, k=1000)
+        assert p.m_c == 24  # at least one micro-tile
+
+    def test_small_n_rounded_to_n_r(self):
+        p = effective_params(m=1000, n=10, k=1000)
+        assert p.n_c == 12  # rnd_up(10, 4)
+
+    def test_k_clamped_not_rounded(self):
+        p = effective_params(m=1000, n=1000, k=100)
+        assert p.k_c == 100
+
+    def test_micro_params_preserved(self):
+        p = effective_params(100, 100, 100)
+        assert p.m_r == 24 and p.n_r == 4
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            effective_params(0, 10, 10)
+
+    def test_custom_defaults(self):
+        base = OneDnnParams(m_c=96, n_c=64, k_c=32, m_r=8, n_r=4)
+        p = effective_params(1000, 1000, 1000, base)
+        assert p.m_c == 96 and p.k_c == 32
+
+
+class TestOneDnnParams:
+    def test_defaults_match_paper(self):
+        p = OneDnnParams()
+        assert (p.m_c, p.n_c, p.k_c, p.m_r, p.n_r) == (10000, 384, 192, 24, 4)
+
+    def test_invalid_micro_exceeds_macro(self):
+        with pytest.raises(ValueError):
+            OneDnnParams(m_c=8, m_r=16)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            OneDnnParams(k_c=0)
+
+
+class TestPackingHeuristic:
+    def test_large_product_packs(self):
+        assert not packing_would_dominate(500, 500, 500)
+
+    def test_tiny_product_skips_packing(self):
+        assert packing_would_dominate(4, 1, 4)
+
+    def test_thin_batch_boundary(self):
+        # n = 1 with tiny k: copy cost comparable to compute.
+        assert packing_would_dominate(8, 1, 2)

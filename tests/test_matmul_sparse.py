@@ -1,0 +1,144 @@
+"""Tests for repro.matmul.sparse (LIBXSMM-style executor) and mkl."""
+
+import numpy as np
+import pytest
+
+from repro.matmul import CsrMatrix, MklSdmmCostModel, SparseGemmExecutor
+from repro.matmul.sparse import SparseTimingModel
+
+
+def random_pruned(m, k, sparsity, seed=0):
+    rng = np.random.default_rng(seed)
+    nnz = int(round((1 - sparsity) * m * k))
+    dense = np.zeros(m * k)
+    dense[rng.choice(m * k, nnz, replace=False)] = rng.normal(size=nnz)
+    return CsrMatrix.from_dense(dense.reshape(m, k))
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return SparseGemmExecutor()
+
+
+class TestCorrectness:
+    def test_matches_dense_product(self, executor, rng):
+        a = random_pruned(50, 30, 0.9, seed=1)
+        b = rng.normal(size=(30, 16))
+        c, _ = executor.multiply(a, b)
+        np.testing.assert_allclose(c, a.to_dense() @ b, atol=1e-12)
+
+    def test_dense_input_converted(self, executor, rng):
+        dense = rng.normal(size=(8, 6)) * (rng.random((8, 6)) < 0.3)
+        b = rng.normal(size=(6, 8))
+        c, _ = executor.multiply(dense, b)
+        np.testing.assert_allclose(c, dense @ b, atol=1e-12)
+
+    def test_empty_rows_stay_zero(self, executor, rng):
+        dense = np.zeros((5, 4))
+        dense[2, 1] = 3.0
+        b = rng.normal(size=(4, 8))
+        c, _ = executor.multiply(CsrMatrix.from_dense(dense), b)
+        np.testing.assert_allclose(c[0], 0.0)
+        np.testing.assert_allclose(c[2], 3.0 * b[1])
+
+    def test_shape_mismatch(self, executor, rng):
+        a = random_pruned(4, 5, 0.5)
+        with pytest.raises(ValueError, match="expected"):
+            executor.multiply(a, rng.normal(size=(4, 2)))
+
+    def test_jit_split_preserves_result(self, rng):
+        timing = SparseTimingModel(jit_max_nnz=20)
+        ex = SparseGemmExecutor(timing=timing)
+        a = random_pruned(30, 20, 0.8, seed=2)  # nnz = 120 > 20
+        b = rng.normal(size=(20, 8))
+        c, report = ex.multiply(a, b)
+        assert report.n_kernel_calls > 1
+        np.testing.assert_allclose(c, a.to_dense() @ b, atol=1e-12)
+
+
+class TestEventCounts:
+    def test_structural_counts(self, executor, rng):
+        a = random_pruned(40, 30, 0.9, seed=3)
+        _, report = executor.multiply(a, rng.normal(size=(30, 16)))
+        assert report.nnz == a.nnz
+        assert report.active_rows == a.n_active_rows
+        assert report.active_cols == a.n_active_cols
+
+    def test_each_active_column_misses_once_when_cached(self, executor, rng):
+        # B fits the cache: first touch per column misses, rest hit.
+        a = random_pruned(40, 30, 0.9, seed=4)
+        _, report = executor.multiply(a, rng.normal(size=(30, 16)))
+        assert report.b_row_misses == a.n_active_cols
+        assert report.b_row_hits == a.nnz - a.n_active_cols
+
+    def test_cache_breaks_at_large_batch(self, rng):
+        # N = 512 on k = 500: B far exceeds the simulated L2, so rows are
+        # evicted and re-missed -- the paper's N >= 128 divergence.
+        ex = SparseGemmExecutor()
+        a = random_pruned(500, 500, 0.99, seed=5)
+        _, small = ex.multiply(a, rng.normal(size=(500, 32)), compute=False)
+        _, large = ex.multiply(a, rng.normal(size=(500, 512)), compute=False)
+        assert small.b_row_misses == a.n_active_cols
+        assert large.b_row_misses > a.n_active_cols
+
+    def test_n_vectors_simd_padding(self, executor, rng):
+        a = random_pruned(10, 10, 0.5, seed=6)
+        _, report = executor.multiply(a, rng.normal(size=(10, 9)), compute=False)
+        assert report.n_vectors == 2  # ceil(9 / 8)
+
+    def test_useful_flops(self, executor, rng):
+        a = random_pruned(10, 10, 0.5, seed=7)
+        _, report = executor.multiply(a, rng.normal(size=(10, 8)), compute=False)
+        assert report.useful_flops == 2 * a.nnz * 8
+
+
+class TestSimulatedTime:
+    def test_time_scales_with_batch(self, executor):
+        a = random_pruned(400, 136, 0.99, seed=8)
+        t16 = executor.measure_time_us(a, 16)
+        t32 = executor.measure_time_us(a, 32)
+        t64 = executor.measure_time_us(a, 64)
+        # Per-vector costs dominate: near-linear N scaling (Table 4).
+        assert t32 / t16 == pytest.approx(2.0, rel=0.35)
+        assert t64 / t32 == pytest.approx(2.0, rel=0.25)
+
+    def test_time_grows_with_density(self, executor):
+        sparse = random_pruned(400, 136, 0.995, seed=9)
+        denser = random_pruned(400, 136, 0.97, seed=9)
+        assert executor.measure_time_us(sparse, 64) < executor.measure_time_us(
+            denser, 64
+        )
+
+    def test_table4_anchor_magnitude(self, executor):
+        # Table 4: 400x136 at 99.5% sparsity, N = 64 -> ~0.9 us.
+        a = random_pruned(400, 136, 0.995, seed=10)
+        t = executor.measure_time_us(a, 64)
+        assert 0.6 <= t <= 1.4
+
+    def test_report_time_is_sum_of_parts(self, executor, rng):
+        a = random_pruned(20, 20, 0.8, seed=11)
+        _, r = executor.multiply(a, rng.normal(size=(20, 8)), compute=False)
+        assert r.time_ns == pytest.approx(
+            r.time_c_ns + r.time_a_ns + r.time_b_ns + r.overhead_ns
+        )
+
+
+class TestMklBaseline:
+    def test_slower_than_libxsmm_on_paper_shapes(self, executor):
+        # Table 3: LIBXSMM wins on small, very sparse, asymmetric shapes.
+        mkl = MklSdmmCostModel()
+        for m, sparsity in [(400, 0.996), (300, 0.985), (100, 0.989), (50, 0.968)]:
+            a = random_pruned(m, 136, sparsity, seed=m)
+            t_xsmm = executor.measure_time_us(a, 64)
+            t_mkl = mkl.time_for(a, 64)
+            assert t_mkl > 1.5 * t_xsmm
+
+    def test_fixed_overhead_dominates_tiny(self):
+        mkl = MklSdmmCostModel()
+        t = mkl.time_us(m=10, k=10, n=8, nnz=1)
+        assert t >= mkl.call_overhead_ns / 1000.0
+
+    def test_invalid_inputs(self):
+        mkl = MklSdmmCostModel()
+        with pytest.raises(ValueError):
+            mkl.time_us(m=0, k=1, n=1, nnz=0)

@@ -1,0 +1,96 @@
+"""Tests for repro.metrics.extra (P@k, R@k, ERR)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import LtrDataset
+from repro.metrics import (
+    err,
+    mean_err,
+    mean_precision_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+
+
+class TestPrecisionAtK:
+    def test_all_relevant_top(self):
+        assert precision_at_k([3, 2, 1], [1, 1, 0], k=2) == 1.0
+
+    def test_none_relevant_top(self):
+        assert precision_at_k([3, 2, 1], [0, 0, 1], k=2) == 0.0
+
+    def test_k_beyond_list(self):
+        assert precision_at_k([2, 1], [1, 0], k=10) == pytest.approx(0.5)
+
+    def test_graded_threshold(self):
+        assert precision_at_k([2, 1], [1, 2], k=2, relevance_threshold=2) == 0.5
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], [1], k=0)
+
+
+class TestRecallAtK:
+    def test_full_recall(self):
+        assert recall_at_k([3, 2, 1], [1, 1, 0], k=2) == 1.0
+
+    def test_half_recall(self):
+        assert recall_at_k([3, 2, 1], [1, 0, 1], k=1) == pytest.approx(0.5)
+
+    def test_no_relevant_nan(self):
+        assert np.isnan(recall_at_k([1, 2], [0, 0], k=1))
+
+
+class TestErr:
+    def test_perfect_single_doc(self):
+        # One grade-4 doc at rank 1: ERR = (2^4-1)/2^4 = 0.9375.
+        assert err([1.0], [4]) == pytest.approx(0.9375)
+
+    def test_cascade_discount(self):
+        # Same doc at rank 2 behind an irrelevant one: halved.
+        assert err([1.0, 2.0], [4, 0]) == pytest.approx(0.9375 / 2)
+
+    def test_better_ranking_higher_err(self):
+        labels = [0, 4, 1]
+        good = err([0.0, 2.0, 1.0], labels)
+        bad = err([2.0, 0.0, 1.0], labels)
+        assert good > bad
+
+    def test_bounded_zero_one(self, rng):
+        labels = rng.integers(0, 5, size=15)
+        value = err(rng.normal(size=15), labels)
+        assert 0.0 <= value <= 1.0
+
+    def test_cutoff(self):
+        labels = [0, 0, 4]
+        assert err([3.0, 2.0, 1.0], labels, k=2) == 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            err([1.0], [1], max_grade=0)
+        with pytest.raises(ValueError):
+            err([1.0], [1], k=0)
+
+
+class TestAggregates:
+    def make_dataset(self):
+        return LtrDataset(
+            features=np.zeros((4, 1)),
+            labels=np.asarray([2, 0, 4, 0]),
+            qids=np.asarray([1, 1, 2, 2]),
+        )
+
+    def test_mean_err(self):
+        ds = self.make_dataset()
+        scores = np.asarray([2.0, 1.0, 2.0, 1.0])  # both perfect
+        expected_q1 = (2**2 - 1) / 2**4
+        expected_q2 = (2**4 - 1) / 2**4
+        assert mean_err(ds, scores) == pytest.approx(
+            (expected_q1 + expected_q2) / 2
+        )
+
+    def test_mean_precision(self):
+        ds = self.make_dataset()
+        scores = np.asarray([2.0, 1.0, 1.0, 2.0])  # q2 reversed
+        assert mean_precision_at_k(ds, scores, k=1) == pytest.approx(0.5)

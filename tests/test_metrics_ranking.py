@@ -1,0 +1,164 @@
+"""Tests for repro.metrics.ranking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import LtrDataset
+from repro.metrics import (
+    average_precision,
+    dcg,
+    mean_average_precision,
+    mean_ndcg,
+    ndcg,
+    per_query_metric,
+)
+
+
+class TestDcg:
+    def test_single_relevant_at_top(self):
+        assert dcg([1]) == pytest.approx(1.0)  # (2^1-1)/log2(2)
+
+    def test_exponential_gain(self):
+        assert dcg([2]) == pytest.approx(3.0)  # 2^2-1
+
+    def test_discount_at_rank_two(self):
+        assert dcg([0, 1]) == pytest.approx(1.0 / np.log2(3))
+
+    def test_cutoff(self):
+        assert dcg([0, 0, 5], k=2) == 0.0
+
+    def test_empty_after_cutoff(self):
+        assert dcg([], ) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            dcg([1], k=0)
+
+    def test_additivity(self):
+        full = dcg([3, 2, 1])
+        assert full == pytest.approx(
+            (2**3 - 1) / np.log2(2) + (2**2 - 1) / np.log2(3) + 1 / np.log2(4)
+        )
+
+
+class TestNdcg:
+    def test_perfect_ranking_is_one(self):
+        scores = [3.0, 2.0, 1.0]
+        labels = [2, 1, 0]
+        assert ndcg(scores, labels) == pytest.approx(1.0)
+
+    def test_worst_ranking_below_one(self):
+        assert ndcg([1.0, 2.0, 3.0], [2, 1, 0]) < 1.0
+
+    def test_no_relevant_is_nan(self):
+        assert np.isnan(ndcg([1.0, 2.0], [0, 0]))
+
+    def test_cutoff_changes_value(self):
+        scores = [5, 4, 3, 2, 1]
+        labels = [0, 0, 0, 0, 3]
+        assert np.isclose(ndcg(scores, labels, k=10), ndcg(scores, labels))
+        assert ndcg(scores, labels, k=2) == 0.0
+
+    def test_score_shift_invariant(self):
+        scores = np.asarray([0.3, -0.2, 1.5, 0.0])
+        labels = [1, 0, 2, 1]
+        assert ndcg(scores, labels, 10) == pytest.approx(
+            ndcg(scores + 100.0, labels, 10)
+        )
+
+    def test_tie_broken_by_original_order(self):
+        # Equal scores: stable sort keeps doc 0 first.
+        assert ndcg([1.0, 1.0], [2, 0]) == pytest.approx(1.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ndcg([1.0], [1, 2])
+
+    @given(
+        st.lists(st.integers(0, 4), min_size=2, max_size=20).filter(
+            lambda l: max(l) > 0
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bounded_zero_one(self, labels):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=len(labels))
+        value = ndcg(scores, labels, 10)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @given(
+        st.lists(st.integers(0, 4), min_size=2, max_size=20).filter(
+            lambda l: max(l) > 0
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_ideal_ordering_maximal(self, labels):
+        labels_arr = np.asarray(labels, dtype=float)
+        ideal_scores = labels_arr.astype(float)
+        rng = np.random.default_rng(1)
+        random_scores = rng.normal(size=len(labels))
+        assert ndcg(ideal_scores, labels_arr) >= ndcg(
+            random_scores, labels_arr
+        ) - 1e-12
+
+
+class TestAveragePrecision:
+    def test_all_relevant(self):
+        assert average_precision([3, 2, 1], [1, 1, 1]) == pytest.approx(1.0)
+
+    def test_single_relevant_at_bottom(self):
+        assert average_precision([3, 2, 1], [0, 0, 1]) == pytest.approx(1 / 3)
+
+    def test_classic_example(self):
+        # Relevant at ranks 1 and 3: (1/1 + 2/3) / 2.
+        ap = average_precision([3, 2, 1], [1, 0, 1])
+        assert ap == pytest.approx((1.0 + 2.0 / 3.0) / 2.0)
+
+    def test_no_relevant_is_nan(self):
+        assert np.isnan(average_precision([1, 2], [0, 0]))
+
+    def test_graded_binarization_threshold(self):
+        ap_strict = average_precision([2, 1], [1, 2], relevance_threshold=2)
+        assert ap_strict == pytest.approx(0.5)
+
+
+class TestAggregates:
+    def make_dataset(self):
+        x = np.zeros((6, 2))
+        labels = np.asarray([2, 0, 0, 1, 0, 0])
+        qids = np.asarray([1, 1, 1, 2, 2, 2])
+        return LtrDataset(features=x, labels=labels, qids=qids)
+
+    def test_mean_ndcg_perfect(self):
+        ds = self.make_dataset()
+        scores = np.asarray([3.0, 2, 1, 3, 2, 1])
+        assert mean_ndcg(ds, scores, 10) == pytest.approx(1.0)
+
+    def test_mean_map(self):
+        ds = self.make_dataset()
+        scores = np.asarray([1.0, 2, 3, 3, 2, 1])  # q1 reversed, q2 perfect
+        expected_q1 = 1.0 / 3.0
+        assert mean_average_precision(ds, scores) == pytest.approx(
+            (expected_q1 + 1.0) / 2
+        )
+
+    def test_queries_without_relevant_skipped(self):
+        x = np.zeros((4, 1))
+        ds = LtrDataset(
+            features=x,
+            labels=np.asarray([1, 0, 0, 0]),
+            qids=np.asarray([1, 1, 2, 2]),
+        )
+        scores = np.asarray([2.0, 1.0, 1.0, 2.0])
+        assert mean_ndcg(ds, scores, 10) == pytest.approx(1.0)
+
+    def test_per_query_metric_shape(self):
+        ds = self.make_dataset()
+        values = per_query_metric(ds, np.zeros(6), lambda s, l: float(len(l)))
+        assert values.tolist() == [3.0, 3.0]
+
+    def test_per_query_metric_length_mismatch(self):
+        with pytest.raises(ValueError):
+            per_query_metric(self.make_dataset(), np.zeros(5), ndcg)

@@ -1,0 +1,71 @@
+"""Tests for repro.metrics.significance (Fisher randomization test)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import fisher_randomization_test
+
+
+class TestFisherRandomization:
+    def test_identical_systems_not_significant(self, rng):
+        a = rng.uniform(size=60)
+        result = fisher_randomization_test(a, a.copy(), seed=0)
+        assert result.p_value > 0.9
+        assert not result.significant()
+
+    def test_clear_improvement_significant(self, rng):
+        b = rng.uniform(0.4, 0.6, size=80)
+        a = b + 0.1
+        result = fisher_randomization_test(a, b, seed=0)
+        assert result.p_value < 0.01
+        assert result.significant()
+
+    def test_symmetry_of_p_value(self, rng):
+        a = rng.uniform(size=50)
+        b = a + rng.normal(0, 0.05, size=50)
+        p_ab = fisher_randomization_test(a, b, seed=1).p_value
+        p_ba = fisher_randomization_test(b, a, seed=1).p_value
+        assert p_ab == pytest.approx(p_ba, abs=0.02)
+
+    def test_observed_difference_sign(self, rng):
+        b = rng.uniform(size=30)
+        a = b + 0.2
+        result = fisher_randomization_test(a, b, seed=0)
+        assert result.observed_difference == pytest.approx(0.2)
+        assert result.mean_a > result.mean_b
+
+    def test_nan_pairs_dropped(self):
+        a = np.asarray([0.5, np.nan, 0.7, 0.9])
+        b = np.asarray([0.4, 0.5, np.nan, 0.8])
+        result = fisher_randomization_test(a, b, seed=0)
+        assert result.n_queries == 2
+
+    def test_all_nan_raises(self):
+        with pytest.raises(ValueError, match="no queries"):
+            fisher_randomization_test([np.nan], [np.nan])
+
+    def test_p_value_never_zero(self, rng):
+        b = rng.uniform(size=100)
+        a = b + 10.0
+        result = fisher_randomization_test(a, b, n_permutations=1000, seed=0)
+        assert result.p_value >= 1.0 / 1001
+
+    def test_deterministic_by_seed(self, rng):
+        a = rng.uniform(size=40)
+        b = rng.uniform(size=40)
+        p1 = fisher_randomization_test(a, b, seed=9).p_value
+        p2 = fisher_randomization_test(a, b, seed=9).p_value
+        assert p1 == p2
+
+    def test_invalid_permutations(self):
+        with pytest.raises(ValueError):
+            fisher_randomization_test([1.0], [0.5], n_permutations=0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fisher_randomization_test([1.0, 2.0], [0.5])
+
+    def test_alpha_threshold(self, rng):
+        a = rng.uniform(size=60)
+        res = fisher_randomization_test(a, a + 0.001, seed=0)
+        assert res.significant(alpha=1.0)

@@ -1,0 +1,176 @@
+"""Tests for repro.nn.layers — forward/backward and masking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Dropout, Linear, ReLU, ReLU6
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(4, 3, seed=0)
+        out = layer.forward(rng.normal(size=(7, 4)))
+        assert out.shape == (7, 3)
+
+    def test_forward_formula(self, rng):
+        layer = Linear(4, 3, seed=0)
+        x = rng.normal(size=(5, 4))
+        np.testing.assert_allclose(
+            layer.forward(x), x @ layer.weight.data.T + layer.bias.data
+        )
+
+    def test_backward_requires_training_forward(self, rng):
+        layer = Linear(4, 3, seed=0)
+        layer.forward(rng.normal(size=(2, 4)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((2, 3)))
+
+    def test_gradient_numerically_correct(self, rng):
+        layer = Linear(3, 2, seed=1)
+        x = rng.normal(size=(4, 3))
+        grad_out = rng.normal(size=(4, 2))
+        layer.forward(x, training=True)
+        grad_in = layer.backward(grad_out)
+        # Loss = sum(out * grad_out): check dLoss/dW numerically.
+        eps = 1e-6
+        for i, j in [(0, 0), (1, 2)]:
+            layer.weight.data[i, j] += eps
+            up = float((layer.forward(x) * grad_out).sum())
+            layer.weight.data[i, j] -= 2 * eps
+            down = float((layer.forward(x) * grad_out).sum())
+            layer.weight.data[i, j] += eps
+            assert layer.weight.grad[i, j] == pytest.approx(
+                (up - down) / (2 * eps), rel=1e-5
+            )
+        np.testing.assert_allclose(grad_in, grad_out @ layer.weight.data)
+
+    def test_bias_gradient(self, rng):
+        layer = Linear(3, 2, seed=1)
+        layer.forward(rng.normal(size=(4, 3)), training=True)
+        grad_out = rng.normal(size=(4, 2))
+        layer.backward(grad_out)
+        np.testing.assert_allclose(layer.bias.grad, grad_out.sum(axis=0))
+
+    def test_init_bounds(self):
+        layer = Linear(100, 50, seed=0)
+        bound = np.sqrt(6.0 / 100)
+        assert np.abs(layer.weight.data).max() <= bound
+        np.testing.assert_array_equal(layer.bias.data, 0.0)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+
+class TestLinearMask:
+    def test_set_mask_zeroes_weights(self, rng):
+        layer = Linear(4, 4, seed=0)
+        mask = np.zeros((4, 4))
+        mask[0, 0] = 1.0
+        layer.set_mask(mask)
+        assert layer.sparsity() == pytest.approx(15 / 16)
+
+    def test_masked_gradients_blocked(self, rng):
+        layer = Linear(3, 3, seed=0)
+        mask = np.eye(3)
+        layer.set_mask(mask)
+        layer.forward(rng.normal(size=(5, 3)), training=True)
+        layer.backward(rng.normal(size=(5, 3)))
+        off_diag = layer.weight.grad[~np.eye(3, dtype=bool)]
+        np.testing.assert_array_equal(off_diag, 0.0)
+
+    def test_apply_mask_after_update(self, rng):
+        layer = Linear(3, 3, seed=0)
+        layer.set_mask(np.eye(3))
+        layer.weight.data += 1.0  # simulated optimizer step
+        layer.apply_mask()
+        assert layer.weight.data[0, 1] == 0.0
+        assert layer.weight.data[0, 0] != 0.0
+
+    def test_clear_mask(self):
+        layer = Linear(2, 2, seed=0)
+        layer.set_mask(np.zeros((2, 2)))
+        layer.set_mask(None)
+        layer.weight.data[:] = 1.0
+        layer.apply_mask()
+        np.testing.assert_array_equal(layer.weight.data, 1.0)
+
+    def test_mask_shape_validated(self):
+        layer = Linear(3, 2, seed=0)
+        with pytest.raises(ValueError, match="mask shape"):
+            layer.set_mask(np.ones((2, 2)))
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        out = ReLU().forward(np.asarray([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_relu_backward_gates(self):
+        layer = ReLU()
+        layer.forward(np.asarray([[-1.0, 2.0]]), training=True)
+        grad = layer.backward(np.asarray([[5.0, 5.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+    def test_relu6_clips_at_six(self):
+        out = ReLU6().forward(np.asarray([[-1.0, 3.0, 10.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 3.0, 6.0]])
+
+    def test_relu6_backward_gates_both_sides(self):
+        layer = ReLU6()
+        layer.forward(np.asarray([[-1.0, 3.0, 10.0]]), training=True)
+        grad = layer.backward(np.ones((1, 3)))
+        np.testing.assert_array_equal(grad, [[0.0, 1.0, 0.0]])
+
+    def test_backward_without_training_raises(self):
+        layer = ReLU6()
+        layer.forward(np.ones((1, 2)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    @given(st.floats(-100, 100, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_relu6_bounded(self, v):
+        out = ReLU6().forward(np.asarray([[v]]))
+        assert 0.0 <= out[0, 0] <= 6.0
+
+
+class TestDropout:
+    def test_identity_at_inference(self, rng):
+        x = rng.normal(size=(10, 5))
+        out = Dropout(0.5, seed=0).forward(x, training=False)
+        np.testing.assert_array_equal(out, x)
+
+    def test_zero_rate_identity(self, rng):
+        x = rng.normal(size=(10, 5))
+        out = Dropout(0.0, seed=0).forward(x, training=True)
+        np.testing.assert_array_equal(out, x)
+
+    def test_training_drops_and_scales(self):
+        layer = Dropout(0.5, seed=0)
+        x = np.ones((200, 50))
+        out = layer.forward(x, training=True)
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)  # inverted dropout scaling
+        assert 0.3 < np.mean(out == 0) < 0.7
+
+    def test_expectation_preserved(self):
+        layer = Dropout(0.3, seed=0)
+        x = np.ones((500, 100))
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, seed=0)
+        x = np.ones((20, 20))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones((20, 20)))
+        np.testing.assert_array_equal(grad == 0, out == 0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)

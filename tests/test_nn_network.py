@@ -1,0 +1,154 @@
+"""Tests for repro.nn.network (FeedForwardNetwork)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ArchitectureError
+from repro.nn import Dropout, FeedForwardNetwork, Linear, MseLoss, ReLU6
+
+
+class TestArchitecture:
+    def test_layer_stack_structure(self):
+        net = FeedForwardNetwork(10, (8, 4), seed=0)
+        kinds = [type(l) for l in net.layers]
+        assert kinds == [Linear, ReLU6, Linear, ReLU6, Linear]
+
+    def test_dropout_only_after_first_layer(self):
+        net = FeedForwardNetwork(10, (8, 4, 2), dropout=0.1, seed=0)
+        kinds = [type(l) for l in net.layers]
+        assert kinds.count(Dropout) == 1
+        assert kinds[1] is Dropout  # right after the first Linear
+
+    def test_scoring_head_width_one(self):
+        net = FeedForwardNetwork(10, (8, 4), seed=0)
+        assert net.linears[-1].out_features == 1
+        assert net.n_layers == 3
+
+    def test_describe(self):
+        assert FeedForwardNetwork(10, (400, 200), seed=0).describe() == "400x200"
+
+    def test_n_parameters(self):
+        net = FeedForwardNetwork(3, (2,), seed=0)
+        # 3*2 + 2 (first) + 2*1 + 1 (head).
+        assert net.n_parameters() == 6 + 2 + 2 + 1
+
+    def test_invalid_architectures(self):
+        with pytest.raises(ArchitectureError):
+            FeedForwardNetwork(0, (4,))
+        with pytest.raises(ArchitectureError):
+            FeedForwardNetwork(4, ())
+        with pytest.raises(ArchitectureError):
+            FeedForwardNetwork(4, (4, 0))
+
+    def test_flops_per_doc(self):
+        net = FeedForwardNetwork(3, (2,), seed=0)
+        # 3*2 weights + 2*1 head weights, 2 FLOPs each.
+        assert net.flops_per_doc() == 2 * (6 + 2)
+
+    def test_flops_per_doc_sparse_count(self):
+        net = FeedForwardNetwork(4, (4,), seed=0)
+        dense_flops = net.flops_per_doc()
+        net.first_layer.set_mask(np.eye(4))
+        sparse_flops = net.flops_per_doc(count_sparse_as_zero=True)
+        assert sparse_flops == dense_flops - 2 * (16 - 4)
+
+    def test_deterministic_init(self, rng):
+        a = FeedForwardNetwork(5, (4,), seed=9)
+        b = FeedForwardNetwork(5, (4,), seed=9)
+        np.testing.assert_array_equal(
+            a.linears[0].weight.data, b.linears[0].weight.data
+        )
+
+
+class TestForwardBackward:
+    def test_forward_shape(self, rng):
+        net = FeedForwardNetwork(6, (4, 3), seed=0)
+        assert net.forward(rng.normal(size=(10, 6))).shape == (10,)
+
+    def test_full_gradient_check(self, rng):
+        net = FeedForwardNetwork(4, (5, 3), seed=2)
+        x = rng.normal(size=(6, 4))
+        y = rng.normal(size=6)
+        loss = MseLoss()
+        net.zero_grad()
+        loss.forward(net.forward(x, training=True), y)
+        net.backward(loss.backward())
+        eps = 1e-6
+        for linear in net.linears:
+            i, j = 0, 0
+            analytic = linear.weight.grad[i, j]
+            linear.weight.data[i, j] += eps
+            up = loss.forward(net.forward(x), y)
+            linear.weight.data[i, j] -= 2 * eps
+            down = loss.forward(net.forward(x), y)
+            linear.weight.data[i, j] += eps
+            assert analytic == pytest.approx((up - down) / (2 * eps), rel=1e-4, abs=1e-10)
+
+    def test_predict_batched_consistent(self, rng):
+        net = FeedForwardNetwork(6, (8,), seed=0)
+        x = rng.normal(size=(50, 6))
+        np.testing.assert_allclose(
+            net.predict(x, batch_size=7), net.predict(x, batch_size=100)
+        )
+
+    def test_predict_validates_features(self, rng):
+        net = FeedForwardNetwork(6, (8,), seed=0)
+        with pytest.raises(ValueError, match="expected 6"):
+            net.predict(rng.normal(size=(5, 7)))
+
+    def test_zero_grad(self, rng):
+        net = FeedForwardNetwork(4, (3,), seed=0)
+        loss = MseLoss()
+        loss.forward(net.forward(rng.normal(size=(5, 4)), training=True), np.zeros(5))
+        net.backward(loss.backward())
+        net.zero_grad()
+        assert all(np.all(p.grad == 0) for p in net.parameters())
+
+
+class TestState:
+    def test_get_set_weights_roundtrip(self, rng):
+        a = FeedForwardNetwork(5, (4, 3), seed=1)
+        b = FeedForwardNetwork(5, (4, 3), seed=2)
+        b.set_weights(a.get_weights())
+        x = rng.normal(size=(8, 5))
+        np.testing.assert_allclose(a.predict(x), b.predict(x))
+
+    def test_set_weights_shape_mismatch(self):
+        a = FeedForwardNetwork(5, (4,), seed=0)
+        b = FeedForwardNetwork(5, (4, 3), seed=0)
+        with pytest.raises(ValueError):
+            a.set_weights(b.get_weights())
+
+    def test_clone_independent(self, rng):
+        net = FeedForwardNetwork(5, (4,), seed=1)
+        twin = net.clone()
+        x = rng.normal(size=(6, 5))
+        np.testing.assert_allclose(net.predict(x), twin.predict(x))
+        twin.linears[0].weight.data += 1.0
+        assert not np.allclose(net.predict(x), twin.predict(x))
+
+    def test_clone_copies_masks(self):
+        net = FeedForwardNetwork(5, (4,), seed=1)
+        net.first_layer.set_mask(np.zeros((4, 5)))
+        twin = net.clone()
+        assert twin.first_layer.sparsity() == 1.0
+        twin.first_layer.mask[0, 0] = 1.0
+        assert net.first_layer.mask[0, 0] == 0.0
+
+    def test_save_load_roundtrip(self, tmp_path, rng):
+        net = FeedForwardNetwork(5, (6, 3), dropout=0.1, seed=3)
+        net.first_layer.set_mask(
+            (np.abs(net.first_layer.weight.data) > 0.1).astype(float)
+        )
+        path = tmp_path / "net.json"
+        net.save(path)
+        loaded = FeedForwardNetwork.load(path)
+        x = rng.normal(size=(10, 5))
+        np.testing.assert_allclose(loaded.predict(x), net.predict(x))
+        assert loaded.first_layer.sparsity() == net.first_layer.sparsity()
+
+    def test_layer_sparsities(self):
+        net = FeedForwardNetwork(5, (4,), seed=0)
+        assert net.layer_sparsities() == [0.0, 0.0]
+        net.first_layer.set_mask(np.zeros((4, 5)))
+        assert net.layer_sparsities()[0] == 1.0

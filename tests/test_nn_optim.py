@@ -1,0 +1,135 @@
+"""Tests for repro.nn losses, optimizers and schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, MseLoss, MultiStepLr, Sgd
+from repro.nn.layers import Parameter
+
+
+class TestMseLoss:
+    def test_value(self):
+        loss = MseLoss()
+        v = loss.forward(np.asarray([1.0, 2.0]), np.asarray([0.0, 0.0]))
+        assert v == pytest.approx(2.5)
+
+    def test_gradient(self):
+        loss = MseLoss()
+        pred = np.asarray([1.0, 2.0])
+        loss.forward(pred, np.asarray([0.0, 0.0]))
+        np.testing.assert_allclose(loss.backward(), 2 * pred / 2)
+
+    def test_zero_at_match(self):
+        loss = MseLoss()
+        assert loss.forward(np.ones(3), np.ones(3)) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MseLoss().forward(np.ones(2), np.ones(3))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            MseLoss().backward()
+
+
+def quadratic_params():
+    """One parameter minimizing f(w) = ||w - target||^2 / 2."""
+    p = Parameter(np.asarray([5.0, -3.0]))
+    target = np.asarray([1.0, 2.0])
+    return p, target
+
+
+class TestSgd:
+    def test_descends_quadratic(self):
+        p, target = quadratic_params()
+        opt = Sgd([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            p.grad += p.data - target
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        p1, target = quadratic_params()
+        p2 = Parameter(p1.data.copy())
+        plain = Sgd([p1], lr=0.01)
+        momentum = Sgd([p2], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for p, opt in ((p1, plain), (p2, momentum)):
+                opt.zero_grad()
+                p.grad += p.data - target
+                opt.step()
+        assert np.linalg.norm(p2.data - target) < np.linalg.norm(p1.data - target)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            Sgd([Parameter(np.zeros(1))], momentum=1.0)
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        p, target = quadratic_params()
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            p.grad += p.data - target
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_first_step_magnitude_near_lr(self):
+        # Adam's bias-corrected first step is ~lr regardless of gradient
+        # scale.
+        p = Parameter(np.asarray([0.0]))
+        opt = Adam([p], lr=0.01)
+        p.grad += 1000.0
+        opt.step()
+        assert abs(p.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.asarray([10.0]))
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            opt.zero_grad()  # zero loss gradient: only decay acts
+            opt.step()
+        assert abs(p.data[0]) < 10.0
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.9))
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+
+class TestMultiStepLr:
+    def test_decay_at_milestones(self):
+        opt = Sgd([Parameter(np.zeros(1))], lr=1.0)
+        sched = MultiStepLr(opt, milestones=[2, 4], gamma=0.1)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_paper_msn30k_schedule(self):
+        # gamma 0.1 at epochs 50 and 80 (Table 9).
+        opt = Sgd([Parameter(np.zeros(1))], lr=0.001)
+        sched = MultiStepLr(opt, milestones=[50, 80], gamma=0.1)
+        for _ in range(100):
+            sched.step()
+        assert opt.lr == pytest.approx(0.001 * 0.01)
+
+    def test_invalid_gamma(self):
+        opt = Sgd([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            MultiStepLr(opt, [1], gamma=0.0)
+
+    def test_invalid_milestones(self):
+        opt = Sgd([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            MultiStepLr(opt, [0], gamma=0.5)

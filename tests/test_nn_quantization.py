@@ -1,0 +1,110 @@
+"""Tests for repro.nn.quantization (future-work extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import (
+    FeedForwardNetwork,
+    quantization_error,
+    quantize_network,
+    quantize_student,
+    quantize_tensor,
+)
+from repro.nn.quantization import quantized_speedup_estimate
+
+
+class TestQuantizeTensor:
+    def test_int8_range(self, rng):
+        q = quantize_tensor(rng.normal(size=(20, 20)))
+        assert q.values.dtype == np.int8
+        assert q.values.min() >= -127
+        assert q.values.max() <= 127
+
+    def test_roundtrip_error_small_at_8_bits(self, rng):
+        w = rng.normal(size=(50, 50))
+        assert quantization_error(w, bits=8) < 0.01
+
+    def test_error_grows_as_bits_shrink(self, rng):
+        w = rng.normal(size=(50, 50))
+        errors = [quantization_error(w, bits=b) for b in (8, 6, 4, 2)]
+        assert errors == sorted(errors)
+
+    def test_zeros_preserved(self, rng):
+        w = rng.normal(size=(10, 10))
+        w[w < 0.5] = 0.0
+        q = quantize_tensor(w)
+        assert q.sparsity() >= float(np.mean(w == 0.0)) - 1e-12
+        # Every exact zero stays exactly zero after dequantization.
+        np.testing.assert_array_equal(q.dequantize()[w == 0.0], 0.0)
+
+    def test_max_magnitude_preserved(self, rng):
+        w = rng.normal(size=(10, 10))
+        q = quantize_tensor(w)
+        assert np.abs(q.dequantize()).max() == pytest.approx(
+            np.abs(w).max(), rel=1e-6
+        )
+
+    def test_all_zero_tensor(self):
+        q = quantize_tensor(np.zeros((3, 3)))
+        np.testing.assert_array_equal(q.dequantize(), 0.0)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize_tensor(np.ones((2, 2)), bits=1)
+        with pytest.raises(ValueError):
+            quantize_tensor(np.ones((2, 2)), bits=9)
+
+    def test_nbytes(self, rng):
+        q = quantize_tensor(rng.normal(size=(8, 4)))
+        assert q.nbytes == 32
+
+    @given(
+        arrays(np.float64, (6, 6), elements=st.floats(-10, 10, allow_nan=False))
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_dequantized_within_half_step(self, w):
+        q = quantize_tensor(w)
+        step = q.scale
+        assert np.abs(q.dequantize() - w).max() <= step / 2 + 1e-12
+
+
+class TestQuantizeNetwork:
+    def test_predictions_close_at_8_bits(self, rng):
+        net = FeedForwardNetwork(10, (32, 16), seed=0)
+        q = quantize_network(net, bits=8)
+        x = rng.normal(size=(40, 10))
+        np.testing.assert_allclose(q.predict(x), net.predict(x), atol=0.05)
+
+    def test_original_untouched(self, rng):
+        net = FeedForwardNetwork(10, (8,), seed=0)
+        before = net.first_layer.weight.data.copy()
+        quantize_network(net, bits=4)
+        np.testing.assert_array_equal(net.first_layer.weight.data, before)
+
+    def test_masks_survive(self):
+        net = FeedForwardNetwork(10, (8,), seed=0)
+        mask = (np.abs(net.first_layer.weight.data) > 0.2).astype(float)
+        net.first_layer.set_mask(mask)
+        q = quantize_network(net)
+        assert q.first_layer.sparsity() >= net.first_layer.sparsity() - 1e-12
+
+    def test_quantize_student(self, small_student, tiny_splits):
+        _, _, test = tiny_splits
+        q = quantize_student(small_student, bits=8)
+        a = q.predict(test.features[:50])
+        b = small_student.predict(test.features[:50])
+        # Ranking scores barely move at 8 bits.
+        assert np.corrcoef(a, b)[0, 1] > 0.999
+        assert "int8" in q.teacher_description
+
+
+class TestSpeedupEstimate:
+    def test_int8_ceiling_is_4x(self):
+        assert quantized_speedup_estimate() == pytest.approx(4.0)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            quantized_speedup_estimate(fp_bits=32, int_bits=5)

@@ -1,0 +1,139 @@
+"""Tests for repro.nn.training (Trainer)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import FeedForwardNetwork, Trainer, TrainingConfig
+
+
+def regression_problem(rng, n=800):
+    x = rng.normal(size=(n, 6))
+    y = x[:, 0] - 2.0 * x[:, 1] + np.maximum(x[:, 2], 0)
+    return x, y
+
+
+class TestTrainingConfig:
+    def test_defaults_valid(self):
+        TrainingConfig()
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=0)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, rng):
+        x, y = regression_problem(rng)
+        net = FeedForwardNetwork(6, (32, 16), seed=0)
+        trainer = Trainer(net, TrainingConfig(epochs=15, learning_rate=0.005), seed=0)
+        history = trainer.fit(x, y)
+        assert history.train_loss[-1] < 0.3 * history.train_loss[0]
+
+    def test_deterministic_given_seed(self, rng):
+        x, y = regression_problem(rng, n=200)
+
+        def run():
+            net = FeedForwardNetwork(6, (8,), seed=4)
+            Trainer(net, TrainingConfig(epochs=3), seed=4).fit(x, y)
+            return net.predict(x[:5])
+
+        np.testing.assert_allclose(run(), run())
+
+    def test_requires_data_or_provider(self):
+        net = FeedForwardNetwork(4, (4,), seed=0)
+        trainer = Trainer(net, TrainingConfig(epochs=1), seed=0)
+        with pytest.raises(ValueError, match="batch_provider"):
+            trainer.fit()
+
+    def test_length_mismatch(self, rng):
+        net = FeedForwardNetwork(4, (4,), seed=0)
+        trainer = Trainer(net, TrainingConfig(epochs=1), seed=0)
+        with pytest.raises(ValueError, match="equal length"):
+            trainer.fit(rng.normal(size=(5, 4)), np.zeros(4))
+
+    def test_custom_provider(self, rng):
+        net = FeedForwardNetwork(3, (8,), seed=0)
+        target_w = np.asarray([1.0, -1.0, 0.5])
+
+        def provider(gen, batch_size):
+            xb = gen.normal(size=(batch_size, 3))
+            return xb, xb @ target_w
+
+        trainer = Trainer(net, TrainingConfig(epochs=10, learning_rate=0.01), seed=0)
+        history = trainer.fit(batch_provider=provider, steps_per_epoch=20)
+        assert history.train_loss[-1] < 0.1
+
+    def test_on_epoch_end_called(self, rng):
+        x, y = regression_problem(rng, n=100)
+        net = FeedForwardNetwork(6, (4,), seed=0)
+        calls = []
+        Trainer(net, TrainingConfig(epochs=3), seed=0).fit(
+            x, y, on_epoch_end=lambda e, l: calls.append(e)
+        )
+        assert calls == [0, 1, 2]
+
+    def test_valid_fn_recorded(self, rng):
+        x, y = regression_problem(rng, n=100)
+        net = FeedForwardNetwork(6, (4,), seed=0)
+        history = Trainer(net, TrainingConfig(epochs=4), seed=0).fit(
+            x, y, valid_fn=lambda: 0.5
+        )
+        assert history.valid_metric == [0.5] * 4
+
+    def test_lr_schedule_applied(self, rng):
+        x, y = regression_problem(rng, n=100)
+        net = FeedForwardNetwork(6, (4,), seed=0)
+        config = TrainingConfig(
+            epochs=4, learning_rate=0.01, lr_milestones=(2,), lr_gamma=0.1
+        )
+        trainer = Trainer(net, config, seed=0)
+        trainer.fit(x, y)
+        assert trainer.optimizer.lr == pytest.approx(0.001)
+
+    def test_gradient_clipping_bounds_update(self, rng):
+        # With a huge-loss batch, the clipped global gradient norm must
+        # not exceed the configured cap.
+        net = FeedForwardNetwork(4, (8,), seed=0)
+        config = TrainingConfig(epochs=1, batch_size=4, grad_clip_norm=1.0)
+        trainer = Trainer(net, config, seed=0)
+        x = rng.normal(size=(4, 4)) * 100.0
+        y = rng.normal(size=4) * 1000.0
+        trainer._train_step(x, y)
+        total = np.sqrt(
+            sum(float(np.sum(p.grad**2)) for p in net.parameters())
+        )
+        assert total <= 1.0 + 1e-9
+
+    def test_clipping_disabled_leaves_gradients(self, rng):
+        net = FeedForwardNetwork(4, (8,), seed=0)
+        config = TrainingConfig(epochs=1, batch_size=4, grad_clip_norm=None)
+        trainer = Trainer(net, config, seed=0)
+        x = rng.normal(size=(4, 4)) * 100.0
+        y = rng.normal(size=4) * 1000.0
+        trainer._train_step(x, y)
+        total = np.sqrt(
+            sum(float(np.sum(p.grad**2)) for p in net.parameters())
+        )
+        assert total > 10.0
+
+    def test_invalid_clip_norm(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(grad_clip_norm=0.0)
+
+    def test_masks_survive_training(self, rng):
+        x, y = regression_problem(rng, n=300)
+        net = FeedForwardNetwork(6, (16,), seed=0)
+        mask = (np.abs(net.first_layer.weight.data) > 0.2).astype(float)
+        net.first_layer.set_mask(mask)
+        Trainer(net, TrainingConfig(epochs=5), seed=0).fit(x, y)
+        np.testing.assert_array_equal(
+            net.first_layer.weight.data[mask == 0.0], 0.0
+        )

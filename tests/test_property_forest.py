@@ -1,0 +1,102 @@
+"""Property-based tests for the forest substrate (tiny data, fast)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.forest import FeatureBinner
+from repro.forest.builder import HistogramTreeBuilder, TreeGrowthConfig
+
+
+def build(x, targets, **kwargs):
+    binner = FeatureBinner(max_bins=32)
+    binned = binner.fit_transform(x)
+    builder = HistogramTreeBuilder(
+        binned, binner, TreeGrowthConfig(**kwargs) if kwargs else None
+    )
+    return builder.build(-np.asarray(targets, float), np.ones(len(targets)))
+
+
+class TestBuilderProperties:
+    @given(seed=st.integers(0, 5000), n=st.integers(30, 120))
+    @settings(max_examples=30, deadline=None)
+    def test_tree_structure_invariants(self, seed, n):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(size=(n, 3))
+        y = rng.normal(size=n)
+        tree = build(x, y, max_leaves=8, min_data_in_leaf=3)
+        # Structural sanity: binary tree with L leaves has L-1 internal
+        # nodes; every non-root node has exactly one parent.
+        assert tree.n_nodes == 2 * tree.n_leaves - 1
+        children = np.concatenate([tree.left, tree.right])
+        children = children[children >= 0]
+        assert len(children) == len(set(children.tolist()))
+        assert 0 not in children  # root has no parent
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=25, deadline=None)
+    def test_leaf_partition_covers_all_rows(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(size=(80, 2))
+        y = rng.normal(size=80)
+        tree = build(x, y, max_leaves=6, min_data_in_leaf=3)
+        leaves = tree.predict_leaf(x)
+        assert (leaves >= 0).all()
+        assert leaves.max() < tree.n_leaves
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=25, deadline=None)
+    def test_prediction_constant_within_leaf(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(size=(80, 2))
+        y = rng.normal(size=80)
+        tree = build(x, y, max_leaves=6, min_data_in_leaf=3)
+        leaves = tree.predict_leaf(x)
+        preds = tree.predict(x)
+        for leaf in np.unique(leaves):
+            member_preds = preds[leaves == leaf]
+            assert np.allclose(member_preds, member_preds[0])
+
+    @given(seed=st.integers(0, 5000), shift=st.floats(-5, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_target_shift_shifts_leaf_values(self, seed, shift):
+        # L2 leaf values are (regularized) means, so shifting targets
+        # shifts predictions by ~the same amount when structure agrees.
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(size=(100, 2))
+        y = np.where(x[:, 0] > 0.5, 1.0, -1.0)
+        t_base = build(x, y, max_leaves=2, min_data_in_leaf=5, lambda_l2=0.0)
+        t_shift = build(
+            x, y + shift, max_leaves=2, min_data_in_leaf=5, lambda_l2=0.0
+        )
+        np.testing.assert_allclose(
+            t_shift.predict(x), t_base.predict(x) + shift, atol=1e-9
+        )
+
+
+class TestBinnerProperties:
+    @given(
+        seed=st.integers(0, 5000),
+        max_bins=st.integers(2, 64),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_transform_within_bounds(self, seed, max_bins):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(60, 2))
+        binner = FeatureBinner(max_bins=max_bins).fit(x)
+        binned = binner.transform(x)
+        for f in range(2):
+            assert binned[:, f].max() < binner.n_bins(f)
+            assert binner.n_bins(f) <= max_bins
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=25, deadline=None)
+    def test_unseen_values_clamped_to_valid_bins(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(60, 1))
+        binner = FeatureBinner(max_bins=16).fit(x)
+        extreme = np.asarray([[x.min() - 100.0], [x.max() + 100.0]])
+        binned = binner.transform(extreme)
+        assert binned[0, 0] == 0
+        assert binned[1, 0] == binner.n_bins(0) - 1

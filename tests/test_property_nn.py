@@ -1,0 +1,96 @@
+"""Property-based tests for the neural-network stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import FeedForwardNetwork, MseLoss
+
+
+def finite_difference_grad(net, loss, x, y, param, i, j, eps=1e-6):
+    param.data.flat[i * param.data.shape[1] + j] += eps
+    up = loss.forward(net.forward(x), y)
+    param.data.flat[i * param.data.shape[1] + j] -= 2 * eps
+    down = loss.forward(net.forward(x), y)
+    param.data.flat[i * param.data.shape[1] + j] += eps
+    return (up - down) / (2 * eps)
+
+
+class TestGradientProperty:
+    @given(
+        seed=st.integers(0, 10_000),
+        input_dim=st.integers(2, 8),
+        width=st.integers(2, 10),
+        depth=st.integers(1, 3),
+        batch=st.integers(1, 12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_backprop_matches_finite_differences(
+        self, seed, input_dim, width, depth, batch
+    ):
+        rng = np.random.default_rng(seed)
+        net = FeedForwardNetwork(input_dim, (width,) * depth, seed=seed)
+        x = rng.normal(size=(batch, input_dim))
+        y = rng.normal(size=batch)
+        loss = MseLoss()
+        net.zero_grad()
+        loss.forward(net.forward(x, training=True), y)
+        net.backward(loss.backward())
+        # Check a random weight of a random layer.
+        layer = net.linears[int(rng.integers(0, len(net.linears)))]
+        i = int(rng.integers(0, layer.weight.shape[0]))
+        j = int(rng.integers(0, layer.weight.shape[1]))
+        numeric = finite_difference_grad(net, loss, x, y, layer.weight, i, j)
+        analytic = layer.weight.grad[i, j]
+        assert analytic == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_forward_deterministic_at_inference(self, seed):
+        rng = np.random.default_rng(seed)
+        net = FeedForwardNetwork(5, (8, 4), dropout=0.5, seed=seed)
+        x = rng.normal(size=(6, 5))
+        np.testing.assert_array_equal(net.predict(x), net.predict(x))
+
+    @given(
+        seed=st.integers(0, 10_000),
+        scale=st.floats(0.1, 100.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_relu6_bounds_hidden_outputs(self, seed, scale):
+        # Whatever the input magnitude, post-activation values are in
+        # [0, 6], so scores stay bounded by the head's weights.
+        rng = np.random.default_rng(seed)
+        net = FeedForwardNetwork(4, (6,), seed=seed)
+        x = rng.normal(size=(10, 4)) * scale
+        head = net.linears[-1]
+        bound = 6.0 * np.abs(head.weight.data).sum() + abs(head.bias.data[0])
+        scores = net.predict(x)
+        assert np.abs(scores).max() <= bound + 1e-9
+
+
+class TestMaskProperty:
+    @given(seed=st.integers(0, 10_000), sparsity=st.floats(0.1, 0.95))
+    @settings(max_examples=25, deadline=None)
+    def test_masked_weights_stay_zero_under_training_step(
+        self, seed, sparsity
+    ):
+        from repro.nn import Adam
+        from repro.pruning import LevelPruner
+
+        rng = np.random.default_rng(seed)
+        net = FeedForwardNetwork(6, (10,), seed=seed)
+        LevelPruner(float(sparsity)).apply(net.first_layer)
+        dead = net.first_layer.mask == 0.0
+        opt = Adam(net.parameters(), lr=0.01)
+        loss = MseLoss()
+        for _ in range(3):
+            x = rng.normal(size=(8, 6))
+            y = rng.normal(size=8)
+            net.zero_grad()
+            loss.forward(net.forward(x, training=True), y)
+            net.backward(loss.backward())
+            opt.step()
+            net.apply_masks()
+        np.testing.assert_array_equal(net.first_layer.weight.data[dead], 0.0)

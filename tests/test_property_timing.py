@@ -1,0 +1,89 @@
+"""Property-based tests for the timing predictors (pure analytics, fast)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quickscorer import QuickScorerCostModel
+from repro.timing import NetworkTimePredictor
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return NetworkTimePredictor()
+
+
+ARCH = st.lists(st.integers(10, 800), min_size=1, max_size=4).map(
+    lambda widths: tuple(sorted(widths, reverse=True))
+)
+
+
+class TestDensePredictorProperties:
+    @given(hidden=ARCH)
+    @settings(max_examples=40, deadline=None)
+    def test_times_positive_and_finite(self, predictor, hidden):
+        report = predictor.predict(136, hidden)
+        assert 0.0 < report.dense_total_us_per_doc < 1000.0
+        # A single-hidden-layer net puts 100% of the cost in layer 1.
+        assert 0.0 < report.first_layer_impact_pct <= 100.0
+
+    @given(hidden=ARCH, extra=st.integers(10, 400))
+    @settings(max_examples=40, deadline=None)
+    def test_wider_first_layer_costs_more(self, predictor, hidden, extra):
+        base = predictor.predict(136, hidden).dense_total_us_per_doc
+        wider = ((hidden[0] + extra),) + hidden[1:]
+        more = predictor.predict(136, wider).dense_total_us_per_doc
+        assert more > base
+
+    @given(hidden=ARCH)
+    @settings(max_examples=40, deadline=None)
+    def test_forecast_below_dense(self, predictor, hidden):
+        report = predictor.predict(136, hidden)
+        assert (
+            0.0
+            <= report.pruned_forecast_us_per_doc
+            < report.dense_total_us_per_doc
+        )
+
+    @given(hidden=ARCH, sparsity=st.floats(0.9, 0.995))
+    @settings(max_examples=40, deadline=None)
+    def test_hybrid_sandwiched(self, predictor, hidden, sparsity):
+        report = predictor.predict(
+            136, hidden, first_layer_sparsity=sparsity
+        )
+        assert (
+            report.pruned_forecast_us_per_doc
+            <= report.hybrid_total_us_per_doc
+            <= report.dense_total_us_per_doc + 1e-9
+        )
+
+    @given(
+        hidden=ARCH,
+        features=st.sampled_from([64, 136, 220, 500]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_more_features_cost_more(self, predictor, hidden, features):
+        small = predictor.predict(32, hidden).dense_total_us_per_doc
+        large = predictor.predict(features, hidden).dense_total_us_per_doc
+        assert large >= small
+
+
+class TestQuickScorerCostProperties:
+    @given(
+        n_trees=st.integers(1, 5000),
+        n_leaves=st.sampled_from([8, 16, 32, 64, 128, 256]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_time_positive_and_monotone(self, n_trees, n_leaves):
+        model = QuickScorerCostModel()
+        t = model.scoring_time_us(n_trees, n_leaves)
+        assert t > 0
+        assert model.scoring_time_us(n_trees + 1, n_leaves) > t
+
+    @given(n_trees=st.integers(1, 2000), frac=st.floats(0.05, 0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_false_fraction_monotone(self, n_trees, frac):
+        model = QuickScorerCostModel()
+        low = model.scoring_time_us(n_trees, 64, false_fraction=frac * 0.5)
+        high = model.scoring_time_us(n_trees, 64, false_fraction=frac)
+        assert high >= low

@@ -1,0 +1,282 @@
+"""Tests for repro.pruning (masks, pruners, sensitivity, pipeline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import PruningError
+from repro.nn import FeedForwardNetwork, Linear
+from repro.pruning import (
+    FirstLayerPruner,
+    FirstLayerPruningConfig,
+    LevelPruner,
+    ThresholdPruner,
+    dynamic_sensitivity,
+    level_mask,
+    mask_sparsity,
+    static_sensitivity,
+    threshold_from_sigma,
+    threshold_mask,
+)
+from repro.metrics import mean_ndcg
+
+
+class TestMasks:
+    def test_level_mask_exact_sparsity(self, rng):
+        w = rng.normal(size=(20, 10))
+        mask = level_mask(w, 0.7)
+        assert mask_sparsity(mask) == pytest.approx(0.7)
+
+    def test_level_mask_keeps_largest(self, rng):
+        w = rng.normal(size=(10, 10))
+        mask = level_mask(w, 0.5)
+        kept = np.abs(w[mask == 1.0])
+        pruned = np.abs(w[mask == 0.0])
+        assert kept.min() >= pruned.max()
+
+    def test_level_mask_zero_sparsity(self, rng):
+        mask = level_mask(rng.normal(size=(4, 4)), 0.0)
+        np.testing.assert_array_equal(mask, 1.0)
+
+    def test_level_mask_invalid(self):
+        with pytest.raises(PruningError):
+            level_mask(np.ones((2, 2)), 1.5)
+
+    def test_threshold_from_sigma_gaussian(self, rng):
+        w = rng.normal(0, 2.0, size=10000)
+        t = threshold_from_sigma(w, 1.0)
+        assert t == pytest.approx(2.0, rel=0.05)
+
+    def test_threshold_from_sigma_ignores_zeros(self, rng):
+        w = rng.normal(0, 1.0, size=1000)
+        w_with_zeros = np.concatenate([w, np.zeros(5000)])
+        t = threshold_from_sigma(w_with_zeros, 1.0)
+        assert t == pytest.approx(threshold_from_sigma(w, 1.0), rel=1e-9)
+
+    def test_threshold_mask_cut(self):
+        w = np.asarray([[0.1, -0.5], [0.9, 0.0]])
+        mask = threshold_mask(w, 0.4)
+        np.testing.assert_array_equal(mask, [[0.0, 1.0], [1.0, 0.0]])
+
+    @given(
+        arrays(np.float64, (8, 8), elements=st.floats(-5, 5, allow_nan=False)),
+        st.floats(0.0, 0.99),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_level_mask_sparsity_property(self, w, sparsity):
+        mask = level_mask(w, sparsity)
+        target = round(sparsity * w.size) / w.size
+        assert mask_sparsity(mask) == pytest.approx(target, abs=1e-9)
+
+
+class TestLevelPruner:
+    def test_prunes_to_target(self, rng):
+        layer = Linear(16, 16, seed=0)
+        LevelPruner(0.8).apply(layer)
+        assert layer.sparsity() == pytest.approx(0.8, abs=0.01)
+
+    def test_gradual_schedule(self, rng):
+        layer = Linear(16, 16, seed=0)
+        pruner = LevelPruner(0.9)
+        s1 = pruner.apply(layer, fraction_of_target=0.5)
+        s2 = pruner.apply(layer, fraction_of_target=1.0)
+        assert s1 == pytest.approx(0.45, abs=0.01)
+        assert s2 == pytest.approx(0.9, abs=0.01)
+
+    def test_cumulative_never_revives(self, rng):
+        layer = Linear(10, 10, seed=0)
+        pruner = LevelPruner(0.5)
+        pruner.apply(layer)
+        dead = layer.mask == 0.0
+        layer.weight.data[:] = 1.0  # would all survive a fresh cut
+        pruner.apply(layer)
+        assert (layer.mask[dead] == 0.0).all()
+
+    def test_invalid_target(self):
+        with pytest.raises(PruningError):
+            LevelPruner(1.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(PruningError):
+            LevelPruner(0.5).apply(Linear(4, 4, seed=0), fraction_of_target=0.0)
+
+
+class TestThresholdPruner:
+    def test_threshold_fixed_after_first_apply(self, rng):
+        layer = Linear(32, 32, seed=0)
+        pruner = ThresholdPruner(1.0)
+        pruner.apply(layer)
+        first_threshold = pruner.threshold_
+        layer.weight.data *= 0.5  # fine-tuning shrinks weights
+        layer.apply_mask()
+        pruner.apply(layer)
+        assert pruner.threshold_ == first_threshold
+
+    def test_sparsity_ratchets_up(self, rng):
+        layer = Linear(32, 32, seed=0)
+        pruner = ThresholdPruner(1.0)
+        s1 = pruner.apply(layer)
+        layer.weight.data *= 0.5
+        layer.apply_mask()
+        s2 = pruner.apply(layer)
+        assert s2 >= s1
+
+    def test_sigma_one_prunes_about_68pct(self, rng):
+        layer = Linear(64, 64, seed=0)
+        pruner = ThresholdPruner(1.0)
+        s = pruner.apply(layer)
+        # Uniform init is not Gaussian; the pruned mass for |w| < sigma
+        # of a uniform distribution is sigma/sqrt(3)/bound ~ 58%.
+        assert 0.4 < s < 0.8
+
+    def test_expected_one_step_sparsity_gaussian(self):
+        pruner = ThresholdPruner(1.0)
+        assert pruner.expected_one_step_sparsity(
+            Linear(4, 4, seed=0)
+        ) == pytest.approx(0.6827, abs=1e-3)
+
+    def test_invalid_sensitivity(self):
+        with pytest.raises(PruningError):
+            ThresholdPruner(0.0)
+
+
+class TestSensitivity:
+    def _eval_fn(self, test_split):
+        def eval_fn(student):
+            return mean_ndcg(test_split, student.predict(test_split.features), 10)
+
+        return eval_fn
+
+    def test_static_structure(self, small_student, tiny_splits):
+        _, _, test = tiny_splits
+        result = static_sensitivity(
+            small_student,
+            self._eval_fn(test),
+            sparsities=(0.0, 0.5, 0.95),
+        )
+        assert set(result.curves) == {0, 1}  # head never pruned
+        assert all(len(c) == 3 for c in result.curves.values())
+        assert np.isfinite(result.baseline)
+
+    def test_static_zero_sparsity_is_baseline(self, small_student, tiny_splits):
+        _, _, test = tiny_splits
+        result = static_sensitivity(
+            small_student, self._eval_fn(test), sparsities=(0.0,)
+        )
+        for curve in result.curves.values():
+            assert curve[0] == pytest.approx(result.baseline)
+
+    def test_static_extreme_sparsity_hurts(self, small_student, tiny_splits):
+        _, _, test = tiny_splits
+        result = static_sensitivity(
+            small_student, self._eval_fn(test), sparsities=(0.0, 0.999), layers=[0]
+        )
+        assert result.curves[0][1] <= result.curves[0][0] + 0.02
+
+    def test_original_student_untouched(self, small_student, tiny_splits):
+        _, _, test = tiny_splits
+        before = small_student.predict(test.features[:5])
+        static_sensitivity(
+            small_student, self._eval_fn(test), sparsities=(0.9,), layers=[0]
+        )
+        np.testing.assert_array_equal(
+            small_student.predict(test.features[:5]), before
+        )
+
+    def test_dynamic_calls_finetune(self, small_student, tiny_splits):
+        _, _, test = tiny_splits
+        calls = []
+
+        def finetune(student):
+            calls.append(student)
+
+        result = dynamic_sensitivity(
+            small_student,
+            self._eval_fn(test),
+            finetune,
+            sparsities=(0.0, 0.8),
+            layers=[0],
+        )
+        assert len(calls) == 1  # only the non-zero sparsity point
+        assert 0 in result.curves
+
+    def test_result_helpers(self):
+        from repro.pruning import SensitivityResult
+
+        result = SensitivityResult(sparsities=(0.0, 0.9))
+        result.curves = {0: [0.7, 0.3], 1: [0.7, 0.6]}
+        assert result.most_sensitive_layer() == 0
+        assert result.most_robust_layer() == 1
+        assert result.layer_curve(1) == [(0.0, 0.7), (0.9, 0.6)]
+
+
+class TestFirstLayerPipeline:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FirstLayerPruningConfig(sensitivity=0.0)
+        with pytest.raises(ValueError):
+            FirstLayerPruningConfig(epochs_prune=0)
+
+    def test_prune_reaches_high_sparsity(
+        self, small_student, small_forest, tiny_splits
+    ):
+        config = FirstLayerPruningConfig(
+            sensitivity=2.0,
+            epochs_prune=4,
+            epochs_finetune=2,
+            steps_per_epoch=10,
+            lr_milestones=(),
+        )
+        pruner = FirstLayerPruner(config, seed=0)
+        pruned = pruner.prune(small_student, small_forest, tiny_splits[0])
+        assert pruned.first_layer_sparsity() > 0.9
+        assert pruner.final_sparsity == pytest.approx(
+            pruned.first_layer_sparsity()
+        )
+
+    def test_only_first_layer_sparsified(
+        self, small_student, small_forest, tiny_splits
+    ):
+        config = FirstLayerPruningConfig(
+            sensitivity=2.0, epochs_prune=2, epochs_finetune=1,
+            steps_per_epoch=5, lr_milestones=(),
+        )
+        pruned = FirstLayerPruner(config, seed=0).prune(
+            small_student, small_forest, tiny_splits[0]
+        )
+        sparsities = pruned.layer_sparsities()
+        assert sparsities[0] > 0.5
+        assert all(s < 0.1 for s in sparsities[1:])
+
+    def test_input_student_untouched(
+        self, small_student, small_forest, tiny_splits
+    ):
+        config = FirstLayerPruningConfig(
+            sensitivity=2.0, epochs_prune=2, epochs_finetune=0,
+            steps_per_epoch=5, lr_milestones=(),
+        )
+        before = small_student.first_layer_sparsity()
+        FirstLayerPruner(config, seed=0).prune(
+            small_student, small_forest, tiny_splits[0]
+        )
+        assert small_student.first_layer_sparsity() == before
+
+    def test_trace_recorded(self, small_student, small_forest, tiny_splits):
+        config = FirstLayerPruningConfig(
+            sensitivity=2.0, epochs_prune=3, epochs_finetune=2,
+            steps_per_epoch=5, lr_milestones=(),
+        )
+        pruner = FirstLayerPruner(config, seed=0)
+        pruner.prune(small_student, small_forest, tiny_splits[0])
+        trace = pruner.trace_
+        assert len(trace.sparsity) == 5
+        # Cumulative masks: sparsity never decreases.
+        assert all(
+            b >= a - 1e-12 for a, b in zip(trace.sparsity, trace.sparsity[1:])
+        )
+
+    def test_final_sparsity_before_run_raises(self):
+        with pytest.raises(RuntimeError):
+            FirstLayerPruner().final_sparsity

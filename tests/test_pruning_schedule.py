@@ -1,0 +1,117 @@
+"""Tests for repro.pruning.schedule and the gradual pipeline modes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PruningError
+from repro.pruning import (
+    FirstLayerPruner,
+    FirstLayerPruningConfig,
+    LinearSchedule,
+    PolynomialSchedule,
+)
+
+
+class TestLinearSchedule:
+    def test_endpoints(self):
+        sched = LinearSchedule(final_sparsity=0.9, n_epochs=10)
+        assert sched.sparsity_at(9) == pytest.approx(0.9)
+        assert sched.sparsity_at(100) == pytest.approx(0.9)
+
+    def test_midpoint(self):
+        sched = LinearSchedule(final_sparsity=0.8, n_epochs=8)
+        assert sched.sparsity_at(3) == pytest.approx(0.4)
+
+    def test_initial_offset(self):
+        sched = LinearSchedule(
+            final_sparsity=0.9, n_epochs=10, initial_sparsity=0.5
+        )
+        assert sched.sparsity_at(0) == pytest.approx(0.54)
+
+    def test_monotone(self):
+        sched = LinearSchedule(final_sparsity=0.95, n_epochs=20)
+        values = [sched.sparsity_at(e) for e in range(25)]
+        assert values == sorted(values)
+
+    def test_invalid(self):
+        with pytest.raises(PruningError):
+            LinearSchedule(final_sparsity=1.0, n_epochs=5)
+        with pytest.raises(PruningError):
+            LinearSchedule(final_sparsity=0.5, n_epochs=0)
+        with pytest.raises(PruningError):
+            LinearSchedule(final_sparsity=0.3, n_epochs=5, initial_sparsity=0.5)
+        with pytest.raises(PruningError):
+            LinearSchedule(final_sparsity=0.5, n_epochs=5).sparsity_at(-1)
+
+
+class TestPolynomialSchedule:
+    def test_endpoints(self):
+        sched = PolynomialSchedule(final_sparsity=0.987, n_epochs=12)
+        assert sched.sparsity_at(11) == pytest.approx(0.987)
+
+    def test_front_loaded(self):
+        # AGP prunes faster than linear early on.
+        agp = PolynomialSchedule(final_sparsity=0.9, n_epochs=10)
+        linear = LinearSchedule(final_sparsity=0.9, n_epochs=10)
+        assert agp.sparsity_at(1) > linear.sparsity_at(1)
+
+    @given(
+        final=st.floats(0.1, 0.99),
+        n_epochs=st.integers(2, 40),
+        power=st.floats(1.0, 5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_and_bounded(self, final, n_epochs, power):
+        sched = PolynomialSchedule(
+            final_sparsity=final, n_epochs=n_epochs, power=power
+        )
+        values = [sched.sparsity_at(e) for e in range(n_epochs + 3)]
+        assert values == sorted(values)
+        assert all(0.0 <= v <= final + 1e-12 for v in values)
+
+    def test_invalid_power(self):
+        with pytest.raises(PruningError):
+            PolynomialSchedule(final_sparsity=0.5, n_epochs=5, power=0.0)
+
+
+class TestGradualPipelineModes:
+    @pytest.mark.parametrize("method", ["agp", "linear"])
+    def test_gradual_reaches_target(
+        self, method, small_student, small_forest, tiny_splits
+    ):
+        config = FirstLayerPruningConfig(
+            method=method,
+            target_sparsity=0.9,
+            epochs_prune=5,
+            epochs_finetune=1,
+            steps_per_epoch=5,
+            lr_milestones=(),
+        )
+        pruner = FirstLayerPruner(config, seed=0)
+        pruned = pruner.prune(small_student, small_forest, tiny_splits[0])
+        assert pruned.first_layer_sparsity() == pytest.approx(0.9, abs=0.02)
+
+    def test_gradual_trace_monotone(
+        self, small_student, small_forest, tiny_splits
+    ):
+        config = FirstLayerPruningConfig(
+            method="agp",
+            target_sparsity=0.85,
+            epochs_prune=4,
+            epochs_finetune=1,
+            steps_per_epoch=5,
+            lr_milestones=(),
+        )
+        pruner = FirstLayerPruner(config, seed=0)
+        pruner.prune(small_student, small_forest, tiny_splits[0])
+        sparsity = pruner.trace_.sparsity
+        assert all(b >= a - 1e-12 for a, b in zip(sparsity, sparsity[1:]))
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError, match="method"):
+            FirstLayerPruningConfig(method="magic")
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError, match="target_sparsity"):
+            FirstLayerPruningConfig(method="agp", target_sparsity=1.0)

@@ -1,0 +1,58 @@
+"""The documented public API is importable and consistent."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.analysis",
+    "repro.core",
+    "repro.datasets",
+    "repro.design",
+    "repro.distill",
+    "repro.forest",
+    "repro.hardware",
+    "repro.matmul",
+    "repro.metrics",
+    "repro.nn",
+    "repro.pruning",
+    "repro.quickscorer",
+    "repro.timing",
+    "repro.utils",
+]
+
+
+class TestPublicApi:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name}"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.__all__ lists {name}"
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_public_items_documented(self):
+        # Every public class/function re-exported at the top level carries
+        # a docstring.
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+    def test_exceptions_hierarchy(self):
+        from repro import exceptions
+
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not exceptions.ReproError:
+                    assert issubclass(obj, exceptions.ReproError) or obj in (
+                        Exception,
+                    ), name

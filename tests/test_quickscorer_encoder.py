@@ -1,0 +1,108 @@
+"""Tests for repro.quickscorer.encoder."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QuickScorerError
+from repro.forest import TreeEnsemble
+from repro.forest.tree import RegressionTree
+from repro.quickscorer import encode_forest
+from repro.quickscorer.encoder import _ones_mask, _range_mask
+
+
+class TestBitvectorHelpers:
+    def test_ones_mask_partial_word(self):
+        words = _ones_mask(5, 1)
+        assert words[0] == np.uint64(0b11111)
+
+    def test_ones_mask_exact_word(self):
+        words = _ones_mask(64, 1)
+        assert words[0] == np.uint64(0xFFFFFFFFFFFFFFFF)
+
+    def test_ones_mask_multi_word(self):
+        words = _ones_mask(70, 2)
+        assert words[0] == np.uint64(0xFFFFFFFFFFFFFFFF)
+        assert words[1] == np.uint64(0b111111)
+
+    def test_range_mask_clears_bits(self):
+        words = _range_mask(1, 3, 1)
+        assert words[0] & np.uint64(0b0110) == 0
+        assert words[0] & np.uint64(0b0001) != 0
+        assert words[0] & np.uint64(0b1000) != 0
+
+    def test_range_mask_across_words(self):
+        words = _range_mask(62, 66, 2)
+        assert words[0] >> np.uint64(62) == 0
+        assert words[1] & np.uint64(0b11) == 0
+        assert words[1] & np.uint64(0b100) != 0
+
+
+class TestEncodeForest:
+    def test_word_count_for_small_trees(self, small_forest):
+        enc = encode_forest(small_forest)
+        assert enc.n_words == 1  # <= 64 leaves
+
+    def test_word_count_above_64_leaves(self):
+        # A degenerate deep tree with 65 leaves needs two words.
+        n_internal = 64
+        n_nodes = 2 * n_internal + 1
+        feature = np.full(n_nodes, -1)
+        threshold = np.full(n_nodes, np.nan)
+        left = np.full(n_nodes, -1)
+        right = np.full(n_nodes, -1)
+        value = np.zeros(n_nodes)
+        # Right-spine: node i tests feature 0 and its left child is a leaf.
+        for i in range(n_internal):
+            feature[i] = 0
+            threshold[i] = float(i)
+            left[i] = n_internal + 1 + i  # leaf
+            right[i] = i + 1 if i + 1 < n_internal else n_nodes - 1
+        tree = RegressionTree(
+            feature=feature, threshold=threshold, left=left, right=right,
+            value=value,
+        )
+        assert tree.n_leaves == 65
+        ensemble = TreeEnsemble(
+            trees=[tree], weights=np.ones(1), base_score=0.0, n_features=1
+        )
+        assert encode_forest(ensemble).n_words == 2
+
+    def test_leaf_values_weighted(self, small_forest):
+        enc = encode_forest(small_forest)
+        tree0 = small_forest.trees[0]
+        expected = small_forest.weights[0] * tree0.value[tree0.leaf_indices()]
+        np.testing.assert_allclose(
+            enc.leaf_values[0, : tree0.n_leaves], expected
+        )
+
+    def test_thresholds_sorted_per_feature(self, small_forest):
+        enc = encode_forest(small_forest)
+        for flist in enc.feature_lists:
+            assert (np.diff(flist.thresholds) >= 0).all()
+
+    def test_total_internal_nodes(self, small_forest):
+        enc = encode_forest(small_forest)
+        expected = sum(len(t.internal_nodes()) for t in small_forest.trees)
+        assert enc.total_internal_nodes == expected
+
+    def test_all_false_nodes_isolate_rightmost_leaf(self, small_forest):
+        # ANDing every mask of a tree leaves exactly the right-spine leaf.
+        enc = encode_forest(small_forest)
+        acc = enc.init_leafidx.copy()
+        for flist in enc.feature_lists:
+            for node, tree_id in enumerate(flist.tree_ids):
+                acc[tree_id] &= flist.masks[node]
+        for t in range(enc.n_trees):
+            survivors = int(sum(bin(int(w)).count("1") for w in acc[t]))
+            assert survivors >= 1
+
+    def test_structure_bytes_positive(self, small_forest):
+        enc = encode_forest(small_forest)
+        assert enc.structure_bytes() > 0
+
+    def test_empty_ensemble_rejected(self):
+        empty = TreeEnsemble(
+            trees=[], weights=np.empty(0), base_score=0.0, n_features=3
+        )
+        with pytest.raises(QuickScorerError):
+            encode_forest(empty)

@@ -1,0 +1,69 @@
+"""Tests for repro.quickscorer.gpu (GPU cost model extension)."""
+
+import pytest
+
+from repro.quickscorer.gpu import GpuQuickScorerCostModel, GpuSpec
+
+
+class TestGpuSpec:
+    def test_transfer_scales_with_volume(self):
+        gpu = GpuSpec()
+        assert gpu.transfer_us(2000, 136) == pytest.approx(
+            2 * gpu.transfer_us(1000, 136)
+        )
+
+
+class TestGpuQuickScorer:
+    def test_speedup_saturates_near_published_100x(self):
+        model = GpuQuickScorerCostModel()
+        assert model.speedup(20_000) == pytest.approx(100.0, rel=0.15)
+
+    def test_speedup_monotone_in_trees(self):
+        model = GpuQuickScorerCostModel()
+        values = [model.speedup(n) for n in (100, 500, 2000, 10_000, 20_000)]
+        assert values == sorted(values)
+
+    def test_speedup_monotone_in_batch(self):
+        model = GpuQuickScorerCostModel()
+        values = [
+            model.speedup(5000, batch_docs=b) for b in (128, 1000, 10_000, 100_000)
+        ]
+        assert values == sorted(values)
+
+    def test_lettich_100x_claim_at_20k_trees(self):
+        # "up to 100x faster ... very large forests (20,000 trees)".
+        model = GpuQuickScorerCostModel()
+        cpu = model.cpu_model.scoring_time_us(20_000, 64)
+        gpu = model.scoring_time_us(20_000, 64, batch_docs=100_000)
+        assert cpu / gpu == pytest.approx(100.0, rel=0.20)
+
+    def test_cpu_wins_small_forests_small_batches(self):
+        # The regime the paper evaluates (hundreds of trees, latency-bound
+        # batches): the CPU remains the right engine.
+        model = GpuQuickScorerCostModel()
+        cpu = model.cpu_model.scoring_time_us(300, 64)
+        gpu = model.scoring_time_us(300, 64, batch_docs=128)
+        assert gpu > cpu
+
+    def test_crossover_above_paper_forest_sizes(self):
+        # In the latency-bound regime (small batches) the paper's
+        # deployment forests (<= 878 trees) stay CPU-side.
+        model = GpuQuickScorerCostModel()
+        assert model.crossover_trees(batch_docs=128) > 878
+
+    def test_batch_amortization(self):
+        model = GpuQuickScorerCostModel()
+        small = model.scoring_time_us(5000, 64, batch_docs=100)
+        large = model.scoring_time_us(5000, 64, batch_docs=100_000)
+        assert large < small
+
+    def test_invalid_arguments(self):
+        model = GpuQuickScorerCostModel()
+        with pytest.raises(ValueError):
+            model.speedup(0)
+        with pytest.raises(ValueError):
+            model.scoring_time_us(100, 64, batch_docs=0)
+        with pytest.raises(ValueError):
+            GpuQuickScorerCostModel(max_speedup=1.0)
+        with pytest.raises(ValueError):
+            GpuQuickScorerCostModel(half_utilization_trees=0)

@@ -1,0 +1,65 @@
+"""Tests for repro.quickscorer.rapidscorer."""
+
+import pytest
+
+from repro.quickscorer import QuickScorerCostModel, RapidScorerCostModel
+
+
+class TestRapidScorerCostModel:
+    def test_beats_quickscorer_above_64_leaves(self):
+        # The related-work claim: RapidScorer wins when |leaves| > 64.
+        rapid = RapidScorerCostModel()
+        qs = rapid.base
+        for leaves in (128, 256, 512):
+            assert rapid.scoring_time_us(500, leaves) < qs.scoring_time_us(
+                500, leaves
+            )
+
+    def test_comparable_below_64_leaves(self):
+        rapid = RapidScorerCostModel()
+        qs = rapid.base
+        for leaves in (16, 32, 64):
+            ratio = rapid.scoring_time_us(500, leaves) / qs.scoring_time_us(
+                500, leaves
+            )
+            assert 0.5 < ratio < 1.5
+
+    def test_crossover_at_or_below_64(self):
+        # With merging, RapidScorer crosses over at modest leaf counts.
+        assert RapidScorerCostModel().crossover_leaves() <= 128
+
+    def test_leaf_insensitive_update_cost(self):
+        # Per-tree cost grows linearly in leaves but WITHOUT the extra
+        # per-word factor: the 256-vs-64 per-tree ratio stays below
+        # QuickScorer's.
+        rapid = RapidScorerCostModel()
+        qs = rapid.base
+        rapid_ratio = rapid.per_tree_ns(256) / rapid.per_tree_ns(64)
+        qs_ratio = qs.per_tree_ns(256) / qs.per_tree_ns(64)
+        assert rapid_ratio < qs_ratio
+
+    def test_merging_reduces_cost(self):
+        merged = RapidScorerCostModel(merge_fraction=0.4)
+        unmerged = RapidScorerCostModel(merge_fraction=0.0)
+        assert merged.scoring_time_us(300, 64) < unmerged.scoring_time_us(
+            300, 64
+        )
+
+    def test_false_fraction_override(self):
+        rapid = RapidScorerCostModel()
+        assert rapid.scoring_time_us(
+            100, 64, false_fraction=0.1
+        ) < rapid.scoring_time_us(100, 64, false_fraction=0.5)
+
+    def test_stump_cost(self):
+        assert RapidScorerCostModel().per_tree_ns(1) == pytest.approx(
+            QuickScorerCostModel().tree_ns
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RapidScorerCostModel(epitome_update_ns=0.0)
+        with pytest.raises(ValueError):
+            RapidScorerCostModel(merge_fraction=1.0)
+        with pytest.raises(ValueError):
+            RapidScorerCostModel().scoring_time_us(0, 64)

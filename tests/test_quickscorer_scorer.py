@@ -1,0 +1,119 @@
+"""Tests for repro.quickscorer.scorer — traversal correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import make_msn30k_like
+from repro.forest import FeatureBinner, GradientBoostingConfig, LambdaMartRanker
+from repro.quickscorer import QuickScorer
+from repro.quickscorer.scorer import _lowest_set_bit_position
+
+
+class TestLowestSetBit:
+    def test_single_word(self):
+        words = np.asarray([[0b1000]], dtype=np.uint64)
+        assert _lowest_set_bit_position(words).tolist() == [3]
+
+    def test_second_word(self):
+        words = np.asarray([[0, 0b10]], dtype=np.uint64)
+        assert _lowest_set_bit_position(words).tolist() == [65]
+
+    def test_high_bit(self):
+        words = np.asarray([[1 << 63]], dtype=np.uint64)
+        assert _lowest_set_bit_position(words).tolist() == [63]
+
+    def test_empty_raises(self):
+        words = np.asarray([[0]], dtype=np.uint64)
+        with pytest.raises(RuntimeError):
+            _lowest_set_bit_position(words)
+
+    @given(st.integers(0, 127))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_python_bit_length(self, position):
+        words = np.zeros((1, 2), dtype=np.uint64)
+        w, b = divmod(position, 64)
+        words[0, w] = np.uint64(1) << np.uint64(b)
+        # Add noise above the lowest bit.
+        if position < 127:
+            wn, bn = divmod(127, 64)
+            words[0, wn] |= np.uint64(1) << np.uint64(bn)
+        assert _lowest_set_bit_position(words)[0] == position
+
+
+class TestScoringCorrectness:
+    def test_matches_ensemble_exactly(self, small_forest, tiny_dataset):
+        qs = QuickScorer(small_forest)
+        x = tiny_dataset.features[:200]
+        np.testing.assert_allclose(
+            qs.score(x), small_forest.predict(x), atol=1e-10
+        )
+
+    def test_boundary_values_at_thresholds(self, small_forest):
+        # Documents placed exactly on split thresholds exercise the <=
+        # convention on both paths.
+        points = small_forest.split_points()
+        x = np.zeros((5, small_forest.n_features))
+        for f, pts in enumerate(points):
+            if len(pts):
+                x[:, f] = pts[0]
+        qs = QuickScorer(small_forest)
+        np.testing.assert_allclose(qs.score(x), small_forest.predict(x))
+
+    def test_batching_equivalent(self, small_forest, tiny_dataset):
+        x = tiny_dataset.features[:100]
+        big = QuickScorer(small_forest, batch_size=4096).score(x)
+        small = QuickScorer(small_forest, batch_size=7).score(x)
+        np.testing.assert_allclose(big, small)
+
+    def test_multi_word_forest(self):
+        # Forest whose trees exceed 64 leaves: multi-word bitvectors.
+        data = make_msn30k_like(n_queries=60, docs_per_query=25, seed=33)
+        config = GradientBoostingConfig(
+            n_trees=5, max_leaves=100, learning_rate=0.2, min_data_in_leaf=2
+        )
+        forest = LambdaMartRanker(config, seed=0).fit(data)
+        assert forest.max_leaves > 64
+        qs = QuickScorer(forest)
+        x = data.features[:100]
+        np.testing.assert_allclose(qs.score(x), forest.predict(x), atol=1e-10)
+
+    def test_feature_count_validated(self, small_forest):
+        with pytest.raises(ValueError, match="expected"):
+            QuickScorer(small_forest).score(np.zeros((2, 3)))
+
+    def test_invalid_batch_size(self, small_forest):
+        with pytest.raises(ValueError):
+            QuickScorer(small_forest, batch_size=0)
+
+
+class TestTraversalStats:
+    def test_stats_recorded(self, small_forest, tiny_dataset):
+        qs = QuickScorer(small_forest)
+        qs.score(tiny_dataset.features[:50])
+        stats = qs.last_stats
+        assert stats.n_docs == 50
+        assert stats.n_trees == small_forest.n_trees
+        assert stats.false_nodes_total > 0
+
+    def test_false_fraction_below_classical(self, small_forest, tiny_dataset):
+        # QuickScorer's headline: far fewer nodes touched than the ~80%
+        # of classical traversal.
+        qs = QuickScorer(small_forest)
+        qs.score(tiny_dataset.features[:200])
+        assert 0.0 < qs.last_stats.false_node_fraction < 0.8
+
+    def test_fraction_bounded_by_touched(self, small_forest, tiny_dataset):
+        qs = QuickScorer(small_forest)
+        qs.score(tiny_dataset.features[:50])
+        stats = qs.last_stats
+        assert stats.false_node_fraction <= stats.nodes_touched_fraction <= 1.0
+
+    def test_per_doc_average(self, small_forest, tiny_dataset):
+        qs = QuickScorer(small_forest)
+        qs.score(tiny_dataset.features[:10])
+        stats = qs.last_stats
+        assert stats.false_nodes_per_doc == pytest.approx(
+            stats.false_nodes_total / 10
+        )

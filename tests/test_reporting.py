@@ -1,0 +1,67 @@
+"""Tests for repro.reporting."""
+
+import pytest
+
+from repro.reporting import (
+    evaluate_zoo,
+    render_report,
+    significance_matrix,
+    write_report,
+)
+
+
+class TestEvaluateZoo:
+    def test_defaults_cover_families(self, mini_pipeline):
+        models = evaluate_zoo(
+            mini_pipeline,
+            forests=[mini_pipeline.zoo.small_forest],
+            networks=[mini_pipeline.zoo.low_latency[2]],
+        )
+        assert {m.family for m in models} == {"forest", "neural"}
+
+    def test_duplicate_architectures_skipped(self, mini_pipeline):
+        spec = mini_pipeline.zoo.low_latency[2]
+        models = evaluate_zoo(
+            mini_pipeline,
+            forests=[],
+            networks=[spec, spec],
+        )
+        assert len(models) == 1
+
+
+class TestSignificanceMatrix:
+    def test_pairs_and_fields(self, mini_pipeline):
+        models = evaluate_zoo(
+            mini_pipeline,
+            forests=[mini_pipeline.zoo.small_forest, mini_pipeline.zoo.mid_forest],
+            networks=[],
+        )
+        rows = significance_matrix(models)
+        assert len(rows) == 1
+        a, b, diff, p, sig = rows[0]
+        assert 0.0 < p <= 1.0
+        assert sig in ("yes", "no")
+
+
+class TestRenderReport:
+    @pytest.fixture(scope="class")
+    def report(self, mini_pipeline):
+        return render_report(mini_pipeline, include_significance=True)
+
+    def test_sections_present(self, report):
+        assert "# Experiment report" in report
+        assert "## Models" in report
+        assert "## Pareto summary" in report
+        assert "## Significance" in report
+
+    def test_dataset_summaries(self, report):
+        assert "queries" in report
+        assert "teacher:" in report
+
+    def test_write_report(self, mini_pipeline, tmp_path):
+        path = tmp_path / "report.md"
+        text = write_report(
+            mini_pipeline, path, include_significance=False
+        )
+        assert path.read_text() == text
+        assert "## Significance" not in text

@@ -1,0 +1,115 @@
+"""Cross-model consistency checks between the timing components.
+
+These tests pin the *relationships* the paper's design methodology rests
+on: the sparse kernel must beat the dense one exactly in the regime the
+paper prunes into, the hybrid network model must interpolate its parts,
+and the QuickScorer and network cost models must be mutually consistent
+at the published crossover points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.matmul import CsrMatrix, DenseGemmExecutor, SparseGemmExecutor
+from repro.quickscorer import QuickScorerCostModel
+from repro.timing import NetworkTimePredictor
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return NetworkTimePredictor()
+
+
+def pruned(m, k, sparsity, seed=0):
+    rng = np.random.default_rng(seed)
+    nnz = int(round((1 - sparsity) * m * k))
+    dense = np.zeros(m * k)
+    dense[rng.choice(m * k, nnz, replace=False)] = rng.normal(size=nnz)
+    return CsrMatrix.from_dense(dense.reshape(m, k))
+
+
+class TestSparseVsDenseCrossover:
+    def test_sparse_wins_at_paper_sparsities(self):
+        # At >= 95% sparsity the sparse kernel must beat dense GEMM on
+        # first-layer shapes (otherwise the paper's pipeline is moot).
+        dense_ex = DenseGemmExecutor()
+        sparse_ex = SparseGemmExecutor()
+        for sparsity in (0.95, 0.987, 0.99):
+            a = pruned(400, 136, sparsity)
+            t_dense = dense_ex.report(400, 64, 136).time_ns / 1000
+            t_sparse = sparse_ex.measure_time_us(a, 64)
+            assert t_sparse < t_dense
+
+    def test_dense_wins_at_low_sparsity(self):
+        # Near-dense matrices should NOT benefit from the sparse kernel:
+        # per-nnz scalar work exceeds vectorized dense FLOPs.
+        dense_ex = DenseGemmExecutor()
+        sparse_ex = SparseGemmExecutor()
+        a = pruned(400, 136, 0.2, seed=1)
+        t_dense = dense_ex.report(400, 64, 136).time_ns / 1000
+        t_sparse = sparse_ex.measure_time_us(a, 64)
+        assert t_sparse > t_dense
+
+    def test_crossover_in_between(self):
+        # Somewhere between 20% and 99% sparsity the winner flips exactly
+        # once (monotone sparse cost).
+        dense_ex = DenseGemmExecutor()
+        sparse_ex = SparseGemmExecutor()
+        t_dense = dense_ex.report(400, 64, 136).time_ns / 1000
+        wins = [
+            sparse_ex.measure_time_us(pruned(400, 136, s, seed=2), 64) < t_dense
+            for s in (0.2, 0.5, 0.8, 0.9, 0.95, 0.99)
+        ]
+        # Once sparse starts winning it keeps winning.
+        first_win = wins.index(True) if True in wins else len(wins)
+        assert all(wins[first_win:])
+
+
+class TestHybridModelConsistency:
+    def test_hybrid_between_forecast_and_dense(self, predictor):
+        report = predictor.predict(
+            136, (400, 200, 200, 100), first_layer_sparsity=0.987
+        )
+        assert (
+            report.pruned_forecast_us_per_doc
+            <= report.hybrid_total_us_per_doc
+            <= report.dense_total_us_per_doc
+        )
+
+    def test_hybrid_approaches_forecast_at_extreme_sparsity(self, predictor):
+        near = predictor.predict(
+            136, (400, 200, 200, 100), first_layer_sparsity=0.999
+        )
+        gap = near.hybrid_total_us_per_doc - near.pruned_forecast_us_per_doc
+        assert gap < 0.1 * near.dense_total_us_per_doc
+
+    def test_dense_equals_sum_of_layers(self, predictor):
+        report = predictor.predict(136, (300, 200, 100))
+        total = sum(lt.time_us for lt in report.layer_times)
+        assert report.dense_total_us_per_doc == pytest.approx(
+            total / report.batch_size
+        )
+
+
+class TestPaperCrossoverPoints:
+    def test_table8_ordering(self, predictor):
+        # Sparse flagship < 300-tree forest < dense flagship < 500-tree
+        # < 878-tree (the paper's Table 8 time ordering).
+        qs = QuickScorerCostModel()
+        t878 = qs.scoring_time_us(878, 64)
+        t500 = qs.scoring_time_us(500, 64)
+        t300 = qs.scoring_time_us(300, 64)
+        flagship = predictor.predict(
+            136, (400, 200, 200, 100), first_layer_sparsity=0.987
+        )
+        t_dense = flagship.dense_total_us_per_doc
+        t_sparse = flagship.hybrid_total_us_per_doc
+        assert t_sparse < t300 < t_dense < t500 < t878
+
+    def test_headline_speedup(self, predictor):
+        # "up to 4.4x faster scoring time with no loss of accuracy":
+        # the 300x200x100 pruned forecast vs the 878-tree forest.
+        qs = QuickScorerCostModel()
+        pruned_time = predictor.pruned_forecast_us(136, (300, 200, 100))
+        speedup = qs.scoring_time_us(878, 64) / pruned_time
+        assert speedup == pytest.approx(4.4, rel=0.25)

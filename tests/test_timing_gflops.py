@@ -1,0 +1,105 @@
+"""Tests for repro.timing.gflops (GFLOPS surface and zones)."""
+
+import numpy as np
+import pytest
+
+from repro.matmul import DenseGemmExecutor
+from repro.timing import GflopsSurface
+
+
+@pytest.fixture(scope="module")
+def surface():
+    return GflopsSurface.measure(batch_size=1000)
+
+
+class TestMeasure:
+    def test_grid_shape(self, surface):
+        assert surface.gflops.shape == (
+            len(surface.m_grid),
+            len(surface.k_grid),
+        )
+
+    def test_values_positive_and_bounded(self, surface):
+        assert (surface.gflops > 0).all()
+        assert surface.gflops.max() < 200.0
+
+    def test_custom_grid(self):
+        s = GflopsSurface.measure(
+            batch_size=64, m_grid=(100, 200), k_grid=(64, 128)
+        )
+        assert s.gflops.shape == (2, 2)
+        assert s.batch_size == 64
+
+
+class TestLookup:
+    def test_exact_grid_point(self, surface):
+        m, k = int(surface.m_grid[3]), int(surface.k_grid[4])
+        expected = DenseGemmExecutor().measure_gflops(m, 1000, k)
+        assert surface.lookup(m, k) == pytest.approx(expected, rel=1e-9)
+
+    def test_interpolation_between_points(self, surface):
+        k_lo, k_hi = int(surface.k_grid[4]), int(surface.k_grid[5])
+        mid = (k_lo + k_hi) // 2
+        v = surface.lookup(500, mid)
+        lo = surface.lookup(500, k_lo)
+        hi = surface.lookup(500, k_hi)
+        assert min(lo, hi) <= v <= max(lo, hi)
+
+    def test_clamped_outside_grid(self, surface):
+        assert surface.lookup(10**6, 10**6) == pytest.approx(
+            surface.lookup(int(surface.m_grid[-1]), int(surface.k_grid[-1]))
+        )
+        assert surface.lookup(1, 1) == pytest.approx(
+            surface.lookup(int(surface.m_grid[0]), int(surface.k_grid[0]))
+        )
+
+    def test_invalid_shape(self, surface):
+        with pytest.raises(ValueError):
+            surface.lookup(0, 10)
+
+
+class TestZones:
+    def test_zone_values_match_paper(self, surface):
+        zones = surface.zone_summary()
+        assert zones.low_k_gflops == pytest.approx(90.0, rel=0.12)
+        assert zones.mid_k_gflops == pytest.approx(110.0, rel=0.12)
+        assert zones.high_k_gflops == pytest.approx(130.0, rel=0.12)
+
+    def test_zone_ordering(self, surface):
+        zones = surface.zone_summary()
+        assert zones.low_k_gflops < zones.mid_k_gflops < zones.high_k_gflops
+
+    def test_zone_lookup_routing(self, surface):
+        zones = surface.zone_summary()
+        assert zones.zone_gflops(64) == zones.low_k_gflops
+        assert zones.zone_gflops(128) == zones.mid_k_gflops
+        assert zones.zone_gflops(511) == zones.mid_k_gflops
+        assert zones.zone_gflops(512) == zones.high_k_gflops
+
+
+class TestHeatmap:
+    def test_rows_cover_grid(self, surface):
+        rows = surface.heatmap_rows()
+        assert len(rows) == surface.gflops.size
+        ms = {r[0] for r in rows}
+        assert ms == {int(m) for m in surface.m_grid}
+
+
+class TestValidation:
+    def test_grid_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            GflopsSurface(
+                np.asarray([1.0, 2.0]),
+                np.asarray([1.0]),
+                np.ones((1, 1)),
+                batch_size=10,
+            )
+
+    def test_non_increasing_grid(self):
+        with pytest.raises(ValueError, match="increasing"):
+            GflopsSurface(
+                np.asarray([2.0, 1.0]),
+                np.asarray([1.0]),
+                np.ones((2, 1)),
+                batch_size=10,
+            )

@@ -1,0 +1,124 @@
+"""Tests for repro.timing.network_predictor (hybrid model, Tables 10-11)."""
+
+import numpy as np
+import pytest
+
+from repro.matmul import CsrMatrix
+from repro.timing import (
+    DenseTimePredictor,
+    GflopsSurface,
+    NetworkTimePredictor,
+    calibrate_sparse_predictor,
+)
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    dense = DenseTimePredictor(GflopsSurface.measure(batch_size=1000))
+    return NetworkTimePredictor(dense, calibrate_sparse_predictor())
+
+
+class TestPredict:
+    def test_report_fields(self, predictor):
+        r = predictor.predict(136, (400, 200, 200, 100))
+        assert r.describe() == "400x200x200x100"
+        assert r.dense_total_us_per_doc > 0
+        assert 0 < r.first_layer_impact_pct < 100
+        assert r.pruned_forecast_us_per_doc < r.dense_total_us_per_doc
+        assert r.sparse_first_layer_us_per_doc is None
+
+    def test_forecast_subtracts_first_layer(self, predictor):
+        r = predictor.predict(136, (400, 200, 200, 100))
+        expected = r.dense_total_us_per_doc * (
+            1 - r.first_layer_impact_pct / 100.0
+        )
+        assert r.pruned_forecast_us_per_doc == pytest.approx(expected)
+
+    def test_sparsity_hypothesis_adds_hybrid(self, predictor):
+        r = predictor.predict(
+            136, (400, 200, 200, 100), first_layer_sparsity=0.987
+        )
+        assert r.sparse_first_layer_us_per_doc is not None
+        assert r.hybrid_total_us_per_doc == pytest.approx(
+            r.pruned_forecast_us_per_doc + r.sparse_first_layer_us_per_doc
+        )
+
+    def test_actual_matrix_takes_precedence(self, predictor, rng):
+        dense = np.zeros((400, 136))
+        idx = rng.choice(400 * 136, 700, replace=False)
+        dense.ravel()[idx] = 1.0
+        csr = CsrMatrix.from_dense(dense)
+        r = predictor.predict(
+            136,
+            (400, 200, 200, 100),
+            first_layer_sparsity=0.5,  # would be much slower
+            first_layer_matrix=csr,
+        )
+        worst = predictor.sparse.worst_case_time_us(400, 136, 0.5, 64) / 64
+        assert r.sparse_first_layer_us_per_doc < worst
+
+
+class TestPaperAnchors:
+    """Tables 8, 10, 11: forecast values near the published ones."""
+
+    def test_table8_flagship(self, predictor):
+        # 400x200x200x100 on MSN30K: dense 3.8, pruned 2.6 us/doc.
+        r = predictor.predict(136, (400, 200, 200, 100))
+        assert r.dense_total_us_per_doc == pytest.approx(3.8, rel=0.15)
+        assert r.pruned_forecast_us_per_doc == pytest.approx(2.6, rel=0.15)
+
+    @pytest.mark.parametrize(
+        "arch,paper_dense,paper_pruned",
+        [
+            ((300, 200, 100), 2.4, 1.7),
+            ((200, 100, 100, 50), 1.3, 0.8),
+            ((200, 50, 50, 25), 0.9, 0.4),
+            ((100, 50, 50, 25), 0.6, 0.3),
+            ((100, 25, 25, 10), 0.5, 0.2),
+            ((50, 25, 25, 10), 0.3, 0.1),
+        ],
+    )
+    def test_msn30k_tables_10_11(self, predictor, arch, paper_dense, paper_pruned):
+        r = predictor.predict(136, arch)
+        assert r.dense_total_us_per_doc == pytest.approx(
+            paper_dense, rel=0.35, abs=0.15
+        )
+        assert r.pruned_forecast_us_per_doc == pytest.approx(
+            paper_pruned, rel=0.45, abs=0.15
+        )
+
+    @pytest.mark.parametrize(
+        "arch,paper_dense",
+        [
+            ((800, 400, 400, 200), 11.9),
+            ((800, 200, 200, 100), 6.5),
+            ((300, 200, 100), 2.8),
+            ((200, 75, 75, 25), 1.6),
+        ],
+    )
+    def test_istella_tables_10_11(self, predictor, arch, paper_dense):
+        r = predictor.predict(220, arch)
+        assert r.dense_total_us_per_doc == pytest.approx(
+            paper_dense, rel=0.35, abs=0.15
+        )
+
+
+class TestSparsitySpeedup:
+    def test_speedup_grows_with_sparsity(self, predictor):
+        # Fig. 11: the speed-up grows quadratically in the studied range.
+        speeds = [
+            predictor.sparsity_speedup(400, 136, s) for s in (0.90, 0.95, 0.99)
+        ]
+        assert speeds == sorted(speeds)
+
+    def test_fig11_magnitude(self, predictor):
+        # Paper: ~10x at 95% sparsity on the first-layer shapes.
+        s = predictor.sparsity_speedup(400, 136, 0.95)
+        assert 6.0 <= s <= 20.0
+
+    def test_98_7_sparsity_over_20x(self, predictor):
+        # Section 5.2: ~25x at 98.7% on 400x136.
+        assert predictor.sparsity_speedup(400, 136, 0.987) > 20.0
+
+    def test_full_sparsity_infinite(self, predictor):
+        assert predictor.sparsity_speedup(100, 100, 1.0) == float("inf")

@@ -1,0 +1,69 @@
+"""Tests for repro.timing.quantized (int8 timing model)."""
+
+import pytest
+
+from repro.timing.quantized import QuantizedTimingModel
+
+
+@pytest.fixture(scope="module")
+def model(predictor_cache):
+    return QuantizedTimingModel(predictor_cache)
+
+
+class TestSpeedups:
+    def test_dense_speedup_in_realistic_band(self, model):
+        assert 2.0 <= model.dense_speedup <= 4.0
+
+    def test_sparse_speedup_above_dense(self, model):
+        assert model.sparse_speedup >= model.dense_speedup
+
+    def test_ceiling_at_full_efficiency(self, predictor_cache):
+        ideal = QuantizedTimingModel(
+            predictor_cache, efficiency=1.0, sparse_efficiency=1.0
+        )
+        assert ideal.dense_speedup == pytest.approx(4.0)
+
+
+class TestTimes:
+    def test_int8_dense_faster_than_fp32(self, model, predictor_cache):
+        fp32 = predictor_cache.predict(136, (400, 200, 200, 100))
+        int8 = model.dense_time_us(136, (400, 200, 200, 100))
+        assert int8 < fp32.dense_total_us_per_doc
+        assert int8 == pytest.approx(
+            fp32.dense_total_us_per_doc / model.dense_speedup
+        )
+
+    def test_hybrid_faster_than_fp32_hybrid(self, model, predictor_cache):
+        fp32 = predictor_cache.predict(
+            136, (400, 200, 200, 100), first_layer_sparsity=0.987
+        )
+        int8 = model.hybrid_time_us(
+            136, (400, 200, 200, 100), first_layer_sparsity=0.987
+        )
+        assert int8 < fp32.hybrid_total_us_per_doc
+
+    def test_hybrid_requires_sparsity(self, model):
+        with pytest.raises(ValueError, match="sparsity"):
+            model.hybrid_time_us(136, (100, 50))
+
+    def test_quantized_flagship_beats_every_paper_forest(self, model):
+        # int8 + pruning compounds: the flagship drops well under the
+        # 300-tree forest's 3.0 us.
+        from repro.quickscorer import QuickScorerCostModel
+
+        int8 = model.hybrid_time_us(
+            136, (400, 200, 200, 100), first_layer_sparsity=0.987
+        )
+        assert int8 < 0.5 * QuickScorerCostModel().scoring_time_us(300, 64)
+
+
+class TestValidation:
+    def test_invalid_efficiency(self, predictor_cache):
+        with pytest.raises(ValueError):
+            QuantizedTimingModel(predictor_cache, efficiency=0.0)
+        with pytest.raises(ValueError):
+            QuantizedTimingModel(predictor_cache, efficiency=1.5)
+
+    def test_invalid_lane_ratio(self, predictor_cache):
+        with pytest.raises(ValueError):
+            QuantizedTimingModel(predictor_cache, lane_ratio=1.0)

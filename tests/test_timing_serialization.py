@@ -1,0 +1,60 @@
+"""Tests for repro.timing.serialization (predictor persistence)."""
+
+import json
+
+import pytest
+
+from repro.timing import (
+    NetworkTimePredictor,
+    load_predictor,
+    save_predictor,
+)
+from repro.timing.serialization import predictor_from_dict, predictor_to_dict
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return NetworkTimePredictor()
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_predictions(self, predictor):
+        clone = predictor_from_dict(predictor_to_dict(predictor))
+        for arch in [(400, 200, 200, 100), (100, 50, 50, 10)]:
+            a = predictor.predict(136, arch, first_layer_sparsity=0.987)
+            b = clone.predict(136, arch, first_layer_sparsity=0.987)
+            assert b.dense_total_us_per_doc == pytest.approx(
+                a.dense_total_us_per_doc
+            )
+            assert b.hybrid_total_us_per_doc == pytest.approx(
+                a.hybrid_total_us_per_doc
+            )
+
+    def test_file_roundtrip(self, predictor, tmp_path):
+        path = tmp_path / "predictor.json"
+        save_predictor(predictor, path)
+        clone = load_predictor(path)
+        assert clone.dense.batch_size == predictor.dense.batch_size
+        assert clone.sparse.l_b_vec_ns == pytest.approx(
+            predictor.sparse.l_b_vec_ns
+        )
+        assert clone.sparse_batch == predictor.sparse_batch
+
+    def test_file_is_plain_json(self, predictor, tmp_path):
+        path = tmp_path / "predictor.json"
+        save_predictor(predictor, path)
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert "dense" in data and "sparse" in data
+
+    def test_sparse_coefficients_preserved(self, predictor):
+        clone = predictor_from_dict(predictor_to_dict(predictor))
+        assert clone.sparse.l_c_over_l_b == pytest.approx(
+            predictor.sparse.l_c_over_l_b
+        )
+
+    def test_unknown_version_rejected(self, predictor):
+        data = predictor_to_dict(predictor)
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            predictor_from_dict(data)

@@ -1,0 +1,129 @@
+"""Tests for repro.timing.sparse_predictor and calibration (Eq. 5 / Table 4)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CalibrationError, PredictorError
+from repro.matmul import CsrMatrix, SparseGemmExecutor
+from repro.timing import calibrate_sparse_predictor
+from repro.timing.calibration import CalibrationMatrices
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return calibrate_sparse_predictor()
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return SparseGemmExecutor()
+
+
+def random_pruned(m, k, sparsity, seed=0):
+    rng = np.random.default_rng(seed)
+    nnz = int(round((1 - sparsity) * m * k))
+    dense = np.zeros(m * k)
+    dense[rng.choice(m * k, nnz, replace=False)] = rng.normal(size=nnz)
+    return CsrMatrix.from_dense(dense.reshape(m, k))
+
+
+class TestCalibrationMatrices:
+    def test_single_column_structure(self):
+        probes = CalibrationMatrices.build(50, seed=0)
+        a_c = probes.single_column
+        assert a_c.nnz == 50
+        assert a_c.n_active_cols == 1
+        assert a_c.n_active_rows == 50
+
+    def test_row_diagonal_structure(self):
+        a_rd = CalibrationMatrices.build(50, seed=0).row_diagonal
+        assert a_rd.nnz == 50
+        assert a_rd.n_active_rows == 50
+        assert a_rd.n_active_cols == 50
+
+    def test_two_columns_structure(self):
+        a_2c = CalibrationMatrices.build(50, seed=0).two_columns
+        assert a_2c.nnz == 100
+        assert a_2c.n_active_cols == 2
+
+    def test_too_small_rejected(self):
+        with pytest.raises(CalibrationError):
+            CalibrationMatrices.build(2)
+
+
+class TestCalibratedCoefficients:
+    def test_all_positive(self, predictor):
+        assert predictor.l_c_vec_ns > 0
+        assert predictor.l_b_vec_ns > 0
+        assert predictor.l_a_vec_ns > 0
+        assert predictor.l_a_scalar_ns >= 0
+
+    def test_lc_twice_lb(self, predictor):
+        # Section 4.4: "we empirically verify ... L_c = 2 L_b".
+        assert predictor.l_c_over_l_b == pytest.approx(2.0, rel=0.25)
+
+    def test_deterministic(self):
+        a = calibrate_sparse_predictor(seed=3)
+        b = calibrate_sparse_predictor(seed=3)
+        assert a.l_b_vec_ns == pytest.approx(b.l_b_vec_ns)
+
+
+class TestPredictionAccuracy:
+    """Table 4: Eq. 5 must track the executor across shapes and batches."""
+
+    @pytest.mark.parametrize(
+        "m,sparsity",
+        [(400, 0.995), (400, 0.986), (300, 0.985), (200, 0.982),
+         (100, 0.989), (50, 0.987)],
+    )
+    @pytest.mark.parametrize("batch", [16, 32, 64])
+    def test_matches_simulator(self, predictor, executor, m, sparsity, batch):
+        a = random_pruned(m, 136, sparsity, seed=m + batch)
+        simulated = executor.measure_time_us(a, batch)
+        predicted = predictor.time_for(a, batch)
+        assert predicted == pytest.approx(simulated, rel=0.25)
+
+    def test_distinguishes_same_shape_different_sparsity(self, predictor):
+        # Table 4: two 200x136 instances at 98.2% vs 97.1% must differ.
+        sparse = random_pruned(200, 136, 0.982, seed=1)
+        denser = random_pruned(200, 136, 0.971, seed=1)
+        assert predictor.time_for(denser, 64) > predictor.time_for(sparse, 64)
+
+    def test_batch_scaling(self, predictor):
+        a = random_pruned(400, 136, 0.99, seed=2)
+        t16 = predictor.time_for(a, 16)
+        t64 = predictor.time_for(a, 64)
+        assert 2.5 <= t64 / t16 <= 4.5
+
+
+class TestPredictorInterface:
+    def test_large_batch_rejected_strict(self, predictor):
+        a = random_pruned(100, 100, 0.99, seed=3)
+        with pytest.raises(PredictorError, match="cache-residency"):
+            predictor.time_for(a, 256)
+
+    def test_large_batch_extrapolates_nonstrict(self, predictor):
+        a = random_pruned(100, 100, 0.99, seed=3)
+        t = predictor.time_for(a, 256, strict=False)
+        assert t > predictor.time_for(a, 64)
+
+    def test_worst_case_uses_full_dims(self, predictor):
+        t_worst = predictor.worst_case_time_us(400, 136, 0.99, 64)
+        a = random_pruned(400, 136, 0.99, seed=4)
+        t_actual = predictor.time_for(a, 64)
+        assert t_worst >= t_actual * 0.95
+
+    def test_worst_case_zero_nnz(self, predictor):
+        assert predictor.worst_case_time_us(100, 100, 1.0, 64) == 0.0
+
+    def test_invalid_sparsity(self, predictor):
+        with pytest.raises(PredictorError):
+            predictor.worst_case_time_us(10, 10, 1.5, 16)
+
+    def test_invalid_batch(self, predictor):
+        with pytest.raises(PredictorError):
+            predictor.n_vectors(0)
+
+    def test_negative_counts_rejected(self, predictor):
+        with pytest.raises(PredictorError):
+            predictor.time_us(nnz=-1, active_rows=0, active_cols=0, batch=8)

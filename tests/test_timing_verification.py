@@ -1,0 +1,59 @@
+"""Tests for repro.timing.verification."""
+
+import pytest
+
+from repro.timing.verification import (
+    AnchorCheck,
+    CalibrationReport,
+    verify_calibration,
+)
+
+
+class TestAnchorCheck:
+    def test_drift_and_ok(self):
+        check = AnchorCheck("x", expected=10.0, measured=10.5, tolerance=0.1)
+        assert check.drift == pytest.approx(0.05)
+        assert check.ok
+
+    def test_drifted(self):
+        check = AnchorCheck("x", expected=10.0, measured=13.0, tolerance=0.1)
+        assert not check.ok
+
+
+class TestVerifyCalibration:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return verify_calibration()
+
+    def test_all_anchors_hold(self, report):
+        assert report.ok, report.render()
+
+    def test_covers_all_models(self, report):
+        names = {c.name for c in report.checks}
+        assert "qs_878x64_us" in names
+        assert "gflops_mid_k" in names
+        assert "lc_over_lb" in names
+
+    def test_render_mentions_status(self, report):
+        text = report.render()
+        assert "Calibration verification" in text
+        assert "ok" in text
+
+    def test_quick_mode_skips_dense(self):
+        report = verify_calibration(include_dense=False, include_sparse=False)
+        assert len(report.checks) == 3
+        assert report.ok
+
+    def test_failures_empty_when_ok(self, report):
+        assert report.failures() == []
+
+    def test_report_detects_drift(self):
+        bad = CalibrationReport(
+            checks=(
+                AnchorCheck("a", 1.0, 2.0, 0.1),
+                AnchorCheck("b", 1.0, 1.0, 0.1),
+            )
+        )
+        assert not bad.ok
+        assert [c.name for c in bad.failures()] == ["a"]
+        assert "DRIFTED" in bad.render()

@@ -1,0 +1,96 @@
+"""Tests for repro.utils.pareto, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.pareto import dominates, pareto_frontier
+
+
+class TestParetoFrontier:
+    def test_single_point(self):
+        assert pareto_frontier([1.0], [1.0]).tolist() == [0]
+
+    def test_dominated_point_excluded(self):
+        # Point 1 has lower quality and higher cost: dominated.
+        idx = pareto_frontier([0.9, 0.5], [1.0, 2.0])
+        assert idx.tolist() == [0]
+
+    def test_tradeoff_keeps_both(self):
+        idx = pareto_frontier([0.9, 0.5], [2.0, 1.0])
+        assert sorted(idx.tolist()) == [0, 1]
+
+    def test_equal_quality_keeps_cheapest(self):
+        idx = pareto_frontier([0.9, 0.9], [2.0, 1.0])
+        assert idx.tolist() == [1]
+
+    def test_sorted_by_quality(self):
+        idx = pareto_frontier([0.5, 0.9, 0.7], [1.0, 3.0, 2.0])
+        q = np.asarray([0.5, 0.9, 0.7])[idx]
+        assert list(q) == sorted(q)
+
+    def test_empty_input(self):
+        assert len(pareto_frontier([], [])) == 0
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValueError):
+            pareto_frontier([1.0], [1.0, 2.0])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 1, allow_nan=False),
+                st.floats(0.01, 100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_frontier_points_are_non_dominated(self, points):
+        q = np.asarray([p[0] for p in points])
+        c = np.asarray([p[1] for p in points])
+        idx = set(pareto_frontier(q, c).tolist())
+        for i in idx:
+            for j in range(len(points)):
+                if j != i:
+                    assert not dominates(q[j], c[j], q[i], c[i])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 1, allow_nan=False),
+                st.floats(0.01, 100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_point_dominated_by_or_on_frontier(self, points):
+        q = np.asarray([p[0] for p in points])
+        c = np.asarray([p[1] for p in points])
+        idx = pareto_frontier(q, c)
+        for j in range(len(points)):
+            covered = any(
+                i == j
+                or dominates(q[i], c[i], q[j], c[j])
+                or (q[i] == q[j] and c[i] == c[j])
+                for i in idx
+            )
+            assert covered
+
+
+class TestDominates:
+    def test_strictly_better_both(self):
+        assert dominates(0.9, 1.0, 0.8, 2.0)
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(0.5, 1.0, 0.5, 1.0)
+
+    def test_better_quality_equal_cost(self):
+        assert dominates(0.9, 1.0, 0.8, 1.0)
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates(0.9, 3.0, 0.8, 1.0)

@@ -1,0 +1,39 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "v"], [["a", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "----" in lines[1]
+        assert len(lines) == 4
+
+    def test_floats_formatted(self):
+        out = format_table(["x"], [[0.123456]], floatfmt=".2f")
+        assert "0.12" in out
+
+    def test_ints_not_float_formatted(self):
+        out = format_table(["x"], [[5]])
+        assert "5" in out and "5.0000" not in out
+
+    def test_none_renders_dash(self):
+        out = format_table(["x"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_wrong_row_width_raises(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_column_width_grows_with_content(self):
+        out = format_table(["h"], [["wide-content"]])
+        separator = out.splitlines()[1]
+        assert len(separator) == len("wide-content")
