@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench examples report clean
+.PHONY: install test test-fast verify smoke bench examples report clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,6 +12,15 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow" -x
+
+# Tier-1 gate: the full suite plus a bytecode compile of the library.
+verify:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	$(PYTHON) -m compileall -q src
+
+# Seconds-fast sanity check: build + price one scorer of every backend.
+smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_runtime_smoke.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

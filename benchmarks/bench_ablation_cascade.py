@@ -23,15 +23,21 @@ def test_ablation_cascade(msn_pipeline, benchmark):
     student = msn_pipeline.pruned_student(net_spec)
     forest = msn_pipeline.forest(zoo.mid_forest)
 
+    # Stages built straight from the models: execution paths come
+    # from the runtime's scorers, the amortized prices stay pinned to
+    # the paper-named evaluation figures.
     cascade = EarlyExitCascade(
         [
-            CascadeStage(
-                "pruned " + net_spec.describe(),
-                student.predict,
-                net_eval.time_us,
+            CascadeStage.from_model(
+                student,
+                backend="sparse-network",
+                name="pruned " + net_spec.describe(),
+                cost_us_per_doc=net_eval.time_us,
                 keep_fraction=0.3,
             ),
-            CascadeStage("mid forest", forest.predict, forest_eval.time_us),
+            CascadeStage.from_model(
+                forest, name="mid forest", cost_us_per_doc=forest_eval.time_us
+            ),
         ]
     )
     cascade_scores = cascade.score_dataset(test)

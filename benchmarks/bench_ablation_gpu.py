@@ -10,23 +10,34 @@ crossover relative to the paper's deployment forests.
 from __future__ import annotations
 
 from benchmarks._common import emit
-from repro.quickscorer import GpuQuickScorerCostModel
+from repro.runtime import ForestShape, PricingContext, price
 
 FOREST_SIZES = (300, 878, 2000, 5000, 20_000)
 BATCHES = (128, 10_000, 100_000)
 
 
 def test_ablation_gpu(benchmark):
-    model = GpuQuickScorerCostModel()
+    # One pricing function, two devices: the CPU and GPU QuickScorer
+    # models are both reached through price(ForestShape(...)).
+    context = PricingContext()
+    model = context.gpu_cost
     cpu = model.cpu_model
 
     rows = []
     for n_trees in FOREST_SIZES:
-        cpu_us = cpu.scoring_time_us(n_trees, 64)
+        cpu_us = price(ForestShape(n_trees, 64), context=context)
         row = [n_trees, round(cpu_us, 2)]
         for batch in BATCHES:
             row.append(
-                round(model.scoring_time_us(n_trees, 64, batch_docs=batch), 2)
+                round(
+                    price(
+                        ForestShape(n_trees, 64),
+                        context=context,
+                        device="gpu",
+                        batch_docs=batch,
+                    ),
+                    2,
+                )
             )
         rows.append(tuple(row))
 
@@ -46,8 +57,16 @@ def test_ablation_gpu(benchmark):
 
     # Shape assertions.
     assert crossover > 878
-    big_cpu = cpu.scoring_time_us(20_000, 64)
-    big_gpu = model.scoring_time_us(20_000, 64, batch_docs=100_000)
+    big_cpu = price(ForestShape(20_000, 64), context=context)
+    big_gpu = price(
+        ForestShape(20_000, 64), context=context, device="gpu",
+        batch_docs=100_000,
+    )
     assert 70.0 <= big_cpu / big_gpu <= 130.0
 
-    benchmark(lambda: model.scoring_time_us(878, 64, batch_docs=10_000))
+    benchmark(
+        lambda: price(
+            ForestShape(878, 64), context=context, device="gpu",
+            batch_docs=10_000,
+        )
+    )

@@ -16,7 +16,8 @@ import numpy as np
 from benchmarks._common import emit
 from repro.forest import GradientBoostingConfig, LambdaMartRanker
 from repro.metrics import mean_ndcg
-from repro.quickscorer import QuickScorer, QuickScorerCostModel
+from repro.quickscorer import QuickScorer
+from repro.runtime import price
 
 N_TREES = 40
 DEPTH = 5  # 32 leaves
@@ -40,7 +41,6 @@ def test_ablation_oblivious(msn_pipeline, benchmark):
         seed=11,
     ).fit(train, vali, name="oblivious")
 
-    cost = QuickScorerCostModel()
     rows = []
     quality = {}
     for forest in (leafwise, oblivious):
@@ -53,7 +53,7 @@ def test_ablation_oblivious(msn_pipeline, benchmark):
                 forest.name,
                 forest.describe(),
                 round(ndcg, 4),
-                round(cost.scoring_time_for(forest), 2),
+                round(price(forest), 2),
                 round(qs.last_stats.false_node_fraction, 3),
             )
         )

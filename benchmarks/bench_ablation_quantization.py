@@ -17,20 +17,19 @@ BITS = (8, 6, 4)
 
 
 def test_ablation_quantization(msn_pipeline, predictor, benchmark):
-    from repro.matmul import CsrMatrix
-    from repro.timing.quantized import QuantizedTimingModel
+    from repro.runtime import PricingContext, price
 
     student = msn_pipeline.pruned_student(msn_pipeline.zoo.flagship)
     test = msn_pipeline.test
     baseline = mean_ndcg(test, student.predict(test.features), 10)
 
-    first = CsrMatrix.from_dense(student.network.first_layer.weight.data)
-    hidden = msn_pipeline.zoo.flagship.hidden
-    fp32_us = predictor.predict(
-        136, hidden, first_layer_matrix=first
-    ).hybrid_total_us_per_doc
-    int8_us = QuantizedTimingModel(predictor).hybrid_time_us(
-        136, hidden, first_layer_matrix=first
+    # Both prices come from the one runtime pricing surface: the fp32
+    # hybrid via the sparse backend, int8 via the quantized backend
+    # (which auto-selects hybrid pricing for this pruned student).
+    context = PricingContext(predictor=predictor)
+    fp32_us = price(student, context=context, backend="sparse-network")
+    int8_us = price(
+        student, context=context, backend="quantized-network", quantized_bits=8
     )
 
     rows = [("fp32 (pruned baseline)", round(baseline, 4), "-", round(fp32_us, 2))]

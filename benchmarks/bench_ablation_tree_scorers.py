@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from benchmarks._common import emit
 from repro.quickscorer import QuickScorer, QuickScorerCostModel, RapidScorerCostModel
+from repro.runtime import price
 
 LEAVES = (16, 32, 64, 128, 256, 512)
 N_TREES = 500
@@ -63,6 +64,9 @@ def test_ablation_tree_scorers(msn_pipeline, benchmark):
     scorer.score(batch)
     measured = scorer.last_stats.false_node_fraction
     assert 0.0 < measured < 1.0
-    benchmark(
-        lambda: vqs.scoring_time_for(forest, false_fraction=measured)
+    # Measured-stats pricing through the one runtime surface: the
+    # false_fraction option reaches the QuickScorer backend's builder.
+    assert price(forest, false_fraction=measured) == vqs.scoring_time_for(
+        forest, false_fraction=measured
     )
+    benchmark(lambda: price(forest, false_fraction=measured))

@@ -31,6 +31,7 @@ FOREST_SPECS = {
 
 def test_table06(msn_pipeline, predictor, benchmark):
     from repro.core.zoo import NetworkSpec
+    from repro.runtime import ForestShape, price
 
     rows = []
     deep_beats_shallow = []
@@ -41,7 +42,9 @@ def test_table06(msn_pipeline, predictor, benchmark):
              if s.n_trees == n_trees and s.n_leaves == n_leaves),
             None,
         )
-        qs_time = msn_pipeline.qs_cost.scoring_time_us(n_trees, n_leaves)
+        qs_time = price(
+            ForestShape(n_trees, n_leaves), context=msn_pipeline.pricing
+        )
         if forest_spec is not None:
             forest_eval = msn_pipeline.evaluate_forest(forest_spec)
             forest_ndcg = round(forest_eval.ndcg10, 4)

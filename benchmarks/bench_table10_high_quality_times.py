@@ -10,6 +10,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks._common import emit
+from repro.runtime import NetworkShape, PricingContext, network_report
 
 ROWS = [
     ("MSN30K", 136, (300, 200, 100), 2.4, 30, 1.7),
@@ -22,9 +23,10 @@ ROWS = [
 
 
 def test_table10(predictor, benchmark):
+    context = PricingContext(predictor=predictor)
     table = []
     for dataset, f, arch, paper_time, paper_impact, paper_pruned in ROWS:
-        report = predictor.predict(f, arch)
+        report = network_report(NetworkShape(f, arch), context)
         table.append(
             (
                 dataset,
@@ -54,4 +56,4 @@ def test_table10(predictor, benchmark):
         ),
     )
 
-    benchmark(lambda: predictor.predict(136, (300, 200, 100)))
+    benchmark(lambda: network_report(NetworkShape(136, (300, 200, 100)), context))

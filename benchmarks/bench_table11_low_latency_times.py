@@ -9,6 +9,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks._common import emit
+from repro.runtime import NetworkShape, PricingContext, network_report
 
 ROWS = [
     ("MSN30K", 136, (100, 50, 50, 25), 0.6, 56, 0.3),
@@ -21,9 +22,10 @@ ROWS = [
 
 
 def test_table11(predictor, benchmark):
+    context = PricingContext(predictor=predictor)
     table = []
     for dataset, f, arch, paper_time, paper_impact, paper_pruned in ROWS:
-        report = predictor.predict(f, arch)
+        report = network_report(NetworkShape(f, arch), context)
         table.append(
             (
                 dataset,
@@ -43,7 +45,7 @@ def test_table11(predictor, benchmark):
     # Shape: every MSN30K candidate fits the 0.5 us budget after pruning.
     for dataset, f, arch, *_ in ROWS:
         if dataset == "MSN30K":
-            report = predictor.predict(f, arch)
+            report = network_report(NetworkShape(f, arch), context)
             assert report.pruned_forecast_us_per_doc <= 0.55
 
     emit(
@@ -61,4 +63,4 @@ def test_table11(predictor, benchmark):
         ),
     )
 
-    benchmark(lambda: predictor.predict(136, (100, 50, 50, 25)))
+    benchmark(lambda: network_report(NetworkShape(136, (100, 50, 50, 25)), context))

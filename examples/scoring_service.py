@@ -1,11 +1,14 @@
-"""A miniature two-stage ranking service.
+"""A miniature two-stage ranking service on the unified runtime.
 
 Shows how a downstream system would actually deploy the paper's models:
-a candidate generator returns a pool of documents per query, a
-first-stage (cheap) pruned network filters the pool, and a second-stage
-model — either the LambdaMART forest via QuickScorer or a larger student
-— re-ranks the survivors.  The latency budget of each stage is checked
-against the predictors before serving.
+a cheap first-stage pruned network filters each query's pool and the
+LambdaMART forest (via QuickScorer) re-ranks the survivors.  The two
+stages are assembled into an :class:`EarlyExitCascade` whose stages are
+built straight from the models with ``CascadeStage.from_model`` — their
+execution paths *and* calibrated prices both come from the scoring
+runtime — and the cascade is served through :class:`ScoringService`,
+which enforces a latency budget and records p50/p95/p99 per-request
+latency.
 
 Run:  python examples/scoring_service.py
 """
@@ -17,34 +20,18 @@ import numpy as np
 from repro import (
     DistillationConfig,
     Distiller,
+    EarlyExitCascade,
     FirstLayerPruner,
     FirstLayerPruningConfig,
     GradientBoostingConfig,
     LambdaMartRanker,
-    NetworkTimePredictor,
-    QuickScorer,
-    QuickScorerCostModel,
+    ScoringService,
     make_msn30k_like,
     mean_ndcg,
     train_validation_test_split,
 )
-from repro.matmul import CsrMatrix
-
-
-class TwoStageRanker:
-    """First-stage pruned net -> top-pool -> second-stage QuickScorer."""
-
-    def __init__(self, first_stage, second_stage, pool_size: int) -> None:
-        self.first_stage = first_stage
-        self.second_stage = second_stage
-        self.pool_size = pool_size
-
-    def rank(self, features: np.ndarray) -> np.ndarray:
-        """Return indices of ``features`` rows in final ranked order."""
-        cheap = self.first_stage.predict(features)
-        pool = np.argsort(-cheap)[: self.pool_size]
-        expensive = self.second_stage.score(features[pool])
-        return pool[np.argsort(-expensive)]
+from repro.design.cascade import CascadeStage
+from repro.runtime import price
 
 
 def main() -> None:
@@ -71,36 +58,33 @@ def main() -> None:
         seed=0,
     ).prune(student, forest, train)
 
-    print("\nChecking stage latency budgets with the predictors ...")
-    predictor = NetworkTimePredictor()
-    first = CsrMatrix.from_dense(pruned.network.first_layer.weight.data)
-    stage1_us = predictor.predict(
-        train.n_features, pruned.hidden, first_layer_matrix=first
-    ).hybrid_total_us_per_doc
-    stage2_us = QuickScorerCostModel().scoring_time_for(forest)
+    print("\nPricing the stages through the runtime ...")
+    stage1_us = price(pruned, backend="sparse-network")
+    stage2_us = price(forest)
     print(f"  stage 1 (pruned net): {stage1_us:.2f} us/doc over the full pool")
     print(f"  stage 2 (QuickScorer): {stage2_us:.2f} us/doc over the top pool")
 
-    service = TwoStageRanker(
-        first_stage=pruned,
-        second_stage=QuickScorer(forest),
-        pool_size=10,
+    cascade = EarlyExitCascade(
+        [
+            CascadeStage.from_model(
+                pruned, backend="sparse-network", keep_fraction=0.34,
+                name="pruned net",
+            ),
+            CascadeStage.from_model(forest, name="quickscorer forest"),
+        ]
     )
+    print(f"  cascade: {cascade.describe()}")
+    print(f"  expected amortized cost: {cascade.expected_cost_us_per_doc():.2f} us/doc")
 
-    print("\nServing the test queries through the two-stage pipeline ...")
+    # One endpoint over the whole cascade, with a budget: construction
+    # would raise BudgetExceededError if the amortized price blew it.
+    service = ScoringService(cascade, budget_us_per_doc=2 * stage2_us)
+
+    print("\nServing the test queries through the two-stage service ...")
     two_stage_scores = np.empty(test.n_docs)
     for qi in range(test.n_queries):
         sl = test.query_slice(qi)
-        order = service.rank(test.features[sl])
-        # Convert the final order to descending pseudo-scores; documents
-        # outside the pool keep their stage-1 score below the pool range.
-        q_scores = service.first_stage.predict(test.features[sl])
-        lo, hi = q_scores.min(), q_scores.max()
-        span = (hi - lo) or 1.0
-        q_scores = (q_scores - lo) / span  # in [0, 1]
-        for rank, doc in enumerate(order):
-            q_scores[doc] = 2.0 + (len(order) - rank)
-        two_stage_scores[sl] = q_scores
+        two_stage_scores[sl] = service.score(test.features[sl])
 
     full_forest_scores = forest.predict(test.features)
     stage1_only_scores = pruned.predict(test.features)
@@ -108,11 +92,17 @@ def main() -> None:
     print(f"  NDCG@10 pruned net only   : {mean_ndcg(test, stage1_only_scores, 10):.4f}")
     print(f"  NDCG@10 two-stage service : {mean_ndcg(test, two_stage_scores, 10):.4f}")
 
-    avg_pool = min(10, int(test.query_sizes().mean()))
-    effective_us = stage1_us + stage2_us * avg_pool / test.query_sizes().mean()
+    stats = service.stats
+    lat = stats.latency_summary()
     print(
-        f"\nEffective cost ~{effective_us:.2f} us/doc vs {stage2_us:.2f} us/doc "
-        "for the forest alone — the pruned net absorbs most of the volume."
+        f"\nServed {stats.requests} requests / {stats.documents} docs; "
+        f"request latency p50 {lat['p50_us']:.0f} us, "
+        f"p95 {lat['p95_us']:.0f} us, p99 {lat['p99_us']:.0f} us."
+    )
+    print(
+        f"Amortized model cost {stats.predicted_us_per_doc:.2f} us/doc vs "
+        f"{stage2_us:.2f} us/doc for the forest alone — the pruned net "
+        "absorbs most of the volume."
     )
 
 

@@ -63,6 +63,20 @@ from repro.analysis import feature_selection_agreement, score_agreement
 from repro.design import CascadeStage, EarlyExitCascade
 from repro.nn import quantize_student
 from repro.reporting import render_report, write_report
+from repro.runtime import (
+    BatchEngine,
+    BudgetExceededError,
+    ForestShape,
+    NetworkShape,
+    PricingContext,
+    Scorer,
+    ScorerBackend,
+    ServiceStats,
+    backend_names,
+    make_scorer,
+    price,
+    register_backend,
+)
 from repro.serving import ScoringService
 
 __version__ = "1.0.0"
@@ -116,4 +130,16 @@ __all__ = [
     "render_report",
     "write_report",
     "ScoringService",
+    "Scorer",
+    "ScorerBackend",
+    "ServiceStats",
+    "BatchEngine",
+    "BudgetExceededError",
+    "PricingContext",
+    "ForestShape",
+    "NetworkShape",
+    "make_scorer",
+    "price",
+    "register_backend",
+    "backend_names",
 ]

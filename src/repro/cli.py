@@ -34,7 +34,14 @@ from repro.distill.student import DistilledStudent
 from repro.forest import GradientBoostingConfig, LambdaMartRanker, TreeEnsemble
 from repro.metrics import mean_average_precision, mean_ndcg
 from repro.pruning import FirstLayerPruner, FirstLayerPruningConfig
-from repro.quickscorer import QuickScorerCostModel
+from repro.runtime import (
+    ForestShape,
+    NetworkShape,
+    PricingContext,
+    make_scorer,
+    network_report,
+    price,
+)
 from repro.timing import NetworkTimePredictor, load_predictor, save_predictor
 
 
@@ -138,21 +145,19 @@ def cmd_score(args) -> int:
     """Score an SVMLight file with a saved forest or network."""
     if args.forest:
         model = TreeEnsemble.load(args.forest)
-        n_features = model.n_features
-        predict = model.predict
-        description = model.describe()
     else:
-        student = DistilledStudent.load(args.network)
-        n_features = student.input_dim
-        description = student.describe()
-        predict = student.predict
-    dataset = load_svmlight(args.data, n_features=n_features)
-    scores = predict(dataset.features)
+        model = DistilledStudent.load(args.network)
+    # Model dispatch lives in the runtime registry, not here: any model
+    # family with a registered backend scores through the same path.
+    # Pricing stays lazy, so no predictor calibration is paid to score.
+    scorer = make_scorer(model)
+    dataset = load_svmlight(args.data, n_features=scorer.input_dim)
+    scores = scorer.score(dataset.features)
     np.savetxt(args.output, scores, fmt="%.6g")
     ndcg = mean_ndcg(dataset, scores, 10)
     map_score = mean_average_precision(dataset, scores)
     print(
-        f"scored {dataset.n_docs} docs with {description}; "
+        f"scored {dataset.n_docs} docs with {scorer.describe()}; "
         f"NDCG@10 = {ndcg:.4f}, MAP = {map_score:.4f}; scores -> {args.output}"
     )
     return 0
@@ -183,17 +188,14 @@ def cmd_verify(args) -> int:
 
 
 def cmd_predict_time(args) -> int:
-    """Price an architecture with the time predictors."""
-    predictor = (
-        load_predictor(args.predictor)
-        if args.predictor
-        else NetworkTimePredictor()
+    """Price an architecture through the runtime pricing layer."""
+    context = PricingContext(
+        predictor=load_predictor(args.predictor) if args.predictor else None
     )
-    report = predictor.predict(
-        args.features,
-        args.architecture,
-        first_layer_sparsity=args.sparsity,
+    shape = NetworkShape(
+        args.features, args.architecture, first_layer_sparsity=args.sparsity
     )
+    report = network_report(shape, context)
     print(f"architecture   : {report.describe()} on {args.features} features")
     print(f"dense          : {report.dense_total_us_per_doc:.2f} us/doc")
     print(f"1st layer share: {report.first_layer_impact_pct:.0f}%")
@@ -205,7 +207,7 @@ def cmd_predict_time(args) -> int:
         )
     if args.compare_forest:
         n_trees, n_leaves = args.compare_forest
-        forest_us = QuickScorerCostModel().scoring_time_us(n_trees, n_leaves)
+        forest_us = price(ForestShape(n_trees, n_leaves), context=context)
         print(
             f"QuickScorer {n_trees}x{n_leaves}: {forest_us:.2f} us/doc "
             f"({forest_us / report.pruned_forecast_us_per_doc:.1f}x the "

@@ -10,9 +10,10 @@ dataset:
   (Section 5.2);
 * evaluates NDCG@10 / NDCG / MAP on the test split with per-query values
   retained for Fisher randomization tests;
-* locates every model on the time axis with the calibrated cost models —
-  QuickScorer for forests, the dense/sparse predictors for networks —
-  always at the *paper-named* shape (see DESIGN.md on scaling).
+* locates every model on the time axis through the unified runtime
+  pricing layer (:func:`repro.runtime.price`) — QuickScorer for forests,
+  the dense/sparse predictors for networks — always at the *paper-named*
+  shape (see DESIGN.md on scaling).
 
 All trained artefacts are cached on the instance, so benchmark modules
 can share one pipeline per dataset.
@@ -39,10 +40,9 @@ from repro.distill.distiller import Distiller
 from repro.distill.student import DistilledStudent
 from repro.forest.ensemble import TreeEnsemble
 from repro.forest.lambdamart import LambdaMartRanker
-from repro.matmul.csr import CsrMatrix
 from repro.metrics.ranking import average_precision, ndcg, per_query_metric
 from repro.pruning.pipeline import FirstLayerPruner
-from repro.quickscorer.cost import QuickScorerCostModel
+from repro.runtime import ForestShape, PricingContext, price, shared_predictor
 from repro.timing.network_predictor import NetworkTimePredictor
 
 
@@ -81,8 +81,6 @@ class EvaluatedModel:
 class EfficientRankingPipeline:
     """Trains, distills, prunes and evaluates one dataset's model zoo."""
 
-    _shared_predictor: NetworkTimePredictor | None = None
-
     def __init__(
         self,
         train: LtrDataset,
@@ -98,7 +96,8 @@ class EfficientRankingPipeline:
         self.zoo = zoo
         self.hyper = hyper
         self.scale = scale or ExperimentScale()
-        self.qs_cost = QuickScorerCostModel()
+        self.pricing = PricingContext()
+        self.qs_cost = self.pricing.qs_cost
         self._base_forests: dict[int, TreeEnsemble] = {}
         self._forests: dict[tuple[int, int], TreeEnsemble] = {}
         self._students: dict[tuple[int, ...], DistilledStudent] = {}
@@ -140,9 +139,7 @@ class EfficientRankingPipeline:
     @classmethod
     def network_predictor(cls) -> NetworkTimePredictor:
         """The shared (lazily built) dense+sparse time predictor."""
-        if cls._shared_predictor is None:
-            cls._shared_predictor = NetworkTimePredictor()
-        return cls._shared_predictor
+        return shared_predictor()
 
     # ------------------------------------------------------------------
     # Forests
@@ -242,17 +239,32 @@ class EfficientRankingPipeline:
         scaled = config.learning_rate * reference_width / first_width
         return dataclasses.replace(config, learning_rate=scaled)
 
-    def pruned_student(self, spec: NetworkSpec) -> DistilledStudent:
-        """Student with its first layer pruned and fine-tuned."""
-        if spec.hidden not in self._pruned:
+    def pruned_student(
+        self, spec: NetworkSpec, teacher_spec: ForestSpec | None = None
+    ) -> DistilledStudent:
+        """Student with its first layer pruned and fine-tuned.
+
+        As with :meth:`student`, pass ``teacher_spec`` to prune the
+        student of a named teacher instead of the validation-selected
+        one.
+        """
+        if teacher_spec is None:
+            teacher = self.teacher()
+        else:
+            teacher = self.forest(teacher_spec)
+        # Key on the concrete ensemble, mirroring the _students cache: a
+        # pipeline reused with an explicit teacher_spec must not return
+        # the pruned student of a different teacher.
+        key = spec.hidden + (id(teacher),)
+        if key not in self._pruned:
             config = self._width_scaled(
                 self.scale.prune_config(self.hyper), spec.hidden[0]
             )
             pruner = FirstLayerPruner(config, seed=self.scale.seed)
-            self._pruned[spec.hidden] = pruner.prune(
-                self.student(spec), self.teacher(), self.train
+            self._pruned[key] = pruner.prune(
+                self.student(spec, teacher_spec), teacher, self.train
             )
-        return self._pruned[spec.hidden]
+        return self._pruned[key]
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -275,7 +287,9 @@ class EfficientRankingPipeline:
         """Quality of the scaled forest, timed at the paper-named shape."""
         ensemble = self.forest(spec)
         q = self.quality(ensemble.predict(self.test.features))
-        time_us = self.qs_cost.scoring_time_us(spec.n_trees, spec.n_leaves)
+        time_us = price(
+            ForestShape(spec.n_trees, spec.n_leaves), context=self.pricing
+        )
         return EvaluatedModel(
             name=spec.name,
             family="forest",
@@ -293,18 +307,12 @@ class EfficientRankingPipeline:
         """Quality and predicted time of a (dense or pruned) student."""
         student = self.pruned_student(spec) if pruned else self.student(spec)
         q = self.quality(student.predict(self.test.features))
-        predictor = self.network_predictor()
-        if pruned:
-            first = CsrMatrix.from_dense(student.network.first_layer.weight.data)
-            report = predictor.predict(
-                self.train.n_features, spec.hidden, first_layer_matrix=first
-            )
-            time_us = report.hybrid_total_us_per_doc
-            suffix = " (sparse)"
-        else:
-            report = predictor.predict(self.train.n_features, spec.hidden)
-            time_us = report.dense_total_us_per_doc
-            suffix = ""
+        # The backend is forced (not sparsity-threshold-detected) so a
+        # pruned student is always priced hybrid and a dense one dense,
+        # matching the paper's deployment assumption for each family.
+        backend = "sparse-network" if pruned else "dense-network"
+        time_us = price(student, context=self.pricing, backend=backend)
+        suffix = " (sparse)" if pruned else ""
         return EvaluatedModel(
             name=spec.name + suffix,
             family="neural",

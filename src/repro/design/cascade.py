@@ -48,6 +48,40 @@ class CascadeStage:
                 f"keep_fraction must be in (0, 1], got {self.keep_fraction}"
             )
 
+    @classmethod
+    def from_model(
+        cls,
+        model,
+        *,
+        keep_fraction: float = 1.0,
+        name: str | None = None,
+        cost_us_per_doc: float | None = None,
+        context=None,
+        backend: str | None = None,
+        **opts,
+    ) -> "CascadeStage":
+        """Build a stage from any model the scoring runtime knows.
+
+        The model is adapted through :func:`repro.runtime.make_scorer`,
+        so its execution path and calibrated price come from one place;
+        pass ``cost_us_per_doc`` to override the price (e.g. a measured
+        figure).  Extra keywords reach the backend factory.
+        """
+        # Imported lazily: runtime's adapters import this module.
+        from repro.runtime import make_scorer
+
+        scorer = make_scorer(model, backend=backend, context=context, **opts)
+        return cls(
+            name=name or scorer.describe(),
+            score_fn=scorer.score,
+            cost_us_per_doc=(
+                scorer.predicted_us_per_doc
+                if cost_us_per_doc is None
+                else cost_us_per_doc
+            ),
+            keep_fraction=keep_fraction,
+        )
+
 
 class EarlyExitCascade:
     """A multi-stage ranking cascade with predictable cost."""

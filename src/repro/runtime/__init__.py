@@ -1,0 +1,80 @@
+"""The unified scoring runtime.
+
+One surface for "score documents with any model at a known price":
+
+* :class:`Scorer` — the protocol every backend adapts to;
+* :func:`make_scorer` — registry-dispatched adapter construction;
+* :func:`price` — the single pricing function over models *and* shapes;
+* :class:`BatchEngine` — micro-batched, budget-checked execution with
+  latency percentiles;
+* :func:`register_backend` — the plug-in point for new model families.
+
+See ``docs/runtime.md`` for the design and extension guide.
+"""
+
+from repro.runtime.adapters import (
+    CascadeScorer,
+    DenseNetworkScorer,
+    GpuQuickScorerAdapter,
+    QuantizedNetworkScorer,
+    QuickScorerAdapter,
+    SparseNetworkScorer,
+)
+from repro.runtime.base import BaseScorer, Scorer, is_scorer, stable_forward
+from repro.runtime.batching import BatchEngine, BudgetExceededError, ServiceStats
+from repro.runtime.context import (
+    PricingContext,
+    default_context,
+    set_default_context,
+    shared_predictor,
+)
+from repro.runtime.pricing import (
+    ForestShape,
+    NetworkShape,
+    network_report,
+    price,
+    price_forest_shape,
+    price_network_shape,
+)
+from repro.runtime.registry import (
+    ScorerBackend,
+    UnknownBackendError,
+    backend_names,
+    get_backend,
+    make_scorer,
+    register_backend,
+    unregister_backend,
+)
+
+__all__ = [
+    "BaseScorer",
+    "BatchEngine",
+    "BudgetExceededError",
+    "CascadeScorer",
+    "DenseNetworkScorer",
+    "ForestShape",
+    "GpuQuickScorerAdapter",
+    "NetworkShape",
+    "PricingContext",
+    "QuantizedNetworkScorer",
+    "QuickScorerAdapter",
+    "Scorer",
+    "ScorerBackend",
+    "ServiceStats",
+    "SparseNetworkScorer",
+    "UnknownBackendError",
+    "backend_names",
+    "default_context",
+    "get_backend",
+    "is_scorer",
+    "make_scorer",
+    "network_report",
+    "price",
+    "price_forest_shape",
+    "price_network_shape",
+    "register_backend",
+    "set_default_context",
+    "shared_predictor",
+    "stable_forward",
+    "unregister_backend",
+]

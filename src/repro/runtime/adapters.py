@@ -1,0 +1,261 @@
+"""Concrete :class:`~repro.runtime.base.Scorer` adapters.
+
+One adapter per model family, each pairing an execution path with its
+calibrated price:
+
+==================  =============================  =========================
+backend             executes                        priced by
+==================  =============================  =========================
+quickscorer         QuickScorer bitvector traversal QuickScorer cost model
+quickscorer-gpu     (same traversal, CPU-simulated) GPU QuickScorer model
+dense-network       chunk-stable FFN forward        dense predictor (Eq. 3)
+sparse-network      chunk-stable FFN forward        hybrid dense+Eq. 5 price
+quantized-network   fake-quantized FFN forward      int-``bits`` timing model
+cascade             per-request early-exit cascade  expected amortized cost
+==================  =============================  =========================
+
+All network adapters score through :func:`~repro.runtime.base.
+stable_forward`, so micro-batched and whole-request scoring are
+bit-identical (see ``base.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.design.cascade import EarlyExitCascade
+from repro.distill.student import DistilledStudent
+from repro.forest.ensemble import TreeEnsemble
+from repro.matmul.csr import CsrMatrix
+from repro.quickscorer.scorer import QuickScorer
+from repro.runtime.base import BaseScorer, stable_forward
+from repro.runtime.context import PricingContext
+from repro.runtime.pricing import (
+    NetworkShape,
+    price_forest_shape,
+    price_network_shape,
+    ForestShape,
+)
+
+
+class QuickScorerAdapter(BaseScorer):
+    """A :class:`TreeEnsemble` scored through QuickScorer.
+
+    Oblivious-tree ensembles flow through unchanged — they are plain
+    ``TreeEnsemble`` objects and QuickScorer encodes them exactly.
+    """
+
+    backend = "quickscorer"
+
+    def __init__(
+        self,
+        ensemble: TreeEnsemble,
+        context: PricingContext,
+        *,
+        false_fraction: float | None = None,
+        blockwise: bool = True,
+    ) -> None:
+        if not isinstance(ensemble, TreeEnsemble):
+            raise TypeError(
+                f"expected a TreeEnsemble, got {type(ensemble).__name__}"
+            )
+        self.ensemble = ensemble
+        self._scorer = QuickScorer(ensemble)
+        super().__init__(
+            price_fn=lambda: context.qs_cost.scoring_time_for(
+                ensemble, false_fraction=false_fraction, blockwise=blockwise
+            ),
+            input_dim=ensemble.n_features,
+        )
+
+    def score(self, features) -> np.ndarray:
+        return self._scorer.score(features)
+
+    def describe(self) -> str:
+        return f"QuickScorer over {self.ensemble.describe()}"
+
+
+class GpuQuickScorerAdapter(QuickScorerAdapter):
+    """A forest priced by the GPU QuickScorer cost model.
+
+    Execution still runs the (exact) CPU traversal — the environment has
+    no device — while the price locates the model on the GPU engine's
+    time axis, the same measured-vs-modeled split the library uses
+    everywhere.
+    """
+
+    backend = "quickscorer-gpu"
+
+    def __init__(
+        self,
+        ensemble: TreeEnsemble,
+        context: PricingContext,
+        *,
+        batch_docs: int = 10_000,
+    ) -> None:
+        super().__init__(ensemble, context)
+        self._price = None  # re-arm lazy pricing with the GPU model
+        self._price_fn = lambda: context.gpu_cost.scoring_time_us(
+            ensemble.n_trees,
+            ensemble.max_leaves,
+            batch_docs=batch_docs,
+            n_features=ensemble.n_features,
+        )
+
+    def describe(self) -> str:
+        return f"GPU QuickScorer over {self.ensemble.describe()}"
+
+
+class DenseNetworkScorer(BaseScorer):
+    """A distilled student priced as a dense network."""
+
+    backend = "dense-network"
+
+    def __init__(
+        self, student: DistilledStudent, context: PricingContext
+    ) -> None:
+        if not isinstance(student, DistilledStudent):
+            raise TypeError(
+                f"expected a DistilledStudent, got {type(student).__name__}"
+            )
+        self.student = student
+        super().__init__(
+            price_fn=lambda: price_network_shape(
+                self._shape(), context
+            ),
+            input_dim=student.input_dim,
+        )
+
+    def _shape(self) -> NetworkShape:
+        return NetworkShape(self.student.input_dim, self.student.hidden)
+
+    def score(self, features) -> np.ndarray:
+        z = self.student.normalizer.transform(
+            np.asarray(features, dtype=np.float64)
+        )
+        return stable_forward(self.student.network, z)
+
+    def describe(self) -> str:
+        return f"dense net {self.student.describe()}"
+
+
+class SparseNetworkScorer(DenseNetworkScorer):
+    """A first-layer-pruned student priced with the hybrid model.
+
+    The price runs the (CSR-measured) first layer through the sparse
+    predictor (Eq. 5) and the remaining layers densely — exactly the
+    paper's deployment model for pruned networks.
+    """
+
+    backend = "sparse-network"
+
+    def _shape(self) -> NetworkShape:
+        first = self.student.network.first_layer
+        return NetworkShape(
+            self.student.input_dim,
+            self.student.hidden,
+            first_layer_matrix=CsrMatrix.from_dense(first.weight.data),
+        )
+
+    def describe(self) -> str:
+        sparsity = self.student.first_layer_sparsity()
+        return (
+            f"sparse-first-layer net {self.student.describe()} "
+            f"@ {sparsity:.1%}"
+        )
+
+
+class QuantizedNetworkScorer(BaseScorer):
+    """A student executed (and priced) at int-``bits`` precision.
+
+    Scoring uses the fake-quantized twin network (dequantized int
+    weights, so ranking quality is measured faithfully); pricing scales
+    the fp32 predictors by the calibrated int-kernel speed-ups.
+    """
+
+    backend = "quantized-network"
+
+    def __init__(
+        self,
+        student: DistilledStudent,
+        context: PricingContext,
+        *,
+        quantized_bits: int = 8,
+    ) -> None:
+        from repro.nn.quantization import quantize_student
+
+        if not isinstance(student, DistilledStudent):
+            raise TypeError(
+                f"expected a DistilledStudent, got {type(student).__name__}"
+            )
+        self.student = student
+        self.bits = int(quantized_bits)
+        self.quantized = quantize_student(student, bits=self.bits)
+        sparse = (
+            student.first_layer_sparsity() > context.sparse_threshold
+        )
+
+        def _price() -> float:
+            first = self.quantized.network.first_layer
+            shape = NetworkShape(
+                student.input_dim,
+                student.hidden,
+                first_layer_matrix=(
+                    CsrMatrix.from_dense(first.weight.data) if sparse else None
+                ),
+                quantized_bits=self.bits,
+            )
+            return price_network_shape(shape, context)
+
+        super().__init__(price_fn=_price, input_dim=student.input_dim)
+
+    def score(self, features) -> np.ndarray:
+        z = self.quantized.normalizer.transform(
+            np.asarray(features, dtype=np.float64)
+        )
+        return stable_forward(self.quantized.network, z)
+
+    def describe(self) -> str:
+        return f"int{self.bits} net {self.student.describe()}"
+
+
+class CascadeScorer(BaseScorer):
+    """An early-exit cascade served as one scorer.
+
+    Cascades rank *within* a request (survivor cuts are per-query), so
+    the adapter is **not batchable**: the batch engine hands it each
+    request whole.
+    """
+
+    backend = "cascade"
+    batchable = False
+
+    def __init__(
+        self, cascade: EarlyExitCascade, context: PricingContext
+    ) -> None:
+        if not isinstance(cascade, EarlyExitCascade):
+            raise TypeError(
+                f"expected an EarlyExitCascade, got {type(cascade).__name__}"
+            )
+        self.cascade = cascade
+        super().__init__(
+            price_fn=cascade.expected_cost_us_per_doc,
+            input_dim=None,
+        )
+
+    def score(self, features) -> np.ndarray:
+        return self.cascade.score_query(np.asarray(features, dtype=np.float64))
+
+    def describe(self) -> str:
+        return f"cascade [{self.cascade.describe()}]"
+
+
+__all__ = [
+    "QuickScorerAdapter",
+    "GpuQuickScorerAdapter",
+    "DenseNetworkScorer",
+    "SparseNetworkScorer",
+    "QuantizedNetworkScorer",
+    "CascadeScorer",
+    "ForestShape",
+]

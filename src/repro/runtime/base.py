@@ -1,0 +1,141 @@
+"""The ``Scorer`` protocol — the library's single scoring surface.
+
+Every deployable model (QuickScorer forests, dense students, sparse
+first-layer students, quantized networks, early-exit cascades, future
+backends) is adapted to one small interface:
+
+* ``score(X) -> np.ndarray`` — per-document scores for a 2-D feature
+  matrix;
+* ``predicted_us_per_doc`` — the calibrated cost model's µs/doc price,
+  computed lazily (pricing a network needs the GFLOPS surface, which is
+  only built when someone actually asks for a price);
+* ``describe()`` — a human-readable one-liner;
+* ``batchable`` — whether a request may be split into micro-batches
+  (cascades rank *within* a request, so they must see it whole);
+* ``input_dim`` — expected feature count, or ``None`` when the backend
+  cannot know it.
+
+Adapters additionally guarantee **chunk-invariant scoring**: splitting a
+feature matrix into micro-batches of any size yields bit-identical
+scores to one full-matrix call.  Tree traversal is row-independent by
+construction; network adapters route matmuls through a fixed-order
+``einsum`` kernel instead of BLAS GEMM, whose accumulation order (and
+therefore last-bit rounding) changes with the batch shape.  The library
+pays a small constant factor on the numpy forward for a deterministic
+serving layer; offline evaluation keeps using the models' native
+``predict``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.nn.layers import Linear
+from repro.nn.network import FeedForwardNetwork
+from repro.utils.validation import check_array_2d
+
+
+@runtime_checkable
+class Scorer(Protocol):
+    """Protocol of a priced, deployable document scorer."""
+
+    #: Registry name of the backend that produced this scorer.
+    backend: str
+    #: Whether requests may be split into micro-batches.
+    batchable: bool
+
+    @property
+    def input_dim(self) -> int | None:  # pragma: no cover - protocol
+        """Expected feature count (``None`` if unknown)."""
+        ...
+
+    @property
+    def predicted_us_per_doc(self) -> float:  # pragma: no cover - protocol
+        """Calibrated per-document scoring price, in microseconds."""
+        ...
+
+    def score(self, features) -> np.ndarray:  # pragma: no cover - protocol
+        """Score a 2-D feature matrix; returns shape ``(n_docs,)``."""
+        ...
+
+    def describe(self) -> str:  # pragma: no cover - protocol
+        """One-line human-readable description."""
+        ...
+
+
+def is_scorer(obj: Any) -> bool:
+    """Cheap structural check for the :class:`Scorer` protocol.
+
+    Inspects the *type* so that lazily-priced scorers are not forced to
+    compute their price just to be recognized.
+    """
+    t = type(obj)
+    return all(
+        hasattr(t, name)
+        for name in ("score", "describe", "predicted_us_per_doc", "backend")
+    )
+
+
+class BaseScorer:
+    """Shared plumbing for the concrete adapters: lazy pricing.
+
+    Subclasses set ``backend``/``batchable`` as class attributes and pass
+    a zero-argument ``price_fn`` that is evaluated (once) on the first
+    ``predicted_us_per_doc`` access.
+    """
+
+    backend: str = "base"
+    batchable: bool = True
+
+    def __init__(self, *, price_fn: Callable[[], float], input_dim: int | None) -> None:
+        self._price_fn = price_fn
+        self._price: float | None = None
+        self._input_dim = input_dim
+
+    @property
+    def input_dim(self) -> int | None:
+        return self._input_dim
+
+    @property
+    def predicted_us_per_doc(self) -> float:
+        if self._price is None:
+            self._price = float(self._price_fn())
+        return self._price
+
+    def score(self, features) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} [{self.backend}] {self.describe()}>"
+
+
+def stable_forward(network: FeedForwardNetwork, x: np.ndarray) -> np.ndarray:
+    """Chunk-invariant inference through a feed-forward network.
+
+    Linear layers are evaluated with a fixed-reduction-order ``einsum``
+    (each output element sums over ``k`` in ascending order, independent
+    of the batch size), all other layers through their own inference
+    path.  Scoring any row subset therefore reproduces the full-matrix
+    bits exactly — the property the :class:`~repro.runtime.batching.
+    BatchEngine` relies on.
+    """
+    out = check_array_2d(x, "features")
+    if out.shape[1] != network.input_dim:
+        raise ValueError(
+            f"expected {network.input_dim} features, got {out.shape[1]}"
+        )
+    for layer in network.layers:
+        if isinstance(layer, Linear):
+            out = (
+                np.einsum("nk,mk->nm", out, layer.weight.data)
+                + layer.bias.data
+            )
+        else:
+            out = layer.forward(out, training=False)
+    return out[:, 0]

@@ -1,0 +1,166 @@
+"""Batched execution with budgets and latency accounting.
+
+:class:`BatchEngine` is the one execution layer every serving surface
+goes through:
+
+* documents of a request are scored in **micro-batches** of at most
+  ``max_batch_size`` rows (adapters guarantee chunk-invariant scoring,
+  so batching never changes a single bit of the output);
+* the request is **priced before execution** against the scorer's
+  calibrated cost model, and construction fails when the price exceeds
+  the latency budget — the paper's design rule enforced at deployment
+  time;
+* per-request wall latencies are recorded into :class:`ServiceStats`,
+  which reports p50/p95/p99 percentiles alongside the running volume
+  counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.runtime.base import Scorer
+from repro.utils.validation import check_array_2d
+
+
+class BudgetExceededError(ReproError):
+    """The model's predicted cost exceeds the service's latency budget."""
+
+
+@dataclass
+class ServiceStats:
+    """Running counters and latency percentiles of a scoring service."""
+
+    requests: int = 0
+    documents: int = 0
+    wall_seconds: float = 0.0
+    predicted_us_per_doc: float = field(default=float("nan"))
+    _request_seconds: list[float] = field(
+        default_factory=list, repr=False, compare=False
+    )
+
+    def record(self, n_docs: int, seconds: float) -> None:
+        """Account one request of ``n_docs`` documents."""
+        self.requests += 1
+        self.documents += int(n_docs)
+        self.wall_seconds += seconds
+        self._request_seconds.append(seconds)
+
+    @property
+    def mean_docs_per_request(self) -> float:
+        return self.documents / self.requests if self.requests else 0.0
+
+    def latency_percentile_us(self, q: float) -> float:
+        """The ``q``-th percentile of per-request wall latency, in µs."""
+        if not self._request_seconds:
+            return float("nan")
+        return float(np.percentile(self._request_seconds, q) * 1e6)
+
+    @property
+    def p50_us(self) -> float:
+        """Median per-request latency (µs)."""
+        return self.latency_percentile_us(50.0)
+
+    @property
+    def p95_us(self) -> float:
+        """95th-percentile per-request latency (µs)."""
+        return self.latency_percentile_us(95.0)
+
+    @property
+    def p99_us(self) -> float:
+        """99th-percentile per-request latency (µs)."""
+        return self.latency_percentile_us(99.0)
+
+    def latency_summary(self) -> dict[str, float]:
+        """p50/p95/p99 per-request latency in µs."""
+        return {"p50_us": self.p50_us, "p95_us": self.p95_us, "p99_us": self.p99_us}
+
+
+class BatchEngine:
+    """Micro-batched, budget-checked execution of one scorer.
+
+    Parameters
+    ----------
+    scorer:
+        Any :class:`~repro.runtime.base.Scorer` (see ``make_scorer``).
+    max_batch_size:
+        Largest micro-batch handed to the scorer in one call; ``None``
+        disables splitting.  Non-batchable scorers (cascades) always
+        receive the request whole.
+    budget_us_per_doc:
+        Optional per-document budget; construction raises
+        :class:`BudgetExceededError` when the scorer's calibrated price
+        exceeds it.
+    stats:
+        Optional pre-existing :class:`ServiceStats` to accumulate into.
+    """
+
+    def __init__(
+        self,
+        scorer: Scorer,
+        *,
+        max_batch_size: int | None = 256,
+        budget_us_per_doc: float | None = None,
+        stats: ServiceStats | None = None,
+    ) -> None:
+        if max_batch_size is not None and max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        self.scorer = scorer
+        self.max_batch_size = max_batch_size
+        self.stats = stats or ServiceStats()
+        predicted = scorer.predicted_us_per_doc
+        self.stats.predicted_us_per_doc = predicted
+        if budget_us_per_doc is not None and predicted > budget_us_per_doc:
+            raise BudgetExceededError(
+                f"model predicted at {predicted:.2f} us/doc exceeds the "
+                f"{budget_us_per_doc:.2f} us/doc budget"
+            )
+        self.budget_us_per_doc = budget_us_per_doc
+
+    # ------------------------------------------------------------------
+    def score(self, features) -> np.ndarray:
+        """Score one request, micro-batched, updating the running stats."""
+        x = check_array_2d(features, "features")
+        start = time.perf_counter()
+        scores = self._score_chunked(x)
+        self.stats.record(len(x), time.perf_counter() - start)
+        return scores
+
+    def _score_chunked(self, x: np.ndarray) -> np.ndarray:
+        size = self.max_batch_size
+        if (
+            size is None
+            or len(x) <= size
+            or not getattr(self.scorer, "batchable", True)
+        ):
+            return np.asarray(self.scorer.score(x), dtype=np.float64)
+        out = np.empty(len(x), dtype=np.float64)
+        for lo in range(0, len(x), size):
+            chunk = x[lo : lo + size]
+            out[lo : lo + len(chunk)] = self.scorer.score(chunk)
+        return out
+
+    # ------------------------------------------------------------------
+    def rank(self, features) -> np.ndarray:
+        """Document indices in descending score order."""
+        return np.argsort(-self.score(features), kind="stable")
+
+    def top_k(self, features, k: int) -> np.ndarray:
+        """Indices of the ``k`` highest-scored documents.
+
+        Selects the winners with ``argpartition`` (O(n)) and sorts only
+        those ``k``, instead of a full argsort per request.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        scores = self.score(features)
+        if k >= len(scores):
+            return np.argsort(-scores, kind="stable")
+        winners = np.argpartition(-scores, k - 1)[:k]
+        return winners[np.argsort(-scores[winners], kind="stable")]

@@ -1,0 +1,119 @@
+"""Shared pricing state for the scoring runtime.
+
+A :class:`PricingContext` bundles every calibrated cost model a backend
+may need — the QuickScorer analytic model, its GPU variant, the dense +
+sparse network predictor, and the quantized-timing scaling — behind lazy
+construction, so contexts are cheap to create and the expensive GFLOPS
+calibration only runs when a network is actually priced.
+
+One process-wide default context backs ``make_scorer``/``price`` when no
+explicit context is passed; its :class:`NetworkTimePredictor` is the
+library-wide shared instance (also handed out by
+``EfficientRankingPipeline.network_predictor``), so every layer prices
+against the same calibration.
+"""
+
+from __future__ import annotations
+
+from repro.quickscorer.cost import QuickScorerCostModel
+from repro.timing.network_predictor import NetworkTimePredictor
+
+_SHARED_PREDICTOR: NetworkTimePredictor | None = None
+
+
+def shared_predictor() -> NetworkTimePredictor:
+    """The lazily-built, process-wide dense+sparse time predictor."""
+    global _SHARED_PREDICTOR
+    if _SHARED_PREDICTOR is None:
+        _SHARED_PREDICTOR = NetworkTimePredictor()
+    return _SHARED_PREDICTOR
+
+
+class PricingContext:
+    """Cost models and thresholds shared by every scorer backend.
+
+    Parameters
+    ----------
+    predictor:
+        Network time predictor; defaults to the process-wide shared
+        instance (built on first use).
+    qs_cost:
+        QuickScorer cost model for tree ensembles.
+    gpu_cost:
+        GPU QuickScorer cost model; defaults to one wrapping ``qs_cost``.
+    sparse_threshold:
+        First-layer sparsity above which a student is auto-dispatched to
+        the sparse (hybrid-priced) backend.
+    quantized_efficiency, quantized_sparse_efficiency:
+        Fractions of the SIMD lane-ratio ceiling the int8 dense/sparse
+        kernels sustain (see :mod:`repro.timing.quantized`).
+    """
+
+    def __init__(
+        self,
+        *,
+        predictor: NetworkTimePredictor | None = None,
+        qs_cost: QuickScorerCostModel | None = None,
+        gpu_cost=None,
+        sparse_threshold: float = 0.5,
+        quantized_efficiency: float = 0.6,
+        quantized_sparse_efficiency: float = 0.8,
+    ) -> None:
+        if not 0.0 <= sparse_threshold <= 1.0:
+            raise ValueError(
+                f"sparse_threshold must be in [0, 1], got {sparse_threshold}"
+            )
+        self._predictor = predictor
+        self.qs_cost = qs_cost or QuickScorerCostModel()
+        self._gpu_cost = gpu_cost
+        self.sparse_threshold = sparse_threshold
+        self.quantized_efficiency = quantized_efficiency
+        self.quantized_sparse_efficiency = quantized_sparse_efficiency
+
+    @property
+    def predictor(self) -> NetworkTimePredictor:
+        """The network time predictor (lazily resolved)."""
+        if self._predictor is None:
+            self._predictor = shared_predictor()
+        return self._predictor
+
+    @property
+    def gpu_cost(self):
+        """GPU QuickScorer cost model, built around :attr:`qs_cost`."""
+        if self._gpu_cost is None:
+            from repro.quickscorer.gpu import GpuQuickScorerCostModel
+
+            self._gpu_cost = GpuQuickScorerCostModel(cpu_model=self.qs_cost)
+        return self._gpu_cost
+
+    def quantized_timing(self, bits: int = 8):
+        """The int-``bits`` timing model over this context's predictor."""
+        from repro.timing.quantized import QuantizedTimingModel
+
+        if not 2 <= bits <= 8:
+            raise ValueError(f"bits must be in [2, 8], got {bits}")
+        return QuantizedTimingModel(
+            self.predictor,
+            lane_ratio=32.0 / bits,
+            efficiency=self.quantized_efficiency,
+            sparse_efficiency=self.quantized_sparse_efficiency,
+        )
+
+
+_DEFAULT_CONTEXT: PricingContext | None = None
+
+
+def default_context() -> PricingContext:
+    """The process-wide default :class:`PricingContext`."""
+    global _DEFAULT_CONTEXT
+    if _DEFAULT_CONTEXT is None:
+        _DEFAULT_CONTEXT = PricingContext()
+    return _DEFAULT_CONTEXT
+
+
+def set_default_context(context: PricingContext) -> PricingContext:
+    """Install a new default context, returning the previous one."""
+    global _DEFAULT_CONTEXT
+    previous = default_context()
+    _DEFAULT_CONTEXT = context
+    return previous

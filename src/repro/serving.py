@@ -1,13 +1,16 @@
 """A miniature document-scoring service.
 
-Wraps any of the library's scorers behind one interface with the
-operational features a query processor needs:
+Wraps any model the scoring runtime knows (forests via QuickScorer,
+dense / first-layer-sparse / quantized students, early-exit cascades —
+see :mod:`repro.runtime`) behind one endpoint with the operational
+features a query processor needs:
 
 * per-request latency *budget* checking against the calibrated cost
   models (requests are priced before execution, the paper's predictors
   doing in deployment what they do at design time);
-* batching of documents per query;
-* running latency/volume statistics.
+* micro-batching of documents per query through the shared
+  :class:`~repro.runtime.batching.BatchEngine`;
+* running latency/volume statistics with p50/p95/p99 percentiles.
 
 This is the integration surface a downstream search stack would adopt;
 ``examples/scoring_service.py`` shows the multi-stage variant.
@@ -15,38 +18,18 @@ This is the integration surface a downstream search stack would adopt;
 
 from __future__ import annotations
 
-import time
-from collections.abc import Callable
-from dataclasses import dataclass, field
-
 import numpy as np
 
-from repro.distill.student import DistilledStudent
-from repro.exceptions import ReproError
-from repro.forest.ensemble import TreeEnsemble
-from repro.matmul.csr import CsrMatrix
-from repro.quickscorer.cost import QuickScorerCostModel
-from repro.quickscorer.scorer import QuickScorer
-from repro.timing.network_predictor import NetworkTimePredictor
-from repro.utils.validation import check_array_2d
+from repro.runtime import (
+    BatchEngine,
+    BudgetExceededError,
+    PricingContext,
+    ServiceStats,
+    is_scorer,
+    make_scorer,
+)
 
-
-class BudgetExceededError(ReproError):
-    """The model's predicted cost exceeds the service's latency budget."""
-
-
-@dataclass
-class ServiceStats:
-    """Running counters of a scoring service."""
-
-    requests: int = 0
-    documents: int = 0
-    wall_seconds: float = 0.0
-    predicted_us_per_doc: float = field(default=float("nan"))
-
-    @property
-    def mean_docs_per_request(self) -> float:
-        return self.documents / self.requests if self.requests else 0.0
+__all__ = ["BudgetExceededError", "ScoringService", "ServiceStats"]
 
 
 class ScoringService:
@@ -55,84 +38,75 @@ class ScoringService:
     Parameters
     ----------
     model:
-        A :class:`TreeEnsemble` (scored through QuickScorer) or a
-        :class:`DistilledStudent` (dense or first-layer-sparse network).
+        Any model with a registered runtime backend — a
+        :class:`~repro.forest.ensemble.TreeEnsemble` (scored through
+        QuickScorer), a :class:`~repro.distill.student.DistilledStudent`
+        (dense or first-layer-sparse), an
+        :class:`~repro.design.cascade.EarlyExitCascade` — or an
+        already-built :class:`~repro.runtime.base.Scorer`.
     budget_us_per_doc:
         Optional per-document budget; construction fails with
         :class:`BudgetExceededError` when the calibrated cost model
         prices the model above it — the paper's design rule enforced at
         deployment time.
     predictor:
-        Shared :class:`NetworkTimePredictor` for pricing networks.
+        Shared :class:`~repro.timing.network_predictor.
+        NetworkTimePredictor` for pricing networks (defaults to the
+        process-wide one).
+    cost_model:
+        QuickScorer cost model override for pricing forests.
+    max_batch_size:
+        Micro-batch size of the underlying :class:`BatchEngine`.
+    backend:
+        Optional explicit runtime backend name (see
+        :func:`repro.runtime.backend_names`).
+    **scorer_opts:
+        Extra options forwarded to :func:`repro.runtime.make_scorer`
+        (e.g. ``quantized_bits=8``).
     """
 
     def __init__(
         self,
-        model: TreeEnsemble | DistilledStudent,
+        model,
         *,
         budget_us_per_doc: float | None = None,
-        predictor: NetworkTimePredictor | None = None,
-        cost_model: QuickScorerCostModel | None = None,
+        predictor=None,
+        cost_model=None,
+        max_batch_size: int | None = 256,
+        backend: str | None = None,
+        context: PricingContext | None = None,
+        **scorer_opts,
     ) -> None:
+        if context is None:
+            context = PricingContext(predictor=predictor, qs_cost=cost_model)
         self.model = model
-        self.stats = ServiceStats()
-        self._score_fn, predicted = self._build(
-            model, predictor, cost_model or QuickScorerCostModel()
-        )
-        self.stats.predicted_us_per_doc = predicted
-        if budget_us_per_doc is not None and predicted > budget_us_per_doc:
-            raise BudgetExceededError(
-                f"model predicted at {predicted:.2f} us/doc exceeds the "
-                f"{budget_us_per_doc:.2f} us/doc budget"
+        if is_scorer(model):
+            self.scorer = model
+        else:
+            self.scorer = make_scorer(
+                model, backend=backend, context=context, **scorer_opts
             )
-        self.budget_us_per_doc = budget_us_per_doc
-
-    @staticmethod
-    def _build(
-        model,
-        predictor: NetworkTimePredictor | None,
-        cost_model: QuickScorerCostModel,
-    ) -> tuple[Callable[[np.ndarray], np.ndarray], float]:
-        if isinstance(model, TreeEnsemble):
-            scorer = QuickScorer(model)
-            return scorer.score, cost_model.scoring_time_for(model)
-        if isinstance(model, DistilledStudent):
-            predictor = predictor or NetworkTimePredictor()
-            first = model.network.first_layer
-            if first.sparsity() > 0.5:
-                report = predictor.predict(
-                    model.input_dim,
-                    model.hidden,
-                    first_layer_matrix=CsrMatrix.from_dense(first.weight.data),
-                )
-                predicted = report.hybrid_total_us_per_doc
-            else:
-                report = predictor.predict(model.input_dim, model.hidden)
-                predicted = report.dense_total_us_per_doc
-            return model.predict, float(predicted)
-        raise TypeError(
-            f"unsupported model type {type(model).__name__}; expected "
-            "TreeEnsemble or DistilledStudent"
+        self.engine = BatchEngine(
+            self.scorer,
+            max_batch_size=max_batch_size,
+            budget_us_per_doc=budget_us_per_doc,
         )
+        self.stats = self.engine.stats
+        self.budget_us_per_doc = budget_us_per_doc
 
     # ------------------------------------------------------------------
     def score(self, features) -> np.ndarray:
         """Score one request's documents, updating the running stats."""
-        x = check_array_2d(features, "features")
-        start = time.perf_counter()
-        scores = self._score_fn(x)
-        elapsed = time.perf_counter() - start
-        self.stats.requests += 1
-        self.stats.documents += len(x)
-        self.stats.wall_seconds += elapsed
-        return scores
+        return self.engine.score(features)
 
     def rank(self, features) -> np.ndarray:
         """Document indices in descending score order."""
-        return np.argsort(-self.score(features), kind="stable")
+        return self.engine.rank(features)
 
     def top_k(self, features, k: int) -> np.ndarray:
-        """Indices of the ``k`` highest-scored documents."""
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
-        return self.rank(features)[:k]
+        """Indices of the ``k`` highest-scored documents.
+
+        Partial selection (``argpartition`` + sort of the ``k`` winners)
+        rather than a full per-request argsort.
+        """
+        return self.engine.top_k(features, k)

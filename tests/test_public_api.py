@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.nn",
     "repro.pruning",
     "repro.quickscorer",
+    "repro.runtime",
     "repro.timing",
     "repro.utils",
 ]
