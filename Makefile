@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast verify smoke bench examples report clean
+.PHONY: install test test-fast verify smoke obs-smoke bench examples report clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -14,13 +14,18 @@ test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow" -x
 
 # Tier-1 gate: the full suite plus a bytecode compile of the library.
-verify:
+verify: obs-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(PYTHON) -m compileall -q src
 
 # Seconds-fast sanity check: build + price one scorer of every backend.
 smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_runtime_smoke.py -q
+
+# Observability gate: run a tiny pipeline with tracing on and assert the
+# JSON + Prometheus exporters and the drift series are well-formed.
+obs-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.obs.smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import pathlib
 
+from repro import obs
+from repro.obs.export import render_json
 from repro.utils.tables import format_table
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -23,6 +25,12 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 def emit(name: str, headers, rows, *, title: str, notes: str = "") -> str:
     """Render a paper-style table, print it, and persist it.
+
+    Besides the human-readable ``{name}.txt``, a machine-readable
+    ``{name}.json`` is written with the same rows plus a snapshot of the
+    observability state (trace tree + metric series) accumulated while
+    the benchmark ran, so drift and per-stage timings travel with the
+    numbers they explain.
 
     Parameters
     ----------
@@ -36,5 +44,16 @@ def emit(name: str, headers, rows, *, title: str, notes: str = "") -> str:
         text = f"{text}\n\n{notes.strip()}\n"
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    document = {
+        "name": name,
+        "title": title,
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+        "notes": notes.strip(),
+        "observability": obs.snapshot_dict(),
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(
+        render_json(document=document) + "\n", encoding="utf-8"
+    )
     print(f"\n{text}")
     return text

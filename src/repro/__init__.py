@@ -59,6 +59,7 @@ from repro.timing import (
     load_predictor,
     save_predictor,
 )
+from repro import obs
 from repro.analysis import feature_selection_agreement, score_agreement
 from repro.design import CascadeStage, EarlyExitCascade
 from repro.nn import quantize_student
@@ -139,6 +140,7 @@ __all__ = [
     "ForestShape",
     "NetworkShape",
     "make_scorer",
+    "obs",
     "price",
     "register_backend",
     "backend_names",

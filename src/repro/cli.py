@@ -10,18 +10,23 @@ can be driven without writing Python:
 * ``repro score``         — score an SVMLight file with a saved model.
 * ``repro calibrate``     — measure + save the time predictors.
 * ``repro predict-time``  — price an architecture with saved predictors.
+* ``repro stats``         — serve a probe workload, report spans + drift.
 
 Every command is a thin wrapper over the public API; see ``--help`` of
-each subcommand.
+each subcommand.  Global flags: ``--trace`` prints the span tree and the
+predicted-vs-measured drift report after any command; ``--verbose`` /
+``--quiet`` tune the structured log output.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 import numpy as np
 
+from repro import obs
 from repro.datasets import (
     load_svmlight,
     make_istella_s_like,
@@ -43,6 +48,31 @@ from repro.runtime import (
     price,
 )
 from repro.timing import NetworkTimePredictor, load_predictor, save_predictor
+
+log = logging.getLogger("repro.cli")
+
+
+def _configure_logging(*, verbose: bool = False, quiet: bool = False) -> None:
+    """Point the ``repro`` logger at stdout with a level and format.
+
+    Default output is bare messages (what ``print`` produced before);
+    ``--verbose`` switches to a structured ``time level logger: message``
+    format at DEBUG, ``--quiet`` raises the threshold to WARNING.  The
+    handler is rebuilt on every call so redirected ``sys.stdout`` (tests,
+    pipes) is honoured.
+    """
+    root = logging.getLogger("repro")
+    if verbose:
+        level, fmt = logging.DEBUG, "%(asctime)s %(levelname)s %(name)s: %(message)s"
+    elif quiet:
+        level, fmt = logging.WARNING, "%(message)s"
+    else:
+        level, fmt = logging.INFO, "%(message)s"
+    handler = logging.StreamHandler(sys.stdout)
+    handler.setFormatter(logging.Formatter(fmt))
+    root.handlers = [handler]
+    root.setLevel(level)
+    root.propagate = False
 
 
 def _parse_hidden(text: str) -> tuple[int, ...]:
@@ -69,7 +99,7 @@ def cmd_generate(args) -> int:
         n_queries=args.queries, docs_per_query=args.docs, seed=args.seed
     )
     save_svmlight(dataset, args.output)
-    print(f"wrote {dataset.summary()} -> {args.output}")
+    log.info("wrote %s -> %s", dataset.summary(), args.output)
     return 0
 
 
@@ -86,9 +116,9 @@ def cmd_train_forest(args) -> int:
     forest = LambdaMartRanker(config, seed=args.seed).fit(train, vali)
     forest.save(args.output)
     ndcg = mean_ndcg(test, forest.predict(test.features), 10)
-    print(
-        f"trained {forest.describe()}; test NDCG@10 = {ndcg:.4f}; "
-        f"saved -> {args.output}"
+    log.info(
+        "trained %s; test NDCG@10 = %.4f; saved -> %s",
+        forest.describe(), ndcg, args.output,
     )
     return 0
 
@@ -110,9 +140,9 @@ def cmd_distill(args) -> int:
     )
     student.save(args.output)
     ndcg = mean_ndcg(test, student.predict(test.features), 10)
-    print(
-        f"distilled {student.describe()} from {forest.describe()}; "
-        f"test NDCG@10 = {ndcg:.4f}; saved -> {args.output}"
+    log.info(
+        "distilled %s from %s; test NDCG@10 = %.4f; saved -> %s",
+        student.describe(), forest.describe(), ndcg, args.output,
     )
     return 0
 
@@ -134,9 +164,10 @@ def cmd_prune(args) -> int:
     )
     pruned.save(args.output)
     ndcg = mean_ndcg(test, pruned.predict(test.features), 10)
-    print(
-        f"pruned first layer to {pruned.first_layer_sparsity():.1%} sparsity; "
-        f"test NDCG@10 = {ndcg:.4f}; saved -> {args.output}"
+    log.info(
+        "pruned first layer to %.1f%% sparsity; test NDCG@10 = %.4f; "
+        "saved -> %s",
+        pruned.first_layer_sparsity() * 100.0, ndcg, args.output,
     )
     return 0
 
@@ -156,9 +187,9 @@ def cmd_score(args) -> int:
     np.savetxt(args.output, scores, fmt="%.6g")
     ndcg = mean_ndcg(dataset, scores, 10)
     map_score = mean_average_precision(dataset, scores)
-    print(
-        f"scored {dataset.n_docs} docs with {scorer.describe()}; "
-        f"NDCG@10 = {ndcg:.4f}, MAP = {map_score:.4f}; scores -> {args.output}"
+    log.info(
+        "scored %d docs with %s; NDCG@10 = %.4f, MAP = %.4f; scores -> %s",
+        dataset.n_docs, scorer.describe(), ndcg, map_score, args.output,
     )
     return 0
 
@@ -168,11 +199,11 @@ def cmd_calibrate(args) -> int:
     predictor = NetworkTimePredictor()
     save_predictor(predictor, args.output)
     zones = predictor.dense.surface.zone_summary()
-    print(
-        f"calibrated predictors (zones {zones.low_k_gflops:.0f}/"
-        f"{zones.mid_k_gflops:.0f}/{zones.high_k_gflops:.0f} GFLOPS, "
-        f"L_c/L_b = {predictor.sparse.l_c_over_l_b:.2f}); "
-        f"saved -> {args.output}"
+    log.info(
+        "calibrated predictors (zones %.0f/%.0f/%.0f GFLOPS, "
+        "L_c/L_b = %.2f); saved -> %s",
+        zones.low_k_gflops, zones.mid_k_gflops, zones.high_k_gflops,
+        predictor.sparse.l_c_over_l_b, args.output,
     )
     return 0
 
@@ -183,7 +214,7 @@ def cmd_verify(args) -> int:
 
     report = verify_calibration(include_dense=not args.quick,
                                 include_sparse=not args.quick)
-    print(report.render())
+    log.info("%s", report.render())
     return 0 if report.ok else 1
 
 
@@ -196,23 +227,53 @@ def cmd_predict_time(args) -> int:
         args.features, args.architecture, first_layer_sparsity=args.sparsity
     )
     report = network_report(shape, context)
-    print(f"architecture   : {report.describe()} on {args.features} features")
-    print(f"dense          : {report.dense_total_us_per_doc:.2f} us/doc")
-    print(f"1st layer share: {report.first_layer_impact_pct:.0f}%")
-    print(f"pruned forecast: {report.pruned_forecast_us_per_doc:.2f} us/doc")
+    log.info("architecture   : %s on %d features", report.describe(), args.features)
+    log.info("dense          : %.2f us/doc", report.dense_total_us_per_doc)
+    log.info("1st layer share: %.0f%%", report.first_layer_impact_pct)
+    log.info("pruned forecast: %.2f us/doc", report.pruned_forecast_us_per_doc)
     if report.hybrid_total_us_per_doc is not None:
-        print(
-            f"hybrid (sparse first layer @ {args.sparsity:.1%}): "
-            f"{report.hybrid_total_us_per_doc:.2f} us/doc"
+        log.info(
+            "hybrid (sparse first layer @ %.1f%%): %.2f us/doc",
+            args.sparsity * 100.0, report.hybrid_total_us_per_doc,
         )
     if args.compare_forest:
         n_trees, n_leaves = args.compare_forest
         forest_us = price(ForestShape(n_trees, n_leaves), context=context)
-        print(
-            f"QuickScorer {n_trees}x{n_leaves}: {forest_us:.2f} us/doc "
-            f"({forest_us / report.pruned_forecast_us_per_doc:.1f}x the "
-            "pruned forecast)"
+        log.info(
+            "QuickScorer %dx%d: %.2f us/doc (%.1fx the pruned forecast)",
+            n_trees, n_leaves, forest_us,
+            forest_us / report.pruned_forecast_us_per_doc,
         )
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Serve a probe workload and report spans, metrics and drift.
+
+    Runs every query of a small synthetic collection through the three
+    deployment backends (QuickScorer forest, dense student, sparse
+    student) with tracing enabled, then prints the predicted-vs-measured
+    drift table, the metrics snapshot and the span tree — the paper's
+    design-time cost predictions audited on this machine.
+    """
+    from repro.obs.probe import run_probe
+
+    obs.enable_tracing()
+    run_probe(
+        n_queries=args.queries, docs_per_query=args.docs, seed=args.seed
+    )
+    log.info("%s", obs.drift_report().render())
+    log.info("")
+    log.info("Span tree:")
+    log.info("%s", obs.render_trace_tree())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(obs.render_json())
+        log.info("snapshot (trace + metrics JSON) -> %s", args.json)
+    if args.prometheus:
+        with open(args.prometheus, "w", encoding="utf-8") as fh:
+            fh.write(obs.render_prometheus())
+        log.info("metrics (Prometheus text) -> %s", args.prometheus)
     return 0
 
 
@@ -224,6 +285,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Distilled neural networks for efficient learning to rank",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable tracing; print the span tree and drift report "
+        "after the command",
+    )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "--verbose",
+        action="store_true",
+        help="structured DEBUG-level log output",
+    )
+    verbosity.add_argument(
+        "--quiet", action="store_true", help="warnings and errors only"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -302,6 +378,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_predict_time)
 
+    p = sub.add_parser(
+        "stats", help="serve a probe workload; report spans + drift"
+    )
+    p.add_argument("--queries", type=int, default=24)
+    p.add_argument("--docs", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", help="also write the trace+metrics JSON here")
+    p.add_argument(
+        "--prometheus", help="also write the Prometheus text snapshot here"
+    )
+    p.set_defaults(func=cmd_stats)
+
     return parser
 
 
@@ -309,7 +397,20 @@ def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    _configure_logging(verbose=args.verbose, quiet=args.quiet)
+    if args.trace:
+        obs.enable_tracing()
+    try:
+        return args.func(args)
+    finally:
+        if args.trace:
+            log.info("")
+            log.info("Span tree (--trace):")
+            log.info("%s", obs.render_trace_tree())
+            report = obs.drift_report()
+            if report.rows:
+                log.info("")
+                log.info("%s", report.render())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import (
     DatasetHyperParams,
     ExperimentScale,
@@ -154,9 +155,12 @@ class EfficientRankingPipeline:
             n_trees = self.scale.scaled_trees(paper_max)
             config = self.scale.forest_config(n_leaves, n_trees)
             ranker = LambdaMartRanker(config, seed=self.scale.seed)
-            self._base_forests[n_leaves] = ranker.fit(
-                self.train, name=f"lambdamart-{n_leaves}l"
-            )
+            with obs.span(
+                "pipeline.train_forest", leaves=n_leaves, trees=n_trees
+            ):
+                self._base_forests[n_leaves] = ranker.fit(
+                    self.train, name=f"lambdamart-{n_leaves}l"
+                )
         return self._base_forests[n_leaves]
 
     def forest(self, spec: ForestSpec) -> TreeEnsemble:
@@ -217,9 +221,10 @@ class EfficientRankingPipeline:
                 self.scale.distill_config(self.hyper), spec.hidden[0]
             )
             distiller = Distiller(config, seed=self.scale.seed)
-            self._students[key] = distiller.distill(
-                teacher, self.train, hidden=spec.hidden
-            )
+            with obs.span("pipeline.distill", hidden="x".join(map(str, spec.hidden))):
+                self._students[key] = distiller.distill(
+                    teacher, self.train, hidden=spec.hidden
+                )
         return self._students[key]
 
     @staticmethod
@@ -261,9 +266,9 @@ class EfficientRankingPipeline:
                 self.scale.prune_config(self.hyper), spec.hidden[0]
             )
             pruner = FirstLayerPruner(config, seed=self.scale.seed)
-            self._pruned[key] = pruner.prune(
-                self.student(spec, teacher_spec), teacher, self.train
-            )
+            student = self.student(spec, teacher_spec)
+            with obs.span("pipeline.prune", hidden="x".join(map(str, spec.hidden))):
+                self._pruned[key] = pruner.prune(student, teacher, self.train)
         return self._pruned[key]
 
     # ------------------------------------------------------------------
@@ -286,10 +291,11 @@ class EfficientRankingPipeline:
     def evaluate_forest(self, spec: ForestSpec) -> EvaluatedModel:
         """Quality of the scaled forest, timed at the paper-named shape."""
         ensemble = self.forest(spec)
-        q = self.quality(ensemble.predict(self.test.features))
-        time_us = price(
-            ForestShape(spec.n_trees, spec.n_leaves), context=self.pricing
-        )
+        with obs.span("pipeline.evaluate", model=spec.name, family="forest"):
+            q = self.quality(ensemble.predict(self.test.features))
+            time_us = price(
+                ForestShape(spec.n_trees, spec.n_leaves), context=self.pricing
+            )
         return EvaluatedModel(
             name=spec.name,
             family="forest",
@@ -306,12 +312,13 @@ class EfficientRankingPipeline:
     ) -> EvaluatedModel:
         """Quality and predicted time of a (dense or pruned) student."""
         student = self.pruned_student(spec) if pruned else self.student(spec)
-        q = self.quality(student.predict(self.test.features))
         # The backend is forced (not sparsity-threshold-detected) so a
         # pruned student is always priced hybrid and a dense one dense,
         # matching the paper's deployment assumption for each family.
         backend = "sparse-network" if pruned else "dense-network"
-        time_us = price(student, context=self.pricing, backend=backend)
+        with obs.span("pipeline.evaluate", model=spec.name, family="neural"):
+            q = self.quality(student.predict(self.test.features))
+            time_us = price(student, context=self.pricing, backend=backend)
         suffix = " (sparse)" if pruned else ""
         return EvaluatedModel(
             name=spec.name + suffix,

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.datasets.base import LtrDataset
 from repro.datasets.normalization import ZNormalizer
 from repro.distill.augmentation import SplitPointAugmenter
@@ -152,9 +153,12 @@ class Distiller:
         )
         steps = cfg.steps_per_epoch or max(1, train.n_docs // cfg.batch_size)
         trainer = Trainer(network, cfg.training_config(), seed=self._rng)
-        self.last_history_ = trainer.fit(
-            batch_provider=provider, steps_per_epoch=steps, valid_fn=valid_fn
-        )
+        with obs.span(
+            "distill.fit", arch=network.describe(), teacher=teacher.describe()
+        ):
+            self.last_history_ = trainer.fit(
+                batch_provider=provider, steps_per_epoch=steps, valid_fn=valid_fn
+            )
         return DistilledStudent(
             network, normalizer, teacher_description=teacher.describe()
         )

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.datasets.base import LtrDataset
 from repro.exceptions import TrainingError
 from repro.forest.binning import FeatureBinner
@@ -195,36 +196,49 @@ class GradientBoostingRegressor:
         n_rows = train.n_docs
         bag_size = max(1, int(round(cfg.subsample * n_rows)))
 
-        for it in range(cfg.n_trees):
-            g, h = self.objective.gradients(scores, train)
-            rows = None
-            if cfg.subsample < 1.0:
-                rows = self._rng.choice(n_rows, size=bag_size, replace=False)
-            tree = builder.build(g, h, rows)
-            trees.append(tree)
-            scores += cfg.learning_rate * tree.predict(train.features)
-            if valid_scores is not None:
-                valid_scores += cfg.learning_rate * tree.predict(valid.features)
+        # Metric handles are resolved once, outside the boosting loop, so
+        # per-round accounting is two attribute calls.
+        rounds_total = obs.counter("gbdt.boosting_rounds", model=name)
+        valid_gauge = obs.gauge("gbdt.valid_metric", model=name)
+        fit_span = obs.span(
+            "gbdt.fit", model=name, trees=cfg.n_trees, leaves=cfg.max_leaves
+        )
+        with fit_span:
+            for it in range(cfg.n_trees):
+                g, h = self.objective.gradients(scores, train)
+                rows = None
+                if cfg.subsample < 1.0:
+                    rows = self._rng.choice(n_rows, size=bag_size, replace=False)
+                tree = builder.build(g, h, rows)
+                trees.append(tree)
+                scores += cfg.learning_rate * tree.predict(train.features)
+                if valid_scores is not None:
+                    valid_scores += cfg.learning_rate * tree.predict(
+                        valid.features
+                    )
+                rounds_total.inc()
 
-            is_last = it == cfg.n_trees - 1
-            if valid is not None and valid_metric is not None and (
-                (it + 1) % cfg.eval_every == 0 or is_last
-            ):
-                metric = float(valid_metric(valid, valid_scores))
-                history.iterations.append(it + 1)
-                history.valid_metric.append(metric)
-                if metric > history.best_metric:
-                    history.best_metric = metric
-                    history.best_iteration = it + 1
-                    evals_without_improvement = 0
-                else:
-                    evals_without_improvement += 1
-                if (
-                    cfg.early_stopping_rounds is not None
-                    and evals_without_improvement >= cfg.early_stopping_rounds
+                is_last = it == cfg.n_trees - 1
+                if valid is not None and valid_metric is not None and (
+                    (it + 1) % cfg.eval_every == 0 or is_last
                 ):
-                    history.stopped_early = True
-                    break
+                    metric = float(valid_metric(valid, valid_scores))
+                    valid_gauge.set(metric)
+                    history.iterations.append(it + 1)
+                    history.valid_metric.append(metric)
+                    if metric > history.best_metric:
+                        history.best_metric = metric
+                        history.best_iteration = it + 1
+                        evals_without_improvement = 0
+                    else:
+                        evals_without_improvement += 1
+                    if (
+                        cfg.early_stopping_rounds is not None
+                        and evals_without_improvement
+                        >= cfg.early_stopping_rounds
+                    ):
+                        history.stopped_early = True
+                        break
 
         self.history_ = history
         n_new = len(trees) - len(init_weights)

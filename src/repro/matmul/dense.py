@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.hardware.cpu import CpuSpec, I9_9900K
 from repro.matmul.onednn import (
     OneDnnParams,
@@ -125,7 +126,10 @@ class DenseGemmExecutor:
             raise ValueError(f"inner dimensions differ: {k} vs {k2}")
 
         report = self.report(m, n, k)
-        c = self._blocked_multiply(a, b, report.params) if compute else None
+        # Lightweight timing hook: a no-op unless the process-wide tracer
+        # is enabled (sweeps call this thousands of times).
+        with obs.span("matmul.dense", m=m, n=n, k=k):
+            c = self._blocked_multiply(a, b, report.params) if compute else None
         return c, report
 
     def _blocked_multiply(

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.hardware.cache import CacheSimulator
 from repro.hardware.cpu import CpuSpec, I9_9900K
 from repro.matmul.csr import CsrMatrix
@@ -133,23 +134,26 @@ class SparseGemmExecutor:
         hits = 0
         c = np.zeros((m, n), dtype=np.float64) if compute else None
         row_offset = 0
-        for part in parts:
-            pm, _ = part.shape
-            for i in part.active_rows():
-                rows_total += 1
-                cols, vals = part.row(int(i))
-                nnz_total += len(cols)
-                for j in cols:
-                    # One tag per B row: address j * row_bytes.
-                    was_hit = cache.contains(int(j) * n * 4)
-                    cache.access(int(j) * n * 4, n * 4)
-                    if was_hit:
-                        hits += 1
-                    else:
-                        misses += 1
-                if compute:
-                    c[row_offset + i] = vals @ b[cols]
-            row_offset += pm
+        # Lightweight timing hook: a no-op unless the process-wide tracer
+        # is enabled (sweeps call this thousands of times).
+        with obs.span("matmul.sparse", m=m, n=n, k=k, nnz=a.nnz):
+            for part in parts:
+                pm, _ = part.shape
+                for i in part.active_rows():
+                    rows_total += 1
+                    cols, vals = part.row(int(i))
+                    nnz_total += len(cols)
+                    for j in cols:
+                        # One tag per B row: address j * row_bytes.
+                        was_hit = cache.contains(int(j) * n * 4)
+                        cache.access(int(j) * n * 4, n * 4)
+                        if was_hit:
+                            hits += 1
+                        else:
+                            misses += 1
+                    if compute:
+                        c[row_offset + i] = vals @ b[cols]
+                row_offset += pm
 
         active_cols = a.n_active_cols
         time_c = rows_total * n_vectors * (t.load_c_vec_ns + t.store_c_vec_ns)

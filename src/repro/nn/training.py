@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.nn.losses import MseLoss
 from repro.nn.network import FeedForwardNetwork
 from repro.nn.optim import Adam, Optimizer
@@ -130,19 +131,29 @@ class Trainer:
         steps = steps_per_epoch or default_steps
 
         history = FitHistory()
-        for epoch in range(self.config.epochs):
-            epoch_loss = 0.0
-            for _ in range(steps):
-                xb, yb = batch_provider(self._rng, self.config.batch_size)
-                epoch_loss += self._train_step(xb, yb)
-            epoch_loss /= steps
-            history.train_loss.append(epoch_loss)
-            if self.scheduler is not None:
-                self.scheduler.step()
-            if valid_fn is not None:
-                history.valid_metric.append(float(valid_fn()))
-            if on_epoch_end is not None:
-                on_epoch_end(epoch, epoch_loss)
+        # Resolved once so the per-epoch accounting in the loop is two
+        # attribute calls, not registry lookups.
+        arch = self.network.describe()
+        epochs_total = obs.counter("nn.epochs", arch=arch)
+        loss_gauge = obs.gauge("nn.train_loss", arch=arch)
+        with obs.span(
+            "nn.fit", arch=arch, epochs=self.config.epochs, steps=steps
+        ):
+            for epoch in range(self.config.epochs):
+                epoch_loss = 0.0
+                for _ in range(steps):
+                    xb, yb = batch_provider(self._rng, self.config.batch_size)
+                    epoch_loss += self._train_step(xb, yb)
+                epoch_loss /= steps
+                history.train_loss.append(epoch_loss)
+                epochs_total.inc()
+                loss_gauge.set(epoch_loss)
+                if self.scheduler is not None:
+                    self.scheduler.step()
+                if valid_fn is not None:
+                    history.valid_metric.append(float(valid_fn()))
+                if on_epoch_end is not None:
+                    on_epoch_end(epoch, epoch_loss)
         return history
 
     def _train_step(self, xb: np.ndarray, yb: np.ndarray) -> float:

@@ -1,0 +1,89 @@
+"""Observability: tracing, metrics and predicted-vs-measured drift.
+
+One light-weight layer used across the training and serving stack:
+
+* :mod:`repro.obs.tracer` — nested, timed spans with a process-wide
+  default tracer that is a true no-op while disabled (the default);
+* :mod:`repro.obs.metrics` — counters, gauges and bounded streaming
+  histograms in a process-wide registry (always on; recording is a few
+  dict operations);
+* :mod:`repro.obs.export` — JSON and Prometheus-text renderings of the
+  span forest and the metrics snapshot;
+* :mod:`repro.obs.drift` — per-backend predicted-vs-measured µs/doc
+  series fed by the batch engine, the paper's design-time cost
+  predictions audited at deployment time.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable_tracing()
+    with obs.span("experiment", dataset="msn30k"):
+        service.score(features)
+    print(obs.render_trace_tree())
+    print(obs.drift_report().render())
+
+See ``docs/observability.md`` for naming conventions and the
+instrumentation guide.
+"""
+
+from repro.obs.drift import DriftReport, DriftRow, drift_report, record_request
+from repro.obs.export import (
+    prometheus_name,
+    render_json,
+    render_prometheus,
+    render_trace_tree,
+    snapshot_dict,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricError,
+    MetricsRegistry,
+    StreamingHistogram,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    set_registry,
+)
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    span,
+    trace,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "DriftReport",
+    "DriftRow",
+    "Gauge",
+    "MetricError",
+    "MetricsRegistry",
+    "Span",
+    "StreamingHistogram",
+    "Tracer",
+    "counter",
+    "drift_report",
+    "enable_tracing",
+    "gauge",
+    "get_registry",
+    "get_tracer",
+    "histogram",
+    "prometheus_name",
+    "record_request",
+    "render_json",
+    "render_prometheus",
+    "render_trace_tree",
+    "set_registry",
+    "set_tracer",
+    "snapshot_dict",
+    "span",
+    "trace",
+    "tracing_enabled",
+]

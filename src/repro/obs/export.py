@@ -1,0 +1,134 @@
+"""Exporters: trace trees and metrics snapshots as JSON / Prometheus text.
+
+Two render targets cover both consumption modes:
+
+* :func:`render_json` — one machine-readable document with the span
+  forest and every metric series, for attaching to benchmark results or
+  shipping to a collector;
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# TYPE`` headers, ``name{label="v"} value`` samples; histograms
+  expand into ``_count`` / ``_sum`` and ``quantile``-labelled samples),
+  so a scrape endpoint or ``promtool`` can consume the snapshot as-is.
+
+Metric names are sanitised (dots and dashes become underscores) only at
+export time; the registry keeps the library's dotted naming convention.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, StreamingHistogram, get_registry
+from repro.obs.tracer import Tracer, get_tracer
+
+_INVALID_PROM_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """A metric name mapped into the Prometheus grammar."""
+    sanitised = _INVALID_PROM_CHARS.sub("_", name)
+    if not sanitised or sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def _prom_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{prometheus_name(k)}="{str(v)}"' for k, v in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """The registry snapshot in Prometheus text exposition format."""
+    registry = registry or get_registry()
+    lines: list[str] = []
+    typed: set[str] = set()
+    for (name, label_pairs), metric in registry.items():
+        pname = prometheus_name(name)
+        labels = dict(label_pairs)
+        if pname not in typed:
+            prom_kind = "summary" if metric.kind == "histogram" else metric.kind
+            lines.append(f"# TYPE {pname} {prom_kind}")
+            typed.add(pname)
+        if isinstance(metric, StreamingHistogram):
+            for q in (0.5, 0.95, 0.99):
+                lines.append(
+                    f"{pname}{_prom_labels(labels, {'quantile': str(q)})} "
+                    f"{_prom_value(metric.percentile(q * 100.0))}"
+                )
+            lines.append(
+                f"{pname}_sum{_prom_labels(labels)} {_prom_value(metric.sum)}"
+            )
+            lines.append(f"{pname}_count{_prom_labels(labels)} {metric.count}")
+        else:
+            lines.append(
+                f"{pname}{_prom_labels(labels)} {_prom_value(metric.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot_dict(
+    *,
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+) -> dict[str, Any]:
+    """Span forest + metric series as one JSON-ready dictionary."""
+    tracer = tracer or get_tracer()
+    registry = registry or get_registry()
+    return {
+        "trace": [root.to_dict() for root in tracer.root_spans()],
+        "metrics": registry.snapshot(),
+    }
+
+
+def render_json(
+    *,
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+    document: dict[str, Any] | None = None,
+    indent: int | None = 2,
+) -> str:
+    """:func:`snapshot_dict` serialised (NaNs mapped to ``null``).
+
+    When ``document`` is given it is serialised instead — with the same
+    NaN-to-``null`` treatment — so callers can embed a snapshot inside a
+    larger result document (see ``benchmarks/_common.py``).
+    """
+    doc = (
+        document
+        if document is not None
+        else snapshot_dict(tracer=tracer, registry=registry)
+    )
+
+    def _nan_safe(obj):
+        if isinstance(obj, dict):
+            return {k: _nan_safe(v) for k, v in obj.items()}
+        if isinstance(obj, list):
+            return [_nan_safe(v) for v in obj]
+        if isinstance(obj, float) and not math.isfinite(obj):
+            return None
+        return obj
+
+    return json.dumps(_nan_safe(doc), indent=indent, sort_keys=True)
+
+
+def render_trace_tree(tracer: Tracer | None = None) -> str:
+    """ASCII span tree of the (default) tracer."""
+    return (tracer or get_tracer()).render()

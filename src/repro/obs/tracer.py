@@ -1,0 +1,261 @@
+"""Nested, timed spans — the library's tracing substrate.
+
+A :class:`Tracer` produces a tree of :class:`Span` objects per thread:
+``tracer.span("stage")`` opens a child of whatever span is currently
+active on the calling thread (thread-local stacks, so concurrent request
+threads never interleave their trees), and :meth:`Tracer.trace` wraps a
+function the same way.  Completed roots accumulate on the tracer until
+:meth:`Tracer.reset`.
+
+The process-wide default tracer starts **disabled** and is then a true
+no-op: :func:`span` hands back a shared singleton whose ``__enter__`` /
+``__exit__`` do nothing — no allocation, no clock read, no lock — so
+instrumentation can stay unconditionally in hot paths (the guard test in
+``tests/test_obs_drift.py`` pins the cost).
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class Span:
+    """One timed, attributed node of a trace tree."""
+
+    name: str
+    start_s: float
+    end_s: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds (up to now for a still-open span)."""
+        end = self.end_s if self.end_s is not None else time.perf_counter()
+        return end - self.start_s
+
+    @property
+    def duration_us(self) -> float:
+        return self.duration_s * 1e6
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes; returns ``self`` for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation of this span and its subtree."""
+        return {
+            "name": self.name,
+            "duration_us": round(self.duration_us, 3),
+            "finished": self.finished,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def tree_lines(self, indent: int = 0) -> list[str]:
+        """ASCII rendering of the subtree, one line per span."""
+        attrs = " ".join(f"{k}={v}" for k, v in self.attrs.items())
+        suffix = f"  [{attrs}]" if attrs else ""
+        mark = "" if self.finished else "  (open)"
+        lines = [
+            f"{'  ' * indent}{self.name:<{max(1, 36 - 2 * indent)}} "
+            f"{self.duration_us:>12.1f} us{suffix}{mark}"
+        ]
+        for child in self.children:
+            lines.extend(child.tree_lines(indent + 1))
+        return lines
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager that opens a :class:`Span` on enter."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> Span:
+        self.span = Span(
+            name=self._name, start_s=time.perf_counter(), attrs=self._attrs
+        )
+        self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.span.end_s = time.perf_counter()
+        if exc_type is not None:
+            self.span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self.span)
+        return False
+
+
+class Tracer:
+    """Thread-safe producer of nested span trees.
+
+    Parameters
+    ----------
+    enabled:
+        When false, :meth:`span` returns a shared no-op context manager
+        and nothing is recorded.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: list[Span] = []
+
+    # ------------------------------------------------------------------
+    # Span plumbing
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any):
+        """Open a span named ``name`` (context manager yielding it)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name, attrs)
+
+    def trace(self, name: str | None = None) -> Callable:
+        """Decorator tracing every call of the wrapped function."""
+
+        def decorate(fn: Callable) -> Callable:
+            span_name = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(span_name):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Tolerate misnested exits rather than corrupting the stack.
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - defensive
+            stack.remove(span)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def root_spans(self) -> list[Span]:
+        """Snapshot of the recorded root spans (all threads)."""
+        with self._lock:
+            return list(self._roots)
+
+    def reset(self) -> None:
+        """Drop every recorded span (open stacks are left alone)."""
+        with self._lock:
+            self._roots.clear()
+
+    def render(self) -> str:
+        """ASCII span tree of everything recorded so far."""
+        roots = self.root_spans()
+        if not roots:
+            return "(no spans recorded)"
+        lines: list[str] = []
+        for root in roots:
+            lines.extend(root.tree_lines())
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Process-wide default tracer (disabled until someone opts in)
+# ----------------------------------------------------------------------
+_default_tracer = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Replace the default tracer; returns the previous one."""
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer
+    return previous
+
+
+def enable_tracing(enabled: bool = True) -> None:
+    """Switch the default tracer on (or off with ``enabled=False``)."""
+    _default_tracer.enabled = enabled
+
+
+def tracing_enabled() -> bool:
+    return _default_tracer.enabled
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the default tracer (no-op while disabled)."""
+    return _default_tracer.span(name, **attrs)
+
+
+def trace(name: str | None = None) -> Callable:
+    """Decorator tracing calls through the *current* default tracer.
+
+    The tracer is looked up at call time, so functions decorated at
+    import keep honouring later :func:`enable_tracing` /
+    :func:`set_tracer` calls.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with _default_tracer.span(span_name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

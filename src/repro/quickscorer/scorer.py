@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.forest.ensemble import TreeEnsemble
 from repro.quickscorer.encoder import EncodedForest, encode_forest
 from repro.utils.validation import check_array_2d
@@ -117,12 +118,17 @@ class QuickScorer:
         scores = np.empty(len(x), dtype=np.float64)
         false_total = 0
         examined_total = 0
-        for start in range(0, len(x), self.batch_size):
-            chunk = x[start : start + self.batch_size]
-            chunk_scores, n_false, n_exam = self._score_chunk(chunk)
-            scores[start : start + len(chunk)] = chunk_scores
-            false_total += n_false
-            examined_total += n_exam
+        # Lightweight timing hook: a no-op unless the process-wide
+        # tracer is enabled (this is the forest-serving hot path).
+        with obs.span(
+            "quickscorer.score", docs=len(x), trees=self.encoded.n_trees
+        ):
+            for start in range(0, len(x), self.batch_size):
+                chunk = x[start : start + self.batch_size]
+                chunk_scores, n_false, n_exam = self._score_chunk(chunk)
+                scores[start : start + len(chunk)] = chunk_scores
+                false_total += n_false
+                examined_total += n_exam
         self.last_stats = TraversalStats(
             n_docs=len(x),
             n_trees=self.encoded.n_trees,

@@ -12,19 +12,32 @@ goes through:
   time;
 * per-request wall latencies are recorded into :class:`ServiceStats`,
   which reports p50/p95/p99 percentiles alongside the running volume
-  counters.
+  counters, at **bounded memory**: latencies feed a fixed-capacity
+  :class:`~repro.obs.metrics.StreamingHistogram` (exact percentiles up
+  to the reservoir capacity, unbiased estimates beyond), so a
+  long-lived service never grows with request count;
+* every executed request also feeds the per-backend
+  predicted-vs-measured **drift** series (:mod:`repro.obs.drift`) and,
+  when the process-wide tracer is enabled, an ``engine.score`` span.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import ReproError
+from repro.obs.metrics import StreamingHistogram
 from repro.runtime.base import Scorer
 from repro.utils.validation import check_array_2d
+
+#: Reservoir size of the per-service latency histogram.  Percentiles are
+#: exact up to this many requests and sampled estimates beyond.
+LATENCY_RESERVOIR_CAPACITY = 4096
 
 
 class BudgetExceededError(ReproError):
@@ -33,32 +46,77 @@ class BudgetExceededError(ReproError):
 
 @dataclass
 class ServiceStats:
-    """Running counters and latency percentiles of a scoring service."""
+    """Running counters and latency percentiles of a scoring service.
+
+    Memory is bounded regardless of traffic: per-request latencies live
+    in a fixed-capacity streaming histogram, not an ever-growing list.
+    """
 
     requests: int = 0
     documents: int = 0
     wall_seconds: float = 0.0
     predicted_us_per_doc: float = field(default=float("nan"))
-    _request_seconds: list[float] = field(
-        default_factory=list, repr=False, compare=False
+    _latency_us: StreamingHistogram = field(
+        default_factory=lambda: StreamingHistogram(
+            capacity=LATENCY_RESERVOIR_CAPACITY
+        ),
+        repr=False,
+        compare=False,
     )
 
     def record(self, n_docs: int, seconds: float) -> None:
         """Account one request of ``n_docs`` documents."""
+        n = int(n_docs)
+        if n < 1:
+            raise ReproError(
+                f"a request must contain at least one document, got {n_docs}"
+            )
+        if not math.isfinite(seconds) or seconds < 0:
+            raise ReproError(
+                f"request wall time must be finite and >= 0 seconds, "
+                f"got {seconds}"
+            )
         self.requests += 1
-        self.documents += int(n_docs)
+        self.documents += n
         self.wall_seconds += seconds
-        self._request_seconds.append(seconds)
+        self._latency_us.add(seconds * 1e6)
 
     @property
     def mean_docs_per_request(self) -> float:
         return self.documents / self.requests if self.requests else 0.0
 
+    @property
+    def measured_us_per_doc(self) -> float:
+        """Running measured unit cost over all recorded traffic."""
+        if not self.documents:
+            return float("nan")
+        return self.wall_seconds * 1e6 / self.documents
+
+    @property
+    def drift_pct(self) -> float:
+        """Measured vs predicted unit cost, as a signed percentage.
+
+        Positive when the model serves *slower* than the calibrated
+        price said it would; ``nan`` until traffic arrives or when the
+        scorer has no finite price.
+        """
+        predicted = self.predicted_us_per_doc
+        measured = self.measured_us_per_doc
+        if not (math.isfinite(predicted) and predicted > 0):
+            return float("nan")
+        if not math.isfinite(measured):
+            return float("nan")
+        return (measured - predicted) / predicted * 100.0
+
     def latency_percentile_us(self, q: float) -> float:
         """The ``q``-th percentile of per-request wall latency, in µs."""
-        if not self._request_seconds:
+        if not 0.0 <= q <= 100.0:
+            raise ReproError(
+                f"latency percentile q must be in [0, 100], got {q}"
+            )
+        if not self.requests:
             return float("nan")
-        return float(np.percentile(self._request_seconds, q) * 1e6)
+        return self._latency_us.percentile(q)
 
     @property
     def p50_us(self) -> float:
@@ -78,6 +136,14 @@ class ServiceStats:
     def latency_summary(self) -> dict[str, float]:
         """p50/p95/p99 per-request latency in µs."""
         return {"p50_us": self.p50_us, "p95_us": self.p95_us, "p99_us": self.p99_us}
+
+    def drift_summary(self) -> dict[str, float]:
+        """Predicted vs measured unit cost, the deployment-time audit."""
+        return {
+            "predicted_us_per_doc": self.predicted_us_per_doc,
+            "measured_us_per_doc": self.measured_us_per_doc,
+            "drift_pct": self.drift_pct,
+        }
 
 
 class BatchEngine:
@@ -125,11 +191,26 @@ class BatchEngine:
 
     # ------------------------------------------------------------------
     def score(self, features) -> np.ndarray:
-        """Score one request, micro-batched, updating the running stats."""
+        """Score one request, micro-batched, updating the running stats.
+
+        Beyond the per-engine :class:`ServiceStats`, every request feeds
+        the process-wide per-backend drift series (predicted vs measured
+        µs/doc — see :mod:`repro.obs.drift`) and, when tracing is
+        enabled, opens an ``engine.score`` span.
+        """
         x = check_array_2d(features, "features")
-        start = time.perf_counter()
-        scores = self._score_chunked(x)
-        self.stats.record(len(x), time.perf_counter() - start)
+        with obs.span("engine.score", backend=self.scorer.backend) as sp:
+            start = time.perf_counter()
+            scores = self._score_chunked(x)
+            elapsed = time.perf_counter() - start
+            sp.set(docs=len(x), us=round(elapsed * 1e6, 1))
+        self.stats.record(len(x), elapsed)
+        obs.record_request(
+            backend=self.scorer.backend,
+            n_docs=len(x),
+            seconds=elapsed,
+            predicted_us_per_doc=self.stats.predicted_us_per_doc,
+        )
         return scores
 
     def _score_chunked(self, x: np.ndarray) -> np.ndarray:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.runtime import (
     BatchEngine,
     BudgetExceededError,
@@ -97,7 +98,17 @@ class ScoringService:
     # ------------------------------------------------------------------
     def score(self, features) -> np.ndarray:
         """Score one request's documents, updating the running stats."""
-        return self.engine.score(features)
+        with obs.span("service.request", backend=self.scorer.backend):
+            return self.engine.score(features)
+
+    def drift_summary(self) -> dict[str, float]:
+        """Predicted vs measured µs/doc for this service's traffic.
+
+        The deployment-time audit of the paper's cost predictors: the
+        calibrated price the model was admitted under, the measured
+        running unit cost, and their signed percentage gap.
+        """
+        return self.stats.drift_summary()
 
     def rank(self, features) -> np.ndarray:
         """Document indices in descending score order."""

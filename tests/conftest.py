@@ -57,6 +57,25 @@ def rng():
     return np.random.default_rng(1234)
 
 
+@pytest.fixture()
+def obs_clean():
+    """A pristine (disabled) tracer + empty registry, restored after.
+
+    Observability state is process-wide; tests that enable tracing or
+    assert on metric series use this fixture so they neither see nor
+    leave behind another test's spans and counters.
+    """
+    from repro import obs
+
+    previous_tracer = obs.set_tracer(obs.Tracer(enabled=False))
+    previous_registry = obs.set_registry(obs.MetricsRegistry())
+    try:
+        yield obs
+    finally:
+        obs.set_tracer(previous_tracer)
+        obs.set_registry(previous_registry)
+
+
 @pytest.fixture(scope="session")
 def predictor_cache():
     """One calibrated NetworkTimePredictor for the whole session."""

@@ -1,0 +1,210 @@
+"""Tests for repro.obs.metrics and the exporters (JSON + Prometheus)."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.export import (
+    prometheus_name,
+    render_json,
+    render_prometheus,
+    snapshot_dict,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricError,
+    MetricsRegistry,
+    StreamingHistogram,
+)
+from repro.obs.tracer import Tracer
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(MetricError, match="only go up"):
+            Counter().inc(-1)
+
+    def test_thread_safe_increments(self):
+        c = Counter()
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        assert np.isnan(g.value)
+        g.set(3)
+        g.set(-1.5)
+        assert g.value == -1.5
+
+
+class TestStreamingHistogram:
+    def test_exact_below_capacity(self):
+        h = StreamingHistogram(capacity=128)
+        values = list(range(100))
+        h.extend(values)
+        assert h.count == 100
+        assert h.sum == sum(values)
+        assert h.min == 0 and h.max == 99
+        assert h.percentile(50) == pytest.approx(np.percentile(values, 50))
+        assert h.percentile(0) == 0 and h.percentile(100) == 99
+
+    def test_memory_bounded_beyond_capacity(self):
+        h = StreamingHistogram(capacity=64)
+        for i in range(10_000):
+            h.add(float(i % 100))
+        # The reservoir never grows past its capacity...
+        assert h._reservoir.shape == (64,)
+        # ...while exact accumulators keep tracking the full stream.
+        assert h.count == 10_000
+        assert h.min == 0.0 and h.max == 99.0
+        assert h.mean == pytest.approx(49.5, abs=0.5)
+        # The sampled median of a uniform 0..99 stream lands mid-range.
+        assert 20.0 <= h.percentile(50) <= 80.0
+
+    def test_percentile_domain(self):
+        h = StreamingHistogram()
+        h.add(1.0)
+        with pytest.raises(MetricError, match=r"\[0, 100\]"):
+            h.percentile(-1)
+        with pytest.raises(MetricError, match=r"\[0, 100\]"):
+            h.percentile(100.5)
+
+    def test_rejects_non_finite(self):
+        h = StreamingHistogram()
+        with pytest.raises(MetricError, match="finite"):
+            h.add(float("nan"))
+        with pytest.raises(MetricError, match="finite"):
+            h.add(float("inf"))
+
+    def test_empty_snapshot_is_nan(self):
+        h = StreamingHistogram()
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert np.isnan(snap["p50"]) and np.isnan(snap["mean"])
+
+    def test_invalid_capacity(self):
+        with pytest.raises(MetricError, match="capacity"):
+            StreamingHistogram(capacity=0)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.counter("x", backend="a") is not reg.counter(
+            "x", backend="b"
+        )
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(MetricError, match="registered as a counter"):
+            reg.gauge("x")
+        with pytest.raises(MetricError, match="registered as a counter"):
+            reg.histogram("x")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs", backend="qs").inc(3)
+        reg.gauge("drift").set(1.25)
+        reg.histogram("lat").add(10.0)
+        snap = reg.snapshot()
+        by_name = {s["name"]: s for s in snap["series"]}
+        assert by_name["reqs"]["value"] == 3
+        assert by_name["reqs"]["labels"] == {"backend": "qs"}
+        assert by_name["drift"]["kind"] == "gauge"
+        assert by_name["lat"]["count"] == 1
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.snapshot()["series"] == []
+
+
+class TestPrometheusExport:
+    def test_name_sanitisation(self):
+        assert prometheus_name("scoring.drift_pct") == "scoring_drift_pct"
+        assert prometheus_name("9lives") == "_9lives"
+        assert prometheus_name("a-b c") == "a_b_c"
+
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("scoring.requests", backend="qs").inc(5)
+        reg.gauge("scoring.drift_pct", backend="qs").set(12.5)
+        reg.histogram("scoring.request_us_per_doc", backend="qs").extend(
+            [1.0, 2.0, 3.0]
+        )
+        text = render_prometheus(reg)
+        assert text.endswith("\n")
+        assert "# TYPE scoring_requests counter" in text
+        assert 'scoring_requests{backend="qs"} 5.0' in text
+        assert "# TYPE scoring_request_us_per_doc summary" in text
+        assert (
+            'scoring_request_us_per_doc{backend="qs",quantile="0.5"} 2.0'
+            in text
+        )
+        assert 'scoring_request_us_per_doc_sum{backend="qs"} 6.0' in text
+        assert 'scoring_request_us_per_doc_count{backend="qs"} 3' in text
+
+    def test_every_sample_line_parses(self):
+        import re
+
+        reg = MetricsRegistry()
+        reg.gauge("empty.gauge").set(float("nan"))
+        reg.counter("plain").inc()
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]?[0-9].*|[+-]Inf)$"
+        )
+        for line in render_prometheus(reg).splitlines():
+            if line and not line.startswith("#"):
+                assert sample.match(line), line
+
+    def test_empty_registry(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestJsonExport:
+    def test_document_shape(self):
+        tracer = Tracer()
+        reg = MetricsRegistry()
+        with tracer.span("root", k=1):
+            reg.counter("hits").inc()
+        doc = json.loads(render_json(tracer=tracer, registry=reg))
+        assert doc["trace"][0]["name"] == "root"
+        assert doc["trace"][0]["attrs"] == {"k": 1}
+        assert doc["metrics"]["series"][0]["name"] == "hits"
+
+    def test_nans_become_null(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(float("nan"))
+        doc = json.loads(render_json(tracer=Tracer(), registry=reg))
+        assert doc["metrics"]["series"][0]["value"] is None
+
+    def test_snapshot_dict_uses_defaults(self, obs_clean):
+        obs_clean.enable_tracing()
+        with obs_clean.span("s"):
+            obs_clean.counter("c").inc()
+        doc = snapshot_dict()
+        assert doc["trace"][0]["name"] == "s"
+        assert doc["metrics"]["series"][0]["name"] == "c"

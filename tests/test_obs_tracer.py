@@ -1,0 +1,164 @@
+"""Tests for repro.obs.tracer (spans, nesting, threads, no-op default)."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import Span, Tracer, _NULL_SPAN
+
+
+class TestSpanTree:
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner-1"):
+                pass
+            with tracer.span("inner-2") as inner2:
+                with tracer.span("leaf"):
+                    pass
+        roots = tracer.root_spans()
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in outer.children] == ["inner-1", "inner-2"]
+        assert [c.name for c in inner2.children] == ["leaf"]
+
+    def test_sequential_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.root_spans()] == ["a", "b"]
+
+    def test_durations_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.finished and inner.finished
+        assert outer.duration_s >= inner.duration_s >= 0.0
+        assert outer.duration_us == pytest.approx(outer.duration_s * 1e6)
+
+    def test_attrs_at_open_and_via_set(self):
+        tracer = Tracer()
+        with tracer.span("stage", model="m1") as sp:
+            sp.set(docs=40)
+        assert sp.attrs == {"model": "m1", "docs": 40}
+
+    def test_exception_marks_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        (root,) = tracer.root_spans()
+        assert root.finished
+        assert root.attrs["error"] == "ValueError"
+
+    def test_reset_drops_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.root_spans() == []
+
+    def test_render_and_to_dict(self):
+        tracer = Tracer()
+        with tracer.span("outer", k=3):
+            with tracer.span("inner"):
+                pass
+        text = tracer.render()
+        assert "outer" in text and "inner" in text and "k=3" in text
+        doc = tracer.root_spans()[0].to_dict()
+        assert doc["name"] == "outer"
+        assert doc["children"][0]["name"] == "inner"
+        assert doc["finished"] is True
+
+
+class TestDecorator:
+    def test_traces_calls_with_qualname(self):
+        tracer = Tracer()
+
+        @tracer.trace()
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        (root,) = tracer.root_spans()
+        assert root.name.endswith("work")
+
+    def test_explicit_name(self):
+        tracer = Tracer()
+
+        @tracer.trace("custom")
+        def work():
+            return 7
+
+        work()
+        assert tracer.root_spans()[0].name == "custom"
+
+
+class TestThreadSafety:
+    def test_threads_get_separate_trees(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(4)
+
+        def worker(i):
+            barrier.wait()
+            with tracer.span(f"thread-{i}"):
+                with tracer.span("child"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = tracer.root_spans()
+        # Every thread contributed exactly one root with one child; no
+        # cross-thread nesting.
+        assert sorted(r.name for r in roots) == [
+            f"thread-{i}" for i in range(4)
+        ]
+        assert all(len(r.children) == 1 for r in roots)
+
+
+class TestDefaultTracer:
+    def test_disabled_by_default_and_noop(self, obs_clean):
+        assert not obs.tracing_enabled()
+        handle = obs.span("anything")
+        assert handle is _NULL_SPAN
+        with handle as sp:
+            assert sp.set(x=1) is sp  # attribute setter is a no-op
+        assert obs.get_tracer().root_spans() == []
+
+    def test_enable_records_through_module_api(self, obs_clean):
+        obs.enable_tracing()
+        with obs.span("stage"):
+            pass
+        assert [r.name for r in obs.get_tracer().root_spans()] == ["stage"]
+
+    def test_module_decorator_follows_current_state(self, obs_clean):
+        @obs.trace("toggled")
+        def work():
+            return 1
+
+        work()  # disabled: nothing recorded
+        assert obs.get_tracer().root_spans() == []
+        obs.enable_tracing()
+        work()
+        assert [r.name for r in obs.get_tracer().root_spans()] == ["toggled"]
+
+    def test_set_tracer_swaps_and_returns_previous(self, obs_clean):
+        mine = Tracer(enabled=True)
+        previous = obs.set_tracer(mine)
+        try:
+            with obs.span("via-mine"):
+                pass
+            assert [r.name for r in mine.root_spans()] == ["via-mine"]
+        finally:
+            obs.set_tracer(previous)
+
+    def test_render_empty(self):
+        assert Tracer().render() == "(no spans recorded)"
