@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast verify smoke obs-smoke bench examples report clean
+.PHONY: install test test-fast verify smoke obs-smoke resilience-smoke bench examples report clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -14,7 +14,7 @@ test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow" -x
 
 # Tier-1 gate: the full suite plus a bytecode compile of the library.
-verify: obs-smoke
+verify: obs-smoke resilience-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(PYTHON) -m compileall -q src
 
@@ -26,6 +26,11 @@ smoke:
 # JSON + Prometheus exporters and the drift series are well-formed.
 obs-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.obs.smoke
+
+# Resilience gate: fault-inject each built-in backend and assert the
+# fallback chain degrades and recovers without a failed request.
+resilience-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.runtime.resilience_smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

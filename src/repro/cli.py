@@ -11,6 +11,8 @@ can be driven without writing Python:
 * ``repro calibrate``     — measure + save the time predictors.
 * ``repro predict-time``  — price an architecture with saved predictors.
 * ``repro stats``         — serve a probe workload, report spans + drift.
+* ``repro resilience``    — fault-inject a backend behind a fallback
+  chain and report degradation, breaker states and retry counts.
 
 Every command is a thin wrapper over the public API; see ``--help`` of
 each subcommand.  Global flags: ``--trace`` prints the span tree and the
@@ -277,6 +279,64 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_resilience(args) -> int:
+    """Probe the degradation ladder under scheduled faults.
+
+    Builds the probe models, fault-injects the chosen primary backend on
+    a deterministic schedule, serves every query through a
+    ``primary -> fallback -> stub`` chain via :class:`ScoringService`,
+    and reports fallback ratios, breaker states and retry counts — the
+    serving-side counterpart of ``repro stats``.
+    """
+    from repro.obs.probe import build_probe_models
+    from repro.runtime import (
+        FaultPolicy,
+        RetryPolicy,
+        StubScorer,
+        make_scorer,
+        with_faults,
+    )
+    from repro.serving import ScoringService
+
+    models = build_probe_models(
+        n_queries=args.queries, docs_per_query=args.docs, seed=args.seed
+    )
+    dataset = models["dataset"]
+    primary = with_faults(
+        make_scorer(models[args.backend], backend=args.backend),
+        FaultPolicy.every(args.fault_every, args.fault_kind,
+                          stall_seconds=args.stall_seconds),
+    )
+    fallback_backend = (
+        "sparse-network" if args.backend != "sparse-network" else "dense-network"
+    )
+    fallback = make_scorer(models[fallback_backend], backend=fallback_backend)
+    service = ScoringService(
+        primary,
+        fallback_models=[fallback, StubScorer()],
+        retry_policy=RetryPolicy(max_attempts=args.attempts),
+        deadline_us=args.deadline_us,
+    )
+    for start, stop in zip(dataset.query_ptr[:-1], dataset.query_ptr[1:]):
+        service.score(dataset.features[start:stop])
+    log.info("%s", service.chain.describe())
+    for tier in service.resilience_summary():
+        log.info(
+            "  %-18s served=%-5d retries=%-4d failures=%-4d breaker=%s",
+            tier["backend"], tier["served"], tier["retries"],
+            tier["failures"], tier["breaker"],
+        )
+    log.info("")
+    log.info("%s", obs.resilience_report().render())
+    log.info("")
+    log.info(
+        "fallback ratio %.1f%%; latency %s",
+        service.fallback_ratio * 100.0,
+        {k: round(v, 1) for k, v in service.stats.latency_summary().items()},
+    )
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -389,6 +449,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--prometheus", help="also write the Prometheus text snapshot here"
     )
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "resilience",
+        help="fault-inject a backend; report degradation + breaker states",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("quickscorer", "dense-network", "sparse-network"),
+        default="quickscorer",
+        help="primary backend to fault-inject",
+    )
+    p.add_argument(
+        "--fault-every",
+        type=int,
+        default=3,
+        help="inject a fault on every Nth request",
+    )
+    p.add_argument(
+        "--fault-kind",
+        choices=("error", "stall", "nan"),
+        default="error",
+        help="what the injected fault does",
+    )
+    p.add_argument(
+        "--stall-seconds",
+        type=float,
+        default=0.01,
+        help="stall duration when --fault-kind stall",
+    )
+    p.add_argument(
+        "--attempts",
+        type=int,
+        default=1,
+        help="attempts per tier before degrading (1 = fail fast)",
+    )
+    p.add_argument(
+        "--deadline-us",
+        type=float,
+        default=None,
+        help="per-request deadline in microseconds",
+    )
+    p.add_argument("--queries", type=int, default=24)
+    p.add_argument("--docs", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_resilience)
 
     return parser
 

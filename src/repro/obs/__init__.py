@@ -11,7 +11,10 @@ One light-weight layer used across the training and serving stack:
   span forest and the metrics snapshot;
 * :mod:`repro.obs.drift` — per-backend predicted-vs-measured µs/doc
   series fed by the batch engine, the paper's design-time cost
-  predictions audited at deployment time.
+  predictions audited at deployment time;
+* :mod:`repro.obs.resilience` — retry/failure/breaker/fallback series
+  fed by the resilience layer (:mod:`repro.runtime.resilience`), read
+  back by :func:`resilience_report`.
 
 Typical use::
 
@@ -28,6 +31,17 @@ instrumentation guide.
 """
 
 from repro.obs.drift import DriftReport, DriftRow, drift_report, record_request
+from repro.obs.resilience import (
+    BackendRow,
+    ChainRow,
+    ResilienceReport,
+    record_breaker_state,
+    record_fallback,
+    record_failure,
+    record_retry,
+    record_served,
+    resilience_report,
+)
 from repro.obs.export import (
     prometheus_name,
     render_json,
@@ -59,12 +73,15 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "BackendRow",
+    "ChainRow",
     "Counter",
     "DriftReport",
     "DriftRow",
     "Gauge",
     "MetricError",
     "MetricsRegistry",
+    "ResilienceReport",
     "Span",
     "StreamingHistogram",
     "Tracer",
@@ -76,10 +93,16 @@ __all__ = [
     "get_tracer",
     "histogram",
     "prometheus_name",
+    "record_breaker_state",
+    "record_fallback",
+    "record_failure",
     "record_request",
+    "record_retry",
+    "record_served",
     "render_json",
     "render_prometheus",
     "render_trace_tree",
+    "resilience_report",
     "set_registry",
     "set_tracer",
     "snapshot_dict",

@@ -1,0 +1,241 @@
+"""Resilience metric series and the per-backend resilience report.
+
+The resilience layer (:mod:`repro.runtime.resilience`) folds every
+retry, failure, breaker transition and fallback into the default
+:class:`~repro.obs.metrics.MetricsRegistry`, the same way the batch
+engine feeds the drift series:
+
+* ``resilience.retries`` (counter, label ``backend``) — re-attempts
+  after a failed scorer call;
+* ``resilience.failures`` (counter, labels ``backend``/``kind``) —
+  failed attempts, by exception class;
+* ``resilience.breaker_state`` (gauge, label ``backend``) — 0 closed,
+  1 half-open, 2 open;
+* ``resilience.breaker_transitions`` (counter, labels ``backend``/
+  ``to``) — state changes, by destination state;
+* ``resilience.served`` (counter, labels ``primary``/``tier``) —
+  requests answered by each tier of a fallback chain;
+* ``resilience.fallbacks`` (counter, labels ``primary``/``tier``) —
+  the subset a *non-primary* tier had to answer.
+
+:func:`resilience_report` reads the series back into two tables — one
+row per fallback chain (requests, fallbacks, fallback ratio) and one row
+per backend (retries, failures, current breaker state) — the serving
+counterpart of :func:`repro.obs.drift.drift_report`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+#: Gauge encoding of the breaker state machine.
+BREAKER_STATE_VALUES = {"closed": 0.0, "half-open": 1.0, "open": 2.0}
+_STATE_NAMES = {v: k for k, v in BREAKER_STATE_VALUES.items()}
+
+
+def record_retry(backend: str, *, registry: MetricsRegistry | None = None) -> None:
+    """Count one re-attempt against ``backend``."""
+    registry = registry or get_registry()
+    registry.counter("resilience.retries", backend=backend).inc()
+
+
+def record_failure(
+    backend: str, kind: str, *, registry: MetricsRegistry | None = None
+) -> None:
+    """Count one failed attempt against ``backend``, by failure kind."""
+    registry = registry or get_registry()
+    registry.counter("resilience.failures", backend=backend, kind=kind).inc()
+
+
+def record_breaker_state(
+    backend: str,
+    state,
+    *,
+    transition: bool = True,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Publish a breaker's current state (and optionally the transition).
+
+    ``state`` may be a :class:`~repro.runtime.resilience.BreakerState`
+    or its string value.  ``transition=False`` sets the gauge without
+    counting a transition (used when a breaker is first constructed).
+    """
+    name = str(getattr(state, "value", state))
+    try:
+        value = BREAKER_STATE_VALUES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown breaker state {name!r}; "
+            f"expected one of {', '.join(BREAKER_STATE_VALUES)}"
+        ) from None
+    registry = registry or get_registry()
+    registry.gauge("resilience.breaker_state", backend=backend).set(value)
+    if transition:
+        registry.counter(
+            "resilience.breaker_transitions", backend=backend, to=name
+        ).inc()
+
+
+def record_served(
+    primary: str, tier: str, *, registry: MetricsRegistry | None = None
+) -> None:
+    """Count one request of chain ``primary`` answered by ``tier``."""
+    registry = registry or get_registry()
+    registry.counter("resilience.served", primary=primary, tier=tier).inc()
+
+
+def record_fallback(
+    primary: str, tier: str, *, registry: MetricsRegistry | None = None
+) -> None:
+    """Count one request of chain ``primary`` degraded to ``tier``."""
+    registry = registry or get_registry()
+    registry.counter("resilience.fallbacks", primary=primary, tier=tier).inc()
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChainRow:
+    """One fallback chain's degradation position."""
+
+    primary: str
+    requests: int
+    fallbacks: int
+
+    @property
+    def fallback_ratio(self) -> float:
+        """Fraction of requests a non-primary tier answered."""
+        return self.fallbacks / self.requests if self.requests else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.primary}: {self.requests} served, "
+            f"{self.fallbacks} degraded ({self.fallback_ratio:.1%})"
+        )
+
+
+@dataclass(frozen=True)
+class BackendRow:
+    """One backend's retry/failure counters and breaker position."""
+
+    backend: str
+    retries: int
+    failures: int
+    breaker_state: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.backend}: {self.retries} retries, "
+            f"{self.failures} failures, breaker {self.breaker_state}"
+        )
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Per-chain and per-backend resilience rows plus a rendering."""
+
+    chains: tuple[ChainRow, ...]
+    backends: tuple[BackendRow, ...]
+
+    def chain(self, primary: str) -> ChainRow | None:
+        for row in self.chains:
+            if row.primary == primary:
+                return row
+        return None
+
+    def backend(self, name: str) -> BackendRow | None:
+        for row in self.backends:
+            if row.backend == name:
+                return row
+        return None
+
+    def render(self) -> str:
+        if not self.chains and not self.backends:
+            return "(no resilience events recorded)"
+        lines: list[str] = []
+        if self.chains:
+            header = (
+                f"{'chain (primary)':<22} {'requests':>9} "
+                f"{'fallbacks':>10} {'ratio':>7}"
+            )
+            lines += ["Fallback chains", header, "-" * len(header)]
+            for row in self.chains:
+                lines.append(
+                    f"{row.primary:<22} {row.requests:>9d} "
+                    f"{row.fallbacks:>10d} {row.fallback_ratio:>6.1%}"
+                )
+        if self.backends:
+            if lines:
+                lines.append("")
+            header = (
+                f"{'backend':<22} {'retries':>8} {'failures':>9} "
+                f"{'breaker':>10}"
+            )
+            lines += ["Backends", header, "-" * len(header)]
+            for row in self.backends:
+                lines.append(
+                    f"{row.backend:<22} {row.retries:>8d} {row.failures:>9d} "
+                    f"{row.breaker_state:>10}"
+                )
+        return "\n".join(lines)
+
+
+def resilience_report(
+    registry: MetricsRegistry | None = None,
+) -> ResilienceReport:
+    """Assemble the per-chain / per-backend tables from the series."""
+    registry = registry or get_registry()
+    chains: dict[str, dict[str, float]] = {}
+    backends: dict[str, dict[str, float]] = {}
+    for (name, label_pairs), metric in registry.items():
+        if not name.startswith("resilience."):
+            continue
+        labels = dict(label_pairs)
+        if name in ("resilience.served", "resilience.fallbacks"):
+            primary = labels.get("primary")
+            if primary is None:
+                continue
+            slot = chains.setdefault(primary, {})
+            slot[name] = slot.get(name, 0.0) + metric.value
+        elif name in (
+            "resilience.retries",
+            "resilience.failures",
+            "resilience.breaker_state",
+        ):
+            backend = labels.get("backend")
+            if backend is None:
+                continue
+            slot = backends.setdefault(backend, {})
+            if name == "resilience.failures":
+                slot[name] = slot.get(name, 0.0) + metric.value
+            else:
+                slot[name] = metric.value
+    chain_rows = tuple(
+        ChainRow(
+            primary=primary,
+            requests=int(slot.get("resilience.served", 0)),
+            fallbacks=int(slot.get("resilience.fallbacks", 0)),
+        )
+        for primary, slot in sorted(chains.items())
+    )
+    backend_rows = []
+    for backend, slot in sorted(backends.items()):
+        state_value = slot.get("resilience.breaker_state", float("nan"))
+        state = (
+            _STATE_NAMES.get(state_value, "unknown")
+            if math.isfinite(state_value)
+            else "untracked"
+        )
+        backend_rows.append(
+            BackendRow(
+                backend=backend,
+                retries=int(slot.get("resilience.retries", 0)),
+                failures=int(slot.get("resilience.failures", 0)),
+                breaker_state=state,
+            )
+        )
+    return ResilienceReport(chains=chain_rows, backends=tuple(backend_rows))

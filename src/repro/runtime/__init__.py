@@ -7,7 +7,12 @@ One surface for "score documents with any model at a known price":
 * :func:`price` — the single pricing function over models *and* shapes;
 * :class:`BatchEngine` — micro-batched, budget-checked execution with
   latency percentiles;
-* :func:`register_backend` — the plug-in point for new model families.
+* :func:`register_backend` — the plug-in point for new model families;
+* :class:`ResilientScorer` / :class:`FallbackChain` — retries,
+  deadlines, circuit breaking and graceful degradation over any
+  backend (see ``docs/resilience.md``);
+* :class:`FaultPolicy` / :class:`FaultyScorer` — deterministic fault
+  injection so the resilience layer is testable without real outages.
 
 See ``docs/runtime.md`` for the design and extension guide.
 """
@@ -28,6 +33,14 @@ from repro.runtime.context import (
     set_default_context,
     shared_predictor,
 )
+from repro.runtime.faults import (
+    FaultPolicy,
+    FaultSpec,
+    FaultyScorer,
+    InjectedFaultError,
+    ManualClock,
+    with_faults,
+)
 from repro.runtime.pricing import (
     ForestShape,
     NetworkShape,
@@ -45,28 +58,61 @@ from repro.runtime.registry import (
     register_backend,
     unregister_backend,
 )
+from repro.runtime.resilience import (
+    AllTiersFailedError,
+    BreakerState,
+    CircuitBreaker,
+    CircuitBreakerConfig,
+    CircuitOpenError,
+    DeadlineExceededError,
+    FallbackChain,
+    ResilienceError,
+    ResilientScorer,
+    RetryPolicy,
+    ScorerFaultError,
+    StubScorer,
+    make_fallback_chain,
+)
 
 __all__ = [
+    "AllTiersFailedError",
     "BaseScorer",
     "BatchEngine",
+    "BreakerState",
     "BudgetExceededError",
     "CascadeScorer",
+    "CircuitBreaker",
+    "CircuitBreakerConfig",
+    "CircuitOpenError",
+    "DeadlineExceededError",
     "DenseNetworkScorer",
+    "FallbackChain",
+    "FaultPolicy",
+    "FaultSpec",
+    "FaultyScorer",
     "ForestShape",
     "GpuQuickScorerAdapter",
+    "InjectedFaultError",
+    "ManualClock",
     "NetworkShape",
     "PricingContext",
     "QuantizedNetworkScorer",
     "QuickScorerAdapter",
+    "ResilienceError",
+    "ResilientScorer",
+    "RetryPolicy",
     "Scorer",
     "ScorerBackend",
+    "ScorerFaultError",
     "ServiceStats",
     "SparseNetworkScorer",
+    "StubScorer",
     "UnknownBackendError",
     "backend_names",
     "default_context",
     "get_backend",
     "is_scorer",
+    "make_fallback_chain",
     "make_scorer",
     "network_report",
     "price",
@@ -77,4 +123,5 @@ __all__ = [
     "shared_predictor",
     "stable_forward",
     "unregister_backend",
+    "with_faults",
 ]

@@ -160,7 +160,14 @@ class BatchEngine:
     budget_us_per_doc:
         Optional per-document budget; construction raises
         :class:`BudgetExceededError` when the scorer's calibrated price
-        exceeds it.
+        exceeds it.  A budget must be finite and positive, and a scorer
+        whose price is *non-finite* (NaN/inf) also fails admission —
+        ``nan > budget`` is ``False``, so without this check an unpriced
+        model would silently slip past the paper's design rule.
+    allow_unpriced:
+        Explicitly admit a scorer with a non-finite price under a
+        budget (the budget then only documents intent; it cannot be
+        checked).
     stats:
         Optional pre-existing :class:`ServiceStats` to accumulate into.
     """
@@ -171,6 +178,7 @@ class BatchEngine:
         *,
         max_batch_size: int | None = 256,
         budget_us_per_doc: float | None = None,
+        allow_unpriced: bool = False,
         stats: ServiceStats | None = None,
     ) -> None:
         if max_batch_size is not None and max_batch_size < 1:
@@ -182,12 +190,27 @@ class BatchEngine:
         self.stats = stats or ServiceStats()
         predicted = scorer.predicted_us_per_doc
         self.stats.predicted_us_per_doc = predicted
-        if budget_us_per_doc is not None and predicted > budget_us_per_doc:
-            raise BudgetExceededError(
-                f"model predicted at {predicted:.2f} us/doc exceeds the "
-                f"{budget_us_per_doc:.2f} us/doc budget"
-            )
+        if budget_us_per_doc is not None:
+            if not math.isfinite(budget_us_per_doc) or budget_us_per_doc <= 0:
+                raise ValueError(
+                    f"budget_us_per_doc must be finite and > 0, "
+                    f"got {budget_us_per_doc}"
+                )
+            if not math.isfinite(predicted):
+                if not allow_unpriced:
+                    raise BudgetExceededError(
+                        f"scorer {scorer.backend!r} has a non-finite "
+                        f"predicted cost ({predicted}) and cannot pass the "
+                        f"{budget_us_per_doc:.2f} us/doc budget check; pass "
+                        "allow_unpriced=True to admit it explicitly"
+                    )
+            elif predicted > budget_us_per_doc:
+                raise BudgetExceededError(
+                    f"model predicted at {predicted:.2f} us/doc exceeds the "
+                    f"{budget_us_per_doc:.2f} us/doc budget"
+                )
         self.budget_us_per_doc = budget_us_per_doc
+        self.allow_unpriced = allow_unpriced
 
     # ------------------------------------------------------------------
     def score(self, features) -> np.ndarray:
@@ -197,8 +220,15 @@ class BatchEngine:
         the process-wide per-backend drift series (predicted vs measured
         µs/doc — see :mod:`repro.obs.drift`) and, when tracing is
         enabled, opens an ``engine.score`` span.
+
+        Zero-document requests are legal no-ops: they return an empty
+        score array without touching the stats, drift series or tracer
+        (:class:`ServiceStats` correctly rejects ``n_docs < 1``).
         """
-        x = check_array_2d(features, "features")
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim == 2 and x.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        x = check_array_2d(x, "features")
         with obs.span("engine.score", backend=self.scorer.backend) as sp:
             start = time.perf_counter()
             scores = self._score_chunked(x)
@@ -236,7 +266,11 @@ class BatchEngine:
         """Indices of the ``k`` highest-scored documents.
 
         Selects the winners with ``argpartition`` (O(n)) and sorts only
-        those ``k``, instead of a full argsort per request.
+        those ``k``, instead of a full argsort per request.  Ties are
+        broken by ascending document index — the order ``rank``
+        produces — so ``top_k(x, k)`` always equals ``rank(x)[:k]``,
+        even when scores tie across the selection boundary (where
+        ``argpartition`` alone picks arbitrary indices).
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -244,4 +278,11 @@ class BatchEngine:
         if k >= len(scores):
             return np.argsort(-scores, kind="stable")
         winners = np.argpartition(-scores, k - 1)[:k]
-        return winners[np.argsort(-scores[winners], kind="stable")]
+        # ``winners`` holds the right k *values* but, at the boundary
+        # score, arbitrary index choices.  Rebuild the selection so the
+        # boundary ties resolve to the lowest indices.
+        boundary = scores[winners].min()
+        above = np.flatnonzero(scores > boundary)
+        ties = np.flatnonzero(scores == boundary)
+        chosen = np.concatenate([above, ties[: k - len(above)]])
+        return chosen[np.argsort(-scores[chosen], kind="stable")]

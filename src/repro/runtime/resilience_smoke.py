@@ -1,0 +1,214 @@
+"""Self-checking resilience smoke run (``make resilience-smoke``).
+
+Exercises the degradation ladder end to end and *asserts* the outcomes,
+so CI can gate on ``python -m repro.runtime.resilience_smoke``:
+
+1. **Degradation** — each built-in probe backend (``quickscorer``,
+   ``dense-network``, ``sparse-network``) is fault-injected on a
+   deterministic schedule and chained onto a :class:`StubScorer`; every
+   request must be answered (no failure reaches the caller), the
+   fallback counts must match the schedule exactly, and with no fault
+   the chain must reproduce the primary's scores bit for bit.
+2. **Breaker recovery** — under a :class:`ManualClock`, a failing tier
+   must trip its breaker open, reopen on a failed half-open probe, and
+   close again after the configured number of successful probes.
+3. **Admission bugfixes** — a NaN-priced scorer must be rejected by a
+   finite budget (unless ``allow_unpriced=True``), zero-document
+   requests must return empty scores without touching the stats, and
+   ``top_k`` must equal ``rank()[:k]`` under tied scores.
+
+Exits non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+
+def check_degradation() -> None:
+    """Fault-inject each probe backend; the chain must absorb it."""
+    from repro.obs.probe import build_probe_models
+    from repro.runtime import (
+        CircuitBreakerConfig,
+        FallbackChain,
+        FaultPolicy,
+        ManualClock,
+        RetryPolicy,
+        StubScorer,
+        make_scorer,
+        with_faults,
+    )
+
+    # A breaker that alternating faults cannot trip, so the fallback
+    # counts are a pure function of the fault schedule.
+    lenient = CircuitBreakerConfig(
+        window=8, min_samples=8, failure_rate_threshold=1.0
+    )
+    models = build_probe_models(n_queries=8, docs_per_query=8, seed=0)
+    dataset = models["dataset"]
+    requests = [
+        dataset.features[start:stop]
+        for start, stop in zip(dataset.query_ptr[:-1], dataset.query_ptr[1:])
+    ]
+    for backend in ("quickscorer", "dense-network", "sparse-network"):
+        clock = ManualClock()
+        primary = make_scorer(models[backend], backend=backend)
+        healthy = FallbackChain(
+            [make_scorer(models[backend], backend=backend), StubScorer()],
+            retry=RetryPolicy(max_attempts=1),
+            clock=clock,
+            sleep=clock.sleep,
+        )
+        faulty = with_faults(
+            make_scorer(models[backend], backend=backend),
+            FaultPolicy.every(2),
+            sleep=clock.sleep,
+        )
+        chain = FallbackChain(
+            [faulty, StubScorer()],
+            retry=RetryPolicy(max_attempts=1),
+            breaker=lenient,
+            clock=clock,
+            sleep=clock.sleep,
+        )
+        for request in requests:
+            reference = primary.score(request)
+            np.testing.assert_array_equal(
+                healthy.score(request),
+                reference,
+                err_msg=f"{backend}: healthy chain must be bit-identical",
+            )
+            scores = chain.score(request)  # never raises: stub absorbs
+            assert scores.shape == (len(request),), (
+                f"{backend}: degraded chain returned shape {scores.shape}"
+            )
+        n = len(requests)
+        assert healthy.fallbacks == 0, (
+            f"{backend}: healthy chain degraded {healthy.fallbacks} requests"
+        )
+        # FaultPolicy.every(2) faults calls 1, 3, 5, ... — half of them.
+        expected = n // 2
+        assert chain.fallbacks == expected, (
+            f"{backend}: expected {expected} fallbacks over {n} requests, "
+            f"got {chain.fallbacks}"
+        )
+        assert chain.served[0] == n - expected and chain.served[1] == expected
+        print(
+            f"degradation[{backend}]: {n} requests, "
+            f"{chain.fallbacks} degraded to stub, 0 failed"
+        )
+
+
+def check_breaker_recovery() -> None:
+    """Trip, reopen and recover a breaker under a deterministic clock."""
+    from repro.runtime import (
+        BreakerState,
+        CircuitBreakerConfig,
+        CircuitOpenError,
+        FaultPolicy,
+        InjectedFaultError,
+        ManualClock,
+        ResilientScorer,
+        RetryPolicy,
+        StubScorer,
+        with_faults,
+    )
+
+    clock = ManualClock()
+    faulty = with_faults(
+        StubScorer(weights=[1.0]), FaultPolicy.first(3), sleep=clock.sleep
+    )
+    scorer = ResilientScorer(
+        faulty,
+        retry=RetryPolicy(max_attempts=1),
+        breaker=CircuitBreakerConfig(
+            window=4,
+            min_samples=2,
+            failure_rate_threshold=0.5,
+            cooldown_seconds=1.0,
+            half_open_probes=2,
+        ),
+        clock=clock,
+        sleep=clock.sleep,
+    )
+    x = np.ones((2, 1))
+    for _ in range(2):
+        try:
+            scorer.score(x)
+            raise AssertionError("scheduled fault did not fire")
+        except InjectedFaultError:
+            pass
+    assert scorer.breaker.state is BreakerState.OPEN
+    try:
+        scorer.score(x)
+        raise AssertionError("open breaker admitted a call")
+    except CircuitOpenError:
+        pass
+    clock.advance(1.5)
+    assert scorer.breaker.state is BreakerState.HALF_OPEN
+    try:
+        scorer.score(x)  # third scheduled fault: probe fails, reopen
+        raise AssertionError("faulty half-open probe did not fail")
+    except InjectedFaultError:
+        pass
+    assert scorer.breaker.state is BreakerState.OPEN
+    clock.advance(1.5)
+    scorer.score(x)
+    scorer.score(x)  # two healthy probes close the breaker
+    assert scorer.breaker.state is BreakerState.CLOSED
+    states = [state.value for state, _ in scorer.breaker.history]
+    assert states == ["open", "half-open", "open", "half-open", "closed"], (
+        f"unexpected transition sequence {states}"
+    )
+    print(f"breaker: deterministic recovery ({' -> '.join(states)})")
+
+
+def check_admission_bugfixes() -> None:
+    """NaN-price admission, zero-doc requests, top-k tie order."""
+    from repro.runtime import BatchEngine, BudgetExceededError, StubScorer
+
+    class UnpricedScorer(StubScorer):
+        @property
+        def predicted_us_per_doc(self) -> float:
+            return float("nan")
+
+    try:
+        BatchEngine(UnpricedScorer(), budget_us_per_doc=10.0)
+        raise AssertionError("NaN-priced scorer passed a finite budget")
+    except BudgetExceededError:
+        pass
+    engine = BatchEngine(
+        UnpricedScorer(), budget_us_per_doc=10.0, allow_unpriced=True
+    )
+    empty = engine.score(np.empty((0, 4)))
+    assert empty.shape == (0,) and engine.stats.requests == 0, (
+        "zero-document request touched the stats"
+    )
+    tie_engine = BatchEngine(StubScorer(weights=[1.0]))
+    # scores: [1, 0, 1, 1, 0] — ties straddle every top-k boundary
+    x = np.array([[1.0], [0.0], [1.0], [1.0], [0.0]])
+    for k in range(1, 6):
+        top = tie_engine.top_k(x, k)
+        full = tie_engine.rank(x)[:k]
+        assert np.array_equal(top, full), (
+            f"top_k({k}) = {top} != rank()[:{k}] = {full}"
+        )
+    print("admission: NaN budget rejected, zero-doc no-op, top-k tie-stable")
+
+
+def main() -> int:
+    check_degradation()
+    check_breaker_recovery()
+    check_admission_bugfixes()
+    from repro import obs
+
+    print()
+    print(obs.resilience_report().render())
+    print("resilience-smoke: chain degrades and recovers, bugfixes hold")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -10,13 +10,22 @@ features a query processor needs:
   doing in deployment what they do at design time);
 * micro-batching of documents per query through the shared
   :class:`~repro.runtime.batching.BatchEngine`;
-* running latency/volume statistics with p50/p95/p99 percentiles.
+* running latency/volume statistics with p50/p95/p99 percentiles;
+* optional **graceful degradation**: give the service
+  ``fallback_models=`` (cheaper stand-ins, e.g. a sparse student behind
+  a forest) and it serves through a
+  :class:`~repro.runtime.resilience.FallbackChain` — retries with
+  backoff, per-request deadlines, and per-tier circuit breakers that
+  trip on failure rate or predicted-vs-measured latency drift.
 
 This is the integration surface a downstream search stack would adopt;
-``examples/scoring_service.py`` shows the multi-stage variant.
+``examples/scoring_service.py`` shows the multi-stage variant and
+``examples/resilient_service.py`` the degradation ladder.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
@@ -24,7 +33,10 @@ from repro import obs
 from repro.runtime import (
     BatchEngine,
     BudgetExceededError,
+    CircuitBreakerConfig,
+    FallbackChain,
     PricingContext,
+    RetryPolicy,
     ServiceStats,
     is_scorer,
     make_scorer,
@@ -61,6 +73,18 @@ class ScoringService:
     backend:
         Optional explicit runtime backend name (see
         :func:`repro.runtime.backend_names`).
+    fallback_models:
+        Optional degradation ladder: models (or pre-built scorers) to
+        fall back to, in order, when the primary misbehaves — cheapest
+        last.  Supplying this (or any of ``retry_policy`` /
+        ``breaker_config`` / ``deadline_us``) routes the service
+        through a :class:`~repro.runtime.resilience.FallbackChain`.
+    retry_policy, breaker_config, deadline_us:
+        Resilience tuning shared by every tier (each tier still gets
+        its own breaker); see :mod:`repro.runtime.resilience`.
+    allow_unpriced:
+        Admit a scorer with a non-finite predicted cost under a budget
+        (see :class:`BatchEngine`); off by default.
     **scorer_opts:
         Extra options forwarded to :func:`repro.runtime.make_scorer`
         (e.g. ``quantized_bits=8``).
@@ -76,6 +100,13 @@ class ScoringService:
         max_batch_size: int | None = 256,
         backend: str | None = None,
         context: PricingContext | None = None,
+        fallback_models=None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_config: CircuitBreakerConfig | None = None,
+        deadline_us: float | None = None,
+        allow_unpriced: bool = False,
+        clock=time.monotonic,
+        sleep=time.sleep,
         **scorer_opts,
     ) -> None:
         if context is None:
@@ -87,10 +118,36 @@ class ScoringService:
             self.scorer = make_scorer(
                 model, backend=backend, context=context, **scorer_opts
             )
+        self.chain: FallbackChain | None = None
+        engine_scorer = self.scorer
+        resilient = (
+            fallback_models is not None
+            or retry_policy is not None
+            or breaker_config is not None
+            or deadline_us is not None
+        )
+        if resilient:
+            tiers = [self.scorer]
+            for fallback in fallback_models or ():
+                tiers.append(
+                    fallback
+                    if is_scorer(fallback)
+                    else make_scorer(fallback, context=context)
+                )
+            self.chain = FallbackChain(
+                tiers,
+                retry=retry_policy,
+                breaker=breaker_config,
+                deadline_us=deadline_us,
+                clock=clock,
+                sleep=sleep,
+            )
+            engine_scorer = self.chain
         self.engine = BatchEngine(
-            self.scorer,
+            engine_scorer,
             max_batch_size=max_batch_size,
             budget_us_per_doc=budget_us_per_doc,
+            allow_unpriced=allow_unpriced,
         )
         self.stats = self.engine.stats
         self.budget_us_per_doc = budget_us_per_doc
@@ -109,6 +166,17 @@ class ScoringService:
         running unit cost, and their signed percentage gap.
         """
         return self.stats.drift_summary()
+
+    def resilience_summary(self) -> list[dict[str, object]] | None:
+        """Per-tier serving/breaker snapshot, or ``None`` when the
+        service was built without a fallback chain."""
+        return self.chain.tier_summary() if self.chain else None
+
+    @property
+    def fallback_ratio(self) -> float:
+        """Fraction of requests served by a non-primary tier (0 when
+        the service has no fallback chain)."""
+        return self.chain.fallback_ratio if self.chain else 0.0
 
     def rank(self, features) -> np.ndarray:
         """Document indices in descending score order."""

@@ -33,6 +33,14 @@ class TestAnalyticExamples:
         assert "Tree ensembles fitting the same budget" in out
 
     @pytest.mark.slow
+    def test_resilient_service(self):
+        out = run_example("resilient_service.py")
+        assert "Degradation ladder" in out
+        assert "queries answered : 18 / 18" in out
+        assert "trip, cool down, probe, recover" in out
+        assert "open -> half-open" in out
+
+    @pytest.mark.slow
     def test_matmul_anatomy(self):
         out = run_example("matmul_anatomy.py")
         assert "Goto algorithm" in out
@@ -50,6 +58,7 @@ class TestExampleSources:
             "latency_budget_design.py",
             "matmul_anatomy.py",
             "scoring_service.py",
+            "resilient_service.py",
             "forest_tuning.py",
             "experiment_report.py",
         ],

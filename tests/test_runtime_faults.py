@@ -1,0 +1,130 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    FaultPolicy,
+    FaultSpec,
+    FaultyScorer,
+    InjectedFaultError,
+    ManualClock,
+    StubScorer,
+    with_faults,
+)
+
+
+class TestManualClock:
+    def test_starts_at_zero(self):
+        clock = ManualClock()
+        assert clock() == 0.0
+        assert clock.now == 0.0
+
+    def test_sleep_advances(self):
+        clock = ManualClock()
+        clock.sleep(1.5)
+        clock.advance(0.5)
+        assert clock() == 2.0
+
+    def test_negative_sleep_rejected(self):
+        clock = ManualClock()
+        with pytest.raises(ValueError):
+            clock.sleep(-0.1)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(kind="explode")
+
+    def test_stall_requires_positive_duration(self):
+        with pytest.raises(ValueError, match="stall_seconds"):
+            FaultSpec(kind="stall", stall_seconds=0.0)
+
+
+class TestFaultPolicy:
+    def test_never(self):
+        policy = FaultPolicy.never()
+        assert all(policy.fault_for(i) is None for i in range(10))
+
+    def test_always(self):
+        policy = FaultPolicy.always("error")
+        assert all(policy.fault_for(i) is not None for i in range(10))
+
+    def test_first(self):
+        policy = FaultPolicy.first(3)
+        fired = [policy.fault_for(i) is not None for i in range(6)]
+        assert fired == [True, True, True, False, False, False]
+
+    def test_every(self):
+        # every(3) faults calls 2, 5, 8, ... (every 3rd call, 0-indexed)
+        policy = FaultPolicy.every(3)
+        fired = [policy.fault_for(i) is not None for i in range(9)]
+        assert fired == [False, False, True, False, False, True, False, False, True]
+
+    def test_at_calls(self):
+        policy = FaultPolicy.at_calls([0, 4])
+        fired = [policy.fault_for(i) is not None for i in range(6)]
+        assert fired == [True, False, False, False, True, False]
+
+    def test_schedule_is_a_pure_function_of_index(self):
+        policy = FaultPolicy.every(2)
+        assert [policy.fault_for(i) for i in range(8)] == [
+            policy.fault_for(i) for i in range(8)
+        ]
+
+
+class TestFaultyScorer:
+    def scorer(self, policy, clock=None):
+        inner = StubScorer(weights=[1.0, 2.0])
+        sleep = clock.sleep if clock is not None else None
+        if sleep is None:
+            return with_faults(inner, policy)
+        return with_faults(inner, policy, sleep=sleep)
+
+    def test_preserves_scorer_protocol(self):
+        from repro.runtime.base import is_scorer
+
+        faulty = self.scorer(FaultPolicy.never())
+        assert is_scorer(faulty)
+        assert isinstance(faulty, FaultyScorer)
+        assert faulty.backend == "stub"
+        assert faulty.input_dim == 2
+        assert faulty.predicted_us_per_doc == pytest.approx(0.01)
+
+    def test_no_fault_is_bit_identical(self):
+        inner = StubScorer(weights=[1.0, 2.0])
+        faulty = with_faults(StubScorer(weights=[1.0, 2.0]), FaultPolicy.never())
+        x = np.array([[0.5, 0.25], [2.0, -1.0]])
+        np.testing.assert_array_equal(faulty.score(x), inner.score(x))
+
+    def test_error_fault_raises_on_schedule(self):
+        faulty = self.scorer(FaultPolicy.every(2))
+        x = np.ones((2, 2))
+        faulty.score(x)  # call 0: clean
+        with pytest.raises(InjectedFaultError):
+            faulty.score(x)  # call 1: fault
+        faulty.score(x)  # call 2: clean
+        assert faulty.calls == 3
+        assert faulty.faults_injected == 1
+
+    def test_nan_fault_poisons_scores(self):
+        faulty = self.scorer(FaultPolicy.always("nan"))
+        scores = faulty.score(np.ones((3, 2)))
+        assert scores.shape == (3,)
+        assert np.all(np.isnan(scores))
+
+    def test_stall_fault_consumes_clock_then_serves(self):
+        clock = ManualClock()
+        faulty = self.scorer(
+            FaultPolicy.always("stall", stall_seconds=0.2), clock=clock
+        )
+        scores = faulty.score(np.ones((2, 2)))
+        assert clock.now == pytest.approx(0.2)
+        np.testing.assert_array_equal(
+            scores, StubScorer(weights=[1.0, 2.0]).score(np.ones((2, 2)))
+        )
+
+    def test_with_faults_rejects_non_scorer(self):
+        with pytest.raises(TypeError):
+            with_faults(object(), FaultPolicy.never())
