@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast verify smoke obs-smoke resilience-smoke bench examples report clean
+.PHONY: install test test-fast verify smoke obs-smoke resilience-smoke parallel-smoke bench examples report clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -14,7 +14,7 @@ test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow" -x
 
 # Tier-1 gate: the full suite plus a bytecode compile of the library.
-verify: obs-smoke resilience-smoke
+verify: obs-smoke resilience-smoke parallel-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(PYTHON) -m compileall -q src
 
@@ -32,6 +32,11 @@ obs-smoke:
 resilience-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.runtime.resilience_smoke
 
+# Parallel gate: shard every backend over the worker pool and assert
+# bit-identical scores plus a measured >1x cache/pool speedup.
+parallel-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.runtime.parallel_smoke
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -41,6 +46,8 @@ examples:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/forest_tuning.py
 	$(PYTHON) examples/scoring_service.py
+	$(PYTHON) examples/resilient_service.py
+	$(PYTHON) examples/parallel_scoring.py
 
 report:
 	$(PYTHON) examples/experiment_report.py experiment_report.md

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import ScoringService, obs
+from repro import ResilienceConfig, ScoringService, ServiceConfig, obs
 from repro.obs.probe import build_probe_models
 from repro.runtime import (
     BreakerState,
@@ -55,8 +55,12 @@ def degradation_ladder() -> None:
     fallback = make_scorer(models["sparse-network"], backend="sparse-network")
     service = ScoringService(
         primary,
-        fallback_models=[fallback, StubScorer()],
-        retry_policy=RetryPolicy(max_attempts=1),  # fail fast, degrade
+        ServiceConfig(
+            resilience=ResilienceConfig(
+                fallback_models=(fallback, StubScorer()),
+                retry=RetryPolicy(max_attempts=1),  # fail fast, degrade
+            )
+        ),
     )
 
     answered = 0

@@ -69,10 +69,15 @@ from repro.runtime import (
     BudgetExceededError,
     ForestShape,
     NetworkShape,
+    ParallelConfig,
     PricingContext,
+    ResilienceConfig,
+    ScoreCache,
     Scorer,
     ScorerBackend,
+    ServiceConfig,
     ServiceStats,
+    ShardedScorer,
     backend_names,
     make_scorer,
     price,
@@ -133,7 +138,12 @@ __all__ = [
     "ScoringService",
     "Scorer",
     "ScorerBackend",
+    "ServiceConfig",
     "ServiceStats",
+    "ShardedScorer",
+    "ScoreCache",
+    "ParallelConfig",
+    "ResilienceConfig",
     "BatchEngine",
     "BudgetExceededError",
     "PricingContext",

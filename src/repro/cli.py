@@ -13,6 +13,8 @@ can be driven without writing Python:
 * ``repro stats``         — serve a probe workload, report spans + drift.
 * ``repro resilience``    — fault-inject a backend behind a fallback
   chain and report degradation, breaker states and retry counts.
+* ``repro throughput``    — sweep workers x shard size over the sharded
+  scorer and print docs/sec plus cache hit ratios.
 
 Every command is a thin wrapper over the public API; see ``--help`` of
 each subcommand.  Global flags: ``--trace`` prints the span tree and the
@@ -291,7 +293,9 @@ def cmd_resilience(args) -> int:
     from repro.obs.probe import build_probe_models
     from repro.runtime import (
         FaultPolicy,
+        ResilienceConfig,
         RetryPolicy,
+        ServiceConfig,
         StubScorer,
         make_scorer,
         with_faults,
@@ -313,9 +317,13 @@ def cmd_resilience(args) -> int:
     fallback = make_scorer(models[fallback_backend], backend=fallback_backend)
     service = ScoringService(
         primary,
-        fallback_models=[fallback, StubScorer()],
-        retry_policy=RetryPolicy(max_attempts=args.attempts),
-        deadline_us=args.deadline_us,
+        ServiceConfig(
+            resilience=ResilienceConfig(
+                fallback_models=(fallback, StubScorer()),
+                retry=RetryPolicy(max_attempts=args.attempts),
+                deadline_us=args.deadline_us,
+            )
+        ),
     )
     for start, stop in zip(dataset.query_ptr[:-1], dataset.query_ptr[1:]):
         service.score(dataset.features[start:stop])
@@ -335,6 +343,97 @@ def cmd_resilience(args) -> int:
         {k: round(v, 1) for k, v in service.stats.latency_summary().items()},
     )
     return 0
+
+
+def cmd_throughput(args) -> int:
+    """Sweep workers x shard size over the sharded scoring engine.
+
+    Builds one probe backend, then serves the same workload through a
+    :class:`~repro.runtime.parallel.ShardedScorer` for every
+    ``--workers`` x ``--shard-rows`` combination, printing docs/sec, the
+    speedup over the 1-worker/unsharded baseline and — when
+    ``--cache-entries`` is set — the warm-pass cache hit ratio.  Every
+    configuration's scores are checked bit-identical to plain scoring
+    before its row is printed.
+    """
+    import math
+    import time as _time
+
+    from repro.obs.probe import build_probe_models
+    from repro.runtime import ParallelConfig, ShardedScorer, make_scorer
+
+    models = build_probe_models(
+        n_queries=args.queries, docs_per_query=args.docs, seed=args.seed
+    )
+    features = models["dataset"].features
+    base_scorer = make_scorer(models[args.backend], backend=args.backend)
+    baseline_scores = base_scorer.score(features)
+
+    def measure(scorer) -> float:
+        best = float("inf")
+        for _ in range(args.repeats):
+            start = _time.perf_counter()
+            out = scorer.score(features)
+            best = min(best, _time.perf_counter() - start)
+        if not np.array_equal(out, baseline_scores):
+            raise SystemExit(
+                f"sharded scores diverged from plain scoring for {scorer!r}"
+            )
+        return len(features) / best
+
+    base_rate = len(features) / min(
+        _measure_plain(base_scorer, features, args.repeats)
+    )
+    log.info(
+        "workload: %d docs x %d features via %s "
+        "(unsharded baseline %.0f docs/sec)",
+        features.shape[0], features.shape[1], args.backend, base_rate,
+    )
+    header = (
+        f"{'workers':>7} {'shard rows':>10} {'docs/sec':>12} "
+        f"{'speedup':>8} {'hit ratio':>10}"
+    )
+    log.info("%s", header)
+    log.info("%s", "-" * len(header))
+    for workers in args.workers:
+        for shard_rows in args.shard_rows:
+            config = ParallelConfig(
+                workers=workers,
+                strategy="size-capped" if shard_rows else "even",
+                max_shard_rows=shard_rows or None,
+                cache_entries=args.cache_entries,
+            )
+            with ShardedScorer(base_scorer, config) as sharded:
+                rate = measure(sharded)
+                hit_ratio = float("nan")
+                if args.cache_entries:
+                    warm = measure(sharded)  # cache-warm pass
+                    rate = max(rate, warm)
+                    hit_ratio = sharded.cache.hit_ratio
+            log.info(
+                "%7d %10s %12.0f %7.2fx %s",
+                workers,
+                shard_rows or "-",
+                rate,
+                rate / base_rate,
+                f"{hit_ratio:>9.1%}" if math.isfinite(hit_ratio) else f"{'-':>9}",
+            )
+    report = obs.parallel_report()
+    log.info("")
+    log.info("%s", report.render())
+    return 0
+
+
+def _measure_plain(scorer, features, repeats: int) -> list[float]:
+    """Best-of-N wall times of unsharded scoring (list for ``min``)."""
+    import time as _time
+
+    times = []
+    for _ in range(repeats):
+        start = _time.perf_counter()
+        scorer.score(features)
+        times.append(_time.perf_counter() - start)
+    return times
 
 
 # ----------------------------------------------------------------------
@@ -494,6 +593,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--docs", type=int, default=16)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_resilience)
+
+    p = sub.add_parser(
+        "throughput",
+        help="sweep workers x shard size over the sharded scorer",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("quickscorer", "dense-network", "sparse-network"),
+        default="dense-network",
+        help="backend to shard",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="worker counts to sweep",
+    )
+    p.add_argument(
+        "--shard-rows",
+        type=int,
+        nargs="+",
+        default=[0, 64, 256],
+        metavar="ROWS",
+        help="max rows per shard to sweep (0 = even split across workers)",
+    )
+    p.add_argument(
+        "--cache-entries",
+        type=int,
+        default=0,
+        help="score-cache capacity (0 disables; >0 adds a warm pass "
+        "and reports the hit ratio)",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    p.add_argument("--queries", type=int, default=24)
+    p.add_argument("--docs", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_throughput)
 
     return parser
 

@@ -47,3 +47,7 @@ class QuickScorerError(ReproError):
 
 class CalibrationError(ReproError):
     """Calibration of a cost model failed or produced unusable values."""
+
+
+class ConfigError(ReproError):
+    """A typed configuration object is invalid or cannot be rebuilt."""

@@ -14,7 +14,11 @@ One light-weight layer used across the training and serving stack:
   predictions audited at deployment time;
 * :mod:`repro.obs.resilience` — retry/failure/breaker/fallback series
   fed by the resilience layer (:mod:`repro.runtime.resilience`), read
-  back by :func:`resilience_report`.
+  back by :func:`resilience_report`;
+* :mod:`repro.obs.parallel` — shard-balance / pool-utilization /
+  cache-hit series fed by the sharded scorer
+  (:mod:`repro.runtime.parallel`), read back by
+  :func:`parallel_report`.
 
 Typical use::
 
@@ -31,6 +35,12 @@ instrumentation guide.
 """
 
 from repro.obs.drift import DriftReport, DriftRow, drift_report, record_request
+from repro.obs.parallel import (
+    ParallelReport,
+    ParallelRow,
+    parallel_report,
+    record_parallel_request,
+)
 from repro.obs.resilience import (
     BackendRow,
     ChainRow,
@@ -81,6 +91,8 @@ __all__ = [
     "Gauge",
     "MetricError",
     "MetricsRegistry",
+    "ParallelReport",
+    "ParallelRow",
     "ResilienceReport",
     "Span",
     "StreamingHistogram",
@@ -92,10 +104,12 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "histogram",
+    "parallel_report",
     "prometheus_name",
     "record_breaker_state",
     "record_fallback",
     "record_failure",
+    "record_parallel_request",
     "record_request",
     "record_retry",
     "record_served",

@@ -1,0 +1,179 @@
+"""Parallel-scoring metric series and the shard/cache report.
+
+The sharded scorer (:mod:`repro.runtime.parallel`) folds every request
+into the default :class:`~repro.obs.metrics.MetricsRegistry`, the same
+way the batch engine feeds the drift series:
+
+* ``parallel.requests`` (counter, label ``backend``) — requests served
+  through a :class:`~repro.runtime.parallel.ShardedScorer`;
+* ``parallel.shards`` (counter, label ``backend``) — shards executed;
+* ``parallel.shard_balance`` (gauge, label ``backend``) — the last
+  request's largest shard over its mean shard size (1.0 = even);
+* ``parallel.pool_utilization`` (gauge, label ``backend``) — the last
+  request's busy-time over ``lanes x wall`` (1.0 = no idle workers);
+* ``parallel.cache_hits`` / ``parallel.cache_misses`` (counters, label
+  ``backend``) — score-cache outcomes per document.
+
+:func:`parallel_report` reads the series back into one row per backend —
+mean shards per request, last balance/utilization, and the cache hit
+ratio — the shard-level counterpart of
+:func:`repro.obs.drift.drift_report`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+def record_parallel_request(
+    backend: str,
+    *,
+    n_shards: int,
+    balance: float,
+    utilization: float,
+    cache_hits: int = 0,
+    cache_misses: int = 0,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Fold one sharded request into the ``parallel.*`` series.
+
+    NaN ``balance``/``utilization`` (a fully cache-served request runs
+    no shards) leave the gauges untouched rather than poisoning them.
+    """
+    registry = registry or get_registry()
+    registry.counter("parallel.requests", backend=backend).inc()
+    if n_shards:
+        registry.counter("parallel.shards", backend=backend).inc(n_shards)
+    if math.isfinite(balance):
+        registry.gauge("parallel.shard_balance", backend=backend).set(balance)
+    if math.isfinite(utilization):
+        registry.gauge(
+            "parallel.pool_utilization", backend=backend
+        ).set(utilization)
+    if cache_hits:
+        registry.counter("parallel.cache_hits", backend=backend).inc(
+            cache_hits
+        )
+    if cache_misses:
+        registry.counter("parallel.cache_misses", backend=backend).inc(
+            cache_misses
+        )
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ParallelRow:
+    """One backend's shard and cache position."""
+
+    backend: str
+    requests: int
+    shards: int
+    shard_balance: float
+    pool_utilization: float
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def mean_shards_per_request(self) -> float:
+        return self.shards / self.requests if self.requests else 0.0
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Hits over all cache lookups (``nan`` without a cache)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else float("nan")
+
+    def describe(self) -> str:
+        return (
+            f"{self.backend}: {self.requests} requests, "
+            f"{self.mean_shards_per_request:.1f} shards/req, "
+            f"utilization {self.pool_utilization:.0%}, "
+            f"cache hit ratio {self.cache_hit_ratio:.1%}"
+        )
+
+
+@dataclass(frozen=True)
+class ParallelReport:
+    """Per-backend shard/cache rows plus a rendering."""
+
+    rows: tuple[ParallelRow, ...]
+
+    def backend(self, name: str) -> ParallelRow | None:
+        for row in self.rows:
+            if row.backend == name:
+                return row
+        return None
+
+    def render(self) -> str:
+        if not self.rows:
+            return "(no parallel scoring recorded)"
+        header = (
+            f"{'backend':<22} {'requests':>9} {'shards/req':>11} "
+            f"{'balance':>8} {'util':>6} {'hit ratio':>10}"
+        )
+        lines = ["Parallel scoring", header, "-" * len(header)]
+        for row in self.rows:
+            hit_ratio = (
+                f"{row.cache_hit_ratio:>9.1%}"
+                if math.isfinite(row.cache_hit_ratio)
+                else f"{'-':>9}"
+            )
+            balance = (
+                f"{row.shard_balance:>8.2f}"
+                if math.isfinite(row.shard_balance)
+                else f"{'-':>8}"
+            )
+            util = (
+                f"{row.pool_utilization:>5.0%}"
+                if math.isfinite(row.pool_utilization)
+                else f"{'-':>5}"
+            )
+            lines.append(
+                f"{row.backend:<22} {row.requests:>9d} "
+                f"{row.mean_shards_per_request:>11.1f} {balance} {util} "
+                f"{hit_ratio}"
+            )
+        return "\n".join(lines)
+
+
+def parallel_report(
+    registry: MetricsRegistry | None = None,
+) -> ParallelReport:
+    """Assemble the per-backend shard/cache table from the series."""
+    registry = registry or get_registry()
+    slots: dict[str, dict[str, float]] = {}
+    wanted = {
+        "parallel.requests",
+        "parallel.shards",
+        "parallel.shard_balance",
+        "parallel.pool_utilization",
+        "parallel.cache_hits",
+        "parallel.cache_misses",
+    }
+    for (name, label_pairs), metric in registry.items():
+        if name not in wanted:
+            continue
+        backend = dict(label_pairs).get("backend")
+        if backend is None:
+            continue
+        slots.setdefault(backend, {})[name] = metric.value
+    rows = tuple(
+        ParallelRow(
+            backend=backend,
+            requests=int(slot.get("parallel.requests", 0)),
+            shards=int(slot.get("parallel.shards", 0)),
+            shard_balance=slot.get("parallel.shard_balance", float("nan")),
+            pool_utilization=slot.get(
+                "parallel.pool_utilization", float("nan")
+            ),
+            cache_hits=int(slot.get("parallel.cache_hits", 0)),
+            cache_misses=int(slot.get("parallel.cache_misses", 0)),
+        )
+        for backend, slot in sorted(slots.items())
+    )
+    return ParallelReport(rows=rows)

@@ -12,7 +12,13 @@ One surface for "score documents with any model at a known price":
   deadlines, circuit breaking and graceful degradation over any
   backend (see ``docs/resilience.md``);
 * :class:`FaultPolicy` / :class:`FaultyScorer` — deterministic fault
-  injection so the resilience layer is testable without real outages.
+  injection so the resilience layer is testable without real outages;
+* :class:`ShardedScorer` / :class:`ScoreCache` — row-sharded parallel
+  execution over a persistent worker pool with an optional LRU score
+  cache, bit-identical to unsharded scoring (see ``docs/parallel.md``);
+* :class:`ServiceConfig` / :class:`ResilienceConfig` /
+  :class:`ParallelConfig` — the typed configuration surface a
+  :class:`~repro.serving.ScoringService` is built from.
 
 See ``docs/runtime.md`` for the design and extension guide.
 """
@@ -27,6 +33,7 @@ from repro.runtime.adapters import (
 )
 from repro.runtime.base import BaseScorer, Scorer, is_scorer, stable_forward
 from repro.runtime.batching import BatchEngine, BudgetExceededError, ServiceStats
+from repro.runtime.config import ResilienceConfig, ServiceConfig
 from repro.runtime.context import (
     PricingContext,
     default_context,
@@ -40,6 +47,16 @@ from repro.runtime.faults import (
     InjectedFaultError,
     ManualClock,
     with_faults,
+)
+from repro.runtime.parallel import (
+    ParallelConfig,
+    ParallelError,
+    PoolClosedError,
+    ScoreCache,
+    ShardPlan,
+    ShardedScorer,
+    plan_shards,
+    scorer_fingerprint,
 )
 from repro.runtime.pricing import (
     ForestShape,
@@ -95,16 +112,24 @@ __all__ = [
     "InjectedFaultError",
     "ManualClock",
     "NetworkShape",
+    "ParallelConfig",
+    "ParallelError",
+    "PoolClosedError",
     "PricingContext",
     "QuantizedNetworkScorer",
     "QuickScorerAdapter",
+    "ResilienceConfig",
     "ResilienceError",
     "ResilientScorer",
     "RetryPolicy",
+    "ScoreCache",
     "Scorer",
     "ScorerBackend",
     "ScorerFaultError",
+    "ServiceConfig",
     "ServiceStats",
+    "ShardPlan",
+    "ShardedScorer",
     "SparseNetworkScorer",
     "StubScorer",
     "UnknownBackendError",
@@ -115,10 +140,12 @@ __all__ = [
     "make_fallback_chain",
     "make_scorer",
     "network_report",
+    "plan_shards",
     "price",
     "price_forest_shape",
     "price_network_shape",
     "register_backend",
+    "scorer_fingerprint",
     "set_default_context",
     "shared_predictor",
     "stable_forward",

@@ -170,6 +170,12 @@ class BatchEngine:
         checked).
     stats:
         Optional pre-existing :class:`ServiceStats` to accumulate into.
+    parallel:
+        Optional :class:`~repro.runtime.parallel.ParallelConfig`; when
+        given, the scorer is wrapped in a :class:`~repro.runtime.
+        parallel.ShardedScorer` so each (micro-)batch is scored on a
+        worker pool — bit-identically to the unwrapped scorer.  Pair
+        with ``max_batch_size=None`` to hand the sharder whole requests.
     """
 
     def __init__(
@@ -180,11 +186,17 @@ class BatchEngine:
         budget_us_per_doc: float | None = None,
         allow_unpriced: bool = False,
         stats: ServiceStats | None = None,
+        parallel=None,
     ) -> None:
         if max_batch_size is not None and max_batch_size < 1:
             raise ValueError(
                 f"max_batch_size must be >= 1, got {max_batch_size}"
             )
+        if parallel is not None:
+            from repro.runtime.parallel import ShardedScorer
+
+            if not isinstance(scorer, ShardedScorer):
+                scorer = ShardedScorer(scorer, parallel)
         self.scorer = scorer
         self.max_batch_size = max_batch_size
         self.stats = stats or ServiceStats()

@@ -1,0 +1,210 @@
+"""Typed service configuration: one object instead of sprawling kwargs.
+
+:class:`~repro.serving.ScoringService` grew organically — budgets, then
+batching, then five resilience kwargs, and now parallelism and caching.
+This module consolidates that surface into three dataclasses:
+
+* :class:`~repro.runtime.parallel.ParallelConfig` — workers, shard
+  strategy, score cache (defined next to the engine it tunes);
+* :class:`ResilienceConfig` — fallback ladder, retry policy, breaker
+  tuning, deadline;
+* :class:`ServiceConfig` — the top-level bundle a service is built
+  from, with ``to_dict()``/``from_dict()`` for JSON-able round-trips.
+
+The old keyword arguments keep working as deprecated aliases (they emit
+``DeprecationWarning`` and map onto these configs), so no caller breaks;
+see the migration table in ``docs/runtime.md``.
+
+``to_dict`` is declarative-only: ``fallback_models`` hold *live model
+objects* and cannot be serialized — a config carrying them raises
+:class:`~repro.exceptions.ConfigError` on ``to_dict()`` rather than
+silently dropping tiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from repro.exceptions import ConfigError
+from repro.runtime.parallel import ParallelConfig
+from repro.runtime.resilience import CircuitBreakerConfig, RetryPolicy
+
+__all__ = ["ResilienceConfig", "ServiceConfig"]
+
+
+def _rebuild(cls, data: Any, label: str):
+    """Reconstruct a frozen dataclass from its ``asdict`` form."""
+    if data is None:
+        return None
+    if isinstance(data, cls):
+        return data
+    if not isinstance(data, dict):
+        raise ConfigError(
+            f"{label} must be a dict or {cls.__name__}, "
+            f"got {type(data).__name__}"
+        )
+    try:
+        return cls(**data)
+    except TypeError as exc:
+        raise ConfigError(f"invalid {label}: {exc}") from None
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Degradation-ladder tuning for a scoring service.
+
+    Any non-default field routes the service through a
+    :class:`~repro.runtime.resilience.FallbackChain` (a config with only
+    defaults still does — constructing one *is* the opt-in).
+
+    Parameters
+    ----------
+    fallback_models:
+        Models (or pre-built scorers) to degrade to, in order, cheapest
+        last.  These are live objects and are **not** serialized.
+    retry:
+        Shared :class:`~repro.runtime.resilience.RetryPolicy` for every
+        tier (``None`` = the policy's defaults).
+    breaker:
+        Shared :class:`~repro.runtime.resilience.CircuitBreakerConfig`
+        (each tier still gets its own breaker instance).
+    deadline_us:
+        Per-request deadline in microseconds.
+    """
+
+    fallback_models: tuple = ()
+    retry: RetryPolicy | None = None
+    breaker: CircuitBreakerConfig | None = None
+    deadline_us: float | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.fallback_models, tuple):
+            object.__setattr__(
+                self, "fallback_models", tuple(self.fallback_models)
+            )
+        if self.deadline_us is not None and self.deadline_us <= 0:
+            raise ConfigError(
+                f"deadline_us must be > 0, got {self.deadline_us}"
+            )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready representation of the declarative fields.
+
+        Raises :class:`ConfigError` when ``fallback_models`` is
+        non-empty — live models have no dict form, and dropping them
+        silently would serialize a *different* service.
+        """
+        if self.fallback_models:
+            raise ConfigError(
+                "fallback_models hold live model objects and cannot be "
+                "serialized; attach them when constructing the service"
+            )
+        return {
+            "retry": asdict(self.retry) if self.retry else None,
+            "breaker": asdict(self.breaker) if self.breaker else None,
+            "deadline_us": self.deadline_us,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResilienceConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        unknown = set(data) - {"retry", "breaker", "deadline_us"}
+        if unknown:
+            raise ConfigError(
+                f"unknown ResilienceConfig keys: {', '.join(sorted(unknown))}"
+            )
+        return cls(
+            retry=_rebuild(RetryPolicy, data.get("retry"), "retry"),
+            breaker=_rebuild(
+                CircuitBreakerConfig, data.get("breaker"), "breaker"
+            ),
+            deadline_us=data.get("deadline_us"),
+        )
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a :class:`~repro.serving.ScoringService` is tuned by.
+
+    Parameters
+    ----------
+    budget_us_per_doc:
+        Per-document latency budget checked against the calibrated cost
+        model at construction (the paper's design rule at deploy time).
+    max_batch_size:
+        Micro-batch size of the underlying
+        :class:`~repro.runtime.batching.BatchEngine`; ``None`` disables
+        splitting (recommended when ``parallel`` is set, so the sharder
+        sees whole requests).
+    backend:
+        Explicit runtime backend name (``None`` = registry
+        auto-dispatch).
+    allow_unpriced:
+        Admit a scorer with a non-finite predicted cost under a budget.
+    resilience:
+        Optional :class:`ResilienceConfig`; presence routes the service
+        through a fallback chain.
+    parallel:
+        Optional :class:`~repro.runtime.parallel.ParallelConfig`;
+        presence shards requests over a worker pool (and, with
+        ``cache_entries``, short-circuits repeated documents).
+    """
+
+    budget_us_per_doc: float | None = None
+    max_batch_size: int | None = 256
+    backend: str | None = None
+    allow_unpriced: bool = False
+    resilience: ResilienceConfig | None = None
+    parallel: ParallelConfig | None = None
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "budget_us_per_doc": self.budget_us_per_doc,
+            "max_batch_size": self.max_batch_size,
+            "backend": self.backend,
+            "allow_unpriced": self.allow_unpriced,
+            "resilience": (
+                self.resilience.to_dict() if self.resilience else None
+            ),
+            "parallel": self.parallel.to_dict() if self.parallel else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        known = {
+            "budget_us_per_doc",
+            "max_batch_size",
+            "backend",
+            "allow_unpriced",
+            "resilience",
+            "parallel",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown ServiceConfig keys: {', '.join(sorted(unknown))}"
+            )
+        resilience = data.get("resilience")
+        if isinstance(resilience, dict):
+            resilience = ResilienceConfig.from_dict(resilience)
+        parallel = data.get("parallel")
+        if isinstance(parallel, dict):
+            parallel = ParallelConfig.from_dict(parallel)
+        defaults = cls()
+        return cls(
+            budget_us_per_doc=data.get("budget_us_per_doc"),
+            max_batch_size=data.get(
+                "max_batch_size", defaults.max_batch_size
+            ),
+            backend=data.get("backend"),
+            allow_unpriced=data.get(
+                "allow_unpriced", defaults.allow_unpriced
+            ),
+            resilience=resilience,
+            parallel=parallel,
+        )

@@ -11,21 +11,42 @@ features a query processor needs:
 * micro-batching of documents per query through the shared
   :class:`~repro.runtime.batching.BatchEngine`;
 * running latency/volume statistics with p50/p95/p99 percentiles;
-* optional **graceful degradation**: give the service
-  ``fallback_models=`` (cheaper stand-ins, e.g. a sparse student behind
-  a forest) and it serves through a
+* **parallel scoring**: a :class:`~repro.runtime.parallel.ParallelConfig`
+  shards each request across a persistent worker pool and (optionally)
+  short-circuits repeated documents through a
+  :class:`~repro.runtime.parallel.ScoreCache` — bit-identically to
+  single-threaded scoring;
+* **graceful degradation**: a :class:`~repro.runtime.config.
+  ResilienceConfig` serves through a
   :class:`~repro.runtime.resilience.FallbackChain` — retries with
   backoff, per-request deadlines, and per-tier circuit breakers that
-  trip on failure rate or predicted-vs-measured latency drift.
+  trip on failure rate or predicted-vs-measured latency drift.  The
+  resilience layer wraps the sharded scorer unchanged.
+
+Configuration is one typed object, :class:`~repro.runtime.config.
+ServiceConfig`::
+
+    service = ScoringService(model, ServiceConfig(
+        budget_us_per_doc=25.0,
+        parallel=ParallelConfig(workers=4, cache_entries=8192),
+        resilience=ResilienceConfig(fallback_models=[cheap, StubScorer()]),
+    ))
+
+The pre-1.1 keyword arguments (``fallback_models``, ``retry_policy``,
+``breaker_config``, ``deadline_us``, ``allow_unpriced``) keep working as
+deprecated aliases that emit ``DeprecationWarning`` and map onto the
+configs — see the migration table in ``docs/runtime.md``.
 
 This is the integration surface a downstream search stack would adopt;
-``examples/scoring_service.py`` shows the multi-stage variant and
-``examples/resilient_service.py`` the degradation ladder.
+``examples/scoring_service.py`` shows the multi-stage variant,
+``examples/resilient_service.py`` the degradation ladder and
+``examples/parallel_scoring.py`` the sharded engine.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 
 import numpy as np
 
@@ -33,16 +54,37 @@ from repro import obs
 from repro.runtime import (
     BatchEngine,
     BudgetExceededError,
-    CircuitBreakerConfig,
     FallbackChain,
     PricingContext,
-    RetryPolicy,
+    ResilienceConfig,
+    ServiceConfig,
     ServiceStats,
+    ShardedScorer,
     is_scorer,
     make_scorer,
 )
 
-__all__ = ["BudgetExceededError", "ScoringService", "ServiceStats"]
+__all__ = [
+    "BudgetExceededError",
+    "ScoringService",
+    "ServiceConfig",
+    "ServiceStats",
+]
+
+#: Sentinel distinguishing "not passed" from an explicit ``None``.
+_UNSET = object()
+
+#: Deprecated keyword → the ServiceConfig location that replaces it.
+_LEGACY_KWARGS = {
+    "fallback_models": "ServiceConfig(resilience=ResilienceConfig("
+    "fallback_models=...))",
+    "retry_policy": "ServiceConfig(resilience=ResilienceConfig(retry=...))",
+    "breaker_config": "ServiceConfig(resilience=ResilienceConfig("
+    "breaker=...))",
+    "deadline_us": "ServiceConfig(resilience=ResilienceConfig("
+    "deadline_us=...))",
+    "allow_unpriced": "ServiceConfig(allow_unpriced=...)",
+}
 
 
 class ScoringService:
@@ -57,34 +99,30 @@ class ScoringService:
         (dense or first-layer-sparse), an
         :class:`~repro.design.cascade.EarlyExitCascade` — or an
         already-built :class:`~repro.runtime.base.Scorer`.
-    budget_us_per_doc:
-        Optional per-document budget; construction fails with
-        :class:`BudgetExceededError` when the calibrated cost model
-        prices the model above it — the paper's design rule enforced at
-        deployment time.
+    config:
+        A :class:`~repro.runtime.config.ServiceConfig` bundling budget,
+        batching, backend choice, parallelism and resilience.  Mutually
+        exclusive with the per-field keyword shorthands below.
+    budget_us_per_doc, max_batch_size, backend:
+        Convenience shorthands for the matching :class:`ServiceConfig`
+        fields (for one-liner services without a config object).
     predictor:
         Shared :class:`~repro.timing.network_predictor.
         NetworkTimePredictor` for pricing networks (defaults to the
         process-wide one).
     cost_model:
         QuickScorer cost model override for pricing forests.
-    max_batch_size:
-        Micro-batch size of the underlying :class:`BatchEngine`.
-    backend:
-        Optional explicit runtime backend name (see
-        :func:`repro.runtime.backend_names`).
-    fallback_models:
-        Optional degradation ladder: models (or pre-built scorers) to
-        fall back to, in order, when the primary misbehaves — cheapest
-        last.  Supplying this (or any of ``retry_policy`` /
-        ``breaker_config`` / ``deadline_us``) routes the service
-        through a :class:`~repro.runtime.resilience.FallbackChain`.
-    retry_policy, breaker_config, deadline_us:
-        Resilience tuning shared by every tier (each tier still gets
-        its own breaker); see :mod:`repro.runtime.resilience`.
-    allow_unpriced:
-        Admit a scorer with a non-finite predicted cost under a budget
-        (see :class:`BatchEngine`); off by default.
+    context:
+        Pre-built :class:`~repro.runtime.context.PricingContext`
+        (overrides ``predictor``/``cost_model``).
+    clock, sleep:
+        Injectable time pair forwarded to the resilience layer (see
+        :class:`~repro.runtime.faults.ManualClock`).
+    fallback_models, retry_policy, breaker_config, deadline_us, \
+allow_unpriced:
+        **Deprecated** aliases; they emit ``DeprecationWarning`` and map
+        onto :class:`ServiceConfig`/:class:`ResilienceConfig` with
+        behaviour identical to the equivalent config.
     **scorer_opts:
         Extra options forwarded to :func:`repro.runtime.make_scorer`
         (e.g. ``quantized_bits=8``).
@@ -93,22 +131,87 @@ class ScoringService:
     def __init__(
         self,
         model,
+        config: ServiceConfig | None = None,
         *,
         budget_us_per_doc: float | None = None,
         predictor=None,
         cost_model=None,
-        max_batch_size: int | None = 256,
+        max_batch_size=_UNSET,
         backend: str | None = None,
         context: PricingContext | None = None,
         fallback_models=None,
-        retry_policy: RetryPolicy | None = None,
-        breaker_config: CircuitBreakerConfig | None = None,
+        retry_policy=None,
+        breaker_config=None,
         deadline_us: float | None = None,
-        allow_unpriced: bool = False,
+        allow_unpriced: bool | None = None,
         clock=time.monotonic,
         sleep=time.sleep,
         **scorer_opts,
     ) -> None:
+        legacy = {
+            "fallback_models": fallback_models,
+            "retry_policy": retry_policy,
+            "breaker_config": breaker_config,
+            "deadline_us": deadline_us,
+            "allow_unpriced": allow_unpriced,
+        }
+        provided_legacy = [k for k, v in legacy.items() if v is not None]
+        if provided_legacy:
+            warnings.warn(
+                "ScoringService keyword(s) "
+                + ", ".join(repr(k) for k in provided_legacy)
+                + " are deprecated; pass "
+                + "; ".join(_LEGACY_KWARGS[k] for k in provided_legacy)
+                + " instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if config is not None:
+            conflicting = [
+                name
+                for name, given in (
+                    ("budget_us_per_doc", budget_us_per_doc is not None),
+                    ("max_batch_size", max_batch_size is not _UNSET),
+                    ("backend", backend is not None),
+                    *((k, True) for k in provided_legacy),
+                )
+                if given
+            ]
+            if conflicting:
+                raise ValueError(
+                    "pass service settings via config=ServiceConfig(...) "
+                    "or keywords, not both (got config plus "
+                    + ", ".join(conflicting)
+                    + ")"
+                )
+        else:
+            resilience = None
+            if any(
+                v is not None
+                for v in (
+                    fallback_models,
+                    retry_policy,
+                    breaker_config,
+                    deadline_us,
+                )
+            ):
+                resilience = ResilienceConfig(
+                    fallback_models=tuple(fallback_models or ()),
+                    retry=retry_policy,
+                    breaker=breaker_config,
+                    deadline_us=deadline_us,
+                )
+            config = ServiceConfig(
+                budget_us_per_doc=budget_us_per_doc,
+                max_batch_size=(
+                    256 if max_batch_size is _UNSET else max_batch_size
+                ),
+                backend=backend,
+                allow_unpriced=bool(allow_unpriced),
+                resilience=resilience,
+            )
+        self.config = config
+
         if context is None:
             context = PricingContext(predictor=predictor, qs_cost=cost_model)
         self.model = model
@@ -116,19 +219,18 @@ class ScoringService:
             self.scorer = model
         else:
             self.scorer = make_scorer(
-                model, backend=backend, context=context, **scorer_opts
+                model, backend=config.backend, context=context, **scorer_opts
             )
-        self.chain: FallbackChain | None = None
         engine_scorer = self.scorer
-        resilient = (
-            fallback_models is not None
-            or retry_policy is not None
-            or breaker_config is not None
-            or deadline_us is not None
-        )
-        if resilient:
-            tiers = [self.scorer]
-            for fallback in fallback_models or ():
+        self.sharded: ShardedScorer | None = None
+        if config.parallel is not None:
+            self.sharded = ShardedScorer(self.scorer, config.parallel)
+            engine_scorer = self.sharded
+        self.chain: FallbackChain | None = None
+        resilience = config.resilience
+        if resilience is not None:
+            tiers = [engine_scorer]
+            for fallback in resilience.fallback_models:
                 tiers.append(
                     fallback
                     if is_scorer(fallback)
@@ -136,21 +238,21 @@ class ScoringService:
                 )
             self.chain = FallbackChain(
                 tiers,
-                retry=retry_policy,
-                breaker=breaker_config,
-                deadline_us=deadline_us,
+                retry=resilience.retry,
+                breaker=resilience.breaker,
+                deadline_us=resilience.deadline_us,
                 clock=clock,
                 sleep=sleep,
             )
             engine_scorer = self.chain
         self.engine = BatchEngine(
             engine_scorer,
-            max_batch_size=max_batch_size,
-            budget_us_per_doc=budget_us_per_doc,
-            allow_unpriced=allow_unpriced,
+            max_batch_size=config.max_batch_size,
+            budget_us_per_doc=config.budget_us_per_doc,
+            allow_unpriced=config.allow_unpriced,
         )
         self.stats = self.engine.stats
-        self.budget_us_per_doc = budget_us_per_doc
+        self.budget_us_per_doc = config.budget_us_per_doc
 
     # ------------------------------------------------------------------
     def score(self, features) -> np.ndarray:
@@ -171,6 +273,11 @@ class ScoringService:
         """Per-tier serving/breaker snapshot, or ``None`` when the
         service was built without a fallback chain."""
         return self.chain.tier_summary() if self.chain else None
+
+    def parallel_summary(self) -> dict[str, object] | None:
+        """Shard/pool/cache snapshot, or ``None`` when the service was
+        built without a :class:`ParallelConfig`."""
+        return self.sharded.summary() if self.sharded else None
 
     @property
     def fallback_ratio(self) -> float:

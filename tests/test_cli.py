@@ -170,3 +170,40 @@ class TestPredictTime:
         )
         assert code == 0
         assert "us/doc" in capsys.readouterr().out
+
+
+class TestThroughput:
+    def test_sweep_reports_rates_and_hit_ratio(self, capsys):
+        code = main(
+            [
+                "throughput",
+                "--queries", "6", "--docs", "24",
+                "--workers", "1", "2",
+                "--shard-rows", "0", "32",
+                "--cache-entries", "4096",
+                "--repeats", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "docs/sec" in out
+        assert "Parallel scoring" in out
+        assert "hit ratio" in out
+        # One speedup figure per workers x shard-rows combination.
+        import re
+
+        assert len(re.findall(r"\d+\.\d\dx", out)) == 4
+
+    def test_quickscorer_backend_sweep(self, capsys):
+        code = main(
+            [
+                "throughput",
+                "--backend", "quickscorer",
+                "--queries", "4", "--docs", "16",
+                "--workers", "2",
+                "--shard-rows", "0",
+                "--repeats", "1",
+            ]
+        )
+        assert code == 0
+        assert "quickscorer" in capsys.readouterr().out

@@ -41,6 +41,14 @@ class TestAnalyticExamples:
         assert "open -> half-open" in out
 
     @pytest.mark.slow
+    def test_parallel_scoring(self):
+        out = run_example("parallel_scoring.py")
+        assert "Deterministic shard planning" in out
+        assert "every score bit-identical" in out
+        assert "cache hit ratio" in out
+        assert "Parallel scoring" in out
+
+    @pytest.mark.slow
     def test_matmul_anatomy(self):
         out = run_example("matmul_anatomy.py")
         assert "Goto algorithm" in out
@@ -59,6 +67,7 @@ class TestExampleSources:
             "matmul_anatomy.py",
             "scoring_service.py",
             "resilient_service.py",
+            "parallel_scoring.py",
             "forest_tuning.py",
             "experiment_report.py",
         ],

@@ -1,0 +1,76 @@
+"""Every exception the library defines derives from ReproError.
+
+One root type is the contract callers program against (``except
+ReproError``).  This walks every ``repro`` module and verifies no
+exception class escaped the hierarchy.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+from repro.exceptions import ReproError
+
+
+def _iter_repro_modules():
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        # Smoke entry points run workloads on import-as-__main__ only,
+        # but skip anything non-importable defensively.
+        yield info.name
+
+
+def _defined_exceptions():
+    """(module, name, class) for every exception defined under repro."""
+    seen = set()
+    for module_name in _iter_repro_modules():
+        module = importlib.import_module(module_name)
+        for name in dir(module):
+            obj = getattr(module, name)
+            if not (isinstance(obj, type) and issubclass(obj, BaseException)):
+                continue
+            if not obj.__module__.startswith("repro"):
+                continue  # re-exported builtins / third-party
+            if obj in seen:
+                continue
+            seen.add(obj)
+            yield obj.__module__, name, obj
+
+
+class TestExceptionHierarchy:
+    def test_all_exceptions_derive_from_repro_error(self):
+        offenders = [
+            f"{module}.{name}"
+            for module, name, obj in _defined_exceptions()
+            if obj is not ReproError and not issubclass(obj, ReproError)
+        ]
+        assert not offenders, (
+            "exception classes outside the ReproError hierarchy: "
+            + ", ".join(sorted(offenders))
+        )
+
+    def test_hierarchy_is_nonempty(self):
+        """The walk actually finds the known exception types."""
+        found = {name for _, name, _ in _defined_exceptions()}
+        assert {
+            "BudgetExceededError",
+            "ConfigError",
+            "ParallelError",
+            "PoolClosedError",
+            "ResilienceError",
+        } <= found
+
+    @pytest.mark.parametrize(
+        "name",
+        ["ParallelError", "PoolClosedError", "ConfigError"],
+    )
+    def test_new_exceptions_catchable_as_repro_error(self, name):
+        from repro import exceptions
+        from repro.runtime import parallel
+
+        cls = getattr(parallel, name, None) or getattr(exceptions, name)
+        assert issubclass(cls, ReproError)

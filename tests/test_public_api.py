@@ -57,3 +57,53 @@ class TestPublicApi:
                     assert issubclass(obj, exceptions.ReproError) or obj in (
                         Exception,
                     ), name
+
+    def test_config_and_parallel_surface_pinned(self):
+        # The PR-4 API additions stay importable from both repro and
+        # repro.runtime; removing any of these is a breaking change.
+        for name in (
+            "ParallelConfig",
+            "ResilienceConfig",
+            "ScoreCache",
+            "ServiceConfig",
+            "ShardedScorer",
+        ):
+            assert name in repro.__all__, f"repro.__all__ dropped {name}"
+            assert hasattr(repro, name)
+
+    def test_runtime_all_pinned(self):
+        import repro.runtime as runtime
+
+        expected = {
+            "BatchEngine",
+            "FallbackChain",
+            "ParallelConfig",
+            "ParallelError",
+            "PoolClosedError",
+            "ResilienceConfig",
+            "ScoreCache",
+            "Scorer",
+            "ServiceConfig",
+            "ShardPlan",
+            "ShardedScorer",
+            "StubScorer",
+            "make_scorer",
+            "plan_shards",
+            "price",
+            "scorer_fingerprint",
+        }
+        missing = expected - set(runtime.__all__)
+        assert not missing, f"repro.runtime.__all__ missing {sorted(missing)}"
+        assert runtime.__all__ == sorted(runtime.__all__), (
+            "repro.runtime.__all__ must stay sorted"
+        )
+
+    def test_serving_all_pinned(self):
+        import repro.serving as serving
+
+        assert set(serving.__all__) == {
+            "BudgetExceededError",
+            "ScoringService",
+            "ServiceConfig",
+            "ServiceStats",
+        }

@@ -17,7 +17,7 @@ from repro.runtime import (
     ServiceStats,
     StubScorer,
 )
-from repro.serving import ScoringService
+from repro.serving import ScoringService, ServiceConfig
 
 
 class PricedStub(StubScorer):
@@ -68,8 +68,7 @@ class TestNanPriceAdmission:
             ScoringService(PricedStub(float("nan")), budget_us_per_doc=10.0)
         service = ScoringService(
             PricedStub(float("nan")),
-            budget_us_per_doc=10.0,
-            allow_unpriced=True,
+            ServiceConfig(budget_us_per_doc=10.0, allow_unpriced=True),
         )
         assert service.budget_us_per_doc == 10.0
 

@@ -1,0 +1,251 @@
+"""Tests for the typed ServiceConfig surface and the deprecated kwargs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.runtime import (
+    CircuitBreakerConfig,
+    FaultPolicy,
+    ManualClock,
+    ParallelConfig,
+    ResilienceConfig,
+    RetryPolicy,
+    ServiceConfig,
+    StubScorer,
+    with_faults,
+)
+from repro.serving import ScoringService
+
+
+@pytest.fixture(scope="module")
+def features(tiny_splits):
+    return tiny_splits[2].features[:120]
+
+
+# ----------------------------------------------------------------------
+# Config objects
+# ----------------------------------------------------------------------
+class TestConfigObjects:
+    def test_service_config_round_trip(self):
+        config = ServiceConfig(
+            budget_us_per_doc=40.0,
+            max_batch_size=None,
+            backend="quickscorer",
+            allow_unpriced=True,
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(max_attempts=3),
+                breaker=CircuitBreakerConfig(window=16),
+                deadline_us=5e5,
+            ),
+            parallel=ParallelConfig(workers=4, cache_entries=512),
+        )
+        rebuilt = ServiceConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
+    def test_from_dict_accepts_nested_dicts(self):
+        config = ServiceConfig.from_dict(
+            {
+                "budget_us_per_doc": 10.0,
+                "resilience": {"deadline_us": 1e6},
+                "parallel": {"workers": 2},
+            }
+        )
+        assert config.resilience.deadline_us == 1e6
+        assert config.parallel.workers == 2
+        assert config.max_batch_size == 256  # default preserved
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="unknown ServiceConfig"):
+            ServiceConfig.from_dict({"latency_sla": 1.0})
+        with pytest.raises(ConfigError, match="unknown ResilienceConfig"):
+            ResilienceConfig.from_dict({"retries": 3})
+
+    def test_fallback_models_not_serializable(self):
+        config = ResilienceConfig(fallback_models=(StubScorer(),))
+        with pytest.raises(ConfigError, match="live model"):
+            config.to_dict()
+
+    def test_fallback_models_coerced_to_tuple(self):
+        config = ResilienceConfig(fallback_models=[StubScorer()])
+        assert isinstance(config.fallback_models, tuple)
+
+    def test_invalid_deadline_rejected(self):
+        with pytest.raises(ConfigError, match="deadline_us"):
+            ResilienceConfig(deadline_us=-1.0)
+
+    def test_invalid_nested_dict_rejected(self):
+        with pytest.raises(ConfigError, match="invalid retry"):
+            ResilienceConfig.from_dict(
+                {"retry": {"max_attempts": 2, "bogus": True}}
+            )
+
+
+# ----------------------------------------------------------------------
+# Deprecated kwargs
+# ----------------------------------------------------------------------
+class TestDeprecatedKwargs:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fallback_models": [StubScorer()]},
+            {"retry_policy": RetryPolicy(max_attempts=2)},
+            {"breaker_config": CircuitBreakerConfig(window=8)},
+            {"deadline_us": 1e6},
+            {"allow_unpriced": True},
+        ],
+        ids=lambda kw: next(iter(kw)),
+    )
+    def test_each_legacy_kwarg_warns(self, small_forest, kwargs):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            service = ScoringService(small_forest, **kwargs)
+        if "allow_unpriced" in kwargs:
+            assert service.chain is None
+            assert service.config.allow_unpriced is True
+        else:
+            assert service.chain is not None
+
+    def test_warning_names_the_kwarg_and_replacement(self, small_forest):
+        with pytest.warns(
+            DeprecationWarning, match=r"'deadline_us'.*ResilienceConfig"
+        ):
+            ScoringService(small_forest, deadline_us=1e6)
+
+    def test_config_path_does_not_warn(self, small_forest, recwarn):
+        ScoringService(
+            small_forest,
+            ServiceConfig(resilience=ResilienceConfig(deadline_us=1e6)),
+        )
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"budget_us_per_doc": 1e6},
+            {"max_batch_size": 64},
+            {"backend": "quickscorer"},
+            {"deadline_us": 1e6},
+            {"allow_unpriced": True},
+        ],
+        ids=lambda kw: next(iter(kw)),
+    )
+    def test_config_plus_kwarg_conflicts(self, small_forest, kwargs):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError, match="not both"):
+                ScoringService(small_forest, ServiceConfig(), **kwargs)
+
+    def test_legacy_and_config_builds_are_equivalent(
+        self, small_forest, features
+    ):
+        """The deprecated kwargs and the config build identical ladders."""
+        clock = ManualClock()
+
+        def faulty_primary():
+            from repro.runtime import make_scorer
+
+            return with_faults(
+                make_scorer(small_forest, backend="quickscorer"),
+                FaultPolicy.every(2),
+                sleep=clock.sleep,
+            )
+
+        def serve(service):
+            outputs = []
+            for lo in range(0, len(features), 20):
+                outputs.append(service.score(features[lo : lo + 20]))
+            return np.concatenate(outputs)
+
+        retry = RetryPolicy(max_attempts=1)
+        breaker = CircuitBreakerConfig(
+            window=8, min_samples=8, failure_rate_threshold=1.0
+        )
+        with pytest.warns(DeprecationWarning):
+            legacy = ScoringService(
+                faulty_primary(),
+                fallback_models=[StubScorer()],
+                retry_policy=retry,
+                breaker_config=breaker,
+                clock=clock,
+                sleep=clock.sleep,
+            )
+        modern = ScoringService(
+            faulty_primary(),
+            ServiceConfig(
+                resilience=ResilienceConfig(
+                    fallback_models=(StubScorer(),),
+                    retry=retry,
+                    breaker=breaker,
+                )
+            ),
+            clock=clock,
+            sleep=clock.sleep,
+        )
+        np.testing.assert_array_equal(serve(legacy), serve(modern))
+        assert legacy.fallback_ratio == modern.fallback_ratio > 0
+        assert [t["served"] for t in legacy.resilience_summary()] == [
+            t["served"] for t in modern.resilience_summary()
+        ]
+
+    def test_legacy_config_attribute_reflects_kwargs(self, small_forest):
+        with pytest.warns(DeprecationWarning):
+            service = ScoringService(
+                small_forest,
+                budget_us_per_doc=1e6,
+                deadline_us=2e6,
+            )
+        assert isinstance(service.config, ServiceConfig)
+        assert service.config.budget_us_per_doc == 1e6
+        assert service.config.resilience.deadline_us == 2e6
+
+
+# ----------------------------------------------------------------------
+# Config-built services, end to end
+# ----------------------------------------------------------------------
+class TestServiceFromConfig:
+    def test_plain_config_service_scores(self, small_forest, features):
+        service = ScoringService(small_forest, ServiceConfig())
+        assert service.score(features).shape == (len(features),)
+        assert service.parallel_summary() is None
+        assert service.resilience_summary() is None
+
+    def test_parallel_config_service_bit_identical(
+        self, small_forest, features
+    ):
+        plain = ScoringService(small_forest)
+        reference = plain.score(features)
+        service = ScoringService(
+            small_forest,
+            ServiceConfig(
+                max_batch_size=None,
+                parallel=ParallelConfig(workers=2, cache_entries=2048),
+            ),
+        )
+        np.testing.assert_array_equal(service.score(features), reference)
+        np.testing.assert_array_equal(service.score(features), reference)
+        summary = service.parallel_summary()
+        assert summary["requests"] == 2
+        assert summary["cache"]["hits"] > 0
+
+    def test_parallel_under_resilience(self, small_forest, features):
+        """The chain wraps the sharded scorer unchanged."""
+        from repro.runtime import ShardedScorer
+
+        service = ScoringService(
+            small_forest,
+            ServiceConfig(
+                max_batch_size=None,
+                parallel=ParallelConfig(workers=2),
+                resilience=ResilienceConfig(fallback_models=(StubScorer(),)),
+            ),
+        )
+        assert isinstance(service.chain.tiers[0].inner, ShardedScorer)
+        reference = ScoringService(small_forest).score(features)
+        np.testing.assert_array_equal(service.score(features), reference)
+        assert service.fallback_ratio == 0.0

@@ -1,0 +1,370 @@
+"""Tests for repro.runtime.parallel — shard plans, cache, sharded scorer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design.cascade import CascadeStage, EarlyExitCascade
+from repro.exceptions import ConfigError
+from repro.runtime import (
+    BatchEngine,
+    ParallelConfig,
+    ParallelError,
+    PoolClosedError,
+    ScoreCache,
+    ShardPlan,
+    ShardedScorer,
+    StubScorer,
+    make_scorer,
+    plan_shards,
+    scorer_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def features(tiny_splits):
+    return tiny_splits[2].features[:300]
+
+
+@pytest.fixture(scope="module")
+def forest_scorer(small_forest):
+    return make_scorer(small_forest, backend="quickscorer")
+
+
+# ----------------------------------------------------------------------
+# Shard planning
+# ----------------------------------------------------------------------
+class TestShardPlan:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n_rows=st.integers(min_value=0, max_value=2000),
+        n_shards=st.integers(min_value=1, max_value=16),
+    )
+    def test_even_covers_and_balances(self, n_rows, n_shards):
+        plan = ShardPlan.even(n_rows, n_shards)
+        assert plan.n_rows == n_rows
+        assert sum(plan.sizes) == n_rows
+        if n_rows:
+            assert plan.n_shards == min(n_shards, n_rows)
+            assert max(plan.sizes) - min(plan.sizes) <= 1
+        else:
+            assert plan.spans == ()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n_rows=st.integers(min_value=0, max_value=2000),
+        max_rows=st.integers(min_value=1, max_value=300),
+    )
+    def test_size_capped_respects_cap(self, n_rows, max_rows):
+        plan = ShardPlan.size_capped(n_rows, max_rows)
+        assert sum(plan.sizes) == n_rows
+        assert all(size <= max_rows for size in plan.sizes)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n_rows=st.integers(min_value=0, max_value=2000),
+        n_shards=st.integers(min_value=1, max_value=16),
+    )
+    def test_planning_is_deterministic(self, n_rows, n_shards):
+        """Same inputs, same plan — the reassembly contract depends on it."""
+        assert ShardPlan.even(n_rows, n_shards) == ShardPlan.even(
+            n_rows, n_shards
+        )
+
+    def test_cost_weighted_targets_budget(self):
+        # 4 us/doc against a 100 us shard budget -> 25-row shards.
+        plan = ShardPlan.cost_weighted(100, 4.0, 100.0)
+        assert plan.strategy == "cost-weighted"
+        assert max(plan.sizes) <= 25
+        assert sum(plan.sizes) == 100
+
+    def test_cost_weighted_rejects_unpriced(self):
+        with pytest.raises(ParallelError, match="finite positive"):
+            ShardPlan.cost_weighted(100, float("nan"), 100.0)
+
+    def test_invalid_spans_rejected(self):
+        with pytest.raises(ParallelError, match="contiguous"):
+            ShardPlan(10, ((0, 5), (6, 10)))  # gap at row 5
+        with pytest.raises(ParallelError, match="cover"):
+            ShardPlan(10, ((0, 5),))  # short coverage
+
+    def test_balance_of_even_plan_is_near_one(self):
+        plan = ShardPlan.even(100, 3)
+        assert 1.0 <= plan.balance <= 1.02
+
+    def test_plan_shards_dispatches_by_strategy(self):
+        even = plan_shards(90, ParallelConfig(workers=3))
+        assert even.strategy == "even" and even.n_shards == 3
+        capped = plan_shards(
+            90,
+            ParallelConfig(
+                workers=3, strategy="size-capped", max_shard_rows=20
+            ),
+        )
+        assert capped.strategy == "size-capped"
+        assert all(size <= 20 for size in capped.sizes)
+        weighted = plan_shards(
+            90,
+            ParallelConfig(
+                workers=3, strategy="cost-weighted", target_shard_us=50.0
+            ),
+            us_per_doc=5.0,
+        )
+        assert weighted.strategy == "cost-weighted"
+        assert all(size <= 10 for size in weighted.sizes)
+
+
+class TestParallelConfig:
+    def test_round_trip(self):
+        config = ParallelConfig(
+            workers=4,
+            strategy="size-capped",
+            max_shard_rows=64,
+            cache_entries=1024,
+        )
+        assert ParallelConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown ParallelConfig"):
+            ParallelConfig.from_dict({"workers": 2, "warp_factor": 9})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"strategy": "round-robin"},
+            {"strategy": "size-capped"},  # missing max_shard_rows
+            {"strategy": "cost-weighted"},  # missing target_shard_us
+            {"cache_entries": -1},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ParallelConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Score cache
+# ----------------------------------------------------------------------
+class TestScoreCache:
+    def test_lru_eviction_order(self):
+        cache = ScoreCache(capacity=2)
+        cache.put_many("m", [b"a", b"b"], np.array([1.0, 2.0]))
+        cache.get_many("m", [b"a"])  # touch "a" -> "b" becomes LRU
+        cache.put_many("m", [b"c"], np.array([3.0]))
+        _, mask = cache.get_many("m", [b"a", b"b", b"c"])
+        assert mask.tolist() == [True, False, True]
+        assert cache.evictions == 1
+
+    def test_models_do_not_share_entries(self):
+        cache = ScoreCache(capacity=8)
+        cache.put_many("model-a", [b"row"], np.array([1.0]))
+        _, mask = cache.get_many("model-b", [b"row"])
+        assert not mask.any()
+
+    def test_hit_ratio_and_snapshot(self):
+        cache = ScoreCache(capacity=8)
+        assert np.isnan(cache.hit_ratio)
+        cache.put_many("m", [b"x"], np.array([0.5]))
+        cache.get_many("m", [b"x", b"y"])
+        assert cache.hit_ratio == 0.5
+        snapshot = cache.snapshot()
+        assert snapshot["entries"] == 1.0 and snapshot["hits"] == 1.0
+
+    def test_clear_keeps_counters(self):
+        cache = ScoreCache(capacity=8)
+        cache.put_many("m", [b"x"], np.array([0.5]))
+        cache.get_many("m", [b"x"])
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 1
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ParallelError, match="digests"):
+            ScoreCache(8).put_many("m", [b"x"], np.array([1.0, 2.0]))
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ParallelError):
+            ScoreCache(0)
+
+
+# ----------------------------------------------------------------------
+# Sharded scorer: bit-identity
+# ----------------------------------------------------------------------
+class TestShardedScorerIdentity:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        workers=st.integers(min_value=1, max_value=4),
+        rows=st.integers(min_value=1, max_value=120),
+        cached=st.booleans(),
+    )
+    def test_bit_identical_to_plain(
+        self, forest_scorer, features, workers, rows, cached
+    ):
+        """Any worker count, any request size, cache on or off: same bits."""
+        x = features[:rows]
+        reference = forest_scorer.score(x)
+        config = ParallelConfig(
+            workers=workers, cache_entries=4096 if cached else 0
+        )
+        with ShardedScorer(forest_scorer, config) as sharded:
+            np.testing.assert_array_equal(sharded.score(x), reference)
+            np.testing.assert_array_equal(sharded.score(x), reference)
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            ParallelConfig(workers=3, strategy="size-capped", max_shard_rows=7),
+            ParallelConfig(
+                workers=2, strategy="cost-weighted", target_shard_us=100.0
+            ),
+            ParallelConfig(workers=2, cache_entries=64),  # forces evictions
+        ],
+        ids=["size-capped", "cost-weighted", "tiny-cache"],
+    )
+    def test_strategies_bit_identical(self, forest_scorer, features, config):
+        reference = forest_scorer.score(features)
+        with ShardedScorer(forest_scorer, config) as sharded:
+            for _ in range(2):
+                np.testing.assert_array_equal(
+                    sharded.score(features), reference
+                )
+
+    def test_network_backends_bit_identical(
+        self, small_student, features
+    ):
+        for backend in ("dense-network", "quantized-network"):
+            plain = make_scorer(small_student, backend=backend)
+            reference = plain.score(features)
+            config = ParallelConfig(workers=3, cache_entries=2048)
+            with ShardedScorer(plain, config) as sharded:
+                np.testing.assert_array_equal(
+                    sharded.score(features), reference
+                )
+                np.testing.assert_array_equal(
+                    sharded.score(features), reference
+                )
+
+    def test_cascade_served_whole_without_cache(self, features):
+        """Non-batchable scorers bypass sharding and caching entirely."""
+        cascade = EarlyExitCascade(
+            [CascadeStage("stub", lambda x: np.asarray(x)[:, 0], 0.5)]
+        )
+        plain = make_scorer(cascade, backend="cascade")
+        reference = plain.score(features)
+        with ShardedScorer(
+            plain, ParallelConfig(workers=4, cache_entries=1024)
+        ) as sharded:
+            assert sharded.cache is None
+            assert not sharded.batchable
+            np.testing.assert_array_equal(sharded.score(features), reference)
+
+
+# ----------------------------------------------------------------------
+# Sharded scorer: lifecycle, protocol, cache behaviour
+# ----------------------------------------------------------------------
+class TestShardedScorerBehaviour:
+    def test_satisfies_scorer_protocol(self, forest_scorer):
+        from repro.runtime import is_scorer
+
+        with ShardedScorer(forest_scorer, ParallelConfig(workers=2)) as s:
+            assert is_scorer(s)
+            assert s.backend == forest_scorer.backend
+            assert s.input_dim == forest_scorer.input_dim
+            assert s.predicted_us_per_doc == forest_scorer.predicted_us_per_doc
+            assert "sharded" in s.describe()
+
+    def test_rejects_non_scorer(self):
+        with pytest.raises(TypeError, match="expected a Scorer"):
+            ShardedScorer(object())
+
+    def test_closed_pool_raises(self, forest_scorer, features):
+        sharded = ShardedScorer(forest_scorer, ParallelConfig(workers=2))
+        sharded.close()
+        with pytest.raises(PoolClosedError):
+            sharded.score(features[:8])
+
+    def test_zero_document_request(self, forest_scorer):
+        with ShardedScorer(forest_scorer, ParallelConfig(workers=2)) as s:
+            out = s.score(np.empty((0, forest_scorer.input_dim)))
+            assert out.shape == (0,)
+            assert s.requests == 0
+
+    def test_warm_request_hits_cache(self, forest_scorer, features):
+        x = features[:64]
+        config = ParallelConfig(workers=1, cache_entries=4096)
+        with ShardedScorer(forest_scorer, config) as sharded:
+            sharded.score(x)
+            misses_after_cold = sharded.cache.misses
+            sharded.score(x)
+            assert sharded.cache.misses == misses_after_cold
+            assert sharded.cache.hits >= len(np.unique(x, axis=0))
+
+    def test_instances_do_not_share_cache_entries(
+        self, small_forest, features
+    ):
+        """Fingerprints are per-instance: a new scorer starts cold."""
+        x = features[:32]
+        config = ParallelConfig(workers=1, cache_entries=4096)
+        cache = ScoreCache(4096)
+        first_scorer = make_scorer(small_forest, backend="quickscorer")
+        with ShardedScorer(first_scorer, config, cache=cache) as first:
+            first.score(x)
+        hits_after_first = cache.hits
+        clone = make_scorer(small_forest, backend="quickscorer")
+        with ShardedScorer(clone, config, cache=cache) as second:
+            second.score(x)
+        assert cache.hits == hits_after_first  # all misses: new fingerprint
+
+    def test_fingerprint_prefers_scorer_hook(self):
+        class Fingerprinted(StubScorer):
+            def fingerprint(self):
+                return "weights-v7"
+
+        assert scorer_fingerprint(Fingerprinted()) == "weights-v7"
+        stub = StubScorer()
+        assert hex(id(stub)) in scorer_fingerprint(stub)
+
+    def test_summary_shape(self, forest_scorer, features):
+        config = ParallelConfig(workers=2, cache_entries=256)
+        with ShardedScorer(forest_scorer, config) as sharded:
+            sharded.score(features[:50])
+            summary = sharded.summary()
+        assert summary["workers"] == 2
+        assert summary["requests"] == 1
+        assert summary["cache"]["capacity"] == 256.0
+
+
+# ----------------------------------------------------------------------
+# Observability + engine integration
+# ----------------------------------------------------------------------
+class TestParallelIntegration:
+    def test_obs_series_recorded(self, forest_scorer, features, obs_clean):
+        config = ParallelConfig(workers=2, cache_entries=4096)
+        with ShardedScorer(forest_scorer, config) as sharded:
+            sharded.score(features[:40])
+            sharded.score(features[:40])
+        report = obs_clean.parallel_report()
+        row = report.backend("quickscorer")
+        assert row is not None
+        assert row.requests == 2
+        assert row.cache_hits > 0
+        assert "quickscorer" in report.render()
+
+    def test_batch_engine_parallel_wrapping(self, forest_scorer, features):
+        reference = forest_scorer.score(features)
+        engine = BatchEngine(
+            forest_scorer,
+            max_batch_size=None,
+            parallel=ParallelConfig(workers=2, cache_entries=1024),
+        )
+        assert isinstance(engine.scorer, ShardedScorer)
+        np.testing.assert_array_equal(engine.score(features), reference)
+        engine.scorer.close()
+
+    def test_batch_engine_leaves_presharded_scorer(self, forest_scorer):
+        with ShardedScorer(forest_scorer, ParallelConfig(workers=2)) as s:
+            engine = BatchEngine(s, parallel=ParallelConfig(workers=4))
+            assert engine.scorer is s

@@ -29,12 +29,13 @@ from repro.runtime import (
     RetryPolicy,
     ScorerFaultError,
     StubScorer,
+    ResilienceConfig,
     make_fallback_chain,
     make_scorer,
     with_faults,
 )
 from repro.runtime.base import is_scorer
-from repro.serving import ScoringService
+from repro.serving import ScoringService, ServiceConfig
 
 
 def manual_pair():
@@ -519,10 +520,14 @@ class TestScoringServiceIntegration:
         )
         service = ScoringService(
             primary,
-            fallback_models=[StubScorer()],
-            retry_policy=RetryPolicy(max_attempts=1),
-            breaker_config=CircuitBreakerConfig(
-                window=8, min_samples=8, failure_rate_threshold=1.0
+            ServiceConfig(
+                resilience=ResilienceConfig(
+                    fallback_models=(StubScorer(),),
+                    retry=RetryPolicy(max_attempts=1),
+                    breaker=CircuitBreakerConfig(
+                        window=8, min_samples=8, failure_rate_threshold=1.0
+                    ),
+                )
             ),
             clock=clock,
             sleep=clock.sleep,
@@ -542,7 +547,10 @@ class TestScoringServiceIntegration:
     def test_healthy_service_matches_plain_service(self, small_forest):
         plain = ScoringService(small_forest)
         resilient = ScoringService(
-            small_forest, fallback_models=[StubScorer()]
+            small_forest,
+            ServiceConfig(
+                resilience=ResilienceConfig(fallback_models=(StubScorer(),))
+            ),
         )
         x = np.random.default_rng(1).normal(
             size=(5, small_forest.n_features)
