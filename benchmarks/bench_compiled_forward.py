@@ -1,0 +1,127 @@
+"""Compiled inference plans — naive vs compiled forward comparison.
+
+Compiles dense and first-layer-pruned variants of the paper's
+400x200x200x100 architecture into :class:`InferencePlan` objects and
+times them against naive ``FeedForwardNetwork.predict`` at several batch
+sizes, in both execution dtypes.  Expected shape: the float64 plan
+roughly matches naive scoring on dense networks (same BLAS, minus
+allocations) and pulls ahead once the first layer runs sparse; the
+float32 plan — the paper's kernel precision — is the headline speedup,
+well above 1.5x on the 90%-pruned network at batch 256.  Every float64
+row is asserted bit-identical to its reference before it is emitted.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks._common import emit
+from repro.nn.network import FeedForwardNetwork
+from repro.pruning import LevelPruner
+from repro.runtime import compile_network, reference_scores
+
+INPUT_DIM = 136
+HIDDEN = (400, 200, 200, 100)
+BATCHES = (64, 256, 1024)
+REPEATS = 7
+
+
+def _network(sparsity: float, seed: int) -> FeedForwardNetwork:
+    network = FeedForwardNetwork(INPUT_DIM, HIDDEN, seed=seed)
+    if sparsity > 0:
+        LevelPruner(sparsity).apply(network.first_layer)
+    return network
+
+
+def _best_us_per_doc(fn, batch: int) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e6 / batch
+
+
+def test_compiled_forward(benchmark):
+    rng = np.random.default_rng(5)
+    variants = [
+        ("dense", 0.0),
+        ("pruned 90%", 0.90),
+        ("pruned 98%", 0.98),
+    ]
+    rows = []
+    bench_target = None
+    for label, sparsity in variants:
+        network = _network(sparsity, seed=3)
+        f64 = compile_network(network)
+        f32 = compile_network(network, dtype="float32")
+        kernels = "+".join(
+            "sparse" if lp.kernel == "csr-spmm" else "dense"
+            for lp in f64.layers
+        )
+        for batch in BATCHES:
+            features = rng.standard_normal((batch, INPUT_DIM))
+            np.testing.assert_array_equal(
+                f64.score(features),
+                reference_scores(network, f64, features),
+                err_msg=f"{label}: float64 plan diverged at batch {batch}",
+            )
+            err = float(
+                np.abs(f32.score(features) - f64.score(features)).max()
+            )
+            naive_us = _best_us_per_doc(
+                lambda: network.predict(features), batch
+            )
+            f64_us = _best_us_per_doc(lambda: f64.score(features), batch)
+            f32_us = _best_us_per_doc(lambda: f32.score(features), batch)
+            rows.append(
+                (
+                    label,
+                    kernels,
+                    batch,
+                    f"{naive_us:.2f}",
+                    f"{f64_us:.2f}",
+                    f"{f32_us:.2f}",
+                    f"{naive_us / f64_us:.2f}x",
+                    f"{naive_us / f32_us:.2f}x",
+                    f"{err:.1e}",
+                )
+            )
+            if label == "pruned 90%" and batch == 256:
+                bench_target = (f32, features)
+                headline = naive_us / f32_us
+
+    emit(
+        "compiled_forward",
+        [
+            "Network",
+            "Kernels",
+            "Batch",
+            "Naive us/doc",
+            "f64 plan",
+            "f32 plan",
+            "f64 speedup",
+            "f32 speedup",
+            "f32 max err",
+        ],
+        rows,
+        title="Compiled inference plans vs naive forward (400x200x200x100)",
+        notes=(
+            "Naive = FeedForwardNetwork.predict (float64 BLAS with per-"
+            "chunk allocations).  Plans pre-convert weights once, fuse "
+            "bias+ReLU6 in place and reuse ping-pong buffers; float64 "
+            "rows are bit-identical to the hybrid reference, float32 "
+            "trades the last bits for the paper's kernel precision.  "
+            "Kernel choice is the calibrated predictors' per-layer "
+            "dense-vs-sparse arbitration."
+        ),
+    )
+
+    assert headline >= 1.5, (
+        f"float32 plan must clear 1.5x over naive predict on the "
+        f"90%-pruned network at batch 256, got {headline:.2f}x"
+    )
+    plan, features = bench_target
+    benchmark(lambda: plan.score(features))

@@ -10,6 +10,8 @@ can be driven without writing Python:
 * ``repro score``         — score an SVMLight file with a saved model.
 * ``repro calibrate``     — measure + save the time predictors.
 * ``repro predict-time``  — price an architecture with saved predictors.
+* ``repro compile``       — compile a network into an inference plan and
+  print chosen kernel per layer with predicted vs measured µs/doc.
 * ``repro stats``         — serve a probe workload, report spans + drift.
 * ``repro resilience``    — fault-inject a backend behind a fallback
   chain and report degradation, breaker states and retry counts.
@@ -248,6 +250,97 @@ def cmd_predict_time(args) -> int:
             n_trees, n_leaves, forest_us,
             forest_us / report.pruned_forecast_us_per_doc,
         )
+    return 0
+
+
+def cmd_compile(args) -> int:
+    """Compile a network into an inference plan and probe its kernels.
+
+    Builds the network — from a saved student (``--network``) or a
+    synthetic one pruned to ``--sparsity`` — compiles it at ``--dtype``,
+    then prints the chosen kernel per layer with the predictor's µs/doc
+    estimate next to the measured (best-of-``--repeats``) cost, plus the
+    whole-plan comparison against naive ``predict``.
+    """
+    import time as _time
+
+    from repro.nn.network import FeedForwardNetwork
+    from repro.pruning import LevelPruner
+    from repro.runtime import compile_network
+
+    if args.network:
+        student = DistilledStudent.load(args.network)
+        network = student.network
+        source = args.network
+    else:
+        network = FeedForwardNetwork(
+            args.features, args.architecture, seed=args.seed
+        )
+        if args.sparsity > 0:
+            LevelPruner(args.sparsity).apply(network.first_layer)
+        source = (
+            f"synthetic {network.describe()} "
+            f"(first layer pruned to {args.sparsity:.0%})"
+        )
+    context = PricingContext(
+        predictor=load_predictor(args.predictor) if args.predictor else None
+    )
+    plan = compile_network(
+        network,
+        context=context,
+        dtype=args.dtype,
+        max_batch=max(args.batch, 1),
+        stable=args.stable,
+    )
+    rng = np.random.default_rng(args.seed)
+    features = rng.standard_normal((args.batch, network.input_dim))
+    measured = plan.profile_layers(features, repeats=args.repeats)
+
+    log.info("compiled %s", source)
+    log.info(
+        "%s (fingerprint %s, buffers %d KiB, compiled in %.1f ms)",
+        plan.describe(), plan.fingerprint,
+        plan.buffer_bytes // 1024, plan.compile_us / 1e3,
+    )
+    header = (
+        f"{'layer':>5} {'shape':>10} {'sparsity':>8} {'kernel':>10} "
+        f"{'predicted':>12} {'measured':>12}"
+    )
+    log.info("%s", header)
+    log.info("%s", "-" * len(header))
+    for lp, us in zip(plan.layers, measured):
+        log.info(
+            "%5s %10s %8s %10s %9.3f us %9.3f us",
+            f"L{lp.index}",
+            f"{lp.out_width}x{lp.in_width}",
+            f"{lp.sparsity:.1%}",
+            lp.kernel,
+            lp.predicted_us_per_doc,
+            us,
+        )
+    log.info(
+        "%5s %10s %8s %10s %9.3f us %9.3f us",
+        "total", "", "", "",
+        plan.predicted_us_per_doc, sum(measured),
+    )
+
+    best_naive = best_plan = float("inf")
+    for _ in range(args.repeats):
+        start = _time.perf_counter()
+        network.predict(features)
+        best_naive = min(best_naive, _time.perf_counter() - start)
+        start = _time.perf_counter()
+        plan.score(features)
+        best_plan = min(best_plan, _time.perf_counter() - start)
+    naive_us = best_naive * 1e6 / args.batch
+    plan_us = best_plan * 1e6 / args.batch
+    log.info(
+        "naive predict %.3f us/doc -> compiled %.3f us/doc "
+        "(%.2fx) at batch %d",
+        naive_us, plan_us, naive_us / plan_us, args.batch,
+    )
+    log.info("")
+    log.info("%s", obs.compile_report().render())
     return 0
 
 
@@ -593,6 +686,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--docs", type=int, default=16)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_resilience)
+
+    p = sub.add_parser(
+        "compile",
+        help="compile a network into an inference plan and probe it",
+    )
+    p.add_argument(
+        "--network", help="saved student model to compile (repro distill)"
+    )
+    p.add_argument(
+        "--architecture",
+        type=_parse_hidden,
+        default=(400, 200, 200, 100),
+        help="hidden widths of the synthetic network (e.g. 400x200x100)",
+    )
+    p.add_argument("--features", type=int, default=136)
+    p.add_argument(
+        "--sparsity",
+        type=float,
+        default=0.9,
+        help="first-layer pruning level of the synthetic network",
+    )
+    p.add_argument(
+        "--dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="plan execution dtype (float32 = the paper's kernels)",
+    )
+    p.add_argument(
+        "--stable",
+        action="store_true",
+        help="compile the serving-grade chunk-invariant plan",
+    )
+    p.add_argument("--batch", type=int, default=256)
+    p.add_argument(
+        "--repeats", type=int, default=20, help="best-of-N timing repeats"
+    )
+    p.add_argument("--predictor", help="saved predictor JSON (repro calibrate)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser(
         "throughput",

@@ -11,11 +11,16 @@ exposes the structural quantities the sparse time predictor consumes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.utils.validation import check_array_2d
+
+try:  # SpMM fast path; the container ships scipy, but stay importable
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_sparse = None
 
 
 @dataclass
@@ -26,6 +31,8 @@ class CsrMatrix:
     col_index: np.ndarray
     row_ptr: np.ndarray
     shape: tuple[int, int]
+    #: Lazily-built scipy.sparse twin backing the SpMM fast path.
+    _scipy: object = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.values = np.asarray(self.values, dtype=np.float64)
@@ -68,12 +75,12 @@ class CsrMatrix:
         )
 
     def to_dense(self) -> np.ndarray:
-        """Materialize the dense equivalent."""
+        """Materialize the dense equivalent (one vectorized scatter)."""
         m, k = self.shape
         out = np.zeros((m, k), dtype=np.float64)
-        for i in range(m):
-            lo, hi = self.row_ptr[i], self.row_ptr[i + 1]
-            out[i, self.col_index[lo:hi]] = self.values[lo:hi]
+        if self.nnz:
+            rows = np.repeat(np.arange(m), np.diff(self.row_ptr))
+            out[rows, self.col_index] = self.values
         return out
 
     # ------------------------------------------------------------------
@@ -114,18 +121,53 @@ class CsrMatrix:
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
-    def matmul(self, dense_b) -> np.ndarray:
-        """Reference SDMM ``C = A @ B`` (Algorithm 1, vectorized per row)."""
+    def _check_b(self, dense_b) -> np.ndarray:
         b = check_array_2d(dense_b, "dense_b")
-        m, k = self.shape
-        if b.shape[0] != k:
+        if b.shape[0] != self.shape[1]:
             raise ValueError(
-                f"B has {b.shape[0]} rows, expected k={k}"
+                f"B has {b.shape[0]} rows, expected k={self.shape[1]}"
             )
+        return b
+
+    def _as_scipy(self):
+        """The scipy.sparse twin backing the SpMM fast path (cached)."""
+        if self._scipy is None and _scipy_sparse is not None:
+            self._scipy = _scipy_sparse.csr_matrix(
+                (self.values, self.col_index, self.row_ptr), shape=self.shape
+            )
+        return self._scipy
+
+    def matmul(self, dense_b) -> np.ndarray:
+        """SDMM ``C = A @ B`` through the vectorized SpMM fast path.
+
+        Dispatches to scipy's compiled CSR kernel, which accumulates each
+        output row over the stored non-zeros in ascending order — exactly
+        the reduction :meth:`matmul_reference` performs — so fast and
+        reference paths are bit-identical, not merely close.  Without
+        scipy the reference loop runs directly.
+        """
+        b = self._check_b(dense_b)
+        a = self._as_scipy()
+        if a is None:  # pragma: no cover - exercised only without scipy
+            return self.matmul_reference(b)
+        return np.asarray(a @ b)
+
+    def matmul_reference(self, dense_b) -> np.ndarray:
+        """Reference SDMM ``C = A @ B`` (Algorithm 1, the per-row loop).
+
+        Each output row accumulates ``values[l] * B[col_index[l]]`` over
+        the row's non-zeros strictly in storage order — the fixed
+        reduction order the fast path must reproduce bit for bit.
+        """
+        b = self._check_b(dense_b)
+        m, _ = self.shape
         out = np.zeros((m, b.shape[1]), dtype=np.float64)
         for i in self.active_rows():
-            cols, vals = self.row(int(i))
-            out[i] = vals @ b[cols]
+            lo, hi = self.row_ptr[i], self.row_ptr[i + 1]
+            acc = np.zeros(b.shape[1], dtype=np.float64)
+            for l in range(lo, hi):
+                acc = acc + self.values[l] * b[self.col_index[l]]
+            out[i] = acc
         return out
 
     def split_rows(self, n_parts: int) -> list["CsrMatrix"]:

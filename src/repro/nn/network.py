@@ -73,6 +73,9 @@ class FeedForwardNetwork:
                 if i == 0 and dropout > 0.0:
                     self.layers.append(Dropout(dropout, seed=seeds[-1]))
                 self.layers.append(ReLU6())
+        #: Reusable chunk staging buffer for :meth:`predict` (shape-keyed
+        #: scratch, never weight data).
+        self._chunk_buffer: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -142,16 +145,42 @@ class FeedForwardNetwork:
             grad = layer.backward(grad)
 
     def predict(self, features, batch_size: int = 4096) -> np.ndarray:
-        """Inference over a (possibly large) feature matrix."""
+        """Inference over a (possibly large) feature matrix.
+
+        Chunks are staged through one preallocated C-contiguous buffer,
+        reused across chunks *and* across calls with the same
+        ``batch_size`` — repeated fixed-batch predicts are
+        allocation-stable apart from the returned score vector.  The
+        buffer holds feature copies only (never weights), so mutating
+        the network between calls — the training loop's access pattern —
+        stays safe.
+        """
         x = check_array_2d(features, "features")
         if x.shape[1] != self.input_dim:
             raise ValueError(
                 f"expected {self.input_dim} features, got {x.shape[1]}"
             )
+        rows = min(len(x), batch_size)
+        if (
+            self._chunk_buffer is None
+            or self._chunk_buffer.shape[0] < rows
+            or self._chunk_buffer.shape[1] != self.input_dim
+        ):
+            self._chunk_buffer = np.empty(
+                (rows, self.input_dim), dtype=np.float64
+            )
         out = np.empty(len(x), dtype=np.float64)
         for start in range(0, len(x), batch_size):
-            chunk = x[start : start + batch_size]
-            out[start : start + len(chunk)] = self.forward(chunk, training=False)
+            n = min(batch_size, len(x) - start)
+            chunk = self._chunk_buffer[:n]
+            np.copyto(chunk, x[start : start + n])
+            scores = self.forward(chunk, training=False)
+            if scores.dtype != np.float64:
+                raise TypeError(
+                    f"forward produced {scores.dtype}, expected float64 — "
+                    "a layer dropped precision"
+                )
+            out[start : start + n] = scores
         return out
 
     # ------------------------------------------------------------------

@@ -34,6 +34,12 @@ See ``docs/observability.md`` for naming conventions and the
 instrumentation guide.
 """
 
+from repro.obs.compile import (
+    CompileReport,
+    CompileRow,
+    compile_report,
+    record_compile,
+)
 from repro.obs.drift import DriftReport, DriftRow, drift_report, record_request
 from repro.obs.parallel import (
     ParallelReport,
@@ -85,6 +91,8 @@ from repro.obs.tracer import (
 __all__ = [
     "BackendRow",
     "ChainRow",
+    "CompileReport",
+    "CompileRow",
     "Counter",
     "DriftReport",
     "DriftRow",
@@ -97,6 +105,7 @@ __all__ = [
     "Span",
     "StreamingHistogram",
     "Tracer",
+    "compile_report",
     "counter",
     "drift_report",
     "enable_tracing",
@@ -107,6 +116,7 @@ __all__ = [
     "parallel_report",
     "prometheus_name",
     "record_breaker_state",
+    "record_compile",
     "record_fallback",
     "record_failure",
     "record_parallel_request",

@@ -18,13 +18,19 @@ One surface for "score documents with any model at a known price":
   cache, bit-identical to unsharded scoring (see ``docs/parallel.md``);
 * :class:`ServiceConfig` / :class:`ResilienceConfig` /
   :class:`ParallelConfig` — the typed configuration surface a
-  :class:`~repro.serving.ScoringService` is built from.
+  :class:`~repro.serving.ScoringService` is built from;
+* :func:`compile_network` / :class:`InferencePlan` — ahead-of-time
+  compiled forward passes: per-layer dense/sparse kernel selection by
+  the calibrated predictors, frozen weights, fused epilogues and
+  zero-allocation ping-pong buffers, served through the
+  ``compiled-network`` backend (see ``docs/compiled.md``).
 
 See ``docs/runtime.md`` for the design and extension guide.
 """
 
 from repro.runtime.adapters import (
     CascadeScorer,
+    CompiledNetworkScorer,
     DenseNetworkScorer,
     GpuQuickScorerAdapter,
     QuantizedNetworkScorer,
@@ -33,6 +39,13 @@ from repro.runtime.adapters import (
 )
 from repro.runtime.base import BaseScorer, Scorer, is_scorer, stable_forward
 from repro.runtime.batching import BatchEngine, BudgetExceededError, ServiceStats
+from repro.runtime.compile import (
+    CompileError,
+    InferencePlan,
+    LayerPlan,
+    compile_network,
+    reference_scores,
+)
 from repro.runtime.config import ResilienceConfig, ServiceConfig
 from repro.runtime.context import (
     PricingContext,
@@ -101,6 +114,8 @@ __all__ = [
     "CircuitBreaker",
     "CircuitBreakerConfig",
     "CircuitOpenError",
+    "CompileError",
+    "CompiledNetworkScorer",
     "DeadlineExceededError",
     "DenseNetworkScorer",
     "FallbackChain",
@@ -109,7 +124,9 @@ __all__ = [
     "FaultyScorer",
     "ForestShape",
     "GpuQuickScorerAdapter",
+    "InferencePlan",
     "InjectedFaultError",
+    "LayerPlan",
     "ManualClock",
     "NetworkShape",
     "ParallelConfig",
@@ -134,6 +151,7 @@ __all__ = [
     "StubScorer",
     "UnknownBackendError",
     "backend_names",
+    "compile_network",
     "default_context",
     "get_backend",
     "is_scorer",
@@ -144,6 +162,7 @@ __all__ = [
     "price",
     "price_forest_shape",
     "price_network_shape",
+    "reference_scores",
     "register_backend",
     "scorer_fingerprint",
     "set_default_context",

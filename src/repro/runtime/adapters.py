@@ -12,6 +12,7 @@ dense-network       chunk-stable FFN forward        dense predictor (Eq. 3)
 sparse-network      chunk-stable FFN forward        hybrid dense+Eq. 5 price
 quantized-network   fake-quantized FFN forward      int-``bits`` timing model
 cascade             per-request early-exit cascade  expected amortized cost
+compiled-network    AOT-compiled inference plan     the plan's chosen kernels
 ==================  =============================  =========================
 
 All network adapters score through :func:`~repro.runtime.base.
@@ -219,6 +220,82 @@ class QuantizedNetworkScorer(BaseScorer):
         return f"int{self.bits} net {self.student.describe()}"
 
 
+class CompiledNetworkScorer(BaseScorer):
+    """A student executed through an ahead-of-time compiled plan.
+
+    Construction compiles the student's network into an
+    :class:`~repro.runtime.compile.InferencePlan` — per-layer kernel
+    selection via the calibrated predictors, frozen weight copies,
+    fused epilogues and preallocated ping-pong buffers — so scoring is
+    the plan's zero-allocation loop.  The price is the sum of the
+    *chosen* kernels' predicted per-document costs, and the plan's
+    weight digest doubles as the scorer ``fingerprint()``, keeping
+    :class:`~repro.runtime.parallel.ScoreCache` entries sound across
+    recompilations.
+
+    The plan is compiled in **stable** mode by default: the adapter
+    inherits the :class:`Scorer` chunk-invariance guarantee (sharding
+    and micro-batching may never change a ranking), which BLAS GEMM
+    bits cannot honour — the same trade ``stable_forward`` makes for
+    the other network adapters.  Pass ``stable=False`` for the native
+    BLAS kernels when the scorer will only ever see whole requests.
+
+    Unlike the lazily-priced adapters, compilation itself consults the
+    predictors (selection *is* pricing), so the cost models are built
+    eagerly here.
+    """
+
+    backend = "compiled-network"
+
+    def __init__(
+        self,
+        student: DistilledStudent,
+        context: PricingContext,
+        *,
+        compiled: bool = True,  # registry dispatch flag; value unused
+        plan_dtype: str = "float64",
+        max_batch: int = 4096,
+        kernels=None,
+        stable: bool = True,
+    ) -> None:
+        from repro.runtime.compile import compile_network
+
+        if not isinstance(student, DistilledStudent):
+            raise TypeError(
+                f"expected a DistilledStudent, got {type(student).__name__}"
+            )
+        self.student = student
+        self.plan = compile_network(
+            student.network,
+            context=context,
+            dtype=plan_dtype,
+            max_batch=max_batch,
+            kernels=kernels,
+            stable=stable,
+        )
+        super().__init__(
+            price_fn=lambda: self.plan.predicted_us_per_doc,
+            input_dim=student.input_dim,
+        )
+
+    def fingerprint(self) -> str:
+        """The plan's weight/kernel digest (see ``scorer_fingerprint``)."""
+        return self.plan.fingerprint
+
+    def score(self, features) -> np.ndarray:
+        z = self.student.normalizer.transform(
+            np.asarray(features, dtype=np.float64)
+        )
+        return self.plan.score(z)
+
+    def describe(self) -> str:
+        dense, sparse = self.plan.kernel_counts()
+        return (
+            f"compiled net {self.student.describe()} "
+            f"[{self.plan.dtype_name}, {dense} dense + {sparse} sparse]"
+        )
+
+
 class CascadeScorer(BaseScorer):
     """An early-exit cascade served as one scorer.
 
@@ -256,6 +333,7 @@ __all__ = [
     "DenseNetworkScorer",
     "SparseNetworkScorer",
     "QuantizedNetworkScorer",
+    "CompiledNetworkScorer",
     "CascadeScorer",
     "ForestShape",
 ]

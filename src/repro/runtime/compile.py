@@ -1,0 +1,600 @@
+"""Ahead-of-time compiled inference plans (the paper's kernel layer).
+
+The paper's efficiency argument lives in the innermost loop: each linear
+layer runs either a dense GEMM (oneDNN's Goto kernels) or a sparse
+micro-kernel (LIBXSMM), chosen per layer by the analytic time predictors
+of Sections 4.2/4.4.  :func:`compile_network` reproduces that decision
+ahead of time and freezes it into an executable :class:`InferencePlan`:
+
+* **per-layer kernel selection** — each layer's measured sparsity is fed
+  through the calibrated predictors
+  (:meth:`~repro.timing.network_predictor.NetworkTimePredictor.
+  layer_kernel_times`); the cheaper of dense GEMM and CSR SpMM wins;
+* **weights pre-converted once** — a C-contiguous ``(m, k)`` copy plus a
+  C-contiguous pre-transposed ``(k, m)`` copy for dense layers, CSR
+  arrays for layers where sparse wins;
+* **fused epilogues** — bias-add and ReLU6 execute in-place on the GEMM
+  output, no intermediate activation matrices;
+* **ping-pong activation buffers** — two scratch arenas sized once per
+  ``(plan, max_batch)``; steady-state scoring allocates nothing on the
+  heap (:meth:`InferencePlan.execute_into`).
+
+Bit contract.  Dense and sparse kernels cannot share bits — their
+reduction trees differ — so the plan guarantees a *layered* identity:
+
+* ``float64`` dense-GEMM layers run ``np.matmul(x, W.T, out=...)`` on
+  the frozen copy of the eager weight — bit-identical to
+  ``FeedForwardNetwork.predict`` at every batch size (the transposed
+  *view* is deliberate: a pre-transposed operand changes BLAS's kernel
+  dispatch, and with it the last bit, at small batches);
+* ``float64`` CSR-SpMM layers accumulate the stored non-zeros in
+  ascending order — bit-identical to
+  :meth:`~repro.matmul.csr.CsrMatrix.matmul_reference` (and to
+  ``CsrMatrix.matmul``); :func:`reference_scores` materializes the
+  matching hybrid reference;
+* ``float32`` mode trades the bit contract for speed (the paper's
+  kernels are fp32): pre-transposed operands, fp32 accumulation, and a
+  tolerance-tested error bound against the float64 reference.
+
+Serving needs one more property: the :class:`~repro.runtime.base.Scorer`
+contract guarantees *chunk-invariant* scoring (micro-batching and
+sharding may never change a ranking), and BLAS GEMM bits depend on the
+batch shape — the same reason ``stable_forward`` routes serving matmuls
+through a fixed-order ``einsum``.  ``compile_network(..., stable=True)``
+therefore swaps the dense kernel for that einsum contract (the CSR
+kernel is row-independent already) while keeping the frozen weights,
+fused epilogues and preallocated buffers.  The ``compiled-network``
+adapter compiles in stable mode, so it composes bit-identically with
+:class:`~repro.runtime.parallel.ShardedScorer` and the batch engine;
+native (default) plans keep the BLAS kernels and the ``predict`` bit
+contract for offline scoring and benchmarking.  See
+``docs/compiled.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.matmul.csr import CsrMatrix
+from repro.nn.layers import Dropout, Linear, ReLU6
+from repro.nn.network import FeedForwardNetwork
+from repro.obs.compile import record_compile
+from repro.obs.tracer import span
+
+try:  # the zero-allocation SpMM entry point; gated like repro.matmul.csr
+    from scipy.sparse import _sparsetools as _scipy_sparsetools
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_sparsetools = None
+
+__all__ = [
+    "CompileError",
+    "InferencePlan",
+    "LayerPlan",
+    "PLAN_DTYPES",
+    "compile_network",
+    "reference_scores",
+]
+
+#: Supported execution dtypes.
+PLAN_DTYPES = {"float64": np.float64, "float32": np.float32}
+
+#: Kernel names, as they appear in plans, metrics and the CLI probe.
+DENSE_KERNEL = "dense-gemm"
+SPARSE_KERNEL = "csr-spmm"
+
+
+class CompileError(ReproError):
+    """A network could not be compiled into an inference plan."""
+
+
+@dataclass(frozen=True)
+class LayerPlan:
+    """One layer's frozen compilation decision."""
+
+    index: int  # 1-based, matching the paper's Table 7
+    in_width: int  # k of the weight matrix
+    out_width: int  # m of the weight matrix
+    kernel: str  # DENSE_KERNEL or SPARSE_KERNEL
+    sparsity: float
+    nnz: int
+    predicted_dense_us_per_doc: float
+    predicted_sparse_us_per_doc: float
+    activation: str  # "relu6" or "none"
+
+    @property
+    def predicted_us_per_doc(self) -> float:
+        """Predicted cost of the *chosen* kernel."""
+        if self.kernel == SPARSE_KERNEL:
+            return self.predicted_sparse_us_per_doc
+        return self.predicted_dense_us_per_doc
+
+    def describe(self) -> str:
+        return (
+            f"L{self.index} {self.out_width}x{self.in_width} "
+            f"{self.kernel} @ {self.sparsity:.1%}"
+        )
+
+
+class _DenseKernel:
+    """Frozen dense layer: GEMM + in-place bias (+ ReLU6 by the plan).
+
+    ``w`` is the C-contiguous ``(m, k)`` copy whose transposed view
+    reproduces the eager forward bit for bit in float64; ``wt`` is the
+    C-contiguous pre-transposed ``(k, m)`` copy the float32 mode
+    multiplies by directly (fastest layout on this axis, no bit
+    contract to honour).  In stable mode the GEMM is replaced by the
+    fixed-order ``einsum`` kernel whose per-row bits do not depend on
+    the batch shape — the chunk-invariance contract serving requires
+    (see :func:`~repro.runtime.base.stable_forward`).
+    """
+
+    __slots__ = ("w", "wt", "bias", "_exact", "_stable")
+
+    def __init__(self, linear: Linear, dtype, stable: bool) -> None:
+        self.w = np.ascontiguousarray(linear.weight.data, dtype=dtype)
+        self.wt = None if stable else np.ascontiguousarray(self.w.T)
+        self.bias = np.ascontiguousarray(linear.bias.data, dtype=dtype)
+        self._exact = dtype == np.float64
+        self._stable = stable
+
+    def apply(self, a: np.ndarray, views) -> np.ndarray:
+        c = views.c
+        if self._stable:
+            np.einsum("nk,mk->nm", a, self.w, out=c)
+        elif self._exact:
+            np.matmul(a, self.w.T, out=c)
+        else:
+            np.matmul(a, self.wt, out=c)
+        np.add(c, self.bias, out=c)
+        return c
+
+
+class _SparseKernel:
+    """Frozen sparse layer: CSR SpMM into preallocated transposes.
+
+    Computes ``C = (A @ X^T)^T`` through scipy's ``csr_matvecs``, which
+    accumulates each output element over the stored non-zeros in
+    ascending order — the reference reduction of
+    :meth:`CsrMatrix.matmul_reference` — into a caller-provided buffer,
+    so the hot path allocates nothing.
+    """
+
+    __slots__ = ("m", "k", "indptr", "indices", "data", "bias")
+
+    def __init__(self, linear: Linear, csr: CsrMatrix, dtype) -> None:
+        self.m, self.k = csr.shape
+        self.indptr = np.ascontiguousarray(csr.row_ptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(csr.col_index, dtype=np.int64)
+        self.data = np.ascontiguousarray(csr.values, dtype=dtype)
+        self.bias = np.ascontiguousarray(linear.bias.data, dtype=dtype)
+
+    def apply(self, a: np.ndarray, views) -> np.ndarray:
+        c, xt, yt = views.c, views.xt, views.yt
+        np.copyto(xt, a.T)
+        yt.fill(0.0)
+        _scipy_sparsetools.csr_matvecs(
+            self.m,
+            self.k,
+            a.shape[0],
+            self.indptr,
+            self.indices,
+            self.data,
+            xt.ravel(),
+            yt.ravel(),
+        )
+        np.copyto(c, yt.T)
+        np.add(c, self.bias, out=c)
+        return c
+
+
+class _LayerViews:
+    """Per-(layer, batch) buffer views, built once and reused."""
+
+    __slots__ = ("c", "xt", "yt")
+
+    def __init__(self, c, xt=None, yt=None) -> None:
+        self.c = c
+        self.xt = xt
+        self.yt = yt
+
+
+class InferencePlan:
+    """An executable, frozen forward pass (built by :func:`compile_network`).
+
+    The plan owns pre-converted weights, two ping-pong activation arenas
+    and (for sparse layers) transpose scratch, all sized once from
+    ``max_batch``.  :meth:`score` is the allocating convenience wrapper;
+    :meth:`execute_into` is the zero-allocation steady-state entry point
+    the smoke gate measures.
+    """
+
+    def __init__(
+        self,
+        *,
+        layers: tuple[LayerPlan, ...],
+        kernels: list,
+        input_dim: int,
+        max_batch: int,
+        dtype_name: str,
+        stable: bool,
+        fingerprint: str,
+        compile_us: float,
+        source: str,
+    ) -> None:
+        self.layers = layers
+        self._kernels = kernels
+        self.input_dim = int(input_dim)
+        self.max_batch = int(max_batch)
+        self.dtype_name = dtype_name
+        self.dtype = PLAN_DTYPES[dtype_name]
+        self.stable = bool(stable)
+        self.fingerprint = fingerprint
+        self.compile_us = compile_us
+        self.source = source
+
+        widths = [self.input_dim] + [lp.out_width for lp in layers]
+        itemsize = np.dtype(self.dtype).itemsize
+        arena = self.max_batch * max(widths)
+        self._ping = np.empty(arena, dtype=self.dtype)
+        self._pong = np.empty(arena, dtype=self.dtype)
+        sparse_x = [lp.in_width for lp in layers if lp.kernel == SPARSE_KERNEL]
+        sparse_y = [lp.out_width for lp in layers if lp.kernel == SPARSE_KERNEL]
+        self._xt = (
+            np.empty(self.max_batch * max(sparse_x), dtype=self.dtype)
+            if sparse_x
+            else None
+        )
+        self._yt = (
+            np.empty(self.max_batch * max(sparse_y), dtype=self.dtype)
+            if sparse_y
+            else None
+        )
+        self.buffer_bytes = itemsize * (
+            2 * arena
+            + (self.max_batch * max(sparse_x) if sparse_x else 0)
+            + (self.max_batch * max(sparse_y) if sparse_y else 0)
+        )
+        #: batch size -> per-layer views; built on first use of each n,
+        #: so repeated scoring at a steady batch size allocates nothing.
+        self._views: dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def predicted_us_per_doc(self) -> float:
+        """Sum of the chosen kernels' predicted per-document costs."""
+        return sum(lp.predicted_us_per_doc for lp in self.layers)
+
+    def kernel_counts(self) -> tuple[int, int]:
+        """``(dense, sparse)`` layer counts."""
+        sparse = sum(1 for lp in self.layers if lp.kernel == SPARSE_KERNEL)
+        return len(self.layers) - sparse, sparse
+
+    def describe(self) -> str:
+        dense, sparse = self.kernel_counts()
+        mode = "stable" if self.stable else "native"
+        return (
+            f"plan[{self.source}] {self.dtype_name}/{mode}, "
+            f"{dense} dense + {sparse} sparse layers, "
+            f"max_batch {self.max_batch}, "
+            f"{self.predicted_us_per_doc:.2f} us/doc predicted"
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _views_for(self, n: int) -> tuple:
+        views = self._views.get(n)
+        if views is None:
+            built = []
+            src, dst = self._ping, self._pong
+            for lp, kernel in zip(self.layers, self._kernels):
+                c = dst[: n * lp.out_width].reshape(n, lp.out_width)
+                if lp.kernel == SPARSE_KERNEL:
+                    xt = self._xt[: lp.in_width * n].reshape(lp.in_width, n)
+                    yt = self._yt[: lp.out_width * n].reshape(lp.out_width, n)
+                    built.append(_LayerViews(c, xt, yt))
+                else:
+                    built.append(_LayerViews(c))
+                src, dst = dst, src
+            entry = self._ping[: n * self.input_dim].reshape(n, self.input_dim)
+            views = self._views[n] = (entry, tuple(built))
+        return views
+
+    def execute_into(self, features: np.ndarray, out: np.ndarray) -> None:
+        """Score ``features`` into ``out`` with zero heap allocations.
+
+        ``features`` must be 2-D with ``input_dim`` columns and at most
+        ``max_batch`` rows; ``out`` must be a float64 vector of matching
+        length.  After the first call at a given batch size, repeated
+        calls at that size allocate nothing (the smoke gate asserts
+        this with ``tracemalloc``).
+        """
+        n = features.shape[0]
+        if n == 0:
+            return
+        if n > self.max_batch:
+            raise CompileError(
+                f"batch {n} exceeds the plan's max_batch {self.max_batch}"
+            )
+        entry, views = self._views_for(n)
+        np.copyto(entry, features)
+        self._run(entry, views)
+        np.copyto(out, views[-1].c[:, 0], casting="unsafe")
+
+    def _run(self, a: np.ndarray, views, timings=None) -> np.ndarray:
+        for i, (lp, kernel) in enumerate(zip(self.layers, self._kernels)):
+            start = time.perf_counter() if timings is not None else 0.0
+            a = kernel.apply(a, views[i])
+            if lp.activation == "relu6":
+                np.maximum(a, 0.0, out=a)
+                np.minimum(a, 6.0, out=a)
+            if timings is not None:
+                timings[i] = min(
+                    timings[i], time.perf_counter() - start
+                )
+        return a
+
+    def score(self, features) -> np.ndarray:
+        """Scores as float64, chunked by ``max_batch``; allocates only
+        the returned vector (and, in float32 mode, casts on the way in
+        and out of the fp32 arenas)."""
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(
+                f"features must be 2-dimensional, got shape {x.shape}"
+            )
+        if x.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected {self.input_dim} features, got {x.shape[1]}"
+            )
+        out = np.empty(len(x), dtype=np.float64)
+        with span(
+            "plan.execute", dtype=self.dtype_name, rows=len(x)
+        ):
+            for start in range(0, len(x), self.max_batch):
+                chunk = x[start : start + self.max_batch]
+                self.execute_into(chunk, out[start : start + len(chunk)])
+        return out
+
+    def profile_layers(self, features, repeats: int = 20) -> list[float]:
+        """Best-of-``repeats`` measured µs/doc per layer.
+
+        Drives the normal buffers layer by layer with a timer around
+        each kernel — the measurement half of the CLI probe's
+        predicted-vs-measured table.
+        """
+        x = np.asarray(features, dtype=np.float64)
+        n = x.shape[0]
+        if not 0 < n <= self.max_batch:
+            raise CompileError(
+                f"profile batch must be in [1, {self.max_batch}], got {n}"
+            )
+        entry, views = self._views_for(n)
+        timings = [float("inf")] * self.n_layers
+        for _ in range(max(1, repeats)):
+            np.copyto(entry, x)
+            self._run(entry, views, timings=timings)
+        return [t * 1e6 / n for t in timings]
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+def _plan_fingerprint(
+    network: FeedForwardNetwork, dtype_name: str, stable: bool, choices
+) -> str:
+    """BLAKE2b over dtype, mode, architecture, kernels and the weights."""
+    digest = hashlib.blake2b(digest_size=16)
+    mode = "stable" if stable else "native"
+    digest.update(f"plan:{dtype_name}:{mode}:{network.input_dim}".encode())
+    for linear, kernel in zip(network.linears, choices):
+        digest.update(kernel.encode())
+        digest.update(np.ascontiguousarray(linear.weight.data).tobytes())
+        digest.update(np.ascontiguousarray(linear.bias.data).tobytes())
+    return digest.hexdigest()
+
+
+def _linear_activations(network: FeedForwardNetwork) -> list[str]:
+    """Activation following each linear layer, from the layer sequence."""
+    acts: list[str] = []
+    for layer in network.layers:
+        if isinstance(layer, Linear):
+            acts.append("none")
+        elif isinstance(layer, ReLU6):
+            if not acts or acts[-1] != "none":
+                raise CompileError("ReLU6 without a preceding linear layer")
+            acts[-1] = "relu6"
+        elif isinstance(layer, Dropout):
+            continue  # identity at inference
+        else:
+            raise CompileError(
+                f"cannot compile layer type {type(layer).__name__}"
+            )
+    return acts
+
+
+def compile_network(
+    network: FeedForwardNetwork,
+    *,
+    context=None,
+    dtype: str = "float64",
+    max_batch: int = 4096,
+    kernels=None,
+    stable: bool = False,
+) -> InferencePlan:
+    """Compile a trained/pruned network into an :class:`InferencePlan`.
+
+    Parameters
+    ----------
+    network:
+        The :class:`FeedForwardNetwork` to freeze.  Weights are copied;
+        later training steps do not leak into the plan (and change its
+        fingerprint, so caches stay sound).
+    context:
+        :class:`~repro.runtime.context.PricingContext` supplying the
+        calibrated predictors that arbitrate dense vs sparse per layer
+        (defaults to the process-wide context).
+    dtype:
+        ``"float64"`` (bit-exact, the default) or ``"float32"`` (the
+        paper's kernel precision; tolerance-bounded, not bit-exact).
+    max_batch:
+        Largest chunk the ping-pong buffers must hold; requests larger
+        than this are split by :meth:`InferencePlan.score`.
+    kernels:
+        Optional per-layer override, a sequence of ``"dense-gemm"`` /
+        ``"csr-spmm"`` / ``None`` (``None`` = let the predictors
+        decide).  Forcing ``"csr-spmm"`` without scipy raises.
+    stable:
+        Swap the dense BLAS kernel for the fixed-order ``einsum``
+        kernel, making per-row bits independent of the batch shape —
+        the chunk-invariance contract the serving adapters guarantee.
+        Native plans (the default) are faster and bit-identical to
+        ``predict`` in float64, but their GEMM bits shift with chunk
+        boundaries.
+    """
+    if not isinstance(network, FeedForwardNetwork):
+        raise CompileError(
+            f"expected a FeedForwardNetwork, got {type(network).__name__}"
+        )
+    if dtype not in PLAN_DTYPES:
+        raise CompileError(
+            f"dtype must be one of {sorted(PLAN_DTYPES)}, got {dtype!r}"
+        )
+    if max_batch < 1:
+        raise CompileError(f"max_batch must be >= 1, got {max_batch}")
+    overrides = list(kernels) if kernels is not None else [None] * network.n_layers
+    if len(overrides) != network.n_layers:
+        raise CompileError(
+            f"kernels has {len(overrides)} entries for a "
+            f"{network.n_layers}-layer network"
+        )
+    from repro.runtime.context import default_context
+
+    ctx = context or default_context()
+    predictor = ctx.predictor
+    np_dtype = PLAN_DTYPES[dtype]
+
+    started = time.perf_counter()
+    with span(
+        "compile.plan",
+        dtype=dtype,
+        layers=network.n_layers,
+        mode="stable" if stable else "native",
+    ):
+        activations = _linear_activations(network)
+        layer_plans: list[LayerPlan] = []
+        built_kernels: list = []
+        choices: list[str] = []
+        for i, (linear, override) in enumerate(
+            zip(network.linears, overrides), start=1
+        ):
+            csr = CsrMatrix.from_dense(linear.weight.data)
+            dense_us, sparse_us = predictor.layer_kernel_times(csr)
+            if override is None:
+                chosen = SPARSE_KERNEL if sparse_us < dense_us else DENSE_KERNEL
+                if _scipy_sparsetools is None:  # no SpMM entry point: gate
+                    chosen = DENSE_KERNEL
+            elif override in (DENSE_KERNEL, SPARSE_KERNEL):
+                chosen = override
+                if chosen == SPARSE_KERNEL and _scipy_sparsetools is None:
+                    raise CompileError(
+                        "csr-spmm was forced but scipy is unavailable"
+                    )
+            else:
+                raise CompileError(
+                    f"unknown kernel {override!r} for layer {i}; "
+                    f"use {DENSE_KERNEL!r} or {SPARSE_KERNEL!r}"
+                )
+            layer_plans.append(
+                LayerPlan(
+                    index=i,
+                    in_width=linear.in_features,
+                    out_width=linear.out_features,
+                    kernel=chosen,
+                    sparsity=csr.sparsity,
+                    nnz=csr.nnz,
+                    predicted_dense_us_per_doc=dense_us,
+                    predicted_sparse_us_per_doc=sparse_us,
+                    activation=activations[i - 1],
+                )
+            )
+            choices.append(chosen)
+            if chosen == SPARSE_KERNEL:
+                built_kernels.append(_SparseKernel(linear, csr, np_dtype))
+            else:
+                built_kernels.append(_DenseKernel(linear, np_dtype, stable))
+        fingerprint = _plan_fingerprint(network, dtype, stable, choices)
+        compile_us = (time.perf_counter() - started) * 1e6
+        plan = InferencePlan(
+            layers=tuple(layer_plans),
+            kernels=built_kernels,
+            input_dim=network.input_dim,
+            max_batch=max_batch,
+            dtype_name=dtype,
+            stable=stable,
+            fingerprint=fingerprint,
+            compile_us=compile_us,
+            source=network.describe(),
+        )
+    dense_n, sparse_n = plan.kernel_counts()
+    record_compile(
+        dtype=dtype,
+        dense_layers=dense_n,
+        sparse_layers=sparse_n,
+        buffer_bytes=plan.buffer_bytes,
+        compile_us=compile_us,
+    )
+    return plan
+
+
+def reference_scores(
+    network: FeedForwardNetwork,
+    plan: InferencePlan,
+    features,
+    *,
+    strict_spmm: bool = False,
+) -> np.ndarray:
+    """The float64 hybrid reference a compiled plan must reproduce.
+
+    Dense-GEMM layers run the eager ``x @ W.T + b`` op (or, for a
+    stable-mode plan, the fixed-order ``einsum`` that kernel executes);
+    CSR-SpMM layers run :meth:`CsrMatrix.matmul` (or, with
+    ``strict_spmm``, the per-non-zero
+    :meth:`CsrMatrix.matmul_reference` loop — same bits, independently
+    derived).  A float64 plan must match this bit for bit; a float32
+    plan is tolerance-tested against it.
+    """
+    out = np.asarray(features, dtype=np.float64)
+    if out.shape[0] == 0:
+        return np.empty(0, dtype=np.float64)
+    for lp, linear in zip(plan.layers, network.linears):
+        if lp.kernel == SPARSE_KERNEL:
+            csr = CsrMatrix.from_dense(linear.weight.data)
+            product = (
+                csr.matmul_reference(out.T) if strict_spmm else csr.matmul(out.T)
+            ).T
+            # C-order like the plan's arenas: BLAS bits depend on the
+            # operand layout, so the F-order ``.T`` view must not leak
+            # into the next dense layer's GEMM.
+            out = np.ascontiguousarray(product) + linear.bias.data
+        elif plan.stable:
+            out = (
+                np.einsum("nk,mk->nm", out, linear.weight.data)
+                + linear.bias.data
+            )
+        else:
+            out = out @ linear.weight.data.T + linear.bias.data
+        if lp.activation == "relu6":
+            out = np.minimum(np.maximum(out, 0.0), 6.0)
+    return out[:, 0]

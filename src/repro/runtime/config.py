@@ -141,6 +141,13 @@ class ServiceConfig:
     backend:
         Explicit runtime backend name (``None`` = registry
         auto-dispatch).
+    backend_options:
+        Extra keyword options forwarded to the backend factory by
+        ``make_scorer`` — e.g. ``{"compiled": True, "plan_dtype":
+        "float32"}`` for the ``compiled-network`` backend or
+        ``{"quantized_bits": 8}`` for the quantized one.  Per-call
+        ``scorer_opts`` passed to the service constructor override
+        same-named keys.
     allow_unpriced:
         Admit a scorer with a non-finite predicted cost under a budget.
     resilience:
@@ -155,9 +162,26 @@ class ServiceConfig:
     budget_us_per_doc: float | None = None
     max_batch_size: int | None = 256
     backend: str | None = None
+    backend_options: dict | None = None
     allow_unpriced: bool = False
     resilience: ResilienceConfig | None = None
     parallel: ParallelConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend_options is not None:
+            if not isinstance(self.backend_options, dict):
+                try:
+                    items = dict(self.backend_options)
+                except (TypeError, ValueError):
+                    raise ConfigError(
+                        "backend_options must be a mapping of option name "
+                        f"to value, got {type(self.backend_options).__name__}"
+                    ) from None
+            else:
+                items = dict(self.backend_options)
+            if any(not isinstance(k, str) for k in items):
+                raise ConfigError("backend_options keys must be strings")
+            object.__setattr__(self, "backend_options", items)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -166,6 +190,9 @@ class ServiceConfig:
             "budget_us_per_doc": self.budget_us_per_doc,
             "max_batch_size": self.max_batch_size,
             "backend": self.backend,
+            "backend_options": (
+                dict(self.backend_options) if self.backend_options else None
+            ),
             "allow_unpriced": self.allow_unpriced,
             "resilience": (
                 self.resilience.to_dict() if self.resilience else None
@@ -180,6 +207,7 @@ class ServiceConfig:
             "budget_us_per_doc",
             "max_batch_size",
             "backend",
+            "backend_options",
             "allow_unpriced",
             "resilience",
             "parallel",
@@ -202,6 +230,7 @@ class ServiceConfig:
                 "max_batch_size", defaults.max_batch_size
             ),
             backend=data.get("backend"),
+            backend_options=data.get("backend_options"),
             allow_unpriced=data.get(
                 "allow_unpriced", defaults.allow_unpriced
             ),

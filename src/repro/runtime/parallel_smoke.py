@@ -4,10 +4,12 @@ Exercises the sharded scoring engine end to end and *asserts* the
 outcomes, so CI can gate on ``python -m repro.runtime.parallel_smoke``:
 
 1. **Bit-identity** — every probe backend (``quickscorer``,
-   ``dense-network``, ``sparse-network``), sharded under every strategy
-   and several worker counts, cache cold and warm, must reproduce plain
-   ``Scorer.score`` bit for bit.  This is the property that makes the
-   engine adoptable: parallelism may never change a ranking.
+   ``dense-network``, ``sparse-network``, and the AOT
+   ``compiled-network`` plan over the pruned student), sharded under
+   every strategy and several worker counts, cache cold and warm, must
+   reproduce plain ``Scorer.score`` bit for bit.  This is the property
+   that makes the engine adoptable: parallelism may never change a
+   ranking.
 2. **Cache effectiveness** — a warm second pass over the same workload
    must be fully served from the :class:`ScoreCache` (hit ratio over
    the two passes >= 0.5) and must be measurably *faster* than the cold
@@ -46,9 +48,17 @@ def check_bit_identity() -> None:
         ParallelConfig(workers=2, strategy="cost-weighted", target_shard_us=200.0),
         ParallelConfig(workers=2, cache_entries=4096),
     ]
+    targets = [
+        ("quickscorer", "quickscorer"),
+        ("dense-network", "dense-network"),
+        ("sparse-network", "sparse-network"),
+        # the AOT plan over the pruned probe student: sharding composes
+        # with compiled execution without touching either layer
+        ("compiled-network", "sparse-network"),
+    ]
     checked = 0
-    for backend in ("quickscorer", "dense-network", "sparse-network"):
-        plain = make_scorer(models[backend], backend=backend)
+    for backend, model_key in targets:
+        plain = make_scorer(models[model_key], backend=backend)
         reference = plain.score(features)
         for config in configs:
             if config.strategy == "cost-weighted" and not np.isfinite(
@@ -67,7 +77,7 @@ def check_bit_identity() -> None:
                         ),
                     )
                     checked += 1
-    assert checked >= 24, f"only {checked} identity checks ran"
+    assert checked >= 32, f"only {checked} identity checks ran"
     print(
         f"bit-identity: {checked} sharded/cached passes reproduce plain "
         "scoring exactly"

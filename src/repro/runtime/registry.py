@@ -177,6 +177,16 @@ register_backend(
 )
 register_backend(
     ScorerBackend(
+        name="compiled-network",
+        matches=lambda m, opts: (
+            isinstance(m, DistilledStudent) and bool(opts.get("compiled"))
+        ),
+        build=lambda m, ctx, **o: adapters.CompiledNetworkScorer(m, ctx, **o),
+        description="students executed through ahead-of-time compiled plans",
+    )
+)
+register_backend(
+    ScorerBackend(
         name="quickscorer-gpu",
         matches=lambda m, opts: (
             isinstance(m, TreeEnsemble) and opts.get("device") == "gpu"

@@ -4,8 +4,10 @@ Exercises the degradation ladder end to end and *asserts* the outcomes,
 so CI can gate on ``python -m repro.runtime.resilience_smoke``:
 
 1. **Degradation** — each built-in probe backend (``quickscorer``,
-   ``dense-network``, ``sparse-network``) is fault-injected on a
-   deterministic schedule and chained onto a :class:`StubScorer`; every
+   ``dense-network``, ``sparse-network``, plus the AOT
+   ``compiled-network`` plan over the pruned student) is
+   fault-injected on a deterministic schedule and chained onto a
+   :class:`StubScorer`; every
    request must be answered (no failure reaches the caller), the
    fallback counts must match the schedule exactly, and with no fault
    the chain must reproduce the primary's scores bit for bit.
@@ -52,17 +54,23 @@ def check_degradation() -> None:
         dataset.features[start:stop]
         for start, stop in zip(dataset.query_ptr[:-1], dataset.query_ptr[1:])
     ]
-    for backend in ("quickscorer", "dense-network", "sparse-network"):
+    targets = [
+        ("quickscorer", "quickscorer"),
+        ("dense-network", "dense-network"),
+        ("sparse-network", "sparse-network"),
+        ("compiled-network", "sparse-network"),
+    ]
+    for backend, model_key in targets:
         clock = ManualClock()
-        primary = make_scorer(models[backend], backend=backend)
+        primary = make_scorer(models[model_key], backend=backend)
         healthy = FallbackChain(
-            [make_scorer(models[backend], backend=backend), StubScorer()],
+            [make_scorer(models[model_key], backend=backend), StubScorer()],
             retry=RetryPolicy(max_attempts=1),
             clock=clock,
             sleep=clock.sleep,
         )
         faulty = with_faults(
-            make_scorer(models[backend], backend=backend),
+            make_scorer(models[model_key], backend=backend),
             FaultPolicy.every(2),
             sleep=clock.sleep,
         )

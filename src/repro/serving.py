@@ -1,8 +1,9 @@
 """A miniature document-scoring service.
 
 Wraps any model the scoring runtime knows (forests via QuickScorer,
-dense / first-layer-sparse / quantized students, early-exit cascades —
-see :mod:`repro.runtime`) behind one endpoint with the operational
+dense / first-layer-sparse / quantized students, ahead-of-time compiled
+plans via the ``compiled-network`` backend, early-exit cascades — see
+:mod:`repro.runtime`) behind one endpoint with the operational
 features a query processor needs:
 
 * per-request latency *budget* checking against the calibrated cost
@@ -125,7 +126,10 @@ allow_unpriced:
         behaviour identical to the equivalent config.
     **scorer_opts:
         Extra options forwarded to :func:`repro.runtime.make_scorer`
-        (e.g. ``quantized_bits=8``).
+        (e.g. ``quantized_bits=8``, or ``compiled=True`` to serve
+        through an ahead-of-time
+        :class:`~repro.runtime.compile.InferencePlan`).  Merged over
+        ``config.backend_options`` (per-call keys win).
     """
 
     def __init__(
@@ -218,8 +222,9 @@ allow_unpriced:
         if is_scorer(model):
             self.scorer = model
         else:
+            opts = {**(config.backend_options or {}), **scorer_opts}
             self.scorer = make_scorer(
-                model, backend=config.backend, context=context, **scorer_opts
+                model, backend=config.backend, context=context, **opts
             )
         engine_scorer = self.scorer
         self.sharded: ShardedScorer | None = None

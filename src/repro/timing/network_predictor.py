@@ -111,6 +111,24 @@ class NetworkTimePredictor:
             pruned_forecast_us_per_doc=forecast,
         )
 
+    def layer_kernel_times(self, matrix: CsrMatrix) -> tuple[float, float]:
+        """Per-document dense-vs-sparse cost of one weight matrix.
+
+        The arbitration rule behind ahead-of-time kernel selection
+        (:func:`repro.runtime.compile.compile_network`): the dense side
+        prices ``2mk`` FLOPs at the measured GFLOPS of the layer's
+        shape (Eq. 3's per-layer term), the sparse side runs the
+        matrix's measured structure through Eq. 5 at the calibrated
+        ``sparse_batch``.  Returns ``(dense_us, sparse_us)`` per doc.
+        """
+        m, k = matrix.shape
+        dense_us = 2.0 * m * k / self.dense.surface.lookup(m, k) / 1000.0
+        sparse_us = (
+            self.sparse.time_for(matrix, self.sparse_batch, strict=False)
+            / self.sparse_batch
+        )
+        return dense_us, sparse_us
+
     def pruned_forecast_us(self, input_dim: int, layers) -> float:
         """Tables 10-11: total minus the dense first layer."""
         return self.predict(input_dim, layers).pruned_forecast_us_per_doc

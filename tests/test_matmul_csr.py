@@ -108,6 +108,35 @@ class TestMatmul:
         np.testing.assert_array_equal(csr.to_dense(), dense)
         assert csr.nnz == np.count_nonzero(dense)
 
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 10), st.integers(1, 10)),
+            elements=st.floats(-10, 10, allow_nan=False).map(
+                lambda v: 0.0 if abs(v) < 5 else v  # ~ sparse
+            ),
+        ),
+        st.integers(1, 8),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fast_path_bit_identical_to_reference(self, dense, n_cols, seed):
+        """The vectorized SpMM must reproduce Algorithm 1 bit for bit.
+
+        Both paths accumulate each output element over the stored
+        non-zeros in ascending storage order, so this is exact array
+        equality — not allclose.
+        """
+        csr = CsrMatrix.from_dense(dense)
+        b = np.random.default_rng(seed).normal(size=(dense.shape[1], n_cols))
+        np.testing.assert_array_equal(csr.matmul(b), csr.matmul_reference(b))
+
+    def test_fast_path_bit_identical_on_first_layer_shape(self, rng):
+        """Paper-scale check: a 90%-sparse 400x136 layer at batch 64."""
+        csr = CsrMatrix.from_dense(random_sparse(400, 136, 0.1, seed=4))
+        b = rng.normal(size=(136, 64))
+        np.testing.assert_array_equal(csr.matmul(b), csr.matmul_reference(b))
+
 
 class TestSplitRows:
     def test_parts_stack_to_original(self):

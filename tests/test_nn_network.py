@@ -91,6 +91,60 @@ class TestForwardBackward:
             net.predict(x, batch_size=7), net.predict(x, batch_size=100)
         )
 
+    def test_predict_matches_forward_bitwise(self, rng):
+        """The chunk buffer must not perturb scores: whole-batch predict
+        runs the same BLAS calls as forward, so equality is exact."""
+        net = FeedForwardNetwork(6, (8, 4), seed=1)
+        x = rng.normal(size=(33, 6))
+        np.testing.assert_array_equal(net.predict(x), net.forward(x))
+
+    def test_predict_reuses_chunk_buffer(self, rng):
+        net = FeedForwardNetwork(6, (8,), seed=0)
+        x = rng.normal(size=(40, 6))
+        net.predict(x, batch_size=16)
+        buffer = net._chunk_buffer
+        assert buffer.shape == (16, 6)
+        net.predict(x, batch_size=16)
+        assert net._chunk_buffer is buffer  # reused, not reallocated
+
+    def test_predict_allocation_stable_across_calls(self, rng):
+        """Steady-state predicts must not grow the heap (the chunk
+        buffer is allocated once, on the warm-up call)."""
+        import gc
+        import tracemalloc
+
+        net = FeedForwardNetwork(12, (16, 8), seed=2)
+        x = rng.normal(size=(256, 12))
+        out_bytes = x.shape[0] * 8  # the returned score vector
+        net.predict(x, batch_size=64)  # warm up buffer + BLAS state
+        gc.collect()
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        for _ in range(50):
+            net.predict(x, batch_size=64)
+        gc.collect()
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        grew = sum(
+            s.size_diff
+            for s in after.compare_to(before, "lineno")
+            if s.size_diff > 0
+        )
+        # Tolerate tracemalloc's own bookkeeping, but 50 predicts must
+        # not have allocated 50 chunk buffers (~50 * 64*12*8 bytes).
+        assert grew < 10 * out_bytes, f"predict leaked {grew} bytes"
+
+    def test_predict_rejects_non_float64_forward(self, rng):
+        net = FeedForwardNetwork(4, (3,), seed=0)
+
+        class _CastingLayer:
+            def forward(self, x, training=False):
+                return x.astype(np.float32)
+
+        net.layers.append(_CastingLayer())
+        with pytest.raises(TypeError, match="float32"):
+            net.predict(rng.normal(size=(5, 4)))
+
     def test_predict_validates_features(self, rng):
         net = FeedForwardNetwork(6, (8,), seed=0)
         with pytest.raises(ValueError, match="expected 6"):

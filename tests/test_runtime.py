@@ -67,6 +67,7 @@ class TestRegistry:
             "sparse-network": (sparse_student, {}),
             "quantized-network": (small_student, {"quantized_bits": 8}),
             "cascade": (cascade, {}),
+            "compiled-network": (sparse_student, {"compiled": True}),
         }
         assert set(models) == set(backend_names())
         for name, (model, opts) in models.items():
@@ -101,6 +102,10 @@ class TestRegistry:
                 small_student, context=context, quantized_bits=8
             ).backend
             == "quantized-network"
+        )
+        assert (
+            make_scorer(small_student, context=context, compiled=True).backend
+            == "compiled-network"
         )
 
     def test_unknown_model_type_raises(self, context):

@@ -1,0 +1,464 @@
+"""Tests for repro.runtime.compile — AOT inference plans.
+
+The bit contract is layered (see the module docstring of
+``repro.runtime.compile``): float64 dense-GEMM layers reproduce
+``FeedForwardNetwork.predict`` bit for bit, float64 CSR-SpMM layers
+reproduce ``CsrMatrix.matmul_reference``, stable-mode plans reproduce
+the fixed-order einsum and are chunk-invariant, and float32 plans are
+tolerance-bounded.  Hypothesis drives the identities across
+architectures x sparsity x batch sizes, including n=0 and n=1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.network import FeedForwardNetwork
+from repro.pruning import LevelPruner
+from repro.runtime import (
+    CompileError,
+    CompiledNetworkScorer,
+    InferencePlan,
+    PricingContext,
+    compile_network,
+    make_scorer,
+    reference_scores,
+)
+from repro.runtime.compile import DENSE_KERNEL, SPARSE_KERNEL
+
+
+@pytest.fixture(scope="module")
+def context(predictor_cache):
+    return PricingContext(predictor=predictor_cache)
+
+
+def _network(
+    hidden=(16, 8), input_dim=12, sparsity=0.0, seed=0
+) -> FeedForwardNetwork:
+    network = FeedForwardNetwork(input_dim, hidden, seed=seed)
+    if sparsity > 0:
+        LevelPruner(sparsity).apply(network.first_layer)
+    return network
+
+
+ARCHITECTURES = [(8,), (16, 8), (24, 12, 6)]
+
+
+# ----------------------------------------------------------------------
+# Bit identity (float64)
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    @given(
+        arch=st.sampled_from(ARCHITECTURES),
+        sparsity=st.sampled_from([0.0, 0.5, 0.95]),
+        n=st.sampled_from([0, 1, 2, 3, 17, 64]),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_forced_dense_plan_matches_predict(
+        self, context, arch, sparsity, n, seed
+    ):
+        """All-dense float64 plans reproduce the eager forward's bits."""
+        network = _network(arch, sparsity=sparsity, seed=seed % 100)
+        plan = compile_network(
+            network,
+            context=context,
+            kernels=[DENSE_KERNEL] * network.n_layers,
+        )
+        x = np.random.default_rng(seed).normal(size=(n, 12))
+        scores = plan.score(x)
+        assert scores.dtype == np.float64
+        if n == 0:
+            assert scores.shape == (0,)
+        else:
+            np.testing.assert_array_equal(scores, network.predict(x))
+
+    @given(
+        arch=st.sampled_from(ARCHITECTURES),
+        sparsity=st.sampled_from([0.9, 0.98]),
+        n=st.sampled_from([0, 1, 5, 33, 64]),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hybrid_plan_matches_strict_reference(
+        self, context, arch, sparsity, n, seed
+    ):
+        """Plans with a forced-sparse first layer reproduce the hybrid
+        reference — including via the independently-derived per-non-zero
+        loop (``strict_spmm``)."""
+        network = _network(arch, sparsity=sparsity, seed=seed % 100)
+        kernels = [SPARSE_KERNEL] + [None] * (network.n_layers - 1)
+        plan = compile_network(network, context=context, kernels=kernels)
+        assert plan.layers[0].kernel == SPARSE_KERNEL
+        x = np.random.default_rng(seed).normal(size=(n, 12))
+        scores = plan.score(x)
+        np.testing.assert_array_equal(
+            scores, reference_scores(network, plan, x)
+        )
+        np.testing.assert_array_equal(
+            scores, reference_scores(network, plan, x, strict_spmm=True)
+        )
+
+    def test_auto_selection_picks_sparse_on_pruned_layer(self, context):
+        network = _network((64, 16), input_dim=64, sparsity=0.97, seed=1)
+        plan = compile_network(network, context=context)
+        assert plan.layers[0].sparsity > 0.9
+        dense, sparse = plan.kernel_counts()
+        assert dense + sparse == network.n_layers
+        x = np.random.default_rng(2).normal(size=(40, 64))
+        np.testing.assert_array_equal(
+            plan.score(x), reference_scores(network, plan, x)
+        )
+
+    def test_scores_chunked_beyond_max_batch(self, context):
+        """score() splits requests larger than max_batch transparently."""
+        network = _network((8,), seed=3)
+        plan = compile_network(
+            network,
+            context=context,
+            max_batch=16,
+            kernels=[DENSE_KERNEL] * network.n_layers,
+        )
+        x = np.random.default_rng(3).normal(size=(50, 12))
+        # Chunking at 16 re-runs the same BLAS call per chunk; equality
+        # with per-chunk predict is exact.
+        expected = np.concatenate(
+            [network.predict(x[i : i + 16]) for i in range(0, 50, 16)]
+        )
+        np.testing.assert_array_equal(plan.score(x), expected)
+
+
+# ----------------------------------------------------------------------
+# Stable mode
+# ----------------------------------------------------------------------
+class TestStableMode:
+    @given(
+        n=st.sampled_from([7, 33, 64]),
+        split=st.sampled_from([1, 3, 5, 17]),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_stable_plan_is_chunk_invariant(self, context, n, split, seed):
+        """Scoring rows in arbitrary shards must reproduce the whole-
+        batch bits — the Scorer contract serving relies on."""
+        network = _network((16, 8), sparsity=0.9, seed=seed % 50)
+        plan = compile_network(network, context=context, stable=True)
+        x = np.random.default_rng(seed).normal(size=(n, 12))
+        whole = plan.score(x)
+        sharded = np.concatenate(
+            [plan.score(x[i : i + split]) for i in range(0, n, split)]
+        )
+        np.testing.assert_array_equal(whole, sharded)
+        np.testing.assert_array_equal(
+            whole, reference_scores(network, plan, x)
+        )
+
+    def test_native_plan_matches_reference_whole_batch(self, context):
+        """Native and stable plans agree to tolerance, not bits."""
+        network = _network((16, 8), sparsity=0.9, seed=4)
+        native = compile_network(network, context=context)
+        stable = compile_network(network, context=context, stable=True)
+        x = np.random.default_rng(4).normal(size=(64, 12))
+        np.testing.assert_allclose(
+            native.score(x), stable.score(x), rtol=1e-12, atol=1e-12
+        )
+        assert "native" in native.describe()
+        assert "stable" in stable.describe()
+
+
+# ----------------------------------------------------------------------
+# Float32 mode
+# ----------------------------------------------------------------------
+class TestFloat32:
+    @given(
+        sparsity=st.sampled_from([0.0, 0.9]),
+        n=st.sampled_from([1, 17, 64]),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bounded_error_vs_float64(self, context, sparsity, n, seed):
+        network = _network((16, 8), sparsity=sparsity, seed=seed % 50)
+        f64 = compile_network(network, context=context)
+        f32 = compile_network(network, context=context, dtype="float32")
+        x = np.random.default_rng(seed).normal(size=(n, 12))
+        a, b = f64.score(x), f32.score(x)
+        assert b.dtype == np.float64  # float64 at the API boundary
+        scale = max(1.0, float(np.abs(a).max()))
+        assert float(np.abs(a - b).max()) <= 1e-4 * scale
+
+    def test_float32_buffers_are_float32(self, context):
+        plan = compile_network(
+            _network(seed=5), context=context, dtype="float32"
+        )
+        assert plan.dtype == np.float32
+        assert plan.dtype_name == "float32"
+        assert plan.buffer_bytes < compile_network(
+            _network(seed=5), context=context
+        ).buffer_bytes
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_changes_when_weights_change(self, context):
+        network = _network(seed=6)
+        before = compile_network(network, context=context).fingerprint
+        network.linears[0].weight.data[0, 0] += 1.0
+        after = compile_network(network, context=context).fingerprint
+        assert before != after
+
+    def test_frozen_weights_do_not_track_the_network(self, context):
+        """Plans copy weights: mutating the network after compilation
+        changes neither the plan's scores nor its fingerprint."""
+        network = _network(seed=7)
+        plan = compile_network(network, context=context)
+        x = np.random.default_rng(7).normal(size=(8, 12))
+        before = plan.score(x)
+        network.linears[0].weight.data += 10.0
+        np.testing.assert_array_equal(plan.score(x), before)
+
+    def test_distinguishes_dtype_mode_and_kernels(self, context):
+        network = _network(sparsity=0.9, seed=8)
+        prints = {
+            compile_network(network, context=context).fingerprint,
+            compile_network(
+                network, context=context, dtype="float32"
+            ).fingerprint,
+            compile_network(
+                network, context=context, stable=True
+            ).fingerprint,
+            compile_network(
+                network,
+                context=context,
+                kernels=[DENSE_KERNEL] * network.n_layers,
+            ).fingerprint,
+        }
+        assert len(prints) == 4
+
+    def test_same_inputs_same_fingerprint(self, context):
+        a = compile_network(_network(seed=9), context=context)
+        b = compile_network(_network(seed=9), context=context)
+        assert a.fingerprint == b.fingerprint
+
+
+# ----------------------------------------------------------------------
+# Compile errors and validation
+# ----------------------------------------------------------------------
+class TestErrors:
+    def test_not_a_network(self, context):
+        with pytest.raises(CompileError, match="FeedForwardNetwork"):
+            compile_network(object(), context=context)
+
+    def test_bad_dtype(self, context):
+        with pytest.raises(CompileError, match="dtype"):
+            compile_network(
+                _network(seed=0), context=context, dtype="float16"
+            )
+
+    def test_bad_max_batch(self, context):
+        with pytest.raises(CompileError, match="max_batch"):
+            compile_network(_network(seed=0), context=context, max_batch=0)
+
+    def test_bad_kernel_override(self, context):
+        with pytest.raises(CompileError, match="unknown kernel"):
+            compile_network(
+                _network(seed=0),
+                context=context,
+                kernels=["blas", None, None],
+            )
+
+    def test_kernel_override_length_mismatch(self, context):
+        with pytest.raises(CompileError, match="entries"):
+            compile_network(
+                _network(seed=0), context=context, kernels=[None]
+            )
+
+    def test_batch_exceeding_max_batch(self, context):
+        plan = compile_network(
+            _network(seed=0), context=context, max_batch=4
+        )
+        out = np.empty(8)
+        with pytest.raises(CompileError, match="exceeds"):
+            plan.execute_into(np.zeros((8, 12)), out)
+
+    def test_score_validates_features(self, context):
+        plan = compile_network(_network(seed=0), context=context)
+        with pytest.raises(ValueError, match="2-dimensional"):
+            plan.score(np.zeros(12))
+        with pytest.raises(ValueError, match="expected 12"):
+            plan.score(np.zeros((3, 5)))
+
+    def test_profile_rejects_empty_and_oversized(self, context):
+        plan = compile_network(
+            _network(seed=0), context=context, max_batch=8
+        )
+        with pytest.raises(CompileError, match="profile batch"):
+            plan.profile_layers(np.zeros((0, 12)))
+        with pytest.raises(CompileError, match="profile batch"):
+            plan.profile_layers(np.zeros((9, 12)))
+
+
+# ----------------------------------------------------------------------
+# Plan introspection
+# ----------------------------------------------------------------------
+class TestIntrospection:
+    def test_layer_plans_describe_the_network(self, context):
+        network = _network((16, 8), sparsity=0.9, seed=10)
+        plan = compile_network(network, context=context)
+        assert plan.n_layers == 3
+        assert [lp.index for lp in plan.layers] == [1, 2, 3]
+        assert plan.layers[0].in_width == 12
+        assert plan.layers[0].out_width == 16
+        assert plan.layers[-1].out_width == 1
+        assert plan.layers[-1].activation == "none"
+        assert all(
+            lp.activation == "relu6" for lp in plan.layers[:-1]
+        )
+        assert plan.layers[0].sparsity == pytest.approx(0.9, abs=0.01)
+        for lp in plan.layers:
+            assert lp.predicted_dense_us_per_doc > 0
+            assert lp.predicted_sparse_us_per_doc > 0
+            assert lp.describe()
+
+    def test_predicted_price_sums_chosen_kernels(self, context):
+        plan = compile_network(_network(seed=11), context=context)
+        assert plan.predicted_us_per_doc == pytest.approx(
+            sum(lp.predicted_us_per_doc for lp in plan.layers)
+        )
+
+    def test_profile_layers_returns_positive_times(self, context):
+        plan = compile_network(_network(seed=12), context=context)
+        x = np.random.default_rng(12).normal(size=(16, 12))
+        times = plan.profile_layers(x, repeats=3)
+        assert len(times) == plan.n_layers
+        assert all(t > 0 for t in times)
+
+
+# ----------------------------------------------------------------------
+# Serving integration
+# ----------------------------------------------------------------------
+class TestServing:
+    def test_adapter_scores_like_its_plan(
+        self, small_student, context, rng
+    ):
+        scorer = make_scorer(small_student, compiled=True, context=context)
+        assert isinstance(scorer, CompiledNetworkScorer)
+        assert scorer.backend == "compiled-network"
+        assert isinstance(scorer.plan, InferencePlan)
+        assert scorer.plan.stable  # serving compiles chunk-invariant
+        x = rng.normal(size=(20, small_student.input_dim))
+        z = small_student.normalizer.transform(x)
+        np.testing.assert_array_equal(scorer.score(x), scorer.plan.score(z))
+        assert scorer.predicted_us_per_doc == pytest.approx(
+            scorer.plan.predicted_us_per_doc
+        )
+        assert scorer.fingerprint() == scorer.plan.fingerprint
+        assert "compiled net" in scorer.describe()
+
+    def test_adapter_is_chunk_invariant(self, small_student, context, rng):
+        scorer = make_scorer(small_student, compiled=True, context=context)
+        x = rng.normal(size=(41, small_student.input_dim))
+        whole = scorer.score(x)
+        sharded = np.concatenate(
+            [scorer.score(x[i : i + 7]) for i in range(0, 41, 7)]
+        )
+        np.testing.assert_array_equal(whole, sharded)
+
+    def test_service_backend_options(self, small_student, context, rng):
+        from repro.runtime import ServiceConfig
+        from repro.serving import ScoringService
+
+        config = ServiceConfig(
+            backend="compiled-network",
+            backend_options={"compiled": True, "plan_dtype": "float32"},
+            allow_unpriced=True,
+        )
+        service = ScoringService(small_student, config, context=context)
+        assert service.scorer.backend == "compiled-network"
+        assert service.scorer.plan.dtype_name == "float32"
+        x = rng.normal(size=(16, small_student.input_dim))
+        scores = service.score(x)
+        assert scores.shape == (16,)
+        assert np.all(np.isfinite(scores))
+
+    def test_backend_options_round_trip_and_validation(self):
+        from repro.exceptions import ConfigError
+        from repro.runtime import ServiceConfig
+
+        config = ServiceConfig(
+            backend="compiled-network",
+            backend_options={"compiled": True, "plan_dtype": "float32"},
+        )
+        clone = ServiceConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.backend_options == {
+            "compiled": True,
+            "plan_dtype": "float32",
+        }
+        assert ServiceConfig().to_dict()["backend_options"] is None
+        with pytest.raises(ConfigError, match="mapping"):
+            ServiceConfig(backend_options="compiled=True")
+        with pytest.raises(ConfigError, match="strings"):
+            ServiceConfig(backend_options={1: True})
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+class TestObservability:
+    def test_compile_records_series_and_report(self, context, obs_clean):
+        from repro.obs import compile_report
+
+        network = _network((16, 8), sparsity=0.95, seed=13)
+        kernels = [SPARSE_KERNEL] + [None] * (network.n_layers - 1)
+        compile_network(network, context=context, kernels=kernels)
+        compile_network(network, context=context, dtype="float32")
+        report = compile_report()
+        assert {row.dtype for row in report.rows} <= {"float64", "float32"}
+        row = report.dtype("float64")
+        assert row is not None
+        assert row.plans == 1
+        assert row.sparse_layers >= 1
+        assert row.dense_layers + row.sparse_layers == network.n_layers
+        assert row.buffer_bytes > 0
+        assert row.compile_us > 0
+        assert 0 < row.sparse_share < 1
+        assert "float64" in report.render()
+
+    def test_compile_emits_span(self, context, obs_clean):
+        obs_clean.set_tracer(obs_clean.Tracer(enabled=True))
+        compile_network(_network(seed=14), context=context)
+        names = [s.name for s in obs_clean.get_tracer().root_spans()]
+        assert "compile.plan" in names
+
+
+# ----------------------------------------------------------------------
+# CLI probe
+# ----------------------------------------------------------------------
+class TestCliProbe:
+    def test_compile_command_prints_plan(self, capsys):
+        from repro.cli import main
+
+        main(
+            [
+                "compile",
+                "--architecture",
+                "16x8",
+                "--features",
+                "12",
+                "--sparsity",
+                "0.9",
+                "--batch",
+                "32",
+                "--repeats",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "csr-spmm" in out or "dense-gemm" in out
+        assert "fingerprint" in out
+        assert "us/doc" in out
