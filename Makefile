@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast verify smoke obs-smoke resilience-smoke parallel-smoke compile-smoke bench examples report clean
+.PHONY: install test test-fast verify smoke obs-smoke resilience-smoke parallel-smoke compile-smoke serving-smoke bench examples report clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -14,7 +14,7 @@ test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow" -x
 
 # Tier-1 gate: the full suite plus a bytecode compile of the library.
-verify: obs-smoke resilience-smoke parallel-smoke compile-smoke
+verify: obs-smoke resilience-smoke parallel-smoke compile-smoke serving-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(PYTHON) -m compileall -q src
 
@@ -42,6 +42,12 @@ parallel-smoke:
 # >= 1.3x float32 speedup over naive scoring on a pruned network.
 compile-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.runtime.compile_smoke
+
+# Serving gate: coalesced async scoring bit-identical to sequential on
+# every backend, plus deterministic shed-rate bounds and SLO-miss
+# accounting under a seeded multi-tenant load run.
+serving-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.serving.smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

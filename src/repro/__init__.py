@@ -65,6 +65,7 @@ from repro.design import CascadeStage, EarlyExitCascade
 from repro.nn import quantize_student
 from repro.reporting import render_report, write_report
 from repro.runtime import (
+    AsyncConfig,
     BatchEngine,
     BudgetExceededError,
     ForestShape,
@@ -78,12 +79,13 @@ from repro.runtime import (
     ServiceConfig,
     ServiceStats,
     ShardedScorer,
+    TenantConfig,
     backend_names,
     make_scorer,
     price,
     register_backend,
 )
-from repro.serving import ScoringService
+from repro.serving import AsyncScoringService, ScoringService
 
 __version__ = "1.0.0"
 
@@ -135,6 +137,7 @@ __all__ = [
     "quantize_student",
     "render_report",
     "write_report",
+    "AsyncScoringService",
     "ScoringService",
     "Scorer",
     "ScorerBackend",
@@ -142,6 +145,8 @@ __all__ = [
     "ServiceStats",
     "ShardedScorer",
     "ScoreCache",
+    "AsyncConfig",
+    "TenantConfig",
     "ParallelConfig",
     "ResilienceConfig",
     "BatchEngine",

@@ -17,6 +17,12 @@ can be driven without writing Python:
   chain and report degradation, breaker states and retry counts.
 * ``repro throughput``    — sweep workers x shard size over the sharded
   scorer and print docs/sec plus cache hit ratios.
+* ``repro serve``         — answer a burst of concurrent probe requests
+  through the asyncio front-end, verify coalesced scores are
+  bit-identical to sequential ones, and print the serving report.
+* ``repro loadtest``      — replay a seeded multi-tenant load scenario
+  (Zipfian popularity, bursty open or closed-loop arrivals) against the
+  front-end and report shed/SLO/latency per tenant.
 
 Every command is a thin wrapper over the public API; see ``--help`` of
 each subcommand.  Global flags: ``--trace`` prints the span tree and the
@@ -517,6 +523,163 @@ def cmd_throughput(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve concurrent probe requests through the asyncio front-end.
+
+    Builds one probe backend behind an :class:`AsyncScoringService`,
+    fires every probe query *concurrently*, verifies each coalesced
+    answer is bit-identical to the sequential ``ScoringService.score``
+    result, and prints the coalescing summary plus the per-tenant
+    serving report.
+    """
+    import asyncio
+
+    from repro.obs.probe import build_probe_models
+    from repro.runtime import AsyncConfig, ServiceConfig
+    from repro.serving import AsyncScoringService, ScoringService
+
+    models = build_probe_models(
+        n_queries=args.queries, docs_per_query=args.docs, seed=args.seed
+    )
+    dataset = models["dataset"]
+    model_key = (
+        "sparse-network" if args.backend == "compiled-network" else args.backend
+    )
+    service = ScoringService(
+        models[model_key], ServiceConfig(backend=args.backend)
+    )
+    requests = [
+        dataset.features[start:stop]
+        for start, stop in zip(dataset.query_ptr[:-1], dataset.query_ptr[1:])
+    ]
+    sequential = [service.score(x) for x in requests]
+
+    async def _serve() -> tuple[list[np.ndarray], dict]:
+        async with AsyncScoringService(
+            service, frontend=AsyncConfig(max_wait_us=args.max_wait_us)
+        ) as front:
+            scores = await asyncio.gather(
+                *(front.score(x) for x in requests)
+            )
+            return scores, front.summary()
+
+    coalesced, summary = asyncio.run(_serve())
+    for index, (ref, got) in enumerate(zip(sequential, coalesced)):
+        if not np.array_equal(ref, got):
+            raise SystemExit(
+                f"request {index} scored through a coalesced batch "
+                "diverged from sequential scoring"
+            )
+    log.info(
+        "served %d concurrent requests (%d docs) via %s: "
+        "%d coalesced batches, %.1f requests/batch, "
+        "bit-identical to sequential scoring",
+        len(requests), dataset.n_docs, args.backend,
+        summary["batches"], summary["requests_per_batch"],
+    )
+    log.info("")
+    log.info("%s", obs.serving_report().render())
+    return 0
+
+
+def _parse_tenant(text: str):
+    """``name=weight[:rate[:priority[:deadline_us]]]`` → (name, weight, cfg).
+
+    Examples: ``web=3``, ``web=3:500`` (500 req/s bucket),
+    ``batch=1:50:2`` (priority class 2), ``sla=1::0:8000`` (priority 0,
+    8 ms deadline, no rate limit).
+    """
+    from repro.runtime import TenantConfig
+
+    try:
+        name, rest = text.split("=", 1)
+        parts = rest.split(":")
+        weight = float(parts[0])
+        rate = float(parts[1]) if len(parts) > 1 and parts[1] else None
+        priority = int(parts[2]) if len(parts) > 2 and parts[2] else 1
+        deadline = float(parts[3]) if len(parts) > 3 and parts[3] else None
+    except (ValueError, IndexError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"tenant must look like name=weight[:rate[:priority"
+            f"[:deadline_us]]], got {text!r}"
+        ) from exc
+    return name, weight, TenantConfig(
+        name=name, rate_per_s=rate, priority=priority, deadline_us=deadline
+    )
+
+
+def cmd_loadtest(args) -> int:
+    """Replay a seeded load scenario against the asyncio front-end.
+
+    The scenario comes from ``--spec`` (a LoadSpec JSON file) or from
+    the flags below; either way the offered sequence is deterministic in
+    the seed.  Prints the client-side load report and the server-side
+    per-tenant serving table; ``--json`` additionally dumps both plus
+    the metrics snapshot.
+    """
+    import json
+
+    from repro.obs.probe import build_probe_models
+    from repro.runtime import AsyncConfig, ServiceConfig
+    from repro.serving import LoadSpec, ScoringService, make_queries, run_load
+
+    tenants = [_parse_tenant(t) for t in (args.tenant or [])]
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as fh:
+            spec = LoadSpec.from_dict(json.load(fh))
+    else:
+        spec = LoadSpec(
+            mode=args.mode,
+            duration_s=args.duration,
+            rate_per_s=args.rate,
+            burst_factor=args.burst_factor,
+            burst_period_s=args.burst_period,
+            workers=args.workers,
+            requests_per_worker=args.requests_per_worker,
+            think_time_s=args.think_time,
+            n_users=args.users,
+            n_queries=args.distinct_queries,
+            docs_per_query=args.docs,
+            zipf_s=args.zipf_s,
+            tenants=tuple((name, weight) for name, weight, _ in tenants)
+            or (("default", 1.0),),
+            time_scale=args.time_scale,
+            seed=args.seed,
+        )
+    models = build_probe_models(n_queries=8, docs_per_query=16, seed=args.seed)
+    model_key = (
+        "sparse-network" if args.backend == "compiled-network" else args.backend
+    )
+    service = ScoringService(
+        models[model_key], ServiceConfig(backend=args.backend)
+    )
+    frontend = AsyncConfig(
+        max_wait_us=args.max_wait_us,
+        slo_us=args.slo_us,
+        tenants=tuple(cfg for _, _, cfg in tenants),
+    )
+    n_features = models["dataset"].features.shape[1]
+    report = run_load(
+        service,
+        spec,
+        make_queries(spec, n_features),
+        frontend=frontend,
+    )
+    serving = obs.serving_report()
+    log.info("%s", report.render())
+    log.info("")
+    log.info("%s", serving.render())
+    if args.json:
+        payload = {
+            "load": report.to_dict(),
+            "metrics": obs.get_registry().snapshot(),
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        log.info("load report + metrics snapshot -> %s", args.json)
+    return 0
+
+
 def _measure_plain(scorer, features, repeats: int) -> list[float]:
     """Best-of-N wall times of unsharded scoring (list for ``min``)."""
     import time as _time
@@ -765,6 +928,117 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--docs", type=int, default=64)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_throughput)
+
+    p = sub.add_parser(
+        "serve",
+        help="answer concurrent probe requests via the asyncio front-end",
+    )
+    p.add_argument(
+        "--backend",
+        choices=(
+            "quickscorer", "dense-network", "sparse-network",
+            "compiled-network",
+        ),
+        default="dense-network",
+        help="backend to serve through the front-end",
+    )
+    p.add_argument(
+        "--max-wait-us",
+        type=float,
+        default=2000.0,
+        help="linger window: how long the batcher waits to coalesce "
+        "more requests (0 = dispatch immediately)",
+    )
+    p.add_argument("--queries", type=int, default=24)
+    p.add_argument("--docs", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="replay a seeded multi-tenant load scenario; report "
+        "shed/SLO/latency per tenant",
+    )
+    p.add_argument(
+        "--backend",
+        choices=(
+            "quickscorer", "dense-network", "sparse-network",
+            "compiled-network",
+        ),
+        default="dense-network",
+    )
+    p.add_argument(
+        "--spec", help="LoadSpec JSON file (overrides the flags below)"
+    )
+    p.add_argument("--mode", choices=("open", "closed"), default="open")
+    p.add_argument(
+        "--duration", type=float, default=0.5,
+        help="open mode: seconds of schedule to offer",
+    )
+    p.add_argument(
+        "--rate", type=float, default=400.0,
+        help="open mode: base arrival rate (req/s)",
+    )
+    p.add_argument(
+        "--burst-factor", type=float, default=1.0,
+        help="open mode: rate multiplier during the burst half-period",
+    )
+    p.add_argument(
+        "--burst-period", type=float, default=0.25,
+        help="open mode: seconds per burst on/off cycle",
+    )
+    p.add_argument(
+        "--workers", type=int, default=8,
+        help="closed mode: concurrent simulated users",
+    )
+    p.add_argument(
+        "--requests-per-worker", type=int, default=25,
+        help="closed mode: requests each user issues",
+    )
+    p.add_argument(
+        "--think-time", type=float, default=0.0,
+        help="closed mode: seconds between a user's requests",
+    )
+    p.add_argument(
+        "--users", type=int, default=10_000,
+        help="simulated user population (Zipfian popularity)",
+    )
+    p.add_argument(
+        "--distinct-queries", type=int, default=64,
+        help="distinct candidate lists the population maps onto",
+    )
+    p.add_argument(
+        "--docs", type=int, default=10, help="documents per candidate list"
+    )
+    p.add_argument(
+        "--zipf-s", type=float, default=1.1,
+        help="Zipf exponent of user popularity (0 = uniform)",
+    )
+    p.add_argument(
+        "--time-scale", type=float, default=1.0,
+        help="compress schedule sleeps (0.1 = replay 10x faster)",
+    )
+    p.add_argument(
+        "--tenant",
+        action="append",
+        metavar="NAME=WEIGHT[:RATE[:PRIO[:DEADLINE_US]]]",
+        help="add a tenant to the mix and its admission contract "
+        "(repeatable; default: one unlimited 'default' tenant)",
+    )
+    p.add_argument(
+        "--max-wait-us", type=float, default=500.0,
+        help="front-end linger window",
+    )
+    p.add_argument(
+        "--slo-us", type=float, default=None,
+        help="default enqueue->response SLO for tenants without a "
+        "deadline of their own",
+    )
+    p.add_argument(
+        "--json", help="also write the load report + metrics snapshot here"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_loadtest)
 
     return parser
 

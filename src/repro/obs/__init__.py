@@ -18,7 +18,11 @@ One light-weight layer used across the training and serving stack:
 * :mod:`repro.obs.parallel` — shard-balance / pool-utilization /
   cache-hit series fed by the sharded scorer
   (:mod:`repro.runtime.parallel`), read back by
-  :func:`parallel_report`.
+  :func:`parallel_report`;
+* :mod:`repro.obs.serving` — per-tenant admission/shed/SLO-miss/latency
+  series and coalesced-batch shapes fed by the asyncio front-end
+  (:mod:`repro.serving.frontend`), read back by
+  :func:`serving_report`.
 
 Typical use::
 
@@ -57,6 +61,15 @@ from repro.obs.resilience import (
     record_retry,
     record_served,
     resilience_report,
+)
+from repro.obs.serving import (
+    ServingReport,
+    TenantRow,
+    record_admitted,
+    record_batch,
+    record_response,
+    record_shed,
+    serving_report,
 )
 from repro.obs.export import (
     prometheus_name,
@@ -102,8 +115,10 @@ __all__ = [
     "ParallelReport",
     "ParallelRow",
     "ResilienceReport",
+    "ServingReport",
     "Span",
     "StreamingHistogram",
+    "TenantRow",
     "Tracer",
     "compile_report",
     "counter",
@@ -115,18 +130,23 @@ __all__ = [
     "histogram",
     "parallel_report",
     "prometheus_name",
+    "record_admitted",
+    "record_batch",
     "record_breaker_state",
     "record_compile",
     "record_fallback",
     "record_failure",
     "record_parallel_request",
     "record_request",
+    "record_response",
     "record_retry",
     "record_served",
+    "record_shed",
     "render_json",
     "render_prometheus",
     "render_trace_tree",
     "resilience_report",
+    "serving_report",
     "set_registry",
     "set_tracer",
     "snapshot_dict",

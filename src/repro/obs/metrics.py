@@ -53,7 +53,18 @@ class Counter:
 
 
 class Gauge:
-    """A value that goes up and down (last write wins)."""
+    """A value that goes up and down (last write wins).
+
+    Deliberately lock-free: ``set`` is a single float assignment, which
+    the GIL makes atomic, and concurrent writers racing a gauge is
+    harmless — "last write wins" is the gauge contract even on one
+    thread.  Readers may observe any recently written value, never a
+    torn one.  (Counters and histograms, whose updates are
+    read-modify-write, do take locks — see :class:`Counter` /
+    :class:`StreamingHistogram` — so all ``MetricsRegistry`` series are
+    safe to update from the asyncio event loop and pool threads
+    concurrently.)
+    """
 
     kind = "gauge"
 

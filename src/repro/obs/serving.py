@@ -1,0 +1,236 @@
+"""Serving front-end metric series and the per-tenant traffic report.
+
+The asyncio front-end (:mod:`repro.serving.frontend`) folds every
+admission decision, coalesced batch and response into the default
+:class:`~repro.obs.metrics.MetricsRegistry`, the same way the batch
+engine feeds the drift series:
+
+* ``serving.requests`` (counter, label ``tenant``) — requests admitted
+  past the token buckets and queue-depth caps;
+* ``serving.shed`` (counter, labels ``tenant``, ``reason``) — requests
+  rejected at admission (``rate-limit``, ``queue-depth``,
+  ``tenant-queue-depth``);
+* ``serving.slo_miss`` (counter, label ``tenant``) — served responses
+  whose enqueue→response wall time overran the tenant's SLO;
+* ``serving.latency_us`` (histogram, label ``tenant``) — per-response
+  enqueue→response wall time in µs, at bounded memory;
+* ``serving.batches`` (counter) / ``serving.batch_requests`` /
+  ``serving.batch_docs`` (histograms) — coalesced-batch shape: how many
+  requests and document rows each engine call folded together;
+* ``serving.queue_depth`` (gauge) — pending requests at the moment the
+  batcher drained.
+
+:func:`serving_report` reads the series back into one row per tenant —
+admitted/shed/SLO-miss counts and latency percentiles — plus a
+coalescing summary, the front-end counterpart of
+:func:`repro.obs.parallel.parallel_report`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+def record_admitted(
+    tenant: str, *, registry: MetricsRegistry | None = None
+) -> None:
+    """Count one request admitted past the front-end's admission layer."""
+    registry = registry or get_registry()
+    registry.counter("serving.requests", tenant=tenant).inc()
+
+
+def record_shed(
+    tenant: str, reason: str, *, registry: MetricsRegistry | None = None
+) -> None:
+    """Count one request shed at admission, by reason."""
+    registry = registry or get_registry()
+    registry.counter("serving.shed", tenant=tenant, reason=reason).inc()
+
+
+def record_response(
+    tenant: str,
+    latency_us: float,
+    *,
+    slo_us: float | None = None,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Fold one served response into the latency/SLO series.
+
+    ``latency_us`` is enqueue→response wall time; when ``slo_us`` is
+    given and overrun, the tenant's ``serving.slo_miss`` counter ticks.
+    """
+    registry = registry or get_registry()
+    registry.histogram("serving.latency_us", tenant=tenant).add(latency_us)
+    if slo_us is not None and latency_us > slo_us:
+        registry.counter("serving.slo_miss", tenant=tenant).inc()
+
+
+def record_batch(
+    *,
+    n_requests: int,
+    n_docs: int,
+    queue_depth: int,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Fold one coalesced engine call into the batch-shape series."""
+    registry = registry or get_registry()
+    registry.counter("serving.batches").inc()
+    registry.histogram("serving.batch_requests").add(n_requests)
+    registry.histogram("serving.batch_docs").add(n_docs)
+    registry.gauge("serving.queue_depth").set(queue_depth)
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TenantRow:
+    """One tenant's admission, shedding and latency position."""
+
+    tenant: str
+    admitted: int
+    served: int
+    shed: int
+    shed_reasons: tuple[tuple[str, int], ...]
+    slo_miss: int
+    p50_us: float
+    p95_us: float
+    p99_us: float
+
+    @property
+    def offered(self) -> int:
+        """Requests the tenant offered: admitted plus shed."""
+        return self.admitted + self.shed
+
+    @property
+    def shed_ratio(self) -> float:
+        """Shed over offered traffic (``nan`` before any traffic)."""
+        return self.shed / self.offered if self.offered else float("nan")
+
+    @property
+    def slo_miss_ratio(self) -> float:
+        """SLO misses over served responses (``nan`` with none served)."""
+        return self.slo_miss / self.served if self.served else float("nan")
+
+    def describe(self) -> str:
+        return (
+            f"{self.tenant}: {self.admitted} admitted, "
+            f"{self.shed} shed ({self.shed_ratio:.1%}), "
+            f"{self.slo_miss} SLO misses, p99 {self.p99_us:.0f} us"
+        )
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Per-tenant traffic rows plus the coalescing summary."""
+
+    rows: tuple[TenantRow, ...]
+    batches: int
+    mean_batch_requests: float
+    mean_batch_docs: float
+    last_queue_depth: float
+
+    def tenant(self, name: str) -> TenantRow | None:
+        for row in self.rows:
+            if row.tenant == name:
+                return row
+        return None
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Mean requests folded into one engine call (1.0 = no gain)."""
+        return self.mean_batch_requests
+
+    def render(self) -> str:
+        if not self.rows and not self.batches:
+            return "(no serving traffic recorded)"
+        header = (
+            f"{'tenant':<14} {'offered':>8} {'admitted':>9} {'shed':>6} "
+            f"{'shed%':>7} {'slo miss':>9} {'p50 us':>9} {'p95 us':>9} "
+            f"{'p99 us':>9}"
+        )
+        lines = ["Serving front-end", header, "-" * len(header)]
+        for row in self.rows:
+            shed_pct = (
+                f"{row.shed_ratio:>6.1%}"
+                if math.isfinite(row.shed_ratio)
+                else f"{'-':>6}"
+            )
+            lines.append(
+                f"{row.tenant:<14} {row.offered:>8d} {row.admitted:>9d} "
+                f"{row.shed:>6d} {shed_pct} {row.slo_miss:>9d} "
+                f"{_us(row.p50_us)} {_us(row.p95_us)} {_us(row.p99_us)}"
+            )
+        lines.append(
+            f"coalescing: {self.batches} batches, "
+            f"{self.mean_batch_requests:.1f} requests/batch, "
+            f"{self.mean_batch_docs:.1f} docs/batch, "
+            f"queue depth {self.last_queue_depth:.0f} at last drain"
+        )
+        return "\n".join(lines)
+
+
+def _us(value: float) -> str:
+    return f"{value:>9.0f}" if math.isfinite(value) else f"{'-':>9}"
+
+
+def serving_report(
+    registry: MetricsRegistry | None = None,
+) -> ServingReport:
+    """Assemble the per-tenant traffic table from the ``serving.*`` series."""
+    registry = registry or get_registry()
+    admitted: dict[str, int] = {}
+    shed: dict[str, dict[str, int]] = {}
+    slo_miss: dict[str, int] = {}
+    latency: dict[str, dict[str, float]] = {}
+    batches = 0
+    mean_batch_requests = float("nan")
+    mean_batch_docs = float("nan")
+    last_queue_depth = float("nan")
+    for (name, label_pairs), metric in registry.items():
+        labels = dict(label_pairs)
+        tenant = labels.get("tenant")
+        if name == "serving.requests" and tenant is not None:
+            admitted[tenant] = int(metric.value)
+        elif name == "serving.shed" and tenant is not None:
+            reason = labels.get("reason", "?")
+            shed.setdefault(tenant, {})[reason] = int(metric.value)
+        elif name == "serving.slo_miss" and tenant is not None:
+            slo_miss[tenant] = int(metric.value)
+        elif name == "serving.latency_us" and tenant is not None:
+            latency[tenant] = metric.snapshot()
+        elif name == "serving.batches":
+            batches = int(metric.value)
+        elif name == "serving.batch_requests":
+            mean_batch_requests = metric.mean
+        elif name == "serving.batch_docs":
+            mean_batch_docs = metric.mean
+        elif name == "serving.queue_depth":
+            last_queue_depth = metric.value
+    tenants = sorted(
+        set(admitted) | set(shed) | set(slo_miss) | set(latency)
+    )
+    rows = tuple(
+        TenantRow(
+            tenant=tenant,
+            admitted=admitted.get(tenant, 0),
+            served=int(latency.get(tenant, {}).get("count", 0)),
+            shed=sum(shed.get(tenant, {}).values()),
+            shed_reasons=tuple(sorted(shed.get(tenant, {}).items())),
+            slo_miss=slo_miss.get(tenant, 0),
+            p50_us=latency.get(tenant, {}).get("p50", float("nan")),
+            p95_us=latency.get(tenant, {}).get("p95", float("nan")),
+            p99_us=latency.get(tenant, {}).get("p99", float("nan")),
+        )
+        for tenant in tenants
+    )
+    return ServingReport(
+        rows=rows,
+        batches=batches,
+        mean_batch_requests=mean_batch_requests,
+        mean_batch_docs=mean_batch_docs,
+        last_queue_depth=last_queue_depth,
+    )

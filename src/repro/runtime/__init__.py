@@ -17,8 +17,10 @@ One surface for "score documents with any model at a known price":
   execution over a persistent worker pool with an optional LRU score
   cache, bit-identical to unsharded scoring (see ``docs/parallel.md``);
 * :class:`ServiceConfig` / :class:`ResilienceConfig` /
-  :class:`ParallelConfig` — the typed configuration surface a
-  :class:`~repro.serving.ScoringService` is built from;
+  :class:`ParallelConfig` / :class:`AsyncConfig` / :class:`TenantConfig`
+  — the typed configuration surface a
+  :class:`~repro.serving.ScoringService` (and its asyncio front-end,
+  :class:`~repro.serving.AsyncScoringService`) is built from;
 * :func:`compile_network` / :class:`InferencePlan` — ahead-of-time
   compiled forward passes: per-layer dense/sparse kernel selection by
   the calibrated predictors, frozen weights, fused epilogues and
@@ -46,7 +48,12 @@ from repro.runtime.compile import (
     compile_network,
     reference_scores,
 )
-from repro.runtime.config import ResilienceConfig, ServiceConfig
+from repro.runtime.config import (
+    AsyncConfig,
+    ResilienceConfig,
+    ServiceConfig,
+    TenantConfig,
+)
 from repro.runtime.context import (
     PricingContext,
     default_context,
@@ -106,6 +113,7 @@ from repro.runtime.resilience import (
 
 __all__ = [
     "AllTiersFailedError",
+    "AsyncConfig",
     "BaseScorer",
     "BatchEngine",
     "BreakerState",
@@ -149,6 +157,7 @@ __all__ = [
     "ShardedScorer",
     "SparseNetworkScorer",
     "StubScorer",
+    "TenantConfig",
     "UnknownBackendError",
     "backend_names",
     "compile_network",

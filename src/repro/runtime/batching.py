@@ -6,6 +6,11 @@ goes through:
 * documents of a request are scored in **micro-batches** of at most
   ``max_batch_size`` rows (adapters guarantee chunk-invariant scoring,
   so batching never changes a single bit of the output);
+* many concurrent requests can be **coalesced** into one cross-request
+  micro-batch (:meth:`BatchEngine.score_coalesced`) — the asyncio
+  front-end's path: one GEMM for N users' candidate lists, sliced back
+  out bit-identically, with per-request latency accounted
+  enqueue→response while drift keeps pricing kernel time;
 * the request is **priced before execution** against the scorer's
   calibrated cost model, and construction fails when the price exceeds
   the latency budget — the paper's design rule enforced at deployment
@@ -24,6 +29,7 @@ goes through:
 from __future__ import annotations
 
 import math
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -50,11 +56,28 @@ class ServiceStats:
 
     Memory is bounded regardless of traffic: per-request latencies live
     in a fixed-capacity streaming histogram, not an ever-growing list.
+
+    Two time axes are kept apart. ``wall_seconds`` accumulates *scorer
+    execution* time and is the denominator of ``measured_us_per_doc`` /
+    ``drift_pct`` — the deployment audit of the calibrated kernel price.
+    The latency percentiles instead cover whatever ``record`` was handed
+    as ``seconds``: for the synchronous engine that *is* kernel wall
+    time, but the coalescing path passes enqueue→response wall time (and
+    the kernel share separately via ``kernel_seconds``), so a queued
+    request's percentile reflects what the client actually waited while
+    the drift series keeps pricing kernels only.  ``queued_seconds``
+    holds the accumulated difference.
+
+    Thread-safe: ``record`` may be called concurrently from the asyncio
+    event loop's executor and :class:`~repro.runtime.parallel.
+    ShardedScorer` pool threads — counter updates happen under one lock
+    (the histogram has its own).
     """
 
     requests: int = 0
     documents: int = 0
     wall_seconds: float = 0.0
+    queued_seconds: float = 0.0
     predicted_us_per_doc: float = field(default=float("nan"))
     _latency_us: StreamingHistogram = field(
         default_factory=lambda: StreamingHistogram(
@@ -63,9 +86,25 @@ class ServiceStats:
         repr=False,
         compare=False,
     )
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
-    def record(self, n_docs: int, seconds: float) -> None:
-        """Account one request of ``n_docs`` documents."""
+    def record(
+        self,
+        n_docs: int,
+        seconds: float,
+        *,
+        kernel_seconds: float | None = None,
+    ) -> None:
+        """Account one request of ``n_docs`` documents.
+
+        ``seconds`` feeds the latency percentiles; ``kernel_seconds``
+        (defaulting to ``seconds``) feeds the measured-cost/drift
+        accumulators.  A coalesced request passes its enqueue→response
+        wall time as ``seconds`` and its share of the batch's kernel
+        time as ``kernel_seconds``.
+        """
         n = int(n_docs)
         if n < 1:
             raise ReproError(
@@ -76,9 +115,18 @@ class ServiceStats:
                 f"request wall time must be finite and >= 0 seconds, "
                 f"got {seconds}"
             )
-        self.requests += 1
-        self.documents += n
-        self.wall_seconds += seconds
+        if kernel_seconds is None:
+            kernel_seconds = seconds
+        elif not math.isfinite(kernel_seconds) or kernel_seconds < 0:
+            raise ReproError(
+                f"kernel time must be finite and >= 0 seconds, "
+                f"got {kernel_seconds}"
+            )
+        with self._lock:
+            self.requests += 1
+            self.documents += n
+            self.wall_seconds += kernel_seconds
+            self.queued_seconds += max(seconds - kernel_seconds, 0.0)
         self._latency_us.add(seconds * 1e6)
 
     @property
@@ -254,6 +302,95 @@ class BatchEngine:
             predicted_us_per_doc=self.stats.predicted_us_per_doc,
         )
         return scores
+
+    def score_coalesced(
+        self,
+        requests,
+        *,
+        enqueue_times=None,
+        clock=time.perf_counter,
+    ) -> list[np.ndarray]:
+        """Score several requests as **one cross-request micro-batch**.
+
+        The asyncio front-end's execution path: many concurrent users'
+        small candidate lists are concatenated row-wise, pushed through
+        the scorer in one go (one GEMM instead of N), and sliced back
+        out per request.  For chunk-invariant scorers — ``stable=True``
+        compiled plans, the einsum network adapters, row-independent
+        QuickScorer traversal — the slices are **bit-identical** to
+        scoring each request alone.  Non-batchable scorers (cascades
+        rank within a request) are scored request-by-request instead;
+        the accounting below is identical either way.
+
+        Accounting: each request's latency percentile entry is its
+        **enqueue→response wall time** (``clock()`` at completion minus
+        its entry in ``enqueue_times``, which must be timestamps on the
+        same clock), while the drift/measured-cost series receive only
+        the request's *share of kernel time* — queue wait must show up
+        in p99, but it is not evidence against the calibrated kernel
+        price, and admission keeps judging the priced kernel µs.
+        Without ``enqueue_times`` both axes fall back to kernel time.
+
+        Zero-document requests yield empty score arrays and touch no
+        stats.  Returns one float64 score vector per request, in order.
+        """
+        items: list[np.ndarray] = []
+        sizes: list[int] = []
+        for index, features in enumerate(requests):
+            x = np.asarray(features, dtype=np.float64)
+            if not (x.ndim == 2 and x.shape[0] == 0):
+                x = check_array_2d(x, f"requests[{index}]")
+            items.append(x)
+            sizes.append(len(x))
+        if enqueue_times is not None and len(enqueue_times) != len(items):
+            raise ReproError(
+                f"got {len(enqueue_times)} enqueue times for "
+                f"{len(items)} requests"
+            )
+        total = sum(sizes)
+        if total == 0:
+            return [np.zeros(0, dtype=np.float64) for _ in items]
+        live = [x for x in items if len(x)]
+        with obs.span(
+            "engine.coalesced",
+            backend=self.scorer.backend,
+            requests=len(items),
+        ) as sp:
+            start = clock()
+            if getattr(self.scorer, "batchable", True):
+                stacked = live[0] if len(live) == 1 else np.concatenate(live)
+                flat = self._score_chunked(stacked)
+            else:
+                flat = np.concatenate(
+                    [
+                        np.asarray(self.scorer.score(x), dtype=np.float64)
+                        for x in live
+                    ]
+                )
+            end = clock()
+            kernel = max(end - start, 0.0)
+            sp.set(docs=total, us=round(kernel * 1e6, 1))
+        out: list[np.ndarray] = []
+        offset = 0
+        for index, n in enumerate(sizes):
+            if n == 0:
+                out.append(np.zeros(0, dtype=np.float64))
+                continue
+            out.append(flat[offset : offset + n])
+            offset += n
+            kernel_share = kernel * (n / total)
+            if enqueue_times is None:
+                seconds = kernel_share
+            else:
+                seconds = max(end - enqueue_times[index], kernel_share)
+            self.stats.record(n, seconds, kernel_seconds=kernel_share)
+        obs.record_request(
+            backend=self.scorer.backend,
+            n_docs=total,
+            seconds=kernel,
+            predicted_us_per_doc=self.stats.predicted_us_per_doc,
+        )
+        return out
 
     def _score_chunked(self, x: np.ndarray) -> np.ndarray:
         size = self.max_batch_size

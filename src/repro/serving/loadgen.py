@@ -1,0 +1,406 @@
+"""Closed-loop load generation against the asyncio front-end.
+
+The missing half of a serving benchmark: a traffic model.  This module
+simulates a population of users hammering an
+:class:`~repro.serving.frontend.AsyncScoringService` with the three
+properties real ranking traffic has and uniform synthetic load lacks:
+
+* **skewed popularity** — users are drawn from a seeded Zipfian
+  distribution (probability ∝ rank^-s) over ``n_users`` simulated users
+  (thousands to millions; only ranks are materialised, not users), and
+  each user maps to one of ``n_queries`` distinct candidate lists — so
+  a keyed :class:`~repro.runtime.parallel.ScoreCache` sees realistic
+  re-reference behaviour;
+* **bursty arrivals** — the *open* model draws exponential
+  inter-arrival gaps whose rate square-wave-modulates between
+  ``rate_per_s`` and ``rate_per_s × burst_factor`` every
+  ``burst_period_s`` (Poisson-with-bursts); the *closed* model runs
+  ``workers`` coroutine users in think-time loops, where offered load
+  adapts to service latency;
+* **multi-tenancy** — each request carries a tenant drawn from the
+  spec's weighted tenant mix, exercising the admission layer's token
+  buckets and priority classes.
+
+Everything random is drawn **up front** from one seeded generator, so a
+given :class:`LoadSpec` always offers the identical request sequence
+(tenants, users, sizes, gaps) no matter how the event loop interleaves
+completions — the property the smoke gate's assertions stand on.
+
+:func:`run_load` drives a whole run (build front-end → replay schedule
+→ drain) and returns a :class:`LoadReport` of client-side counts:
+offered/served/shed per tenant, error count, wall time and achieved
+throughput.  Server-side latency percentiles and SLO misses live in the
+``serving.*`` series (:func:`repro.obs.serving_report`); the benchmark
+emits both.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigError, ReproError
+from repro.serving.frontend import AsyncScoringService
+from repro.serving.tenancy import RequestShedError
+
+__all__ = ["LoadReport", "LoadSpec", "run_load", "run_load_async"]
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One reproducible traffic scenario.
+
+    ``mode="open"`` offers ``rate_per_s`` arrivals (burst-modulated) for
+    ``duration_s`` simulated seconds of schedule; ``mode="closed"`` runs
+    ``workers`` users each issuing ``requests_per_worker`` requests with
+    ``think_time_s`` pauses.  Both draw users Zipf(``zipf_s``) over
+    ``n_users``, mapped onto ``n_queries`` distinct candidate lists of
+    ``docs_per_query`` documents, with tenants drawn from the weighted
+    ``tenants`` mix.  ``time_scale`` compresses the schedule's sleeps
+    (0.1 = replay 10× faster) without changing what is offered — the
+    smoke gate's lever for running a "long" scenario in milliseconds.
+    """
+
+    mode: str = "open"
+    duration_s: float = 1.0
+    rate_per_s: float = 200.0
+    burst_factor: float = 1.0
+    burst_period_s: float = 0.25
+    workers: int = 8
+    requests_per_worker: int = 25
+    think_time_s: float = 0.0
+    n_users: int = 10_000
+    n_queries: int = 64
+    docs_per_query: int = 10
+    zipf_s: float = 1.1
+    tenants: tuple[tuple[str, float], ...] = (("default", 1.0),)
+    time_scale: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("open", "closed"):
+            raise ConfigError(
+                f"mode must be 'open' or 'closed', got {self.mode!r}"
+            )
+        positive = {
+            "duration_s": self.duration_s,
+            "rate_per_s": self.rate_per_s,
+            "burst_factor": self.burst_factor,
+            "burst_period_s": self.burst_period_s,
+            "workers": self.workers,
+            "requests_per_worker": self.requests_per_worker,
+            "n_users": self.n_users,
+            "n_queries": self.n_queries,
+            "docs_per_query": self.docs_per_query,
+            "time_scale": self.time_scale,
+        }
+        for name, value in positive.items():
+            if value <= 0:
+                raise ConfigError(f"{name} must be > 0, got {value}")
+        if self.think_time_s < 0:
+            raise ConfigError(
+                f"think_time_s must be >= 0, got {self.think_time_s}"
+            )
+        if self.zipf_s < 0:
+            raise ConfigError(f"zipf_s must be >= 0, got {self.zipf_s}")
+        if not self.tenants:
+            raise ConfigError("tenants mix must name at least one tenant")
+        tenants = tuple(
+            (str(name), float(weight)) for name, weight in self.tenants
+        )
+        for name, weight in tenants:
+            if weight <= 0:
+                raise ConfigError(
+                    f"tenant {name!r} weight must be > 0, got {weight}"
+                )
+        object.__setattr__(self, "tenants", tenants)
+
+    # -- JSON round-trip -----------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "mode": self.mode,
+            "duration_s": self.duration_s,
+            "rate_per_s": self.rate_per_s,
+            "burst_factor": self.burst_factor,
+            "burst_period_s": self.burst_period_s,
+            "workers": self.workers,
+            "requests_per_worker": self.requests_per_worker,
+            "think_time_s": self.think_time_s,
+            "n_users": self.n_users,
+            "n_queries": self.n_queries,
+            "docs_per_query": self.docs_per_query,
+            "zipf_s": self.zipf_s,
+            "tenants": [list(pair) for pair in self.tenants],
+            "time_scale": self.time_scale,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LoadSpec":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown LoadSpec key(s): {', '.join(unknown)}"
+            )
+        kwargs = dict(data)
+        if "tenants" in kwargs:
+            kwargs["tenants"] = tuple(
+                (pair[0], pair[1]) for pair in kwargs["tenants"]
+            )
+        return cls(**kwargs)
+
+
+@dataclass
+class LoadReport:
+    """Client-side outcome counts of one load run."""
+
+    spec: LoadSpec
+    offered: int = 0
+    served: int = 0
+    errors: int = 0
+    wall_s: float = 0.0
+    served_by_tenant: dict[str, int] = field(default_factory=dict)
+    shed_by_tenant: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def shed(self) -> int:
+        return sum(
+            count
+            for reasons in self.shed_by_tenant.values()
+            for count in reasons.values()
+        )
+
+    @property
+    def shed_ratio(self) -> float:
+        return self.shed / self.offered if self.offered else float("nan")
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.served / self.wall_s if self.wall_s > 0 else float("nan")
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "spec": self.spec.to_dict(),
+            "offered": self.offered,
+            "served": self.served,
+            "shed": self.shed,
+            "shed_ratio": self.shed_ratio,
+            "errors": self.errors,
+            "wall_s": self.wall_s,
+            "throughput_rps": self.throughput_rps,
+            "served_by_tenant": dict(self.served_by_tenant),
+            "shed_by_tenant": {
+                tenant: dict(reasons)
+                for tenant, reasons in self.shed_by_tenant.items()
+            },
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"Load run ({self.spec.mode}): {self.offered} offered, "
+            f"{self.served} served, {self.shed} shed "
+            f"({self.shed_ratio:.1%}), {self.errors} errors, "
+            f"{self.wall_s:.3f} s wall, "
+            f"{self.throughput_rps:.0f} req/s",
+        ]
+        for tenant in sorted(
+            set(self.served_by_tenant) | set(self.shed_by_tenant)
+        ):
+            reasons = self.shed_by_tenant.get(tenant, {})
+            shed = sum(reasons.values())
+            detail = (
+                " ("
+                + ", ".join(f"{r}: {c}" for r, c in sorted(reasons.items()))
+                + ")"
+                if reasons
+                else ""
+            )
+            lines.append(
+                f"  {tenant}: {self.served_by_tenant.get(tenant, 0)} "
+                f"served, {shed} shed{detail}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Schedule generation (all randomness drawn up front, deterministically)
+# ----------------------------------------------------------------------
+def _zipf_probs(n: int, s: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** -s
+    return weights / weights.sum()
+
+
+@dataclass(frozen=True)
+class _Arrival:
+    at_s: float  # schedule time of this arrival (open mode)
+    tenant: str
+    query: int
+
+
+def build_schedule(spec: LoadSpec) -> list[_Arrival]:
+    """The deterministic request sequence a spec offers.
+
+    Open mode: exponential inter-arrival gaps at the instantaneous rate
+    ``rate_per_s`` (× ``burst_factor`` during the second half of every
+    ``burst_period_s`` window) until ``duration_s`` of schedule time is
+    filled.  Closed mode: ``workers × requests_per_worker`` arrivals
+    with ``at_s`` unset (workers pace themselves); the tenant/query
+    draws are shared so both modes sample the same population.
+    """
+    rng = np.random.default_rng(spec.seed)
+    user_probs = _zipf_probs(spec.n_users, spec.zipf_s)
+    names = [name for name, _ in spec.tenants]
+    weights = np.array([w for _, w in spec.tenants], dtype=np.float64)
+    weights /= weights.sum()
+
+    if spec.mode == "open":
+        times: list[float] = []
+        t = 0.0
+        while True:
+            in_burst = (
+                t % spec.burst_period_s
+            ) >= spec.burst_period_s / 2.0
+            rate = spec.rate_per_s * (
+                spec.burst_factor if in_burst else 1.0
+            )
+            t += float(rng.exponential(1.0 / rate))
+            if t >= spec.duration_s:
+                break
+            times.append(t)
+        count = len(times)
+    else:
+        count = spec.workers * spec.requests_per_worker
+        times = [0.0] * count
+
+    users = rng.choice(spec.n_users, size=count, p=user_probs)
+    tenant_idx = rng.choice(len(names), size=count, p=weights)
+    return [
+        _Arrival(
+            at_s=times[i],
+            tenant=names[int(tenant_idx[i])],
+            query=int(users[i]) % spec.n_queries,
+        )
+        for i in range(count)
+    ]
+
+
+def make_queries(
+    spec: LoadSpec, n_features: int, *, seed: int | None = None
+) -> list[np.ndarray]:
+    """The ``n_queries`` distinct candidate lists the population asks for."""
+    rng = np.random.default_rng(spec.seed if seed is None else seed)
+    return [
+        rng.standard_normal((spec.docs_per_query, n_features))
+        for _ in range(spec.n_queries)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+async def _issue(
+    front: AsyncScoringService,
+    arrival: _Arrival,
+    queries: list[np.ndarray],
+    report: LoadReport,
+) -> None:
+    try:
+        await front.score(queries[arrival.query], tenant=arrival.tenant)
+    except RequestShedError as shed:
+        reasons = report.shed_by_tenant.setdefault(shed.tenant, {})
+        reasons[shed.reason] = reasons.get(shed.reason, 0) + 1
+    except Exception:  # noqa: BLE001 — load runs report, never crash
+        report.errors += 1
+    else:
+        report.served += 1
+        report.served_by_tenant[arrival.tenant] = (
+            report.served_by_tenant.get(arrival.tenant, 0) + 1
+        )
+
+
+async def run_load_async(
+    front: AsyncScoringService,
+    spec: LoadSpec,
+    queries: list[np.ndarray] | None = None,
+) -> LoadReport:
+    """Replay ``spec`` against a **running** front-end; returns the report."""
+    if queries is None:
+        raise ReproError(
+            "run_load_async needs the query candidate lists; build them "
+            "with make_queries(spec, n_features)"
+        )
+    if len(queries) < spec.n_queries:
+        raise ReproError(
+            f"spec names {spec.n_queries} queries but only "
+            f"{len(queries)} candidate lists were provided"
+        )
+    schedule = build_schedule(spec)
+    report = LoadReport(spec=spec, offered=len(schedule))
+    start = time.perf_counter()
+    if spec.mode == "open":
+        tasks = []
+        elapsed_base = time.perf_counter()
+        for arrival in schedule:
+            delay = arrival.at_s * spec.time_scale - (
+                time.perf_counter() - elapsed_base
+            )
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(
+                asyncio.ensure_future(
+                    _issue(front, arrival, queries, report)
+                )
+            )
+        if tasks:
+            await asyncio.gather(*tasks)
+    else:
+        per_worker = [
+            schedule[w :: spec.workers] for w in range(spec.workers)
+        ]
+
+        async def _worker(mine: list[_Arrival]) -> None:
+            for arrival in mine:
+                await _issue(front, arrival, queries, report)
+                if spec.think_time_s > 0:
+                    await asyncio.sleep(
+                        spec.think_time_s * spec.time_scale
+                    )
+
+        await asyncio.gather(*(_worker(mine) for mine in per_worker))
+    report.wall_s = time.perf_counter() - start
+    return report
+
+
+def run_load(
+    service,
+    spec: LoadSpec,
+    queries: list[np.ndarray] | None = None,
+    *,
+    n_features: int | None = None,
+    frontend=None,
+) -> LoadReport:
+    """Build a front-end around ``service``, replay ``spec``, drain, report.
+
+    ``queries`` may be omitted when ``n_features`` is given — the
+    candidate lists are then generated by :func:`make_queries` from the
+    spec's own seed.
+    """
+    if queries is None:
+        if n_features is None:
+            raise ReproError(
+                "pass either the query candidate lists or n_features"
+            )
+        queries = make_queries(spec, n_features)
+
+    async def _run() -> LoadReport:
+        async with AsyncScoringService(
+            service, frontend=frontend
+        ) as front:
+            return await run_load_async(front, spec, queries)
+
+    return asyncio.run(_run())

@@ -207,3 +207,74 @@ class TestThroughput:
         )
         assert code == 0
         assert "quickscorer" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_concurrent_probe_requests_bit_identical(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--backend", "dense-network",
+                "--queries", "6", "--docs", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to sequential scoring" in out
+        assert "Serving front-end" in out
+
+
+class TestLoadtest:
+    def test_closed_loop_with_tenants(self, tmp_path, capsys):
+        out_json = tmp_path / "load.json"
+        code = main(
+            [
+                "loadtest",
+                "--mode", "closed",
+                "--workers", "4", "--requests-per-worker", "5",
+                "--distinct-queries", "8", "--docs", "4",
+                "--tenant", "web=3::0",
+                "--tenant", "limited=1:1",
+                "--slo-us", "60000",
+                "--json", str(out_json),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Load run (closed): 20 offered" in out
+        assert "limited" in out and "web" in out
+        import json
+
+        payload = json.loads(out_json.read_text())
+        assert payload["load"]["offered"] == 20
+        assert any(
+            s["name"].startswith("serving.")
+            for s in payload["metrics"]["series"]
+        )
+
+    def test_spec_file_round_trip(self, tmp_path, capsys):
+        import json
+
+        from repro.serving import LoadSpec
+
+        spec_path = tmp_path / "spec.json"
+        spec = LoadSpec(
+            mode="closed", workers=2, requests_per_worker=3,
+            n_queries=4, docs_per_query=4,
+        )
+        spec_path.write_text(json.dumps(spec.to_dict()))
+        code = main(["loadtest", "--spec", str(spec_path)])
+        assert code == 0
+        assert "6 offered" in capsys.readouterr().out
+
+    def test_tenant_parse_rejects_garbage(self):
+        import argparse
+
+        from repro.cli import _parse_tenant
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_tenant("no-equals-sign")
+        name, weight, cfg = _parse_tenant("sla=2::0:8000")
+        assert (name, weight) == ("sla", 2.0)
+        assert cfg.priority == 0 and cfg.deadline_us == 8000.0
+        assert cfg.rate_per_s is None

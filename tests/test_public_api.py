@@ -62,11 +62,14 @@ class TestPublicApi:
         # The PR-4 API additions stay importable from both repro and
         # repro.runtime; removing any of these is a breaking change.
         for name in (
+            "AsyncConfig",
+            "AsyncScoringService",
             "ParallelConfig",
             "ResilienceConfig",
             "ScoreCache",
             "ServiceConfig",
             "ShardedScorer",
+            "TenantConfig",
         ):
             assert name in repro.__all__, f"repro.__all__ dropped {name}"
             assert hasattr(repro, name)
@@ -102,8 +105,26 @@ class TestPublicApi:
         import repro.serving as serving
 
         assert set(serving.__all__) == {
+            "AdmissionController",
+            "AsyncConfig",
+            "AsyncScoringService",
             "BudgetExceededError",
+            "LoadReport",
+            "LoadSpec",
+            "RequestShedError",
             "ScoringService",
             "ServiceConfig",
             "ServiceStats",
+            "TenantConfig",
+            "TenantState",
+            "TokenBucket",
+            "build_schedule",
+            "make_queries",
+            "run_load",
+            "run_load_async",
         }
+        assert serving.__all__ == sorted(serving.__all__), (
+            "repro.serving.__all__ must stay sorted"
+        )
+        for name in serving.__all__:
+            assert hasattr(serving, name), f"repro.serving lacks {name}"

@@ -82,6 +82,60 @@ class TestConfigObjects:
                 {"retry": {"max_attempts": 2, "bogus": True}}
             )
 
+    def test_frontend_config_round_trip(self):
+        from repro.runtime import AsyncConfig, TenantConfig
+
+        config = ServiceConfig(
+            backend="dense-network",
+            frontend=AsyncConfig(
+                max_wait_us=250.0,
+                max_batch_requests=32,
+                slo_us=10_000.0,
+                tenants=(
+                    TenantConfig(
+                        name="web", rate_per_s=500.0, burst=64, priority=0
+                    ),
+                    TenantConfig(name="batch", priority=2, deadline_us=5e4),
+                ),
+            ),
+        )
+        rebuilt = ServiceConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.frontend.tenant("web").rate_per_s == 500.0
+        assert rebuilt.frontend.tenant("missing") is None
+
+    def test_frontend_from_nested_dicts(self):
+        config = ServiceConfig.from_dict(
+            {
+                "frontend": {
+                    "max_wait_us": 100.0,
+                    "tenants": [{"name": "a", "rate_per_s": 10.0}],
+                }
+            }
+        )
+        assert config.frontend.max_wait_us == 100.0
+        assert config.frontend.tenants[0].name == "a"
+        # JSON-able end to end
+        import json
+
+        assert json.loads(json.dumps(config.to_dict())) == config.to_dict()
+
+    def test_frontend_validation(self):
+        from repro.runtime import AsyncConfig, TenantConfig
+
+        with pytest.raises(ConfigError, match="rate_per_s"):
+            TenantConfig(name="t", rate_per_s=0.0)
+        with pytest.raises(ConfigError, match="priority"):
+            TenantConfig(name="t", priority=-1)
+        with pytest.raises(ConfigError, match="unknown TenantConfig"):
+            TenantConfig.from_dict({"name": "t", "rate": 1.0})
+        with pytest.raises(ConfigError, match="unique"):
+            AsyncConfig(
+                tenants=(TenantConfig(name="a"), TenantConfig(name="a"))
+            )
+        with pytest.raises(ConfigError, match="unknown AsyncConfig"):
+            AsyncConfig.from_dict({"linger_us": 5.0})
+
 
 # ----------------------------------------------------------------------
 # Deprecated kwargs

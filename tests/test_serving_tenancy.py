@@ -1,0 +1,154 @@
+"""Admission layer: token buckets, shed reasons, per-tenant state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.runtime import AsyncConfig, TenantConfig
+from repro.serving import (
+    AdmissionController,
+    RequestShedError,
+    TokenBucket,
+)
+from repro.serving.tenancy import SHED_REASONS
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, 3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2.0, 4, clock=clock)
+        for _ in range(4):
+            assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 1 token at 2/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(100.0, 2, clock=clock)
+        clock.advance(60.0)
+        assert bucket.available() == pytest.approx(2.0)
+
+    def test_clock_regression_is_harmless(self):
+        clock = FakeClock(10.0)
+        bucket = TokenBucket(1.0, 1, clock=clock)
+        assert bucket.try_acquire()
+        clock.now = 5.0  # clock goes backwards: no negative refill
+        assert not bucket.try_acquire()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError, match="rate_per_s"):
+            TokenBucket(0.0, 1)
+        with pytest.raises(ReproError, match="burst"):
+            TokenBucket(1.0, 0)
+
+
+class TestAdmissionController:
+    def _controller(self, *tenants, clock=None, **async_kwargs):
+        config = AsyncConfig(tenants=tuple(tenants), **async_kwargs)
+        return AdmissionController(config, clock=clock or FakeClock())
+
+    def test_default_tenant_is_unlimited(self):
+        controller = self._controller()
+        for _ in range(500):
+            state, reason = controller.admit("anything", queue_depth=0)
+            assert reason is None
+        assert state.admitted == 500
+
+    def test_rate_limit_reason_and_refill(self):
+        clock = FakeClock()
+        controller = self._controller(
+            TenantConfig(name="t", rate_per_s=1.0, burst=2), clock=clock
+        )
+        reasons = [
+            controller.admit("t", queue_depth=0, now=clock.now)[1]
+            for _ in range(3)
+        ]
+        assert reasons == [None, None, "rate-limit"]
+        clock.advance(1.0)
+        _, reason = controller.admit("t", queue_depth=0, now=clock.now)
+        assert reason is None
+
+    def test_global_queue_depth_shed(self):
+        controller = self._controller(max_queue_depth=4)
+        _, reason = controller.admit("t", queue_depth=4)
+        assert reason == "queue-depth"
+        _, reason = controller.admit("t", queue_depth=3)
+        assert reason is None
+
+    def test_tenant_queue_depth_shed_and_release(self):
+        controller = self._controller(
+            TenantConfig(name="t", max_queue_depth=2)
+        )
+        assert controller.admit("t", queue_depth=0)[1] is None
+        assert controller.admit("t", queue_depth=0)[1] is None
+        assert (
+            controller.admit("t", queue_depth=0)[1] == "tenant-queue-depth"
+        )
+        controller.release("t")
+        assert controller.admit("t", queue_depth=0)[1] is None
+
+    def test_queue_check_precedes_bucket(self):
+        # A full queue must not burn bucket tokens.
+        clock = FakeClock()
+        controller = self._controller(
+            TenantConfig(name="t", rate_per_s=1.0, burst=1),
+            clock=clock,
+            max_queue_depth=1,
+        )
+        _, reason = controller.admit("t", queue_depth=1, now=clock.now)
+        assert reason == "queue-depth"
+        _, reason = controller.admit("t", queue_depth=0, now=clock.now)
+        assert reason is None  # the token survived the queue-depth shed
+
+    def test_all_reasons_are_declared(self):
+        assert set(SHED_REASONS) == {
+            "rate-limit", "queue-depth", "tenant-queue-depth",
+        }
+
+    def test_summary_orders_declared_first(self):
+        controller = self._controller(
+            TenantConfig(name="z"), TenantConfig(name="a")
+        )
+        controller.admit("implicit", queue_depth=0)
+        names = [row["tenant"] for row in controller.summary()]
+        assert names == ["z", "a", "implicit"]
+
+    def test_effective_slo_prefers_tenant_deadline(self):
+        controller = self._controller(
+            TenantConfig(name="strict", deadline_us=100.0)
+        )
+        assert controller.state("strict").effective_slo_us(5000.0) == 100.0
+        assert controller.state("other").effective_slo_us(5000.0) == 5000.0
+        assert controller.state("other").effective_slo_us(None) is None
+
+
+class TestRequestShedError:
+    def test_carries_tenant_and_reason(self):
+        err = RequestShedError("web", "rate-limit")
+        assert err.tenant == "web"
+        assert err.reason == "rate-limit"
+        assert isinstance(err, ReproError)
+        assert "web" in str(err) and "rate-limit" in str(err)
