@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast verify smoke obs-smoke resilience-smoke parallel-smoke compile-smoke serving-smoke bench examples report clean
+.PHONY: install test test-fast verify smoke obs-smoke resilience-smoke parallel-smoke compile-smoke serving-smoke trace-smoke bench examples report clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -14,7 +14,7 @@ test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow" -x
 
 # Tier-1 gate: the full suite plus a bytecode compile of the library.
-verify: obs-smoke resilience-smoke parallel-smoke compile-smoke serving-smoke
+verify: obs-smoke resilience-smoke parallel-smoke compile-smoke serving-smoke trace-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(PYTHON) -m compileall -q src
 
@@ -48,6 +48,12 @@ compile-smoke:
 # accounting under a seeded multi-tenant load run.
 serving-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.serving.smoke
+
+# Request-tracing gate: disabled recorder retains nothing and never
+# changes a score; a traced load run retains the slow tail, resolves
+# every exemplar, and each trace's stage timeline tiles its wall time.
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.obs.trace_smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -23,7 +23,15 @@ from repro.utils.tables import format_table
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def emit(name: str, headers, rows, *, title: str, notes: str = "") -> str:
+def emit(
+    name: str,
+    headers,
+    rows,
+    *,
+    title: str,
+    notes: str = "",
+    extra: dict | None = None,
+) -> str:
     """Render a paper-style table, print it, and persist it.
 
     Besides the human-readable ``{name}.txt``, a machine-readable
@@ -38,6 +46,9 @@ def emit(name: str, headers, rows, *, title: str, notes: str = "") -> str:
         File stem, e.g. ``"table01"`` -> ``benchmarks/results/table01.txt``.
     notes:
         Free-form comparison against the published values.
+    extra:
+        Additional JSON-ready keys merged into the ``{name}.json``
+        document (e.g. ``bench_serving``'s retained trace sample).
     """
     text = format_table(headers, rows, title=title)
     if notes:
@@ -52,6 +63,8 @@ def emit(name: str, headers, rows, *, title: str, notes: str = "") -> str:
         "notes": notes.strip(),
         "observability": obs.snapshot_dict(),
     }
+    if extra:
+        document.update(extra)
     (RESULTS_DIR / f"{name}.json").write_text(
         render_json(document=document) + "\n", encoding="utf-8"
     )

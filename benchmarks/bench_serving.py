@@ -15,6 +15,12 @@ coalesced accounting split (`ServiceStats.record(kernel_seconds=...)`)
 keeps them apart from the kernel-time drift audit.  Every scenario's
 scores stay bit-identical to sequential scoring (gated by
 ``make serving-smoke``; not re-asserted per row here).
+
+Request tracing runs enabled throughout, and the emitted
+``BENCH_serving.json`` carries a ``trace_sample``: the slowest retained
+request's full stage timeline (queue-wait / coalesce / kernel /
+respond), so the table's p99 has one concrete, attributable example
+attached.
 """
 
 from __future__ import annotations
@@ -140,16 +146,25 @@ def test_serving_sustained_load(benchmark):
 
     rows = []
     previous_registry = None
+    trace_sample = None
+    # Request tracing on for the whole sweep: the flight recorder is
+    # reset per scenario so the emitted trace sample belongs to the
+    # last (closed-loop) scenario, same as the obs snapshot.
+    previous_recorder = obs.set_request_recorder(
+        obs.RequestRecorder(enabled=True)
+    )
     for label, spec, frontend in SCENARIOS:
         # Fresh registry per scenario: serving.* counters are cumulative
         # and per-tenant rows must not bleed across scenarios.
         previous_registry = obs.set_registry(MetricsRegistry())
+        obs.get_request_recorder().reset()
         service = ScoringService(
             models["dense-network"], ServiceConfig(backend="dense-network")
         )
         report = run_load(
             service, spec, make_queries(spec, n_features), frontend=frontend
         )
+        trace_sample = report.trace_sample
         serving = obs.serving_report()
         assert report.errors == 0, f"{label}: {report.errors} errors"
         stats = service.stats
@@ -203,11 +218,14 @@ def test_serving_sustained_load(benchmark):
             "'limited' tenant sheds at admission (rate-limit) instead of "
             "queueing; SLO misses are counted against each tenant's "
             "deadline_us or the 20 ms default.  The attached obs "
-            "snapshot covers the final (closed-loop) scenario."
+            "snapshot and trace_sample (the slowest retained request's "
+            "stage timeline) cover the final (closed-loop) scenario."
         ),
+        extra={"trace_sample": trace_sample},
     )
     if previous_registry is not None:
         obs.set_registry(previous_registry)
+    obs.set_request_recorder(previous_recorder)
 
     # Representative kernel for pytest-benchmark: one coalesced engine
     # call over 16 concurrent 10-doc requests.

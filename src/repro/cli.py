@@ -23,6 +23,10 @@ can be driven without writing Python:
 * ``repro loadtest``      — replay a seeded multi-tenant load scenario
   (Zipfian popularity, bursty open or closed-loop arrivals) against the
   front-end and report shed/SLO/latency per tenant.
+* ``repro trace``         — run a traced probe load (or read a flight
+  dump) and print per-request stage timelines by trace id.
+* ``repro top``           — live text dashboard over a replayed load:
+  serving table, SLO burn rates and the flight-recorder tail.
 
 Every command is a thin wrapper over the public API; see ``--help`` of
 each subcommand.  Global flags: ``--trace`` prints the span tree and the
@@ -680,6 +684,200 @@ def cmd_loadtest(args) -> int:
     return 0
 
 
+def _traced_probe_load(args):
+    """Run a seeded probe load with request tracing on; returns records.
+
+    Shared by ``repro trace`` (no ``--flight`` file) and the tests: a
+    fresh enabled recorder + registry + burn monitor are installed for
+    the duration, and every retained flight record is returned in its
+    ``to_dict`` form.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.probe import build_probe_models
+    from repro.runtime import AsyncConfig, ServiceConfig
+    from repro.serving import LoadSpec, ScoringService, make_queries, run_load
+
+    spec = LoadSpec(
+        mode="closed",
+        workers=args.workers,
+        requests_per_worker=args.requests_per_worker,
+        think_time_s=0.0,
+        n_users=5_000,
+        n_queries=16,
+        docs_per_query=args.docs,
+        zipf_s=1.1,
+        tenants=(("web", 3.0), ("batch", 1.0)),
+        seed=args.seed,
+    )
+    models = build_probe_models(n_queries=8, docs_per_query=16, seed=args.seed)
+    model_key = (
+        "sparse-network" if args.backend == "compiled-network" else args.backend
+    )
+    service = ScoringService(
+        models[model_key], ServiceConfig(backend=args.backend)
+    )
+    recorder = obs.RequestRecorder(enabled=True)
+    previous_recorder = obs.set_request_recorder(recorder)
+    previous_registry = obs.set_registry(MetricsRegistry())
+    previous_monitor = obs.set_slo_monitor(obs.SloMonitor())
+    try:
+        run_load(
+            service,
+            spec,
+            make_queries(spec, models["dataset"].features.shape[1]),
+            frontend=AsyncConfig(max_wait_us=300.0, slo_us=args.slo_us),
+        )
+        return [record.to_dict() for record in recorder.flight.records()]
+    finally:
+        obs.set_request_recorder(previous_recorder)
+        obs.set_registry(previous_registry)
+        obs.set_slo_monitor(previous_monitor)
+
+
+def cmd_trace(args) -> int:
+    """Print per-request stage timelines from the flight recorder.
+
+    Without ``--flight``, a seeded probe load runs with request tracing
+    enabled and its retained records are inspected; with ``--flight``,
+    records come from a JSON dump (a ``repro loadtest --json`` /
+    ``BENCH_serving.json`` document with a ``trace_sample``, a flight
+    dump with a ``records`` list, or a bare list).  A trace-id prefix
+    argument narrows the output to matching traces; otherwise the
+    slowest ``--slowest`` retained requests render in full.
+    """
+    import json
+
+    from repro.obs.flight import render_record
+
+    if args.flight:
+        with open(args.flight, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        if isinstance(data, list):
+            records = data
+        elif isinstance(data, dict) and "records" in data:
+            records = data["records"]
+        elif isinstance(data, dict) and data.get("trace_sample"):
+            records = [data["trace_sample"]]
+        elif isinstance(data, dict) and (
+            data.get("load", {}) or {}
+        ).get("trace_sample"):
+            records = [data["load"]["trace_sample"]]
+        else:
+            log.error("no trace records found in %s", args.flight)
+            return 1
+    else:
+        records = _traced_probe_load(args)
+    if args.trace_id:
+        matches = [
+            r
+            for r in records
+            if str(r.get("trace_id", "")).startswith(args.trace_id)
+        ]
+        if not matches:
+            log.error(
+                "no retained trace matches %r (have %d records)",
+                args.trace_id,
+                len(records),
+            )
+            return 1
+    else:
+        matches = sorted(
+            records, key=lambda r: -(r.get("wall_us") or 0.0)
+        )[: args.slowest]
+    for record in matches:
+        log.info("%s", render_record(record))
+        log.info("")
+    log.info(
+        "%d trace(s) shown of %d retained", len(matches), len(records)
+    )
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Live text dashboard over a replayed load scenario.
+
+    Builds a probe service, replays an open-loop load against the async
+    front-end, and renders ``--frames`` dashboard frames while it runs:
+    the per-tenant serving table, the SLO burn-rate table, and the
+    flight recorder's retained tail, plus a final frame after drain.
+    """
+    import asyncio
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.probe import build_probe_models
+    from repro.runtime import AsyncConfig, ServiceConfig
+    from repro.serving import (
+        AsyncScoringService,
+        LoadSpec,
+        ScoringService,
+        make_queries,
+    )
+    from repro.serving.loadgen import run_load_async
+
+    spec = LoadSpec(
+        mode="open",
+        duration_s=args.duration,
+        rate_per_s=args.rate,
+        burst_factor=2.0,
+        burst_period_s=max(args.duration / 4.0, 1e-3),
+        n_users=10_000,
+        n_queries=32,
+        docs_per_query=args.docs,
+        zipf_s=1.1,
+        tenants=(("web", 3.0), ("batch", 1.0)),
+        seed=args.seed,
+    )
+    models = build_probe_models(n_queries=8, docs_per_query=16, seed=args.seed)
+    model_key = (
+        "sparse-network" if args.backend == "compiled-network" else args.backend
+    )
+    service = ScoringService(
+        models[model_key], ServiceConfig(backend=args.backend)
+    )
+    queries = make_queries(spec, models["dataset"].features.shape[1])
+    recorder = obs.RequestRecorder(enabled=True)
+    previous_recorder = obs.set_request_recorder(recorder)
+    previous_registry = obs.set_registry(MetricsRegistry())
+    previous_monitor = obs.set_slo_monitor(obs.SloMonitor())
+
+    def _frame(label, front) -> str:
+        lines = [
+            f"--- repro top [{label}] "
+            f"queue depth {front.summary()['queue_depth']} ---",
+            obs.serving_report().render(),
+            "",
+            obs.slo_burn_report().render(),
+            "",
+            recorder.flight.render(),
+        ]
+        return "\n".join(lines)
+
+    async def _run():
+        async with AsyncScoringService(
+            service, frontend=AsyncConfig(max_wait_us=300.0, slo_us=args.slo_us)
+        ) as front:
+            load = asyncio.ensure_future(
+                run_load_async(front, spec, queries)
+            )
+            frame = 0
+            while not load.done() and frame < args.frames:
+                await asyncio.sleep(args.interval)
+                frame += 1
+                log.info("%s\n", _frame(f"frame {frame}", front))
+            report = await load
+            log.info("%s\n", _frame("final", front))
+            return report
+
+    try:
+        report = asyncio.run(_run())
+        log.info("%s", report.render())
+        return 0
+    finally:
+        obs.set_request_recorder(previous_recorder)
+        obs.set_registry(previous_registry)
+        obs.set_slo_monitor(previous_monitor)
+
+
 def _measure_plain(scorer, features, repeats: int) -> list[float]:
     """Best-of-N wall times of unsharded scoring (list for ``min``)."""
     import time as _time
@@ -1039,6 +1237,78 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_loadtest)
+
+    p = sub.add_parser(
+        "trace",
+        help="print per-request stage timelines from a traced load or "
+        "a flight dump",
+    )
+    p.add_argument(
+        "trace_id",
+        nargs="?",
+        help="trace-id prefix to look up (default: show the slowest)",
+    )
+    p.add_argument(
+        "--flight",
+        help="read records from a JSON dump instead of running a load",
+    )
+    p.add_argument(
+        "--slowest", type=int, default=3,
+        help="how many of the slowest traces to render (no trace id)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=(
+            "quickscorer", "dense-network", "sparse-network",
+            "compiled-network",
+        ),
+        default="dense-network",
+    )
+    p.add_argument("--workers", type=int, default=8)
+    p.add_argument("--requests-per-worker", type=int, default=8)
+    p.add_argument("--docs", type=int, default=10)
+    p.add_argument(
+        "--slo-us", type=float, default=5_000.0,
+        help="enqueue->response SLO the traced load is judged against",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "top",
+        help="live text dashboard over a replayed load: serving table, "
+        "SLO burn rates, flight-recorder tail",
+    )
+    p.add_argument(
+        "--backend",
+        choices=(
+            "quickscorer", "dense-network", "sparse-network",
+            "compiled-network",
+        ),
+        default="dense-network",
+    )
+    p.add_argument(
+        "--duration", type=float, default=2.0,
+        help="seconds of open-loop load to replay",
+    )
+    p.add_argument(
+        "--rate", type=float, default=300.0, help="offered req/s"
+    )
+    p.add_argument("--docs", type=int, default=10)
+    p.add_argument(
+        "--interval", type=float, default=0.5,
+        help="seconds between dashboard frames",
+    )
+    p.add_argument(
+        "--frames", type=int, default=10,
+        help="at most this many frames before the final one",
+    )
+    p.add_argument(
+        "--slo-us", type=float, default=5_000.0,
+        help="enqueue->response SLO for the burn-rate table",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_top)
 
     return parser
 

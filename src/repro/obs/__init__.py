@@ -22,7 +22,17 @@ One light-weight layer used across the training and serving stack:
 * :mod:`repro.obs.serving` — per-tenant admission/shed/SLO-miss/latency
   series and coalesced-batch shapes fed by the asyncio front-end
   (:mod:`repro.serving.frontend`), read back by
-  :func:`serving_report`.
+  :func:`serving_report`;
+* :mod:`repro.obs.requests` — per-request trace ids and stage timelines
+  (:class:`RequestContext`) propagated via ``contextvars`` across the
+  async front-end, batcher and engine-executor thread, owned by the
+  :class:`RequestRecorder` (disabled by default, true no-op);
+* :mod:`repro.obs.flight` — bounded flight recorder with tail-based
+  retention (slowest-N + all shed + all errored) and latency-bucket
+  exemplars linking histograms back to trace ids;
+* :mod:`repro.obs.slo` — per-tenant multi-window SLO burn-rate
+  monitoring (fast/slow alert windows) fed by
+  :func:`record_response`, read back by :func:`slo_burn_report`.
 
 Typical use::
 
@@ -78,6 +88,36 @@ from repro.obs.export import (
     render_trace_tree,
     snapshot_dict,
 )
+from repro.obs.flight import (
+    Exemplar,
+    ExemplarStore,
+    FlightRecorder,
+    render_record,
+)
+from repro.obs.requests import (
+    RequestContext,
+    RequestRecorder,
+    StageEvent,
+    activate,
+    activate_batch,
+    active_requests,
+    annotate_requests,
+    current_request,
+    enable_request_tracing,
+    get_request_recorder,
+    request_tracing_enabled,
+    set_request_recorder,
+)
+from repro.obs.slo import (
+    BurnRow,
+    SloBurnReport,
+    SloMonitor,
+    SloPolicy,
+    get_slo_monitor,
+    record_slo_event,
+    set_slo_monitor,
+    slo_burn_report,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -103,29 +143,47 @@ from repro.obs.tracer import (
 
 __all__ = [
     "BackendRow",
+    "BurnRow",
     "ChainRow",
     "CompileReport",
     "CompileRow",
     "Counter",
     "DriftReport",
     "DriftRow",
+    "Exemplar",
+    "ExemplarStore",
+    "FlightRecorder",
     "Gauge",
     "MetricError",
     "MetricsRegistry",
     "ParallelReport",
     "ParallelRow",
+    "RequestContext",
+    "RequestRecorder",
     "ResilienceReport",
     "ServingReport",
+    "SloBurnReport",
+    "SloMonitor",
+    "SloPolicy",
     "Span",
+    "StageEvent",
     "StreamingHistogram",
     "TenantRow",
     "Tracer",
+    "activate",
+    "activate_batch",
+    "active_requests",
+    "annotate_requests",
     "compile_report",
     "counter",
+    "current_request",
     "drift_report",
+    "enable_request_tracing",
     "enable_tracing",
     "gauge",
     "get_registry",
+    "get_request_recorder",
+    "get_slo_monitor",
     "get_tracer",
     "histogram",
     "parallel_report",
@@ -142,13 +200,19 @@ __all__ = [
     "record_retry",
     "record_served",
     "record_shed",
+    "record_slo_event",
     "render_json",
     "render_prometheus",
+    "render_record",
     "render_trace_tree",
+    "request_tracing_enabled",
     "resilience_report",
     "serving_report",
     "set_registry",
+    "set_request_recorder",
+    "set_slo_monitor",
     "set_tracer",
+    "slo_burn_report",
     "snapshot_dict",
     "span",
     "trace",

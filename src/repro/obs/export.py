@@ -43,6 +43,17 @@ def _prom_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """A label value escaped per the exposition format.
+
+    Backslash first, then quote and newline — otherwise the escapes
+    themselves get re-escaped.
+    """
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
 def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
     merged = dict(labels)
     if extra:
@@ -50,7 +61,8 @@ def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None) ->
     if not merged:
         return ""
     body = ",".join(
-        f'{prometheus_name(k)}="{str(v)}"' for k, v in sorted(merged.items())
+        f'{prometheus_name(k)}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(merged.items())
     )
     return "{" + body + "}"
 

@@ -123,6 +123,67 @@ class StreamingHistogram:
         for v in values:
             self.add(v)
 
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Fold ``other``'s distribution into this histogram in place.
+
+        Count / sum / min / max merge exactly.  The reservoirs merge by
+        **weighted sampling**: when the pooled streams fit in
+        ``capacity`` the merged reservoir is the exact pooled sample,
+        otherwise ``capacity`` values are drawn without replacement from
+        the two reservoirs, each reservoir value weighted by the number
+        of stream observations it represents (``count_i / filled_i``) —
+        so a reservoir standing in for a million observations outweighs
+        one standing in for a hundred, and merged percentiles track the
+        pooled distribution.  Per-worker / per-tenant histograms can
+        thereby be combined into fleet-level reports without unbounded
+        memory.  Returns ``self``.
+        """
+        if not isinstance(other, StreamingHistogram):
+            raise MetricError(
+                f"can only merge StreamingHistogram, got {type(other).__name__}"
+            )
+        if other is self:
+            raise MetricError("cannot merge a histogram into itself")
+        # Lock ordering by id() — merge may be called concurrently from
+        # both directions on the same pair.
+        first, second = sorted((self, other), key=id)
+        with first._lock, second._lock:
+            o_filled = other._reservoir[
+                : min(other._count, other.capacity)
+            ].copy()
+            o_count, o_sum = other._count, other._sum
+            o_min, o_max = other._min, other._max
+            if not o_count:
+                return self
+            s_filled = self._reservoir[: min(self._count, self.capacity)]
+            pooled = np.concatenate([s_filled, o_filled])
+            if self._count + o_count <= self.capacity:
+                # Both reservoirs are exact and fit: keep everything.
+                self._reservoir[: len(pooled)] = pooled
+            else:
+                weights = np.concatenate(
+                    [
+                        np.full(
+                            len(s_filled),
+                            (self._count / len(s_filled)) if len(s_filled) else 0.0,
+                        ),
+                        np.full(len(o_filled), o_count / len(o_filled)),
+                    ]
+                )
+                take = min(self.capacity, len(pooled))
+                chosen = self._rng.choice(
+                    len(pooled),
+                    size=take,
+                    replace=False,
+                    p=weights / weights.sum(),
+                )
+                self._reservoir[:take] = pooled[chosen]
+            self._count += o_count
+            self._sum += o_sum
+            self._min = min(self._min, o_min)
+            self._max = max(self._max, o_max)
+        return self
+
     # ------------------------------------------------------------------
     @property
     def count(self) -> int:

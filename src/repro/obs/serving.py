@@ -32,6 +32,7 @@ import math
 from dataclasses import dataclass
 
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.slo import record_slo_event
 
 
 def record_admitted(
@@ -61,11 +62,17 @@ def record_response(
 
     ``latency_us`` is enqueue→response wall time; when ``slo_us`` is
     given and overrun, the tenant's ``serving.slo_miss`` counter ticks.
+    Every SLO-accounted response (hit or miss) also feeds the default
+    :class:`~repro.obs.slo.SloMonitor`, which derives the multi-window
+    burn rates the cumulative counter cannot express.
     """
     registry = registry or get_registry()
     registry.histogram("serving.latency_us", tenant=tenant).add(latency_us)
-    if slo_us is not None and latency_us > slo_us:
-        registry.counter("serving.slo_miss", tenant=tenant).inc()
+    if slo_us is not None:
+        miss = latency_us > slo_us
+        record_slo_event(tenant, miss)
+        if miss:
+            registry.counter("serving.slo_miss", tenant=tenant).inc()
 
 
 def record_batch(

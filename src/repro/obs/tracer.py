@@ -22,6 +22,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.exceptions import ReproError
+
 
 @dataclass
 class Span:
@@ -39,13 +41,30 @@ class Span:
 
     @property
     def duration_s(self) -> float:
-        """Elapsed seconds (up to now for a still-open span)."""
-        end = self.end_s if self.end_s is not None else time.perf_counter()
-        return end - self.start_s
+        """Elapsed seconds; raises :class:`ReproError` while unfinished.
+
+        An open span has no duration — silently reading the wall clock
+        here produced values that changed between reads and leaked into
+        exported snapshots.  Renderers that want a live reading use
+        :meth:`elapsed_s` explicitly.
+        """
+        if self.end_s is None:
+            raise ReproError(
+                f"span {self.name!r} is still open; duration is undefined "
+                "(use elapsed_s() for a live reading)"
+            )
+        return self.end_s - self.start_s
 
     @property
     def duration_us(self) -> float:
+        """Elapsed microseconds; raises while the span is unfinished."""
         return self.duration_s * 1e6
+
+    def elapsed_s(self, now: float | None = None) -> float:
+        """Seconds from start to ``now`` (or the clock) — open-span safe."""
+        if self.end_s is not None:
+            return self.end_s - self.start_s
+        return (now if now is not None else time.perf_counter()) - self.start_s
 
     def set(self, **attrs: Any) -> "Span":
         """Attach attributes; returns ``self`` for chaining."""
@@ -54,10 +73,16 @@ class Span:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        """JSON-ready representation of this span and its subtree."""
+        """JSON-ready representation of this span and its subtree.
+
+        Unfinished spans export ``duration_us: None`` rather than a
+        wall-clock-dependent reading.
+        """
         return {
             "name": self.name,
-            "duration_us": round(self.duration_us, 3),
+            "duration_us": (
+                round(self.duration_us, 3) if self.finished else None
+            ),
             "finished": self.finished,
             "attrs": dict(self.attrs),
             "children": [c.to_dict() for c in self.children],
@@ -70,7 +95,7 @@ class Span:
         mark = "" if self.finished else "  (open)"
         lines = [
             f"{'  ' * indent}{self.name:<{max(1, 36 - 2 * indent)}} "
-            f"{self.duration_us:>12.1f} us{suffix}{mark}"
+            f"{self.elapsed_s() * 1e6:>12.1f} us{suffix}{mark}"
         ]
         for child in self.children:
             lines.extend(child.tree_lines(indent + 1))

@@ -28,6 +28,7 @@ goes through:
 
 from __future__ import annotations
 
+import contextlib
 import math
 import threading
 import time
@@ -38,6 +39,7 @@ import numpy as np
 from repro import obs
 from repro.exceptions import ReproError
 from repro.obs.metrics import StreamingHistogram
+from repro.obs.requests import activate_batch
 from repro.runtime.base import Scorer
 from repro.utils.validation import check_array_2d
 
@@ -309,6 +311,7 @@ class BatchEngine:
         *,
         enqueue_times=None,
         clock=time.perf_counter,
+        request_contexts=None,
     ) -> list[np.ndarray]:
         """Score several requests as **one cross-request micro-batch**.
 
@@ -333,6 +336,17 @@ class BatchEngine:
 
         Zero-document requests yield empty score arrays and touch no
         stats.  Returns one float64 score vector per request, in order.
+
+        ``request_contexts`` (optional, one
+        :class:`~repro.obs.requests.RequestContext` or ``None`` per
+        request) is the request-tracing hook: the engine stamps each
+        context's ``coalesce`` (executor handoff + concatenation) and
+        ``kernel`` stages with ``clock``, and binds the live contexts
+        into the calling thread's context
+        (:func:`~repro.obs.requests.activate_batch`) for the duration
+        of the kernel so deeper layers — sharded scorer, compiled plans
+        — can annotate them without parameter threading.  Scores are
+        unaffected.
         """
         items: list[np.ndarray] = []
         sizes: list[int] = []
@@ -347,26 +361,58 @@ class BatchEngine:
                 f"got {len(enqueue_times)} enqueue times for "
                 f"{len(items)} requests"
             )
+        if request_contexts is not None and len(request_contexts) != len(items):
+            raise ReproError(
+                f"got {len(request_contexts)} request contexts for "
+                f"{len(items)} requests"
+            )
         total = sum(sizes)
         if total == 0:
             return [np.zeros(0, dtype=np.float64) for _ in items]
         live = [x for x in items if len(x)]
+        live_contexts: tuple = ()
+        if request_contexts is not None:
+            live_contexts = tuple(
+                ctx
+                for ctx, x in zip(request_contexts, items)
+                if ctx is not None and len(x)
+            )
         with obs.span(
             "engine.coalesced",
             backend=self.scorer.backend,
             requests=len(items),
         ) as sp:
             start = clock()
-            if getattr(self.scorer, "batchable", True):
-                stacked = live[0] if len(live) == 1 else np.concatenate(live)
-                flat = self._score_chunked(stacked)
-            else:
-                flat = np.concatenate(
-                    [
-                        np.asarray(self.scorer.score(x), dtype=np.float64)
-                        for x in live
-                    ]
+            for ctx in live_contexts:
+                # Coalesce covers drain→kernel-start: the executor
+                # handoff plus batch assembly, anchored to the previous
+                # stage so the timeline stays gap-free.
+                ctx.stage(
+                    "coalesce",
+                    ctx.last_stage_end(start),
+                    start,
+                    requests=len(items),
                 )
+            ctx_scope = (
+                activate_batch(live_contexts)
+                if live_contexts
+                else contextlib.nullcontext()
+            )
+            with ctx_scope:
+                if getattr(self.scorer, "batchable", True):
+                    stacked = (
+                        live[0] if len(live) == 1 else np.concatenate(live)
+                    )
+                    flat = self._score_chunked(stacked)
+                else:
+                    flat = np.concatenate(
+                        [
+                            np.asarray(
+                                self.scorer.score(x), dtype=np.float64
+                            )
+                            for x in live
+                        ]
+                    )
             end = clock()
             kernel = max(end - start, 0.0)
             sp.set(docs=total, us=round(kernel * 1e6, 1))
@@ -379,6 +425,17 @@ class BatchEngine:
             out.append(flat[offset : offset + n])
             offset += n
             kernel_share = kernel * (n / total)
+            if request_contexts is not None:
+                ctx = request_contexts[index]
+                if ctx is not None:
+                    ctx.stage(
+                        "kernel",
+                        start,
+                        end,
+                        share_us=round(kernel_share * 1e6, 3),
+                        batch_docs=total,
+                        backend=self.scorer.backend,
+                    )
             if enqueue_times is None:
                 seconds = kernel_share
             else:

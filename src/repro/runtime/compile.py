@@ -64,6 +64,7 @@ from repro.matmul.csr import CsrMatrix
 from repro.nn.layers import Dropout, Linear, ReLU6
 from repro.nn.network import FeedForwardNetwork
 from repro.obs.compile import record_compile
+from repro.obs.requests import active_requests, annotate_requests
 from repro.obs.tracer import span
 
 try:  # the zero-allocation SpMM entry point; gated like repro.matmul.csr
@@ -359,6 +360,15 @@ class InferencePlan:
                 f"expected {self.input_dim} features, got {x.shape[1]}"
             )
         out = np.empty(len(x), dtype=np.float64)
+        # Request tracing: stamp the plan identity onto whichever
+        # coalesced requests are live in this thread's context.  The
+        # kernel string is only built when a traced request is present.
+        if active_requests():
+            annotate_requests(
+                plan=self.fingerprint[:12],
+                plan_dtype=self.dtype_name,
+                plan_kernels="/".join(lp.kernel for lp in self.layers),
+            )
         with span(
             "plan.execute", dtype=self.dtype_name, rows=len(x)
         ):

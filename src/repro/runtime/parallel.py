@@ -511,6 +511,7 @@ class ShardedScorer:
     def score(self, features) -> np.ndarray:
         """Score one request shard-parallel; bit-identical to unsharded."""
         from repro.obs.parallel import record_parallel_request
+        from repro.obs.requests import annotate_requests
 
         if self._closed:
             raise PoolClosedError(
@@ -530,6 +531,7 @@ class ShardedScorer:
             record_parallel_request(
                 self.backend, n_shards=1, balance=1.0, utilization=1.0
             )
+            annotate_requests(shards=1, pool_utilization=1.0)
             return scores
         out = np.empty(n, dtype=np.float64)
         hits = misses = 0
@@ -568,6 +570,16 @@ class ShardedScorer:
             utilization=utilization,
             cache_hits=hits,
             cache_misses=misses if self.cache is not None else 0,
+        )
+        # Request tracing: attribute the shard fan-out to whichever
+        # coalesced requests are live in this thread's context (no-op
+        # outside a traced engine call).
+        annotate_requests(
+            shards=plan.n_shards if plan is not None else 0,
+            pool_utilization=(
+                round(utilization, 3) if math.isfinite(utilization) else None
+            ),
+            cache_hits=hits,
         )
         return out
 

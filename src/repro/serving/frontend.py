@@ -44,6 +44,16 @@ Queueing and QoS:
   (``deadline_us``, falling back to ``AsyncConfig.slo_us``); overruns
   are served but counted as ``serving.slo_miss``.
 
+When the default :class:`~repro.obs.requests.RequestRecorder` is
+enabled, every request additionally carries a
+:class:`~repro.obs.requests.RequestContext`: the front-end stamps the
+``admission`` / ``queue-wait`` / ``respond`` stages with its own clock,
+the engine stamps ``coalesce`` / ``kernel`` (the contexts ride into the
+executor thread via ``score_coalesced(request_contexts=...)``), and the
+finished record lands in the flight recorder.  While the recorder is
+disabled (the default) none of this allocates — the per-request branch
+is one attribute check.
+
 Use it as an async context manager::
 
     service = ScoringService(student, ServiceConfig(frontend=AsyncConfig(
@@ -81,7 +91,7 @@ __all__ = ["AsyncScoringService"]
 class _Pending:
     """One admitted request waiting in the queue."""
 
-    __slots__ = ("features", "tenant", "state", "enqueued_at", "future")
+    __slots__ = ("features", "tenant", "state", "enqueued_at", "future", "ctx")
 
     def __init__(
         self,
@@ -90,12 +100,14 @@ class _Pending:
         state: TenantState,
         enqueued_at: float,
         future: asyncio.Future,
+        ctx=None,
     ) -> None:
         self.features = features
         self.tenant = tenant
         self.state = state
         self.enqueued_at = enqueued_at
         self.future = future
+        self.ctx = ctx
 
 
 class AsyncScoringService:
@@ -145,6 +157,7 @@ class AsyncScoringService:
         self._queues: dict[int, deque[_Pending]] = {}
         self._queued = 0
         self._batches = 0
+        self._batch_seq = 0
         self._coalesced_requests = 0
         self._task: asyncio.Task | None = None
         self._executor: ThreadPoolExecutor | None = None
@@ -213,15 +226,36 @@ class AsyncScoringService:
         x = np.asarray(features, dtype=np.float64)
         if not (x.ndim == 2 and x.shape[0] == 0):
             x = check_array_2d(x, "features")
+        recorder = obs.get_request_recorder()
+        ctx = (
+            recorder.begin(tenant, n_docs=len(x), now_s=self._clock())
+            if recorder.enabled
+            else None
+        )
         state, reason = self.admission.admit(
             tenant, queue_depth=self._queued, now=self._clock()
         )
         if reason is not None:
             obs.record_shed(tenant, reason)
+            if ctx is not None:
+                ctx.annotate(reason=reason)
+                recorder.finish(ctx, status="shed", now_s=self._clock())
             raise RequestShedError(tenant, reason)
         obs.record_admitted(tenant)
         future = asyncio.get_running_loop().create_future()
-        pending = _Pending(x, tenant, state, self._clock(), future)
+        enqueued_at = self._clock()
+        pending = _Pending(x, tenant, state, enqueued_at, future, ctx)
+        if ctx is not None:
+            # The enqueue timestamp anchors the stage timeline; the
+            # arrival→enqueue admission work is recorded but excluded
+            # from the enqueue→response sum.
+            ctx.enqueued_s = enqueued_at
+            ctx.stage(
+                "admission",
+                ctx.created_s,
+                enqueued_at,
+                priority=state.config.priority,
+            )
         self._queues.setdefault(state.config.priority, deque()).append(
             pending
         )
@@ -253,6 +287,7 @@ class AsyncScoringService:
         """Pop the next coalesced batch: priority order, FIFO within."""
         batch: list[_Pending] = []
         docs = 0
+        drained_at = self._clock()
         for priority in sorted(self._queues):
             queue = self._queues[priority]
             while queue:
@@ -265,6 +300,10 @@ class AsyncScoringService:
                 pending = queue.popleft()
                 self._queued -= 1
                 self.admission.release(pending.tenant)
+                if pending.ctx is not None:
+                    pending.ctx.stage(
+                        "queue-wait", pending.enqueued_at, drained_at
+                    )
                 batch.append(pending)
                 docs += n
         return batch
@@ -272,16 +311,31 @@ class AsyncScoringService:
     async def _execute(self, batch: list[_Pending]) -> None:
         features = [pending.features for pending in batch]
         enqueue_times = [pending.enqueued_at for pending in batch]
+        contexts = [pending.ctx for pending in batch]
+        traced = any(ctx is not None for ctx in contexts)
+        self._batch_seq += 1
+        if traced:
+            for ctx in contexts:
+                if ctx is not None:
+                    ctx.batch_id = self._batch_seq
         loop = asyncio.get_running_loop()
         try:
             results = await loop.run_in_executor(
                 self._executor,
                 lambda: self.engine.score_coalesced(
-                    features, enqueue_times=enqueue_times, clock=self._clock
+                    features,
+                    enqueue_times=enqueue_times,
+                    clock=self._clock,
+                    request_contexts=contexts if traced else None,
                 ),
             )
         except Exception as exc:  # noqa: BLE001 — relayed to each caller
+            now = self._clock()
+            recorder = obs.get_request_recorder()
             for pending in batch:
+                if pending.ctx is not None:
+                    pending.ctx.annotate(error=type(exc).__name__)
+                    recorder.finish(pending.ctx, status="error", now_s=now)
                 if not pending.future.done():
                     pending.future.set_exception(exc)
             return
@@ -293,13 +347,27 @@ class AsyncScoringService:
             n_docs=sum(len(f) for f in features),
             queue_depth=self._queued,
         )
+        recorder = obs.get_request_recorder()
         for pending, scores in zip(batch, results):
             latency_us = max(now - pending.enqueued_at, 0.0) * 1e6
             slo_us = pending.state.effective_slo_us(self.frontend.slo_us)
+            miss = slo_us is not None and latency_us > slo_us
             obs.record_response(pending.tenant, latency_us, slo_us=slo_us)
             pending.state.served += 1
-            if slo_us is not None and latency_us > slo_us:
+            if miss:
                 pending.state.slo_misses += 1
+            if pending.ctx is not None:
+                ctx = pending.ctx
+                # Respond picks up where the kernel stage ended, so the
+                # four post-enqueue stages tile enqueue→response exactly.
+                ctx.stage("respond", ctx.last_stage_end(now), now)
+                recorder.finish(
+                    ctx,
+                    status="ok",
+                    now_s=now,
+                    slo_us=slo_us,
+                    slo_miss=miss,
+                )
             if not pending.future.done():
                 pending.future.set_result(scores)
 

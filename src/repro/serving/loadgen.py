@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import ConfigError, ReproError
 from repro.serving.frontend import AsyncScoringService
 from repro.serving.tenancy import RequestShedError
@@ -156,7 +157,13 @@ class LoadSpec:
 
 @dataclass
 class LoadReport:
-    """Client-side outcome counts of one load run."""
+    """Client-side outcome counts of one load run.
+
+    ``trace_sample`` carries the slowest retained request trace of the
+    run (its :meth:`~repro.obs.requests.RequestContext.to_dict` form)
+    when request tracing was enabled, ``None`` otherwise — the hook
+    benchmarks use to ship one concrete tail trace with their tables.
+    """
 
     spec: LoadSpec
     offered: int = 0
@@ -165,6 +172,7 @@ class LoadReport:
     wall_s: float = 0.0
     served_by_tenant: dict[str, int] = field(default_factory=dict)
     shed_by_tenant: dict[str, dict[str, int]] = field(default_factory=dict)
+    trace_sample: dict | None = None
 
     @property
     def shed(self) -> int:
@@ -197,6 +205,7 @@ class LoadReport:
                 tenant: dict(reasons)
                 for tenant, reasons in self.shed_by_tenant.items()
             },
+            "trace_sample": self.trace_sample,
         }
 
     def render(self) -> str:
@@ -373,6 +382,11 @@ async def run_load_async(
 
         await asyncio.gather(*(_worker(mine) for mine in per_worker))
     report.wall_s = time.perf_counter() - start
+    recorder = obs.get_request_recorder()
+    if recorder.enabled:
+        slowest = recorder.flight.slowest_records(1)
+        if slowest:
+            report.trace_sample = slowest[0].to_dict()
     return report
 
 

@@ -59,21 +59,26 @@ def rng():
 
 @pytest.fixture()
 def obs_clean():
-    """A pristine (disabled) tracer + empty registry, restored after.
+    """Pristine process-wide observability state, restored after.
 
-    Observability state is process-wide; tests that enable tracing or
-    assert on metric series use this fixture so they neither see nor
-    leave behind another test's spans and counters.
+    Swaps in a disabled tracer, an empty registry, a disabled request
+    recorder and a fresh SLO monitor; tests that enable tracing or
+    assert on metric/trace/burn series use this fixture so they neither
+    see nor leave behind another test's spans, counters or records.
     """
     from repro import obs
 
     previous_tracer = obs.set_tracer(obs.Tracer(enabled=False))
     previous_registry = obs.set_registry(obs.MetricsRegistry())
+    previous_recorder = obs.set_request_recorder(obs.RequestRecorder())
+    previous_monitor = obs.set_slo_monitor(obs.SloMonitor())
     try:
         yield obs
     finally:
         obs.set_tracer(previous_tracer)
         obs.set_registry(previous_registry)
+        obs.set_request_recorder(previous_recorder)
+        obs.set_slo_monitor(previous_monitor)
 
 
 @pytest.fixture(scope="session")

@@ -278,3 +278,105 @@ class TestLoadtest:
         assert (name, weight) == ("sla", 2.0)
         assert cfg.priority == 0 and cfg.deadline_us == 8000.0
         assert cfg.rate_per_s is None
+
+
+class TestTrace:
+    def test_probe_load_renders_slowest_timelines(self, capsys):
+        code = main(
+            [
+                "trace",
+                "--workers", "4", "--requests-per-worker", "4",
+                "--docs", "6", "--slowest", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace " in out and "status=ok" in out
+        # A full timeline renders every post-enqueue stage.
+        for stage in ("queue-wait", "coalesce", "kernel", "respond"):
+            assert stage in out
+        assert "2 trace(s) shown" in out
+
+    def test_flight_file_and_prefix_match(self, tmp_path, capsys):
+        import json
+
+        records = [
+            {
+                "trace_id": "aaaa000011112222",
+                "tenant": "web",
+                "status": "ok",
+                "n_docs": 4,
+                "batch_id": 1,
+                "wall_us": 1500.0,
+                "attrs": {},
+                "stages": [
+                    {
+                        "name": "kernel",
+                        "start_us": 0.0,
+                        "duration_us": 1500.0,
+                        "attrs": {"backend": "dense-network"},
+                    }
+                ],
+            },
+            {
+                "trace_id": "bbbb000011112222",
+                "tenant": "batch",
+                "status": "shed",
+                "n_docs": 4,
+                "wall_us": 10.0,
+                "attrs": {"reason": "rate-limit"},
+                "stages": [],
+            },
+        ]
+        path = tmp_path / "flight.json"
+        path.write_text(json.dumps({"records": records}))
+        code = main(["trace", "aaaa", "--flight", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aaaa000011112222" in out and "bbbb" not in out
+        assert "backend=dense-network" in out
+
+    def test_flight_file_trace_sample_form(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bench.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "trace_sample": {
+                        "trace_id": "cafecafecafecafe",
+                        "tenant": "web",
+                        "status": "ok",
+                        "wall_us": 900.0,
+                        "stages": [],
+                    }
+                }
+            )
+        )
+        assert main(["trace", "--flight", str(path)]) == 0
+        assert "cafecafecafecafe" in capsys.readouterr().out
+
+    def test_unmatched_prefix_fails(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "flight.json"
+        path.write_text(json.dumps([]))
+        assert main(["trace", "zzzz", "--flight", str(path)]) == 1
+
+
+class TestTop:
+    def test_renders_frames_and_final_report(self, capsys):
+        code = main(
+            [
+                "top",
+                "--duration", "0.3", "--rate", "150",
+                "--docs", "6", "--interval", "0.05", "--frames", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro top [final]" in out
+        assert "Serving front-end" in out
+        assert "SLO burn" in out
+        assert "Flight recorder" in out
+        assert "Load run (open)" in out

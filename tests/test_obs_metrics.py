@@ -5,6 +5,8 @@ import threading
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs.export import (
     prometheus_name,
@@ -107,6 +109,97 @@ class TestStreamingHistogram:
             StreamingHistogram(capacity=0)
 
 
+class TestStreamingHistogramMerge:
+    def test_exact_when_pooled_fits(self):
+        a = StreamingHistogram(capacity=128)
+        b = StreamingHistogram(capacity=128)
+        a.extend([1.0, 2.0, 3.0])
+        b.extend([10.0, 20.0])
+        assert a.merge(b) is a
+        assert a.count == 5
+        assert a.sum == pytest.approx(36.0)
+        assert a.min == 1.0 and a.max == 20.0
+        assert a.percentile(50) == pytest.approx(
+            np.percentile([1.0, 2.0, 3.0, 10.0, 20.0], 50)
+        )
+        # The donor is untouched.
+        assert b.count == 2 and b.sum == pytest.approx(30.0)
+
+    def test_merge_empty_is_noop(self):
+        a = StreamingHistogram()
+        a.extend([1.0, 2.0])
+        a.merge(StreamingHistogram())
+        assert a.count == 2 and a.sum == pytest.approx(3.0)
+
+    def test_merge_into_empty(self):
+        a = StreamingHistogram()
+        b = StreamingHistogram()
+        b.extend([4.0, 5.0])
+        a.merge(b)
+        assert a.count == 2 and a.min == 4.0 and a.max == 5.0
+
+    def test_rejects_non_histogram_and_self(self):
+        h = StreamingHistogram()
+        with pytest.raises(MetricError, match="StreamingHistogram"):
+            h.merge(Counter())
+        with pytest.raises(MetricError, match="itself"):
+            h.merge(h)
+
+    @given(
+        left=st.lists(
+            st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+            max_size=200,
+        ),
+        right=st.lists(
+            st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+            max_size=200,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_matches_pooled_stream(self, left, right):
+        # Exact accumulators must always equal the pooled stream's, and
+        # when the pooled values fit the reservoir the percentiles must
+        # be exact too (the sampled path is covered separately below).
+        a = StreamingHistogram(capacity=512)
+        b = StreamingHistogram(capacity=512)
+        a.extend(left)
+        b.extend(right)
+        a.merge(b)
+        pooled = left + right
+        assert a.count == len(pooled)
+        assert a.sum == pytest.approx(sum(pooled), rel=1e-9, abs=1e-9)
+        if pooled:
+            assert a.min == min(pooled) and a.max == max(pooled)
+            if len(pooled) <= 512:
+                assert a.percentile(50) == pytest.approx(
+                    np.percentile(pooled, 50)
+                )
+        else:
+            assert np.isnan(a.percentile(50))
+
+    def test_sampled_merge_tracks_pooled_percentiles(self):
+        # Both reservoirs overflow: the merged reservoir is a weighted
+        # subsample, so percentiles are approximate but must land near
+        # the pooled distribution's.
+        a = StreamingHistogram(capacity=64)
+        b = StreamingHistogram(capacity=64)
+        rng = np.random.default_rng(7)
+        low = rng.uniform(0.0, 100.0, size=2_000)
+        high = rng.uniform(900.0, 1000.0, size=2_000)
+        a.extend(low)
+        b.extend(high)
+        a.merge(b)
+        pooled = np.concatenate([low, high])
+        assert a.count == 4_000
+        assert a.sum == pytest.approx(pooled.sum(), rel=1e-9)
+        # Median of the bimodal pool sits in the gap between the modes.
+        assert 50.0 <= a.percentile(50) <= 950.0
+        # Each mode contributes ~half the reservoir, so the quartiles
+        # must land inside their respective modes.
+        assert a.percentile(10) <= 100.0
+        assert a.percentile(90) >= 900.0
+
+
 class TestMetricsRegistry:
     def test_get_or_create_returns_same_instance(self):
         reg = MetricsRegistry()
@@ -182,6 +275,40 @@ class TestPrometheusExport:
 
     def test_empty_registry(self):
         assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_hostile_label_values_are_escaped(self):
+        # A tenant name is caller-controlled: quotes, backslashes and
+        # newlines must not break (or forge) the exposition format.
+        reg = MetricsRegistry()
+        hostile = 'evil"} forged_metric 1\ntenant\\name'
+        reg.counter("serving.requests", tenant=hostile).inc(2)
+        text = render_prometheus(reg)
+        assert (
+            'serving_requests{tenant="evil\\"} forged_metric 1\\n'
+            'tenant\\\\name"} 2.0' in text
+        )
+        # No sample line may be forged: every non-comment line still
+        # parses as exactly one exposition sample.
+        import re
+
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*\{[^\n]*\} [0-9.]+$"
+        )
+        lines = [
+            line
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(lines) == 1
+        assert sample.match(lines[0]), lines[0]
+
+    def test_backslash_escaped_before_quote(self):
+        # Escape ordering regression: a pre-escaped quote (backslash
+        # then quote) must come out doubly escaped, not re-broken.
+        reg = MetricsRegistry()
+        reg.gauge("g", label='\\"').set(1.0)
+        text = render_prometheus(reg)
+        assert 'g{label="\\\\\\""} 1.0' in text
 
 
 class TestJsonExport:

@@ -1,0 +1,310 @@
+"""Tests for per-request tracing: contexts, propagation, flight, exemplars."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.exceptions import ReproError
+from repro.obs.flight import (
+    ExemplarStore,
+    FlightRecorder,
+    render_record,
+)
+from repro.obs.requests import (
+    RequestContext,
+    RequestRecorder,
+    StageEvent,
+    activate,
+    activate_batch,
+    active_requests,
+    annotate_requests,
+    current_request,
+)
+
+
+def _finished(
+    tenant="web", *, status="ok", wall_s=0.001, trace_id=None, n_docs=4
+):
+    """A closed context with one covering stage, `wall_s` long."""
+    ctx = RequestContext(tenant, n_docs=n_docs, created_s=0.0, trace_id=trace_id)
+    ctx.enqueued_s = 0.0
+    ctx.stage("kernel", 0.0, wall_s)
+    ctx.status = status
+    ctx.finished_s = wall_s
+    return ctx
+
+
+class TestStageEvent:
+    def test_duration_and_clamping(self):
+        ev = StageEvent("kernel", 1.0, 1.0005, backend="dense")
+        assert ev.duration_us == pytest.approx(500.0)
+        # A clock going backwards clamps to zero, never negative.
+        assert StageEvent("respond", 2.0, 1.9).duration_us == 0.0
+
+    def test_to_dict_is_origin_relative(self):
+        ev = StageEvent("queue-wait", 10.001, 10.002)
+        doc = ev.to_dict(10.0)
+        assert doc["start_us"] == pytest.approx(1000.0)
+        assert doc["duration_us"] == pytest.approx(1000.0)
+        assert doc["attrs"] == {}
+
+
+class TestRequestContext:
+    def test_stages_tile_the_wall_time(self):
+        # Stamping each stage from last_stage_end makes the timeline sum
+        # equal the enqueue->finish wall time *by construction*.
+        ctx = RequestContext("web", n_docs=10, created_s=0.0)
+        ctx.enqueued_s = 0.001
+        ctx.stage("admission", ctx.created_s, ctx.enqueued_s)
+        ctx.stage("queue-wait", ctx.last_stage_end(0.001), 0.003)
+        ctx.stage("coalesce", ctx.last_stage_end(0.003), 0.0035)
+        ctx.stage("kernel", ctx.last_stage_end(0.0035), 0.004)
+        ctx.finished_s = 0.0045
+        ctx.stage("respond", ctx.last_stage_end(0.0045), ctx.finished_s)
+        assert ctx.wall_us == pytest.approx(3500.0)
+        # admission precedes the enqueue origin and is excluded.
+        assert ctx.timeline_us == pytest.approx(ctx.wall_us)
+
+    def test_wall_is_zero_while_open(self):
+        ctx = RequestContext("web", n_docs=1, created_s=5.0)
+        assert ctx.status == "open"
+        assert ctx.wall_us == 0.0
+
+    def test_shed_request_origin_is_arrival(self):
+        ctx = RequestContext("web", n_docs=1, created_s=1.0)
+        ctx.finished_s = 1.002  # never enqueued
+        assert ctx.origin_s == 1.0
+        assert ctx.wall_us == pytest.approx(2000.0)
+
+    def test_trace_ids_unique_and_overridable(self):
+        a = RequestContext("t", n_docs=1, created_s=0.0)
+        b = RequestContext("t", n_docs=1, created_s=0.0)
+        assert a.trace_id != b.trace_id
+        assert len(a.trace_id) == 16
+        c = RequestContext("t", n_docs=1, created_s=0.0, trace_id="cafe")
+        assert c.trace_id == "cafe"
+
+    def test_to_dict_and_render(self):
+        ctx = _finished(trace_id="feedbeefdeadc0de")
+        ctx.annotate(plan="abc123")
+        ctx.batch_id = 7
+        doc = ctx.to_dict()
+        assert doc["trace_id"] == "feedbeefdeadc0de"
+        assert doc["batch_id"] == 7
+        assert doc["stages"][0]["name"] == "kernel"
+        text = ctx.render()
+        assert "feedbeefdeadc0de" in text
+        assert "kernel" in text and "plan=abc123" in text
+        # The dict form renders identically after a JSON round-trip.
+        assert render_record(doc) == text
+
+
+class TestPropagation:
+    def test_default_is_empty(self):
+        assert current_request() is None
+        assert active_requests() == ()
+        assert annotate_requests(x=1) == 0
+
+    def test_activate_single(self):
+        ctx = RequestContext("web", n_docs=1, created_s=0.0)
+        with activate(ctx):
+            assert current_request() is ctx
+            assert active_requests() == (ctx,)
+            assert annotate_requests(shards=2) == 1
+        assert current_request() is None
+        assert ctx.attrs == {"shards": 2}
+
+    def test_activate_batch_wins_over_current(self):
+        solo = RequestContext("a", n_docs=1, created_s=0.0)
+        batch = tuple(
+            RequestContext("b", n_docs=1, created_s=0.0) for _ in range(3)
+        )
+        with activate(solo), activate_batch(batch):
+            assert active_requests() == batch
+            assert annotate_requests(plan="p") == 3
+        assert all(ctx.attrs == {"plan": "p"} for ctx in batch)
+        assert solo.attrs == {}
+
+    def test_binding_crosses_into_worker_thread(self):
+        # The engine pattern: the batch is bound *inside* the executor
+        # thread, because run_in_executor does not copy the caller's
+        # context.  A set() in the worker binds in that thread only.
+        batch = (RequestContext("web", n_docs=1, created_s=0.0),)
+        seen_inside = []
+
+        def worker():
+            with activate_batch(batch):
+                seen_inside.append(active_requests())
+                annotate_requests(backend="dense")
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert seen_inside == [batch]
+        assert batch[0].attrs == {"backend": "dense"}
+        # The main thread never saw the binding.
+        assert active_requests() == ()
+
+
+class TestFlightRecorder:
+    def test_slowest_evicts_least_slow(self):
+        flight = FlightRecorder(slowest=2)
+        for ms in (1, 5, 3, 9):
+            flight.retain(_finished(wall_s=ms / 1000.0, trace_id=f"t{ms}"))
+        walls = [r.wall_us for r in flight.slowest_records()]
+        assert walls == [pytest.approx(9000.0), pytest.approx(5000.0)]
+        # A faster request does not displace a retained slow one.
+        flight.retain(_finished(wall_s=0.002, trace_id="t2"))
+        assert [r.trace_id for r in flight.slowest_records()] == ["t9", "t5"]
+
+    def test_shed_and_errored_always_retained(self):
+        flight = FlightRecorder(slowest=1)
+        flight.retain(_finished(status="shed", trace_id="s1"))
+        flight.retain(_finished(status="error", trace_id="e1"))
+        flight.retain(_finished(status="ok", trace_id="ok1"))
+        counts = flight.counts()
+        assert counts["shed"] == 1 and counts["errored"] == 1
+        assert counts["slowest"] == 1 and counts["recent"] == 3
+
+    def test_rings_are_bounded(self):
+        flight = FlightRecorder(recent=4, slowest=2, shed=3, errored=3)
+        for i in range(20):
+            flight.retain(_finished(trace_id=f"ok{i}"))
+            flight.retain(_finished(status="shed", trace_id=f"sh{i}"))
+        counts = flight.counts()
+        assert counts == {"recent": 4, "slowest": 2, "shed": 3, "errored": 0}
+        # The shed ring keeps the newest, evicting oldest first.
+        assert [r.trace_id for r in flight._shed] == ["sh17", "sh18", "sh19"]
+
+    def test_records_deduplicate_and_lookup(self):
+        flight = FlightRecorder(recent=8)
+        slow = _finished(wall_s=0.5, trace_id="abcd1234deadbeef")
+        flight.retain(slow)  # lands in recent *and* slowest
+        assert len(flight.records()) == 1
+        assert flight.get("abcd1234deadbeef") is slow
+        assert flight.get("missing") is None
+        assert flight.find("abcd") == [slow]
+        assert flight.find("zzzz") == []
+
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(ReproError, match="recent"):
+            FlightRecorder(recent=0)
+        with pytest.raises(ReproError, match="slowest"):
+            FlightRecorder(slowest=0)
+
+    def test_to_dict_and_render(self):
+        flight = FlightRecorder()
+        flight.retain(_finished(trace_id="aa" * 8))
+        doc = flight.to_dict()
+        assert doc["counts"]["recent"] == 1
+        assert doc["records"][0]["trace_id"] == "aa" * 8
+        assert "Flight recorder" in flight.render()
+
+
+class TestExemplarStore:
+    def test_bucketing_and_counts(self):
+        store = ExemplarStore()
+        store.observe("web", 300.0, "t1")  # -> le 500
+        store.observe("web", 450.0, "t2")  # -> le 500, replaces t1
+        store.observe("web", 80_000.0, "t3")  # -> le 100000
+        items = store.items()
+        assert [(e.le_us, e.trace_id, e.count) for e in items] == [
+            (500.0, "t2", 2),
+            (100_000.0, "t3", 1),
+        ]
+
+    def test_tenants_are_separate(self):
+        store = ExemplarStore()
+        store.observe("web", 100.0, "tw")
+        store.observe("batch", 100.0, "tb")
+        assert {e.tenant for e in store.items()} == {"web", "batch"}
+
+    def test_overflow_lands_in_inf_bucket(self):
+        store = ExemplarStore(buckets_us=(10.0, float("inf")))
+        store.observe("web", 99.0, "t")
+        (ex,) = store.items()
+        assert ex.le_us == float("inf")
+        assert "+inf" in store.render()
+
+    def test_bucket_validation(self):
+        with pytest.raises(ReproError, match="inf"):
+            ExemplarStore(buckets_us=(10.0, 20.0))
+        with pytest.raises(ReproError, match="sorted"):
+            ExemplarStore(buckets_us=(20.0, 10.0, float("inf")))
+
+
+class TestRequestRecorder:
+    def test_disabled_begin_is_none_and_free(self):
+        rec = RequestRecorder(enabled=False)
+        assert rec.begin("web", n_docs=4, now_s=0.0) is None
+        assert rec.counts()["begun"] == 0
+        # Overhead guard: the disabled path must stay a cheap attribute
+        # check — well under 20us per call even on a loaded CI host.
+        n = 20_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            rec.begin("web", n_docs=4, now_s=0.0)
+        per_call_us = (time.perf_counter() - t0) / n * 1e6
+        assert per_call_us < 20.0
+
+    def test_lifecycle_and_retention(self):
+        rec = RequestRecorder(enabled=True)
+        ctx = rec.begin("web", n_docs=8, now_s=1.0)
+        ctx.enqueued_s = 1.0
+        ctx.stage("kernel", 1.0, 1.002)
+        rec.finish(ctx, status="ok", now_s=1.002, slo_us=500.0, slo_miss=True)
+        assert ctx.status == "ok" and ctx.slo_miss is True
+        counts = rec.counts()
+        assert counts["begun"] == 1 and counts["finished"] == 1
+        assert rec.flight.get(ctx.trace_id) is ctx
+        # Served requests feed the exemplar store...
+        assert [e.trace_id for e in rec.exemplars.items()] == [ctx.trace_id]
+        # ...shed ones do not.
+        shed = rec.begin("web", n_docs=1, now_s=2.0)
+        rec.finish(shed, status="shed", now_s=2.0)
+        assert len(rec.exemplars.items()) == 1
+
+    def test_unknown_status_rejected(self):
+        rec = RequestRecorder(enabled=True)
+        ctx = rec.begin("web", n_docs=1, now_s=0.0)
+        with pytest.raises(ReproError, match="status"):
+            rec.finish(ctx, status="dropped", now_s=0.1)
+
+    def test_reset(self):
+        rec = RequestRecorder(enabled=True)
+        ctx = rec.begin("web", n_docs=1, now_s=0.0)
+        rec.finish(ctx, status="ok", now_s=0.1)
+        rec.reset()
+        assert rec.counts() == {
+            "begun": 0,
+            "finished": 0,
+            "recent": 0,
+            "slowest": 0,
+            "shed": 0,
+            "errored": 0,
+        }
+
+
+class TestModuleDefaults:
+    def test_disabled_by_default_and_toggle(self, obs_clean):
+        assert not obs.request_tracing_enabled()
+        assert (
+            obs.get_request_recorder().begin("web", n_docs=1, now_s=0.0)
+            is None
+        )
+        obs.enable_request_tracing()
+        assert obs.request_tracing_enabled()
+        ctx = obs.get_request_recorder().begin("web", n_docs=1, now_s=0.0)
+        assert ctx is not None
+        obs.enable_request_tracing(False)
+        assert not obs.request_tracing_enabled()
+
+    def test_set_recorder_swaps_and_returns_previous(self, obs_clean):
+        mine = RequestRecorder(enabled=True)
+        previous = obs.set_request_recorder(mine)
+        try:
+            assert obs.get_request_recorder() is mine
+        finally:
+            obs.set_request_recorder(previous)

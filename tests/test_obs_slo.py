@@ -1,0 +1,170 @@
+"""Tests for the per-tenant multi-window SLO burn-rate monitor."""
+
+import pytest
+
+from repro import obs
+from repro.exceptions import ReproError
+from repro.obs.slo import BurnRow, SloMonitor, SloPolicy, _burn
+
+
+#: Small policy for fast manual-clock replays: 10s fast / 60s slow
+#: windows over 6 ten-second buckets, 99% objective (budget 1%).
+POLICY = SloPolicy(
+    objective=0.99,
+    fast_window_s=10.0,
+    slow_window_s=60.0,
+    fast_burn=14.4,
+    slow_burn=6.0,
+    bins=6,
+)
+
+
+def _feed(monitor, tenant, *, t0, n, miss_every=0, dt=0.01):
+    """Record n responses starting at t0, every `miss_every`-th a miss."""
+    for i in range(n):
+        miss = bool(miss_every) and i % miss_every == 0
+        monitor.record(tenant, miss, now=t0 + i * dt)
+
+
+class TestSloPolicy:
+    def test_derived_quantities(self):
+        assert POLICY.error_budget == pytest.approx(0.01)
+        assert POLICY.bucket_s == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError, match="objective"):
+            SloPolicy(objective=1.0)
+        with pytest.raises(ReproError, match="positive"):
+            SloPolicy(fast_window_s=0.0)
+        with pytest.raises(ReproError, match="fast window"):
+            SloPolicy(fast_window_s=7200.0)
+        with pytest.raises(ReproError, match="bins"):
+            SloPolicy(bins=1)
+
+
+class TestBurnMath:
+    def test_burn_rate(self):
+        # 1% misses against a 1% budget burns at exactly 1x.
+        assert _burn(1, 100, 0.01) == pytest.approx(1.0)
+        assert _burn(10, 100, 0.01) == pytest.approx(10.0)
+        assert _burn(0, 100, 0.01) == 0.0
+        assert _burn(0, 0, 0.01) == 0.0  # no traffic, no burn
+
+    def test_states(self):
+        def row(fast_burn, slow_burn, slow_served=100):
+            return BurnRow(
+                tenant="t",
+                fast_served=100,
+                fast_missed=0,
+                slow_served=slow_served,
+                slow_missed=0,
+                fast_burn=fast_burn,
+                slow_burn=slow_burn,
+                fast_threshold=14.4,
+                slow_threshold=6.0,
+            )
+
+        assert row(0.0, 0.0, slow_served=0).state == "idle"
+        assert row(0.0, 0.0).state == "ok"
+        # Fast window hot but slow window cool: a single bad batch —
+        # does NOT page.
+        assert row(20.0, 1.0).state == "ok"
+        assert row(1.0, 8.0).state == "slow-burn"
+        assert row(20.0, 8.0).state == "fast-burn"
+
+
+class TestSloMonitor:
+    def test_fast_burn_requires_both_windows(self):
+        monitor = SloMonitor(POLICY, clock=lambda: 0.0)
+        # 50s of clean traffic, then a terrible last 10s (50% misses).
+        _feed(monitor, "web", t0=100.0, n=500, dt=0.1)
+        _feed(monitor, "web", t0=150.0, n=100, miss_every=2, dt=0.1)
+        row = monitor.report(now=159.9).tenant("web")
+        # Fast window: 50/100 misses = 5000x burn.  Slow window:
+        # 50/600 ~ 8.3x — both over threshold -> page.
+        assert row.fast_burn > POLICY.fast_burn
+        assert row.slow_burn > POLICY.slow_burn
+        assert row.state == "fast-burn"
+
+    def test_single_bad_batch_does_not_page(self):
+        monitor = SloMonitor(POLICY, clock=lambda: 0.0)
+        # 50s of clean traffic at high volume, then 10 straight misses.
+        _feed(monitor, "web", t0=100.0, n=5000, dt=0.01)
+        _feed(monitor, "web", t0=150.0, n=10, miss_every=1, dt=0.1)
+        row = monitor.report(now=159.9).tenant("web")
+        assert row.fast_burn > POLICY.fast_burn  # fast window screams...
+        assert row.slow_burn < POLICY.slow_burn  # ...slow window shrugs
+        assert row.state == "ok"
+
+    def test_misses_age_out_of_the_windows(self):
+        monitor = SloMonitor(POLICY, clock=lambda: 0.0)
+        _feed(monitor, "web", t0=100.0, n=100, miss_every=1, dt=0.01)
+        assert monitor.report(now=105.0).tenant("web").state == "fast-burn"
+        # 70s later the miss burst has left even the slow window, but
+        # fresh clean traffic keeps the tenant out of "idle".
+        _feed(monitor, "web", t0=170.0, n=10, dt=0.01)
+        row = monitor.report(now=171.0).tenant("web")
+        assert row.slow_missed == 0
+        assert row.state == "ok"
+
+    def test_tenants_are_independent(self):
+        monitor = SloMonitor(POLICY, clock=lambda: 0.0)
+        _feed(monitor, "web", t0=100.0, n=200, miss_every=1, dt=0.1)
+        _feed(monitor, "batch", t0=100.0, n=200, dt=0.1)
+        report = monitor.report(now=119.9)
+        assert report.tenant("web").state == "fast-burn"
+        assert report.tenant("batch").state == "ok"
+        assert [r.tenant for r in report.alerting] == ["web"]
+
+    def test_injected_clock_drives_defaults(self):
+        times = iter([10.0, 10.1, 10.2])
+        monitor = SloMonitor(POLICY, clock=lambda: next(times))
+        monitor.record("web", True)
+        monitor.record("web", False)
+        row = monitor.report().tenant("web")
+        assert row.fast_served == 2 and row.fast_missed == 1
+
+    def test_report_shapes(self):
+        monitor = SloMonitor(POLICY, clock=lambda: 0.0)
+        assert monitor.report(now=0.0).render() == "(no SLO traffic recorded)"
+        _feed(monitor, "web", t0=100.0, n=100, miss_every=10, dt=0.01)
+        report = monitor.report(now=101.0)
+        doc = report.to_dict()
+        assert doc["objective"] == 0.99
+        assert doc["rows"][0]["tenant"] == "web"
+        assert doc["rows"][0]["fast_missed"] == 10
+        text = report.render()
+        assert "web" in text and "burn" in text
+        assert "web" in report.tenant("web").describe()
+        assert report.tenant("nope") is None
+
+    def test_reset(self):
+        monitor = SloMonitor(POLICY, clock=lambda: 0.0)
+        monitor.record("web", True, now=1.0)
+        monitor.reset()
+        assert monitor.report(now=1.0).rows == ()
+
+
+class TestModuleDefaults:
+    def test_record_and_report_via_module_api(self, obs_clean):
+        obs.record_slo_event("web", True)
+        obs.record_slo_event("web", False)
+        row = obs.slo_burn_report().tenant("web")
+        assert row.fast_served == 2 and row.fast_missed == 1
+
+    def test_record_response_feeds_the_monitor(self, obs_clean):
+        # The serving bridge: any SLO-accounted response lands in the
+        # burn windows; responses without an SLO do not.
+        obs.record_response("web", latency_us=900.0, slo_us=500.0)
+        obs.record_response("web", latency_us=100.0, slo_us=500.0)
+        obs.record_response("web", latency_us=100.0)
+        row = obs.slo_burn_report().tenant("web")
+        assert row.fast_served == 2 and row.fast_missed == 1
+
+    def test_set_monitor_swaps_and_returns_previous(self, obs_clean):
+        mine = SloMonitor(POLICY)
+        previous = obs.set_slo_monitor(mine)
+        try:
+            assert obs.get_slo_monitor() is mine
+        finally:
+            obs.set_slo_monitor(previous)

@@ -39,6 +39,23 @@ class TestSpanTree:
         assert outer.duration_s >= inner.duration_s >= 0.0
         assert outer.duration_us == pytest.approx(outer.duration_s * 1e6)
 
+    def test_open_span_has_no_duration(self):
+        from repro.exceptions import ReproError
+
+        tracer = Tracer()
+        with tracer.span("open") as sp:
+            assert not sp.finished
+            with pytest.raises(ReproError, match="still open"):
+                sp.duration_s
+            with pytest.raises(ReproError, match="still open"):
+                sp.duration_us
+            # A live reading is available without closing the span...
+            assert sp.elapsed_s() >= 0.0
+            assert sp.elapsed_s(now=sp.start_s + 1.0) == pytest.approx(1.0)
+            # ...and serialisation reports the missing duration as null.
+            assert sp.to_dict()["duration_us"] is None
+        assert sp.duration_s >= 0.0  # closed: real duration again
+
     def test_attrs_at_open_and_via_set(self):
         tracer = Tracer()
         with tracer.span("stage", model="m1") as sp:
