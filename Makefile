@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast verify smoke obs-smoke resilience-smoke parallel-smoke compile-smoke serving-smoke trace-smoke bench examples report clean
+.PHONY: install test test-fast verify smoke obs-smoke resilience-smoke parallel-smoke compile-smoke serving-smoke trace-smoke cascade-smoke bench examples report clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -14,7 +14,7 @@ test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow" -x
 
 # Tier-1 gate: the full suite plus a bytecode compile of the library.
-verify: obs-smoke resilience-smoke parallel-smoke compile-smoke serving-smoke trace-smoke
+verify: obs-smoke resilience-smoke parallel-smoke compile-smoke serving-smoke trace-smoke cascade-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(PYTHON) -m compileall -q src
 
@@ -54,6 +54,13 @@ serving-smoke:
 # every exemplar, and each trace's stage timeline tiles its wall time.
 trace-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.obs.trace_smoke
+
+# Cascade gate: a fixed-seed budgeted pipeline is bit-deterministic, a
+# strict refinement (dropouts never outrank survivors), never exceeds
+# its predicted-spend bound, no-ops on zero-doc queries, and feeds the
+# cascade.* funnel series.
+cascade-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.runtime.cascade_smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -71,7 +71,10 @@ from repro.runtime import (
     ForestShape,
     NetworkShape,
     ParallelConfig,
+    PipelineConfig,
+    PipelineStageConfig,
     PricingContext,
+    RankingPipeline,
     ResilienceConfig,
     ScoreCache,
     Scorer,
@@ -81,6 +84,7 @@ from repro.runtime import (
     ShardedScorer,
     TenantConfig,
     backend_names,
+    build_pipeline,
     make_scorer,
     price,
     register_backend,
@@ -134,6 +138,10 @@ __all__ = [
     "score_agreement",
     "CascadeStage",
     "EarlyExitCascade",
+    "PipelineConfig",
+    "PipelineStageConfig",
+    "RankingPipeline",
+    "build_pipeline",
     "quantize_student",
     "render_report",
     "write_report",

@@ -15,6 +15,9 @@ can be driven without writing Python:
 * ``repro stats``         — serve a probe workload, report spans + drift.
 * ``repro resilience``    — fault-inject a backend behind a fallback
   chain and report degradation, breaker states and retry counts.
+* ``repro cascade``       — probe a declarative budgeted ranking
+  pipeline: per-stage survivor funnel, measured µs/query and NDCG@10
+  against each single-stage baseline, budget early-exits.
 * ``repro throughput``    — sweep workers x shard size over the sharded
   scorer and print docs/sec plus cache hit ratios.
 * ``repro serve``         — answer a burst of concurrent probe requests
@@ -445,6 +448,120 @@ def cmd_resilience(args) -> int:
         service.fallback_ratio * 100.0,
         {k: round(v, 1) for k, v in service.stats.latency_summary().items()},
     )
+    return 0
+
+
+def cmd_cascade(args) -> int:
+    """Probe a declarative budgeted ranking pipeline.
+
+    Assembles a three-stage pipeline over the probe models — 0.95-pruned
+    sparse student → dense student → LambdaMART forest — from a
+    :class:`~repro.runtime.ranking.PipelineConfig` that is round-tripped
+    through JSON first (the config *is* the deployable artifact), serves
+    every probe query through :class:`ScoringService`, and prints the
+    stage table, measured µs/query + NDCG@10 against each single-stage
+    baseline, and the cascade funnel report with budget early-exits.
+    """
+    import json
+    import time as _time
+
+    from repro.metrics import mean_ndcg
+    from repro.obs.probe import build_probe_models
+    from repro.runtime import PipelineConfig, ServiceConfig
+    from repro.serving import ScoringService
+
+    models = build_probe_models(
+        n_queries=args.queries, docs_per_query=args.docs, seed=args.seed
+    )
+    dataset = models["dataset"]
+    keeps = list(args.keep)
+    while len(keeps) < 2:
+        keeps.append(keeps[-1] if keeps else 0.5)
+    config = PipelineConfig(
+        stages=[
+            {"model": "sparse-network", "keep_fraction": keeps[0]},
+            {"model": "dense-network", "keep_fraction": keeps[1]},
+            {"model": "quickscorer"},
+        ],
+        budget_us_per_query=args.budget_us,
+    )
+    round_tripped = PipelineConfig.from_dict(
+        json.loads(json.dumps(config.to_dict()))
+    )
+    if round_tripped != config:
+        log.error("PipelineConfig failed to round-trip through JSON")
+        return 1
+    service = ScoringService(
+        {name: m for name, m in models.items() if name != "dataset"},
+        ServiceConfig(pipeline=round_tripped, max_batch_size=None),
+    )
+    log.info("%s", service.pipeline.describe())
+    for level, stage in enumerate(service.pipeline_summary()):
+        log.info(
+            "  level %d: %-16s %.3f us/doc, keep %.0f%%",
+            level, stage["stage"], stage["cost_us_per_doc"],
+            stage["keep_fraction"] * 100.0,
+        )
+    log.info(
+        "expected amortized cost %.3f us/doc; predicted spend for a "
+        "%d-doc query %.1f us",
+        service.pipeline.expected_cost_us_per_doc(),
+        args.docs,
+        service.pipeline.predicted_query_spend_us(args.docs),
+    )
+
+    queries = [
+        dataset.features[dataset.query_slice(q)]
+        for q in range(dataset.n_queries)
+    ]
+
+    def measure(score_query):
+        best, parts = float("inf"), []
+        for _ in range(args.repeats):
+            start = _time.perf_counter()
+            parts = [score_query(x) for x in queries]
+            best = min(best, _time.perf_counter() - start)
+        scores = np.concatenate(
+            [np.asarray(p, dtype=np.float64) for p in parts]
+        )
+        return best * 1e6 / len(queries), mean_ndcg(dataset, scores, 10)
+
+    systems = [("cascade", service.score, service.scorer.predicted_us_per_doc)]
+    for backend in ("sparse-network", "dense-network", "quickscorer"):
+        scorer = make_scorer(models[backend], backend=backend)
+        systems.append((backend, scorer.score, scorer.predicted_us_per_doc))
+    header = (
+        f"{'system':<16} {'pred us/doc':>12} {'us/query':>10} {'NDCG@10':>8}"
+    )
+    log.info("")
+    log.info("%s", header)
+    log.info("%s", "-" * len(header))
+    rows = []
+    for name, score_query, predicted in systems:
+        us_per_query, ndcg = measure(score_query)
+        rows.append(
+            {
+                "system": name,
+                "predicted_us_per_doc": predicted,
+                "us_per_query": us_per_query,
+                "ndcg10": ndcg,
+            }
+        )
+        log.info(
+            "%-16s %12.3f %10.1f %8.4f", name, predicted, us_per_query, ndcg
+        )
+    report = obs.cascade_report()
+    log.info("")
+    log.info("%s", report.render())
+    if args.json:
+        payload = {
+            "pipeline": round_tripped.to_dict(),
+            "rows": rows,
+            "metrics": obs.get_registry().snapshot(),
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        log.info("probe rows + pipeline config -> %s", args.json)
     return 0
 
 
@@ -1086,6 +1203,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--predictor", help="saved predictor JSON (repro calibrate)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser(
+        "cascade",
+        help="probe a budgeted ranking pipeline against single-stage "
+        "baselines",
+    )
+    p.add_argument(
+        "--keep",
+        type=float,
+        nargs="+",
+        default=[0.4, 0.5],
+        help="survivor keep fractions of the non-final stages",
+    )
+    p.add_argument(
+        "--budget-us",
+        type=float,
+        default=None,
+        help="per-query predicted-spend budget in microseconds",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    p.add_argument("--queries", type=int, default=24)
+    p.add_argument("--docs", type=int, default=48)
+    p.add_argument(
+        "--json", help="also write the probe rows + pipeline config here"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_cascade)
 
     p = sub.add_parser(
         "throughput",

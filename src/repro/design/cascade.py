@@ -12,16 +12,36 @@ where ``keep_i`` is the fraction of a query's documents surviving stage
 ``i``.  Within a query, documents cut at stage ``i`` are ranked below
 all survivors, ordered by their stage-``i`` scores — so the final
 ranking is a refinement, never a shuffle.
+
+Two execution policies, both deterministic:
+
+* **Keep-fraction cuts** — each non-final stage promotes
+  ``ceil(keep_fraction * n_alive)`` documents (an explicit ceiling, so
+  cut sizes are monotone in query length and never subject to banker's
+  rounding; promoting *at least* the configured share errs on the side
+  of quality).
+* **Per-query budgets** — with ``budget_us_per_query`` set, the cascade
+  stops promoting once the *predicted* spend of running the survivors
+  through the next stage would exceed the budget.  The first stage
+  always runs (otherwise there is no ranking at all), so the predicted
+  per-query spend is bounded by ``max(budget, n_docs * cost_1)``.
+
+The declarative, JSON-round-trippable face of this module — stages named
+by backend and built from a model-role mapping — is
+:class:`repro.runtime.ranking.RankingPipeline`; see ``docs/cascade.md``.
 """
 
 from __future__ import annotations
 
+import math
+import time
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.datasets.base import LtrDataset
+from repro.exceptions import CascadeError
 
 #: A scoring function over a feature matrix.
 ScoreFn = Callable[[np.ndarray], np.ndarray]
@@ -32,7 +52,9 @@ class CascadeStage:
     """One stage: a scorer, its per-document cost, and the survivor cut.
 
     ``keep_fraction`` is the share of each query's documents promoted to
-    the next stage (ignored on the last stage).
+    the next stage (ignored on the last stage).  The cut is an explicit
+    ceiling — ``ceil(keep_fraction * n_alive)`` survivors — so the same
+    fraction always promotes the same count for a given query length.
     """
 
     name: str
@@ -47,6 +69,18 @@ class CascadeStage:
             raise ValueError(
                 f"keep_fraction must be in (0, 1], got {self.keep_fraction}"
             )
+
+    def survivor_count(self, n_alive: int) -> int:
+        """How many of ``n_alive`` documents this stage promotes.
+
+        The pinned policy: ``ceil(keep_fraction * n_alive)``, clamped to
+        ``[1, n_alive]``.  ``round()`` would make 0.5 of 5 docs promote
+        2 (banker's rounding) while 0.5 of 6 promotes 3 — inconsistent
+        cut shares across query lengths.
+        """
+        if n_alive <= 0:
+            return 0
+        return min(n_alive, max(1, math.ceil(self.keep_fraction * n_alive)))
 
     @classmethod
     def from_model(
@@ -83,17 +117,94 @@ class CascadeStage:
         )
 
 
-class EarlyExitCascade:
-    """A multi-stage ranking cascade with predictable cost."""
+@dataclass(frozen=True)
+class CascadeQueryResult:
+    """Everything one :meth:`EarlyExitCascade.score_query_detailed` run did.
 
-    def __init__(self, stages: Sequence[CascadeStage]) -> None:
+    Attributes
+    ----------
+    scores:
+        Banded cascade scores (see :meth:`EarlyExitCascade.score_query`).
+    survivors:
+        One array of original document indices per *executed* stage: the
+        documents that stage evaluated.  ``survivors[0]`` is every
+        document; ``survivors[i+1]`` is always a subset of
+        ``survivors[i]`` — the refinement invariant in data form.
+    stage_spans:
+        ``(start_s, end_s)`` wall-clock pair per executed stage
+        (``time.perf_counter`` axis), for request-timeline attribution.
+    predicted_spend_us:
+        The calibrated per-query spend: ``sum(len(survivors[i]) *
+        stages[i].cost_us_per_doc)`` over executed stages.
+    budget_us:
+        The per-query budget in force (``None`` = unbudgeted).
+    exited_early:
+        True when the budget stopped promotion before the configured
+        last stage.
+    """
+
+    scores: np.ndarray
+    survivors: tuple[np.ndarray, ...] = field(repr=False)
+    stage_spans: tuple[tuple[float, float], ...] = field(repr=False)
+    predicted_spend_us: float
+    budget_us: float | None
+    exited_early: bool
+
+    @property
+    def stages_run(self) -> int:
+        """How many stages actually executed."""
+        return len(self.survivors)
+
+    @property
+    def stage_docs(self) -> tuple[int, ...]:
+        """Documents evaluated per executed stage."""
+        return tuple(len(s) for s in self.survivors)
+
+
+class EarlyExitCascade:
+    """A multi-stage ranking cascade with predictable cost.
+
+    Parameters
+    ----------
+    stages:
+        The :class:`CascadeStage` sequence, cheapest first.
+    budget_us_per_query:
+        Optional per-query spending cap: before promoting survivors to
+        the next stage, the cascade adds the *predicted* cost of that
+        promotion (``n_survivors * next_stage.cost_us_per_doc``) to what
+        it has already spent and stops — keeping the current stage's
+        ranking — if the total would exceed the budget.  The first stage
+        is exempt (a query must be ranked by something).
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[CascadeStage],
+        *,
+        budget_us_per_query: float | None = None,
+    ) -> None:
         if not stages:
             raise ValueError("a cascade needs at least one stage")
+        if budget_us_per_query is not None and not (
+            math.isfinite(budget_us_per_query) and budget_us_per_query > 0
+        ):
+            raise ValueError(
+                f"budget_us_per_query must be finite and > 0, "
+                f"got {budget_us_per_query}"
+            )
         self.stages = list(stages)
+        self.budget_us_per_query = budget_us_per_query
 
     # ------------------------------------------------------------------
     def expected_cost_us_per_doc(self) -> float:
-        """Predicted amortized per-document cost of the full cascade."""
+        """Predicted amortized per-document cost of the full cascade.
+
+        The closed form ``c_1 + keep_1*c_2 + keep_1*keep_2*c_3 + ...``
+        over the *configured* keep fractions; a per-query budget can
+        only lower the realized spend below this (it stops promotions,
+        never adds them), so this stays the admission-safe upper bound
+        the serving layer prices with.
+        """
         cost = 0.0
         alive = 1.0
         for i, stage in enumerate(self.stages):
@@ -102,38 +213,125 @@ class EarlyExitCascade:
                 alive *= stage.keep_fraction
         return cost
 
+    def predicted_query_spend_us(self, n_docs: int) -> float:
+        """Closed-form predicted spend for one ``n_docs``-document query.
+
+        Replays the integer ceil-cut and budget-exit policy without
+        scoring anything, so it matches what
+        :meth:`score_query_detailed` will report as
+        ``predicted_spend_us`` for any query of this length.  Bounded by
+        ``max(budget, n_docs * cost_1)`` when a budget is set.
+        """
+        if n_docs <= 0:
+            return 0.0
+        alive = int(n_docs)
+        spend = 0.0
+        for level, stage in enumerate(self.stages):
+            spend += alive * stage.cost_us_per_doc
+            if level == len(self.stages) - 1:
+                break
+            n_keep = stage.survivor_count(alive)
+            if self._budget_stops_promotion(spend, n_keep, level):
+                break
+            alive = n_keep
+        return spend
+
+    def _budget_stops_promotion(
+        self, spent_us: float, n_keep: int, level: int
+    ) -> bool:
+        """Whether promoting ``n_keep`` docs past ``level`` blows the budget."""
+        if self.budget_us_per_query is None:
+            return False
+        next_cost = n_keep * self.stages[level + 1].cost_us_per_doc
+        return spent_us + next_cost > self.budget_us_per_query
+
+    # ------------------------------------------------------------------
     def score_query(self, features: np.ndarray) -> np.ndarray:
         """Cascade scores for one query's documents.
 
         Returns values whose descending order is the cascade's ranking:
         stage-``i`` dropouts are ranked below every later-stage survivor
-        (by offsetting each stage's scores into its own band).
+        (by offsetting each stage's scores into its own band).  A
+        zero-document query is a no-op returning an empty float64 array
+        — the same contract as
+        :meth:`~repro.runtime.batching.BatchEngine.score`.
         """
+        return self.score_query_detailed(features).scores
+
+    def score_query_detailed(self, features: np.ndarray) -> CascadeQueryResult:
+        """Score one query and report per-stage execution detail.
+
+        Beyond the banded scores this returns the per-stage survivor
+        sets, wall-clock spans, the predicted spend and whether the
+        per-query budget forced an early exit — the raw material of the
+        ``cascade.*`` observability series and request timelines.
+        """
+        features = np.asarray(features, dtype=np.float64)
         n = len(features)
+        if n == 0:
+            return CascadeQueryResult(
+                scores=np.zeros(0, dtype=np.float64),
+                survivors=(),
+                stage_spans=(),
+                predicted_spend_us=0.0,
+                budget_us=self.budget_us_per_query,
+                exited_early=False,
+            )
         alive = np.arange(n)
         out = np.zeros(n, dtype=np.float64)
+        survivors: list[np.ndarray] = []
+        spans: list[tuple[float, float]] = []
+        spend = 0.0
+        exited_early = False
         for level, stage in enumerate(self.stages):
+            start_s = time.perf_counter()
             scores = np.asarray(stage.score_fn(features[alive]), dtype=np.float64)
+            spans.append((start_s, time.perf_counter()))
             if scores.shape != (len(alive),):
                 raise ValueError(
                     f"stage {stage.name!r} returned shape {scores.shape}, "
                     f"expected ({len(alive)},)"
                 )
+            finite = np.isfinite(scores)
+            if not finite.all():
+                bad = scores[~finite]
+                raise CascadeError(
+                    f"stage {stage.name!r} (level {level}) emitted "
+                    f"{int(np.isnan(bad).sum())} NaN and "
+                    f"{int(np.isinf(bad).sum())} infinite scores over "
+                    f"{len(alive)} documents; cascade band offsets require "
+                    "finite stage scores ('refinement, never a shuffle')"
+                )
+            survivors.append(alive)
+            spend += len(alive) * stage.cost_us_per_doc
             # Normalize the stage's scores into (0, 1) and add the band
             # offset: survivors of later stages always outrank dropouts.
             lo, hi = scores.min(), scores.max()
             span = (hi - lo) or 1.0
             out[alive] = level + (scores - lo) / span * 0.999
-            is_last = level == len(self.stages) - 1
-            if is_last:
+            if level == len(self.stages) - 1:
                 break
-            n_keep = max(1, int(round(stage.keep_fraction * len(alive))))
+            n_keep = stage.survivor_count(len(alive))
+            if self._budget_stops_promotion(spend, n_keep, level):
+                exited_early = True
+                break
             order = np.argsort(-scores, kind="stable")
             alive = alive[order[:n_keep]]
-        return out
+        return CascadeQueryResult(
+            scores=out,
+            survivors=tuple(survivors),
+            stage_spans=tuple(spans),
+            predicted_spend_us=spend,
+            budget_us=self.budget_us_per_query,
+            exited_early=exited_early,
+        )
 
     def score_dataset(self, dataset: LtrDataset) -> np.ndarray:
-        """Cascade scores for every query of a dataset."""
+        """Cascade scores for every query of a dataset.
+
+        Empty query slices (``query_slice`` yielding zero rows) are
+        no-ops, matching :meth:`score_query`'s zero-document contract.
+        """
         out = np.empty(dataset.n_docs, dtype=np.float64)
         for qi in range(dataset.n_queries):
             sl = dataset.query_slice(qi)
@@ -149,4 +347,7 @@ class EarlyExitCascade:
                 else ""
             )
             parts.append(f"{stage.name} ({stage.cost_us_per_doc:.2f} us){keep}")
-        return " | ".join(parts)
+        text = " | ".join(parts)
+        if self.budget_us_per_query is not None:
+            text += f" [budget {self.budget_us_per_query:.0f} us/query]"
+        return text

@@ -51,3 +51,7 @@ class CalibrationError(ReproError):
 
 class ConfigError(ReproError):
     """A typed configuration object is invalid or cannot be rebuilt."""
+
+
+class CascadeError(ReproError):
+    """A ranking cascade stage misbehaved (e.g. non-finite scores)."""

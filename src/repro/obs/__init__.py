@@ -19,6 +19,10 @@ One light-weight layer used across the training and serving stack:
   cache-hit series fed by the sharded scorer
   (:mod:`repro.runtime.parallel`), read back by
   :func:`parallel_report`;
+* :mod:`repro.obs.cascade` — per-stage survivor-funnel / early-exit /
+  predicted-spend series fed by the cascade adapter
+  (:class:`~repro.runtime.adapters.CascadeScorer`), read back by
+  :func:`cascade_report`;
 * :mod:`repro.obs.serving` — per-tenant admission/shed/SLO-miss/latency
   series and coalesced-batch shapes fed by the asyncio front-end
   (:mod:`repro.serving.frontend`), read back by
@@ -48,6 +52,12 @@ See ``docs/observability.md`` for naming conventions and the
 instrumentation guide.
 """
 
+from repro.obs.cascade import (
+    CascadeReport,
+    CascadeStageRow,
+    cascade_report,
+    record_cascade_query,
+)
 from repro.obs.compile import (
     CompileReport,
     CompileRow,
@@ -144,6 +154,8 @@ from repro.obs.tracer import (
 __all__ = [
     "BackendRow",
     "BurnRow",
+    "CascadeReport",
+    "CascadeStageRow",
     "ChainRow",
     "CompileReport",
     "CompileRow",
@@ -174,6 +186,7 @@ __all__ = [
     "activate_batch",
     "active_requests",
     "annotate_requests",
+    "cascade_report",
     "compile_report",
     "counter",
     "current_request",
@@ -191,6 +204,7 @@ __all__ = [
     "record_admitted",
     "record_batch",
     "record_breaker_state",
+    "record_cascade_query",
     "record_compile",
     "record_fallback",
     "record_failure",

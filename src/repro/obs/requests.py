@@ -166,9 +166,19 @@ class RequestContext:
 
     @property
     def timeline_us(self) -> float:
-        """Sum of post-enqueue stage durations (excludes ``admission``)."""
+        """Sum of post-enqueue *canonical* stage durations.
+
+        Only the :data:`STAGE_ORDER` stages count (minus ``admission``):
+        they tile the enqueue→response interval by construction.  Detail
+        stages — e.g. the per-stage ``cascade:<name>`` spans a
+        :class:`~repro.runtime.ranking.RankingPipeline` stamps *inside*
+        the kernel window — overlap the canonical ones and would
+        double-count.
+        """
         return sum(
-            s.duration_us for s in self.stages if s.name != "admission"
+            s.duration_us
+            for s in self.stages
+            if s.name in STAGE_ORDER and s.name != "admission"
         )
 
     # ------------------------------------------------------------------

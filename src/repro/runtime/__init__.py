@@ -25,7 +25,11 @@ One surface for "score documents with any model at a known price":
   compiled forward passes: per-layer dense/sparse kernel selection by
   the calibrated predictors, frozen weights, fused epilogues and
   zero-allocation ping-pong buffers, served through the
-  ``compiled-network`` backend (see ``docs/compiled.md``).
+  ``compiled-network`` backend (see ``docs/compiled.md``);
+* :class:`RankingPipeline` / :class:`PipelineConfig` /
+  :func:`build_pipeline` — declarative multi-stage budgeted ranking
+  cascades served through the ``cascade`` backend (see
+  ``docs/cascade.md``).
 
 See ``docs/runtime.md`` for the design and extension guide.
 """
@@ -86,6 +90,12 @@ from repro.runtime.pricing import (
     price_forest_shape,
     price_network_shape,
 )
+from repro.runtime.ranking import (
+    PipelineConfig,
+    PipelineStageConfig,
+    RankingPipeline,
+    build_pipeline,
+)
 from repro.runtime.registry import (
     ScorerBackend,
     UnknownBackendError,
@@ -139,10 +149,13 @@ __all__ = [
     "NetworkShape",
     "ParallelConfig",
     "ParallelError",
+    "PipelineConfig",
+    "PipelineStageConfig",
     "PoolClosedError",
     "PricingContext",
     "QuantizedNetworkScorer",
     "QuickScorerAdapter",
+    "RankingPipeline",
     "ResilienceConfig",
     "ResilienceError",
     "ResilientScorer",
@@ -160,6 +173,7 @@ __all__ = [
     "TenantConfig",
     "UnknownBackendError",
     "backend_names",
+    "build_pipeline",
     "compile_network",
     "default_context",
     "get_backend",

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.design.cascade import EarlyExitCascade
 from repro.distill.student import DistilledStudent
 from repro.forest.ensemble import TreeEnsemble
@@ -302,6 +303,12 @@ class CascadeScorer(BaseScorer):
     Cascades rank *within* a request (survivor cuts are per-query), so
     the adapter is **not batchable**: the batch engine hands it each
     request whole.
+
+    Every scored query feeds the ``cascade.*`` series (survivor funnel,
+    budget early-exits, predicted spend — see :mod:`repro.obs.cascade`)
+    and, when request tracing is live, stamps one ``cascade:<stage>``
+    detail stage per executed level onto the request's timeline plus
+    ``cascade_*`` annotations.  Scores are unaffected.
     """
 
     backend = "cascade"
@@ -315,13 +322,44 @@ class CascadeScorer(BaseScorer):
                 f"expected an EarlyExitCascade, got {type(cascade).__name__}"
             )
         self.cascade = cascade
+        self.pipeline_name = getattr(cascade, "name", None) or "cascade"
         super().__init__(
             price_fn=cascade.expected_cost_us_per_doc,
             input_dim=None,
         )
 
     def score(self, features) -> np.ndarray:
-        return self.cascade.score_query(np.asarray(features, dtype=np.float64))
+        x = np.asarray(features, dtype=np.float64)
+        result = self.cascade.score_query_detailed(x)
+        if result.stages_run:
+            stage_names = tuple(
+                stage.name
+                for stage in self.cascade.stages[: result.stages_run]
+            )
+            obs.record_cascade_query(
+                self.pipeline_name,
+                stage_names=stage_names,
+                stage_docs=result.stage_docs,
+                stage_us=tuple(
+                    (end - start) * 1e6 for start, end in result.stage_spans
+                ),
+                predicted_spend_us=result.predicted_spend_us,
+                exited_early=result.exited_early,
+            )
+            for ctx in obs.active_requests():
+                for name, (start, end), docs in zip(
+                    stage_names, result.stage_spans, result.stage_docs
+                ):
+                    ctx.stage(f"cascade:{name}", start, end, docs=docs)
+                ctx.annotate(
+                    cascade=self.pipeline_name,
+                    cascade_stages=result.stages_run,
+                    cascade_exited_early=result.exited_early,
+                    cascade_predicted_spend_us=round(
+                        result.predicted_spend_us, 3
+                    ),
+                )
+        return result.scores
 
     def describe(self) -> str:
         return f"cascade [{self.cascade.describe()}]"

@@ -369,14 +369,18 @@ class BatchEngine:
         total = sum(sizes)
         if total == 0:
             return [np.zeros(0, dtype=np.float64) for _ in items]
-        live = [x for x in items if len(x)]
-        live_contexts: tuple = ()
-        if request_contexts is not None:
-            live_contexts = tuple(
-                ctx
-                for ctx, x in zip(request_contexts, items)
-                if ctx is not None and len(x)
+        live: list[np.ndarray] = []
+        live_ctx_list: list = []
+        for index, x in enumerate(items):
+            if not len(x):
+                continue
+            live.append(x)
+            live_ctx_list.append(
+                request_contexts[index]
+                if request_contexts is not None
+                else None
             )
+        live_contexts = tuple(c for c in live_ctx_list if c is not None)
         with obs.span(
             "engine.coalesced",
             backend=self.scorer.backend,
@@ -405,14 +409,25 @@ class BatchEngine:
                     )
                     flat = self._score_chunked(stacked)
                 else:
-                    flat = np.concatenate(
-                        [
-                            np.asarray(
-                                self.scorer.score(x), dtype=np.float64
+                    # Non-batchable scorers run request-by-request, so
+                    # narrow the live-context binding to each request's
+                    # own: a cascade's stage spans and annotations must
+                    # land on the request being scored, not the whole
+                    # coalesced batch.
+                    parts = []
+                    for x, ctx in zip(live, live_ctx_list):
+                        scope = (
+                            activate_batch((ctx,))
+                            if ctx is not None
+                            else contextlib.nullcontext()
+                        )
+                        with scope:
+                            parts.append(
+                                np.asarray(
+                                    self.scorer.score(x), dtype=np.float64
+                                )
                             )
-                            for x in live
-                        ]
-                    )
+                    flat = np.concatenate(parts)
             end = clock()
             kernel = max(end - start, 0.0)
             sp.set(docs=total, us=round(kernel * 1e6, 1))

@@ -54,6 +54,7 @@ contract for offline scoring and benchmarking.  See
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass
 
@@ -209,7 +210,8 @@ class InferencePlan:
 
     The plan owns pre-converted weights, two ping-pong activation arenas
     and (for sparse layers) transpose scratch, all sized once from
-    ``max_batch``.  :meth:`score` is the allocating convenience wrapper;
+    ``max_batch`` and held **per thread** so concurrent shard workers
+    never share in-flight activations.  :meth:`score` is the allocating convenience wrapper;
     :meth:`execute_into` is the zero-allocation steady-state entry point
     the smoke gate measures.
     """
@@ -240,29 +242,21 @@ class InferencePlan:
 
         widths = [self.input_dim] + [lp.out_width for lp in layers]
         itemsize = np.dtype(self.dtype).itemsize
-        arena = self.max_batch * max(widths)
-        self._ping = np.empty(arena, dtype=self.dtype)
-        self._pong = np.empty(arena, dtype=self.dtype)
+        self._arena = self.max_batch * max(widths)
         sparse_x = [lp.in_width for lp in layers if lp.kernel == SPARSE_KERNEL]
         sparse_y = [lp.out_width for lp in layers if lp.kernel == SPARSE_KERNEL]
-        self._xt = (
-            np.empty(self.max_batch * max(sparse_x), dtype=self.dtype)
-            if sparse_x
-            else None
-        )
-        self._yt = (
-            np.empty(self.max_batch * max(sparse_y), dtype=self.dtype)
-            if sparse_y
-            else None
-        )
+        self._xt_size = self.max_batch * max(sparse_x) if sparse_x else 0
+        self._yt_size = self.max_batch * max(sparse_y) if sparse_y else 0
+        #: per-thread footprint of the arenas + transpose scratch.
         self.buffer_bytes = itemsize * (
-            2 * arena
-            + (self.max_batch * max(sparse_x) if sparse_x else 0)
-            + (self.max_batch * max(sparse_y) if sparse_y else 0)
+            2 * self._arena + self._xt_size + self._yt_size
         )
-        #: batch size -> per-layer views; built on first use of each n,
-        #: so repeated scoring at a steady batch size allocates nothing.
-        self._views: dict[int, tuple] = {}
+        # Arenas and view caches live per thread: ShardedScorer scores
+        # shards of one plan concurrently, and two in-flight batches
+        # must never share the ping-pong activation scratch.  Within a
+        # thread the views are still built once per batch size, so
+        # steady-state scoring allocates nothing.
+        self._local = threading.local()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -295,21 +289,37 @@ class InferencePlan:
     # Execution
     # ------------------------------------------------------------------
     def _views_for(self, n: int) -> tuple:
-        views = self._views.get(n)
+        local = self._local
+        cache = getattr(local, "views", None)
+        if cache is None:
+            local.ping = np.empty(self._arena, dtype=self.dtype)
+            local.pong = np.empty(self._arena, dtype=self.dtype)
+            local.xt = (
+                np.empty(self._xt_size, dtype=self.dtype)
+                if self._xt_size
+                else None
+            )
+            local.yt = (
+                np.empty(self._yt_size, dtype=self.dtype)
+                if self._yt_size
+                else None
+            )
+            cache = local.views = {}
+        views = cache.get(n)
         if views is None:
             built = []
-            src, dst = self._ping, self._pong
+            src, dst = local.ping, local.pong
             for lp, kernel in zip(self.layers, self._kernels):
                 c = dst[: n * lp.out_width].reshape(n, lp.out_width)
                 if lp.kernel == SPARSE_KERNEL:
-                    xt = self._xt[: lp.in_width * n].reshape(lp.in_width, n)
-                    yt = self._yt[: lp.out_width * n].reshape(lp.out_width, n)
+                    xt = local.xt[: lp.in_width * n].reshape(lp.in_width, n)
+                    yt = local.yt[: lp.out_width * n].reshape(lp.out_width, n)
                     built.append(_LayerViews(c, xt, yt))
                 else:
                     built.append(_LayerViews(c))
                 src, dst = dst, src
-            entry = self._ping[: n * self.input_dim].reshape(n, self.input_dim)
-            views = self._views[n] = (entry, tuple(built))
+            entry = local.ping[: n * self.input_dim].reshape(n, self.input_dim)
+            views = cache[n] = (entry, tuple(built))
         return views
 
     def execute_into(self, features: np.ndarray, out: np.ndarray) -> None:

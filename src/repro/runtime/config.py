@@ -31,6 +31,7 @@ from typing import Any
 
 from repro.exceptions import ConfigError
 from repro.runtime.parallel import ParallelConfig
+from repro.runtime.ranking import PipelineConfig
 from repro.runtime.resilience import CircuitBreakerConfig, RetryPolicy
 
 __all__ = ["AsyncConfig", "ResilienceConfig", "ServiceConfig", "TenantConfig"]
@@ -395,6 +396,13 @@ class ServiceConfig:
         (:class:`~repro.serving.AsyncScoringService`): coalescing
         windows, queue depths, and per-tenant admission/QoS.  Ignored by
         the synchronous :class:`~repro.serving.ScoringService`.
+    pipeline:
+        Optional :class:`~repro.runtime.ranking.PipelineConfig` turning
+        the service into a multi-stage budgeted ranking cascade.  When
+        set, the service's ``model`` argument must be a mapping of the
+        role names the stages reference to live models, and ``backend``
+        / ``backend_options`` must stay unset (each stage names its
+        own).  See ``docs/cascade.md``.
     """
 
     budget_us_per_doc: float | None = None
@@ -405,8 +413,27 @@ class ServiceConfig:
     resilience: ResilienceConfig | None = None
     parallel: ParallelConfig | None = None
     frontend: AsyncConfig | None = None
+    pipeline: PipelineConfig | None = None
 
     def __post_init__(self) -> None:
+        if self.pipeline is not None:
+            if not isinstance(self.pipeline, PipelineConfig):
+                if isinstance(self.pipeline, dict):
+                    object.__setattr__(
+                        self,
+                        "pipeline",
+                        PipelineConfig.from_dict(self.pipeline),
+                    )
+                else:
+                    raise ConfigError(
+                        "pipeline must be a PipelineConfig or dict, "
+                        f"got {type(self.pipeline).__name__}"
+                    )
+            if self.backend is not None or self.backend_options:
+                raise ConfigError(
+                    "pipeline and backend/backend_options are mutually "
+                    "exclusive: each pipeline stage names its own backend"
+                )
         if self.backend_options is not None:
             if not isinstance(self.backend_options, dict):
                 try:
@@ -438,6 +465,7 @@ class ServiceConfig:
             ),
             "parallel": self.parallel.to_dict() if self.parallel else None,
             "frontend": self.frontend.to_dict() if self.frontend else None,
+            "pipeline": self.pipeline.to_dict() if self.pipeline else None,
         }
 
     @classmethod
@@ -452,6 +480,7 @@ class ServiceConfig:
             "resilience",
             "parallel",
             "frontend",
+            "pipeline",
         }
         unknown = set(data) - known
         if unknown:
@@ -467,6 +496,9 @@ class ServiceConfig:
         frontend = data.get("frontend")
         if isinstance(frontend, dict):
             frontend = AsyncConfig.from_dict(frontend)
+        pipeline = data.get("pipeline")
+        if isinstance(pipeline, dict):
+            pipeline = PipelineConfig.from_dict(pipeline)
         defaults = cls()
         return cls(
             budget_us_per_doc=data.get("budget_us_per_doc"),
@@ -481,4 +513,5 @@ class ServiceConfig:
             resilience=resilience,
             parallel=parallel,
             frontend=frontend,
+            pipeline=pipeline,
         )

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import time
 import warnings
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -57,10 +58,12 @@ from repro.runtime import (
     BudgetExceededError,
     FallbackChain,
     PricingContext,
+    RankingPipeline,
     ResilienceConfig,
     ServiceConfig,
     ServiceStats,
     ShardedScorer,
+    build_pipeline,
     is_scorer,
     make_scorer,
 )
@@ -99,7 +102,11 @@ class ScoringService:
         QuickScorer), a :class:`~repro.distill.student.DistilledStudent`
         (dense or first-layer-sparse), an
         :class:`~repro.design.cascade.EarlyExitCascade` — or an
-        already-built :class:`~repro.runtime.base.Scorer`.
+        already-built :class:`~repro.runtime.base.Scorer`.  When
+        ``config.pipeline`` is set, a mapping of stage role names to
+        models instead (resolved through
+        :func:`~repro.runtime.ranking.build_pipeline`), or a pre-built
+        :class:`~repro.runtime.ranking.RankingPipeline`.
     config:
         A :class:`~repro.runtime.config.ServiceConfig` bundling budget,
         batching, backend choice, parallelism and resilience.  Mutually
@@ -218,6 +225,21 @@ allow_unpriced:
 
         if context is None:
             context = PricingContext(predictor=predictor, qs_cost=cost_model)
+        self.pipeline: RankingPipeline | None = None
+        if config.pipeline is not None:
+            if isinstance(model, RankingPipeline):
+                self.pipeline = model
+            else:
+                if not isinstance(model, Mapping):
+                    raise ValueError(
+                        "a ServiceConfig with pipeline= needs model to be "
+                        "a mapping of stage role names to models, got "
+                        f"{type(model).__name__}"
+                    )
+                self.pipeline = build_pipeline(
+                    model, config.pipeline, context=context
+                )
+            model = self.pipeline
         self.model = model
         if is_scorer(model):
             self.scorer = model
@@ -283,6 +305,21 @@ allow_unpriced:
         """Shard/pool/cache snapshot, or ``None`` when the service was
         built without a :class:`ParallelConfig`."""
         return self.sharded.summary() if self.sharded else None
+
+    def pipeline_summary(self) -> list[dict[str, object]] | None:
+        """Per-stage name/cost/keep snapshot, or ``None`` when the
+        service was built without a
+        :class:`~repro.runtime.ranking.PipelineConfig`."""
+        if self.pipeline is None:
+            return None
+        return [
+            {
+                "stage": stage.name,
+                "cost_us_per_doc": stage.cost_us_per_doc,
+                "keep_fraction": stage.keep_fraction,
+            }
+            for stage in self.pipeline.stages
+        ]
 
     @property
     def fallback_ratio(self) -> float:

@@ -209,6 +209,50 @@ class TestThroughput:
         assert "quickscorer" in capsys.readouterr().out
 
 
+class TestCascade:
+    def test_probe_pipeline_and_funnel(self, tmp_path, capsys):
+        out_json = tmp_path / "cascade.json"
+        code = main(
+            [
+                "cascade",
+                "--queries", "6", "--docs", "16",
+                "--keep", "0.4", "0.5",
+                "--budget-us", "30",
+                "--repeats", "1",
+                "--json", str(out_json),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Cascade funnel" in out
+        assert "budget early-exits" in out
+        assert "expected amortized cost" in out
+        for system in ("cascade", "sparse-network", "quickscorer"):
+            assert system in out
+
+        import json
+
+        payload = json.loads(out_json.read_text())
+        assert payload["pipeline"]["budget_us_per_query"] == 30.0
+        assert [s["model"] for s in payload["pipeline"]["stages"]] == [
+            "sparse-network", "dense-network", "quickscorer",
+        ]
+        assert {row["system"] for row in payload["rows"]} == {
+            "cascade", "sparse-network", "dense-network", "quickscorer",
+        }
+        for row in payload["rows"]:
+            assert row["us_per_query"] > 0
+            assert 0.0 <= row["ndcg10"] <= 1.0
+
+    def test_unbudgeted_runs_all_stages(self, capsys):
+        code = main(
+            ["cascade", "--queries", "4", "--docs", "12", "--repeats", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 budget early-exits" in out
+
+
 class TestServe:
     def test_concurrent_probe_requests_bit_identical(self, capsys):
         code = main(

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.design import CascadeStage, EarlyExitCascade
+from repro.exceptions import CascadeError, ReproError
 from repro.metrics import mean_ndcg
 
 
@@ -108,6 +109,73 @@ class TestScoring:
         with pytest.raises(ValueError, match="returned shape"):
             cascade.score_query(rng.normal(size=(5, 3)))
 
+    def test_zero_doc_query_is_noop(self):
+        # Regression: score_query crashed on empty queries (min() of an
+        # empty score array); the contract now matches BatchEngine's
+        # zero-doc no-op.
+        cascade = EarlyExitCascade(
+            [
+                CascadeStage("a", lambda x: x[:, 0], 0.1, keep_fraction=0.5),
+                CascadeStage("b", lambda x: x[:, 0], 1.0),
+            ]
+        )
+        scores = cascade.score_query(np.zeros((0, 3)))
+        assert scores.shape == (0,)
+        assert scores.dtype == np.float64
+        detailed = cascade.score_query_detailed(np.zeros((0, 3)))
+        assert detailed.stages_run == 0
+        assert detailed.predicted_spend_us == 0.0
+        assert not detailed.exited_early
+
+    def test_score_dataset_with_empty_query_slice(self):
+        # LtrDataset cannot represent a zero-doc query, so the empty
+        # slice arrives through a duck-typed stand-in — exactly what a
+        # pre-filtered serving dataset looks like.
+        class Stub:
+            features = np.arange(24.0).reshape(8, 3)
+            n_docs = 8
+            n_queries = 3
+            _slices = [slice(0, 4), slice(4, 4), slice(4, 8)]
+
+            def query_slice(self, qi):
+                return self._slices[qi]
+
+        cascade = EarlyExitCascade(
+            [
+                CascadeStage("a", lambda x: x[:, 0], 0.1, keep_fraction=0.5),
+                CascadeStage("b", lambda x: -x[:, 1], 1.0),
+            ]
+        )
+        scores = cascade.score_dataset(Stub())
+        assert scores.shape == (8,)
+        assert np.isfinite(scores).all()
+
+    def test_nan_stage_raises_naming_the_stage(self, rng):
+        # Regression: NaN/inf stage scores silently corrupted the band
+        # offsets (NaN min/max poisons the normalization) instead of
+        # failing loudly.
+        def poisoned(x):
+            scores = x[:, 0].copy()
+            scores[0] = np.nan
+            return scores
+
+        cascade = EarlyExitCascade(
+            [
+                CascadeStage("cheap", lambda x: x[:, 0], 0.1, keep_fraction=0.5),
+                CascadeStage("poisoned-net", poisoned, 1.0),
+            ]
+        )
+        with pytest.raises(CascadeError, match="poisoned-net"):
+            cascade.score_query(rng.normal(size=(10, 3)))
+
+    def test_inf_stage_raises(self, rng):
+        bad = CascadeStage("diverged", lambda x: x[:, 0] * np.inf, 1.0)
+        with pytest.raises(CascadeError, match="diverged"):
+            EarlyExitCascade([bad]).score_query(rng.normal(size=(4, 3)))
+
+    def test_cascade_error_is_repro_error(self):
+        assert issubclass(CascadeError, ReproError)
+
     def test_describe(self):
         cascade = EarlyExitCascade(
             [
@@ -117,6 +185,209 @@ class TestScoring:
         )
         text = cascade.describe()
         assert "net" in text and "keep 20%" in text
+
+
+class TestSurvivorCutPolicy:
+    """The ceil cut policy, pinned (regression for banker's rounding)."""
+
+    def _stage(self, keep):
+        return CascadeStage("s", lambda x: x[:, 0], 1.0, keep_fraction=keep)
+
+    def test_half_of_five_promotes_three(self):
+        # int(round(0.5 * 5)) == 2 under banker's rounding; the pinned
+        # ceil policy promotes 3 — at least the configured share.
+        assert self._stage(0.5).survivor_count(5) == 3
+
+    def test_half_of_six_promotes_three(self):
+        assert self._stage(0.5).survivor_count(6) == 3
+
+    def test_pinned_table(self):
+        # (keep, n_alive) -> survivors; the documented contract.
+        table = {
+            (0.3, 10): 3,
+            (0.25, 10): 3,  # ceil(2.5), round() would give 2
+            (0.1, 4): 1,
+            (0.01, 3): 1,  # floor of one survivor
+            (1.0, 7): 7,
+            (0.999, 1): 1,
+        }
+        for (keep, n), expected in table.items():
+            assert self._stage(keep).survivor_count(n) == expected, (keep, n)
+
+    def test_zero_alive(self):
+        assert self._stage(0.5).survivor_count(0) == 0
+
+    def test_monotone_in_query_length(self):
+        stage = self._stage(0.37)
+        counts = [stage.survivor_count(n) for n in range(1, 50)]
+        assert counts == sorted(counts)
+
+
+class TestBudget:
+    def _cascade(self, budget):
+        return EarlyExitCascade(
+            [
+                CascadeStage("a", lambda x: x[:, 0], 1.0, keep_fraction=0.5),
+                CascadeStage("b", lambda x: x[:, 1], 4.0, keep_fraction=0.5),
+                CascadeStage("c", lambda x: x[:, 2], 16.0),
+            ],
+            budget_us_per_query=budget,
+        )
+
+    def test_invalid_budget_rejected(self):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                self._cascade(bad)
+
+    def test_unbudgeted_runs_every_stage(self, rng):
+        result = self._cascade(None).score_query_detailed(
+            rng.normal(size=(8, 3))
+        )
+        assert result.stages_run == 3
+        assert not result.exited_early
+        # 8 docs -> 4 -> 2: spend = 8*1 + 4*4 + 2*16.
+        assert result.predicted_spend_us == pytest.approx(56.0)
+
+    def test_tight_budget_stops_after_first_stage(self, rng):
+        # 8 docs: stage 1 spends 8; promoting 4 to stage 2 would add 16.
+        result = self._cascade(20.0).score_query_detailed(
+            rng.normal(size=(8, 3))
+        )
+        assert result.stages_run == 1
+        assert result.exited_early
+        assert result.predicted_spend_us == pytest.approx(8.0)
+
+    def test_budget_allows_partial_promotion(self, rng):
+        # Budget 30: 8 + 16 = 24 fits, promoting 2 to stage c adds 32.
+        result = self._cascade(30.0).score_query_detailed(
+            rng.normal(size=(8, 3))
+        )
+        assert result.stages_run == 2
+        assert result.exited_early
+        assert result.predicted_spend_us == pytest.approx(24.0)
+
+    def test_first_stage_exempt(self, rng):
+        # Even a budget below the first stage's cost still ranks.
+        result = self._cascade(0.5).score_query_detailed(
+            rng.normal(size=(8, 3))
+        )
+        assert result.stages_run == 1
+        assert result.predicted_spend_us == pytest.approx(8.0)
+
+    def test_predicted_spend_bound(self, rng):
+        for budget in (0.5, 8.0, 20.0, 30.0, 100.0):
+            cascade = self._cascade(budget)
+            result = cascade.score_query_detailed(rng.normal(size=(8, 3)))
+            assert result.predicted_spend_us <= max(budget, 8 * 1.0) + 1e-9
+
+    def test_closed_form_matches_detailed(self, rng):
+        for budget in (None, 0.5, 20.0, 30.0, 1000.0):
+            cascade = self._cascade(budget)
+            for n in (1, 2, 5, 8, 31):
+                result = cascade.score_query_detailed(
+                    rng.normal(size=(n, 3))
+                )
+                assert result.predicted_spend_us == pytest.approx(
+                    cascade.predicted_query_spend_us(n)
+                ), (budget, n)
+
+    def test_budget_in_describe(self):
+        assert "budget 30 us/query" in self._cascade(30.0).describe()
+
+
+class TestRefinementProperty:
+    """Cascade output is always a refinement, never a shuffle."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        data=st.data(),
+        n_docs=st.integers(1, 40),
+        n_stages=st.integers(1, 4),
+        budgeted=st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_dropouts_rank_below_survivors(
+        self, data, n_docs, n_stages, budgeted
+    ):
+        st = self.st
+        rng = np.random.default_rng(
+            data.draw(st.integers(0, 2**32 - 1), label="seed")
+        )
+        # Integer-valued features force plenty of tied stage scores.
+        x = rng.integers(-2, 3, size=(n_docs, max(n_stages, 1))).astype(
+            np.float64
+        )
+        stages = []
+        for i in range(n_stages):
+            keep = data.draw(
+                st.floats(0.05, 1.0, allow_nan=False), label=f"keep{i}"
+            )
+            cost = data.draw(
+                st.floats(0.01, 5.0, allow_nan=False), label=f"cost{i}"
+            )
+            stages.append(
+                CascadeStage(
+                    f"s{i}",
+                    (lambda col: lambda f: f[:, col])(i),
+                    cost,
+                    keep_fraction=keep,
+                )
+            )
+        budget = (
+            data.draw(st.floats(0.5, 50.0, allow_nan=False), label="budget")
+            if budgeted
+            else None
+        )
+        cascade = EarlyExitCascade(stages, budget_us_per_query=budget)
+        result = cascade.score_query_detailed(x)
+
+        assert result.scores.shape == (n_docs,)
+        assert np.isfinite(result.scores).all()
+        assert 1 <= result.stages_run <= n_stages
+        # Survivor sets nest, and every stage-i dropout's final score is
+        # strictly below every doc the next stage evaluated.
+        np.testing.assert_array_equal(result.survivors[0], np.arange(n_docs))
+        for level in range(result.stages_run - 1):
+            prev = set(result.survivors[level].tolist())
+            nxt = set(result.survivors[level + 1].tolist())
+            assert nxt <= prev
+            assert len(nxt) == stages[level].survivor_count(len(prev))
+            dropped = sorted(prev - nxt)
+            if dropped:
+                assert (
+                    result.scores[dropped].max()
+                    < result.scores[sorted(nxt)].min()
+                )
+        # Budget accounting matches the closed form and its bound.
+        assert result.predicted_spend_us == pytest.approx(
+            cascade.predicted_query_spend_us(n_docs)
+        )
+        if budget is not None:
+            bound = max(budget, n_docs * stages[0].cost_us_per_doc)
+            assert result.predicted_spend_us <= bound + 1e-9
+
+    @given(
+        costs=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=4),
+        keeps=st.lists(st.floats(0.05, 1.0), min_size=4, max_size=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_expected_cost_closed_form(self, costs, keeps):
+        # expected_cost == c1 + k1*c2 + k1*k2*c3 + k1*k2*k3*c4 for every
+        # stage count from 1 to 4.
+        stages = [
+            CascadeStage(f"s{i}", lambda x: x[:, 0], c, keep_fraction=k)
+            for i, (c, k) in enumerate(zip(costs, keeps))
+        ]
+        cascade = EarlyExitCascade(stages)
+        expected = 0.0
+        alive = 1.0
+        for i, (c, k) in enumerate(zip(costs, keeps)):
+            expected += alive * c
+            if i < len(costs) - 1:
+                alive *= k
+        assert cascade.expected_cost_us_per_doc() == pytest.approx(expected)
 
 
 class TestCascadeCostProperties:

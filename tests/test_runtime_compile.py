@@ -130,6 +130,41 @@ class TestBitIdentity:
         )
         np.testing.assert_array_equal(plan.score(x), expected)
 
+    def test_concurrent_scoring_is_bit_identical(self, context):
+        """Threads sharing one plan must not share in-flight activations
+        (ShardedScorer scores shards of the same plan concurrently)."""
+        import threading
+
+        network = _network((16, 8), sparsity=0.9, seed=5)
+        kernels = [SPARSE_KERNEL] + [None] * (network.n_layers - 1)
+        plan = compile_network(network, context=context, kernels=kernels)
+        rng = np.random.default_rng(5)
+        batches = [rng.normal(size=(17, 12)) for _ in range(8)]
+        expected = [plan.score(x) for x in batches]
+
+        n_threads, rounds = 4, 25
+        barrier = threading.Barrier(n_threads)
+        failures: list[str] = []
+
+        def worker(tid: int) -> None:
+            barrier.wait()
+            for r in range(rounds):
+                i = (tid + r) % len(batches)
+                got = plan.score(batches[i])
+                if not np.array_equal(got, expected[i]):
+                    failures.append(f"thread {tid} round {r} batch {i}")
+                    return
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures, f"concurrent scoring diverged: {failures}"
+
 
 # ----------------------------------------------------------------------
 # Stable mode
