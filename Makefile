@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast verify smoke obs-smoke resilience-smoke parallel-smoke compile-smoke serving-smoke trace-smoke cascade-smoke bench examples report clean
+.PHONY: install test test-fast verify smoke obs-smoke resilience-smoke parallel-smoke compile-smoke serving-smoke trace-smoke cascade-smoke lifecycle-smoke bench examples report clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -14,7 +14,7 @@ test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow" -x
 
 # Tier-1 gate: the full suite plus a bytecode compile of the library.
-verify: obs-smoke resilience-smoke parallel-smoke compile-smoke serving-smoke trace-smoke cascade-smoke
+verify: obs-smoke resilience-smoke parallel-smoke compile-smoke serving-smoke trace-smoke cascade-smoke lifecycle-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(PYTHON) -m compileall -q src
 
@@ -61,6 +61,13 @@ trace-smoke:
 # cascade.* funnel series.
 cascade-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.runtime.cascade_smoke
+
+# Lifecycle gate: a forced mid-load hot swap loses zero requests and
+# stays bit-identical pre/post; the shadow gate promotes a good
+# candidate, rolls back a regressed one, and invalidates the cache by
+# fingerprint; replay-fed redistillation swaps in a fine-tuned student.
+lifecycle-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.runtime.lifecycle_smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

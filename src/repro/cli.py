@@ -779,12 +779,30 @@ def cmd_loadtest(args) -> int:
         slo_us=args.slo_us,
         tenants=tuple(cfg for _, _, cfg in tenants),
     )
+    swap_fn = None
+    if args.swap_at is not None:
+        candidate = models[model_key]
+        if hasattr(candidate, "clone"):
+            candidate = candidate.clone()
+            last = candidate.network.linears[-1]
+            last.weight.data *= 1.001
+            last.bias.data *= 1.001
+            swap_kwargs = {}
+        else:
+            # forests have no cheap perturbed twin; swap to the student
+            candidate = models["dense-network"]
+            swap_kwargs = {"backend": "dense-network"}
+        swap_fn = lambda front: front.swap(  # noqa: E731
+            candidate, version="v2", force=True, **swap_kwargs
+        )
     n_features = models["dataset"].features.shape[1]
     report = run_load(
         service,
         spec,
         make_queries(spec, n_features),
         frontend=frontend,
+        swap_at=args.swap_at,
+        swap_fn=swap_fn,
     )
     serving = obs.serving_report()
     log.info("%s", report.render())
@@ -798,6 +816,97 @@ def cmd_loadtest(args) -> int:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
         log.info("load report + metrics snapshot -> %s", args.json)
+    return 0
+
+
+def cmd_swap(args) -> int:
+    """Probe the versioned model lifecycle end to end.
+
+    Builds the probe student service, swaps in a near-identical
+    candidate through the shadow-scoring gate (promoted on live traffic)
+    and — with ``--regressed`` — a deliberately broken one (rolled back
+    automatically).  Prints the gate evidence, the swap timeline and the
+    ``lifecycle.*`` report; ``--json`` dumps the lifecycle summary.
+    """
+    import json
+
+    from repro.obs.probe import build_probe_models
+    from repro.runtime import LifecycleConfig, ParallelConfig, ServiceConfig
+    from repro.serving import ScoringService
+
+    models = build_probe_models(
+        n_queries=args.queries, docs_per_query=args.docs, seed=args.seed
+    )
+    dataset = models["dataset"]
+    student = models["dense-network"]
+    service = ScoringService(
+        student,
+        ServiceConfig(
+            max_batch_size=None,
+            parallel=ParallelConfig(workers=2, cache_entries=4096),
+            lifecycle=LifecycleConfig(
+                shadow_mode="sync",
+                shadow_fraction=args.shadow_fraction,
+                shadow_min_requests=args.shadow_min,
+            ),
+        ),
+    )
+    queries = [
+        dataset.features[dataset.query_slice(q)]
+        for q in range(dataset.n_queries)
+    ]
+
+    def serve(n: int) -> None:
+        for i in range(n):
+            service.score(queries[i % len(queries)])
+
+    def shadow_phase(candidate, version: str) -> None:
+        outcome = service.swap(candidate, version=version)
+        log.info("swap(%s) -> %s", version, outcome["action"])
+        serve(args.requests)
+        if service.lifecycle.state == "shadowing":
+            service.lifecycle.decide()
+        gate = service.lifecycle.last_gate
+        verdict = "PASSED" if gate.passed else "TRIPPED"
+        log.info(
+            "gate %s after %d comparisons: drift %.2f%%, agreement %.3f%s",
+            verdict, gate.compared, gate.mean_drift_pct,
+            gate.mean_agreement,
+            (" (" + "; ".join(gate.reasons) + ")") if gate.reasons else "",
+        )
+        log.info("active version: %s", service.registry.active.version_id)
+
+    serve(args.requests)  # warm the incumbent before any swap
+    good = student.clone()
+    for param in (
+        good.network.linears[-1].weight,
+        good.network.linears[-1].bias,
+    ):
+        param.data *= 1.001
+    shadow_phase(good, "candidate")
+    if args.regressed:
+        bad = student.clone()
+        for param in (
+            bad.network.linears[-1].weight,
+            bad.network.linears[-1].bias,
+        ):
+            param.data *= -1.0
+        shadow_phase(bad, "regressed")
+    summary = service.lifecycle_summary()
+    log.info("")
+    for event in summary["swap_events"]:
+        log.info(
+            "  %s: %s -> %s (%d compared, %d cache rows invalidated)",
+            event["kind"], event["from_version"], event["to_version"],
+            event["compared"], event["invalidated"],
+        )
+    log.info("")
+    log.info("%s", obs.lifecycle_report().render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+        log.info("lifecycle summary -> %s", args.json)
+    service.close()
     return 0
 
 
@@ -1379,10 +1488,44 @@ def build_parser() -> argparse.ArgumentParser:
         "deadline of their own",
     )
     p.add_argument(
+        "--swap-at", type=float, default=None, metavar="FRACTION",
+        help="force a zero-downtime hot swap to a perturbed candidate "
+        "after this fraction of offered requests; the report records "
+        "the swap timing and per-version served counts",
+    )
+    p.add_argument(
         "--json", help="also write the load report + metrics snapshot here"
     )
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_loadtest)
+
+    p = sub.add_parser(
+        "swap",
+        help="probe the versioned lifecycle: shadow-gated hot swap, "
+        "promotion gate, automatic rollback",
+    )
+    p.add_argument("--queries", type=int, default=8)
+    p.add_argument("--docs", type=int, default=12)
+    p.add_argument(
+        "--requests", type=int, default=16,
+        help="requests served during each shadow phase",
+    )
+    p.add_argument(
+        "--shadow-fraction", type=float, default=1.0,
+        help="fraction of live traffic mirrored to the candidate",
+    )
+    p.add_argument(
+        "--shadow-min", type=int, default=8,
+        help="comparisons required before the gate decides",
+    )
+    p.add_argument(
+        "--regressed", action="store_true",
+        help="also swap in a regressed candidate to demonstrate the "
+        "automatic rollback",
+    )
+    p.add_argument("--json", help="write the lifecycle summary here")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_swap)
 
     p = sub.add_parser(
         "trace",

@@ -12,6 +12,7 @@ from repro.distill.teacher import TreeEnsembleTeacher
 from repro.distill.augmentation import SplitPointAugmenter
 from repro.distill.student import DistilledStudent
 from repro.distill.distiller import DistillationConfig, Distiller
+from repro.distill.replay import ReplayBuffer, ReplayError, redistill_student
 
 __all__ = [
     "TreeEnsembleTeacher",
@@ -19,4 +20,7 @@ __all__ = [
     "DistilledStudent",
     "DistillationConfig",
     "Distiller",
+    "ReplayBuffer",
+    "ReplayError",
+    "redistill_student",
 ]

@@ -19,6 +19,10 @@ One light-weight layer used across the training and serving stack:
   cache-hit series fed by the sharded scorer
   (:mod:`repro.runtime.parallel`), read back by
   :func:`parallel_report`;
+* :mod:`repro.obs.lifecycle` — per-model-version serving, shadow
+  comparison and swap/rollback series fed by the versioned lifecycle
+  layer (:mod:`repro.runtime.lifecycle`), read back by
+  :func:`lifecycle_report`;
 * :mod:`repro.obs.cascade` — per-stage survivor-funnel / early-exit /
   predicted-spend series fed by the cascade adapter
   (:class:`~repro.runtime.adapters.CascadeScorer`), read back by
@@ -65,10 +69,25 @@ from repro.obs.compile import (
     record_compile,
 )
 from repro.obs.drift import DriftReport, DriftRow, drift_report, record_request
+from repro.obs.lifecycle import (
+    LifecycleReport,
+    LifecycleRow,
+    lifecycle_report,
+    record_replay,
+    record_rollback,
+    record_served_version,
+    record_shadow_comparison,
+    record_shadow_dropped,
+    record_shadow_error,
+    record_swap,
+    record_version_documents,
+)
 from repro.obs.parallel import (
     ParallelReport,
     ParallelRow,
     parallel_report,
+    record_cache_eviction,
+    record_cache_invalidation,
     record_parallel_request,
 )
 from repro.obs.resilience import (
@@ -166,6 +185,8 @@ __all__ = [
     "ExemplarStore",
     "FlightRecorder",
     "Gauge",
+    "LifecycleReport",
+    "LifecycleRow",
     "MetricError",
     "MetricsRegistry",
     "ParallelReport",
@@ -199,22 +220,33 @@ __all__ = [
     "get_slo_monitor",
     "get_tracer",
     "histogram",
+    "lifecycle_report",
     "parallel_report",
     "prometheus_name",
     "record_admitted",
     "record_batch",
     "record_breaker_state",
+    "record_cache_eviction",
+    "record_cache_invalidation",
     "record_cascade_query",
     "record_compile",
     "record_fallback",
     "record_failure",
     "record_parallel_request",
+    "record_replay",
     "record_request",
     "record_response",
     "record_retry",
+    "record_rollback",
     "record_served",
+    "record_served_version",
+    "record_shadow_comparison",
+    "record_shadow_dropped",
+    "record_shadow_error",
     "record_shed",
     "record_slo_event",
+    "record_swap",
+    "record_version_documents",
     "render_json",
     "render_prometheus",
     "render_record",

@@ -1,0 +1,273 @@
+"""Model-lifecycle metric series and the per-version serving report.
+
+The versioned serving layer (:mod:`repro.runtime.lifecycle`) folds every
+request, shadow comparison and swap decision into the default
+:class:`~repro.obs.metrics.MetricsRegistry`:
+
+* ``lifecycle.requests`` (counter, label ``version``) — logical
+  requests served by each model version (coalesced batches count each
+  member request);
+* ``lifecycle.documents`` (counter, label ``version``) — documents
+  scored by each version;
+* ``lifecycle.shadow_requests`` (counter, label ``version``) — live
+  requests mirrored to a candidate during a shadow-scoring phase;
+* ``lifecycle.shadow_drift_pct`` (gauge + histogram, label ``version``)
+  — per-comparison mean absolute score drift of the candidate vs the
+  incumbent, as a percentage of the incumbent's score scale;
+* ``lifecycle.shadow_agreement`` (gauge, label ``version``) — NDCG@k
+  ranking agreement of the candidate against the incumbent's ordering;
+* ``lifecycle.shadow_errors`` / ``lifecycle.shadow_dropped`` (counters,
+  label ``version``) — candidate scoring failures and mirrored requests
+  dropped because the off-hot-path shadow queue was full;
+* ``lifecycle.swaps`` (counter, label ``kind``) — version activations:
+  ``promoted`` (shadow gate passed), ``forced`` (explicit
+  ``swap(force=True)``) or ``rolled-back`` (manual rollback to the
+  previous version);
+* ``lifecycle.rollbacks`` (counter) — candidates rejected by the
+  promotion gate (automatic rollback) plus manual rollbacks;
+* ``lifecycle.replay_rows`` / ``lifecycle.replay_seen`` (gauges) —
+  distinct rows held by the replay buffer and total rows it has
+  observed.
+
+:func:`lifecycle_report` reads the series back into one row per model
+version — the lifecycle counterpart of
+:func:`repro.obs.parallel.parallel_report`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+def record_served_version(
+    version: str,
+    n_requests: int = 1,
+    *,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Count ``n_requests`` logical requests served by ``version``."""
+    registry = registry or get_registry()
+    registry.counter("lifecycle.requests", version=version).inc(n_requests)
+
+
+def record_version_documents(
+    version: str,
+    n_docs: int,
+    *,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Count ``n_docs`` documents scored by ``version``."""
+    registry = registry or get_registry()
+    registry.counter("lifecycle.documents", version=version).inc(n_docs)
+
+
+def record_shadow_comparison(
+    version: str,
+    *,
+    drift_pct: float,
+    agreement: float,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Fold one incumbent-vs-candidate shadow comparison into the series.
+
+    NaN ``agreement`` (a zero-document mirror) leaves the gauge
+    untouched rather than poisoning it.
+    """
+    registry = registry or get_registry()
+    registry.counter("lifecycle.shadow_requests", version=version).inc()
+    if math.isfinite(drift_pct):
+        registry.gauge(
+            "lifecycle.shadow_drift_pct", version=version
+        ).set(drift_pct)
+        registry.histogram(
+            "lifecycle.shadow_drift_pct_hist", version=version
+        ).add(drift_pct)
+    if math.isfinite(agreement):
+        registry.gauge(
+            "lifecycle.shadow_agreement", version=version
+        ).set(agreement)
+
+
+def record_shadow_error(
+    version: str, *, registry: MetricsRegistry | None = None
+) -> None:
+    """Count one candidate scoring failure during shadowing."""
+    registry = registry or get_registry()
+    registry.counter("lifecycle.shadow_errors", version=version).inc()
+
+
+def record_shadow_dropped(
+    version: str, *, registry: MetricsRegistry | None = None
+) -> None:
+    """Count one mirrored request dropped by the bounded shadow queue."""
+    registry = registry or get_registry()
+    registry.counter("lifecycle.shadow_dropped", version=version).inc()
+
+
+def record_swap(
+    from_version: str | None,
+    to_version: str,
+    *,
+    kind: str,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Count one version activation of the given ``kind``."""
+    registry = registry or get_registry()
+    registry.counter("lifecycle.swaps", kind=kind).inc()
+
+
+def record_rollback(
+    candidate: str,
+    kept: str,
+    *,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Count one candidate blocked by the gate (or manual rollback)."""
+    registry = registry or get_registry()
+    registry.counter("lifecycle.rollbacks").inc()
+
+
+def record_replay(
+    *,
+    rows: int,
+    total_seen: int,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Publish the replay buffer's occupancy gauges."""
+    registry = registry or get_registry()
+    registry.gauge("lifecycle.replay_rows").set(rows)
+    registry.gauge("lifecycle.replay_seen").set(total_seen)
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LifecycleRow:
+    """One model version's serving and shadow position."""
+
+    version: str
+    requests: int
+    documents: int
+    shadow_requests: int
+    shadow_errors: int
+    shadow_drift_pct: float
+    shadow_agreement: float
+
+    def describe(self) -> str:
+        extras = ""
+        if self.shadow_requests:
+            extras = (
+                f", shadowed {self.shadow_requests}x "
+                f"(drift {self.shadow_drift_pct:.2f}%, "
+                f"agreement {self.shadow_agreement:.3f})"
+            )
+        return (
+            f"{self.version}: {self.requests} requests, "
+            f"{self.documents} documents{extras}"
+        )
+
+
+@dataclass(frozen=True)
+class LifecycleReport:
+    """Per-version serving rows plus swap/rollback totals."""
+
+    rows: tuple[LifecycleRow, ...]
+    swaps: int = 0
+    rollbacks: int = 0
+    shadow_dropped: int = 0
+
+    def version(self, name: str) -> LifecycleRow | None:
+        for row in self.rows:
+            if row.version == name:
+                return row
+        return None
+
+    def render(self) -> str:
+        if not self.rows:
+            return "(no versioned serving recorded)"
+        header = (
+            f"{'version':<16} {'requests':>9} {'documents':>10} "
+            f"{'shadowed':>9} {'drift%':>8} {'agree':>7}"
+        )
+        lines = ["Model lifecycle", header, "-" * len(header)]
+        for row in self.rows:
+            drift = (
+                f"{row.shadow_drift_pct:>8.2f}"
+                if math.isfinite(row.shadow_drift_pct)
+                else f"{'-':>8}"
+            )
+            agree = (
+                f"{row.shadow_agreement:>7.3f}"
+                if math.isfinite(row.shadow_agreement)
+                else f"{'-':>7}"
+            )
+            lines.append(
+                f"{row.version:<16} {row.requests:>9d} {row.documents:>10d} "
+                f"{row.shadow_requests:>9d} {drift} {agree}"
+            )
+        lines.append(
+            f"swaps: {self.swaps}, rollbacks: {self.rollbacks}, "
+            f"shadow dropped: {self.shadow_dropped}"
+        )
+        return "\n".join(lines)
+
+
+def lifecycle_report(
+    registry: MetricsRegistry | None = None,
+) -> LifecycleReport:
+    """Assemble the per-version serving table from the series."""
+    registry = registry or get_registry()
+    slots: dict[str, dict[str, float]] = {}
+    wanted = {
+        "lifecycle.requests",
+        "lifecycle.documents",
+        "lifecycle.shadow_requests",
+        "lifecycle.shadow_errors",
+        "lifecycle.shadow_drift_pct",
+        "lifecycle.shadow_agreement",
+    }
+    swaps = 0
+    rollbacks = 0
+    dropped = 0
+    for (name, label_pairs), metric in registry.items():
+        if name == "lifecycle.swaps":
+            swaps += int(metric.value)
+            continue
+        if name == "lifecycle.rollbacks":
+            rollbacks = int(metric.value)
+            continue
+        if name == "lifecycle.shadow_dropped":
+            dropped += int(metric.value)
+            continue
+        if name not in wanted:
+            continue
+        version = dict(label_pairs).get("version")
+        if version is None:
+            continue
+        slots.setdefault(version, {})[name] = metric.value
+    rows = tuple(
+        LifecycleRow(
+            version=version,
+            requests=int(slot.get("lifecycle.requests", 0)),
+            documents=int(slot.get("lifecycle.documents", 0)),
+            shadow_requests=int(slot.get("lifecycle.shadow_requests", 0)),
+            shadow_errors=int(slot.get("lifecycle.shadow_errors", 0)),
+            shadow_drift_pct=slot.get(
+                "lifecycle.shadow_drift_pct", float("nan")
+            ),
+            shadow_agreement=slot.get(
+                "lifecycle.shadow_agreement", float("nan")
+            ),
+        )
+        for version, slot in sorted(slots.items())
+    )
+    return LifecycleReport(
+        rows=rows,
+        swaps=swaps,
+        rollbacks=rollbacks,
+        shadow_dropped=dropped,
+    )

@@ -12,7 +12,12 @@ way the batch engine feeds the drift series:
 * ``parallel.pool_utilization`` (gauge, label ``backend``) — the last
   request's busy-time over ``lanes x wall`` (1.0 = no idle workers);
 * ``parallel.cache_hits`` / ``parallel.cache_misses`` (counters, label
-  ``backend``) — score-cache outcomes per document.
+  ``backend``) — score-cache outcomes per document;
+* ``parallel.cache_evictions`` / ``parallel.cache_invalidations``
+  (unlabeled counters) — entries dropped by LRU pressure and entries
+  dropped explicitly by fingerprint
+  (:meth:`~repro.runtime.parallel.ScoreCache.invalidate`, the hot-swap
+  hook), fed by the cache itself.
 
 :func:`parallel_report` reads the series back into one row per backend —
 mean shards per request, last balance/utilization, and the cache hit
@@ -63,6 +68,23 @@ def record_parallel_request(
         )
 
 
+def record_cache_eviction(
+    n: int = 1, *, registry: MetricsRegistry | None = None
+) -> None:
+    """Count ``n`` score-cache entries evicted under LRU pressure."""
+    registry = registry or get_registry()
+    registry.counter("parallel.cache_evictions").inc(n)
+
+
+def record_cache_invalidation(
+    n: int = 1, *, registry: MetricsRegistry | None = None
+) -> None:
+    """Count ``n`` score-cache entries dropped by explicit fingerprint
+    invalidation (a model version swapped out from under the cache)."""
+    registry = registry or get_registry()
+    registry.counter("parallel.cache_invalidations").inc(n)
+
+
 # ----------------------------------------------------------------------
 # Report
 # ----------------------------------------------------------------------
@@ -99,9 +121,17 @@ class ParallelRow:
 
 @dataclass(frozen=True)
 class ParallelReport:
-    """Per-backend shard/cache rows plus a rendering."""
+    """Per-backend shard/cache rows plus a rendering.
+
+    ``cache_evictions`` / ``cache_invalidations`` are cache-wide (a
+    :class:`~repro.runtime.parallel.ScoreCache` may be shared across
+    backends and model versions), so they ride on the report rather
+    than on a backend row.
+    """
 
     rows: tuple[ParallelRow, ...]
+    cache_evictions: int = 0
+    cache_invalidations: int = 0
 
     def backend(self, name: str) -> ParallelRow | None:
         for row in self.rows:
@@ -138,6 +168,11 @@ class ParallelReport:
                 f"{row.mean_shards_per_request:>11.1f} {balance} {util} "
                 f"{hit_ratio}"
             )
+        if self.cache_evictions or self.cache_invalidations:
+            lines.append(
+                f"cache: {self.cache_evictions} evicted, "
+                f"{self.cache_invalidations} invalidated"
+            )
         return "\n".join(lines)
 
 
@@ -155,7 +190,15 @@ def parallel_report(
         "parallel.cache_hits",
         "parallel.cache_misses",
     }
+    evictions = 0
+    invalidations = 0
     for (name, label_pairs), metric in registry.items():
+        if name == "parallel.cache_evictions":
+            evictions = int(metric.value)
+            continue
+        if name == "parallel.cache_invalidations":
+            invalidations = int(metric.value)
+            continue
         if name not in wanted:
             continue
         backend = dict(label_pairs).get("backend")
@@ -176,4 +219,8 @@ def parallel_report(
         )
         for backend, slot in sorted(slots.items())
     )
-    return ParallelReport(rows=rows)
+    return ParallelReport(
+        rows=rows,
+        cache_evictions=evictions,
+        cache_invalidations=invalidations,
+    )

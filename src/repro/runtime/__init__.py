@@ -29,7 +29,12 @@ One surface for "score documents with any model at a known price":
 * :class:`RankingPipeline` / :class:`PipelineConfig` /
   :func:`build_pipeline` — declarative multi-stage budgeted ranking
   cascades served through the ``cascade`` backend (see
-  ``docs/cascade.md``).
+  ``docs/cascade.md``);
+* :class:`ModelRegistry` / :class:`VersionedScorer` /
+  :class:`LifecycleManager` / :class:`LifecycleConfig` — versioned,
+  fingerprinted model entries with zero-downtime hot swap,
+  shadow-scored promotion gates and automatic rollback (see
+  ``docs/lifecycle.md``).
 
 See ``docs/runtime.md`` for the design and extension guide.
 """
@@ -63,6 +68,19 @@ from repro.runtime.context import (
     default_context,
     set_default_context,
     shared_predictor,
+)
+from repro.runtime.lifecycle import (
+    GateReport,
+    LifecycleConfig,
+    LifecycleError,
+    LifecycleManager,
+    ModelRegistry,
+    ModelVersion,
+    ShadowStats,
+    SwapEvent,
+    VersionedScorer,
+    ranking_agreement,
+    score_drift_pct,
 )
 from repro.runtime.faults import (
     FaultPolicy,
@@ -141,11 +159,17 @@ __all__ = [
     "FaultSpec",
     "FaultyScorer",
     "ForestShape",
+    "GateReport",
     "GpuQuickScorerAdapter",
     "InferencePlan",
     "InjectedFaultError",
     "LayerPlan",
+    "LifecycleConfig",
+    "LifecycleError",
+    "LifecycleManager",
     "ManualClock",
+    "ModelRegistry",
+    "ModelVersion",
     "NetworkShape",
     "ParallelConfig",
     "ParallelError",
@@ -166,12 +190,15 @@ __all__ = [
     "ScorerFaultError",
     "ServiceConfig",
     "ServiceStats",
+    "ShadowStats",
     "ShardPlan",
     "ShardedScorer",
     "SparseNetworkScorer",
     "StubScorer",
+    "SwapEvent",
     "TenantConfig",
     "UnknownBackendError",
+    "VersionedScorer",
     "backend_names",
     "build_pipeline",
     "compile_network",
@@ -185,8 +212,10 @@ __all__ = [
     "price",
     "price_forest_shape",
     "price_network_shape",
+    "ranking_agreement",
     "reference_scores",
     "register_backend",
+    "score_drift_pct",
     "scorer_fingerprint",
     "set_default_context",
     "shared_predictor",

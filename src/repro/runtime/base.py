@@ -28,7 +28,9 @@ serving layer; offline evaluation keeps using the models' native
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable
+from contextlib import contextmanager
 from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
@@ -113,6 +115,44 @@ class BaseScorer:
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} [{self.backend}] {self.describe()}>"
+
+
+# ----------------------------------------------------------------------
+# Request-scoped version pinning
+# ----------------------------------------------------------------------
+#: Thread-local (token, n_requests) set by the batch engine around one
+#: logical request (or one coalesced batch).  Version-aware scorers
+#: (:class:`~repro.runtime.lifecycle.VersionedScorer`) snapshot the
+#: active model version once per token, so a hot swap landing mid-way
+#: through a chunked request can never mix versions within it.
+_PIN_STATE = threading.local()
+
+
+@contextmanager
+def pinned_scope(n_requests: int = 1):
+    """Pin version resolution for the duration of one engine call.
+
+    The engine wraps each ``score`` / ``score_coalesced`` execution in
+    this scope.  Scorers that resolve a mutable target per call (the
+    versioned registry scorer) cache their resolution against the
+    scope's token: every chunk of the wrapped call sees the same model
+    version — the "in-flight requests finish on the incumbent" half of
+    the zero-downtime swap contract.  ``n_requests`` tells such scorers
+    how many logical requests the scope carries (1 for a plain call,
+    the batch width for a coalesced one) so per-version served counts
+    stay request-accurate.  No-op overhead for ordinary scorers.
+    """
+    previous = getattr(_PIN_STATE, "state", None)
+    _PIN_STATE.state = (object(), int(n_requests))
+    try:
+        yield
+    finally:
+        _PIN_STATE.state = previous
+
+
+def current_pin() -> tuple[object, int] | None:
+    """The calling thread's active pin ``(token, n_requests)``, if any."""
+    return getattr(_PIN_STATE, "state", None)
 
 
 def stable_forward(network: FeedForwardNetwork, x: np.ndarray) -> np.ndarray:

@@ -40,7 +40,7 @@ from repro import obs
 from repro.exceptions import ReproError
 from repro.obs.metrics import StreamingHistogram
 from repro.obs.requests import activate_batch
-from repro.runtime.base import Scorer
+from repro.runtime.base import Scorer, pinned_scope
 from repro.utils.validation import check_array_2d
 
 #: Reservoir size of the per-service latency histogram.  Percentiles are
@@ -293,7 +293,8 @@ class BatchEngine:
         x = check_array_2d(x, "features")
         with obs.span("engine.score", backend=self.scorer.backend) as sp:
             start = time.perf_counter()
-            scores = self._score_chunked(x)
+            with pinned_scope(1):
+                scores = self._score_chunked(x)
             elapsed = time.perf_counter() - start
             sp.set(docs=len(x), us=round(elapsed * 1e6, 1))
         self.stats.record(len(x), elapsed)
@@ -402,7 +403,7 @@ class BatchEngine:
                 if live_contexts
                 else contextlib.nullcontext()
             )
-            with ctx_scope:
+            with ctx_scope, pinned_scope(len(live)):
                 if getattr(self.scorer, "batchable", True):
                     stacked = (
                         live[0] if len(live) == 1 else np.concatenate(live)

@@ -30,6 +30,7 @@ from dataclasses import asdict, dataclass
 from typing import Any
 
 from repro.exceptions import ConfigError
+from repro.runtime.lifecycle import LifecycleConfig
 from repro.runtime.parallel import ParallelConfig
 from repro.runtime.ranking import PipelineConfig
 from repro.runtime.resilience import CircuitBreakerConfig, RetryPolicy
@@ -403,6 +404,13 @@ class ServiceConfig:
         role names the stages reference to live models, and ``backend``
         / ``backend_options`` must stay unset (each stage names its
         own).  See ``docs/cascade.md``.
+    lifecycle:
+        Optional :class:`~repro.runtime.lifecycle.LifecycleConfig`
+        tuning the versioned-model lifecycle: shadow-scored promotion
+        gates for :meth:`~repro.serving.ScoringService.swap`, automatic
+        rollback, and the replay buffer behind ``redistill()``.  The
+        service always serves through a versioned registry; this config
+        only changes the promotion policy.  See ``docs/lifecycle.md``.
     """
 
     budget_us_per_doc: float | None = None
@@ -414,8 +422,23 @@ class ServiceConfig:
     parallel: ParallelConfig | None = None
     frontend: AsyncConfig | None = None
     pipeline: PipelineConfig | None = None
+    lifecycle: LifecycleConfig | None = None
 
     def __post_init__(self) -> None:
+        if self.lifecycle is not None and not isinstance(
+            self.lifecycle, LifecycleConfig
+        ):
+            if isinstance(self.lifecycle, dict):
+                object.__setattr__(
+                    self,
+                    "lifecycle",
+                    LifecycleConfig.from_dict(self.lifecycle),
+                )
+            else:
+                raise ConfigError(
+                    "lifecycle must be a LifecycleConfig or dict, "
+                    f"got {type(self.lifecycle).__name__}"
+                )
         if self.pipeline is not None:
             if not isinstance(self.pipeline, PipelineConfig):
                 if isinstance(self.pipeline, dict):
@@ -466,6 +489,9 @@ class ServiceConfig:
             "parallel": self.parallel.to_dict() if self.parallel else None,
             "frontend": self.frontend.to_dict() if self.frontend else None,
             "pipeline": self.pipeline.to_dict() if self.pipeline else None,
+            "lifecycle": (
+                self.lifecycle.to_dict() if self.lifecycle else None
+            ),
         }
 
     @classmethod
@@ -481,6 +507,7 @@ class ServiceConfig:
             "parallel",
             "frontend",
             "pipeline",
+            "lifecycle",
         }
         unknown = set(data) - known
         if unknown:
@@ -499,6 +526,9 @@ class ServiceConfig:
         pipeline = data.get("pipeline")
         if isinstance(pipeline, dict):
             pipeline = PipelineConfig.from_dict(pipeline)
+        lifecycle = data.get("lifecycle")
+        if isinstance(lifecycle, dict):
+            lifecycle = LifecycleConfig.from_dict(lifecycle)
         defaults = cls()
         return cls(
             budget_us_per_doc=data.get("budget_us_per_doc"),
@@ -514,4 +544,5 @@ class ServiceConfig:
             parallel=parallel,
             frontend=frontend,
             pipeline=pipeline,
+            lifecycle=lifecycle,
         )

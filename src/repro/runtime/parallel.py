@@ -330,6 +330,7 @@ class ScoreCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -375,6 +376,7 @@ class ScoreCache:
             raise ParallelError(
                 f"got {len(digests)} digests for {len(scores)} scores"
             )
+        evicted = 0
         with self._lock:
             for digest, score in zip(digests, scores):
                 key = (model_key, digest)
@@ -384,6 +386,34 @@ class ScoreCache:
                 while len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
                     self.evictions += 1
+                    evicted += 1
+        if evicted:
+            from repro.obs.parallel import record_cache_eviction
+
+            record_cache_eviction(evicted)
+
+    def invalidate(self, fingerprint: str) -> int:
+        """Drop every entry keyed by ``fingerprint``; returns the count.
+
+        The hot-swap hook: when a model version is promoted, the
+        lifecycle manager invalidates the *outgoing* version's entries
+        by its plan fingerprint so the cache never pins a retired
+        model's bits in memory.  (Correctness never depended on this —
+        keys are fingerprint-scoped, so a new version cannot hit an old
+        version's rows — but a swapped-out model's entries are dead
+        weight that would otherwise age out one eviction at a time.)
+        """
+        key = str(fingerprint)
+        with self._lock:
+            doomed = [k for k in self._entries if k[0] == key]
+            for entry_key in doomed:
+                del self._entries[entry_key]
+            self.invalidations += len(doomed)
+        if doomed:
+            from repro.obs.parallel import record_cache_invalidation
+
+            record_cache_invalidation(len(doomed))
+        return len(doomed)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
@@ -399,6 +429,7 @@ class ScoreCache:
                 "hits": float(self.hits),
                 "misses": float(self.misses),
                 "evictions": float(self.evictions),
+                "invalidations": float(self.invalidations),
                 "hit_ratio": self.hit_ratio,
             }
 
@@ -453,14 +484,27 @@ class ShardedScorer:
         self.backend = scorer.backend
         self.batchable = getattr(scorer, "batchable", True)
         if self.batchable:
-            self.cache = cache or (
-                ScoreCache(self.config.cache_entries)
-                if self.config.cache_entries
-                else None
+            # `is not None`, not truthiness: an empty shared ScoreCache
+            # is falsy (it has __len__) but must still be adopted
+            self.cache = (
+                cache
+                if cache is not None
+                else (
+                    ScoreCache(self.config.cache_entries)
+                    if self.config.cache_entries
+                    else None
+                )
             )
         else:
             self.cache = None  # per-row entries are meaningless here
         self._fingerprint = scorer_fingerprint(scorer)
+        #: Scorers that publish a callable ``fingerprint()`` may change
+        #: identity over their lifetime (a versioned registry scorer
+        #: after a hot swap); re-read those per request instead of
+        #: trusting the construction-time value.
+        self._dynamic_fingerprint = callable(
+            getattr(scorer, "fingerprint", None)
+        )
         self._pool: ThreadPoolExecutor | None = None
         if self.batchable and self.config.workers > 1:
             self._pool = ThreadPoolExecutor(
@@ -535,9 +579,10 @@ class ShardedScorer:
             return scores
         out = np.empty(n, dtype=np.float64)
         hits = misses = 0
+        model_key = self._model_key()
         if self.cache is not None:
             digests = _row_digests(x)
-            values, mask = self.cache.get_many(self._fingerprint, digests)
+            values, mask = self.cache.get_many(model_key, digests)
             out[mask] = values[mask]
             miss_idx = np.flatnonzero(~mask)
             hits, misses = int(mask.sum()), int(len(x) - mask.sum())
@@ -556,7 +601,7 @@ class ShardedScorer:
             out[miss_idx] = fresh
             if self.cache is not None:
                 self.cache.put_many(
-                    self._fingerprint,
+                    model_key,
                     [digests[i] for i in miss_idx],
                     fresh,
                 )
@@ -584,6 +629,14 @@ class ShardedScorer:
         return out
 
     # ------------------------------------------------------------------
+    def _model_key(self) -> str:
+        """The cache-keying fingerprint, re-read when the inner scorer
+        publishes a dynamic one (read once per request, so cached rows
+        and fresh rows of one request always share a key)."""
+        if self._dynamic_fingerprint:
+            return str(self.inner.fingerprint())
+        return self._fingerprint
+
     def _plan(self, n_rows: int) -> ShardPlan:
         us_per_doc = (
             self.inner.predicted_us_per_doc

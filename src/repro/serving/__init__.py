@@ -24,6 +24,12 @@ bounds, and SLO-miss accounting.  See ``docs/serving_async.md``.
 """
 
 from repro.runtime.config import AsyncConfig, TenantConfig
+from repro.runtime.lifecycle import (
+    LifecycleConfig,
+    LifecycleManager,
+    ModelRegistry,
+    ModelVersion,
+)
 from repro.serving.frontend import AsyncScoringService
 from repro.serving.loadgen import (
     LoadReport,
@@ -51,8 +57,12 @@ __all__ = [
     "AsyncConfig",
     "AsyncScoringService",
     "BudgetExceededError",
+    "LifecycleConfig",
+    "LifecycleManager",
     "LoadReport",
     "LoadSpec",
+    "ModelRegistry",
+    "ModelVersion",
     "RequestShedError",
     "ScoringService",
     "ServiceConfig",

@@ -165,6 +165,28 @@ class AsyncScoringService:
         self._closing = False
 
     # ------------------------------------------------------------------
+    # Model lifecycle (delegated to the wrapped service)
+    # ------------------------------------------------------------------
+    @property
+    def lifecycle(self):
+        """The wrapped service's
+        :class:`~repro.runtime.lifecycle.LifecycleManager`."""
+        return self.service.lifecycle
+
+    @property
+    def registry(self):
+        """The wrapped service's
+        :class:`~repro.runtime.lifecycle.ModelRegistry`."""
+        return self.service.registry
+
+    def swap(self, candidate, **kwargs) -> dict[str, object]:
+        """Hot-swap the served model zero-downtime (see
+        :meth:`ScoringService.swap`).  Safe to call while the batcher
+        is running: activation is atomic and in-flight coalesced
+        batches finish on the version they resolved."""
+        return self.service.swap(candidate, **kwargs)
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     @property

@@ -37,6 +37,7 @@ emits both.
 from __future__ import annotations
 
 import asyncio
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -163,6 +164,12 @@ class LoadReport:
     run (its :meth:`~repro.obs.requests.RequestContext.to_dict` form)
     when request tracing was enabled, ``None`` otherwise — the hook
     benchmarks use to ship one concrete tail trace with their tables.
+
+    ``swap_events`` records each mid-run hot swap fired through
+    ``swap_at``/``swap_fn`` (wall-clock offset, arrival index, and the
+    swap's own outcome dict); ``served_by_version`` counts the logical
+    requests each model version served during the run — both empty for
+    runs without a versioned swap.
     """
 
     spec: LoadSpec
@@ -173,6 +180,8 @@ class LoadReport:
     served_by_tenant: dict[str, int] = field(default_factory=dict)
     shed_by_tenant: dict[str, dict[str, int]] = field(default_factory=dict)
     trace_sample: dict | None = None
+    swap_events: list[dict] = field(default_factory=list)
+    served_by_version: dict[str, int] = field(default_factory=dict)
 
     @property
     def shed(self) -> int:
@@ -206,6 +215,8 @@ class LoadReport:
                 for tenant, reasons in self.shed_by_tenant.items()
             },
             "trace_sample": self.trace_sample,
+            "swap_events": list(self.swap_events),
+            "served_by_version": dict(self.served_by_version),
         }
 
     def render(self) -> str:
@@ -231,6 +242,20 @@ class LoadReport:
             lines.append(
                 f"  {tenant}: {self.served_by_tenant.get(tenant, 0)} "
                 f"served, {shed} shed{detail}"
+            )
+        for event in self.swap_events:
+            lines.append(
+                f"  swap at {event.get('at_s', 0.0):.3f}s "
+                f"(request {event.get('at_request', '?')}): "
+                f"{event.get('action', '?')}"
+            )
+        if self.served_by_version:
+            lines.append(
+                "  served by version: "
+                + ", ".join(
+                    f"{v}: {n}"
+                    for v, n in sorted(self.served_by_version.items())
+                )
             )
         return "\n".join(lines)
 
@@ -336,8 +361,21 @@ async def run_load_async(
     front: AsyncScoringService,
     spec: LoadSpec,
     queries: list[np.ndarray] | None = None,
+    *,
+    swap_at: float | None = None,
+    swap_fn=None,
 ) -> LoadReport:
-    """Replay ``spec`` against a **running** front-end; returns the report."""
+    """Replay ``spec`` against a **running** front-end; returns the report.
+
+    When ``swap_at`` (a fraction of the offered requests, in ``(0, 1)``)
+    and ``swap_fn`` are given, ``swap_fn(front)`` fires exactly once —
+    just before the arrival that crosses the fraction is issued — and
+    its return dict lands in ``report.swap_events`` together with the
+    wall-clock offset and arrival index.  ``report.served_by_version``
+    then carries the per-version request counts accumulated during the
+    run (requires the service's versioned scorer, present on every
+    :class:`~repro.serving.service.ScoringService`).
+    """
     if queries is None:
         raise ReproError(
             "run_load_async needs the query candidate lists; build them "
@@ -348,9 +386,41 @@ async def run_load_async(
             f"spec names {spec.n_queries} queries but only "
             f"{len(queries)} candidate lists were provided"
         )
+    if swap_at is not None:
+        if swap_fn is None:
+            raise ReproError("swap_at requires swap_fn")
+        if not 0.0 < swap_at < 1.0:
+            raise ReproError(
+                f"swap_at must lie in (0, 1), got {swap_at}"
+            )
     schedule = build_schedule(spec)
     report = LoadReport(spec=spec, offered=len(schedule))
+    swap_trigger = (
+        max(1, math.ceil(swap_at * len(schedule)))
+        if swap_at is not None and schedule
+        else None
+    )
+    issued = 0
+    versioned = getattr(getattr(front, "service", None), "versioned", None)
+    versions_before = (
+        dict(versioned.served_by_version) if versioned is not None else {}
+    )
     start = time.perf_counter()
+
+    def _before_issue() -> None:
+        # Single-threaded event loop: no lock needed around the counter.
+        nonlocal issued
+        issued += 1
+        if swap_trigger is not None and issued == swap_trigger:
+            info = swap_fn(front) or {}
+            report.swap_events.append(
+                {
+                    "at_s": time.perf_counter() - start,
+                    "at_request": issued,
+                    **info,
+                }
+            )
+
     if spec.mode == "open":
         tasks = []
         elapsed_base = time.perf_counter()
@@ -360,6 +430,7 @@ async def run_load_async(
             )
             if delay > 0:
                 await asyncio.sleep(delay)
+            _before_issue()
             tasks.append(
                 asyncio.ensure_future(
                     _issue(front, arrival, queries, report)
@@ -374,6 +445,7 @@ async def run_load_async(
 
         async def _worker(mine: list[_Arrival]) -> None:
             for arrival in mine:
+                _before_issue()
                 await _issue(front, arrival, queries, report)
                 if spec.think_time_s > 0:
                     await asyncio.sleep(
@@ -382,6 +454,11 @@ async def run_load_async(
 
         await asyncio.gather(*(_worker(mine) for mine in per_worker))
     report.wall_s = time.perf_counter() - start
+    if versioned is not None:
+        for version, count in versioned.served_by_version.items():
+            delta = count - versions_before.get(version, 0)
+            if delta > 0:
+                report.served_by_version[version] = delta
     recorder = obs.get_request_recorder()
     if recorder.enabled:
         slowest = recorder.flight.slowest_records(1)
@@ -397,12 +474,15 @@ def run_load(
     *,
     n_features: int | None = None,
     frontend=None,
+    swap_at: float | None = None,
+    swap_fn=None,
 ) -> LoadReport:
     """Build a front-end around ``service``, replay ``spec``, drain, report.
 
     ``queries`` may be omitted when ``n_features`` is given — the
     candidate lists are then generated by :func:`make_queries` from the
-    spec's own seed.
+    spec's own seed.  ``swap_at``/``swap_fn`` trigger a mid-run hot swap
+    (see :func:`run_load_async`).
     """
     if queries is None:
         if n_features is None:
@@ -415,6 +495,8 @@ def run_load(
         async with AsyncScoringService(
             service, frontend=frontend
         ) as front:
-            return await run_load_async(front, spec, queries)
+            return await run_load_async(
+                front, spec, queries, swap_at=swap_at, swap_fn=swap_fn
+            )
 
     return asyncio.run(_run())

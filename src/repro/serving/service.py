@@ -22,7 +22,15 @@ features a query processor needs:
   :class:`~repro.runtime.resilience.FallbackChain` — retries with
   backoff, per-request deadlines, and per-tier circuit breakers that
   trip on failure rate or predicted-vs-measured latency drift.  The
-  resilience layer wraps the sharded scorer unchanged.
+  resilience layer wraps the sharded scorer unchanged;
+* **versioned models with zero-downtime hot swap**: every service
+  serves through a :class:`~repro.runtime.lifecycle.ModelRegistry`
+  (a plain model is auto-wrapped as the single version ``v1``).
+  :meth:`ScoringService.swap` registers a candidate and promotes it
+  behind a shadow-scoring gate — or immediately with ``force=True`` —
+  with in-flight requests finishing on the incumbent, fingerprint-keyed
+  cache invalidation, and automatic rollback when the gate trips.  See
+  ``docs/lifecycle.md``.
 
 Configuration is one typed object, :class:`~repro.runtime.config.
 ServiceConfig`::
@@ -57,12 +65,17 @@ from repro.runtime import (
     BatchEngine,
     BudgetExceededError,
     FallbackChain,
+    LifecycleConfig,
+    LifecycleManager,
+    ModelRegistry,
     PricingContext,
     RankingPipeline,
     ResilienceConfig,
+    ScoreCache,
     ServiceConfig,
     ServiceStats,
     ShardedScorer,
+    VersionedScorer,
     build_pipeline,
     is_scorer,
     make_scorer,
@@ -227,6 +240,11 @@ allow_unpriced:
             context = PricingContext(predictor=predictor, qs_cost=cost_model)
         self.pipeline: RankingPipeline | None = None
         if config.pipeline is not None:
+            if isinstance(model, ModelRegistry):
+                raise ValueError(
+                    "a ServiceConfig with pipeline= cannot take a "
+                    "ModelRegistry: each pipeline stage names its own model"
+                )
             if isinstance(model, RankingPipeline):
                 self.pipeline = model
             else:
@@ -240,19 +258,31 @@ allow_unpriced:
                     model, config.pipeline, context=context
                 )
             model = self.pipeline
-        self.model = model
-        if is_scorer(model):
-            self.scorer = model
+        # Every service serves through a versioned registry; a plain
+        # model (or pipeline) is auto-wrapped as single version "v1".
+        opts = {**(config.backend_options or {}), **scorer_opts}
+        if isinstance(model, ModelRegistry):
+            if len(model) == 0:
+                raise ValueError(
+                    "cannot serve an empty ModelRegistry; register a "
+                    "model first"
+                )
+            self.registry = model
         else:
-            opts = {**(config.backend_options or {}), **scorer_opts}
-            self.scorer = make_scorer(
-                model, backend=config.backend, context=context, **opts
+            self.registry = ModelRegistry(
+                context=context,
+                backend=config.backend,
+                backend_options=opts,
             )
+            self.registry.register(model, version="v1", source="seed")
+        self.cache: ScoreCache | None = None
+        if config.parallel is not None and config.parallel.cache_entries:
+            self.cache = ScoreCache(config.parallel.cache_entries)
+        self.versioned = VersionedScorer(
+            self.registry, parallel=config.parallel, cache=self.cache
+        )
+        self.scorer = self.versioned
         engine_scorer = self.scorer
-        self.sharded: ShardedScorer | None = None
-        if config.parallel is not None:
-            self.sharded = ShardedScorer(self.scorer, config.parallel)
-            engine_scorer = self.sharded
         self.chain: FallbackChain | None = None
         resilience = config.resilience
         if resilience is not None:
@@ -280,12 +310,86 @@ allow_unpriced:
         )
         self.stats = self.engine.stats
         self.budget_us_per_doc = config.budget_us_per_doc
+        self.lifecycle = LifecycleManager(
+            self.registry,
+            config.lifecycle or LifecycleConfig(),
+            versioned=self.versioned,
+            cache=self.cache,
+            engine=self.engine,
+            budget_us_per_doc=config.budget_us_per_doc,
+            allow_unpriced=config.allow_unpriced,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def model(self):
+        """The active version's model (the ``v1`` seed until a swap)."""
+        return self.registry.active.model
+
+    @property
+    def sharded(self) -> ShardedScorer | None:
+        """The active version's shard stack (``None`` without
+        :class:`~repro.runtime.parallel.ParallelConfig`)."""
+        if self.config.parallel is None:
+            return None
+        return self.versioned.active_stack()
 
     # ------------------------------------------------------------------
     def score(self, features) -> np.ndarray:
         """Score one request's documents, updating the running stats."""
         with obs.span("service.request", backend=self.scorer.backend):
             return self.engine.score(features)
+
+    # ------------------------------------------------------------------
+    def swap(
+        self,
+        candidate,
+        *,
+        version: str | None = None,
+        force: bool = False,
+        source: str = "candidate",
+        **backend_options,
+    ) -> dict[str, object]:
+        """Register ``candidate`` and promote it zero-downtime.
+
+        With the default :class:`~repro.runtime.lifecycle.
+        LifecycleConfig` the swap opens a *shadow phase*: a fraction of
+        live traffic is mirrored to the candidate off the hot path and
+        the promotion gate (score drift + NDCG ranking agreement vs the
+        incumbent) decides.  ``force=True`` promotes immediately.
+        Either way the activation itself is one atomic pointer flip:
+        in-flight requests finish on the incumbent, new arrivals score
+        on the candidate, and the incumbent's
+        :class:`~repro.runtime.parallel.ScoreCache` rows are
+        invalidated by fingerprint.  See ``docs/lifecycle.md``.
+        """
+        return self.lifecycle.swap(
+            candidate,
+            version=version,
+            force=force,
+            source=source,
+            **backend_options,
+        )
+
+    def rollback(self):
+        """Re-activate the previously active model version."""
+        return self.lifecycle.rollback()
+
+    def redistill(self, **kwargs) -> dict[str, object]:
+        """Fine-tune the active student on the replay buffer and swap
+        the result in (see :meth:`~repro.runtime.lifecycle.
+        LifecycleManager.redistill`)."""
+        return self.lifecycle.redistill(**kwargs)
+
+    def lifecycle_summary(self) -> dict[str, object]:
+        """Registry/shadow/swap snapshot of the versioned lifecycle."""
+        return self.lifecycle.summary()
+
+    def close(self) -> None:
+        """Release worker pools and the shadow executor."""
+        self.lifecycle.close()
+        self.versioned.close()
+        self.registry.close()
 
     def drift_summary(self) -> dict[str, float]:
         """Predicted vs measured µs/doc for this service's traffic.

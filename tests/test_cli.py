@@ -323,6 +323,56 @@ class TestLoadtest:
         assert cfg.priority == 0 and cfg.deadline_us == 8000.0
         assert cfg.rate_per_s is None
 
+    def test_swap_at_records_timeline(self, tmp_path, capsys):
+        import json
+
+        out_json = tmp_path / "load.json"
+        code = main(
+            [
+                "loadtest",
+                "--mode", "closed",
+                "--workers", "4", "--requests-per-worker", "5",
+                "--distinct-queries", "8", "--docs", "4",
+                "--swap-at", "0.5",
+                "--json", str(out_json),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "swap at" in out and "forced" in out
+        assert "served by version" in out
+        payload = json.loads(out_json.read_text())
+        events = payload["load"]["swap_events"]
+        assert len(events) == 1 and events[0]["action"] == "forced"
+        by_version = payload["load"]["served_by_version"]
+        assert set(by_version) == {"v1", "v2"}
+        assert sum(by_version.values()) == payload["load"]["served"]
+        assert payload["load"]["errors"] == 0
+
+
+class TestSwap:
+    def test_gate_promotes_and_rolls_back(self, tmp_path, capsys):
+        import json
+
+        out_json = tmp_path / "lifecycle.json"
+        code = main(
+            [
+                "swap",
+                "--queries", "6", "--docs", "8", "--requests", "8",
+                "--shadow-min", "6", "--regressed",
+                "--json", str(out_json),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gate PASSED" in out and "gate TRIPPED" in out
+        assert "Model lifecycle" in out
+        # the regressed candidate must not end up live
+        assert out.rstrip().count("active version: candidate") == 2
+        payload = json.loads(out_json.read_text())
+        kinds = [e["kind"] for e in payload["swap_events"]]
+        assert "promoted" in kinds and "rolled-back" in kinds
+
 
 class TestTrace:
     def test_probe_load_renders_slowest_timelines(self, capsys):

@@ -109,8 +109,12 @@ class TestPublicApi:
             "AsyncConfig",
             "AsyncScoringService",
             "BudgetExceededError",
+            "LifecycleConfig",
+            "LifecycleManager",
             "LoadReport",
             "LoadSpec",
+            "ModelRegistry",
+            "ModelVersion",
             "RequestShedError",
             "ScoringService",
             "ServiceConfig",

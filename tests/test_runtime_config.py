@@ -120,6 +120,43 @@ class TestConfigObjects:
 
         assert json.loads(json.dumps(config.to_dict())) == config.to_dict()
 
+    def test_lifecycle_round_trip(self):
+        from repro.runtime import LifecycleConfig
+
+        config = ServiceConfig(
+            backend="dense-network",
+            lifecycle=LifecycleConfig(
+                shadow_fraction=0.5,
+                shadow_min_requests=4,
+                shadow_mode="sync",
+                replay_capacity=128,
+            ),
+        )
+        import json
+
+        rebuilt = ServiceConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))
+        )
+        assert rebuilt == config
+        assert rebuilt.lifecycle.shadow_fraction == 0.5
+
+    def test_lifecycle_from_nested_dict(self):
+        config = ServiceConfig.from_dict(
+            {"lifecycle": {"shadow_fraction": 0.1, "max_drift_pct": 5.0}}
+        )
+        assert config.lifecycle.shadow_fraction == 0.1
+        assert config.lifecycle.shadow_min_requests == 16  # default kept
+
+    def test_lifecycle_unknown_keys_named(self):
+        from repro.runtime import LifecycleConfig
+
+        with pytest.raises(ConfigError, match="mirror_fraction"):
+            LifecycleConfig.from_dict({"mirror_fraction": 0.5})
+        with pytest.raises(ConfigError, match="unknown LifecycleConfig"):
+            ServiceConfig.from_dict(
+                {"lifecycle": {"mirror_fraction": 0.5}}
+            )
+
     def test_frontend_validation(self):
         from repro.runtime import AsyncConfig, TenantConfig
 
@@ -288,8 +325,8 @@ class TestServiceFromConfig:
         assert summary["cache"]["hits"] > 0
 
     def test_parallel_under_resilience(self, small_forest, features):
-        """The chain wraps the sharded scorer unchanged."""
-        from repro.runtime import ShardedScorer
+        """The chain wraps the versioned/sharded scorer unchanged."""
+        from repro.runtime import ShardedScorer, VersionedScorer
 
         service = ScoringService(
             small_forest,
@@ -299,7 +336,8 @@ class TestServiceFromConfig:
                 resilience=ResilienceConfig(fallback_models=(StubScorer(),)),
             ),
         )
-        assert isinstance(service.chain.tiers[0].inner, ShardedScorer)
+        assert isinstance(service.chain.tiers[0].inner, VersionedScorer)
+        assert isinstance(service.sharded, ShardedScorer)
         reference = ScoringService(small_forest).score(features)
         np.testing.assert_array_equal(service.score(features), reference)
         assert service.fallback_ratio == 0.0

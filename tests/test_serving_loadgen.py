@@ -184,4 +184,16 @@ class TestRunLoad:
         report.shed_by_tenant["t"] = {"rate-limit": 2}
         data = report.to_dict()
         assert data["shed"] == 2 and data["served"] == 8
+        assert data["swap_events"] == [] and data["served_by_version"] == {}
         assert "rate-limit" in report.render() or "shed" in report.render()
+
+    def test_report_renders_swap_events(self):
+        report = LoadReport(spec=LoadSpec(), offered=10, served=10)
+        report.swap_events.append(
+            {"at_s": 0.25, "at_request": 5, "action": "forced"}
+        )
+        report.served_by_version.update({"v1": 4, "v2": 6})
+        rendered = report.render()
+        assert "swap at 0.250s" in rendered and "forced" in rendered
+        assert "v1: 4" in rendered and "v2: 6" in rendered
+        assert report.to_dict()["served_by_version"] == {"v1": 4, "v2": 6}
