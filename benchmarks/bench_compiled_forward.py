@@ -1,14 +1,18 @@
-"""Compiled inference plans — naive vs compiled forward comparison.
+"""Compiled inference plans — dtype x structure kernel sweep.
 
-Compiles dense and first-layer-pruned variants of the paper's
-400x200x200x100 architecture into :class:`InferencePlan` objects and
-times them against naive ``FeedForwardNetwork.predict`` at several batch
-sizes, in both execution dtypes.  Expected shape: the float64 plan
-roughly matches naive scoring on dense networks (same BLAS, minus
-allocations) and pulls ahead once the first layer runs sparse; the
-float32 plan — the paper's kernel precision — is the headline speedup,
-well above 1.5x on the 90%-pruned network at batch 256.  Every float64
-row is asserted bit-identical to its reference before it is emitted.
+Compiles dense, unstructured-pruned and column-block-pruned variants of
+the paper's architectures into :class:`InferencePlan` objects at every
+kernel configuration — float64, float32, block-sparse float32 and
+quantized int8 — and times them against naive
+``FeedForwardNetwork.predict`` at several batch sizes.  Expected shape:
+the float64 plan roughly matches naive scoring on dense networks (same
+BLAS, minus allocations) and pulls ahead once the first layer runs
+sparse; the float32 plan is the paper's kernel-precision headline
+(>= 1.5x over naive on the 90%-pruned network at batch 256); and on the
+column-block-pruned network the block-SpMM / int8 integer-GEMM plans
+must clear >= 1.3x over the plain float32 plan with NDCG@10 intact
+within the declared score tolerance.  Every float64 row is asserted
+bit-identical to its reference before it is emitted.
 """
 
 from __future__ import annotations
@@ -18,20 +22,31 @@ import time
 import numpy as np
 
 from benchmarks._common import emit
+from repro.metrics import ndcg
 from repro.nn.network import FeedForwardNetwork
-from repro.pruning import LevelPruner
+from repro.pruning import ColumnBlockPruner, LevelPruner
 from repro.runtime import compile_network, reference_scores
 
 INPUT_DIM = 136
 HIDDEN = (400, 200, 200, 100)
 BATCHES = (64, 256, 1024)
 REPEATS = 7
+#: The dtype x structure gate: best of (block f32, int8) over plain f32
+#: on the column-block-pruned network at batch 256.
+MIN_QUANT_SPEEDUP = 1.3
+NDCG_K = 10
 
 
-def _network(sparsity: float, seed: int) -> FeedForwardNetwork:
+def _network(label: str, sparsity: float, seed: int) -> FeedForwardNetwork:
     network = FeedForwardNetwork(INPUT_DIM, HIDDEN, seed=seed)
     if sparsity > 0:
-        LevelPruner(sparsity).apply(network.first_layer)
+        if label.startswith("col-block"):
+            ColumnBlockPruner(sparsity, block_cols=8).apply(
+                network.first_layer
+            )
+        else:
+            LevelPruner(sparsity).apply(network.first_layer)
+        network.apply_masks()
     return network
 
 
@@ -44,84 +59,151 @@ def _best_us_per_doc(fn, batch: int) -> float:
     return best * 1e6 / batch
 
 
+def _kernel_mix(plan) -> str:
+    return "+".join(f"{n}x{name}" for name, n in plan.kernel_counts().items())
+
+
+def _ndcg_degradation(reference: np.ndarray, got: np.ndarray) -> float:
+    """Mean NDCG@10 drop of ``got``'s ranking vs the exact reference.
+
+    Synthetic graded labels come from the reference ranking itself
+    (top 10% of each 64-doc query graded 2, next 20% graded 1), so the
+    reference scores by construction rank perfectly and any degradation
+    is attributable to the probed plan's kernels.
+    """
+    query = 64
+    drops = []
+    for start in range(0, len(reference) - query + 1, query):
+        ref = reference[start : start + query]
+        plan_scores = got[start : start + query]
+        order = np.argsort(-ref, kind="stable")
+        labels = np.zeros(query)
+        labels[order[: query // 10]] = 2.0
+        labels[order[query // 10 : query // 10 + query // 5]] = 1.0
+        drops.append(
+            ndcg(ref, labels, k=NDCG_K) - ndcg(plan_scores, labels, k=NDCG_K)
+        )
+    return float(np.mean(drops))
+
+
 def test_compiled_forward(benchmark):
     rng = np.random.default_rng(5)
     variants = [
         ("dense", 0.0),
         ("pruned 90%", 0.90),
         ("pruned 98%", 0.98),
+        ("col-block 90%", 0.90),
     ]
     rows = []
     bench_target = None
+    headline = quant_gate = None
     for label, sparsity in variants:
-        network = _network(sparsity, seed=3)
-        f64 = compile_network(network)
-        f32 = compile_network(network, dtype="float32")
-        kernels = "+".join(
-            "sparse" if lp.kernel == "csr-spmm" else "dense"
-            for lp in f64.layers
-        )
+        network = _network(label, sparsity, seed=3)
+        plans = {
+            "f64": compile_network(network),
+            "f32": compile_network(network, dtype="float32"),
+            "block-f32": compile_network(
+                network, dtype="float32", block_sparse=True
+            ),
+            "int8": compile_network(
+                network, dtype="float32", quantize="int8", block_sparse=True
+            ),
+        }
+        tolerance = plans["int8"].score_tolerance
         for batch in BATCHES:
             features = rng.standard_normal((batch, INPUT_DIM))
+            reference = reference_scores(network, plans["f64"], features)
             np.testing.assert_array_equal(
-                f64.score(features),
-                reference_scores(network, f64, features),
+                plans["f64"].score(features),
+                reference,
                 err_msg=f"{label}: float64 plan diverged at batch {batch}",
-            )
-            err = float(
-                np.abs(f32.score(features) - f64.score(features)).max()
             )
             naive_us = _best_us_per_doc(
                 lambda: network.predict(features), batch
             )
-            f64_us = _best_us_per_doc(lambda: f64.score(features), batch)
-            f32_us = _best_us_per_doc(lambda: f32.score(features), batch)
+            timed = {
+                name: _best_us_per_doc(
+                    lambda plan=plan: plan.score(features), batch
+                )
+                for name, plan in plans.items()
+            }
+            int8_scores = plans["int8"].score(features)
+            err = float(np.abs(int8_scores - reference).max())
+            assert err <= tolerance, (
+                f"{label}: int8 plan deviates {err:.3g} at batch {batch}, "
+                f"above its declared tolerance {tolerance:.3g}"
+            )
             rows.append(
                 (
                     label,
-                    kernels,
+                    _kernel_mix(plans["int8"]),
                     batch,
                     f"{naive_us:.2f}",
-                    f"{f64_us:.2f}",
-                    f"{f32_us:.2f}",
-                    f"{naive_us / f64_us:.2f}x",
-                    f"{naive_us / f32_us:.2f}x",
+                    f"{timed['f64']:.2f}",
+                    f"{timed['f32']:.2f}",
+                    f"{timed['block-f32']:.2f}",
+                    f"{timed['int8']:.2f}",
+                    f"{naive_us / timed['f32']:.2f}x",
+                    f"{timed['f32'] / min(timed['block-f32'], timed['int8']):.2f}x",
                     f"{err:.1e}",
                 )
             )
             if label == "pruned 90%" and batch == 256:
-                bench_target = (f32, features)
-                headline = naive_us / f32_us
+                headline = naive_us / timed["f32"]
+            if label == "col-block 90%" and batch == 256:
+                bench_target = (plans["int8"], features)
+                quant_gate = timed["f32"] / min(
+                    timed["block-f32"], timed["int8"]
+                )
+                ndcg_drop = _ndcg_degradation(reference, int8_scores)
+                assert ndcg_drop <= tolerance, (
+                    f"int8 NDCG@{NDCG_K} degradation {ndcg_drop:.4f} "
+                    f"exceeds the declared tolerance {tolerance:.3g}"
+                )
 
     emit(
         "compiled_forward",
         [
             "Network",
-            "Kernels",
+            "int8 plan kernels",
             "Batch",
             "Naive us/doc",
             "f64 plan",
             "f32 plan",
-            "f64 speedup",
-            "f32 speedup",
-            "f32 max err",
+            "block f32",
+            "int8",
+            "f32 over naive",
+            "best quant over f32",
+            "int8 max err",
         ],
         rows,
-        title="Compiled inference plans vs naive forward (400x200x200x100)",
+        title=(
+            "Compiled inference plans: dtype x structure sweep "
+            "(400x200x200x100)"
+        ),
         notes=(
             "Naive = FeedForwardNetwork.predict (float64 BLAS with per-"
             "chunk allocations).  Plans pre-convert weights once, fuse "
-            "bias+ReLU6 in place and reuse ping-pong buffers; float64 "
-            "rows are bit-identical to the hybrid reference, float32 "
-            "trades the last bits for the paper's kernel precision.  "
-            "Kernel choice is the calibrated predictors' per-layer "
-            "dense-vs-sparse arbitration."
+            "dequant+bias+ReLU6 in place and reuse ping-pong buffers; "
+            "float64 rows are bit-identical to the hybrid reference, "
+            "float32/int8 trade the last bits for speed inside a "
+            "declared score tolerance.  block f32 regroups column-block-"
+            "pruned layers into dense 64x8 tiles for the panel-GEMM "
+            "SpMM; int8 runs exact integer accumulation in float32 "
+            "lanes with fused requantization between consecutive int8 "
+            "layers.  Kernel choice is the calibrated predictors' "
+            "per-layer arbitration."
         ),
     )
 
     assert headline >= 1.5, (
         f"float32 plan must clear 1.5x over naive predict on the "
         f"90%-pruned network at batch 256, got {headline:.2f}x"
+    )
+    assert quant_gate >= MIN_QUANT_SPEEDUP, (
+        f"best of (block f32, int8) must clear {MIN_QUANT_SPEEDUP}x over "
+        f"the plain float32 plan on the column-block-pruned network at "
+        f"batch 256, got {quant_gate:.2f}x"
     )
     plan, features = bench_target
     benchmark(lambda: plan.score(features))

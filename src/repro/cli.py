@@ -108,6 +108,19 @@ def _parse_hidden(text: str) -> tuple[int, ...]:
     return hidden
 
 
+def _parse_block_shape(text: str) -> tuple[int, int]:
+    parts = text.lower().split("x")
+    try:
+        shape = tuple(int(part) for part in parts)
+    except ValueError:
+        shape = ()
+    if len(shape) != 2 or any(v <= 0 for v in shape):
+        raise argparse.ArgumentTypeError(
+            f"block shape must look like 64x8, got {text!r}"
+        )
+    return shape
+
+
 # ----------------------------------------------------------------------
 # Subcommand implementations (each returns a process exit code)
 # ----------------------------------------------------------------------
@@ -278,7 +291,7 @@ def cmd_compile(args) -> int:
     import time as _time
 
     from repro.nn.network import FeedForwardNetwork
-    from repro.pruning import LevelPruner
+    from repro.pruning import ColumnBlockPruner, LevelPruner
     from repro.runtime import compile_network
 
     if args.network:
@@ -290,10 +303,17 @@ def cmd_compile(args) -> int:
             args.features, args.architecture, seed=args.seed
         )
         if args.sparsity > 0:
-            LevelPruner(args.sparsity).apply(network.first_layer)
+            if args.pruner == "column-block":
+                pruner = ColumnBlockPruner(
+                    args.sparsity, block_cols=args.block_shape[1]
+                )
+            else:
+                pruner = LevelPruner(args.sparsity)
+            pruner.apply(network.first_layer)
+            network.apply_masks()
         source = (
             f"synthetic {network.describe()} "
-            f"(first layer pruned to {args.sparsity:.0%})"
+            f"(first layer {args.pruner}-pruned to {args.sparsity:.0%})"
         )
     context = PricingContext(
         predictor=load_predictor(args.predictor) if args.predictor else None
@@ -304,6 +324,10 @@ def cmd_compile(args) -> int:
         dtype=args.dtype,
         max_batch=max(args.batch, 1),
         stable=args.stable,
+        quantize=args.quantize,
+        tolerance=args.tolerance,
+        block_sparse=args.block_sparse,
+        block_shape=args.block_shape,
     )
     rng = np.random.default_rng(args.seed)
     features = rng.standard_normal((args.batch, network.input_dim))
@@ -317,25 +341,37 @@ def cmd_compile(args) -> int:
     )
     header = (
         f"{'layer':>5} {'shape':>10} {'sparsity':>8} {'kernel':>10} "
-        f"{'predicted':>12} {'measured':>12}"
+        f"{'dtype':>7} {'fill':>5} {'predicted':>12} {'measured':>12}"
     )
     log.info("%s", header)
     log.info("%s", "-" * len(header))
     for lp, us in zip(plan.layers, measured):
+        if lp.bits is not None:
+            layer_dtype = f"int{lp.bits}"
+        else:
+            layer_dtype = plan.dtype_name.replace("float", "f")
+        fill = f"{lp.block_fill:.0%}" if lp.kernel == "block-spmm" else "-"
         log.info(
-            "%5s %10s %8s %10s %9.3f us %9.3f us",
+            "%5s %10s %8s %10s %7s %5s %9.3f us %9.3f us",
             f"L{lp.index}",
             f"{lp.out_width}x{lp.in_width}",
             f"{lp.sparsity:.1%}",
             lp.kernel,
+            layer_dtype,
+            fill,
             lp.predicted_us_per_doc,
             us,
         )
     log.info(
-        "%5s %10s %8s %10s %9.3f us %9.3f us",
-        "total", "", "", "",
+        "%5s %10s %8s %10s %7s %5s %9.3f us %9.3f us",
+        "total", "", "", "", "", "",
         plan.predicted_us_per_doc, sum(measured),
     )
+    if plan.score_tolerance is not None:
+        log.info(
+            "quantize=%s: declared score tolerance %.2e vs float64 reference",
+            plan.quantize, plan.score_tolerance,
+        )
 
     best_naive = best_plan = float("inf")
     for _ in range(args.repeats):
@@ -1304,6 +1340,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--stable",
         action="store_true",
         help="compile the serving-grade chunk-invariant plan",
+    )
+    p.add_argument(
+        "--pruner",
+        choices=("level", "column-block"),
+        default="level",
+        help="synthetic first-layer pruning criterion (column-block "
+        "leaves the dense tiles block-spmm vectorizes over)",
+    )
+    p.add_argument(
+        "--quantize",
+        choices=("none", "int8", "int16", "auto"),
+        default="none",
+        help="per-layer weight quantization (auto = calibrated mix)",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        help="score-tolerance budget for quantized plans",
+    )
+    p.add_argument(
+        "--block-sparse",
+        action="store_true",
+        help="regroup pruned layers into block-CSR tiles when fill allows",
+    )
+    p.add_argument(
+        "--block-shape",
+        type=_parse_block_shape,
+        default=(64, 8),
+        help="block tile shape as RxC (default 64x8)",
     )
     p.add_argument("--batch", type=int, default=256)
     p.add_argument(

@@ -5,6 +5,9 @@ Reproduces Section 4 of the paper on a modeled i9-9900K:
 * :mod:`repro.matmul.csr` — the Compressed Sparse Row format (Fig. 7) with
   the structural queries the sparse predictor needs (active rows/columns)
   and the M-axis splitting LIBXSMM uses to bound generated code size.
+* :mod:`repro.matmul.blocks` — block-CSR (dense r×c tiles addressed
+  CSR-style) plus the fill-measuring ``regroup_to_blocks`` transform, so
+  SpMM over structured pruning vectorizes over contiguous blocks.
 * :mod:`repro.matmul.onednn` — oneDNN's small-shape adaptation of the
   Goto blocking parameters (the ``rnd_up`` rules of Section 4.2).
 * :mod:`repro.matmul.dense` — a blocked Goto-algorithm executor that
@@ -17,6 +20,7 @@ Reproduces Section 4 of the paper on a modeled i9-9900K:
 * :mod:`repro.matmul.mkl` — the MKL baseline cost model of Table 3.
 """
 
+from repro.matmul.blocks import BlockCsrMatrix, regroup_to_blocks
 from repro.matmul.csr import CsrMatrix
 from repro.matmul.formats import CooMatrix, CscMatrix, csr_to_coo, csr_to_csc
 from repro.matmul.onednn import OneDnnParams, effective_params, rnd_up
@@ -25,6 +29,7 @@ from repro.matmul.sparse import SparseGemmExecutor, SdmmReport
 from repro.matmul.mkl import MklSdmmCostModel
 
 __all__ = [
+    "BlockCsrMatrix",
     "CsrMatrix",
     "CooMatrix",
     "CscMatrix",
@@ -38,4 +43,5 @@ __all__ = [
     "SparseGemmExecutor",
     "SdmmReport",
     "MklSdmmCostModel",
+    "regroup_to_blocks",
 ]

@@ -30,9 +30,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass(frozen=True)
 class QuantizedTensor:
-    """Symmetric int8 quantization of one weight matrix."""
+    """Symmetric integer quantization of one weight matrix."""
 
-    values: np.ndarray  # int8
+    values: np.ndarray  # int8 (bits <= 8) or int16
     scale: float
 
     def dequantize(self) -> np.ndarray:
@@ -40,7 +40,7 @@ class QuantizedTensor:
 
     @property
     def nbytes(self) -> int:
-        return self.values.size  # one byte per entry
+        return self.values.size * self.values.itemsize
 
     def sparsity(self) -> float:
         """Fraction of exact zeros (pruning survives quantization)."""
@@ -48,14 +48,19 @@ class QuantizedTensor:
 
 
 def quantize_tensor(weights: np.ndarray, bits: int = 8) -> QuantizedTensor:
-    """Symmetric per-tensor quantization to ``bits`` (2..8) bits."""
-    if not 2 <= bits <= 8:
-        raise ValueError(f"bits must be in [2, 8], got {bits}")
+    """Symmetric per-tensor quantization to ``bits`` (2..16) bits.
+
+    Up to 8 bits the codes are stored as int8; 9..16 bits store int16
+    (the accuracy-sensitive-layer width the compiled int16 kernel uses).
+    """
+    if not 2 <= bits <= 16:
+        raise ValueError(f"bits must be in [2, 16], got {bits}")
     w = np.asarray(weights, dtype=np.float64)
     qmax = 2 ** (bits - 1) - 1
     max_abs = float(np.abs(w).max())
     scale = max_abs / qmax if max_abs > 0 else 1.0
-    q = np.clip(np.round(w / scale), -qmax, qmax).astype(np.int8)
+    store = np.int8 if bits <= 8 else np.int16
+    q = np.clip(np.round(w / scale), -qmax, qmax).astype(store)
     return QuantizedTensor(values=q, scale=scale)
 
 
@@ -97,15 +102,49 @@ def quantize_student(student: "DistilledStudent", bits: int = 8) -> "DistilledSt
 
 
 def quantized_speedup_estimate(
-    *, simd_bits: int = 256, fp_bits: int = 32, int_bits: int = 8
+    network: FeedForwardNetwork | None = None,
+    *,
+    simd_bits: int = 256,
+    fp_bits: int = 32,
+    int_bits: int = 8,
+    bits_per_layer=None,
 ) -> float:
     """Upper-bound kernel speed-up from wider integer SIMD lanes.
 
-    An AVX2 register holds 4x more int8 lanes than fp32 lanes; real
-    engines see a fraction of this because of dequantization overhead,
-    so this is the *ceiling* the paper's future-work direction targets.
+    Without a network this is the raw lane ratio (an AVX2 register
+    holds 4x more int8 lanes than fp32 lanes).  With a ``network`` the
+    ceiling is weighted by the *actual per-layer scale* of the model:
+    each linear layer contributes its dense FLOPs at its own lane ratio,
+    so a model whose wide or accuracy-sensitive layers run int16 (or
+    stay float — pass the compiled plan's per-layer ``bits``, with
+    ``None``/``0`` for float layers, as ``bits_per_layer``) no longer
+    inherits the uniform global estimate.  Real engines see a fraction
+    of this because of quantize/dequantize overhead, so the estimate is
+    a *ceiling* on measured kernel speed-ups (regression-tested against
+    the compiled int8 kernels).
     """
     if fp_bits % int_bits != 0:
         raise ValueError("fp_bits must be a multiple of int_bits")
     del simd_bits  # lane ratio is independent of the register width
-    return fp_bits / int_bits
+    if network is None:
+        return fp_bits / int_bits
+    layers = network.linears
+    if bits_per_layer is None:
+        bits_list = [int_bits] * len(layers)
+    else:
+        bits_list = list(bits_per_layer)
+        if len(bits_list) != len(layers):
+            raise ValueError(
+                f"bits_per_layer has {len(bits_list)} entries for a "
+                f"{len(layers)}-layer network"
+            )
+    fp_cost = 0.0
+    int_cost = 0.0
+    for linear, bits in zip(layers, bits_list):
+        flops = 2.0 * linear.in_features * linear.out_features
+        fp_cost += flops
+        ratio = fp_bits / bits if bits else 1.0
+        int_cost += flops / ratio
+    if int_cost <= 0.0:
+        return 1.0
+    return fp_cost / int_cost

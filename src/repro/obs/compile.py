@@ -6,7 +6,8 @@ the ``parallel.*`` series:
 
 * ``compile.plans`` (counter, label ``dtype``) — plans compiled;
 * ``compile.layers`` (counter, labels ``dtype``, ``kernel``) — layers
-  frozen per kernel choice (``dense-gemm`` / ``csr-spmm``);
+  frozen per kernel choice (``dense-gemm`` / ``csr-spmm`` /
+  ``block-spmm`` / ``int8-gemm`` / ``int16-gemm``);
 * ``compile.buffer_bytes`` (gauge, label ``dtype``) — the last plan's
   ping-pong + transpose arena footprint;
 * ``compile.compile_us`` (gauge, label ``dtype``) — the last plan's
@@ -27,23 +28,32 @@ from repro.obs.metrics import MetricsRegistry, get_registry
 def record_compile(
     *,
     dtype: str,
-    dense_layers: int,
-    sparse_layers: int,
     buffer_bytes: int,
     compile_us: float,
+    kernel_counts: dict[str, int] | None = None,
+    dense_layers: int = 0,
+    sparse_layers: int = 0,
     registry: MetricsRegistry | None = None,
 ) -> None:
-    """Fold one plan compilation into the ``compile.*`` series."""
+    """Fold one plan compilation into the ``compile.*`` series.
+
+    ``kernel_counts`` is the plan's ``kernel_counts()`` mapping (any
+    kernel name); the ``dense_layers`` / ``sparse_layers`` pair is the
+    pre-quantization spelling, kept for callers recording only the
+    two scalar kernels.
+    """
     registry = registry or get_registry()
     registry.counter("compile.plans", dtype=dtype).inc()
+    counts = dict(kernel_counts) if kernel_counts else {}
     if dense_layers:
-        registry.counter(
-            "compile.layers", dtype=dtype, kernel="dense-gemm"
-        ).inc(dense_layers)
+        counts["dense-gemm"] = counts.get("dense-gemm", 0) + dense_layers
     if sparse_layers:
-        registry.counter(
-            "compile.layers", dtype=dtype, kernel="csr-spmm"
-        ).inc(sparse_layers)
+        counts["csr-spmm"] = counts.get("csr-spmm", 0) + sparse_layers
+    for kernel, layers in counts.items():
+        if layers:
+            registry.counter(
+                "compile.layers", dtype=dtype, kernel=kernel
+            ).inc(layers)
     registry.gauge("compile.buffer_bytes", dtype=dtype).set(buffer_bytes)
     registry.gauge("compile.compile_us", dtype=dtype).set(compile_us)
 
@@ -61,6 +71,9 @@ class CompileRow:
     sparse_layers: int
     buffer_bytes: int
     compile_us: float
+    block_layers: int = 0
+    int8_layers: int = 0
+    int16_layers: int = 0
 
     @property
     def sparse_share(self) -> float:
@@ -68,11 +81,23 @@ class CompileRow:
         return self.sparse_layers / total if total else 0.0
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.dtype}: {self.plans} plans, "
             f"{self.dense_layers} dense / {self.sparse_layers} sparse "
             f"layers, {self.buffer_bytes / 1024:.0f} KiB buffers"
         )
+        extras = [
+            f"{n} {name}"
+            for name, n in (
+                ("block", self.block_layers),
+                ("int8", self.int8_layers),
+                ("int16", self.int16_layers),
+            )
+            if n
+        ]
+        if extras:
+            text += " (+ " + ", ".join(extras) + ")"
+        return text
 
 
 @dataclass(frozen=True)
@@ -92,6 +117,7 @@ class CompileReport:
             return "(no plan compilations recorded)"
         header = (
             f"{'dtype':<9} {'plans':>6} {'dense':>6} {'sparse':>7} "
+            f"{'block':>6} {'int8':>5} {'int16':>6} "
             f"{'buffers':>10} {'compile':>10}"
         )
         lines = ["Compiled plans", header, "-" * len(header)]
@@ -99,6 +125,8 @@ class CompileReport:
             lines.append(
                 f"{row.dtype:<9} {row.plans:>6d} {row.dense_layers:>6d} "
                 f"{row.sparse_layers:>7d} "
+                f"{row.block_layers:>6d} {row.int8_layers:>5d} "
+                f"{row.int16_layers:>6d} "
                 f"{row.buffer_bytes / 1024:>6.0f} KiB "
                 f"{row.compile_us / 1000:>7.1f} ms"
             )
@@ -129,6 +157,9 @@ def compile_report(registry: MetricsRegistry | None = None) -> CompileReport:
             sparse_layers=int(slot.get("layers:csr-spmm", 0)),
             buffer_bytes=int(slot.get("compile.buffer_bytes", 0)),
             compile_us=slot.get("compile.compile_us", 0.0),
+            block_layers=int(slot.get("layers:block-spmm", 0)),
+            int8_layers=int(slot.get("layers:int8-gemm", 0)),
+            int16_layers=int(slot.get("layers:int16-gemm", 0)),
         )
         for dtype, slot in sorted(slots.items())
     )

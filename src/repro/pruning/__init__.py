@@ -18,12 +18,13 @@ Implements the element-wise pruning machinery of Sections 2.3 and 5.2:
 """
 
 from repro.pruning.masks import (
+    column_block_mask,
     level_mask,
     mask_sparsity,
     threshold_from_sigma,
     threshold_mask,
 )
-from repro.pruning.magnitude import LevelPruner, ThresholdPruner
+from repro.pruning.magnitude import ColumnBlockPruner, LevelPruner, ThresholdPruner
 from repro.pruning.schedule import LinearSchedule, PolynomialSchedule
 from repro.pruning.sensitivity import (
     SensitivityResult,
@@ -33,10 +34,12 @@ from repro.pruning.sensitivity import (
 from repro.pruning.pipeline import FirstLayerPruningConfig, FirstLayerPruner
 
 __all__ = [
+    "column_block_mask",
     "level_mask",
     "threshold_mask",
     "threshold_from_sigma",
     "mask_sparsity",
+    "ColumnBlockPruner",
     "LevelPruner",
     "ThresholdPruner",
     "LinearSchedule",

@@ -11,7 +11,12 @@ import numpy as np
 
 from repro.exceptions import PruningError
 from repro.nn.layers import Linear
-from repro.pruning.masks import level_mask, threshold_from_sigma, threshold_mask
+from repro.pruning.masks import (
+    column_block_mask,
+    level_mask,
+    threshold_from_sigma,
+    threshold_mask,
+)
 
 
 class LevelPruner:
@@ -38,6 +43,44 @@ class LevelPruner:
             )
         sparsity = self.target_sparsity * fraction_of_target
         mask = level_mask(layer.weight.data, sparsity)
+        if layer.mask is not None:
+            mask = mask * layer.mask  # cumulative
+        layer.set_mask(mask)
+        return layer.sparsity()
+
+
+class ColumnBlockPruner:
+    """Structured magnitude pruning of whole aligned column groups.
+
+    Unstructured level pruning leaves scattered singletons that scalar
+    CSR must gather one at a time; this pruner zeroes entire aligned
+    groups of ``block_cols`` input columns (weakest aggregate |w|
+    first), so the survivors regroup into fully-dense ``r x
+    block_cols`` tiles (fill 1.0) for the block-CSR kernels — the
+    structure the paper's LIBXSMM micro-kernels need to vectorize
+    (Section 4.3).  Because whole groups are pruned, the achieved
+    sparsity is the largest multiple of a group's entry share not
+    exceeding the target.
+    """
+
+    def __init__(self, target_sparsity: float, block_cols: int = 8) -> None:
+        if not 0.0 <= target_sparsity < 1.0:
+            raise PruningError(
+                f"target_sparsity must be in [0, 1), got {target_sparsity}"
+            )
+        if block_cols < 1:
+            raise PruningError(f"block_cols must be >= 1, got {block_cols}")
+        self.target_sparsity = target_sparsity
+        self.block_cols = block_cols
+
+    def apply(self, layer: Linear, fraction_of_target: float = 1.0) -> float:
+        """Prune to ``fraction_of_target * target``; returns the sparsity."""
+        if not 0.0 < fraction_of_target <= 1.0:
+            raise PruningError(
+                f"fraction_of_target must be in (0, 1], got {fraction_of_target}"
+            )
+        sparsity = self.target_sparsity * fraction_of_target
+        mask = column_block_mask(layer.weight.data, sparsity, self.block_cols)
         if layer.mask is not None:
             mask = mask * layer.mask  # cumulative
         layer.set_mask(mask)

@@ -1,12 +1,17 @@
 """Binary pruning-mask construction.
 
 Masks have the weight's shape with 1.0 for surviving entries and 0.0 for
-pruned ones.  Two magnitude criteria are provided (Section 2.3):
+pruned ones.  Three magnitude criteria are provided (Section 2.3):
 
 * *level*: zero the smallest-|w| entries until a target sparsity holds;
 * *threshold*: zero every ``|w| < t`` with ``t = s * sigma(w)`` — the
   statistically-derived threshold of Han et al. / the Distiller
-  framework.  For normally-distributed weights, ``s = 1`` prunes ~68%.
+  framework.  For normally-distributed weights, ``s = 1`` prunes ~68%;
+* *column-block*: zero whole aligned groups of input columns by
+  aggregate magnitude, so the survivors regroup into fully-dense tiles
+  (fill 1.0) for the block-CSR kernels of
+  :mod:`repro.matmul.blocks` — the paper's observation (Section 4.3)
+  that pruning pays off only when it leaves hardware-friendly structure.
 """
 
 from __future__ import annotations
@@ -39,6 +44,44 @@ def level_mask(weights: np.ndarray, sparsity: float) -> np.ndarray:
         order = np.argsort(np.abs(w).ravel(), kind="stable")
         mask[order[:n_prune]] = 0.0
     return mask.reshape(w.shape)
+
+
+def column_block_mask(
+    weights: np.ndarray, sparsity: float, block_cols: int = 8
+) -> np.ndarray:
+    """Mask pruning whole aligned column groups of width ``block_cols``.
+
+    Columns are grouped as ``[0, block_cols)``, ``[block_cols,
+    2*block_cols)``, ... (the last group may be narrower); groups are
+    ranked by the sum of |w| over the group and the weakest are zeroed
+    entirely.  As many whole groups are pruned as fit within the
+    ``round(sparsity * size)`` entry budget — the achieved sparsity
+    never exceeds the target — and at least one group always survives.
+    Ties are broken by group index, so the mask is deterministic.
+    """
+    if not 0.0 <= sparsity <= 1.0:
+        raise PruningError(f"sparsity must be in [0, 1], got {sparsity}")
+    if block_cols < 1:
+        raise PruningError(f"block_cols must be >= 1, got {block_cols}")
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 2:
+        raise PruningError(f"weights must be 2-d, got shape {w.shape}")
+    m, k = w.shape
+    n_groups = -(-k // block_cols)
+    bounds = [(g * block_cols, min((g + 1) * block_cols, k)) for g in range(n_groups)]
+    scores = np.array([np.abs(w[:, lo:hi]).sum() for lo, hi in bounds])
+    budget = int(round(sparsity * w.size))
+    mask = np.ones((m, k), dtype=np.float64)
+    pruned_entries = 0
+    order = np.argsort(scores, kind="stable")
+    for g in order[: n_groups - 1]:  # at least one group survives
+        lo, hi = bounds[g]
+        entries = m * (hi - lo)
+        if pruned_entries + entries > budget:
+            break
+        mask[:, lo:hi] = 0.0
+        pruned_entries += entries
+    return mask
 
 
 def threshold_from_sigma(weights: np.ndarray, sensitivity: float) -> float:

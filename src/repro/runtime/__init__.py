@@ -51,9 +51,14 @@ from repro.runtime.adapters import (
 from repro.runtime.base import BaseScorer, Scorer, is_scorer, stable_forward
 from repro.runtime.batching import BatchEngine, BudgetExceededError, ServiceStats
 from repro.runtime.compile import (
+    BLOCK_KERNEL,
     CompileError,
+    DENSE_KERNEL,
+    INT8_KERNEL,
+    INT16_KERNEL,
     InferencePlan,
     LayerPlan,
+    SPARSE_KERNEL,
     compile_network,
     reference_scores,
 )
@@ -142,6 +147,7 @@ from repro.runtime.resilience import (
 __all__ = [
     "AllTiersFailedError",
     "AsyncConfig",
+    "BLOCK_KERNEL",
     "BaseScorer",
     "BatchEngine",
     "BreakerState",
@@ -152,6 +158,7 @@ __all__ = [
     "CircuitOpenError",
     "CompileError",
     "CompiledNetworkScorer",
+    "DENSE_KERNEL",
     "DeadlineExceededError",
     "DenseNetworkScorer",
     "FallbackChain",
@@ -161,6 +168,8 @@ __all__ = [
     "ForestShape",
     "GateReport",
     "GpuQuickScorerAdapter",
+    "INT16_KERNEL",
+    "INT8_KERNEL",
     "InferencePlan",
     "InjectedFaultError",
     "LayerPlan",
@@ -184,6 +193,7 @@ __all__ = [
     "ResilienceError",
     "ResilientScorer",
     "RetryPolicy",
+    "SPARSE_KERNEL",
     "ScoreCache",
     "Scorer",
     "ScorerBackend",

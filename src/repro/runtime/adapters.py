@@ -258,6 +258,11 @@ class CompiledNetworkScorer(BaseScorer):
         max_batch: int = 4096,
         kernels=None,
         stable: bool = True,
+        quantize: str | None = None,
+        tolerance: float | None = None,
+        calibration=None,
+        block_sparse: bool = False,
+        block_shape: tuple[int, int] = (64, 8),
     ) -> None:
         from repro.runtime.compile import compile_network
 
@@ -266,6 +271,11 @@ class CompiledNetworkScorer(BaseScorer):
                 f"expected a DistilledStudent, got {type(student).__name__}"
             )
         self.student = student
+        if calibration is not None:
+            # Plans run on normalized features; calibrate on that scale.
+            calibration = student.normalizer.transform(
+                np.asarray(calibration, dtype=np.float64)
+            )
         self.plan = compile_network(
             student.network,
             context=context,
@@ -273,6 +283,11 @@ class CompiledNetworkScorer(BaseScorer):
             max_batch=max_batch,
             kernels=kernels,
             stable=stable,
+            quantize=quantize,
+            tolerance=tolerance,
+            calibration=calibration,
+            block_sparse=block_sparse,
+            block_shape=block_shape,
         )
         super().__init__(
             price_fn=lambda: self.plan.predicted_us_per_doc,
@@ -290,10 +305,12 @@ class CompiledNetworkScorer(BaseScorer):
         return self.plan.score(z)
 
     def describe(self) -> str:
-        dense, sparse = self.plan.kernel_counts()
+        mix = " + ".join(
+            f"{n} {name}" for name, n in self.plan.kernel_counts().items()
+        )
         return (
             f"compiled net {self.student.describe()} "
-            f"[{self.plan.dtype_name}, {dense} dense + {sparse} sparse]"
+            f"[{self.plan.dtype_name}, {mix}]"
         )
 
 

@@ -6,49 +6,58 @@ micro-kernel (LIBXSMM), chosen per layer by the analytic time predictors
 of Sections 4.2/4.4.  :func:`compile_network` reproduces that decision
 ahead of time and freezes it into an executable :class:`InferencePlan`:
 
-* **per-layer kernel selection** — each layer's measured sparsity is fed
-  through the calibrated predictors
+* **per-layer kernel selection** — each layer's measured structure is
+  fed through the calibrated predictors
   (:meth:`~repro.timing.network_predictor.NetworkTimePredictor.
-  layer_kernel_times`); the cheaper of dense GEMM and CSR SpMM wins;
-* **weights pre-converted once** — a C-contiguous ``(m, k)`` copy plus a
-  C-contiguous pre-transposed ``(k, m)`` copy for dense layers, CSR
-  arrays for layers where sparse wins;
-* **fused epilogues** — bias-add and ReLU6 execute in-place on the GEMM
+  layer_kernel_times_all`); dense GEMM, scalar CSR SpMM, block-CSR SpMM
+  and int8/int16 integer GEMM compete per layer;
+* **weights pre-converted once** — C-contiguous dense copies, CSR
+  arrays, gathered block panels or integer-valued quantized copies;
+* **fused epilogues** — dequantization, bias-add, ReLU6 and (between
+  consecutive int8 layers) requantization execute in-place on the GEMM
   output, no intermediate activation matrices;
-* **ping-pong activation buffers** — two scratch arenas sized once per
+* **ping-pong activation buffers** — scratch arenas sized once per
   ``(plan, max_batch)``; steady-state scoring allocates nothing on the
   heap (:meth:`InferencePlan.execute_into`).
 
-Bit contract.  Dense and sparse kernels cannot share bits — their
-reduction trees differ — so the plan guarantees a *layered* identity:
+Bit contract.  Different kernels cannot share bits — their reduction
+trees differ — so the plan guarantees a *layered* identity:
 
 * ``float64`` dense-GEMM layers run ``np.matmul(x, W.T, out=...)`` on
   the frozen copy of the eager weight — bit-identical to
-  ``FeedForwardNetwork.predict`` at every batch size (the transposed
-  *view* is deliberate: a pre-transposed operand changes BLAS's kernel
-  dispatch, and with it the last bit, at small batches);
-* ``float64`` CSR-SpMM layers accumulate the stored non-zeros in
-  ascending order — bit-identical to
-  :meth:`~repro.matmul.csr.CsrMatrix.matmul_reference` (and to
-  ``CsrMatrix.matmul``); :func:`reference_scores` materializes the
-  matching hybrid reference;
+  ``FeedForwardNetwork.predict`` at every batch size;
+* ``float64`` CSR-SpMM **and block-SpMM** layers accumulate the stored
+  non-zeros in ascending column order — bit-identical to
+  :meth:`~repro.matmul.csr.CsrMatrix.matmul_reference` (a block layer
+  executes its expanded explicit-zero CSR twin, whose inserted ``±0.0``
+  terms cannot change any partial sum's bits for finite inputs);
 * ``float32`` mode trades the bit contract for speed (the paper's
-  kernels are fp32): pre-transposed operands, fp32 accumulation, and a
-  tolerance-tested error bound against the float64 reference.
+  kernels are fp32): tolerance-tested against the float64 reference;
+* **quantized layers** (int8/int16) carry a *declared score tolerance*:
+  ``plan.score_tolerance`` bounds ``|plan.score(x) -
+  reference_scores(...)|`` the same way the float32 contract does,
+  measured on the calibration batch at compile time.
+
+Integer accumulation without integer hardware: int8 weights and
+activations are stored as *integer-valued* float32 arrays and multiplied
+through the ordinary BLAS sgemm.  Every product is ``<= 127 * 127`` and
+a dot product over ``k <= 1040`` columns stays below ``2**24``, so every
+partial sum is exactly representable in float32 **regardless of the
+reduction order** — the GEMM is a true integer-accumulated kernel at
+BLAS speed, and (unlike float GEMM) its bits cannot depend on the batch
+shape.  int16 uses float64 dgemm the same way (sums below ``2**53``).
+Consecutive int8 layers fuse their requantization: the feeder's epilogue
+emits activations already on the int8 grid (ReLU6 bounds them to
+``[0, 6]``, so the activation scale ``6/127`` is static), and the
+consumer skips its quantization pass entirely.
 
 Serving needs one more property: the :class:`~repro.runtime.base.Scorer`
-contract guarantees *chunk-invariant* scoring (micro-batching and
-sharding may never change a ranking), and BLAS GEMM bits depend on the
-batch shape — the same reason ``stable_forward`` routes serving matmuls
-through a fixed-order ``einsum``.  ``compile_network(..., stable=True)``
-therefore swaps the dense kernel for that einsum contract (the CSR
-kernel is row-independent already) while keeping the frozen weights,
-fused epilogues and preallocated buffers.  The ``compiled-network``
-adapter compiles in stable mode, so it composes bit-identically with
-:class:`~repro.runtime.parallel.ShardedScorer` and the batch engine;
-native (default) plans keep the BLAS kernels and the ``predict`` bit
-contract for offline scoring and benchmarking.  See
-``docs/compiled.md``.
+contract guarantees *chunk-invariant* scoring, and BLAS GEMM bits depend
+on the batch shape.  ``compile_network(..., stable=True)`` swaps the
+dense float kernel for the fixed-order ``einsum`` contract; CSR, block
+and quantized kernels are chunk-invariant already (row-independent or
+exact-integer reductions), so stable quantized plans keep full BLAS
+speed.  See ``docs/compiled.md`` and ``docs/quantized_kernels.md``.
 """
 
 from __future__ import annotations
@@ -61,6 +70,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ReproError
+from repro.matmul.blocks import BlockCsrMatrix, regroup_to_blocks
 from repro.matmul.csr import CsrMatrix
 from repro.nn.layers import Dropout, Linear, ReLU6
 from repro.nn.network import FeedForwardNetwork
@@ -74,10 +84,17 @@ except ImportError:  # pragma: no cover - exercised only without scipy
     _scipy_sparsetools = None
 
 __all__ = [
+    "BLOCK_KERNEL",
     "CompileError",
+    "DEFAULT_TOLERANCE",
+    "DENSE_KERNEL",
+    "INT16_KERNEL",
+    "INT8_KERNEL",
+    "INT8_MAX_IN_WIDTH",
     "InferencePlan",
     "LayerPlan",
     "PLAN_DTYPES",
+    "SPARSE_KERNEL",
     "compile_network",
     "reference_scores",
 ]
@@ -88,6 +105,34 @@ PLAN_DTYPES = {"float64": np.float64, "float32": np.float32}
 #: Kernel names, as they appear in plans, metrics and the CLI probe.
 DENSE_KERNEL = "dense-gemm"
 SPARSE_KERNEL = "csr-spmm"
+BLOCK_KERNEL = "block-spmm"
+INT8_KERNEL = "int8-gemm"
+INT16_KERNEL = "int16-gemm"
+KERNEL_NAMES = (DENSE_KERNEL, SPARSE_KERNEL, BLOCK_KERNEL, INT8_KERNEL, INT16_KERNEL)
+
+#: Largest ``in_width`` whose int8 dot products stay exact in float32
+#: accumulation: ``k * 127 * 127 < 2**24``.
+INT8_MAX_IN_WIDTH = 1040
+
+#: Score-tolerance budget ``quantize="auto"`` uses when none is given.
+DEFAULT_TOLERANCE = 0.05
+
+_Q8_MAX = 127.0
+_Q16_MAX = 32767.0
+#: ReLU6 bounds hidden activations to [0, 6] — the static activation
+#: scale quantized hidden layers quantize their inputs with.
+_ACT_BOUND = 6.0
+#: Headroom on calibrated entry-activation scales, so features slightly
+#: outside the calibration range are not clipped.
+_ENTRY_HEADROOM = 1.25
+#: Auto-calibration accepts a per-layer bit assignment only when the
+#: measured calibration deviation is below ``tolerance / _AUTO_SAFETY``,
+#: leaving margin for serving data the calibration batch did not cover.
+_AUTO_SAFETY = 2.0
+#: Declared tolerance for forced int8/int16 modes (no budget given):
+#: ``max(_TOLERANCE_MARGIN * measured, _TOLERANCE_FLOOR)``.
+_TOLERANCE_MARGIN = 3.0
+_TOLERANCE_FLOOR = 1e-3
 
 
 class CompileError(ReproError):
@@ -101,48 +146,100 @@ class LayerPlan:
     index: int  # 1-based, matching the paper's Table 7
     in_width: int  # k of the weight matrix
     out_width: int  # m of the weight matrix
-    kernel: str  # DENSE_KERNEL or SPARSE_KERNEL
+    kernel: str  # one of KERNEL_NAMES
     sparsity: float
     nnz: int
     predicted_dense_us_per_doc: float
     predicted_sparse_us_per_doc: float
     activation: str  # "relu6" or "none"
+    predicted_block_us_per_doc: float | None = None
+    predicted_quant_us_per_doc: float | None = None
+    bits: int | None = None  # 8 / 16 for quantized kernels
+    block_fill: float | None = None  # achieved fill for block layers
+    weight_scale: float | None = None  # quantization scale of W
+    input_scale: float | None = None  # quantization scale of the input
+    emits_quantized: bool = False  # epilogue leaves int8-grid output
 
     @property
     def predicted_us_per_doc(self) -> float:
         """Predicted cost of the *chosen* kernel."""
         if self.kernel == SPARSE_KERNEL:
             return self.predicted_sparse_us_per_doc
+        if self.kernel == BLOCK_KERNEL and self.predicted_block_us_per_doc is not None:
+            return self.predicted_block_us_per_doc
+        if self.kernel in (INT8_KERNEL, INT16_KERNEL) and (
+            self.predicted_quant_us_per_doc is not None
+        ):
+            return self.predicted_quant_us_per_doc
         return self.predicted_dense_us_per_doc
 
     def describe(self) -> str:
-        return (
+        text = (
             f"L{self.index} {self.out_width}x{self.in_width} "
             f"{self.kernel} @ {self.sparsity:.1%}"
         )
+        if self.kernel == BLOCK_KERNEL and self.block_fill is not None:
+            text += f", fill {self.block_fill:.0%}"
+        if self.bits is not None:
+            text += f", w_scale {self.weight_scale:.3g}"
+            if self.emits_quantized:
+                text += ", fused requant"
+        return text
+
+
+def _finish(c, scale, bias, relu6: bool, q8: bool):
+    """The fused epilogue: dequant scale, bias, activation, requant.
+
+    Plain float layers pass ``scale=None, q8=False`` and execute the
+    exact op sequence of the original fused epilogue (bit contract).
+    ``q8`` emits the activation already on the int8 grid:
+    ``clip(rint(y * 127/6), 0, 127)`` equals ``rint(relu6(y) * 127/6)``
+    for every ``y``, so the ReLU6 is folded into the clip.
+    """
+    if scale is not None:
+        np.multiply(c, scale, out=c)
+    np.add(c, bias, out=c)
+    if q8:
+        np.rint(c, out=c)
+        np.clip(c, 0.0, _Q8_MAX, out=c)
+    elif relu6:
+        np.maximum(c, 0.0, out=c)
+        np.minimum(c, 6.0, out=c)
+    return c
 
 
 class _DenseKernel:
-    """Frozen dense layer: GEMM + in-place bias (+ ReLU6 by the plan).
+    """Frozen dense float layer: GEMM + fused epilogue.
 
     ``w`` is the C-contiguous ``(m, k)`` copy whose transposed view
     reproduces the eager forward bit for bit in float64; ``wt`` is the
     C-contiguous pre-transposed ``(k, m)`` copy the float32 mode
-    multiplies by directly (fastest layout on this axis, no bit
-    contract to honour).  In stable mode the GEMM is replaced by the
-    fixed-order ``einsum`` kernel whose per-row bits do not depend on
-    the batch shape — the chunk-invariance contract serving requires
-    (see :func:`~repro.runtime.base.stable_forward`).
+    multiplies by directly.  In stable mode the GEMM is the fixed-order
+    ``einsum`` whose per-row bits do not depend on the batch shape.
+    With ``out_gain`` (feeding a fused int8 layer) the frozen weights
+    and bias are pre-scaled by ``127/6`` so the epilogue's requantize is
+    a bare round+clip.
     """
 
-    __slots__ = ("w", "wt", "bias", "_exact", "_stable")
+    __slots__ = ("w", "wt", "bias", "relu6", "emit_q8", "scratch", "_exact", "_stable")
 
-    def __init__(self, linear: Linear, dtype, stable: bool) -> None:
-        self.w = np.ascontiguousarray(linear.weight.data, dtype=dtype)
+    def __init__(self, linear: Linear, dtype, stable: bool, *, relu6: bool, out_gain=None) -> None:
+        w = np.asarray(linear.weight.data, dtype=np.float64)
+        b = np.asarray(linear.bias.data, dtype=np.float64)
+        if out_gain is not None:
+            w = w * out_gain
+            b = b * out_gain
+        self.w = np.ascontiguousarray(w, dtype=dtype)
         self.wt = None if stable else np.ascontiguousarray(self.w.T)
-        self.bias = np.ascontiguousarray(linear.bias.data, dtype=dtype)
+        self.bias = np.ascontiguousarray(b, dtype=dtype)
+        self.relu6 = relu6
+        self.emit_q8 = out_gain is not None
+        self.scratch: dict[str, int] = {}
         self._exact = dtype == np.float64
         self._stable = stable
+
+    def make_views(self, buffers, n: int, c) -> "_LayerViews":
+        return _LayerViews(c)
 
     def apply(self, a: np.ndarray, views) -> np.ndarray:
         c = views.c
@@ -152,8 +249,7 @@ class _DenseKernel:
             np.matmul(a, self.w.T, out=c)
         else:
             np.matmul(a, self.wt, out=c)
-        np.add(c, self.bias, out=c)
-        return c
+        return _finish(c, None, self.bias, self.relu6, self.emit_q8)
 
 
 class _SparseKernel:
@@ -163,17 +259,32 @@ class _SparseKernel:
     accumulates each output element over the stored non-zeros in
     ascending order — the reference reduction of
     :meth:`CsrMatrix.matmul_reference` — into a caller-provided buffer,
-    so the hot path allocates nothing.
+    so the hot path allocates nothing.  Also executes *block* layers in
+    float64 plans via the expanded explicit-zero CSR twin (same bits as
+    the scalar reference; see :mod:`repro.matmul.blocks`).
     """
 
-    __slots__ = ("m", "k", "indptr", "indices", "data", "bias")
+    __slots__ = ("m", "k", "indptr", "indices", "data", "bias", "relu6", "emit_q8", "scratch")
 
-    def __init__(self, linear: Linear, csr: CsrMatrix, dtype) -> None:
+    def __init__(self, linear: Linear, csr: CsrMatrix, dtype, *, relu6: bool, out_gain=None) -> None:
         self.m, self.k = csr.shape
         self.indptr = np.ascontiguousarray(csr.row_ptr, dtype=np.int64)
         self.indices = np.ascontiguousarray(csr.col_index, dtype=np.int64)
-        self.data = np.ascontiguousarray(csr.values, dtype=dtype)
-        self.bias = np.ascontiguousarray(linear.bias.data, dtype=dtype)
+        data = np.asarray(csr.values, dtype=np.float64)
+        b = np.asarray(linear.bias.data, dtype=np.float64)
+        if out_gain is not None:
+            data = data * out_gain
+            b = b * out_gain
+        self.data = np.ascontiguousarray(data, dtype=dtype)
+        self.bias = np.ascontiguousarray(b, dtype=dtype)
+        self.relu6 = relu6
+        self.emit_q8 = out_gain is not None
+        self.scratch = {"xt": self.k, "yt": self.m}
+
+    def make_views(self, buffers, n: int, c) -> "_LayerViews":
+        xt = buffers["xt"][: self.k * n].reshape(self.k, n)
+        yt = buffers["yt"][: self.m * n].reshape(self.m, n)
+        return _LayerViews(c, xt=xt, yt=yt)
 
     def apply(self, a: np.ndarray, views) -> np.ndarray:
         c, xt, yt = views.c, views.xt, views.yt
@@ -190,28 +301,219 @@ class _SparseKernel:
             yt.ravel(),
         )
         np.copyto(c, yt.T)
-        np.add(c, self.bias, out=c)
-        return c
+        return _finish(c, None, self.bias, self.relu6, self.emit_q8)
+
+
+class _BlockPanelKernel:
+    """Frozen block-sparse layer: gather + dense GEMM per panel (fp32).
+
+    Consecutive block rows sharing one column pattern merge into a
+    *panel*; each panel gathers its active columns into compact scratch
+    (``np.take`` with a preallocated out) and runs one dense GEMM on the
+    gathered operand — the block-CSR layout guarantees those columns
+    are dense tiles, so every lane does useful work (the paper's
+    LIBXSMM micro-kernel story, Section 4.3).  Stable mode swaps the
+    GEMM for the fixed-order einsum.  Column-block-pruned layers
+    produce a single full-height panel, so the GEMM writes the whole
+    contiguous output buffer.
+    """
+
+    __slots__ = ("panels", "zero_spans", "bias", "relu6", "emit_q8", "scratch", "_stable")
+
+    def __init__(
+        self, linear: Linear, block: BlockCsrMatrix, dtype, stable: bool, *, relu6: bool, out_gain=None
+    ) -> None:
+        m, k = block.shape
+        r, c = block.block_shape
+        dense = block.to_dense()
+        b = np.asarray(linear.bias.data, dtype=np.float64)
+        if out_gain is not None:
+            dense = dense * out_gain
+            b = b * out_gain
+        panels: list[tuple[int, int, np.ndarray, np.ndarray]] = []
+        zero_spans: list[tuple[int, int]] = []
+        i = 0
+        while i < block.n_block_rows:
+            lo, hi = block.row_ptr[i], block.row_ptr[i + 1]
+            pattern = tuple(block.col_blocks[lo:hi])
+            j = i + 1
+            while j < block.n_block_rows and pattern == tuple(
+                block.col_blocks[block.row_ptr[j] : block.row_ptr[j + 1]]
+            ):
+                j += 1
+            r0, r1 = i * r, min(j * r, m)
+            if not pattern:
+                zero_spans.append((r0, r1))
+            else:
+                cols = np.concatenate(
+                    [np.arange(jb * c, min((jb + 1) * c, k)) for jb in pattern]
+                ).astype(np.int64)
+                wp = np.ascontiguousarray(dense[r0:r1, cols].T, dtype=dtype)
+                panels.append((r0, r1, cols, wp))
+            i = j
+        self.panels = panels
+        self.zero_spans = zero_spans
+        self.bias = np.ascontiguousarray(b, dtype=dtype)
+        self.relu6 = relu6
+        self.emit_q8 = out_gain is not None
+        widest = max((len(p[2]) for p in panels), default=0)
+        self.scratch = {"g": widest}
+        self._stable = stable
+
+    def make_views(self, buffers, n: int, c) -> "_LayerViews":
+        g = tuple(
+            buffers["g"][: n * len(cols)].reshape(n, len(cols))
+            for _, _, cols, _ in self.panels
+        )
+        return _LayerViews(c, g=g)
+
+    def apply(self, a: np.ndarray, views) -> np.ndarray:
+        c = views.c
+        for (r0, r1, cols, wp), g in zip(self.panels, views.g):
+            np.take(a, cols, axis=1, out=g, mode="clip")
+            if self._stable:
+                np.einsum("nk,km->nm", g, wp, out=c[:, r0:r1])
+            else:
+                np.matmul(g, wp, out=c[:, r0:r1])
+        for r0, r1 in self.zero_spans:
+            c[:, r0:r1] = 0.0
+        return _finish(c, None, self.bias, self.relu6, self.emit_q8)
+
+
+class _Int8Kernel:
+    """Frozen int8 layer: exact integer GEMM in float32 lanes.
+
+    The quantized weight (``repro.nn.quantization`` numerics) is stored
+    as an integer-valued array of the plan dtype; inputs arrive either
+    already on the int8 grid (``self_quant=False``, the feeder's fused
+    requantizing epilogue) or as floats that this kernel quantizes into
+    scratch.  The GEMM's partial sums stay below ``2**24``
+    (``in_width <= INT8_MAX_IN_WIDTH``), so accumulation is exact in
+    float32 under any reduction order — the kernel is chunk-invariant
+    by construction and needs no stable-mode einsum.  The epilogue
+    fuses dequantization (``w_scale * in_scale``) with bias + ReLU6, or
+    requantizes straight to the int8 grid for a fused int8 successor.
+    """
+
+    __slots__ = (
+        "wt", "weight_scale", "bias", "post_scale", "relu6", "emit_q8",
+        "self_quant", "inv_in_scale", "k", "scratch",
+    )
+
+    def __init__(
+        self, linear: Linear, dtype, *, in_scale: float, self_quant: bool,
+        relu6: bool, emit_q8: bool,
+    ) -> None:
+        from repro.nn.quantization import quantize_tensor
+
+        q = quantize_tensor(linear.weight.data, bits=8)
+        self.wt = np.ascontiguousarray(q.values.T, dtype=dtype)
+        self.weight_scale = q.scale
+        self.k = linear.in_features
+        scale = q.scale * in_scale
+        b = np.asarray(linear.bias.data, dtype=np.float64)
+        if emit_q8:
+            scale *= _Q8_MAX / _ACT_BOUND
+            b = b * (_Q8_MAX / _ACT_BOUND)
+        self.post_scale = float(scale)
+        self.bias = np.ascontiguousarray(b, dtype=dtype)
+        self.relu6 = relu6
+        self.emit_q8 = emit_q8
+        self.self_quant = self_quant
+        self.inv_in_scale = 1.0 / in_scale
+        self.scratch = {"qx": self.k} if self_quant else {}
+
+    def make_views(self, buffers, n: int, c) -> "_LayerViews":
+        if not self.self_quant:
+            return _LayerViews(c)
+        qx = buffers["qx"][: n * self.k].reshape(n, self.k)
+        return _LayerViews(c, qx=qx)
+
+    def apply(self, a: np.ndarray, views) -> np.ndarray:
+        x = a
+        if self.self_quant:
+            x = views.qx
+            np.multiply(a, self.inv_in_scale, out=x)
+            np.rint(x, out=x)
+            np.clip(x, -_Q8_MAX, _Q8_MAX, out=x)
+        np.matmul(x, self.wt, out=views.c)
+        return _finish(views.c, self.post_scale, self.bias, self.relu6, self.emit_q8)
+
+
+class _Int16Kernel:
+    """Frozen int16 layer: exact integer GEMM in float64 lanes.
+
+    For accuracy-sensitive layers: int16 weights (scale from the same
+    symmetric quantizer) and int16-grid inputs multiply in float64
+    scratch, where products below ``2**30`` and sums below ``2**53``
+    are always exact — chunk-invariant like the int8 kernel.  The
+    epilogue dequantizes + bias + ReLU6 in float64, then casts into the
+    plan-dtype arena.
+    """
+
+    __slots__ = (
+        "wt", "weight_scale", "bias", "post_scale", "relu6",
+        "inv_in_scale", "k", "m", "scratch", "emit_q8",
+    )
+
+    def __init__(self, linear: Linear, *, in_scale: float, relu6: bool) -> None:
+        from repro.nn.quantization import quantize_tensor
+
+        q = quantize_tensor(linear.weight.data, bits=16)
+        self.wt = np.ascontiguousarray(q.values.T, dtype=np.float64)
+        self.weight_scale = q.scale
+        self.k = linear.in_features
+        self.m = linear.out_features
+        self.post_scale = float(q.scale * in_scale)
+        self.bias = np.ascontiguousarray(linear.bias.data, dtype=np.float64)
+        self.relu6 = relu6
+        self.emit_q8 = False
+        self.inv_in_scale = 1.0 / in_scale
+        self.scratch = {"qx64": self.k, "qc64": self.m}
+
+    def make_views(self, buffers, n: int, c) -> "_LayerViews":
+        qx = buffers["qx64"][: n * self.k].reshape(n, self.k)
+        qc = buffers["qc64"][: n * self.m].reshape(n, self.m)
+        return _LayerViews(c, qx=qx, qc=qc)
+
+    def apply(self, a: np.ndarray, views) -> np.ndarray:
+        qx, qc = views.qx, views.qc
+        np.multiply(a, self.inv_in_scale, out=qx)
+        np.rint(qx, out=qx)
+        np.clip(qx, -_Q16_MAX, _Q16_MAX, out=qx)
+        np.matmul(qx, self.wt, out=qc)
+        _finish(qc, self.post_scale, self.bias, self.relu6, False)
+        np.copyto(views.c, qc)
+        return views.c
 
 
 class _LayerViews:
     """Per-(layer, batch) buffer views, built once and reused."""
 
-    __slots__ = ("c", "xt", "yt")
+    __slots__ = ("c", "xt", "yt", "g", "qx", "qc")
 
-    def __init__(self, c, xt=None, yt=None) -> None:
+    def __init__(self, c, xt=None, yt=None, g=None, qx=None, qc=None) -> None:
         self.c = c
         self.xt = xt
         self.yt = yt
+        self.g = g
+        self.qx = qx
+        self.qc = qc
+
+
+#: Scratch pools and their dtypes: plan-dtype pools vs fixed-f64 pools.
+_PLAN_POOLS = ("xt", "yt", "g", "qx")
+_F64_POOLS = ("qx64", "qc64")
 
 
 class InferencePlan:
     """An executable, frozen forward pass (built by :func:`compile_network`).
 
     The plan owns pre-converted weights, two ping-pong activation arenas
-    and (for sparse layers) transpose scratch, all sized once from
-    ``max_batch`` and held **per thread** so concurrent shard workers
-    never share in-flight activations.  :meth:`score` is the allocating convenience wrapper;
+    and per-kernel scratch pools (transposes, gather panels, quantized
+    activations), all sized once from ``max_batch`` and held **per
+    thread** so concurrent shard workers never share in-flight
+    activations.  :meth:`score` is the allocating convenience wrapper;
     :meth:`execute_into` is the zero-allocation steady-state entry point
     the smoke gate measures.
     """
@@ -228,6 +530,9 @@ class InferencePlan:
         fingerprint: str,
         compile_us: float,
         source: str,
+        quantize: str = "none",
+        score_tolerance: float | None = None,
+        block_shape: tuple[int, int] = (64, 8),
     ) -> None:
         self.layers = layers
         self._kernels = kernels
@@ -239,18 +544,22 @@ class InferencePlan:
         self.fingerprint = fingerprint
         self.compile_us = compile_us
         self.source = source
+        self.quantize = quantize
+        self.score_tolerance = score_tolerance
+        self.block_shape = tuple(int(v) for v in block_shape)
 
         widths = [self.input_dim] + [lp.out_width for lp in layers]
         itemsize = np.dtype(self.dtype).itemsize
         self._arena = self.max_batch * max(widths)
-        sparse_x = [lp.in_width for lp in layers if lp.kernel == SPARSE_KERNEL]
-        sparse_y = [lp.out_width for lp in layers if lp.kernel == SPARSE_KERNEL]
-        self._xt_size = self.max_batch * max(sparse_x) if sparse_x else 0
-        self._yt_size = self.max_batch * max(sparse_y) if sparse_y else 0
-        #: per-thread footprint of the arenas + transpose scratch.
+        pools = {key: 0 for key in _PLAN_POOLS + _F64_POOLS}
+        for kernel in kernels:
+            for key, per_doc in kernel.scratch.items():
+                pools[key] = max(pools[key], per_doc)
+        self._pool_sizes = {k: v * self.max_batch for k, v in pools.items()}
+        #: per-thread footprint of the arenas + all scratch pools.
         self.buffer_bytes = itemsize * (
-            2 * self._arena + self._xt_size + self._yt_size
-        )
+            2 * self._arena + sum(self._pool_sizes[k] for k in _PLAN_POOLS)
+        ) + 8 * sum(self._pool_sizes[k] for k in _F64_POOLS)
         # Arenas and view caches live per thread: ShardedScorer scores
         # shards of one plan concurrently, and two in-flight batches
         # must never share the ping-pong activation scratch.  Within a
@@ -270,20 +579,24 @@ class InferencePlan:
         """Sum of the chosen kernels' predicted per-document costs."""
         return sum(lp.predicted_us_per_doc for lp in self.layers)
 
-    def kernel_counts(self) -> tuple[int, int]:
-        """``(dense, sparse)`` layer counts."""
-        sparse = sum(1 for lp in self.layers if lp.kernel == SPARSE_KERNEL)
-        return len(self.layers) - sparse, sparse
+    def kernel_counts(self) -> dict[str, int]:
+        """Layer count per kernel name, in canonical kernel order."""
+        counts = {name: 0 for name in KERNEL_NAMES}
+        for lp in self.layers:
+            counts[lp.kernel] += 1
+        return {name: n for name, n in counts.items() if n}
 
     def describe(self) -> str:
-        dense, sparse = self.kernel_counts()
+        mix = " + ".join(f"{n} {name}" for name, n in self.kernel_counts().items())
         mode = "stable" if self.stable else "native"
-        return (
+        text = (
             f"plan[{self.source}] {self.dtype_name}/{mode}, "
-            f"{dense} dense + {sparse} sparse layers, "
-            f"max_batch {self.max_batch}, "
+            f"{mix}, max_batch {self.max_batch}, "
             f"{self.predicted_us_per_doc:.2f} us/doc predicted"
         )
+        if self.score_tolerance is not None:
+            text += f", tol {self.score_tolerance:.1e}"
+        return text
 
     # ------------------------------------------------------------------
     # Execution
@@ -294,16 +607,13 @@ class InferencePlan:
         if cache is None:
             local.ping = np.empty(self._arena, dtype=self.dtype)
             local.pong = np.empty(self._arena, dtype=self.dtype)
-            local.xt = (
-                np.empty(self._xt_size, dtype=self.dtype)
-                if self._xt_size
-                else None
-            )
-            local.yt = (
-                np.empty(self._yt_size, dtype=self.dtype)
-                if self._yt_size
-                else None
-            )
+            local.buffers = {
+                key: np.empty(
+                    size, dtype=np.float64 if key in _F64_POOLS else self.dtype
+                )
+                for key, size in self._pool_sizes.items()
+                if size
+            }
             cache = local.views = {}
         views = cache.get(n)
         if views is None:
@@ -311,12 +621,7 @@ class InferencePlan:
             src, dst = local.ping, local.pong
             for lp, kernel in zip(self.layers, self._kernels):
                 c = dst[: n * lp.out_width].reshape(n, lp.out_width)
-                if lp.kernel == SPARSE_KERNEL:
-                    xt = local.xt[: lp.in_width * n].reshape(lp.in_width, n)
-                    yt = local.yt[: lp.out_width * n].reshape(lp.out_width, n)
-                    built.append(_LayerViews(c, xt, yt))
-                else:
-                    built.append(_LayerViews(c))
+                built.append(kernel.make_views(local.buffers, n, c))
                 src, dst = dst, src
             entry = local.ping[: n * self.input_dim].reshape(n, self.input_dim)
             views = cache[n] = (entry, tuple(built))
@@ -344,12 +649,9 @@ class InferencePlan:
         np.copyto(out, views[-1].c[:, 0], casting="unsafe")
 
     def _run(self, a: np.ndarray, views, timings=None) -> np.ndarray:
-        for i, (lp, kernel) in enumerate(zip(self.layers, self._kernels)):
+        for i, kernel in enumerate(self._kernels):
             start = time.perf_counter() if timings is not None else 0.0
             a = kernel.apply(a, views[i])
-            if lp.activation == "relu6":
-                np.maximum(a, 0.0, out=a)
-                np.minimum(a, 6.0, out=a)
             if timings is not None:
                 timings[i] = min(
                     timings[i], time.perf_counter() - start
@@ -391,8 +693,8 @@ class InferencePlan:
         """Best-of-``repeats`` measured µs/doc per layer.
 
         Drives the normal buffers layer by layer with a timer around
-        each kernel — the measurement half of the CLI probe's
-        predicted-vs-measured table.
+        each kernel (epilogue included) — the measurement half of the
+        CLI probe's predicted-vs-measured table.
         """
         x = np.asarray(features, dtype=np.float64)
         n = x.shape[0]
@@ -411,15 +713,37 @@ class InferencePlan:
 # ----------------------------------------------------------------------
 # Compilation
 # ----------------------------------------------------------------------
+@dataclass
+class _LayerChoice:
+    """Per-layer structure decision plus everything wiring needs."""
+
+    linear: Linear
+    structure: str  # DENSE_KERNEL, SPARSE_KERNEL or BLOCK_KERNEL
+    csr: CsrMatrix
+    block: BlockCsrMatrix | None
+    activation: str
+    dense_us: float
+    sparse_us: float
+    block_us: float | None
+    int8_us: float
+    int16_us: float
+    forced_bits: int | None = None  # explicit int8/int16 kernel override
+    forced_float: bool = False  # explicit float-structure override
+
+
 def _plan_fingerprint(
-    network: FeedForwardNetwork, dtype_name: str, stable: bool, choices
+    network: FeedForwardNetwork, dtype_name: str, stable: bool, tags
 ) -> str:
-    """BLAKE2b over dtype, mode, architecture, kernels and the weights."""
+    """BLAKE2b over dtype, mode, per-layer kernel/quantization tags and
+    the weights.  The tags carry kernel name, bit width, quantization
+    scales, requant-fusion flags and block shape, so an int8 plan, an
+    f32 plan and a block plan of the same weights never share a
+    fingerprint (and therefore never share ``ScoreCache`` entries)."""
     digest = hashlib.blake2b(digest_size=16)
     mode = "stable" if stable else "native"
     digest.update(f"plan:{dtype_name}:{mode}:{network.input_dim}".encode())
-    for linear, kernel in zip(network.linears, choices):
-        digest.update(kernel.encode())
+    for linear, tag in zip(network.linears, tags):
+        digest.update(tag.encode())
         digest.update(np.ascontiguousarray(linear.weight.data).tobytes())
         digest.update(np.ascontiguousarray(linear.bias.data).tobytes())
     return digest.hexdigest()
@@ -444,6 +768,184 @@ def _linear_activations(network: FeedForwardNetwork) -> list[str]:
     return acts
 
 
+def _calibration_features(network: FeedForwardNetwork, calibration) -> np.ndarray:
+    """Validated calibration batch, or the deterministic default.
+
+    The default draws standard-normal features (the scale z-scored
+    serving features arrive at) from a fixed seed, so two compilations
+    of the same network produce identical plans.
+    """
+    if calibration is None:
+        rng = np.random.default_rng(20240808)
+        return rng.standard_normal((256, network.input_dim))
+    x = np.asarray(calibration, dtype=np.float64)
+    if x.ndim != 2 or x.shape[0] < 1:
+        raise CompileError(
+            f"calibration must be a non-empty 2-d batch, got shape {x.shape}"
+        )
+    if x.shape[1] != network.input_dim:
+        raise CompileError(
+            f"calibration has {x.shape[1]} features, expected {network.input_dim}"
+        )
+    if not np.all(np.isfinite(x)):
+        raise CompileError("calibration features must be finite")
+    return x
+
+
+def _layer_input_maxima(network: FeedForwardNetwork, calib: np.ndarray) -> list[float]:
+    """Max-abs input each linear layer sees on the calibration batch."""
+    maxima: list[float] = []
+    x = calib
+    for linear, act in zip(network.linears, _linear_activations(network)):
+        maxima.append(float(np.max(np.abs(x))) if x.size else 0.0)
+        x = x @ linear.weight.data.T + linear.bias.data
+        if act == "relu6":
+            x = np.minimum(np.maximum(x, 0.0), 6.0)
+    return maxima
+
+
+def _wire_plan(
+    network: FeedForwardNetwork,
+    choices: list[_LayerChoice],
+    bits: list,
+    *,
+    np_dtype,
+    dtype_name: str,
+    stable: bool,
+    max_batch: int,
+    entry_maxima,
+    quantize_label: str,
+    score_tolerance: float | None,
+    block_shape,
+    started: float,
+) -> InferencePlan:
+    """Build the executable plan for one (structure, bits) assignment."""
+    n = len(choices)
+    fuse = np_dtype == np.float32
+    # A layer's feeder emits int8-grid activations when the consumer is
+    # int8, the feeder applies ReLU6 (static 6/127 grid) and is not an
+    # int16 kernel (whose epilogue runs in f64 scratch).  Fusion is a
+    # float32-plan optimization: float64 plans keep their non-quantized
+    # layers on the eager bit contract.
+    emits = [False] * n
+    for i in range(1, n):
+        if fuse and bits[i] == 8 and choices[i - 1].activation == "relu6" and bits[i - 1] != 16:
+            emits[i - 1] = True
+
+    kernels: list = []
+    layer_plans: list[LayerPlan] = []
+    tags: list[str] = []
+    r_blk, c_blk = block_shape
+    for i, choice in enumerate(choices):
+        linear = choice.linear
+        relu6 = choice.activation == "relu6"
+        out_gain = (_Q8_MAX / _ACT_BOUND) if emits[i] else None
+        in_scale = None
+        self_quant = False
+        if bits[i] is not None:
+            qmax = _Q8_MAX if bits[i] == 8 else _Q16_MAX
+            if i > 0 and emits[i - 1]:
+                in_scale = _ACT_BOUND / _Q8_MAX
+            elif i > 0 and choices[i - 1].activation == "relu6":
+                in_scale = _ACT_BOUND / qmax
+                self_quant = True
+            else:
+                in_scale = _ENTRY_HEADROOM * max(entry_maxima[i], 1e-12) / qmax
+                self_quant = True
+
+        if bits[i] == 8:
+            kernel_name = INT8_KERNEL
+            kern = _Int8Kernel(
+                linear, np_dtype, in_scale=in_scale, self_quant=self_quant,
+                relu6=relu6, emit_q8=emits[i],
+            )
+            weight_scale = kern.weight_scale
+        elif bits[i] == 16:
+            kernel_name = INT16_KERNEL
+            kern = _Int16Kernel(linear, in_scale=in_scale, relu6=relu6)
+            weight_scale = kern.weight_scale
+        elif choice.structure == SPARSE_KERNEL:
+            kernel_name = SPARSE_KERNEL
+            kern = _SparseKernel(linear, choice.csr, np_dtype, relu6=relu6, out_gain=out_gain)
+            weight_scale = None
+        elif choice.structure == BLOCK_KERNEL:
+            kernel_name = BLOCK_KERNEL
+            if np_dtype == np.float64:
+                # Bit-contract path: the expanded explicit-zero CSR twin
+                # reproduces the scalar reference bits (see blocks.py).
+                kern = _SparseKernel(
+                    linear, choice.block.expanded_csr(), np_dtype,
+                    relu6=relu6, out_gain=out_gain,
+                )
+            else:
+                kern = _BlockPanelKernel(
+                    linear, choice.block, np_dtype, stable,
+                    relu6=relu6, out_gain=out_gain,
+                )
+            weight_scale = None
+        else:
+            kernel_name = DENSE_KERNEL
+            kern = _DenseKernel(linear, np_dtype, stable, relu6=relu6, out_gain=out_gain)
+            weight_scale = None
+
+        kernels.append(kern)
+        quant_us = None
+        if bits[i] is not None:
+            quant_us = choice.int8_us if bits[i] == 8 else choice.int16_us
+        layer_plans.append(
+            LayerPlan(
+                index=i + 1,
+                in_width=linear.in_features,
+                out_width=linear.out_features,
+                kernel=kernel_name,
+                sparsity=choice.csr.sparsity,
+                nnz=choice.csr.nnz,
+                predicted_dense_us_per_doc=choice.dense_us,
+                predicted_sparse_us_per_doc=choice.sparse_us,
+                activation=choice.activation,
+                predicted_block_us_per_doc=choice.block_us,
+                predicted_quant_us_per_doc=quant_us,
+                bits=bits[i],
+                block_fill=choice.block.fill if choice.block is not None else None,
+                weight_scale=weight_scale,
+                input_scale=in_scale,
+                emits_quantized=emits[i],
+            )
+        )
+        ws = weight_scale if weight_scale is not None else 0.0
+        ins = in_scale if in_scale is not None else 0.0
+        tags.append(
+            f"{kernel_name}:{bits[i] or 0}:{ws:.17g}:{ins:.17g}:"
+            f"{int(emits[i])}:{r_blk}x{c_blk}"
+        )
+
+    fingerprint = _plan_fingerprint(network, dtype_name, stable, tags)
+    compile_us = (time.perf_counter() - started) * 1e6
+    return InferencePlan(
+        layers=tuple(layer_plans),
+        kernels=kernels,
+        input_dim=network.input_dim,
+        max_batch=max_batch,
+        dtype_name=dtype_name,
+        stable=stable,
+        fingerprint=fingerprint,
+        compile_us=compile_us,
+        source=network.describe(),
+        quantize=quantize_label,
+        score_tolerance=score_tolerance,
+        block_shape=block_shape,
+    )
+
+
+def _score_deviation(
+    network: FeedForwardNetwork, plan: InferencePlan, calib: np.ndarray
+) -> float:
+    """Max |plan score - float64 reference| over the calibration batch."""
+    got = plan.score(calib)
+    ref = reference_scores(network, plan, calib)
+    return float(np.max(np.abs(got - ref))) if len(got) else 0.0
+
+
 def compile_network(
     network: FeedForwardNetwork,
     *,
@@ -452,6 +954,12 @@ def compile_network(
     max_batch: int = 4096,
     kernels=None,
     stable: bool = False,
+    quantize: str | None = None,
+    tolerance: float | None = None,
+    calibration=None,
+    block_sparse: bool = False,
+    block_shape: tuple[int, int] = (64, 8),
+    min_block_fill: float = 0.5,
 ) -> InferencePlan:
     """Compile a trained/pruned network into an :class:`InferencePlan`.
 
@@ -463,7 +971,7 @@ def compile_network(
         fingerprint, so caches stay sound).
     context:
         :class:`~repro.runtime.context.PricingContext` supplying the
-        calibrated predictors that arbitrate dense vs sparse per layer
+        calibrated predictors that arbitrate the kernels per layer
         (defaults to the process-wide context).
     dtype:
         ``"float64"`` (bit-exact, the default) or ``"float32"`` (the
@@ -472,16 +980,48 @@ def compile_network(
         Largest chunk the ping-pong buffers must hold; requests larger
         than this are split by :meth:`InferencePlan.score`.
     kernels:
-        Optional per-layer override, a sequence of ``"dense-gemm"`` /
-        ``"csr-spmm"`` / ``None`` (``None`` = let the predictors
-        decide).  Forcing ``"csr-spmm"`` without scipy raises.
+        Optional per-layer override, a sequence drawn from
+        ``"dense-gemm"`` / ``"csr-spmm"`` / ``"block-spmm"`` /
+        ``"int8-gemm"`` / ``"int16-gemm"`` / ``None`` (``None`` = let
+        the predictors decide).  Forcing ``"csr-spmm"`` without scipy
+        raises; forcing ``"int8-gemm"`` on a layer wider than
+        :data:`INT8_MAX_IN_WIDTH` raises (the exact-accumulation bound);
+        an explicit float kernel exempts that layer from ``quantize``.
     stable:
-        Swap the dense BLAS kernel for the fixed-order ``einsum``
+        Swap the dense float kernel for the fixed-order ``einsum``
         kernel, making per-row bits independent of the batch shape —
         the chunk-invariance contract the serving adapters guarantee.
-        Native plans (the default) are faster and bit-identical to
-        ``predict`` in float64, but their GEMM bits shift with chunk
-        boundaries.
+        Quantized kernels are exact-integer reductions and therefore
+        chunk-invariant in *both* modes.
+    quantize:
+        ``None``/``"none"`` (default, float kernels), ``"int8"``
+        (int8 everywhere it is exact, int16 on wider layers),
+        ``"int16"``, or ``"auto"`` — calibrate per layer, starting from
+        the all-int8 assignment and walking the most score-sensitive
+        layers up to int16 and then back to float until the measured
+        deviation fits ``tolerance / 2`` (safety margin).  Quantization
+        applies to dense-structure layers; sparse layers stay float.
+    tolerance:
+        The score-tolerance budget.  Under ``"auto"`` it is the target
+        (default :data:`DEFAULT_TOLERANCE`); under forced modes it is
+        verified against the measured calibration deviation and a
+        violation raises :class:`CompileError`.  The declared bound is
+        published as ``plan.score_tolerance``.
+    calibration:
+        Optional ``(rows, input_dim)`` feature batch used to calibrate
+        entry-layer activation scales and measure score deviation;
+        defaults to a fixed-seed standard-normal batch.
+    block_sparse:
+        Try to regroup each layer's non-zeros into dense ``block_shape``
+        tiles (:func:`repro.matmul.blocks.regroup_to_blocks`).  When the
+        achieved fill reaches ``min_block_fill`` the block-SpMM kernel
+        *replaces* scalar CSR as the layer's sparse candidate — the fill
+        gate is the CSR-vs-block arbiter — and the predictors then pick
+        dense vs that candidate; below the gate the layer falls back to
+        scalar CSR exactly as before.
+    block_shape / min_block_fill:
+        Tile shape ``(rows, cols)`` and the minimum achieved fill for
+        block regrouping to stick.
     """
     if not isinstance(network, FeedForwardNetwork):
         raise CompileError(
@@ -493,6 +1033,19 @@ def compile_network(
         )
     if max_batch < 1:
         raise CompileError(f"max_batch must be >= 1, got {max_batch}")
+    quantize = quantize or "none"
+    if quantize not in ("none", "int8", "int16", "auto"):
+        raise CompileError(
+            f"quantize must be 'none', 'int8', 'int16' or 'auto', "
+            f"got {quantize!r}"
+        )
+    if tolerance is not None and not tolerance > 0.0:
+        raise CompileError(f"tolerance must be > 0, got {tolerance}")
+    if not 0.0 <= min_block_fill <= 1.0:
+        raise CompileError(
+            f"min_block_fill must be in [0, 1], got {min_block_fill}"
+        )
+    block_shape = (int(block_shape[0]), int(block_shape[1]))
     overrides = list(kernels) if kernels is not None else [None] * network.n_layers
     if len(overrides) != network.n_layers:
         raise CompileError(
@@ -511,69 +1064,207 @@ def compile_network(
         dtype=dtype,
         layers=network.n_layers,
         mode="stable" if stable else "native",
+        quantize=quantize,
     ):
         activations = _linear_activations(network)
-        layer_plans: list[LayerPlan] = []
-        built_kernels: list = []
-        choices: list[str] = []
+
+        # ---- structure selection (dense vs csr vs block) -------------
+        choices: list[_LayerChoice] = []
         for i, (linear, override) in enumerate(
             zip(network.linears, overrides), start=1
         ):
             csr = CsrMatrix.from_dense(linear.weight.data)
-            dense_us, sparse_us = predictor.layer_kernel_times(csr)
+            block = None
+            if block_sparse or override == BLOCK_KERNEL:
+                fill_floor = 0.0 if override == BLOCK_KERNEL else min_block_fill
+                regrouped = regroup_to_blocks(
+                    csr, block_shape, min_fill=fill_floor
+                )
+                if isinstance(regrouped, BlockCsrMatrix):
+                    block = regrouped
+            times = predictor.layer_kernel_times_all(csr, block=block)
+            dense_us = times[DENSE_KERNEL]
+            sparse_us = times[SPARSE_KERNEL]
+            block_us = times.get(BLOCK_KERNEL)
+            forced_bits = None
+            forced_float = False
             if override is None:
-                chosen = SPARSE_KERNEL if sparse_us < dense_us else DENSE_KERNEL
-                if _scipy_sparsetools is None:  # no SpMM entry point: gate
-                    chosen = DENSE_KERNEL
-            elif override in (DENSE_KERNEL, SPARSE_KERNEL):
-                chosen = override
-                if chosen == SPARSE_KERNEL and _scipy_sparsetools is None:
+                # Block replaces scalar CSR as the sparse candidate when
+                # regrouping met the fill gate; a float64 block layer
+                # executes through scipy's SpMM, so it is gated like CSR.
+                if block is not None and (
+                    np_dtype == np.float32 or _scipy_sparsetools is not None
+                ):
+                    candidate, candidate_us = BLOCK_KERNEL, block_us
+                elif _scipy_sparsetools is not None:
+                    candidate, candidate_us = SPARSE_KERNEL, sparse_us
+                else:
+                    candidate, candidate_us = None, float("inf")
+                structure = (
+                    candidate
+                    if candidate is not None and candidate_us < dense_us
+                    else DENSE_KERNEL
+                )
+            elif override == DENSE_KERNEL:
+                structure = DENSE_KERNEL
+                forced_float = True
+            elif override == SPARSE_KERNEL:
+                if _scipy_sparsetools is None:
                     raise CompileError(
                         "csr-spmm was forced but scipy is unavailable"
                     )
+                structure = SPARSE_KERNEL
+                forced_float = True
+            elif override == BLOCK_KERNEL:
+                if block is None or block.n_blocks == 0:
+                    raise CompileError(
+                        f"block-spmm was forced for layer {i} but the "
+                        f"matrix regroups to no stored blocks"
+                    )
+                if np_dtype == np.float64 and _scipy_sparsetools is None:
+                    raise CompileError(
+                        "block-spmm in float64 requires scipy "
+                        "(expanded-CSR execution)"
+                    )
+                structure = BLOCK_KERNEL
+                forced_float = True
+            elif override == INT8_KERNEL:
+                if linear.in_features > INT8_MAX_IN_WIDTH:
+                    raise CompileError(
+                        f"layer {i} in_width {linear.in_features} exceeds "
+                        f"the int8 exact-accumulation bound "
+                        f"({INT8_MAX_IN_WIDTH})"
+                    )
+                structure = DENSE_KERNEL
+                forced_bits = 8
+            elif override == INT16_KERNEL:
+                structure = DENSE_KERNEL
+                forced_bits = 16
             else:
                 raise CompileError(
                     f"unknown kernel {override!r} for layer {i}; "
-                    f"use {DENSE_KERNEL!r} or {SPARSE_KERNEL!r}"
+                    f"use one of {KERNEL_NAMES}"
                 )
-            layer_plans.append(
-                LayerPlan(
-                    index=i,
-                    in_width=linear.in_features,
-                    out_width=linear.out_features,
-                    kernel=chosen,
-                    sparsity=csr.sparsity,
-                    nnz=csr.nnz,
-                    predicted_dense_us_per_doc=dense_us,
-                    predicted_sparse_us_per_doc=sparse_us,
+            choices.append(
+                _LayerChoice(
+                    linear=linear,
+                    structure=structure,
+                    csr=csr,
+                    block=block,
                     activation=activations[i - 1],
+                    dense_us=dense_us,
+                    sparse_us=sparse_us,
+                    block_us=block_us,
+                    int8_us=times[INT8_KERNEL],
+                    int16_us=times[INT16_KERNEL],
+                    forced_bits=forced_bits,
+                    forced_float=forced_float,
                 )
             )
-            choices.append(chosen)
-            if chosen == SPARSE_KERNEL:
-                built_kernels.append(_SparseKernel(linear, csr, np_dtype))
-            else:
-                built_kernels.append(_DenseKernel(linear, np_dtype, stable))
-        fingerprint = _plan_fingerprint(network, dtype, stable, choices)
-        compile_us = (time.perf_counter() - started) * 1e6
-        plan = InferencePlan(
-            layers=tuple(layer_plans),
-            kernels=built_kernels,
-            input_dim=network.input_dim,
-            max_batch=max_batch,
-            dtype_name=dtype,
-            stable=stable,
-            fingerprint=fingerprint,
-            compile_us=compile_us,
-            source=network.describe(),
+
+        # ---- bit-width assignment (dtype selection) ------------------
+        n = len(choices)
+        bits: list = [choice.forced_bits for choice in choices]
+        eligible = [
+            j
+            for j, choice in enumerate(choices)
+            if choice.structure == DENSE_KERNEL
+            and not choice.forced_float
+            and choice.forced_bits is None
+        ]
+
+        def default_bits(j: int) -> int:
+            k = choices[j].linear.in_features
+            return 8 if k <= INT8_MAX_IN_WIDTH else 16
+
+        if quantize == "int8":
+            for j in eligible:
+                bits[j] = default_bits(j)
+        elif quantize == "int16":
+            for j in eligible:
+                bits[j] = 16
+
+        need_quant = quantize == "auto" and bool(eligible) or any(
+            b is not None for b in bits
         )
-    dense_n, sparse_n = plan.kernel_counts()
+        calib = None
+        entry_maxima = [0.0] * n
+        if need_quant:
+            calib = _calibration_features(network, calibration)
+            entry_maxima = _layer_input_maxima(network, calib)
+
+        def build(bit_list, *, declared=None) -> InferencePlan:
+            return _wire_plan(
+                network,
+                choices,
+                bit_list,
+                np_dtype=np_dtype,
+                dtype_name=dtype,
+                stable=stable,
+                max_batch=max_batch,
+                entry_maxima=entry_maxima,
+                quantize_label=quantize,
+                score_tolerance=declared,
+                block_shape=block_shape,
+                started=started,
+            )
+
+        declared: float | None = None
+        if quantize == "auto" and eligible:
+            budget = tolerance if tolerance is not None else DEFAULT_TOLERANCE
+            target = budget / _AUTO_SAFETY
+            for j in eligible:
+                bits[j] = default_bits(j)
+            dev = _score_deviation(network, build(bits), calib)
+            if dev > target:
+                # Rank the layers by solo quantization damage, then walk
+                # the most sensitive ones up to int16 and back to float,
+                # re-measuring after each step.
+                sensitivity: dict[int, float] = {}
+                for j in eligible:
+                    solo: list = [choice.forced_bits for choice in choices]
+                    solo[j] = default_bits(j)
+                    sensitivity[j] = _score_deviation(
+                        network, build(solo), calib
+                    )
+                order = sorted(eligible, key=lambda j: -sensitivity[j])
+                for j in order:
+                    if dev <= target or bits[j] != 8:
+                        continue
+                    bits[j] = 16
+                    dev = _score_deviation(network, build(bits), calib)
+                for j in order:
+                    if dev <= target or bits[j] is None:
+                        continue
+                    bits[j] = None
+                    dev = _score_deviation(network, build(bits), calib)
+                if dev > target:
+                    raise CompileError(
+                        f"auto quantization cannot meet tolerance {budget} "
+                        f"(deviation {dev:.3g} even without quantized "
+                        f"layers); widen the tolerance or use float64"
+                    )
+            declared = budget
+        elif need_quant:
+            dev = _score_deviation(network, build(bits), calib)
+            if tolerance is not None:
+                if dev > tolerance:
+                    raise CompileError(
+                        f"quantized plan deviates {dev:.3g} from the "
+                        f"float64 reference, above the declared "
+                        f"tolerance {tolerance}"
+                    )
+                declared = tolerance
+            else:
+                declared = max(_TOLERANCE_MARGIN * dev, _TOLERANCE_FLOOR)
+
+        plan = build(bits, declared=declared)
+
     record_compile(
         dtype=dtype,
-        dense_layers=dense_n,
-        sparse_layers=sparse_n,
+        kernel_counts=plan.kernel_counts(),
         buffer_bytes=plan.buffer_bytes,
-        compile_us=compile_us,
+        compile_us=plan.compile_us,
     )
     return plan
 
@@ -589,17 +1280,20 @@ def reference_scores(
 
     Dense-GEMM layers run the eager ``x @ W.T + b`` op (or, for a
     stable-mode plan, the fixed-order ``einsum`` that kernel executes);
-    CSR-SpMM layers run :meth:`CsrMatrix.matmul` (or, with
-    ``strict_spmm``, the per-non-zero
+    CSR-SpMM **and block-SpMM** layers run :meth:`CsrMatrix.matmul` (or,
+    with ``strict_spmm``, the per-non-zero
     :meth:`CsrMatrix.matmul_reference` loop — same bits, independently
-    derived).  A float64 plan must match this bit for bit; a float32
-    plan is tolerance-tested against it.
+    derived).  Quantized layers run the *unquantized* eager float64 op:
+    the reference is what the exact network computes, and the plan's
+    declared ``score_tolerance`` bounds the quantization deviation from
+    it.  A float64 all-float plan must match this bit for bit; float32
+    and quantized plans are tolerance-tested against it.
     """
     out = np.asarray(features, dtype=np.float64)
     if out.shape[0] == 0:
         return np.empty(0, dtype=np.float64)
     for lp, linear in zip(plan.layers, network.linears):
-        if lp.kernel == SPARSE_KERNEL:
+        if lp.kernel in (SPARSE_KERNEL, BLOCK_KERNEL):
             csr = CsrMatrix.from_dense(linear.weight.data)
             product = (
                 csr.matmul_reference(out.T) if strict_spmm else csr.matmul(out.T)
@@ -608,7 +1302,7 @@ def reference_scores(
             # operand layout, so the F-order ``.T`` view must not leak
             # into the next dense layer's GEMM.
             out = np.ascontiguousarray(product) + linear.bias.data
-        elif plan.stable:
+        elif plan.stable and lp.bits is None:
             out = (
                 np.einsum("nk,mk->nm", out, linear.weight.data)
                 + linear.bias.data

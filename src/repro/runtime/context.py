@@ -90,8 +90,8 @@ class PricingContext:
         """The int-``bits`` timing model over this context's predictor."""
         from repro.timing.quantized import QuantizedTimingModel
 
-        if not 2 <= bits <= 8:
-            raise ValueError(f"bits must be in [2, 8], got {bits}")
+        if not 2 <= bits <= 16:
+            raise ValueError(f"bits must be in [2, 16], got {bits}")
         return QuantizedTimingModel(
             self.predictor,
             lane_ratio=32.0 / bits,

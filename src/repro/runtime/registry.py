@@ -179,7 +179,12 @@ register_backend(
     ScorerBackend(
         name="compiled-network",
         matches=lambda m, opts: (
-            isinstance(m, DistilledStudent) and bool(opts.get("compiled"))
+            isinstance(m, DistilledStudent)
+            and bool(
+                opts.get("compiled")
+                or opts.get("quantize")
+                or opts.get("block_sparse")
+            )
         ),
         build=lambda m, ctx, **o: adapters.CompiledNetworkScorer(m, ctx, **o),
         description="students executed through ahead-of-time compiled plans",

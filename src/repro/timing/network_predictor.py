@@ -16,10 +16,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.matmul.blocks import BlockCsrMatrix
 from repro.matmul.csr import CsrMatrix
 from repro.timing.calibration import calibrate_sparse_predictor
 from repro.timing.dense_predictor import DenseTimePredictor, LayerTime
 from repro.timing.sparse_predictor import SparseTimePredictor
+
+#: Gather + panel-bookkeeping overhead of block-SpMM over a dense GEMM
+#: at the gathered (m x k_eff) shape.  The block kernel runs the same
+#: GEMM micro-kernel after compacting the active columns, so its cost is
+#: the dense cost of the compacted shape plus the gather traffic.
+BLOCK_KERNEL_OVERHEAD = 1.25
 
 
 @dataclass(frozen=True)
@@ -128,6 +135,62 @@ class NetworkTimePredictor:
             / self.sparse_batch
         )
         return dense_us, sparse_us
+
+    def block_kernel_time(self, block: BlockCsrMatrix) -> float:
+        """Per-document cost of the block-SpMM kernel for ``block``.
+
+        Blocked SpMM gathers the stored tiles' columns into a compact
+        ``k_eff = stored_cells / m`` panel and runs the dense GEMM
+        micro-kernel on it, so the cost is the GFLOPS-surface dense
+        price of the compacted ``(m, k_eff)`` shape times the measured
+        gather overhead :data:`BLOCK_KERNEL_OVERHEAD`.
+        """
+        m, _ = block.shape
+        k_eff = max(1, -(-block.stored_cells // m))
+        gflops = self.dense.surface.lookup(m, k_eff)
+        return BLOCK_KERNEL_OVERHEAD * 2.0 * m * k_eff / gflops / 1000.0
+
+    def quantized_kernel_time(self, m: int, k: int, bits: int) -> float:
+        """Per-document cost of an int-``bits`` integer GEMM layer.
+
+        Prices the layer's ``2mk`` FLOPs at the dense GFLOPS surface
+        and applies the SIMD lane-ratio speedup of
+        :class:`repro.timing.quantized.QuantizedTimingModel` — the same
+        scaling the pricing layer already uses for quantized networks,
+        so plans and ``price()`` agree.
+        """
+        from repro.timing.quantized import QuantizedTimingModel
+
+        if bits not in (8, 16):
+            raise ValueError(f"bits must be 8 or 16, got {bits}")
+        model = QuantizedTimingModel(self, lane_ratio=32.0 / bits)
+        dense_us = 2.0 * m * k / self.dense.surface.lookup(m, k) / 1000.0
+        return dense_us / model.dense_speedup
+
+    def layer_kernel_times_all(
+        self, matrix: CsrMatrix, *, block: BlockCsrMatrix | None = None
+    ) -> dict[str, float]:
+        """Per-document cost of every compiled kernel for one layer.
+
+        The full arbitration table behind
+        :func:`repro.runtime.compile.compile_network`: scalar
+        dense/sparse from :meth:`layer_kernel_times`, int8/int16 from
+        :meth:`quantized_kernel_time`, and — when a regrouped ``block``
+        matrix is supplied — block-SpMM from :meth:`block_kernel_time`.
+        Keys are the compiled kernel names (``dense-gemm``,
+        ``csr-spmm``, ``block-spmm``, ``int8-gemm``, ``int16-gemm``).
+        """
+        m, k = matrix.shape
+        dense_us, sparse_us = self.layer_kernel_times(matrix)
+        times = {
+            "dense-gemm": dense_us,
+            "csr-spmm": sparse_us,
+            "int8-gemm": self.quantized_kernel_time(m, k, 8),
+            "int16-gemm": self.quantized_kernel_time(m, k, 16),
+        }
+        if block is not None:
+            times["block-spmm"] = self.block_kernel_time(block)
+        return times
 
     def pruned_forecast_us(self, input_dim: int, layers) -> float:
         """Tables 10-11: total minus the dense first layer."""

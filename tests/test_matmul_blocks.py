@@ -1,0 +1,174 @@
+"""Tests for repro.matmul.blocks — block-CSR storage and the fill gate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matmul import BlockCsrMatrix, CsrMatrix, regroup_to_blocks
+from repro.pruning import column_block_mask
+
+
+def column_block_sparse(m, k, sparsity, block_cols=8, seed=0):
+    """A dense matrix pruned in whole aligned column groups."""
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=(m, k))
+    return dense * column_block_mask(dense, sparsity, block_cols)
+
+
+def scattered_sparse(m, k, density, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(m, k)) * (rng.random((m, k)) < density)
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self):
+        dense = column_block_sparse(32, 24, 0.5)
+        blocked = BlockCsrMatrix.from_dense(dense, (8, 8))
+        np.testing.assert_array_equal(blocked.to_dense(), dense)
+
+    def test_roundtrip_with_ragged_edges(self):
+        # Neither dimension divides the block shape; edge tiles are
+        # zero-padded internally but to_dense clips back to the
+        # logical shape.
+        dense = scattered_sparse(13, 11, 0.4)
+        blocked = BlockCsrMatrix.from_dense(dense, (4, 4))
+        assert blocked.shape == (13, 11)
+        np.testing.assert_array_equal(blocked.to_dense(), dense)
+
+    def test_all_zero_matrix_stores_no_blocks(self):
+        blocked = BlockCsrMatrix.from_dense(np.zeros((8, 8)), (4, 4))
+        assert blocked.n_blocks == 0
+        assert blocked.nnz == 0
+        np.testing.assert_array_equal(blocked.to_dense(), np.zeros((8, 8)))
+
+    def test_counts_on_a_known_pattern(self):
+        dense = np.zeros((8, 8))
+        dense[:4, :4] = 1.0  # one fully dense tile
+        dense[4, 4] = 2.0  # one singleton in another tile
+        blocked = BlockCsrMatrix.from_dense(dense, (4, 4))
+        assert blocked.n_blocks == 2
+        assert blocked.stored_cells == 32
+        assert blocked.nnz == 17
+        assert blocked.fill == pytest.approx(17 / 32)
+
+    def test_invalid_block_shape(self):
+        with pytest.raises(ValueError, match="block_shape"):
+            BlockCsrMatrix.from_dense(np.ones((4, 4)), (0, 4))
+        with pytest.raises(ValueError, match="block_shape"):
+            BlockCsrMatrix.from_dense(np.ones((4, 4)), "4x4")
+
+
+class TestFillAndSparsity:
+    def test_column_block_pruning_yields_full_tiles(self):
+        # Whole-column-group pruning aligned to the tile width leaves
+        # every stored tile fully dense.
+        dense = column_block_sparse(64, 64, 0.75, block_cols=8)
+        blocked = BlockCsrMatrix.from_dense(dense, (64, 8))
+        assert blocked.fill == pytest.approx(1.0)
+        assert blocked.sparsity == pytest.approx(
+            1 - blocked.nnz / dense.size
+        )
+
+    def test_scattered_pruning_yields_low_fill(self):
+        dense = scattered_sparse(64, 64, 0.05)
+        blocked = BlockCsrMatrix.from_dense(dense, (64, 8))
+        assert blocked.fill < 0.5
+
+    def test_block_sparsity_counts_tiles(self):
+        dense = np.zeros((8, 16))
+        dense[:4, :4] = 1.0
+        blocked = BlockCsrMatrix.from_dense(dense, (4, 4))
+        # 2 x 4 = 8 tile positions, one stored.
+        assert blocked.block_sparsity == pytest.approx(1 - 1 / 8)
+
+
+class TestExpandedCsr:
+    def test_expanded_matches_dense_with_explicit_zeros(self):
+        dense = column_block_sparse(16, 16, 0.5, block_cols=4)
+        blocked = BlockCsrMatrix.from_dense(dense, (4, 4))
+        expanded = blocked.expanded_csr()
+        assert isinstance(expanded, CsrMatrix)
+        np.testing.assert_array_equal(expanded.to_dense(), dense)
+        # Explicit zeros: the expanded twin stores every in-range cell
+        # of every stored tile, not just the true non-zeros.
+        assert expanded.values.size == blocked.stored_cells
+
+    def test_edge_clipped_cells_are_dropped(self):
+        dense = scattered_sparse(10, 10, 0.5)
+        blocked = BlockCsrMatrix.from_dense(dense, (4, 4))
+        expanded = blocked.expanded_csr()
+        assert expanded.shape == (10, 10)
+        assert np.all(expanded.col_index < 10)
+        np.testing.assert_array_equal(expanded.to_dense(), dense)
+
+
+class TestMatmulBitIdentity:
+    # Hypothesis property (c): block-CSR matmul is bit-identical to the
+    # scalar CSR reference on the same logical matrix, for any finite
+    # operand — the explicit zeros the tiles store never change a sum's
+    # bits under round-to-nearest.
+    @settings(max_examples=30, deadline=None)
+    @given(
+        m=st.integers(4, 40),
+        k=st.integers(4, 40),
+        n=st.integers(1, 24),
+        r=st.integers(1, 8),
+        c=st.integers(1, 8),
+        density=st.floats(0.0, 1.0),
+        seed=st.integers(0, 2**16),
+    )
+    def test_bit_identical_to_scalar_reference(
+        self, m, k, n, r, c, density, seed
+    ):
+        dense = scattered_sparse(m, k, density, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        b = rng.normal(size=(k, n))
+        blocked = BlockCsrMatrix.from_dense(dense, (r, c))
+        reference = CsrMatrix.from_dense(dense).matmul_reference(b)
+        np.testing.assert_array_equal(blocked.matmul(b), reference)
+        np.testing.assert_array_equal(
+            blocked.matmul_reference(b), reference
+        )
+
+    def test_matmul_on_column_block_structure(self):
+        dense = column_block_sparse(64, 48, 0.6, block_cols=8)
+        b = np.random.default_rng(7).normal(size=(48, 16))
+        blocked = BlockCsrMatrix.from_dense(dense, (64, 8))
+        np.testing.assert_array_equal(
+            blocked.matmul(b),
+            CsrMatrix.from_dense(dense).matmul_reference(b),
+        )
+
+
+class TestRegroup:
+    def test_structured_matrix_regroups(self):
+        dense = column_block_sparse(64, 64, 0.75, block_cols=8)
+        csr = CsrMatrix.from_dense(dense)
+        regrouped = regroup_to_blocks(csr, (64, 8), min_fill=0.5)
+        assert isinstance(regrouped, BlockCsrMatrix)
+        assert regrouped.fill >= 0.5
+        np.testing.assert_array_equal(regrouped.to_dense(), dense)
+
+    def test_scattered_matrix_falls_back_to_scalar(self):
+        csr = CsrMatrix.from_dense(scattered_sparse(64, 64, 0.05))
+        regrouped = regroup_to_blocks(csr, (64, 8), min_fill=0.5)
+        assert regrouped is csr
+
+    def test_zero_matrix_falls_back(self):
+        csr = CsrMatrix.from_dense(np.zeros((8, 8)))
+        assert regroup_to_blocks(csr, (4, 4), min_fill=0.0) is csr
+
+    def test_min_fill_zero_always_blocks(self):
+        csr = CsrMatrix.from_dense(scattered_sparse(16, 16, 0.05, seed=3))
+        regrouped = regroup_to_blocks(csr, (4, 4), min_fill=0.0)
+        assert isinstance(regrouped, BlockCsrMatrix)
+
+    def test_rejects_non_csr(self):
+        with pytest.raises(TypeError, match="CsrMatrix"):
+            regroup_to_blocks(np.ones((4, 4)), (2, 2))
+
+    def test_rejects_bad_min_fill(self):
+        csr = CsrMatrix.from_dense(np.ones((4, 4)))
+        with pytest.raises(ValueError, match="min_fill"):
+            regroup_to_blocks(csr, (2, 2), min_fill=1.5)

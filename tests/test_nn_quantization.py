@@ -55,7 +55,13 @@ class TestQuantizeTensor:
         with pytest.raises(ValueError):
             quantize_tensor(np.ones((2, 2)), bits=1)
         with pytest.raises(ValueError):
-            quantize_tensor(np.ones((2, 2)), bits=9)
+            quantize_tensor(np.ones((2, 2)), bits=17)
+
+    def test_int16_storage(self, rng):
+        q = quantize_tensor(rng.normal(size=(4, 4)), bits=16)
+        assert q.values.dtype == np.int16
+        assert q.nbytes == 32  # two bytes per entry
+        assert np.max(np.abs(q.values)) <= 2**15 - 1
 
     def test_nbytes(self, rng):
         q = quantize_tensor(rng.normal(size=(8, 4)))

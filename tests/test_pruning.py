@@ -9,10 +9,12 @@ from hypothesis.extra.numpy import arrays
 from repro.exceptions import PruningError
 from repro.nn import FeedForwardNetwork, Linear
 from repro.pruning import (
+    ColumnBlockPruner,
     FirstLayerPruner,
     FirstLayerPruningConfig,
     LevelPruner,
     ThresholdPruner,
+    column_block_mask,
     dynamic_sensitivity,
     level_mask,
     mask_sparsity,
@@ -69,6 +71,91 @@ class TestMasks:
         mask = level_mask(w, sparsity)
         target = round(sparsity * w.size) / w.size
         assert mask_sparsity(mask) == pytest.approx(target, abs=1e-9)
+
+
+class TestColumnBlockMask:
+    def test_prunes_whole_aligned_groups(self, rng):
+        w = rng.normal(size=(16, 32))
+        mask = column_block_mask(w, 0.5, block_cols=8)
+        for g in range(4):
+            group = mask[:, g * 8 : (g + 1) * 8]
+            assert group.min() == group.max()  # all kept or all pruned
+
+    def test_never_exceeds_target_sparsity(self, rng):
+        w = rng.normal(size=(16, 24))
+        for sparsity in (0.3, 0.5, 0.9):
+            mask = column_block_mask(w, sparsity, block_cols=8)
+            assert mask_sparsity(mask) <= sparsity + 1e-12
+
+    def test_weakest_groups_pruned_first(self):
+        w = np.ones((4, 16))
+        w[:, 4:8] = 0.01  # weakest aligned group
+        mask = column_block_mask(w, 0.25, block_cols=4)
+        assert mask[:, 4:8].sum() == 0
+        assert mask[:, :4].min() == 1.0
+
+    def test_at_least_one_group_survives(self, rng):
+        w = rng.normal(size=(8, 16))
+        mask = column_block_mask(w, 1.0, block_cols=8)
+        assert mask.sum() > 0
+
+    def test_ragged_last_group(self, rng):
+        w = rng.normal(size=(8, 10))  # last group is 2 columns wide
+        mask = column_block_mask(w, 0.5, block_cols=4)
+        assert mask.shape == (8, 10)
+        for lo, hi in ((0, 4), (4, 8), (8, 10)):
+            group = mask[:, lo:hi]
+            assert group.min() == group.max()
+
+    def test_deterministic_tie_break(self):
+        w = np.ones((4, 16))
+        first = column_block_mask(w, 0.5, block_cols=4)
+        second = column_block_mask(w, 0.5, block_cols=4)
+        np.testing.assert_array_equal(first, second)
+
+    def test_invalid_args(self):
+        with pytest.raises(PruningError, match="sparsity"):
+            column_block_mask(np.ones((4, 4)), 1.5)
+        with pytest.raises(PruningError, match="block_cols"):
+            column_block_mask(np.ones((4, 4)), 0.5, block_cols=0)
+        with pytest.raises(PruningError, match="2-d"):
+            column_block_mask(np.ones(4), 0.5)
+
+
+class TestColumnBlockPruner:
+    def test_survivors_regroup_to_full_tiles(self, rng):
+        from repro.matmul import BlockCsrMatrix, CsrMatrix, regroup_to_blocks
+
+        layer = Linear(64, 64, seed=2)
+        ColumnBlockPruner(0.75, block_cols=8).apply(layer)
+        pruned = layer.weight.data * layer.mask
+        blocked = regroup_to_blocks(
+            CsrMatrix.from_dense(pruned), (64, 8), min_fill=0.5
+        )
+        assert isinstance(blocked, BlockCsrMatrix)
+        assert blocked.fill > 0.95
+
+    def test_cumulative_never_revives(self, rng):
+        layer = Linear(32, 32, seed=1)
+        pruner = ColumnBlockPruner(0.8, block_cols=8)
+        pruner.apply(layer, fraction_of_target=0.5)
+        dead = layer.mask == 0
+        pruner.apply(layer, fraction_of_target=1.0)
+        assert np.all(layer.mask[dead] == 0)
+
+    def test_returns_achieved_sparsity(self):
+        layer = Linear(16, 16, seed=0)
+        achieved = ColumnBlockPruner(0.5, block_cols=4).apply(layer)
+        assert achieved == pytest.approx(layer.sparsity())
+        assert achieved <= 0.5 + 1e-12
+
+    def test_invalid_args(self):
+        with pytest.raises(PruningError, match="target_sparsity"):
+            ColumnBlockPruner(1.0)
+        with pytest.raises(PruningError, match="block_cols"):
+            ColumnBlockPruner(0.5, block_cols=0)
+        with pytest.raises(PruningError, match="fraction_of_target"):
+            ColumnBlockPruner(0.5).apply(Linear(4, 4, seed=0), 0.0)
 
 
 class TestLevelPruner:
